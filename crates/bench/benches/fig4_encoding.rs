@@ -1,0 +1,27 @@
+//! Fig 4 (time series): encoding cost vs input size.
+//!
+//! Criterion measures the full encode path (parse → polynomials → split →
+//! pack → insert) at three input sizes; linearity shows as constant
+//! throughput across the group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssx_bench::{document, paper_map, paper_seed};
+use ssx_core::encode_document;
+
+fn bench_encoding(c: &mut Criterion) {
+    let map = paper_map();
+    let seed = paper_seed();
+    let mut group = c.benchmark_group("fig4_encoding");
+    group.sample_size(10);
+    for kb in [32usize, 64, 128] {
+        let xml = document(kb * 1024);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &xml, |b, xml| {
+            b.iter(|| encode_document(xml, &map, &seed).expect("encode"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig 5 (time series): the Table-1 chain queries of increasing length,
+//! simple vs advanced engine, containment test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssx_bench::{build_db, table1_queries};
+use ssx_core::{EngineKind, MatchRule};
+
+fn bench_query_length(c: &mut Criterion) {
+    let mut db = build_db(64 * 1024);
+    let mut group = c.benchmark_group("fig5_query_length");
+    group.sample_size(10);
+    for (i, q) in table1_queries().into_iter().enumerate() {
+        for (label, kind) in [("simple", EngineKind::Simple), ("advanced", EngineKind::Advanced)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, i + 1),
+                &q,
+                |b, q| {
+                    b.iter(|| {
+                        db.query(q, kind, MatchRule::Containment).expect("query").result.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_length);
+criterion_main!(benches);

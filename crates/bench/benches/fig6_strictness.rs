@@ -1,0 +1,30 @@
+//! Fig 6 (time series): the Table-2 queries under every engine × rule
+//! combination — the strictness experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssx_bench::{build_db, TABLE2};
+use ssx_core::{EngineKind, MatchRule};
+
+fn bench_strictness(c: &mut Criterion) {
+    let mut db = build_db(64 * 1024);
+    db.set_verify_equality(false); // timing configuration, like the prototype
+    let mut group = c.benchmark_group("fig6_strictness");
+    group.sample_size(10);
+    let combos = [
+        ("nonstrict_simple", EngineKind::Simple, MatchRule::Containment),
+        ("strict_simple", EngineKind::Simple, MatchRule::Equality),
+        ("nonstrict_advanced", EngineKind::Advanced, MatchRule::Containment),
+        ("strict_advanced", EngineKind::Advanced, MatchRule::Equality),
+    ];
+    for (i, q) in TABLE2.iter().enumerate() {
+        for (label, kind, rule) in combos {
+            group.bench_with_input(BenchmarkId::new(label, i + 1), q, |b, q| {
+                b.iter(|| db.query(q, kind, rule).expect("query").result.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strictness);
+criterion_main!(benches);

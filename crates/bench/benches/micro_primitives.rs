@@ -1,0 +1,138 @@
+//! Microbenchmarks of the cryptographic and storage primitives the
+//! experiments are built from — the cost model behind Figs 4–6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssx_field::FieldCtx;
+use ssx_poly::{extract_root, random_poly, reconstruct, split_with_prg, Packer, RingCtx};
+use ssx_prg::{node_prg, Prg, Seed};
+use ssx_store::BTree;
+use std::hint::black_box;
+
+fn field_ops(c: &mut Criterion) {
+    let f83 = FieldCtx::new(83, 1).unwrap();
+    let f256 = FieldCtx::new(2, 8).unwrap();
+    let mut group = c.benchmark_group("field");
+    group.bench_function("mul_f83", |b| {
+        let mut x = 7u64;
+        b.iter(|| {
+            x = f83.mul(black_box(x), 29).max(1);
+            x
+        })
+    });
+    group.bench_function("inv_f83", |b| b.iter(|| f83.inv(black_box(44)).unwrap()));
+    group.bench_function("mul_gf256", |b| {
+        let mut x = 7u64;
+        b.iter(|| {
+            x = f256.mul(black_box(x), 171).max(1);
+            x
+        })
+    });
+    group.finish();
+}
+
+fn ring_ops(c: &mut Criterion) {
+    let ring = RingCtx::new(83, 1).unwrap();
+    let mut prg = Prg::from_u64(1);
+    let a = random_poly(&ring, &mut prg);
+    let b2 = random_poly(&ring, &mut prg);
+    let mut group = c.benchmark_group("ring_f83");
+    group.bench_function("mul_full", |b| b.iter(|| ring.mul(black_box(&a), black_box(&b2))));
+    group.bench_function("mul_linear", |b| b.iter(|| ring.mul_linear(black_box(&a), 17)));
+    group.bench_function("eval", |b| b.iter(|| ring.eval(black_box(&a), 55)));
+    group.bench_function("add", |b| b.iter(|| ring.add(black_box(&a), black_box(&b2))));
+    group.finish();
+}
+
+fn sharing_ops(c: &mut Criterion) {
+    let ring = RingCtx::new(83, 1).unwrap();
+    let seed = Seed::from_test_key(3);
+    let f = {
+        let mut acc = ring.one();
+        for t in [3u64, 17, 55, 80, 11] {
+            acc = ring.mul_linear(&acc, t);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("sharing");
+    group.bench_function("client_share_regen", |b| {
+        b.iter(|| random_poly(&ring, &mut node_prg(&seed, black_box(12345))))
+    });
+    group.bench_function("split", |b| {
+        let mut prg = Prg::from_u64(9);
+        b.iter(|| split_with_prg(&ring, black_box(&f), &mut prg))
+    });
+    let mut prg = Prg::from_u64(9);
+    let (client, server) = split_with_prg(&ring, &f, &mut prg);
+    group.bench_function("reconstruct", |b| {
+        b.iter(|| reconstruct(&ring, black_box(&client), black_box(&server)))
+    });
+    group.finish();
+}
+
+fn equality_test_ops(c: &mut Criterion) {
+    let ring = RingCtx::new(83, 1).unwrap();
+    let mut g = ring.one();
+    for t in [7u64, 7, 19, 44, 61] {
+        g = ring.mul_linear(&g, t);
+    }
+    let f = ring.mul_linear(&g, 33);
+    let mut group = c.benchmark_group("equality_test");
+    group.bench_function("extract_root_no_verify", |b| {
+        b.iter(|| extract_root(&ring, black_box(&f), black_box(&g), false))
+    });
+    group.bench_function("extract_root_verified", |b| {
+        b.iter(|| extract_root(&ring, black_box(&f), black_box(&g), true))
+    });
+    group.finish();
+}
+
+fn packing_ops(c: &mut Criterion) {
+    let ring = RingCtx::new(83, 1).unwrap();
+    let packer = Packer::new(&ring);
+    let poly = random_poly(&ring, &mut Prg::from_u64(4));
+    let radix = packer.pack_radix(&poly);
+    let bits = packer.pack_bits(&poly);
+    let mut group = c.benchmark_group("packing");
+    group.bench_function("pack_radix", |b| b.iter(|| packer.pack_radix(black_box(&poly))));
+    group.bench_function("unpack_radix", |b| {
+        b.iter(|| packer.unpack_radix(&ring, black_box(&radix)).unwrap())
+    });
+    group.bench_function("pack_bits", |b| b.iter(|| packer.pack_bits(black_box(&poly))));
+    group.bench_function("unpack_bits", |b| {
+        b.iter(|| packer.unpack_bits(&ring, black_box(&bits)).unwrap())
+    });
+    group.finish();
+}
+
+fn btree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = BTree::new();
+            for k in 0..10_000u64 {
+                t.insert(k.wrapping_mul(0x9E3779B97F4A7C15) >> 16, k);
+            }
+            t.len()
+        })
+    });
+    let mut t = BTree::new();
+    for k in 0..100_000u64 {
+        t.insert(k * 2, k);
+    }
+    group.bench_function("point_get", |b| b.iter(|| t.get(black_box(123_456))));
+    group.bench_function("range_100", |b| {
+        b.iter(|| t.range(black_box(50_000), 50_198).count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    field_ops,
+    ring_ops,
+    sharing_ops,
+    equality_test_ops,
+    packing_ops,
+    btree_ops
+);
+criterion_main!(benches);

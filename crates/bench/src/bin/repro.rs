@@ -1,0 +1,309 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ssx-bench --bin repro -- all
+//! cargo run --release -p ssx-bench --bin repro -- fig4   # encoding sweep
+//! cargo run --release -p ssx-bench --bin repro -- fig5   # query-length series (Table 1)
+//! cargo run --release -p ssx-bench --bin repro -- fig6   # strictness timing (Table 2)
+//! cargo run --release -p ssx-bench --bin repro -- fig7   # containment accuracy
+//! cargo run --release -p ssx-bench --bin repro -- trie   # §4 compression claims
+//! ```
+//!
+//! Environment: `SSXDB_SCALE=<f64>` scales document sizes; `SSXDB_FULL=1`
+//! runs the paper-sized 1–10 MB Fig 4 sweep.
+
+use ssx_bench::{
+    build_db, document, full_sweep, paper_map, paper_seed, scale, table1_queries, TABLE2,
+};
+use ssx_core::{accuracy_percent, encode_document, EncryptedDb, EngineKind, MatchRule};
+use ssx_trie::corpus_stats;
+use ssx_xml::Document;
+use std::time::Instant;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "trie" => trie(),
+        "reduction" => reduction(),
+        "all" => {
+            fig4();
+            fig5();
+            fig6();
+            fig7();
+            trie();
+            reduction();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; use fig4|fig5|fig6|fig7|trie|reduction|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Fig 4: encoding — output size, index size and time vs input size.
+fn fig4() {
+    banner("Figure 4 — Encoding: sizes and time vs input size (p=83, e=1)");
+    let sizes: Vec<usize> = if full_sweep() {
+        (1..=10).map(|mb| mb * 1024 * 1024).collect()
+    } else {
+        let base = (100.0 * 1024.0 * scale()) as usize;
+        (1..=10).map(|i| i * base).collect()
+    };
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "input(B)", "elements", "output(B)", "out/input", "index(B)", "structure%", "time(s)"
+    );
+    for target in sizes {
+        let xml = document(target);
+        let map = paper_map();
+        let seed = paper_seed();
+        let started = Instant::now();
+        let out = encode_document(&xml, &map, &seed).expect("encode");
+        let elapsed = started.elapsed();
+        let report = out.table.size_report();
+        println!(
+            "{:>12} {:>10} {:>12} {:>12.2} {:>10} {:>11.1}% {:>10.3}",
+            xml.len(),
+            report.rows,
+            report.data_bytes(),
+            report.data_bytes() as f64 / xml.len() as f64,
+            report.index_bytes,
+            100.0 * report.structure_fraction(),
+            elapsed.as_secs_f64()
+        );
+    }
+    println!("\npaper shape: both sizes and time strictly linear in input;");
+    println!("pre/post/parent ≈ 17% of output; output ≈ 1.5x input.");
+}
+
+/// Fig 5 / Table 1: evaluations vs query length, simple vs advanced.
+fn fig5() {
+    banner("Figure 5 / Table 1 — evaluations vs query length (containment test)");
+    let bytes = (256.0 * 1024.0 * scale()) as usize;
+    let mut db = build_db(bytes);
+    println!("document: ~{bytes} bytes, {} elements\n", db.node_count());
+    println!(
+        "{:>3} {:<70} {:>10} {:>12} {:>14}",
+        "#", "query", "output", "evals simple", "evals advanced"
+    );
+    for (i, q) in table1_queries().iter().enumerate() {
+        let simple = db.query(q, EngineKind::Simple, MatchRule::Containment).expect("simple");
+        let advanced =
+            db.query(q, EngineKind::Advanced, MatchRule::Containment).expect("advanced");
+        assert_eq!(simple.pres(), advanced.pres(), "engines must agree");
+        println!(
+            "{:>3} {:<70} {:>10} {:>12} {:>14}",
+            i + 1,
+            q,
+            simple.result.len(),
+            simple.stats.evaluations(),
+            advanced.stats.evaluations()
+        );
+    }
+    println!("\npaper shape: the two series differ by at most a constant factor;");
+    println!("these chain queries are the advanced engine's worst case.");
+}
+
+/// Fig 6 / Table 2: execution time, engines x strictness.
+fn fig6() {
+    banner("Figure 6 / Table 2 — execution time (s): strictness x engine");
+    let bytes = (256.0 * 1024.0 * scale()) as usize;
+    let mut db = build_db(bytes);
+    db.set_verify_equality(false); // timing runs skip the O(n^2) audit
+    println!("document: ~{bytes} bytes, {} elements\n", db.node_count());
+    println!(
+        "{:>3} {:<34} {:>14} {:>14} {:>16} {:>14}",
+        "#", "query", "nonstrict/simp", "strict/simp", "nonstrict/adv", "strict/adv"
+    );
+    for (i, q) in TABLE2.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (kind, rule) in [
+            (EngineKind::Simple, MatchRule::Containment),
+            (EngineKind::Simple, MatchRule::Equality),
+            (EngineKind::Advanced, MatchRule::Containment),
+            (EngineKind::Advanced, MatchRule::Equality),
+        ] {
+            let out = db.query(q, kind, rule).expect("query");
+            cells.push(out.stats.elapsed.as_secs_f64());
+        }
+        println!(
+            "{:>3} {:<34} {:>14.4} {:>14.4} {:>16.4} {:>14.4}",
+            i + 1,
+            q,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+    println!("\npaper shape: advanced beats simple on every query; strict checking");
+    println!("is sometimes slight overhead, sometimes a major improvement.");
+}
+
+/// Fig 7: accuracy of the containment test (E/C in percent).
+fn fig7() {
+    banner("Figure 7 — accuracy of the containment test (E/C, %)");
+    let bytes = (256.0 * 1024.0 * scale()) as usize;
+    let mut db = build_db(bytes);
+    println!("document: ~{bytes} bytes, {} elements\n", db.node_count());
+    println!("{:>3} {:<34} {:>8} {:>8} {:>10} {:>6}", "#", "query", "|E|", "|C|", "accuracy", "//s");
+    for (i, q) in TABLE2.iter().enumerate() {
+        let e = db.query(q, EngineKind::Advanced, MatchRule::Equality).expect("E");
+        let c = db.query(q, EngineKind::Advanced, MatchRule::Containment).expect("C");
+        let query = ssx_xpath::parse_query(q).unwrap();
+        println!(
+            "{:>3} {:<34} {:>8} {:>8} {:>9.1}% {:>6}",
+            i + 1,
+            q,
+            e.result.len(),
+            c.result.len(),
+            accuracy_percent(e.result.len(), c.result.len()),
+            query.descendant_step_count()
+        );
+    }
+    // The paper's extra claim: absolute queries reach 100%.
+    let absolute = "/site/regions/europe/item";
+    let e = db.query(absolute, EngineKind::Advanced, MatchRule::Equality).unwrap();
+    let c = db.query(absolute, EngineKind::Advanced, MatchRule::Containment).unwrap();
+    println!(
+        "\nabsolute control {absolute}: accuracy {:.1}%",
+        accuracy_percent(e.result.len(), c.result.len())
+    );
+    println!("paper shape: accuracy drops with each // in the query.");
+}
+
+/// Ablation: the ring reduction (fig 1(c) → 1(d)).
+///
+/// The paper's §7 "storage overhead is reduced to 50%" refers to the 1.5×
+/// output/input ratio of Fig 4 (overhead = 50% of the input). This
+/// experiment quantifies the *reduction itself*: the unreduced encoding
+/// stores `subtree_size + 1` coefficients per node (the root alone costs
+/// one per document element, and sizes leak every subtree's cardinality to
+/// the server); the reduced ring caps every node at `q − 1` coefficients —
+/// uniform rows, no size leak, O(q) worst case instead of O(n).
+fn reduction() {
+    banner("Ablation — the ring reduction (unreduced vs reduced storage)");
+    let bytes = (64.0 * 1024.0 * scale()) as usize;
+    let xml = document(bytes);
+    let doc = Document::parse(&xml).expect("parse");
+    let q = 83u64;
+    let n = (q - 1) as usize;
+    // Subtree sizes via one pass (elements only).
+    let mut unreduced_coeffs = 0usize;
+    let mut capped_coeffs = 0usize; // sparse storage of the *reduced* polys
+    let mut largest_node = 0usize;
+    let mut oversized = 0usize; // nodes whose unreduced poly exceeds the ring
+    let mut elements = 0usize;
+    for id in doc.descendants(doc.root()) {
+        if doc.name(id).is_none() {
+            continue;
+        }
+        let subtree_elems =
+            doc.descendants(id).into_iter().filter(|&d| doc.name(d).is_some()).count();
+        // Unreduced degree = number of factors = subtree size.
+        unreduced_coeffs += subtree_elems + 1;
+        capped_coeffs += (subtree_elems + 1).min(n);
+        largest_node = largest_node.max(subtree_elems + 1);
+        if subtree_elems + 1 > n {
+            oversized += 1;
+        }
+        elements += 1;
+    }
+    let dense_coeffs = elements * n; // what the system stores: uniform rows
+    let bits = (q as f64).log2();
+    let to_bytes = |coeffs: usize| (coeffs as f64 * bits / 8.0) as usize;
+    println!("document: {} elements ({} input bytes), q = {q}", elements, xml.len());
+    println!(
+        "unreduced, sparse:      {:>10} coefficients = {:>9} B (largest node: {})",
+        unreduced_coeffs,
+        to_bytes(unreduced_coeffs),
+        largest_node
+    );
+    println!(
+        "reduced, sparse bound:  {:>10} coefficients = {:>9} B ({} nodes were over the cap)",
+        capped_coeffs,
+        to_bytes(capped_coeffs),
+        oversized
+    );
+    println!(
+        "reduced, dense (ours):  {:>10} coefficients = {:>9} B (uniform {}-coeff rows)",
+        dense_coeffs,
+        to_bytes(dense_coeffs),
+        n
+    );
+    println!("\nfindings: the reduction caps the worst node at q-1 = {n} coefficients");
+    println!("({}x smaller than the unreduced root here) and makes every row the", largest_node.div_ceil(n));
+    println!("same size — variable-length unreduced rows would leak every subtree's");
+    println!("cardinality to the server. The paper's §7 '50% overhead' refers to the");
+    println!("Fig 4 output/input ratio, which the fig4 experiment reproduces.");
+}
+
+/// §4 trie compression claims.
+fn trie() {
+    banner("Section 4 — trie compression statistics");
+    let bytes = (256.0 * 1024.0 * scale()) as usize;
+    let xml = document(bytes);
+    let doc = Document::parse(&xml).expect("parse");
+    let texts: Vec<&str> =
+        doc.descendants(doc.root()).into_iter().filter_map(|id| doc.text(id)).collect();
+    let stats = corpus_stats(texts.iter().copied());
+    // Polynomial cost at the paper's p = 29 example and at the trie-capable
+    // p = 131 configuration.
+    let poly29 = ssx_poly::radix_len(29, 28) as f64;
+    let poly131 = ssx_poly::radix_len(131, 130) as f64;
+    println!("corpus: {} words, {} distinct", stats.word_occurrences, stats.distinct_words);
+    println!("original characters:          {:>10}", stats.original_chars);
+    println!("after word dedup:             {:>10}  ({:.1}% reduction; paper: ~50%)",
+        stats.deduped_chars, 100.0 * stats.dedup_reduction());
+    println!("compressed trie char nodes:   {:>10}  ({:.1}% reduction; paper: 75-80%)",
+        stats.trie_char_nodes, 100.0 * stats.trie_reduction());
+    println!("trie terminators:             {:>10}", stats.trie_terminals);
+    println!(
+        "bytes/letter at p=29 ({} B/poly):  {:>6.2}  (paper: ~3.5-4.5)",
+        poly29,
+        stats.bytes_per_letter(poly29)
+    );
+    // The paper's own arithmetic (17 B x 20-25% trie nodes) excludes the
+    // terminator nodes; report that figure too for a like-for-like check.
+    println!(
+        "  …excluding terminators:          {:>6.2}  (the paper's arithmetic)",
+        poly29 * stats.trie_char_nodes as f64 / stats.original_chars.max(1) as f64
+    );
+    println!(
+        "bytes/letter at p=131 ({} B/poly): {:>6.2}  (our trie-enabled field)",
+        poly131,
+        stats.bytes_per_letter(poly131)
+    );
+
+    // End-to-end sizes: encode a small document with and without tries.
+    let small = document((16.0 * 1024.0 * scale()) as usize);
+    let small_doc = Document::parse(&small).unwrap();
+    let base = EncryptedDb::encode(&small, paper_map(), paper_seed()).unwrap();
+    let trie_doc = ssx_trie::transform_document(&small_doc, ssx_trie::TrieMode::Compressed);
+    let mut names: Vec<String> =
+        ssx_xmark::DTD_ELEMENTS.iter().map(|s| s.to_string()).collect();
+    names.extend(ssx_trie::trie_alphabet());
+    let trie_map = ssx_core::MapFile::sequential(131, 1, &names).unwrap();
+    let trie_db = EncryptedDb::encode_doc(&trie_doc, trie_map, paper_seed()).unwrap();
+    println!("\nend-to-end on a {} input:", ssx_bench::human_bytes(small.len()));
+    println!(
+        "  tags only  (p=83):  {:>8} nodes, {:>10} B",
+        base.node_count(),
+        base.size_report().data_bytes()
+    );
+    println!(
+        "  with tries (p=131): {:>8} nodes, {:>10} B  (text searchable)",
+        trie_db.node_count(),
+        trie_db.size_report().data_bytes()
+    );
+}

@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure/table reproductions.
+//!
+//! Both the Criterion benches and the `repro` binary build their workloads
+//! through this module so every experiment uses identical documents, maps
+//! and seeds.
+//!
+//! Scaling: set `SSXDB_SCALE` (float, default 1.0) to scale document sizes,
+//! or `SSXDB_FULL=1` to run the paper-sized Fig 4 sweep (1–10 MB inputs).
+
+use ssx_core::{EncryptedDb, MapFile};
+use ssx_prg::{Prg, Seed};
+use ssx_xmark::{generate, XmarkConfig, DTD_ELEMENTS};
+
+/// The Table-1 chain (queries 1..=9 are its prefixes).
+pub const TABLE1_CHAIN: &str =
+    "/site/regions/europe/item/description/parlist/listitem/text/keyword";
+
+/// The Table-2 strictness queries (numbers match Fig 6/7).
+pub const TABLE2: [&str; 5] = [
+    "/site//europe/item",
+    "/site//europe//item",
+    "/site/*/person//city",
+    "/*/*/open_auction/bidder/date",
+    "//bidder/date",
+];
+
+/// Queries 1..=9 of Table 1.
+pub fn table1_queries() -> Vec<String> {
+    let parts: Vec<&str> = TABLE1_CHAIN.trim_start_matches('/').split('/').collect();
+    (1..=parts.len()).map(|len| format!("/{}", parts[..len].join("/"))).collect()
+}
+
+/// `SSXDB_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("SSXDB_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// `SSXDB_FULL=1` switches Fig 4 to the paper's 1–10 MB sweep.
+pub fn full_sweep() -> bool {
+    std::env::var("SSXDB_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The experiments' standard secrets: the 77-element DTD map over `F_83`
+/// (paper §6: "We chose p = 83 and e = 1 throughout this section").
+pub fn paper_map() -> MapFile {
+    MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(0x2005)).unwrap()
+}
+
+/// The experiments' standard seed.
+pub fn paper_seed() -> Seed {
+    Seed::from_test_key(0x5D4_2005)
+}
+
+/// Generates the standard auction document of roughly `bytes` bytes.
+pub fn document(bytes: usize) -> String {
+    generate(&XmarkConfig { seed: 0x2005, target_bytes: bytes })
+}
+
+/// Builds the encrypted database for a document of roughly `bytes` bytes.
+pub fn build_db(bytes: usize) -> EncryptedDb {
+    let xml = document(bytes);
+    EncryptedDb::encode(&xml, paper_map(), paper_seed()).expect("benchmark encode")
+}
+
+/// Formats a byte count as KB/MB with one decimal.
+pub fn human_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_nine_queries() {
+        let qs = table1_queries();
+        assert_eq!(qs.len(), 9);
+        assert_eq!(qs[0], "/site");
+        assert_eq!(qs[8], TABLE1_CHAIN);
+    }
+
+    #[test]
+    fn harness_builds_a_db() {
+        let db = build_db(4 * 1024);
+        assert!(db.node_count() > 50);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "0.5 KB");
+        assert_eq!(human_bytes(2 * 1024 * 1024), "2.0 MB");
+    }
+}

@@ -1,0 +1,29 @@
+//! The Fig 7 accuracy metric.
+//!
+//! "the quotient E/C, where E is the size of the result set using the
+//! equality test and C is the size of the result set using the containment
+//! test." Since the equality result is always a subset of the containment
+//! result, the quotient lies in `[0, 100]` percent; it reaches 100% exactly
+//! when the cheap test already answers the query.
+
+/// `100 · E / C`; an empty containment result counts as perfectly accurate
+/// (nothing was over-reported).
+pub fn accuracy_percent(equality_size: usize, containment_size: usize) -> f64 {
+    if containment_size == 0 {
+        return 100.0;
+    }
+    100.0 * equality_size as f64 / containment_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_quotients() {
+        assert_eq!(accuracy_percent(5, 10), 50.0);
+        assert_eq!(accuracy_percent(10, 10), 100.0);
+        assert_eq!(accuracy_percent(0, 10), 0.0);
+        assert_eq!(accuracy_percent(0, 0), 100.0);
+    }
+}

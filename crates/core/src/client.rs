@@ -1,0 +1,473 @@
+//! The client side of the filter (§5.2).
+//!
+//! The client holds the two secrets — seed and map — and talks to the server
+//! through a [`Transport`]. For a *containment test* it regenerates the
+//! node's client share from `(seed, pre)`, evaluates it locally, asks the
+//! server for the matching share evaluation, and adds: zero means the tag
+//! occurs in the subtree. For an *equality test* it reconstructs the node's
+//! and its children's full polynomials and extracts the root of
+//! `f / Π children` (§3).
+
+use crate::error::CoreError;
+use crate::map::MapFile;
+use crate::protocol::{Request, Response};
+use crate::transport::{Transport, TransportStats};
+use ssx_poly::{extract_root, random_poly, reconstruct, Packer, RingCtx, RingPoly, RootOutcome};
+use ssx_prg::{node_prg, Seed};
+use ssx_store::Loc;
+
+/// Client-side cost counters; the per-query deltas become [`crate::engine::QueryStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Local (client-share) polynomial evaluations.
+    pub client_evals: u64,
+    /// Server-share evaluations requested.
+    pub server_evals: u64,
+    /// Containment tests performed.
+    pub containment_tests: u64,
+    /// Equality tests performed.
+    pub equality_tests: u64,
+    /// Client shares regenerated from the seed.
+    pub shares_regenerated: u64,
+    /// Client shares served from the optional cache instead of the PRG.
+    pub share_cache_hits: u64,
+    /// Full polynomials fetched from the server.
+    pub polys_fetched: u64,
+    /// Polynomial reconstructions (share additions).
+    pub reconstructions: u64,
+}
+
+/// The `ClientFilter`.
+pub struct ClientFilter<T: Transport> {
+    transport: T,
+    ring: RingCtx,
+    packer: Packer,
+    seed: Seed,
+    map: MapFile,
+    stats: ClientStats,
+    /// Verify equality-test quotients with a full ring multiplication.
+    /// Exact but `O(n²)`; on by default (tests), disabled in timing runs.
+    pub verify_equality: bool,
+    /// Optional memo of regenerated client shares, keyed by `pre`. Off by
+    /// default — the paper's thin client holds one node at a time — but a
+    /// client with memory to spare trades `O(visited · (q−1))` words for
+    /// skipping repeat PRG regenerations (queries revisit nodes across
+    /// steps and look-ahead prunes).
+    share_cache: Option<std::collections::HashMap<u32, RingPoly>>,
+}
+
+impl<T: Transport> ClientFilter<T> {
+    /// Builds a client over `transport` with the client secrets.
+    pub fn new(transport: T, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        let ring = RingCtx::new(map.p(), map.e())?;
+        let packer = Packer::new(&ring);
+        Ok(ClientFilter {
+            transport,
+            ring,
+            packer,
+            seed,
+            map,
+            stats: ClientStats::default(),
+            verify_equality: true,
+            share_cache: None,
+        })
+    }
+
+    /// Enables or disables the client-share cache (disabled = the paper's
+    /// thin-client memory profile). Disabling clears any cached shares.
+    pub fn set_share_cache(&mut self, enabled: bool) {
+        self.share_cache =
+            if enabled { Some(std::collections::HashMap::new()) } else { None };
+    }
+
+    /// Number of shares currently cached.
+    pub fn cached_shares(&self) -> usize {
+        self.share_cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// The tag map (client secret).
+    pub fn map(&self) -> &MapFile {
+        &self.map
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &RingCtx {
+        &self.ring
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Transport counter snapshot.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Access to the transport (e.g. `LocalTransport::server`).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable transport access.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Maps a tag name to its field value.
+    pub fn value_of(&self, name: &str) -> Result<u64, CoreError> {
+        self.map.value(name)
+    }
+
+    // ---- structure -------------------------------------------------------
+
+    /// The root location.
+    pub fn root(&mut self) -> Result<Option<Loc>, CoreError> {
+        match self.transport.call(&Request::Root)? {
+            Response::MaybeLoc(l) => Ok(l),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Location of a node by `pre`.
+    pub fn loc_of(&mut self, pre: u32) -> Result<Option<Loc>, CoreError> {
+        match self.transport.call(&Request::GetLoc { pre })? {
+            Response::MaybeLoc(l) => Ok(l),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Children of a node.
+    pub fn children(&mut self, pre: u32) -> Result<Vec<Loc>, CoreError> {
+        match self.transport.call(&Request::Children { pre })? {
+            Response::Locs(ls) => Ok(ls),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Descendants of a node.
+    pub fn descendants(&mut self, loc: Loc) -> Result<Vec<Loc>, CoreError> {
+        match self.transport.call(&Request::Descendants { loc })? {
+            Response::Locs(ls) => Ok(ls),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Number of stored nodes.
+    pub fn count(&mut self) -> Result<u64, CoreError> {
+        match self.transport.call(&Request::Count)? {
+            Response::Count(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ---- tests -----------------------------------------------------------
+
+    /// Containment test: does the subtree rooted at `loc` contain a node
+    /// with tag value `value`?
+    pub fn containment(&mut self, loc: Loc, value: u64) -> Result<bool, CoreError> {
+        Ok(self.containment_many(&[loc], value)?[0])
+    }
+
+    /// Batched containment test at a single point — one round trip for the
+    /// whole candidate set (the server evaluates its shares, the client its
+    /// regenerated shares, sums decide).
+    pub fn containment_many(&mut self, locs: &[Loc], value: u64) -> Result<Vec<bool>, CoreError> {
+        if locs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let pres: Vec<u32> = locs.iter().map(|l| l.pre).collect();
+        let server_vals = match self.transport.call(&Request::EvalMany { pres, point: value })? {
+            Response::Values(vs) => vs,
+            Response::Err(e) => return Err(CoreError::Transport(e)),
+            other => return Err(unexpected(other)),
+        };
+        if server_vals.len() != locs.len() {
+            return Err(CoreError::Transport("EvalMany length mismatch".into()));
+        }
+        self.stats.server_evals += locs.len() as u64;
+        self.stats.containment_tests += locs.len() as u64;
+        let field = self.ring.field().clone();
+        let mut out = Vec::with_capacity(locs.len());
+        for (loc, sv) in locs.iter().zip(server_vals) {
+            let client_poly = self.client_share(loc.pre);
+            let cv = self.ring.eval(&client_poly, value);
+            self.stats.client_evals += 1;
+            out.push(field.add(cv, sv) == 0);
+        }
+        Ok(out)
+    }
+
+    /// Equality test: is the tag of the node at `loc` exactly `value`?
+    ///
+    /// Reconstructs the node's polynomial and all its children's, divides,
+    /// and compares the extracted root (§3, §5.2). Costs one `Children` and
+    /// one `GetPolys` round trip plus `1 + #children` share regenerations.
+    pub fn equality(&mut self, loc: Loc, value: u64) -> Result<bool, CoreError> {
+        let t = self.node_tag_value(loc)?;
+        Ok(t == Some(value))
+    }
+
+    /// Recovers the tag *value* of a node (`None` when indeterminate would
+    /// be an error instead). Shared by the equality test and diagnostics.
+    fn node_tag_value(&mut self, loc: Loc) -> Result<Option<u64>, CoreError> {
+        self.stats.equality_tests += 1;
+        let children = self.children(loc.pre)?;
+        let mut pres: Vec<u32> = Vec::with_capacity(children.len() + 1);
+        pres.push(loc.pre);
+        pres.extend(children.iter().map(|l| l.pre));
+        let polys = match self.transport.call(&Request::GetPolys { pres: pres.clone() })? {
+            Response::Polys(ps) => ps,
+            Response::Err(e) => return Err(CoreError::Transport(e)),
+            other => return Err(unexpected(other)),
+        };
+        if polys.len() != pres.len() {
+            return Err(CoreError::Transport("GetPolys length mismatch".into()));
+        }
+        self.stats.polys_fetched += polys.len() as u64;
+        // Reconstruct node polynomial and the product of children.
+        let f = self.reconstruct_node(pres[0], &polys[0])?;
+        let mut g = self.ring.one();
+        for (pre, packed) in pres[1..].iter().zip(&polys[1..]) {
+            let child = self.reconstruct_node(*pre, packed)?;
+            g = self.ring.mul(&g, &child);
+        }
+        match extract_root(&self.ring, &f, &g, self.verify_equality) {
+            RootOutcome::Root(t) => Ok(Some(t)),
+            RootOutcome::Inconsistent => Err(CoreError::Corrupt(format!(
+                "node pre={} does not factor as (x - t) * children",
+                loc.pre
+            ))),
+            RootOutcome::Indeterminate => Err(CoreError::Indeterminate { pre: loc.pre }),
+        }
+    }
+
+    /// Decrypts the tag value of a node — only possible with the secrets;
+    /// used by examples to show what the client can do that the server
+    /// cannot.
+    pub fn reveal_tag_value(&mut self, loc: Loc) -> Result<u64, CoreError> {
+        self.node_tag_value(loc)?.ok_or(CoreError::Indeterminate { pre: loc.pre })
+    }
+
+    fn reconstruct_node(&mut self, pre: u32, packed: &[u8]) -> Result<RingPoly, CoreError> {
+        let server = self.packer.unpack_radix(&self.ring, packed)?;
+        let client = self.client_share(pre);
+        self.stats.reconstructions += 1;
+        Ok(reconstruct(&self.ring, &client, &server))
+    }
+
+    /// Regenerates the client share of node `pre` from the seed (or serves
+    /// it from the cache when enabled).
+    fn client_share(&mut self, pre: u32) -> RingPoly {
+        if let Some(cache) = &self.share_cache {
+            if let Some(share) = cache.get(&pre) {
+                self.stats.share_cache_hits += 1;
+                return share.clone();
+            }
+        }
+        self.stats.shares_regenerated += 1;
+        let mut prg = node_prg(&self.seed, pre as u64);
+        let share = random_poly(&self.ring, &mut prg);
+        if let Some(cache) = &mut self.share_cache {
+            cache.insert(pre, share.clone());
+        }
+        share
+    }
+
+    // ---- pipelined access (the nextNode() protocol) -----------------------
+
+    /// Opens a server-side cursor over the children of `pres`.
+    pub fn open_children_cursor(&mut self, pres: Vec<u32>) -> Result<u32, CoreError> {
+        match self.transport.call(&Request::OpenChildrenCursor { pres })? {
+            Response::Cursor(c) => Ok(c),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Opens a server-side cursor over the descendants of `locs`.
+    pub fn open_descendants_cursor(&mut self, locs: Vec<Loc>) -> Result<u32, CoreError> {
+        match self.transport.call(&Request::OpenDescendantsCursor { locs })? {
+            Response::Cursor(c) => Ok(c),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pulls the next node from a cursor (`None` = exhausted). One round
+    /// trip per node — the paper's thin-client pipeline.
+    pub fn next_node(&mut self, cursor: u32) -> Result<Option<Loc>, CoreError> {
+        match self.transport.call(&Request::Next { cursor })? {
+            Response::MaybeLoc(l) => Ok(l),
+            Response::Err(e) => Err(CoreError::Transport(e)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a cursor early.
+    pub fn close_cursor(&mut self, cursor: u32) -> Result<(), CoreError> {
+        match self.transport.call(&Request::CloseCursor { cursor })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> CoreError {
+    match resp {
+        Response::Err(e) => CoreError::Transport(e),
+        other => CoreError::Transport(format!("unexpected response {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::server::ServerFilter;
+    use crate::transport::LocalTransport;
+
+    fn client() -> ClientFilter<LocalTransport> {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(11);
+        let out = encode_document("<site><a><b/><b/></a><c/></site>", &map, &seed).unwrap();
+        let server = ServerFilter::new(out.table, out.ring);
+        ClientFilter::new(LocalTransport::new(server), map, seed).unwrap()
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let va = c.value_of("a").unwrap();
+        let vb = c.value_of("b").unwrap();
+        let vc = c.value_of("c").unwrap();
+        // Root contains everything present.
+        assert!(c.containment(root, va).unwrap());
+        assert!(c.containment(root, vb).unwrap());
+        assert!(c.containment(root, vc).unwrap());
+        // Subtree <a> contains b but not c.
+        let a = c.children(root.pre).unwrap()[0];
+        assert!(c.containment(a, vb).unwrap());
+        assert!(!c.containment(a, vc).unwrap());
+        // Leaf c contains only itself.
+        let cnode = c.children(root.pre).unwrap()[1];
+        assert!(c.containment(cnode, vc).unwrap());
+        assert!(!c.containment(cnode, va).unwrap());
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let vsite = c.value_of("site").unwrap();
+        let va = c.value_of("a").unwrap();
+        assert!(c.equality(root, vsite).unwrap());
+        assert!(!c.equality(root, va).unwrap(), "root contains a but is not a");
+        let a = c.children(root.pre).unwrap()[0];
+        assert!(c.equality(a, va).unwrap());
+        // reveal_tag_value decrypts the exact tag.
+        assert_eq!(c.reveal_tag_value(a).unwrap(), va);
+    }
+
+    #[test]
+    fn batched_containment_matches_single() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let all = {
+            let mut v = vec![root];
+            v.extend(c.descendants(root).unwrap());
+            v
+        };
+        let vb = c.value_of("b").unwrap();
+        let batched = c.containment_many(&all, vb).unwrap();
+        for (loc, &b) in all.iter().zip(&batched) {
+            assert_eq!(c.containment(*loc, vb).unwrap(), b, "pre={}", loc.pre);
+        }
+    }
+
+    #[test]
+    fn stats_track_costs() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let va = c.value_of("a").unwrap();
+        c.containment(root, va).unwrap();
+        let s = c.stats();
+        assert_eq!(s.containment_tests, 1);
+        assert_eq!(s.client_evals, 1);
+        assert_eq!(s.server_evals, 1);
+        c.equality(root, va).unwrap();
+        let s = c.stats();
+        assert_eq!(s.equality_tests, 1);
+        // Root has 2 children: 3 polys fetched, 3 reconstructions.
+        assert_eq!(s.polys_fetched, 3);
+        assert_eq!(s.reconstructions, 3);
+    }
+
+    #[test]
+    fn pipelined_cursor_walk() {
+        let mut c = client();
+        let cursor = c.open_children_cursor(vec![1]).unwrap();
+        let mut pres = Vec::new();
+        while let Some(l) = c.next_node(cursor).unwrap() {
+            pres.push(l.pre);
+        }
+        assert_eq!(pres, vec![2, 5]);
+        // Each Next was its own round trip (thin client).
+        assert!(c.transport_stats().round_trips >= 4);
+    }
+
+    #[test]
+    fn share_cache_changes_costs_not_answers() {
+        let mut plain = client();
+        let mut cached = client();
+        cached.set_share_cache(true);
+        let root = plain.root().unwrap().unwrap();
+        let vb = plain.value_of("b").unwrap();
+        let all = {
+            let mut v = vec![root];
+            v.extend(plain.descendants(root).unwrap());
+            v
+        };
+        // Run the same containment workload three times on each client.
+        let mut answers_plain = Vec::new();
+        let mut answers_cached = Vec::new();
+        let root_c = cached.root().unwrap().unwrap();
+        let all_c = {
+            let mut v = vec![root_c];
+            v.extend(cached.descendants(root_c).unwrap());
+            v
+        };
+        for _ in 0..3 {
+            answers_plain.push(plain.containment_many(&all, vb).unwrap());
+            answers_cached.push(cached.containment_many(&all_c, vb).unwrap());
+        }
+        assert_eq!(answers_plain, answers_cached, "cache must be transparent");
+        // The cached client regenerated each share once; repeats were hits.
+        assert_eq!(cached.stats().shares_regenerated, all.len() as u64);
+        assert_eq!(cached.stats().share_cache_hits, 2 * all.len() as u64);
+        assert_eq!(cached.cached_shares(), all.len());
+        // The plain client regenerated every time.
+        assert_eq!(plain.stats().shares_regenerated, 3 * all.len() as u64);
+        assert_eq!(plain.stats().share_cache_hits, 0);
+        // Disabling clears the memo.
+        cached.set_share_cache(false);
+        assert_eq!(cached.cached_shares(), 0);
+    }
+
+    #[test]
+    fn wrong_seed_breaks_tests() {
+        // A client with the wrong seed regenerates garbage shares: the
+        // containment test of a *present* tag fails with overwhelming
+        // probability — the data is meaningless without the key.
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let good = Seed::from_test_key(11);
+        let bad = Seed::from_test_key(12);
+        let out = encode_document("<site><a><b/><b/></a><c/></site>", &map, &good).unwrap();
+        let server = ServerFilter::new(out.table, out.ring);
+        let mut c = ClientFilter::new(LocalTransport::new(server), map, bad).unwrap();
+        let root = c.root().unwrap().unwrap();
+        let vsite = c.value_of("site").unwrap();
+        assert!(!c.containment(root, vsite).unwrap(), "wrong seed must not decrypt");
+        assert!(c.equality(root, vsite).is_err(), "reconstruction is inconsistent");
+    }
+}

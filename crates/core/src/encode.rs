@@ -1,0 +1,305 @@
+//! The streaming encoder — the paper's `MySQLEncode` (§5.1).
+//!
+//! Consumes SAX events with `O(depth)` memory: each open element keeps one
+//! accumulator polynomial (the ring product of its finished children). When
+//! an element closes, its polynomial `f = (x − map(tag)) · acc` is computed,
+//! split into a PRG client share and a server share, and the server share is
+//! stored as a `(pre, post, parent, poly)` row. The client share is
+//! discarded — it is regenerated from `(seed, pre)` at query time.
+
+use crate::error::CoreError;
+use crate::map::MapFile;
+use ssx_poly::{random_poly, Packer, RingCtx, RingPoly};
+use ssx_prg::{node_prg, Seed};
+use ssx_store::{Loc, Row, Table};
+use ssx_xml::{Document, NodeKind, PullParser, XmlEvent};
+use std::time::{Duration, Instant};
+
+/// Encoding cost metrics (the Fig 4 time series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EncodeStats {
+    /// Elements encoded (rows produced).
+    pub elements: usize,
+    /// Input document size in bytes.
+    pub input_bytes: usize,
+    /// Wall-clock encode time.
+    pub elapsed: Duration,
+    /// Maximum open-element depth observed (the encoder's memory bound).
+    pub max_depth: usize,
+}
+
+/// Result of an encoding run: the filled server table plus the shared
+/// context needed to query it.
+#[derive(Debug)]
+pub struct EncodeOutput {
+    /// The server-side table (server shares only).
+    pub table: Table,
+    /// The ring both sides compute in.
+    pub ring: RingCtx,
+    /// Packer matching the table's polynomial payload.
+    pub packer: Packer,
+    /// Cost metrics.
+    pub stats: EncodeStats,
+}
+
+struct Frame {
+    pre: u32,
+    parent_pre: u32,
+    tag_value: u64,
+    acc: RingPoly,
+}
+
+/// Incremental encoder; drive it with [`Encoder::start`]/[`Encoder::end`].
+struct Encoder<'a> {
+    ring: RingCtx,
+    packer: Packer,
+    table: Table,
+    map: &'a MapFile,
+    seed: &'a Seed,
+    stack: Vec<Frame>,
+    pre: u32,
+    post: u32,
+    max_depth: usize,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(map: &'a MapFile, seed: &'a Seed) -> Result<Self, CoreError> {
+        let ring = RingCtx::new(map.p(), map.e())?;
+        let packer = Packer::new(&ring);
+        let table = Table::new(packer.radix_len());
+        Ok(Encoder {
+            ring,
+            packer,
+            table,
+            map,
+            seed,
+            stack: Vec::new(),
+            pre: 0,
+            post: 0,
+            max_depth: 0,
+        })
+    }
+
+    fn start(&mut self, name: &str) -> Result<(), CoreError> {
+        let tag_value = self.map.value(name)?;
+        self.pre += 1;
+        let parent_pre = self.stack.last().map_or(0, |f| f.pre);
+        self.stack.push(Frame { pre: self.pre, parent_pre, tag_value, acc: self.ring.one() });
+        self.max_depth = self.max_depth.max(self.stack.len());
+        Ok(())
+    }
+
+    fn end(&mut self) -> Result<(), CoreError> {
+        let frame = self.stack.pop().expect("end without start");
+        self.post += 1;
+        // f = (x - map(tag)) * product(children)
+        let f = self.ring.mul_linear(&frame.acc, frame.tag_value);
+        // Split: client share from PRG(seed, pre), server share = f - client.
+        let mut prg = node_prg(self.seed, frame.pre as u64);
+        let client = random_poly(&self.ring, &mut prg);
+        let server = self.ring.sub(&f, &client);
+        self.table.insert(Row {
+            loc: Loc { pre: frame.pre, post: self.post, parent: frame.parent_pre },
+            poly: self.packer.pack_radix(&server).into_boxed_slice(),
+        })?;
+        // Fold the finished polynomial into the parent's accumulator.
+        if let Some(parent) = self.stack.last_mut() {
+            parent.acc = self.ring.mul(&parent.acc, &f);
+        }
+        Ok(())
+    }
+
+    fn finish(self, input_bytes: usize, started: Instant) -> EncodeOutput {
+        debug_assert!(self.stack.is_empty(), "unbalanced events");
+        EncodeOutput {
+            stats: EncodeStats {
+                elements: self.table.len(),
+                input_bytes,
+                elapsed: started.elapsed(),
+                max_depth: self.max_depth,
+            },
+            table: self.table,
+            ring: self.ring,
+            packer: self.packer,
+        }
+    }
+}
+
+/// Encodes an XML document string. Text nodes are ignored: the base scheme
+/// stores tag structure only (run the document through
+/// `ssx_trie::transform_document` first to make text searchable).
+pub fn encode_document(xml: &str, map: &MapFile, seed: &Seed) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new(map, seed)?;
+    let mut parser = PullParser::new(xml);
+    while let Some(ev) = parser.next()? {
+        match ev {
+            XmlEvent::StartElement { name, .. } => enc.start(&name)?,
+            XmlEvent::EndElement { .. } => enc.end()?,
+            XmlEvent::Text(_) => {}
+        }
+    }
+    Ok(enc.finish(xml.len(), started))
+}
+
+/// Encodes a pre-parsed event stream (element events only are honoured).
+pub fn encode_events(
+    events: &[XmlEvent],
+    input_bytes: usize,
+    map: &MapFile,
+    seed: &Seed,
+) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new(map, seed)?;
+    for ev in events {
+        match ev {
+            XmlEvent::StartElement { name, .. } => enc.start(name)?,
+            XmlEvent::EndElement { .. } => enc.end()?,
+            XmlEvent::Text(_) => {}
+        }
+    }
+    Ok(enc.finish(input_bytes, started))
+}
+
+/// Encodes a DOM directly (used for trie-transformed documents, which exist
+/// only as DOMs).
+pub fn encode_dom(doc: &Document, map: &MapFile, seed: &Seed) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new(map, seed)?;
+    // Iterative DFS emitting start/end pairs.
+    let mut stack = vec![(doc.root(), false)];
+    while let Some((id, entered)) = stack.pop() {
+        if entered {
+            enc.end()?;
+            continue;
+        }
+        match doc.kind(id) {
+            NodeKind::Element(name) => {
+                enc.start(name)?;
+                stack.push((id, true));
+                for &c in doc.children(id).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+            NodeKind::Text(_) => {}
+        }
+    }
+    Ok(enc.finish(doc.to_xml().len(), started))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssx_poly::reconstruct;
+
+    fn setup() -> (MapFile, Seed) {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(7);
+        (map, seed)
+    }
+
+    #[test]
+    fn encodes_structure() {
+        let (map, seed) = setup();
+        let out = encode_document("<site><a><b/></a><c/></site>", &map, &seed).unwrap();
+        assert_eq!(out.table.len(), 4);
+        assert_eq!(out.stats.elements, 4);
+        assert_eq!(out.stats.max_depth, 3);
+        // Locations follow the paper's convention.
+        let root = out.table.root().unwrap();
+        assert_eq!(root.loc, Loc { pre: 1, post: 4, parent: 0 });
+        assert_eq!(out.table.by_pre(3).unwrap().loc, Loc { pre: 3, post: 1, parent: 2 });
+    }
+
+    #[test]
+    fn shares_reconstruct_to_plaintext_polynomials() {
+        let (map, seed) = setup();
+        let out = encode_document("<site><a><b/></a><c/></site>", &map, &seed).unwrap();
+        let ring = &out.ring;
+        // Recompute the plaintext polynomial of the root by hand:
+        // f(root) = (x - site) * f(a) * f(c); f(a) = (x - a)(x - b); f(c) = (x - c).
+        let v = |n: &str| map.value(n).unwrap();
+        let fa = ring.mul_linear(&ring.linear(v("b")), v("a"));
+        let fc = ring.linear(v("c"));
+        let froot = ring.mul_linear(&ring.mul(&fa, &fc), v("site"));
+        // Reconstruct from the stored server share + regenerated client share.
+        let row = out.table.root().unwrap();
+        let server = out.packer.unpack_radix(ring, &row.poly).unwrap();
+        let client = random_poly(ring, &mut node_prg(&seed, 1));
+        assert_eq!(reconstruct(ring, &client, &server), froot);
+    }
+
+    #[test]
+    fn server_share_alone_differs_from_plaintext() {
+        let (map, seed) = setup();
+        let out = encode_document("<site><a/></site>", &map, &seed).unwrap();
+        let ring = &out.ring;
+        let fa = ring.linear(map.value("a").unwrap());
+        let row = out.table.by_pre(2).unwrap();
+        let server = out.packer.unpack_radix(ring, &row.poly).unwrap();
+        assert_ne!(server, fa);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let (map, seed) = setup();
+        let err = encode_document("<site><zap/></site>", &map, &seed).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownTag(t) if t == "zap"));
+    }
+
+    #[test]
+    fn malformed_xml_is_an_error() {
+        let (map, seed) = setup();
+        assert!(matches!(
+            encode_document("<site><a></site>", &map, &seed),
+            Err(CoreError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn text_is_ignored_by_base_scheme() {
+        let (map, seed) = setup();
+        let with_text = encode_document("<site><a>hello world</a></site>", &map, &seed).unwrap();
+        let without = encode_document("<site><a/></site>", &map, &seed).unwrap();
+        assert_eq!(with_text.table.len(), without.table.len());
+        assert_eq!(with_text.table.rows()[0].poly, without.table.rows()[0].poly);
+    }
+
+    #[test]
+    fn dom_and_text_encodings_agree() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/><b/></a><c/></site>";
+        let via_text = encode_document(xml, &map, &seed).unwrap();
+        let doc = Document::parse(xml).unwrap();
+        let via_dom = encode_dom(&doc, &map, &seed).unwrap();
+        assert_eq!(via_text.table.rows(), via_dom.table.rows());
+    }
+
+    #[test]
+    fn different_seeds_give_different_server_shares() {
+        let (map, _) = setup();
+        let xml = "<site><a/></site>";
+        let out1 = encode_document(xml, &map, &Seed::from_test_key(1)).unwrap();
+        let out2 = encode_document(xml, &map, &Seed::from_test_key(2)).unwrap();
+        assert_ne!(out1.table.rows()[0].poly, out2.table.rows()[0].poly);
+        // Same seed: identical database.
+        let out1b = encode_document(xml, &map, &Seed::from_test_key(1)).unwrap();
+        assert_eq!(out1.table.rows(), out1b.table.rows());
+    }
+
+    #[test]
+    fn repeated_tags_encode_with_multiplicity() {
+        // <site><a/><a/></site>: root polynomial has (x - a)^2 as factor,
+        // so evaluation at map(a) is zero and at other points nonzero.
+        let (map, seed) = setup();
+        let out = encode_document("<site><a/><a/></site>", &map, &seed).unwrap();
+        let ring = &out.ring;
+        let row = out.table.root().unwrap();
+        let server = out.packer.unpack_radix(ring, &row.poly).unwrap();
+        let client = random_poly(ring, &mut node_prg(&seed, 1));
+        let f = reconstruct(ring, &client, &server);
+        assert_eq!(ring.eval(&f, map.value("a").unwrap()), 0);
+        assert_eq!(ring.eval(&f, map.value("site").unwrap()), 0);
+        assert_ne!(ring.eval(&f, map.value("b").unwrap()), 0);
+    }
+}

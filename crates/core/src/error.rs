@@ -1,0 +1,109 @@
+//! The unified error type for the core system.
+
+use ssx_poly::{PackError, RingError};
+use ssx_store::StoreError;
+use ssx_xml::XmlError;
+use ssx_xpath::ParseError;
+use std::fmt;
+
+/// Anything that can go wrong between parsing a document and answering a
+/// query.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Map file problems: duplicate values, zero values, syntax errors.
+    Map(String),
+    /// A tag in the document or query has no map entry.
+    UnknownTag(String),
+    /// Field/ring construction or arithmetic failure.
+    Ring(RingError),
+    /// Storage layer failure.
+    Store(StoreError),
+    /// Packed polynomial decode failure.
+    Pack(PackError),
+    /// XML parse failure.
+    Xml(XmlError),
+    /// Query parse failure.
+    Query(ParseError),
+    /// Transport-level failure (socket I/O, codec, protocol mismatch).
+    Transport(String),
+    /// A query construct the engines cannot execute (e.g. `//..`).
+    Unsupported(String),
+    /// The equality test could not form a quotient (children cover the
+    /// whole multiplicative group) — degenerate, see `ssx_poly::extract_root`.
+    Indeterminate {
+        /// `pre` of the node whose equality test failed.
+        pre: u32,
+    },
+    /// Share reconstruction produced an inconsistent polynomial (corruption).
+    Corrupt(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Map(m) => write!(f, "map error: {m}"),
+            CoreError::UnknownTag(t) => write!(f, "tag '{t}' has no map entry"),
+            CoreError::Ring(e) => write!(f, "ring error: {e}"),
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Pack(e) => write!(f, "pack error: {e}"),
+            CoreError::Xml(e) => write!(f, "xml error: {e}"),
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::Transport(m) => write!(f, "transport error: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            CoreError::Indeterminate { pre } => {
+                write!(f, "equality test indeterminate at node pre={pre}")
+            }
+            CoreError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<RingError> for CoreError {
+    fn from(e: RingError) -> Self {
+        CoreError::Ring(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<PackError> for CoreError {
+    fn from(e: PackError) -> Self {
+        CoreError::Pack(e)
+    }
+}
+
+impl From<XmlError> for CoreError {
+    fn from(e: XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::UnknownTag("zap".into()), "zap"),
+            (CoreError::Map("dup".into()), "dup"),
+            (CoreError::Indeterminate { pre: 7 }, "pre=7"),
+            (CoreError::Unsupported("//..".into()), "//.."),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

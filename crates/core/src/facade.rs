@@ -1,0 +1,175 @@
+//! One-stop construction: encode a document, keep the server in-process,
+//! query it. What examples, tests and benchmarks use when they do not need
+//! to wire the pieces manually.
+
+use crate::client::ClientFilter;
+use crate::encode::{encode_document, encode_dom, EncodeStats};
+use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
+use crate::error::CoreError;
+use crate::map::MapFile;
+use crate::server::ServerFilter;
+use crate::transport::LocalTransport;
+use ssx_poly::RingCtx;
+use ssx_prg::Seed;
+use ssx_store::SizeReport;
+use ssx_xml::Document;
+use ssx_xpath::parse_query;
+use std::path::Path;
+
+/// An encrypted database with an in-process server.
+pub struct EncryptedDb {
+    client: ClientFilter<LocalTransport>,
+    encode_stats: EncodeStats,
+}
+
+impl EncryptedDb {
+    /// Encodes `xml` under `map` and `seed`.
+    pub fn encode(xml: &str, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        let out = encode_document(xml, &map, &seed)?;
+        let server = ServerFilter::new(out.table, out.ring);
+        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
+        Ok(EncryptedDb { client, encode_stats: out.stats })
+    }
+
+    /// Encodes a DOM (for trie-transformed documents).
+    pub fn encode_doc(doc: &Document, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        let out = encode_dom(doc, &map, &seed)?;
+        let server = ServerFilter::new(out.table, out.ring);
+        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
+        Ok(EncryptedDb { client, encode_stats: out.stats })
+    }
+
+    /// Parses and runs a query text.
+    pub fn query(
+        &mut self,
+        query_text: &str,
+        kind: EngineKind,
+        rule: MatchRule,
+    ) -> Result<QueryOutcome, CoreError> {
+        let query = parse_query(query_text)?.expand_text_predicates();
+        Engine::run(kind, rule, &query, &mut self.client)
+    }
+
+    /// Runs an already-parsed query.
+    pub fn run(
+        &mut self,
+        query: &ssx_xpath::Query,
+        kind: EngineKind,
+        rule: MatchRule,
+    ) -> Result<QueryOutcome, CoreError> {
+        Engine::run(kind, rule, query, &mut self.client)
+    }
+
+    /// The client filter (tests and custom protocols).
+    pub fn client_mut(&mut self) -> &mut ClientFilter<LocalTransport> {
+        &mut self.client
+    }
+
+    /// Encoding statistics of the build.
+    pub fn encode_stats(&self) -> EncodeStats {
+        self.encode_stats
+    }
+
+    /// Server-side table sizes (Fig 4 series).
+    pub fn size_report(&self) -> SizeReport {
+        self.client.transport().server().table().size_report()
+    }
+
+    /// Number of encoded elements.
+    pub fn node_count(&self) -> usize {
+        self.client.transport().server().table().len()
+    }
+
+    /// Toggle full verification of equality-test quotients.
+    pub fn set_verify_equality(&mut self, verify: bool) {
+        self.client.verify_equality = verify;
+    }
+
+    /// Toggle the client-share cache (memory for speed; transparent to
+    /// query results).
+    pub fn set_share_cache(&mut self, enabled: bool) {
+        self.client.set_share_cache(enabled);
+    }
+
+    /// Persists the server table. The map and seed are *not* written — they
+    /// are the client's secrets and travel separately.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        ssx_store::save_table(self.client.transport().server().table(), path)?;
+        Ok(())
+    }
+
+    /// Reopens a persisted table with the client secrets. Fails with a
+    /// descriptive error when the map's field parameters do not match the
+    /// table's packed polynomial size.
+    pub fn load(path: &Path, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        let table = ssx_store::load_table(path)?;
+        let ring = RingCtx::new(map.p(), map.e())?;
+        let expected = ssx_poly::Packer::new(&ring).radix_len();
+        if expected != table.poly_len() {
+            return Err(CoreError::Map(format!(
+                "map is for F_{}^{} ({} B/polynomial) but the table stores {} B/polynomial",
+                map.p(),
+                map.e(),
+                expected,
+                table.poly_len()
+            )));
+        }
+        let server = ServerFilter::new(table, ring);
+        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
+        Ok(EncryptedDb { client, encode_stats: EncodeStats::default() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> EncryptedDb {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(33);
+        EncryptedDb::encode("<site><a><b/></a><c/></site>", map, seed).unwrap()
+    }
+
+    #[test]
+    fn query_through_facade() {
+        let mut db = demo();
+        let out = db.query("/site/a/b", EngineKind::Advanced, MatchRule::Equality).unwrap();
+        assert_eq!(out.pres(), vec![3]);
+        assert_eq!(db.node_count(), 4);
+        assert!(db.size_report().data_bytes() > 0);
+        assert_eq!(db.encode_stats().elements, 4);
+    }
+
+    #[test]
+    fn save_load_requery() {
+        let db = demo();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.ssxdb");
+        db.save(&path).unwrap();
+
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(33);
+        let mut back = EncryptedDb::load(&path, map, seed).unwrap();
+        let out = back.query("//b", EngineKind::Simple, MatchRule::Equality).unwrap();
+        assert_eq!(out.pres(), vec![3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_map_parameters_rejected_on_load() {
+        let db = demo();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db2.ssxdb");
+        db.save(&path).unwrap();
+        // p = 29 produces a different packed length: a typed error, no panic.
+        let wrong_map = MapFile::sequential(29, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(33);
+        match EncryptedDb::load(&path, wrong_map, seed) {
+            Err(CoreError::Map(msg)) => assert!(msg.contains("polynomial"), "{msg}"),
+            other => panic!("expected a Map error, got {:?}", other.map(|_| "db")),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! The paper's system proper: encoding, the distributed filter, and the two
+//! query engines.
+//!
+//! Component map (mirrors the paper's figure 3 architecture):
+//!
+//! | Paper component  | Module |
+//! |------------------|--------|
+//! | map file         | [`map`] — secret tag-name → `F_q` assignment |
+//! | `MySQLEncode`    | [`encode`] — streaming SAX encoder filling the server table |
+//! | `ServerFilter`   | [`server`] — evaluates stored shares, walks the tree, buffers cursors |
+//! | RMI              | [`protocol`] + [`transport`] — binary message protocol over in-process or TCP links |
+//! | `ClientFilter`   | [`client`] — regenerates client shares from the seed, combines evaluations |
+//! | `SimpleQuery`    | [`engine::SimpleEngine`] |
+//! | `AdvancedQuery`  | [`engine::AdvancedEngine`] |
+//! | —                | [`mod@reference`] — plaintext XPath oracle (ground truth for Fig 7 accuracy) |
+//! | —                | [`facade::EncryptedDb`] — one-stop construction for examples and tests |
+//!
+//! The two *matching rules* (§6.3 "strictness") are [`engine::MatchRule`]:
+//! `Containment` (non-strict, one evaluation) and `Equality` (strict,
+//! polynomial reconstruction + division).
+
+pub mod accuracy;
+pub mod client;
+pub mod encode;
+pub mod engine;
+pub mod error;
+pub mod facade;
+pub mod map;
+pub mod protocol;
+pub mod reference;
+pub mod server;
+pub mod transport;
+
+pub use accuracy::accuracy_percent;
+pub use client::{ClientFilter, ClientStats};
+pub use encode::{encode_document, encode_dom, encode_events, EncodeOutput, EncodeStats};
+pub use engine::{AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats, SimpleEngine};
+pub use error::CoreError;
+pub use facade::EncryptedDb;
+pub use map::MapFile;
+pub use reference::reference_eval;
+pub use server::{ServerFilter, ServerStats};
+pub use transport::{serve_tcp, LocalTransport, TcpTransport, Transport};

@@ -1,0 +1,263 @@
+//! The map file: the secret injective assignment `tag name → F_q \ {0}`.
+//!
+//! "The map file is a property file where each line is of the form
+//! `name = value` … The map file is just a text file which stores the
+//! mapping between tag names and corresponding values from `F_{p^e}`"
+//! (§5.1). Like the seed, it must be kept on the client: with it an
+//! adversary can evaluate containment tests of its own.
+
+use crate::error::CoreError;
+use ssx_field::FieldCtx;
+use ssx_prg::Prg;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A validated tag-name ↔ field-value mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapFile {
+    p: u64,
+    e: u32,
+    by_name: BTreeMap<String, u64>,
+}
+
+impl MapFile {
+    /// Assigns values `1, 2, 3, …` to `names` in order — deterministic and
+    /// compact; used by tests and the benchmarks.
+    pub fn sequential<S: AsRef<str>>(p: u64, e: u32, names: &[S]) -> Result<Self, CoreError> {
+        let field = FieldCtx::new(p, e).map_err(|err| CoreError::Map(err.to_string()))?;
+        if names.len() as u64 > field.order() - 1 {
+            return Err(CoreError::Map(format!(
+                "{} names need q > {}, got q = {}",
+                names.len(),
+                names.len(),
+                field.order()
+            )));
+        }
+        let mut by_name = BTreeMap::new();
+        for (i, n) in names.iter().enumerate() {
+            if by_name.insert(n.as_ref().to_string(), i as u64 + 1).is_some() {
+                return Err(CoreError::Map(format!("duplicate name '{}'", n.as_ref())));
+            }
+        }
+        Ok(MapFile { p, e, by_name })
+    }
+
+    /// Assigns uniformly random distinct nonzero values (a fresh secret
+    /// mapping — what a real deployment would use).
+    pub fn random<S: AsRef<str>>(
+        p: u64,
+        e: u32,
+        names: &[S],
+        prg: &mut Prg,
+    ) -> Result<Self, CoreError> {
+        let field = FieldCtx::new(p, e).map_err(|err| CoreError::Map(err.to_string()))?;
+        let q = field.order();
+        if names.len() as u64 > q - 1 {
+            return Err(CoreError::Map(format!(
+                "{} names do not fit in F_{q} (only {} nonzero values)",
+                names.len(),
+                q - 1
+            )));
+        }
+        // Partial Fisher-Yates over the nonzero values.
+        let mut pool: Vec<u64> = (1..q).collect();
+        let mut by_name = BTreeMap::new();
+        for n in names {
+            let i = prg.next_below(pool.len() as u64) as usize;
+            let v = pool.swap_remove(i);
+            if by_name.insert(n.as_ref().to_string(), v).is_some() {
+                return Err(CoreError::Map(format!("duplicate name '{}'", n.as_ref())));
+            }
+        }
+        Ok(MapFile { p, e, by_name })
+    }
+
+    /// Field characteristic.
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree.
+    pub fn e(&self) -> u32 {
+        self.e
+    }
+
+    /// Number of mapped names.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no names are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// The value of `name`, or [`CoreError::UnknownTag`].
+    pub fn value(&self, name: &str) -> Result<u64, CoreError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownTag(name.to_string()))
+    }
+
+    /// Non-failing lookup.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.by_name.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Serialises to the property format, with `#`-comment header carrying
+    /// the field parameters.
+    pub fn to_property_string(&self) -> String {
+        let mut out = format!("# ssxdb map file\n# p = {}\n# e = {}\n", self.p, self.e);
+        for (name, value) in &self.by_name {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+        out
+    }
+
+    /// Parses the property format produced by
+    /// [`MapFile::to_property_string`]; validates injectivity, nonzero
+    /// values and field membership.
+    pub fn from_property_string(text: &str) -> Result<Self, CoreError> {
+        let mut p = None;
+        let mut e = None;
+        let mut entries: Vec<(String, u64)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let c = comment.trim();
+                if let Some(v) = c.strip_prefix("p =") {
+                    p = Some(v.trim().parse::<u64>().map_err(|_| {
+                        CoreError::Map(format!("line {}: bad p", lineno + 1))
+                    })?);
+                } else if let Some(v) = c.strip_prefix("e =") {
+                    e = Some(v.trim().parse::<u32>().map_err(|_| {
+                        CoreError::Map(format!("line {}: bad e", lineno + 1))
+                    })?);
+                }
+                continue;
+            }
+            let (name, value) = line.split_once('=').ok_or_else(|| {
+                CoreError::Map(format!("line {}: expected 'name = value'", lineno + 1))
+            })?;
+            let value: u64 = value.trim().parse().map_err(|_| {
+                CoreError::Map(format!("line {}: bad value", lineno + 1))
+            })?;
+            entries.push((name.trim().to_string(), value));
+        }
+        let p = p.ok_or_else(|| CoreError::Map("missing '# p = …' header".into()))?;
+        let e = e.ok_or_else(|| CoreError::Map("missing '# e = …' header".into()))?;
+        let field = FieldCtx::new(p, e).map_err(|err| CoreError::Map(err.to_string()))?;
+        let mut by_name = BTreeMap::new();
+        let mut seen_values = std::collections::BTreeSet::new();
+        for (name, value) in entries {
+            if value == 0 || !field.is_valid(value) {
+                return Err(CoreError::Map(format!(
+                    "value {value} for '{name}' outside 1..{}",
+                    field.order()
+                )));
+            }
+            if !seen_values.insert(value) {
+                return Err(CoreError::Map(format!("value {value} assigned twice")));
+            }
+            if by_name.insert(name.clone(), value).is_some() {
+                return Err(CoreError::Map(format!("name '{name}' assigned twice")));
+            }
+        }
+        Ok(MapFile { p, e, by_name })
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &Path) -> Result<Self, CoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| CoreError::Map(format!("read {}: {err}", path.display())))?;
+        Self::from_property_string(&text)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        std::fs::write(path, self.to_property_string())
+            .map_err(|err| CoreError::Map(format!("write {}: {err}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_assignment() {
+        let m = MapFile::sequential(5, 1, &["a", "b", "c"]).unwrap();
+        // The paper's figure 1(b): a=2, b=1, c=3 is one valid assignment;
+        // sequential gives a=1, b=2, c=3 — any injective nonzero map works.
+        assert_eq!(m.value("a").unwrap(), 1);
+        assert_eq!(m.value("c").unwrap(), 3);
+        assert!(matches!(m.value("zap"), Err(CoreError::UnknownTag(_))));
+    }
+
+    #[test]
+    fn too_many_names_rejected() {
+        let names: Vec<String> = (0..5).map(|i| format!("n{i}")).collect();
+        assert!(MapFile::sequential(5, 1, &names).is_err(), "only 4 nonzero values in F_5");
+        assert!(MapFile::sequential(7, 1, &names).is_ok());
+    }
+
+    #[test]
+    fn random_assignment_is_injective_and_nonzero() {
+        let names: Vec<String> = (0..77).map(|i| format!("tag{i}")).collect();
+        let m = MapFile::random(83, 1, &names, &mut Prg::from_u64(3)).unwrap();
+        let mut values: Vec<u64> = m.iter().map(|(_, v)| v).collect();
+        assert!(values.iter().all(|&v| (1..83).contains(&v)));
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 77);
+    }
+
+    #[test]
+    fn property_round_trip() {
+        let names: Vec<String> = (0..10).map(|i| format!("el{i}")).collect();
+        let m = MapFile::random(29, 1, &names, &mut Prg::from_u64(1)).unwrap();
+        let text = m.to_property_string();
+        let back = MapFile::from_property_string(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_validations() {
+        let base = "# p = 5\n# e = 1\n";
+        assert!(MapFile::from_property_string(&format!("{base}a = 0\n")).is_err(), "zero value");
+        assert!(MapFile::from_property_string(&format!("{base}a = 5\n")).is_err(), "out of field");
+        assert!(
+            MapFile::from_property_string(&format!("{base}a = 1\nb = 1\n")).is_err(),
+            "value collision"
+        );
+        assert!(
+            MapFile::from_property_string(&format!("{base}a = 1\na = 2\n")).is_err(),
+            "name collision"
+        );
+        assert!(MapFile::from_property_string("a = 1\n").is_err(), "missing header");
+        assert!(MapFile::from_property_string(&format!("{base}garbage\n")).is_err());
+        // Clean parse with whitespace and blank lines.
+        let ok = MapFile::from_property_string(&format!("{base}\n  a  =  3 \n")).unwrap();
+        assert_eq!(ok.value("a").unwrap(), 3);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ssx_core_map_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.properties");
+        let m = MapFile::sequential(83, 1, &["x", "y"]).unwrap();
+        m.save(&path).unwrap();
+        assert_eq!(MapFile::load(&path).unwrap(), m);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,456 @@
+//! The client/server message protocol (the RMI stand-in).
+//!
+//! Every interaction between `ClientFilter` and `ServerFilter` is a
+//! request/response pair encoded with a small hand-rolled binary codec, so
+//! byte counts and round trips are exact — the quantities the thin-client
+//! story of the paper cares about. The same frames travel over the
+//! in-process transport and TCP.
+
+use crate::error::CoreError;
+use ssx_store::Loc;
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// The root node ("the only node without a parent", §5.3).
+    Root,
+    /// Location of a specific node.
+    GetLoc {
+        /// Node `pre`.
+        pre: u32,
+    },
+    /// Children of a node, in document order.
+    Children {
+        /// Parent `pre`.
+        pre: u32,
+    },
+    /// All descendants of a node, in document order.
+    Descendants {
+        /// Subtree root location.
+        loc: Loc,
+    },
+    /// Evaluate the stored (server-share) polynomial of one node at a point.
+    Eval {
+        /// Node `pre`.
+        pre: u32,
+        /// Evaluation point (field element code).
+        point: u64,
+    },
+    /// Evaluate many nodes at the same point — one round trip for a whole
+    /// candidate set (the paper's server-side `Queue`).
+    EvalMany {
+        /// Node `pre`s.
+        pres: Vec<u32>,
+        /// Evaluation point.
+        point: u64,
+    },
+    /// Fetch packed server-share polynomials (equality test).
+    GetPolys {
+        /// Node `pre`s.
+        pres: Vec<u32>,
+    },
+    /// Open a server-buffered cursor over the children of a node set
+    /// (models the `nextNode()` pipeline, §5.2).
+    OpenChildrenCursor {
+        /// Parent `pre`s.
+        pres: Vec<u32>,
+    },
+    /// Open a cursor over the descendants of a node set.
+    OpenDescendantsCursor {
+        /// Subtree roots.
+        locs: Vec<Loc>,
+    },
+    /// Pull the next node from a cursor.
+    Next {
+        /// Cursor id.
+        cursor: u32,
+    },
+    /// Release a cursor.
+    CloseCursor {
+        /// Cursor id.
+        cursor: u32,
+    },
+    /// Number of stored nodes.
+    Count,
+    /// Ask a TCP server loop to stop (tests/examples).
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Zero or one location.
+    MaybeLoc(Option<Loc>),
+    /// A location list in document order.
+    Locs(Vec<Loc>),
+    /// One field element.
+    Value(u64),
+    /// Field elements, parallel to the request's `pres`.
+    Values(Vec<u64>),
+    /// Packed polynomials, parallel to the request's `pres`.
+    Polys(Vec<Vec<u8>>),
+    /// A cursor handle.
+    Cursor(u32),
+    /// Node count.
+    Count(u64),
+    /// Generic acknowledgement.
+    Ok,
+    /// Server-side failure description.
+    Err(String),
+}
+
+// ---- codec -----------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(tag: u8) -> Self {
+        Writer { buf: vec![tag] }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn loc(&mut self, l: Loc) {
+        self.u32(l.pre);
+        self.u32(l.post);
+        self.u32(l.parent);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        let v = *self.buf.get(self.pos).ok_or_else(short)?;
+        self.pos += 1;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        let end = self.pos + 4;
+        let s = self.buf.get(self.pos..end).ok_or_else(short)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        let end = self.pos + 8;
+        let s = self.buf.get(self.pos..end).ok_or_else(short)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+    fn loc(&mut self) -> Result<Loc, CoreError> {
+        Ok(Loc { pre: self.u32()?, post: self.u32()?, parent: self.u32()? })
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let s = self.buf.get(self.pos..end).ok_or_else(short)?;
+        self.pos = end;
+        Ok(s.to_vec())
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, CoreError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() {
+            return Err(short()); // length sanity before allocating
+        }
+        (0..len).map(|_| self.u32()).collect()
+    }
+    fn finish(self) -> Result<(), CoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CoreError::Transport("trailing bytes in frame".into()))
+        }
+    }
+}
+
+fn short() -> CoreError {
+    CoreError::Transport("short frame".into())
+}
+
+/// Serialises a request.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Root => Writer::new(0).buf,
+        Request::GetLoc { pre } => {
+            let mut w = Writer::new(1);
+            w.u32(*pre);
+            w.buf
+        }
+        Request::Children { pre } => {
+            let mut w = Writer::new(2);
+            w.u32(*pre);
+            w.buf
+        }
+        Request::Descendants { loc } => {
+            let mut w = Writer::new(3);
+            w.loc(*loc);
+            w.buf
+        }
+        Request::Eval { pre, point } => {
+            let mut w = Writer::new(4);
+            w.u32(*pre);
+            w.u64(*point);
+            w.buf
+        }
+        Request::EvalMany { pres, point } => {
+            let mut w = Writer::new(5);
+            w.u32s(pres);
+            w.u64(*point);
+            w.buf
+        }
+        Request::GetPolys { pres } => {
+            let mut w = Writer::new(6);
+            w.u32s(pres);
+            w.buf
+        }
+        Request::OpenChildrenCursor { pres } => {
+            let mut w = Writer::new(7);
+            w.u32s(pres);
+            w.buf
+        }
+        Request::OpenDescendantsCursor { locs } => {
+            let mut w = Writer::new(8);
+            w.u32(locs.len() as u32);
+            for &l in locs {
+                w.loc(l);
+            }
+            w.buf
+        }
+        Request::Next { cursor } => {
+            let mut w = Writer::new(9);
+            w.u32(*cursor);
+            w.buf
+        }
+        Request::CloseCursor { cursor } => {
+            let mut w = Writer::new(10);
+            w.u32(*cursor);
+            w.buf
+        }
+        Request::Count => Writer::new(11).buf,
+        Request::Shutdown => Writer::new(12).buf,
+    }
+}
+
+/// Deserialises a request.
+pub fn decode_request(buf: &[u8]) -> Result<Request, CoreError> {
+    let mut r = Reader::new(buf);
+    let tag = r.u8()?;
+    let req = match tag {
+        0 => Request::Root,
+        1 => Request::GetLoc { pre: r.u32()? },
+        2 => Request::Children { pre: r.u32()? },
+        3 => Request::Descendants { loc: r.loc()? },
+        4 => Request::Eval { pre: r.u32()?, point: r.u64()? },
+        5 => Request::EvalMany { pres: r.u32s()?, point: r.u64()? },
+        6 => Request::GetPolys { pres: r.u32s()? },
+        7 => Request::OpenChildrenCursor { pres: r.u32s()? },
+        8 => {
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            let locs = (0..n).map(|_| r.loc()).collect::<Result<Vec<_>, _>>()?;
+            Request::OpenDescendantsCursor { locs }
+        }
+        9 => Request::Next { cursor: r.u32()? },
+        10 => Request::CloseCursor { cursor: r.u32()? },
+        11 => Request::Count,
+        12 => Request::Shutdown,
+        t => return Err(CoreError::Transport(format!("unknown request tag {t}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Serialises a response.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::MaybeLoc(opt) => {
+            let mut w = Writer::new(0);
+            match opt {
+                None => w.u32(0),
+                Some(l) => {
+                    w.u32(1);
+                    w.loc(*l);
+                }
+            }
+            w.buf
+        }
+        Response::Locs(locs) => {
+            let mut w = Writer::new(1);
+            w.u32(locs.len() as u32);
+            for &l in locs {
+                w.loc(l);
+            }
+            w.buf
+        }
+        Response::Value(v) => {
+            let mut w = Writer::new(2);
+            w.u64(*v);
+            w.buf
+        }
+        Response::Values(vs) => {
+            let mut w = Writer::new(3);
+            w.u32(vs.len() as u32);
+            for &v in vs {
+                w.u64(v);
+            }
+            w.buf
+        }
+        Response::Polys(ps) => {
+            let mut w = Writer::new(4);
+            w.u32(ps.len() as u32);
+            for p in ps {
+                w.bytes(p);
+            }
+            w.buf
+        }
+        Response::Cursor(c) => {
+            let mut w = Writer::new(5);
+            w.u32(*c);
+            w.buf
+        }
+        Response::Count(n) => {
+            let mut w = Writer::new(6);
+            w.u64(*n);
+            w.buf
+        }
+        Response::Ok => Writer::new(7).buf,
+        Response::Err(msg) => {
+            let mut w = Writer::new(8);
+            w.bytes(msg.as_bytes());
+            w.buf
+        }
+    }
+}
+
+/// Deserialises a response.
+pub fn decode_response(buf: &[u8]) -> Result<Response, CoreError> {
+    let mut r = Reader::new(buf);
+    let tag = r.u8()?;
+    let resp = match tag {
+        0 => {
+            let has = r.u32()?;
+            Response::MaybeLoc(if has == 1 { Some(r.loc()?) } else { None })
+        }
+        1 => {
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            Response::Locs((0..n).map(|_| r.loc()).collect::<Result<Vec<_>, _>>()?)
+        }
+        2 => Response::Value(r.u64()?),
+        3 => {
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            Response::Values((0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?)
+        }
+        4 => {
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            Response::Polys((0..n).map(|_| r.bytes()).collect::<Result<Vec<_>, _>>()?)
+        }
+        5 => Response::Cursor(r.u32()?),
+        6 => Response::Count(r.u64()?),
+        7 => Response::Ok,
+        8 => {
+            let msg = r.bytes()?;
+            Response::Err(String::from_utf8_lossy(&msg).into_owned())
+        }
+        t => return Err(CoreError::Transport(format!("unknown response tag {t}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(pre: u32) -> Loc {
+        Loc { pre, post: pre + 1, parent: pre.saturating_sub(1) }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Root,
+            Request::GetLoc { pre: 7 },
+            Request::Children { pre: 42 },
+            Request::Descendants { loc: loc(3) },
+            Request::Eval { pre: 1, point: 82 },
+            Request::EvalMany { pres: vec![1, 2, 3], point: 5 },
+            Request::EvalMany { pres: vec![], point: 0 },
+            Request::GetPolys { pres: vec![9, 8] },
+            Request::OpenChildrenCursor { pres: vec![1] },
+            Request::OpenDescendantsCursor { locs: vec![loc(1), loc(5)] },
+            Request::Next { cursor: 2 },
+            Request::CloseCursor { cursor: 2 },
+            Request::Count,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = vec![
+            Response::MaybeLoc(None),
+            Response::MaybeLoc(Some(loc(4))),
+            Response::Locs(vec![]),
+            Response::Locs(vec![loc(1), loc(2)]),
+            Response::Value(81),
+            Response::Values(vec![0, 1, 82]),
+            Response::Polys(vec![vec![1, 2, 3], vec![]]),
+            Response::Cursor(9),
+            Response::Count(1234),
+            Response::Ok,
+            Response::Err("boom".into()),
+        ];
+        for resp in cases {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err(), "unknown tag");
+        assert!(decode_request(&[4, 1, 0]).is_err(), "truncated Eval");
+        assert!(decode_response(&[1, 255, 255, 255, 255]).is_err(), "absurd length");
+        // Trailing garbage detected.
+        let mut ok = encode_request(&Request::Root);
+        ok.push(0);
+        assert!(decode_request(&ok).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Plaintext reference evaluation — the ground truth.
+//!
+//! Runs the same query semantics directly on the parsed document. Under
+//! [`MatchRule::Equality`] this is exact XPath-subset evaluation; under
+//! [`MatchRule::Containment`] it mirrors the paper's weaker test ("keep the
+//! node when its subtree contains the tag"). The encrypted engines must
+//! agree with this oracle node-for-node — that is the central correctness
+//! property of the reproduction, and the denominator/numerator source for
+//! the Fig 7 accuracy metric.
+
+use crate::engine::MatchRule;
+use crate::error::CoreError;
+use ssx_xml::{Document, NodeId};
+use ssx_xpath::{Axis, NodeTest, Query};
+use std::collections::{BTreeSet, HashMap};
+
+/// Evaluates `query` on the plaintext document, returning matching element
+/// `pre` numbers (paper numbering) in document order.
+pub fn reference_eval(
+    doc: &Document,
+    query: &Query,
+    rule: MatchRule,
+) -> Result<Vec<u32>, CoreError> {
+    if query.has_text_predicates() {
+        return Err(CoreError::Unsupported(
+            "expand_text_predicates() before reference evaluation".into(),
+        ));
+    }
+    let ctx = RefCtx::new(doc);
+    let mut frontier: Vec<NodeId> = vec![doc.root()];
+    for (i, step) in query.steps.iter().enumerate() {
+        if frontier.is_empty() {
+            break;
+        }
+        frontier = match &step.test {
+            NodeTest::Parent => {
+                if step.axis == Axis::Descendant {
+                    return Err(CoreError::Unsupported("'//..' is not supported".into()));
+                }
+                if i == 0 {
+                    return Err(CoreError::Unsupported("'/..' cannot start a query".into()));
+                }
+                let set: BTreeSet<NodeId> =
+                    frontier.iter().filter_map(|&n| doc.parent(n)).collect();
+                set.into_iter().collect()
+            }
+            NodeTest::Star => ctx.expand(doc, &frontier, step.axis, i == 0),
+            NodeTest::Name(name) => {
+                let candidates = ctx.expand(doc, &frontier, step.axis, i == 0);
+                let mut out = Vec::new();
+                for c in candidates {
+                    let keep = match rule {
+                        MatchRule::Equality => doc.name(c) == Some(name.as_str()),
+                        MatchRule::Containment => ctx.contains(doc, c, name),
+                    };
+                    if keep {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        };
+    }
+    let mut pres: Vec<u32> = frontier.iter().map(|n| ctx.pre_of[n]).collect();
+    pres.sort_unstable();
+    Ok(pres)
+}
+
+struct RefCtx {
+    pre_of: HashMap<NodeId, u32>,
+}
+
+impl RefCtx {
+    fn new(doc: &Document) -> Self {
+        let pre_of = doc.pre_post_numbering().into_iter().map(|(id, pre, ..)| (id, pre)).collect();
+        RefCtx { pre_of }
+    }
+
+    /// Candidate expansion identical to the engines' (elements only).
+    fn expand(&self, doc: &Document, frontier: &[NodeId], axis: Axis, first: bool) -> Vec<NodeId> {
+        let mut set: BTreeSet<NodeId> = BTreeSet::new();
+        match axis {
+            Axis::Child => {
+                if first {
+                    set.extend(frontier.iter().copied());
+                } else {
+                    for &f in frontier {
+                        set.extend(doc.child_elements(f));
+                    }
+                }
+            }
+            Axis::Descendant => {
+                if first {
+                    set.extend(frontier.iter().copied());
+                }
+                for &f in frontier {
+                    set.extend(
+                        doc.descendants(f)
+                            .into_iter()
+                            .filter(|&d| d != f && doc.name(d).is_some()),
+                    );
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Subtree-contains check (includes the node itself, like the
+    /// polynomial containment test).
+    fn contains(&self, doc: &Document, node: NodeId, name: &str) -> bool {
+        doc.descendants(node).into_iter().any(|d| doc.name(d) == Some(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssx_xpath::parse_query;
+
+    fn doc() -> Document {
+        Document::parse("<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>").unwrap()
+    }
+
+    fn eval(q: &str, rule: MatchRule) -> Vec<u32> {
+        reference_eval(&doc(), &parse_query(q).unwrap(), rule).unwrap()
+    }
+
+    #[test]
+    fn equality_results() {
+        assert_eq!(eval("/site", MatchRule::Equality), vec![1]);
+        assert_eq!(eval("/site/a", MatchRule::Equality), vec![2, 5]);
+        assert_eq!(eval("//c", MatchRule::Equality), vec![4, 6, 9]);
+        assert_eq!(eval("/site/b//c", MatchRule::Equality), vec![9]);
+        assert_eq!(eval("/site/a/../b", MatchRule::Equality), vec![7]);
+        assert_eq!(eval("/*/*", MatchRule::Equality), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn containment_results() {
+        assert_eq!(eval("/site/a", MatchRule::Containment), vec![2, 5, 7]);
+        // Children whose subtree contains a c: b(3), c(6), a(8).
+        assert_eq!(eval("/site/a/c", MatchRule::Containment), vec![3, 6, 8]);
+    }
+
+    #[test]
+    fn containment_superset_of_equality() {
+        for q in ["/site/a", "//c", "/site//a", "//b/c"] {
+            let e = eval(q, MatchRule::Equality);
+            let c = eval(q, MatchRule::Containment);
+            assert!(e.iter().all(|p| c.contains(p)), "{q}");
+        }
+    }
+
+    #[test]
+    fn text_nodes_invisible() {
+        let doc = Document::parse("<site><a>text here</a></site>").unwrap();
+        let res = reference_eval(&doc, &parse_query("/site/a").unwrap(), MatchRule::Equality)
+            .unwrap();
+        assert_eq!(res, vec![2]);
+    }
+}

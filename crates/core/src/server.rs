@@ -1,0 +1,260 @@
+//! The server side of the filter (§5.2).
+//!
+//! The server holds only server shares and the public tree structure. It can
+//! evaluate its shares at points the client names, enumerate children and
+//! descendants through the B-tree indices, and buffer intermediate result
+//! queues as cursors ("the big server will do the buffering of the
+//! intermediate results" — §5.2). It learns evaluation points and access
+//! patterns, never tag names or plaintext polynomials.
+
+use crate::protocol::{Request, Response};
+use ssx_poly::{Packer, RingCtx};
+use ssx_store::{Loc, Table};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Server-side counters (reported by benches and the TCP example).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests handled.
+    pub requests: u64,
+    /// Single-point share evaluations performed.
+    pub evaluations: u64,
+    /// Packed polynomials served to the client.
+    pub polys_served: u64,
+    /// Cursors opened.
+    pub cursors_opened: u64,
+    /// Locations streamed through cursors.
+    pub cursor_items: u64,
+}
+
+/// The `ServerFilter`: table + ring + request handler.
+pub struct ServerFilter {
+    table: Table,
+    ring: RingCtx,
+    packer: Packer,
+    stats: ServerStats,
+    cursors: HashMap<u32, VecDeque<Loc>>,
+    next_cursor: u32,
+}
+
+impl ServerFilter {
+    /// Wraps a filled table. `ring` must match the parameters the table was
+    /// encoded with (the packed length is checked).
+    pub fn new(table: Table, ring: RingCtx) -> Self {
+        let packer = Packer::new(&ring);
+        assert_eq!(
+            packer.radix_len(),
+            table.poly_len(),
+            "table was packed for a different field"
+        );
+        ServerFilter { table, ring, packer, stats: ServerStats::default(), cursors: HashMap::new(), next_cursor: 1 }
+    }
+
+    /// The underlying table (read access for size reports).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+
+    /// Evaluates the stored share of `pre` at `point`. The point is
+    /// validated first — it arrives from the network and must not reach the
+    /// ring arithmetic out of range.
+    fn eval_one(&mut self, pre: u32, point: u64) -> Result<u64, String> {
+        if !self.ring.field().is_valid(point) {
+            return Err(format!("evaluation point {point} outside F_{}", self.ring.field().order()));
+        }
+        let row = self.table.by_pre(pre).ok_or_else(|| format!("no node pre={pre}"))?;
+        let poly = self
+            .packer
+            .unpack_radix(&self.ring, &row.poly)
+            .map_err(|e| format!("row pre={pre}: {e}"))?;
+        self.stats.evaluations += 1;
+        Ok(self.ring.eval(&poly, point))
+    }
+
+    /// Handles one request. Never panics on malformed input — errors travel
+    /// back as [`Response::Err`].
+    pub fn handle(&mut self, req: &Request) -> Response {
+        self.stats.requests += 1;
+        match req {
+            Request::Root => Response::MaybeLoc(self.table.root().map(|r| r.loc)),
+            Request::GetLoc { pre } => {
+                Response::MaybeLoc(self.table.by_pre(*pre).map(|r| r.loc))
+            }
+            Request::Children { pre } => Response::Locs(self.table.children_of(*pre)),
+            Request::Descendants { loc } => Response::Locs(self.table.descendants_of(*loc)),
+            Request::Eval { pre, point } => match self.eval_one(*pre, *point) {
+                Ok(v) => Response::Value(v),
+                Err(e) => Response::Err(e),
+            },
+            Request::EvalMany { pres, point } => {
+                let mut out = Vec::with_capacity(pres.len());
+                for &pre in pres {
+                    match self.eval_one(pre, *point) {
+                        Ok(v) => out.push(v),
+                        Err(e) => return Response::Err(e),
+                    }
+                }
+                Response::Values(out)
+            }
+            Request::GetPolys { pres } => {
+                let mut out = Vec::with_capacity(pres.len());
+                for &pre in pres {
+                    match self.table.by_pre(pre) {
+                        Some(row) => {
+                            self.stats.polys_served += 1;
+                            out.push(row.poly.to_vec());
+                        }
+                        None => return Response::Err(format!("no node pre={pre}")),
+                    }
+                }
+                Response::Polys(out)
+            }
+            Request::OpenChildrenCursor { pres } => {
+                let mut queue = VecDeque::new();
+                for &pre in pres {
+                    queue.extend(self.table.children_of(pre));
+                }
+                Response::Cursor(self.open_cursor(queue))
+            }
+            Request::OpenDescendantsCursor { locs } => {
+                let mut queue = VecDeque::new();
+                for &loc in locs {
+                    queue.extend(self.table.descendants_of(loc));
+                }
+                Response::Cursor(self.open_cursor(queue))
+            }
+            Request::Next { cursor } => match self.cursors.get_mut(cursor) {
+                Some(q) => {
+                    let item = q.pop_front();
+                    if item.is_some() {
+                        self.stats.cursor_items += 1;
+                    } else {
+                        self.cursors.remove(cursor);
+                    }
+                    Response::MaybeLoc(item)
+                }
+                None => Response::Err(format!("no cursor {cursor}")),
+            },
+            Request::CloseCursor { cursor } => {
+                self.cursors.remove(cursor);
+                Response::Ok
+            }
+            Request::Count => Response::Count(self.table.len() as u64),
+            Request::Shutdown => Response::Ok,
+        }
+    }
+
+    fn open_cursor(&mut self, queue: VecDeque<Loc>) -> u32 {
+        let id = self.next_cursor;
+        self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
+        self.cursors.insert(id, queue);
+        self.stats.cursors_opened += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::map::MapFile;
+    use ssx_prg::Seed;
+
+    fn server() -> ServerFilter {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(5);
+        let out = encode_document("<site><a><b/><b/></a><c/></site>", &map, &seed).unwrap();
+        ServerFilter::new(out.table, out.ring)
+    }
+
+    #[test]
+    fn structure_queries() {
+        let mut s = server();
+        match s.handle(&Request::Root) {
+            Response::MaybeLoc(Some(l)) => assert_eq!(l.pre, 1),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(&Request::Children { pre: 1 }) {
+            Response::Locs(ls) => {
+                assert_eq!(ls.iter().map(|l| l.pre).collect::<Vec<_>>(), vec![2, 5])
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.handle(&Request::Count) {
+            Response::Count(5) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_and_errors() {
+        let mut s = server();
+        match s.handle(&Request::Eval { pre: 1, point: 3 }) {
+            Response::Value(_) => {}
+            other => panic!("{other:?}"),
+        }
+        match s.handle(&Request::Eval { pre: 99, point: 3 }) {
+            Response::Err(msg) => assert!(msg.contains("99")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().evaluations, 1);
+        match s.handle(&Request::EvalMany { pres: vec![1, 2, 3], point: 7 }) {
+            Response::Values(vs) => assert_eq!(vs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().evaluations, 4);
+    }
+
+    #[test]
+    fn cursor_pipeline() {
+        let mut s = server();
+        let cursor = match s.handle(&Request::OpenChildrenCursor { pres: vec![1, 2] }) {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        // Children of 1 = {2, 5}; children of 2 = {3, 4}: four pulls + None.
+        let mut pres = Vec::new();
+        loop {
+            match s.handle(&Request::Next { cursor }) {
+                Response::MaybeLoc(Some(l)) => pres.push(l.pre),
+                Response::MaybeLoc(None) => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(pres, vec![2, 5, 3, 4]);
+        // Cursor auto-closed after exhaustion.
+        match s.handle(&Request::Next { cursor }) {
+            Response::Err(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().cursor_items, 4);
+    }
+
+    #[test]
+    fn polys_served_counted() {
+        let mut s = server();
+        match s.handle(&Request::GetPolys { pres: vec![1, 2] }) {
+            Response::Polys(ps) => {
+                assert_eq!(ps.len(), 2);
+                assert_eq!(ps[0].len(), 66, "f_83 radix-packed length");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().polys_served, 2);
+        match s.handle(&Request::GetPolys { pres: vec![77] }) {
+            Response::Err(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Transports carrying the protocol frames.
+//!
+//! [`LocalTransport`] runs the server in-process but still encodes and
+//! decodes every frame, so byte/round-trip counters mean the same thing they
+//! would over a network. [`TcpTransport`]/[`serve_tcp`] carry the identical
+//! frames over a socket with 4-byte length prefixes — used by the
+//! `client_server_tcp` example and the integration tests.
+
+use crate::error::CoreError;
+use crate::protocol::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+use crate::server::ServerFilter;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Traffic counters shared by all transports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Request/response pairs exchanged.
+    pub round_trips: u64,
+    /// Request bytes (client → server).
+    pub bytes_sent: u64,
+    /// Response bytes (server → client).
+    pub bytes_received: u64,
+}
+
+/// A synchronous request/response channel to a `ServerFilter`.
+pub trait Transport {
+    /// Sends one request and waits for the response.
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError>;
+
+    /// Counter snapshot.
+    fn stats(&self) -> TransportStats;
+}
+
+/// In-process transport: full encode/decode on both sides, zero I/O.
+pub struct LocalTransport {
+    server: ServerFilter,
+    stats: TransportStats,
+}
+
+impl LocalTransport {
+    /// Wraps a server filter.
+    pub fn new(server: ServerFilter) -> Self {
+        LocalTransport { server, stats: TransportStats::default() }
+    }
+
+    /// Read access to the wrapped server (server-side stats, table sizes).
+    pub fn server(&self) -> &ServerFilter {
+        &self.server
+    }
+
+    /// Mutable access (stat resets in benches).
+    pub fn server_mut(&mut self) -> &mut ServerFilter {
+        &mut self.server
+    }
+}
+
+impl Transport for LocalTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        // Encode/decode both directions so counted bytes match TCP exactly.
+        let frame = encode_request(req);
+        self.stats.bytes_sent += frame.len() as u64;
+        let decoded = decode_request(&frame)?;
+        let resp = self.server.handle(&decoded);
+        let resp_frame = encode_response(&resp);
+        self.stats.bytes_received += resp_frame.len() as u64;
+        self.stats.round_trips += 1;
+        decode_response(&resp_frame)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// Client side of the TCP transport. Frames are `u32` length + payload.
+pub struct TcpTransport {
+    stream: TcpStream,
+    stats: TransportStats,
+}
+
+impl TcpTransport {
+    /// Connects to a [`serve_tcp`] endpoint.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, CoreError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CoreError::Transport(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
+        Ok(TcpTransport { stream, stats: TransportStats::default() })
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), CoreError> {
+    let io = |e: std::io::Error| CoreError::Transport(format!("write: {e}"));
+    stream.write_all(&(payload.len() as u32).to_le_bytes()).map_err(io)?;
+    stream.write_all(payload).map_err(io)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, CoreError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(CoreError::Transport(format!("read: {e}"))),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > 64 << 20 {
+        return Err(CoreError::Transport(format!("frame of {len} bytes refused")));
+    }
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| CoreError::Transport(format!("read: {e}")))?;
+    Ok(Some(payload))
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let frame = encode_request(req);
+        self.stats.bytes_sent += frame.len() as u64;
+        write_frame(&mut self.stream, &frame)?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| CoreError::Transport("server closed connection".into()))?;
+        self.stats.bytes_received += payload.len() as u64;
+        self.stats.round_trips += 1;
+        decode_response(&payload)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// Serves `server` on `listener`, one connection at a time, until a client
+/// sends [`Request::Shutdown`]. Returns the server filter (with its final
+/// stats) when shut down.
+pub fn serve_tcp(listener: TcpListener, mut server: ServerFilter) -> Result<ServerFilter, CoreError> {
+    'outer: loop {
+        let (mut stream, _) = listener
+            .accept()
+            .map_err(|e| CoreError::Transport(format!("accept: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
+        while let Some(frame) = read_frame(&mut stream)? {
+            let resp = match decode_request(&frame) {
+                Ok(req) => {
+                    let resp = server.handle(&req);
+                    let shutdown = matches!(req, Request::Shutdown);
+                    write_frame(&mut stream, &encode_response(&resp))?;
+                    if shutdown {
+                        break 'outer;
+                    }
+                    continue;
+                }
+                Err(e) => Response::Err(e.to_string()),
+            };
+            write_frame(&mut stream, &encode_response(&resp))?;
+        }
+        // Client hung up without Shutdown: accept the next connection.
+    }
+    Ok(server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::map::MapFile;
+    use ssx_prg::Seed;
+
+    fn demo_server() -> ServerFilter {
+        let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+        let seed = Seed::from_test_key(9);
+        let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+        ServerFilter::new(out.table, out.ring)
+    }
+
+    #[test]
+    fn local_transport_counts_bytes() {
+        let mut t = LocalTransport::new(demo_server());
+        let resp = t.call(&Request::Count).unwrap();
+        assert_eq!(resp, Response::Count(3));
+        let s = t.stats();
+        assert_eq!(s.round_trips, 1);
+        assert!(s.bytes_sent >= 1);
+        assert!(s.bytes_received >= 9, "count response = tag + u64");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || serve_tcp(listener, demo_server()).unwrap());
+
+        let mut t = TcpTransport::connect(addr).unwrap();
+        assert_eq!(t.call(&Request::Count).unwrap(), Response::Count(3));
+        match t.call(&Request::Root).unwrap() {
+            Response::MaybeLoc(Some(l)) => assert_eq!(l.pre, 1),
+            other => panic!("{other:?}"),
+        }
+        match t.call(&Request::Children { pre: 1 }).unwrap() {
+            Response::Locs(ls) => assert_eq!(ls.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.call(&Request::Shutdown).unwrap(), Response::Ok);
+        let server = handle.join().unwrap();
+        assert!(server.stats().requests >= 4);
+        assert_eq!(t.stats().round_trips, 4);
+    }
+
+    #[test]
+    fn tcp_survives_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || serve_tcp(listener, demo_server()).unwrap());
+
+        {
+            let mut t1 = TcpTransport::connect(addr).unwrap();
+            assert_eq!(t1.call(&Request::Count).unwrap(), Response::Count(3));
+            // Drop without shutdown.
+        }
+        let mut t2 = TcpTransport::connect(addr).unwrap();
+        assert_eq!(t2.call(&Request::Count).unwrap(), Response::Count(3));
+        t2.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

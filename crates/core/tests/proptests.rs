@@ -1,0 +1,151 @@
+//! The reproduction's central correctness properties, checked on random
+//! documents and random queries:
+//!
+//! 1. SimpleQuery and AdvancedQuery return identical result sets for a
+//!    fixed rule (the paper compares their *costs*, assuming this).
+//! 2. Under the equality rule both engines agree with exact plaintext
+//!    XPath evaluation (the encryption is transparent).
+//! 3. Under the containment rule both engines agree with the plaintext
+//!    containment oracle.
+//! 4. E ⊆ C (Fig 7's accuracy quotient is well-defined).
+
+use proptest::prelude::*;
+use ssx_core::{
+    encode_document, reference_eval, AdvancedEngine, ClientFilter, LocalTransport,
+    MapFile, MatchRule, ServerFilter, SimpleEngine,
+};
+use ssx_prg::Seed;
+use ssx_xml::Document;
+use ssx_xpath::{Axis, NodeTest, Query, Step};
+
+const TAGS: [&str; 5] = ["site", "alpha", "beta", "gamma", "delta"];
+
+/// Random tree rendered as XML: parent-pointer vector + random tags.
+fn arb_doc() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(any::<proptest::sample::Index>(), 0..24),
+        proptest::collection::vec(0usize..TAGS.len(), 1..25),
+    )
+        .prop_map(|(parent_choice, tag_choice)| {
+            let n = tag_choice.len().min(parent_choice.len() + 1);
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for i in 1..n {
+                let p = parent_choice[i - 1].index(i);
+                children[p].push(i);
+            }
+            let mut doc = Document::new(TAGS[tag_choice[0]]);
+            let mut ids = vec![doc.root()];
+            for i in 1..n {
+                // Parent id already exists because parents precede children.
+                let parent_id = ids[children_parent(&children, i)];
+                ids.push(doc.add_element(parent_id, TAGS[tag_choice[i]]));
+            }
+            doc.to_xml()
+        })
+}
+
+fn children_parent(children: &[Vec<usize>], node: usize) -> usize {
+    children
+        .iter()
+        .position(|c| c.contains(&node))
+        .expect("every non-root node has a parent")
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    // First step: never `..` (both engines reject that), any later step may
+    // climb — this is the regression surface for the look-ahead-vs-parent
+    // bug (`suffix_values` must stop at `..`).
+    let first = (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            4 => (0usize..TAGS.len()).prop_map(|i| NodeTest::Name(TAGS[i].into())),
+            1 => Just(NodeTest::Star),
+        ],
+    )
+        .prop_map(|(axis, test)| Step::new(axis, test));
+    let rest = (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            6 => (0usize..TAGS.len()).prop_map(|i| NodeTest::Name(TAGS[i].into())),
+            1 => Just(NodeTest::Star),
+            1 => Just(NodeTest::Parent),
+        ],
+    )
+        .prop_map(|(axis, test)| {
+            // `//..` is unsupported; parent steps always use the child axis.
+            let axis = if test == NodeTest::Parent { Axis::Child } else { axis };
+            Step::new(axis, test)
+        });
+    (first, proptest::collection::vec(rest, 0..4)).prop_map(|(f, mut r)| {
+        let mut steps = vec![f];
+        steps.append(&mut r);
+        Query::new(steps)
+    })
+}
+
+fn build_client(xml: &str) -> ClientFilter<LocalTransport> {
+    let map = MapFile::sequential(83, 1, &TAGS).unwrap();
+    let seed = Seed::from_test_key(0xfeed);
+    let out = encode_document(xml, &map, &seed).unwrap();
+    let server = ServerFilter::new(out.table, out.ring);
+    ClientFilter::new(LocalTransport::new(server), map, seed).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_match_reference((xml, query) in (arb_doc(), arb_query())) {
+        let doc = Document::parse(&xml).unwrap();
+        let mut client = build_client(&xml);
+        for rule in [MatchRule::Containment, MatchRule::Equality] {
+            let simple = SimpleEngine::run(&query, rule, &mut client).unwrap().pres();
+            let advanced = AdvancedEngine::run(&query, rule, &mut client).unwrap().pres();
+            prop_assert_eq!(
+                &simple, &advanced,
+                "engines disagree on {} under {:?} for {}", query, rule, xml
+            );
+            let oracle = reference_eval(&doc, &query, rule).unwrap();
+            prop_assert_eq!(
+                &simple, &oracle,
+                "encrypted result differs from plaintext oracle on {} under {:?} for {}",
+                query, rule, xml
+            );
+        }
+    }
+
+    #[test]
+    fn equality_subset_of_containment((xml, query) in (arb_doc(), arb_query())) {
+        let mut client = build_client(&xml);
+        let e = SimpleEngine::run(&query, MatchRule::Equality, &mut client).unwrap().pres();
+        let c = SimpleEngine::run(&query, MatchRule::Containment, &mut client).unwrap().pres();
+        for pre in &e {
+            prop_assert!(c.contains(pre), "E ⊄ C on {} for {}", query, xml);
+        }
+        // Fig 7's quotient is therefore in [0, 100].
+        let acc = ssx_core::accuracy_percent(e.len(), c.len());
+        prop_assert!((0.0..=100.0).contains(&acc));
+    }
+
+    #[test]
+    fn advanced_never_needs_more_containment_tests_on_descendant_heavy_queries(
+        xml in arb_doc()
+    ) {
+        // On `//name` queries the simple engine enumerates every descendant;
+        // the advanced engine's pruned walk can only visit fewer-or-equal
+        // nodes (it still pays look-ahead tests, so compare the descendant
+        // expansion proxy: containment tests).
+        let query = Query::new(vec![Step::descendant("gamma")]);
+        let mut c1 = build_client(&xml);
+        let simple = SimpleEngine::run(&query, MatchRule::Containment, &mut c1).unwrap();
+        let mut c2 = build_client(&xml);
+        let advanced = AdvancedEngine::run(&query, MatchRule::Containment, &mut c2).unwrap();
+        prop_assert_eq!(simple.pres(), advanced.pres());
+        prop_assert!(
+            advanced.stats.containment_tests <= simple.stats.containment_tests,
+            "advanced {} > simple {} on single-step //gamma",
+            advanced.stats.containment_tests,
+            simple.stats.containment_tests
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Runtime-parameterised finite field context.
+//!
+//! A [`FieldCtx`] fixes `q = p^e` once and then performs all element
+//! arithmetic on dense `u64` codes in `[0, q)`. The context owns the
+//! extension-field modulus (for `e > 1`) and precomputed powers of `p` so the
+//! per-operation cost is a handful of integer instructions for prime fields
+//! and `O(e^2)` digit work for extensions.
+
+use crate::fp_poly::{find_irreducible, is_irreducible, FpPoly};
+use crate::primality::{inv_mod_prime, is_prime_u64, mul_mod};
+use std::fmt;
+
+/// Maximum supported extension degree. Extension elements are manipulated in
+/// fixed stack buffers of this size.
+pub const MAX_EXTENSION_DEGREE: u32 = 16;
+
+/// Maximum supported field order. The shared-polynomial ring has `q - 1`
+/// coefficients per node, so anything beyond this limit would be unusable in
+/// practice anyway (the paper uses `q = 83`).
+pub const MAX_ORDER: u64 = 1 << 24;
+
+/// Errors raised while constructing or using a [`FieldCtx`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// `p` failed the deterministic Miller–Rabin test.
+    NotPrime(u64),
+    /// `e` was zero or exceeded [`MAX_EXTENSION_DEGREE`].
+    BadExtensionDegree(u32),
+    /// `p^e` overflowed or exceeded [`MAX_ORDER`].
+    OrderTooLarge {
+        /// Characteristic.
+        p: u64,
+        /// Extension degree.
+        e: u32,
+    },
+    /// A supplied modulus polynomial was not irreducible / not monic of
+    /// degree `e`.
+    BadModulus,
+    /// An element code was out of range `[0, q)`.
+    InvalidElement(u64),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::NotPrime(p) => write!(f, "{p} is not prime"),
+            FieldError::BadExtensionDegree(e) => {
+                write!(f, "extension degree {e} outside 1..={MAX_EXTENSION_DEGREE}")
+            }
+            FieldError::OrderTooLarge { p, e } => {
+                write!(f, "field order {p}^{e} exceeds the supported maximum {MAX_ORDER}")
+            }
+            FieldError::BadModulus => write!(f, "modulus is not a monic irreducible of degree e"),
+            FieldError::InvalidElement(c) => write!(f, "element code {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// A finite field `F_{p^e}` with elements encoded as dense `u64` codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldCtx {
+    p: u64,
+    e: u32,
+    q: u64,
+    /// Little-endian coefficients of the monic irreducible modulus, length
+    /// `e + 1`. Empty for prime fields.
+    modulus: Vec<u64>,
+    /// `p^i` for `i in 0..e` (code packing radix powers).
+    p_pows: Vec<u64>,
+}
+
+impl FieldCtx {
+    /// Constructs `F_{p^e}`, deterministically choosing the modulus for
+    /// `e > 1` (lexicographically first monic irreducible).
+    pub fn new(p: u64, e: u32) -> Result<Self, FieldError> {
+        if !is_prime_u64(p) {
+            return Err(FieldError::NotPrime(p));
+        }
+        if e == 0 || e > MAX_EXTENSION_DEGREE {
+            return Err(FieldError::BadExtensionDegree(e));
+        }
+        let mut q: u64 = 1;
+        for _ in 0..e {
+            q = q.checked_mul(p).ok_or(FieldError::OrderTooLarge { p, e })?;
+            if q > MAX_ORDER {
+                return Err(FieldError::OrderTooLarge { p, e });
+            }
+        }
+        let modulus = if e == 1 { Vec::new() } else { find_irreducible(p, e) };
+        Ok(Self::assemble(p, e, q, modulus))
+    }
+
+    /// Constructs `F_{p^e}` with an explicitly supplied modulus (little-endian
+    /// coefficients, must be monic irreducible of degree `e`). Useful when
+    /// interoperating with an externally fixed field representation.
+    pub fn with_modulus(p: u64, e: u32, modulus: Vec<u64>) -> Result<Self, FieldError> {
+        if !is_prime_u64(p) {
+            return Err(FieldError::NotPrime(p));
+        }
+        if !(2..=MAX_EXTENSION_DEGREE).contains(&e) {
+            return Err(FieldError::BadExtensionDegree(e));
+        }
+        let mut q: u64 = 1;
+        for _ in 0..e {
+            q = q.checked_mul(p).ok_or(FieldError::OrderTooLarge { p, e })?;
+            if q > MAX_ORDER {
+                return Err(FieldError::OrderTooLarge { p, e });
+            }
+        }
+        let f = FpPoly::from_coeffs(&modulus, p);
+        if f.degree() != Some(e as usize) || *f.coeffs().last().unwrap() != 1 || !is_irreducible(&f, p)
+        {
+            return Err(FieldError::BadModulus);
+        }
+        Ok(Self::assemble(p, e, q, f.coeffs().to_vec()))
+    }
+
+    fn assemble(p: u64, e: u32, q: u64, modulus: Vec<u64>) -> Self {
+        let mut p_pows = Vec::with_capacity(e as usize);
+        let mut acc = 1u64;
+        for _ in 0..e {
+            p_pows.push(acc);
+            acc = acc.saturating_mul(p);
+        }
+        FieldCtx { p, e, q, modulus, p_pows }
+    }
+
+    /// Field characteristic `p`.
+    #[inline]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `e`.
+    #[inline]
+    pub fn e(&self) -> u32 {
+        self.e
+    }
+
+    /// Field order `q = p^e`.
+    #[inline]
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Bits needed to store one element code: `ceil(log2 q)`.
+    #[inline]
+    pub fn bits_per_element(&self) -> u32 {
+        64 - (self.q - 1).leading_zeros()
+    }
+
+    /// Exact information content of one element in bits: `log2 q`.
+    pub fn exact_bits_per_element(&self) -> f64 {
+        (self.q as f64).log2()
+    }
+
+    /// The modulus coefficients for `e > 1` (empty slice for prime fields).
+    pub fn modulus(&self) -> &[u64] {
+        &self.modulus
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero(&self) -> u64 {
+        0
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one(&self) -> u64 {
+        1
+    }
+
+    /// True iff `code` denotes a field element.
+    #[inline]
+    pub fn is_valid(&self, code: u64) -> bool {
+        code < self.q
+    }
+
+    /// Iterates over every element code, `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Iterates over the nonzero element codes, `1..q`. These are the values
+    /// tag names may map to (the scheme evaluates at nonzero points only,
+    /// since `x^{q-1} = 1` there).
+    pub fn nonzero_elements(&self) -> impl Iterator<Item = u64> {
+        1..self.q
+    }
+
+    /// Packs base-`p` digits (little-endian) into an element code. Digits
+    /// beyond index `e - 1` must be zero; missing digits are zero.
+    pub fn element_from_digits(&self, digits: &[u64]) -> u64 {
+        let mut code = 0u64;
+        for (i, &d) in digits.iter().enumerate() {
+            assert!(d < self.p, "digit {d} out of range for p = {}", self.p);
+            if i < self.e as usize {
+                code += d * self.p_pows[i];
+            } else {
+                assert_eq!(d, 0, "digit index {i} beyond extension degree");
+            }
+        }
+        code
+    }
+
+    /// Unpacks an element code into its `e` base-`p` digits (little-endian).
+    pub fn digits_of(&self, code: u64) -> Vec<u64> {
+        debug_assert!(self.is_valid(code));
+        let mut c = code;
+        let mut out = Vec::with_capacity(self.e as usize);
+        for _ in 0..self.e {
+            out.push(c % self.p);
+            c /= self.p;
+        }
+        out
+    }
+
+    /// Addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.is_valid(a) && self.is_valid(b));
+        if self.e == 1 {
+            let s = a + b;
+            if s >= self.p {
+                s - self.p
+            } else {
+                s
+            }
+        } else {
+            self.digitwise(a, b, |x, y| {
+                let s = x + y;
+                if s >= self.p {
+                    s - self.p
+                } else {
+                    s
+                }
+            })
+        }
+    }
+
+    /// Subtraction.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.is_valid(a) && self.is_valid(b));
+        if self.e == 1 {
+            if a >= b {
+                a - b
+            } else {
+                a + self.p - b
+            }
+        } else {
+            self.digitwise(a, b, |x, y| if x >= y { x - y } else { x + self.p - y })
+        }
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        self.sub(0, a)
+    }
+
+    /// Multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(self.is_valid(a) && self.is_valid(b));
+        if self.e == 1 {
+            mul_mod(a, b, self.p)
+        } else {
+            self.ext_mul(a, b)
+        }
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        debug_assert!(self.is_valid(a));
+        if a == 0 {
+            return None;
+        }
+        if self.e == 1 {
+            inv_mod_prime(a, self.p)
+        } else {
+            // Fermat: a^(q-2). q is small so this is at most ~24 squarings.
+            Some(self.pow(a, self.q - 2))
+        }
+    }
+
+    /// Division `a / b`; `None` when `b` is zero.
+    pub fn div(&self, a: u64, b: u64) -> Option<u64> {
+        self.inv(b).map(|ib| self.mul(a, ib))
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        debug_assert!(self.is_valid(base));
+        let mut acc = self.one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    #[inline]
+    fn digitwise(&self, a: u64, b: u64, f: impl Fn(u64, u64) -> u64) -> u64 {
+        let e = self.e as usize;
+        let (mut ca, mut cb) = (a, b);
+        let mut code = 0u64;
+        for i in 0..e {
+            let da = ca % self.p;
+            let db = cb % self.p;
+            ca /= self.p;
+            cb /= self.p;
+            code += f(da, db) * self.p_pows[i];
+        }
+        code
+    }
+
+    fn ext_mul(&self, a: u64, b: u64) -> u64 {
+        let e = self.e as usize;
+        debug_assert!(e <= MAX_EXTENSION_DEGREE as usize);
+        let mut da = [0u64; MAX_EXTENSION_DEGREE as usize];
+        let mut db = [0u64; MAX_EXTENSION_DEGREE as usize];
+        let (mut ca, mut cb) = (a, b);
+        for i in 0..e {
+            da[i] = ca % self.p;
+            db[i] = cb % self.p;
+            ca /= self.p;
+            cb /= self.p;
+        }
+        // Schoolbook product, degree up to 2e - 2.
+        let mut prod = [0u64; 2 * MAX_EXTENSION_DEGREE as usize];
+        #[allow(clippy::needless_range_loop)] // i indexes da, db and prod together
+        for i in 0..e {
+            if da[i] == 0 {
+                continue;
+            }
+            for j in 0..e {
+                prod[i + j] = (prod[i + j] + mul_mod(da[i], db[j], self.p)) % self.p;
+            }
+        }
+        // Reduce by the monic modulus of degree e.
+        #[allow(clippy::needless_range_loop)] // i walks prod from the top degree down
+        for i in (e..2 * e - 1).rev() {
+            let c = prod[i];
+            if c == 0 {
+                continue;
+            }
+            prod[i] = 0;
+            for (j, &mc) in self.modulus[..e].iter().enumerate() {
+                let idx = i - e + j;
+                prod[idx] = (prod[idx] + self.p - mul_mod(c, mc, self.p)) % self.p;
+            }
+        }
+        let mut code = 0u64;
+        for (digit, pow) in prod[..e].iter().zip(&self.p_pows) {
+            code += digit * pow;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(FieldCtx::new(84, 1).unwrap_err(), FieldError::NotPrime(84));
+        assert_eq!(FieldCtx::new(83, 0).unwrap_err(), FieldError::BadExtensionDegree(0));
+        assert!(matches!(
+            FieldCtx::new(83, 16).unwrap_err(),
+            FieldError::OrderTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn prime_field_arithmetic_small() {
+        let f = FieldCtx::new(5, 1).unwrap();
+        assert_eq!(f.add(3, 4), 2);
+        assert_eq!(f.sub(1, 3), 3);
+        assert_eq!(f.mul(3, 4), 2);
+        assert_eq!(f.neg(2), 3);
+        assert_eq!(f.inv(4), Some(4));
+        assert_eq!(f.inv(0), None);
+        assert_eq!(f.pow(2, 4), 1);
+    }
+
+    #[test]
+    fn paper_field_f83() {
+        let f = FieldCtx::new(83, 1).unwrap();
+        assert_eq!(f.order(), 83);
+        assert_eq!(f.bits_per_element(), 7);
+        for a in f.nonzero_elements() {
+            assert_eq!(f.pow(a, 82), 1, "Fermat little theorem at {a}");
+        }
+    }
+
+    #[test]
+    fn extension_field_gf4_table() {
+        // GF(4) with modulus x^2 + x + 1; codes 0..4 = {0, 1, x, x+1}.
+        let f = FieldCtx::new(2, 2).unwrap();
+        assert_eq!(f.order(), 4);
+        assert_eq!(f.modulus(), &[1, 1, 1]);
+        let x = f.element_from_digits(&[0, 1]);
+        let x1 = f.element_from_digits(&[1, 1]);
+        assert_eq!(f.mul(x, x), x1, "x^2 = x + 1");
+        assert_eq!(f.mul(x, x1), 1, "x * (x+1) = x^2 + x = 1");
+        assert_eq!(f.inv(x), Some(x1));
+    }
+
+    #[test]
+    fn extension_field_axioms_exhaustive_small() {
+        for (p, e) in [(2u64, 2u32), (2, 3), (3, 2), (5, 2)] {
+            let f = FieldCtx::new(p, e).unwrap();
+            let q = f.order();
+            for a in 0..q {
+                assert_eq!(f.add(a, f.neg(a)), 0);
+                if a != 0 {
+                    let inv = f.inv(a).unwrap();
+                    assert_eq!(f.mul(a, inv), 1, "p={p} e={e} a={a}");
+                    assert_eq!(f.pow(a, q - 1), 1, "Lagrange at {a}");
+                }
+                for b in 0..q {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    assert_eq!(f.sub(f.add(a, b), b), a);
+                    for c in 0..q {
+                        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digit_packing_round_trips() {
+        let f = FieldCtx::new(3, 4).unwrap();
+        for code in f.elements() {
+            let digits = f.digits_of(code);
+            assert_eq!(f.element_from_digits(&digits), code);
+        }
+    }
+
+    #[test]
+    fn with_modulus_validates() {
+        // x^2 + 1 is irreducible over F_3.
+        assert!(FieldCtx::with_modulus(3, 2, vec![1, 0, 1]).is_ok());
+        // x^2 + 2 = x^2 - 1 is reducible over F_3.
+        assert_eq!(
+            FieldCtx::with_modulus(3, 2, vec![2, 0, 1]).unwrap_err(),
+            FieldError::BadModulus
+        );
+        // Wrong degree.
+        assert_eq!(
+            FieldCtx::with_modulus(3, 2, vec![1, 1]).unwrap_err(),
+            FieldError::BadModulus
+        );
+    }
+
+    #[test]
+    fn bits_per_element_matches_paper_numbers() {
+        // p = 29: the paper says a polynomial costs (q-1)·log2 q = 136.02 bits
+        // and quotes "17 bytes" (truncated). The lossless size is 18 bytes;
+        // the truncated figure is 17.
+        let f = FieldCtx::new(29, 1).unwrap();
+        let bits = (f.order() - 1) as f64 * f.exact_bits_per_element();
+        assert_eq!((bits / 8.0).floor() as u64, 17, "paper's truncated figure");
+        assert_eq!((bits / 8.0).ceil() as u64, 18, "lossless figure");
+    }
+}

@@ -1,0 +1,315 @@
+//! Polynomials over the prime field `F_p`, used to construct extension
+//! fields `F_{p^e}`.
+//!
+//! This module is intentionally separate from the shared-polynomial ring in
+//! `ssx-poly`: here polynomials are *construction scaffolding* (finding an
+//! irreducible modulus, Rabin's test), whereas `ssx-poly` implements the
+//! paper's encoding ring. Coefficients are canonical representatives in
+//! `[0, p)` stored little-endian (index = degree).
+
+use crate::primality::{inv_mod_prime, mul_mod};
+
+/// A dense polynomial over `F_p`, little-endian coefficients, no trailing
+/// zeros (the zero polynomial is the empty vector).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FpPoly {
+    coeffs: Vec<u64>,
+}
+
+impl FpPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        FpPoly { coeffs: Vec::new() }
+    }
+
+    /// Builds a polynomial from little-endian coefficients, normalising
+    /// trailing zeros and reducing mod `p`.
+    pub fn from_coeffs(coeffs: &[u64], p: u64) -> Self {
+        let mut c: Vec<u64> = coeffs.iter().map(|&x| x % p).collect();
+        while c.last() == Some(&0) {
+            c.pop();
+        }
+        FpPoly { coeffs: c }
+    }
+
+    /// The monomial `x`.
+    pub fn x(p: u64) -> Self {
+        FpPoly::from_coeffs(&[0, 1], p)
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Little-endian coefficient view.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Polynomial addition mod `p`.
+    pub fn add(&self, other: &FpPoly, p: u64) -> FpPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u64; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = (a + b) % p;
+        }
+        FpPoly::from_coeffs(&out, p)
+    }
+
+    /// Polynomial subtraction mod `p`.
+    pub fn sub(&self, other: &FpPoly, p: u64) -> FpPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u64; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = (a + p - b) % p;
+        }
+        FpPoly::from_coeffs(&out, p)
+    }
+
+    /// Schoolbook polynomial multiplication mod `p`.
+    pub fn mul(&self, other: &FpPoly, p: u64) -> FpPoly {
+        if self.is_zero() || other.is_zero() {
+            return FpPoly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = (out[i + j] + mul_mod(a, b, p)) % p;
+            }
+        }
+        FpPoly::from_coeffs(&out, p)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * div + r` and `deg r < deg div`. Panics if `div` is zero.
+    pub fn divrem(&self, div: &FpPoly, p: u64) -> (FpPoly, FpPoly) {
+        assert!(!div.is_zero(), "division by the zero polynomial");
+        let dd = div.coeffs.len() - 1;
+        let lead_inv = inv_mod_prime(*div.coeffs.last().unwrap(), p)
+            .expect("leading coefficient invertible mod prime");
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (FpPoly::zero(), self.clone());
+        }
+        let mut quot = vec![0u64; rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            let c = rem[i];
+            if c == 0 {
+                continue;
+            }
+            let factor = mul_mod(c, lead_inv, p);
+            quot[i - dd] = factor;
+            for (j, &dc) in div.coeffs.iter().enumerate() {
+                let idx = i - dd + j;
+                rem[idx] = (rem[idx] + p - mul_mod(factor, dc, p)) % p;
+            }
+        }
+        (FpPoly::from_coeffs(&quot, p), FpPoly::from_coeffs(&rem, p))
+    }
+
+    /// Remainder of `self` modulo `m`.
+    pub fn rem(&self, m: &FpPoly, p: u64) -> FpPoly {
+        self.divrem(m, p).1
+    }
+
+    /// Monic greatest common divisor.
+    pub fn gcd(&self, other: &FpPoly, p: u64) -> FpPoly {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b, p);
+            a = b;
+            b = r;
+        }
+        a.make_monic(p);
+        a
+    }
+
+    /// Scales so the leading coefficient is 1 (no-op on zero).
+    pub fn make_monic(&mut self, p: u64) {
+        if let Some(&lead) = self.coeffs.last() {
+            if lead != 1 {
+                let inv = inv_mod_prime(lead, p).expect("nonzero leading coeff");
+                for c in &mut self.coeffs {
+                    *c = mul_mod(*c, inv, p);
+                }
+            }
+        }
+    }
+
+    /// Computes `base^exp mod (m, p)` by square-and-multiply.
+    pub fn pow_mod(base: &FpPoly, mut exp: u64, m: &FpPoly, p: u64) -> FpPoly {
+        let mut acc = FpPoly::from_coeffs(&[1], p);
+        let mut b = base.rem(m, p);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&b, p).rem(m, p);
+            }
+            b = b.mul(&b, p).rem(m, p);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// Rabin's irreducibility test over `F_p`.
+///
+/// A monic `f` of degree `e` is irreducible over `F_p` iff
+/// `x^(p^e) ≡ x (mod f)` and for every prime divisor `r` of `e`,
+/// `gcd(x^(p^(e/r)) − x, f) = 1`.
+pub fn is_irreducible(f: &FpPoly, p: u64) -> bool {
+    let e = match f.degree() {
+        Some(d) if d >= 1 => d as u64,
+        _ => return false,
+    };
+    let x = FpPoly::x(p);
+    // x^(p^e) mod f, computed as e nested Frobenius powers to keep exponents
+    // within u64 even for large p^e.
+    let frob = |g: &FpPoly| FpPoly::pow_mod(g, p, f, p);
+    let mut xq = x.clone();
+    for _ in 0..e {
+        xq = frob(&xq);
+    }
+    if xq.sub(&x, p) != FpPoly::zero() {
+        return false;
+    }
+    for r in prime_divisors(e) {
+        let mut xk = x.clone();
+        for _ in 0..(e / r) {
+            xk = frob(&xk);
+        }
+        let g = xk.sub(&x, p).gcd(f, p);
+        if g.degree() != Some(0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds the lexicographically first monic irreducible polynomial of degree
+/// `e` over `F_p` (deterministic so client and server always agree on the
+/// field construction).
+///
+/// Returns the little-endian coefficients including the leading 1.
+pub fn find_irreducible(p: u64, e: u32) -> Vec<u64> {
+    assert!(e >= 2, "extension fields need e >= 2");
+    let e = e as usize;
+    // Enumerate the e low coefficients in base-p counting order.
+    let mut digits = vec![0u64; e];
+    loop {
+        let mut coeffs = digits.clone();
+        coeffs.push(1); // monic
+        let f = FpPoly::from_coeffs(&coeffs, p);
+        // Constant term 0 means divisible by x — skip cheaply.
+        if digits[0] != 0 && is_irreducible(&f, p) {
+            return coeffs;
+        }
+        // Increment base-p counter.
+        let mut i = 0;
+        loop {
+            digits[i] += 1;
+            if digits[i] < p {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+            assert!(i < e, "no irreducible polynomial found (impossible)");
+        }
+    }
+}
+
+fn prime_divisors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divrem_reconstructs() {
+        let p = 7;
+        let a = FpPoly::from_coeffs(&[3, 0, 5, 1, 6], p);
+        let b = FpPoly::from_coeffs(&[2, 1, 1], p);
+        let (q, r) = a.divrem(&b, p);
+        let back = q.mul(&b, p).add(&r, p);
+        assert_eq!(back, a);
+        assert!(r.degree().is_none_or(|d| d < 2));
+    }
+
+    #[test]
+    fn gcd_of_known_factors() {
+        let p = 5;
+        // (x-1)(x-2) and (x-1)(x-3) share the monic factor (x-1).
+        let f1 = FpPoly::from_coeffs(&[4, 1], p).mul(&FpPoly::from_coeffs(&[3, 1], p), p);
+        let f2 = FpPoly::from_coeffs(&[4, 1], p).mul(&FpPoly::from_coeffs(&[2, 1], p), p);
+        let g = f1.gcd(&f2, p);
+        assert_eq!(g, FpPoly::from_coeffs(&[4, 1], p));
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2 + 1 over F_3 is irreducible (-1 is a non-residue mod 3).
+        assert!(is_irreducible(&FpPoly::from_coeffs(&[1, 0, 1], 3), 3));
+        // x^2 - 1 = (x-1)(x+1) is not.
+        assert!(!is_irreducible(&FpPoly::from_coeffs(&[2, 0, 1], 3), 3));
+        // x^2 + x + 1 over F_2 is the classic GF(4) modulus.
+        assert!(is_irreducible(&FpPoly::from_coeffs(&[1, 1, 1], 2), 2));
+        // x^8 + x^4 + x^3 + x + 1 (the AES modulus) over F_2.
+        let aes = FpPoly::from_coeffs(&[1, 1, 0, 1, 1, 0, 0, 0, 1], 2);
+        assert!(is_irreducible(&aes, 2));
+        // x^8 + 1 = (x+1)^8 over F_2 is not irreducible.
+        assert!(!is_irreducible(&FpPoly::from_coeffs(&[1, 0, 0, 0, 0, 0, 0, 0, 1], 2), 2));
+    }
+
+    #[test]
+    fn find_irreducible_is_irreducible() {
+        for (p, e) in [(2u64, 2u32), (2, 4), (2, 8), (3, 2), (3, 4), (5, 3), (7, 2), (29, 2)] {
+            let coeffs = find_irreducible(p, e);
+            assert_eq!(coeffs.len(), e as usize + 1);
+            assert_eq!(*coeffs.last().unwrap(), 1, "monic");
+            let f = FpPoly::from_coeffs(&coeffs, p);
+            assert!(is_irreducible(&f, p), "p={p} e={e}");
+        }
+    }
+
+    #[test]
+    fn find_irreducible_deterministic() {
+        assert_eq!(find_irreducible(2, 2), find_irreducible(2, 2));
+        assert_eq!(find_irreducible(3, 4), find_irreducible(3, 4));
+    }
+
+    #[test]
+    fn prime_divisor_lists() {
+        assert_eq!(prime_divisors(1), vec![]);
+        assert_eq!(prime_divisors(2), vec![2]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(97), vec![97]);
+    }
+}

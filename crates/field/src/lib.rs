@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Finite field arithmetic `F_{p^e}` for the secret-sharing XML database.
+//!
+//! The scheme of Brinkman et al. (SDM 2005) maps XML tag names into the
+//! multiplicative part of a finite field `F_q` with `q = p^e` a prime power,
+//! and encodes trees as polynomials over the ring `F_q[x]/(x^{q-1} - 1)`.
+//! This crate provides the field layer:
+//!
+//! * [`FieldCtx`] — a runtime-parameterised field context supporting both
+//!   prime fields (`e = 1`, the paper's `p = 83` configuration) and true
+//!   extension fields (`e > 1`, constructed from a deterministically chosen
+//!   irreducible polynomial).
+//! * Deterministic Miller–Rabin primality testing for validating `p`
+//!   ([`is_prime_u64`]).
+//! * Rabin's irreducibility test over `F_p` used to build extension fields
+//!   ([`fp_poly`]).
+//!
+//! Field elements are passed around as opaque `u64` *codes*: for `e = 1` the
+//! code is the canonical representative in `[0, p)`; for `e > 1` the code is
+//! the little-endian base-`p` digit packing of the polynomial-basis
+//! coordinates. Codes are dense in `[0, q)`, which lets higher layers store
+//! coefficients compactly and enumerate the field cheaply.
+//!
+//! # Example
+//!
+//! ```
+//! use ssx_field::FieldCtx;
+//!
+//! // The paper's experimental configuration: F_83.
+//! let f = FieldCtx::new(83, 1).unwrap();
+//! let a = 17;
+//! let b = 55;
+//! let prod = f.mul(a, b);
+//! assert_eq!(f.mul(prod, f.inv(b).unwrap()), a);
+//!
+//! // A true extension field, F_{3^4}.
+//! let f81 = FieldCtx::new(3, 4).unwrap();
+//! assert_eq!(f81.order(), 81);
+//! let x = f81.element_from_digits(&[0, 1]); // the generator "x"
+//! assert_eq!(f81.pow(x, 80), f81.one());    // x^(q-1) = 1
+//! ```
+
+pub mod ctx;
+pub mod fp_poly;
+pub mod primality;
+
+pub use ctx::{FieldCtx, FieldError};
+pub use primality::is_prime_u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_holds() {
+        let f = FieldCtx::new(83, 1).unwrap();
+        assert_eq!(f.order(), 83);
+        assert_eq!(f.mul(f.inv(55).unwrap(), 55), 1);
+    }
+}

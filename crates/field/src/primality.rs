@@ -1,0 +1,145 @@
+//! Deterministic Miller–Rabin primality testing for `u64`.
+//!
+//! Validating the field characteristic `p` must not rely on probabilistic
+//! guarantees: a composite `p` silently breaks every inverse computed by the
+//! equality test. The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31,
+//! 37}` is proven deterministic for all `n < 3.317e24`, which covers `u64`.
+
+/// Multiplies `a * b mod m` without overflow using 128-bit intermediates.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+#[inline]
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test for all `u64` values.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let s = d.trailing_zeros();
+    d >>= s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns the extended-Euclid modular inverse of `a` modulo prime `p`.
+///
+/// Returns `None` when `a ≡ 0 (mod p)`.
+pub fn inv_mod_prime(a: u64, p: u64) -> Option<u64> {
+    let a = a % p;
+    if a == 0 {
+        return None;
+    }
+    // Extended Euclid on (a, p) tracking only the coefficient of `a`.
+    let (mut old_r, mut r) = (a as i128, p as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    debug_assert_eq!(old_r, 1, "gcd(a, p) must be 1 for prime p and a != 0");
+    let inv = old_s.rem_euclid(p as i128) as u64;
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_detected() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 29, 83, 97, 101, 131, 257, 65537];
+        for p in primes {
+            assert!(is_prime_u64(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 27, 49, 77, 91, 121, 561, 1105];
+        for c in composites {
+            assert!(!is_prime_u64(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that fool weak tests.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_prime_u64(c), "Carmichael number {c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn large_primes_and_neighbours() {
+        assert!(is_prime_u64(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime_u64(18_446_744_073_709_551_555));
+        assert!(is_prime_u64((1 << 61) - 1)); // Mersenne prime M61
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for m in [2u64, 3, 83, 97] {
+            for b in 0..m.min(20) {
+                let mut naive = 1u64 % m;
+                for e in 0..12u64 {
+                    assert_eq!(pow_mod(b, e, m), naive, "b={b} e={e} m={m}");
+                    naive = mul_mod(naive, b, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for p in [2u64, 3, 5, 83, 131, 1009] {
+            for a in 1..p.min(200) {
+                let inv = inv_mod_prime(a, p).unwrap();
+                assert_eq!(mul_mod(a, inv, p), 1, "a={a} p={p}");
+            }
+        }
+        assert_eq!(inv_mod_prime(0, 83), None);
+        assert_eq!(inv_mod_prime(83, 83), None, "multiples of p have no inverse");
+    }
+}

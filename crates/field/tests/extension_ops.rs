@@ -1,0 +1,96 @@
+//! Extension-field correctness beyond the axioms: known field tables,
+//! Frobenius identities and interop with an externally fixed modulus.
+
+use ssx_field::FieldCtx;
+
+#[test]
+fn aes_field_interop() {
+    // GF(2^8) with the AES modulus x^8 + x^4 + x^3 + x + 1. Element codes
+    // coincide with the usual byte representation, so known AES facts hold.
+    let f = FieldCtx::with_modulus(2, 8, vec![1, 1, 0, 1, 1, 0, 0, 0, 1]).unwrap();
+    assert_eq!(f.order(), 256);
+    // {02} * {87} = {15} xor ... classic AES mixcolumns fact: 0x02 * 0x87 = 0x15.
+    assert_eq!(f.mul(0x02, 0x87), 0x15);
+    // {53} * {CA} = {01} (a known inverse pair in the AES field).
+    assert_eq!(f.mul(0x53, 0xCA), 0x01);
+    assert_eq!(f.inv(0x53), Some(0xCA));
+    // x^255 = 1 for all nonzero x.
+    for x in [0x01u64, 0x02, 0x53, 0xCA, 0xFF] {
+        assert_eq!(f.pow(x, 255), 1);
+    }
+}
+
+#[test]
+fn frobenius_is_additive() {
+    // In characteristic p: (x + y)^p = x^p + y^p (the freshman's dream).
+    for (p, e) in [(3u64, 3u32), (5, 2), (7, 2), (2, 8)] {
+        let f = FieldCtx::new(p, e).unwrap();
+        let q = f.order();
+        let samples: Vec<u64> = (0..q).step_by((q / 17).max(1) as usize).collect();
+        for &x in &samples {
+            for &y in &samples {
+                let lhs = f.pow(f.add(x, y), p);
+                let rhs = f.add(f.pow(x, p), f.pow(y, p));
+                assert_eq!(lhs, rhs, "p={p} e={e} x={x} y={y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn frobenius_fixes_exactly_the_prime_subfield() {
+    // x^p = x holds exactly for the p elements of the prime subfield.
+    let f = FieldCtx::new(3, 4).unwrap();
+    let fixed: Vec<u64> = f.elements().filter(|&x| f.pow(x, 3) == x).collect();
+    assert_eq!(fixed, vec![0, 1, 2], "prime subfield of F_81");
+}
+
+#[test]
+fn multiplicative_group_is_cyclic_of_order_q_minus_1() {
+    // Some element must have full order q-1 (a generator exists).
+    let f = FieldCtx::new(2, 6).unwrap(); // F_64
+    let q = f.order();
+    let order_of = |g: u64| -> u64 {
+        let mut acc = g;
+        let mut k = 1;
+        while acc != 1 {
+            acc = f.mul(acc, g);
+            k += 1;
+        }
+        k
+    };
+    let has_generator = f.nonzero_elements().any(|g| order_of(g) == q - 1);
+    assert!(has_generator, "F_64* must be cyclic with a generator");
+    // Element orders divide q - 1 (Lagrange).
+    for g in f.nonzero_elements() {
+        assert_eq!((q - 1) % order_of(g), 0);
+    }
+}
+
+#[test]
+fn subfield_embedding_consistency() {
+    // Elements 0..p of F_{p^e} behave exactly like F_p under +/*.
+    let base = FieldCtx::new(5, 1).unwrap();
+    let ext = FieldCtx::new(5, 3).unwrap();
+    for a in 0..5u64 {
+        for b in 0..5u64 {
+            assert_eq!(base.add(a, b), ext.add(a, b));
+            assert_eq!(base.mul(a, b), ext.mul(a, b));
+            if b != 0 {
+                assert_eq!(base.inv(b), ext.inv(b), "prime-subfield inverses agree");
+            }
+        }
+    }
+}
+
+#[test]
+fn order_and_degree_limits_enforced() {
+    // The largest supported extension degree works…
+    assert!(FieldCtx::new(2, 16).is_ok());
+    // …one beyond it is rejected (degree limit),
+    assert!(FieldCtx::new(2, 17).is_err());
+    // and orders above MAX_ORDER = 2^24 are rejected even at small degree:
+    // 257^3 ≈ 16.9M > 16.7M.
+    assert!(FieldCtx::new(257, 3).is_err());
+    assert!(FieldCtx::new(257, 2).is_ok(), "257^2 = 66049 is fine");
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the field layer: the axioms must hold for every
+//! supported `(p, e)` combination and random elements.
+
+use proptest::prelude::*;
+use ssx_field::FieldCtx;
+
+/// Strategy producing a supported field plus a sampler for elements of it.
+fn arb_field() -> impl Strategy<Value = FieldCtx> {
+    prop_oneof![
+        Just(FieldCtx::new(2, 1).unwrap()),
+        Just(FieldCtx::new(5, 1).unwrap()),
+        Just(FieldCtx::new(29, 1).unwrap()),
+        Just(FieldCtx::new(83, 1).unwrap()),
+        Just(FieldCtx::new(131, 1).unwrap()),
+        Just(FieldCtx::new(2, 8).unwrap()),
+        Just(FieldCtx::new(3, 4).unwrap()),
+        Just(FieldCtx::new(5, 3).unwrap()),
+        Just(FieldCtx::new(29, 2).unwrap()),
+    ]
+}
+
+fn field_and_elems(n: usize) -> impl Strategy<Value = (FieldCtx, Vec<u64>)> {
+    arb_field().prop_flat_map(move |f| {
+        let q = f.order();
+        (Just(f), proptest::collection::vec(0..q, n))
+    })
+}
+
+proptest! {
+    #[test]
+    fn additive_group((f, v) in field_and_elems(3)) {
+        let (a, b, c) = (v[0], v[1], v[2]);
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        prop_assert_eq!(f.add(a, f.zero()), a);
+        prop_assert_eq!(f.add(a, f.neg(a)), f.zero());
+        prop_assert_eq!(f.sub(a, b), f.add(a, f.neg(b)));
+    }
+
+    #[test]
+    fn multiplicative_structure((f, v) in field_and_elems(3)) {
+        let (a, b, c) = (v[0], v[1], v[2]);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, f.one()), a);
+        prop_assert_eq!(f.mul(a, f.zero()), f.zero());
+        // Distributivity ties the two structures together.
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    }
+
+    #[test]
+    fn inverses_and_division((f, v) in field_and_elems(2)) {
+        let (a, b) = (v[0], v[1]);
+        if a != 0 {
+            let inv = f.inv(a).unwrap();
+            prop_assert_eq!(f.mul(a, inv), f.one());
+            prop_assert_eq!(f.div(b, a), Some(f.mul(b, inv)));
+        } else {
+            prop_assert_eq!(f.inv(a), None);
+            prop_assert_eq!(f.div(b, a), None);
+        }
+    }
+
+    #[test]
+    fn lagrange_and_pow((f, v) in field_and_elems(1)) {
+        let a = v[0];
+        if a != 0 {
+            prop_assert_eq!(f.pow(a, f.order() - 1), f.one());
+        }
+        prop_assert_eq!(f.pow(a, 0), f.one());
+        prop_assert_eq!(f.pow(a, 3), f.mul(f.mul(a, a), a));
+    }
+
+    #[test]
+    fn digit_codec_round_trip((f, v) in field_and_elems(1)) {
+        let a = v[0];
+        prop_assert_eq!(f.element_from_digits(&f.digits_of(a)), a);
+    }
+}

@@ -1,0 +1,226 @@
+//! Unreduced dense polynomials over `F_q`.
+//!
+//! The paper's figure 1(c) shows the *unreduced* tree encoding before the
+//! "smart reduction" into the ring. This type exists to (a) validate that
+//! reduction preserves nonzero-point evaluations, (b) quantify the storage
+//! the reduction saves (an ablation experiment), and (c) provide textbook
+//! division used in tests of the equality test.
+
+use crate::ring::{RingCtx, RingPoly};
+use ssx_field::FieldCtx;
+
+/// An arbitrary-degree polynomial over `F_q`; little-endian coefficients,
+/// normalised (no trailing zeros; zero polynomial = empty vector).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DensePoly {
+    coeffs: Vec<u64>,
+}
+
+impl DensePoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        DensePoly { coeffs: Vec::new() }
+    }
+
+    /// The constant 1.
+    pub fn one() -> Self {
+        DensePoly { coeffs: vec![1] }
+    }
+
+    /// `x − t`.
+    pub fn linear(field: &FieldCtx, t: u64) -> Self {
+        DensePoly { coeffs: vec![field.neg(t), 1] }
+    }
+
+    /// From little-endian coefficients (normalising trailing zeros; the
+    /// caller guarantees codes are valid field elements).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        let mut c = coeffs;
+        while c.last() == Some(&0) {
+            c.pop();
+        }
+        DensePoly { coeffs: c }
+    }
+
+    /// Coefficient view.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Degree, `None` for zero.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Number of stored coefficients — the storage cost the reduction is
+    /// compared against (degree + 1).
+    pub fn storage_coeffs(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &DensePoly, field: &FieldCtx) -> DensePoly {
+        if self.is_zero() || other.is_zero() {
+            return DensePoly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = field.add(out[i + j], field.mul(a, b));
+            }
+        }
+        DensePoly::from_coeffs(out)
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &DensePoly, field: &FieldCtx) -> DensePoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u64; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *o = field.add(a, b);
+        }
+        DensePoly::from_coeffs(out)
+    }
+
+    /// Evaluation by Horner's rule.
+    pub fn eval(&self, field: &FieldCtx, v: u64) -> u64 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = field.add(field.mul(acc, v), c);
+        }
+        acc
+    }
+
+    /// Euclidean division `(quotient, remainder)`; panics on zero divisor.
+    pub fn divrem(&self, div: &DensePoly, field: &FieldCtx) -> (DensePoly, DensePoly) {
+        assert!(!div.is_zero(), "division by zero polynomial");
+        if self.coeffs.len() < div.coeffs.len() {
+            return (DensePoly::zero(), self.clone());
+        }
+        let dd = div.coeffs.len() - 1;
+        let lead_inv = field.inv(*div.coeffs.last().unwrap()).expect("nonzero lead");
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![0u64; rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            let c = rem[i];
+            if c == 0 {
+                continue;
+            }
+            let factor = field.mul(c, lead_inv);
+            quot[i - dd] = factor;
+            for (j, &dc) in div.coeffs.iter().enumerate() {
+                let idx = i - dd + j;
+                rem[idx] = field.sub(rem[idx], field.mul(factor, dc));
+            }
+        }
+        (DensePoly::from_coeffs(quot), DensePoly::from_coeffs(rem))
+    }
+
+    /// Reduces into the ring `F_q[x]/(x^{q-1} − 1)` by folding exponents
+    /// modulo `q − 1` — the paper's "smart reduction" (§3, fig 1(c)→1(d)).
+    pub fn reduce(&self, ring: &RingCtx) -> RingPoly {
+        let n = ring.len();
+        let mut out = vec![0u64; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let k = i % n;
+            out[k] = ring.field().add(out[k], c);
+        }
+        ring.poly_from_coeffs(out).expect("reduction yields valid element")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssx_field::FieldCtx;
+
+    fn f5() -> FieldCtx {
+        FieldCtx::new(5, 1).unwrap()
+    }
+
+    #[test]
+    fn figure1_unreduced_root() {
+        // (x-1)^2 (x-2)^2 (x-3)^2 over F_5 has degree 6 (fig 1(c) top).
+        let f = f5();
+        let mut acc = DensePoly::one();
+        for t in [1u64, 1, 2, 2, 3, 3] {
+            acc = acc.mul(&DensePoly::linear(&f, t), &f);
+        }
+        assert_eq!(acc.degree(), Some(6));
+        // Reduced, A^2 collapses back to A = x^3 + 4x^2 + x + 4: both vanish
+        // at 1, 2, 3 and take the value 1 at 4, and degree <= 3 ring elements
+        // are determined by the 4 nonzero evaluations.
+        let ring = RingCtx::new(5, 1).unwrap();
+        assert_eq!(acc.reduce(&ring).coeffs(), &[4, 1, 4, 1]);
+    }
+
+    #[test]
+    fn reduction_agrees_with_ring_multiplication() {
+        let ring = RingCtx::new(29, 1).unwrap();
+        let f = ring.field();
+        let tags = [3u64, 7, 7, 12, 25, 3, 9, 14, 1, 28];
+        let mut dense = DensePoly::one();
+        let mut reduced = ring.one();
+        for &t in &tags {
+            dense = dense.mul(&DensePoly::linear(f, t), f);
+            reduced = ring.mul_linear(&reduced, t);
+        }
+        assert_eq!(dense.reduce(&ring), reduced);
+        for v in ring.field().nonzero_elements() {
+            assert_eq!(dense.eval(f, v), ring.eval(&reduced, v));
+        }
+    }
+
+    #[test]
+    fn divrem_recovers_factor() {
+        let f = f5();
+        let children = DensePoly::linear(&f, 1).mul(&DensePoly::linear(&f, 3), &f);
+        let node = DensePoly::linear(&f, 2).mul(&children, &f);
+        let (q, r) = node.divrem(&children, &f);
+        assert!(r.is_zero());
+        assert_eq!(q, DensePoly::linear(&f, 2), "quotient is (x - map(node))");
+    }
+
+    #[test]
+    fn divrem_general_identity() {
+        let f = FieldCtx::new(83, 1).unwrap();
+        let a = DensePoly::from_coeffs(vec![1, 7, 0, 5, 13, 82, 9]);
+        let b = DensePoly::from_coeffs(vec![4, 0, 1, 3]);
+        let (q, r) = a.divrem(&b, &f);
+        let back = q.mul(&b, &f).add(&r, &f);
+        assert_eq!(back, a);
+        assert!(r.degree().is_none_or(|d| d < 3));
+    }
+
+    #[test]
+    fn storage_counts() {
+        let f = f5();
+        let mut acc = DensePoly::one();
+        for t in [1u64, 1, 2, 2, 3, 3] {
+            acc = acc.mul(&DensePoly::linear(&f, t), &f);
+        }
+        // Unreduced: 7 coefficients; reduced ring element: always 4.
+        assert_eq!(acc.storage_coeffs(), 7);
+        let ring = RingCtx::new(5, 1).unwrap();
+        assert_eq!(acc.reduce(&ring).len(), 4);
+    }
+
+    #[test]
+    fn zero_handling() {
+        let f = f5();
+        assert!(DensePoly::zero().is_zero());
+        assert_eq!(DensePoly::zero().degree(), None);
+        assert_eq!(DensePoly::zero().mul(&DensePoly::one(), &f), DensePoly::zero());
+        assert_eq!(DensePoly::from_coeffs(vec![0, 0, 0]), DensePoly::zero());
+    }
+}

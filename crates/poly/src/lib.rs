@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Polynomials over `F_q` and the paper's encoding ring
+//! `R = F_q[x]/(x^{q-1} − 1)`, plus additive secret sharing and bit-exact
+//! coefficient packing.
+//!
+//! The scheme (Brinkman et al., SDM 2005, §3) encodes each XML node as
+//!
+//! ```text
+//! f(node) = (x − map(node)) · Π_{d ∈ children(node)} f(d)
+//! ```
+//!
+//! reduced in `R`. Because every nonzero `a ∈ F_q` satisfies `a^{q-1} = 1`,
+//! reduction mod `x^{q-1} − 1` preserves evaluations at all *nonzero* points,
+//! which is exactly where the scheme evaluates (`map` never maps to 0). The
+//! *containment test* is a single evaluation; the *equality test* divides a
+//! node polynomial by the product of its children to recover the monomial
+//! `(x − t)` ([`extract_root`]).
+//!
+//! Each polynomial is split into a pseudorandom client share and a server
+//! share summing to the original ([`split_with_prg`] / [`reconstruct`]).
+//!
+//! [`packing`] stores a `q-1`-coefficient vector in exactly
+//! `ceil((q−1)·log2 q / 8)` bytes (radix conversion), matching the paper's
+//! storage accounting ("a polynomial takes `(p^e − 1) log2 p^e` bits"); a
+//! faster bit-aligned packing is provided for comparison (ablation bench).
+
+pub mod dense;
+pub mod packing;
+pub mod ring;
+pub mod root;
+pub mod share;
+
+pub use dense::DensePoly;
+pub use packing::{radix_len, PackError, Packer};
+pub use ring::{RingCtx, RingError, RingPoly};
+pub use root::{extract_root, RootOutcome};
+pub use share::{random_poly, reconstruct, split_with_prg};

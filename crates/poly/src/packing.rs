@@ -1,0 +1,266 @@
+//! Compact serialisation of ring polynomials.
+//!
+//! The paper's storage accounting assumes a polynomial costs
+//! `(q − 1)·log2 q` bits (§4: "In case p = 29 a polynomial costs 17 bytes").
+//! That is the *information-theoretic* size, achieved here by treating the
+//! coefficient vector as one big base-`q` integer and converting it to bytes
+//! ([`Packer::pack_radix`]). A faster bit-aligned packing
+//! ([`Packer::pack_bits`], `ceil(log2 q)` bits per coefficient) and the raw
+//! `u64` representation are provided so the trade-off can be measured (see
+//! the `ablations` bench).
+
+use crate::ring::{RingCtx, RingPoly};
+use std::fmt;
+
+/// Errors from unpacking serialized polynomials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// Input had the wrong length for this packer.
+    WrongLength {
+        /// Expected packed byte length.
+        expected: usize,
+        /// Supplied byte length.
+        got: usize,
+    },
+    /// Radix decoding overflowed `q^n` — the bytes are not a valid packing.
+    Corrupt,
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::WrongLength { expected, got } => {
+                write!(f, "packed polynomial length {got}, expected {expected}")
+            }
+            PackError::Corrupt => write!(f, "packed bytes do not decode to a valid polynomial"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Precomputed packing parameters for one ring.
+#[derive(Clone, Debug)]
+pub struct Packer {
+    q: u64,
+    n: usize,
+    radix_len: usize,
+    bits_per_coeff: u32,
+    bit_len: usize,
+}
+
+impl Packer {
+    /// Builds a packer for `ring`.
+    pub fn new(ring: &RingCtx) -> Self {
+        let q = ring.field().order();
+        let n = ring.len();
+        let bits_per_coeff = ring.field().bits_per_element();
+        let bit_len = (n * bits_per_coeff as usize).div_ceil(8);
+        Packer { q, n, radix_len: radix_len(q, n), bits_per_coeff, bit_len }
+    }
+
+    /// Bytes per polynomial under radix packing — the paper's
+    /// `ceil((q−1)·log2 q / 8)`.
+    #[inline]
+    pub fn radix_len(&self) -> usize {
+        self.radix_len
+    }
+
+    /// Bytes per polynomial under bit-aligned packing.
+    #[inline]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Bytes per polynomial stored as raw `u64` codes.
+    #[inline]
+    pub fn raw_len(&self) -> usize {
+        self.n * 8
+    }
+
+    /// Packs a polynomial as a little-endian base-256 rendering of the
+    /// base-`q` integer `Σ c_i · q^i`. Exactly [`Packer::radix_len`] bytes.
+    pub fn pack_radix(&self, poly: &RingPoly) -> Vec<u8> {
+        debug_assert_eq!(poly.len(), self.n);
+        let mut work: Vec<u64> = poly.coeffs().to_vec();
+        let mut out = Vec::with_capacity(self.radix_len);
+        for _ in 0..self.radix_len {
+            // Divide the base-q bignum by 256, pushing the remainder byte.
+            let mut rem: u64 = 0;
+            for d in work.iter_mut().rev() {
+                let cur = rem * self.q + *d;
+                *d = cur >> 8;
+                rem = cur & 0xff;
+            }
+            out.push(rem as u8);
+        }
+        debug_assert!(work.iter().all(|&d| d == 0), "value exceeded q^n");
+        out
+    }
+
+    /// Inverse of [`Packer::pack_radix`].
+    pub fn unpack_radix(&self, ring: &RingCtx, bytes: &[u8]) -> Result<RingPoly, PackError> {
+        if bytes.len() != self.radix_len {
+            return Err(PackError::WrongLength { expected: self.radix_len, got: bytes.len() });
+        }
+        let mut digits = vec![0u64; self.n];
+        for &b in bytes.iter().rev() {
+            // digits = digits * 256 + b in base q.
+            let mut carry = b as u64;
+            for d in digits.iter_mut() {
+                let cur = (*d << 8) + carry;
+                *d = cur % self.q;
+                carry = cur / self.q;
+            }
+            if carry != 0 {
+                return Err(PackError::Corrupt);
+            }
+        }
+        ring.poly_from_coeffs(digits).map_err(|_| PackError::Corrupt)
+    }
+
+    /// Packs with `ceil(log2 q)` bits per coefficient, LSB-first.
+    pub fn pack_bits(&self, poly: &RingPoly) -> Vec<u8> {
+        debug_assert_eq!(poly.len(), self.n);
+        let mut out = vec![0u8; self.bit_len];
+        let mut bitpos = 0usize;
+        for &c in poly.coeffs() {
+            for k in 0..self.bits_per_coeff {
+                if (c >> k) & 1 == 1 {
+                    out[bitpos >> 3] |= 1 << (bitpos & 7);
+                }
+                bitpos += 1;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Packer::pack_bits`].
+    pub fn unpack_bits(&self, ring: &RingCtx, bytes: &[u8]) -> Result<RingPoly, PackError> {
+        if bytes.len() != self.bit_len {
+            return Err(PackError::WrongLength { expected: self.bit_len, got: bytes.len() });
+        }
+        let mut coeffs = vec![0u64; self.n];
+        let mut bitpos = 0usize;
+        for c in coeffs.iter_mut() {
+            for k in 0..self.bits_per_coeff {
+                if (bytes[bitpos >> 3] >> (bitpos & 7)) & 1 == 1 {
+                    *c |= 1 << k;
+                }
+                bitpos += 1;
+            }
+        }
+        ring.poly_from_coeffs(coeffs).map_err(|_| PackError::Corrupt)
+    }
+}
+
+/// Bytes needed to store `n` base-`q` digits: `ceil(n · log2 q / 8)`.
+///
+/// Exact for powers of two; for other `q` the f64 computation is safe because
+/// `log2 q` is irrational, so `n·log2 q` is never within f64 rounding error
+/// of an integer for the supported parameter range.
+pub fn radix_len(q: u64, n: usize) -> usize {
+    if q.is_power_of_two() {
+        let bits = n * q.trailing_zeros() as usize;
+        bits.div_ceil(8)
+    } else {
+        let bits = n as f64 * (q as f64).log2();
+        (bits / 8.0).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_byte_costs() {
+        // p = 29: 28·log2(29) = 136.02 bits. The paper truncates to "17
+        // bytes"; the lossless ceiling is 18 (2^136 < 29^28).
+        assert_eq!(radix_len(29, 28), 18);
+        // p = 83: 82·log2(83) = 522.8 bits -> 66 bytes.
+        assert_eq!(radix_len(83, 82), 66);
+        // Power of two: GF(256), 255 coefficients of 8 bits = 255 bytes.
+        assert_eq!(radix_len(256, 255), 255);
+    }
+
+    #[test]
+    fn radix_round_trip_f83() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let packer = Packer::new(&ring);
+        let mut f = ring.one();
+        for t in [1u64, 5, 7, 81, 44, 23] {
+            f = ring.mul_linear(&f, t);
+        }
+        let bytes = packer.pack_radix(&f);
+        assert_eq!(bytes.len(), 66);
+        assert_eq!(packer.unpack_radix(&ring, &bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn radix_round_trip_extremes() {
+        let ring = RingCtx::new(5, 1).unwrap();
+        let packer = Packer::new(&ring);
+        for coeffs in [vec![0, 0, 0, 0], vec![4, 4, 4, 4], vec![0, 0, 0, 4], vec![4, 0, 0, 0]] {
+            let f = ring.poly_from_coeffs(coeffs).unwrap();
+            let bytes = packer.pack_radix(&f);
+            assert_eq!(packer.unpack_radix(&ring, &bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let packer = Packer::new(&ring);
+        // 82 coefficients * 7 bits = 574 bits -> 72 bytes (vs 66 radix).
+        assert_eq!(packer.bit_len(), 72);
+        let mut f = ring.linear(17);
+        for t in [2u64, 3, 82] {
+            f = ring.mul_linear(&f, t);
+        }
+        let bytes = packer.pack_bits(&f);
+        assert_eq!(packer.unpack_bits(&ring, &bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn radix_never_larger_than_bits() {
+        for (p, e) in [(5u64, 1u32), (29, 1), (83, 1), (131, 1), (2, 8), (3, 4)] {
+            let ring = RingCtx::new(p, e).unwrap();
+            let packer = Packer::new(&ring);
+            assert!(
+                packer.radix_len() <= packer.bit_len(),
+                "radix must not exceed bit packing for q={}",
+                ring.field().order()
+            );
+            assert!(packer.bit_len() <= packer.raw_len());
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_detected() {
+        let ring = RingCtx::new(5, 1).unwrap();
+        let packer = Packer::new(&ring);
+        // q^n - 1 = 624; max pack = [0x70, 0x02]; 0xFF 0xFF decodes to 65535 > 624.
+        let err = packer.unpack_radix(&ring, &[0xff, 0xff]).unwrap_err();
+        assert_eq!(err, PackError::Corrupt);
+        let err = packer.unpack_radix(&ring, &[0x01]).unwrap_err();
+        assert!(matches!(err, PackError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn packing_is_value_faithful_exhaustive_tiny() {
+        // F_3, ring length 2: enumerate all 9 polynomials, ensure the packed
+        // integers are distinct and round-trip.
+        let ring = RingCtx::new(3, 1).unwrap();
+        let packer = Packer::new(&ring);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..3u64 {
+            for b in 0..3u64 {
+                let f = ring.poly_from_coeffs(vec![a, b]).unwrap();
+                let bytes = packer.pack_radix(&f);
+                assert!(seen.insert(bytes.clone()), "collision at ({a},{b})");
+                assert_eq!(packer.unpack_radix(&ring, &bytes).unwrap(), f);
+            }
+        }
+    }
+}

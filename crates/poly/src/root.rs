@@ -1,0 +1,135 @@
+//! Root extraction for the *equality test* (paper §3 and §5.2).
+//!
+//! The containment test only proves a tag occurs *somewhere* in a subtree.
+//! To test whether the subtree root itself carries tag value `t`, the
+//! reconstructed node polynomial `f` is divided by the product `g` of all its
+//! children's reconstructed polynomials: if the data is well-formed,
+//! `f = (x − t)·g` in the ring and `t = map(root)`.
+//!
+//! Division in `F_q[x]/(x^{q-1} − 1)` is done by evaluation: for any nonzero
+//! point `v` with `g(v) ≠ 0`, `t = v − f(v)/g(v)`. A point with `g(v) ≠ 0`
+//! exists unless `g` vanishes on *all* nonzero points, which for a reduced
+//! nonzero polynomial of degree `< q − 1` requires `g = 0` in the ring — only
+//! possible when the children's tag multiset covers every nonzero field
+//! value. That degenerate case is reported as [`RootOutcome::Indeterminate`].
+
+use crate::ring::{RingCtx, RingPoly};
+
+/// Result of attempting to factor `f = (x − t) · g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootOutcome {
+    /// Extraction succeeded: `f = (x − t)·g` and `t` is returned.
+    Root(u64),
+    /// The candidate `t` from one evaluation point failed full verification —
+    /// `f` is *not* `(x − t)·g` for any `t` (corrupt shares or wrong node).
+    Inconsistent,
+    /// `g` evaluates to zero at every nonzero point (children cover the whole
+    /// multiplicative group), so no quotient can be formed.
+    Indeterminate,
+}
+
+/// Extracts `t` from `f = (x − t)·g`.
+///
+/// When `verify` is set the candidate is checked by a full ring
+/// multiplication (`O(n^2)`), turning silent corruption into
+/// [`RootOutcome::Inconsistent`]; without it the cost is `O(n)` per probed
+/// point. The engines disable verification in timing runs and enable it in
+/// tests — its cost is quantified by the `ablations` bench.
+pub fn extract_root(ring: &RingCtx, f: &RingPoly, g: &RingPoly, verify: bool) -> RootOutcome {
+    let field = ring.field();
+    for v in field.nonzero_elements() {
+        let gv = ring.eval(g, v);
+        if gv == 0 {
+            continue;
+        }
+        let fv = ring.eval(f, v);
+        // f(v) = (v - t) g(v)  =>  t = v - f(v)/g(v)
+        let quotient = field.mul(fv, field.inv(gv).expect("gv nonzero"));
+        let t = field.sub(v, quotient);
+        if verify {
+            let recomposed = ring.mul_linear(g, t);
+            if &recomposed != f {
+                return RootOutcome::Inconsistent;
+            }
+        }
+        return RootOutcome::Root(t);
+    }
+    RootOutcome::Indeterminate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_known_root() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        // children product for tags {7, 7, 19, 44}
+        let mut g = ring.one();
+        for t in [7u64, 7, 19, 44] {
+            g = ring.mul_linear(&g, t);
+        }
+        let f = ring.mul_linear(&g, 33); // node tag 33
+        assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Root(33));
+        assert_eq!(extract_root(&ring, &f, &g, false), RootOutcome::Root(33));
+    }
+
+    #[test]
+    fn leaf_case_children_product_is_one() {
+        let ring = RingCtx::new(29, 1).unwrap();
+        let f = ring.linear(12);
+        assert_eq!(extract_root(&ring, &f, &ring.one(), true), RootOutcome::Root(12));
+    }
+
+    #[test]
+    fn detects_corruption_with_verify() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let g = ring.mul_linear(&ring.linear(5), 9);
+        let f = ring.mul_linear(&g, 33);
+        // Corrupt one coefficient of f.
+        let mut coeffs = f.coeffs().to_vec();
+        coeffs[10] = (coeffs[10] + 1) % 83;
+        let f_bad = ring.poly_from_coeffs(coeffs).unwrap();
+        assert_eq!(extract_root(&ring, &f_bad, &g, true), RootOutcome::Inconsistent);
+        // Without verification the corruption may go unnoticed (returns the
+        // candidate from the first usable point) — documented trade-off.
+        assert!(matches!(
+            extract_root(&ring, &f_bad, &g, false),
+            RootOutcome::Root(_)
+        ));
+    }
+
+    #[test]
+    fn indeterminate_when_children_cover_group() {
+        // F_5: children with tags {1, 2, 3, 4} make g = x^4 - 1 ≡ 0 in the ring.
+        let ring = RingCtx::new(5, 1).unwrap();
+        let mut g = ring.one();
+        for t in 1..5u64 {
+            g = ring.mul_linear(&g, t);
+        }
+        assert!(g.is_zero(), "x^4 - 1 reduces to zero");
+        let f = ring.mul_linear(&g, 2);
+        assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Indeterminate);
+    }
+
+    #[test]
+    fn skips_points_where_g_vanishes() {
+        // g vanishes at its own tags; extraction must skip those points and
+        // still succeed from a later one.
+        let ring = RingCtx::new(5, 1).unwrap();
+        let g = ring.mul_linear(&ring.mul_linear(&ring.one(), 1), 2); // roots 1, 2
+        let f = ring.mul_linear(&g, 3);
+        assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Root(3));
+    }
+
+    #[test]
+    fn extraction_over_extension_field() {
+        let ring = RingCtx::new(3, 2).unwrap(); // F_9, ring length 8
+        let mut g = ring.one();
+        for t in [2u64, 5, 7] {
+            g = ring.mul_linear(&g, t);
+        }
+        let f = ring.mul_linear(&g, 8);
+        assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Root(8));
+    }
+}

@@ -1,0 +1,110 @@
+//! Additive secret sharing of ring polynomials (paper §3, step 3).
+//!
+//! The client share is drawn from a PRG stream; the server share is chosen
+//! so the two sum to the plaintext polynomial. Either share alone is
+//! uniformly distributed, hence carries no information about the tree.
+
+use crate::ring::{RingCtx, RingPoly};
+use ssx_prg::Prg;
+
+/// Draws a uniformly pseudorandom ring element from `prg` — the client share
+/// of a node. Exactly `q − 1` bounded draws, so the stream position after a
+/// call is deterministic.
+pub fn random_poly(ring: &RingCtx, prg: &mut Prg) -> RingPoly {
+    let q = ring.field().order();
+    let coeffs: Vec<u64> = (0..ring.len()).map(|_| prg.next_below(q)).collect();
+    ring.poly_from_coeffs(coeffs).expect("draws are valid field elements")
+}
+
+/// Splits `f` into `(client, server)` with `client + server = f`, the client
+/// share being `random_poly(ring, prg)`.
+pub fn split_with_prg(ring: &RingCtx, f: &RingPoly, prg: &mut Prg) -> (RingPoly, RingPoly) {
+    let client = random_poly(ring, prg);
+    let server = ring.sub(f, &client);
+    (client, server)
+}
+
+/// Recombines shares: `client + server`.
+pub fn reconstruct(ring: &RingCtx, client: &RingPoly, server: &RingPoly) -> RingPoly {
+    ring.add(client, server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssx_prg::Prg;
+
+    #[test]
+    fn split_reconstruct_identity() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let mut prg = Prg::from_u64(7);
+        let f = {
+            let mut acc = ring.one();
+            for t in [3u64, 17, 55, 80] {
+                acc = ring.mul_linear(&acc, t);
+            }
+            acc
+        };
+        let (c, s) = split_with_prg(&ring, &f, &mut prg);
+        assert_eq!(reconstruct(&ring, &c, &s), f);
+        assert_ne!(c, f, "client share must not equal plaintext");
+        assert_ne!(s, f, "server share must not equal plaintext");
+    }
+
+    #[test]
+    fn shares_sum_pointwise_too() {
+        // The interactive protocol adds *evaluations*, not polynomials; the
+        // homomorphism must hold at every point.
+        let ring = RingCtx::new(29, 1).unwrap();
+        let mut prg = Prg::from_u64(11);
+        let f = ring.mul_linear(&ring.linear(4), 9);
+        let (c, s) = split_with_prg(&ring, &f, &mut prg);
+        for v in ring.field().nonzero_elements() {
+            let sum = ring.field().add(ring.eval(&c, v), ring.eval(&s, v));
+            assert_eq!(sum, ring.eval(&f, v));
+        }
+    }
+
+    #[test]
+    fn same_prg_state_reproduces_client_share() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let a = random_poly(&ring, &mut Prg::from_u64(99));
+        let b = random_poly(&ring, &mut Prg::from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn server_share_looks_uniform() {
+        // Split the *same* polynomial many times; each coefficient of the
+        // server share should be roughly uniform over F_q. Chi-squared smoke
+        // test on the first coefficient.
+        let ring = RingCtx::new(5, 1).unwrap();
+        let f = ring.mul_linear(&ring.linear(1), 2);
+        let mut prg = Prg::from_u64(1234);
+        let mut counts = [0u32; 5];
+        let draws = 5000;
+        for _ in 0..draws {
+            let (_, s) = split_with_prg(&ring, &f, &mut prg);
+            counts[s.coeffs()[0] as usize] += 1;
+        }
+        let expect = draws as f64 / 5.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // df = 4; 99.9% quantile ≈ 18.47.
+        assert!(chi2 < 20.0, "server share coefficient biased: chi2 = {chi2}");
+    }
+
+    #[test]
+    fn zero_poly_splits_to_negatives() {
+        let ring = RingCtx::new(5, 1).unwrap();
+        let mut prg = Prg::from_u64(3);
+        let (c, s) = split_with_prg(&ring, &ring.zero(), &mut prg);
+        assert_eq!(ring.add(&c, &s), ring.zero());
+        assert_eq!(ring.neg(&c), s);
+    }
+}

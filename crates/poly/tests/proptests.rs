@@ -1,0 +1,106 @@
+//! Property-based tests tying the polynomial layer together: the encoding,
+//! sharing and packing invariants the whole database rests on.
+
+use proptest::prelude::*;
+use ssx_poly::{extract_root, reconstruct, split_with_prg, Packer, RingCtx, RootOutcome};
+use ssx_prg::Prg;
+
+fn arb_ring() -> impl Strategy<Value = RingCtx> {
+    prop_oneof![
+        Just(RingCtx::new(5, 1).unwrap()),
+        Just(RingCtx::new(29, 1).unwrap()),
+        Just(RingCtx::new(83, 1).unwrap()),
+        Just(RingCtx::new(131, 1).unwrap()),
+        Just(RingCtx::new(3, 2).unwrap()),
+        Just(RingCtx::new(2, 4).unwrap()),
+    ]
+}
+
+/// A ring together with a multiset of nonzero tag values (a synthetic
+/// subtree) — never covering the entire multiplicative group, so the
+/// equality test stays determinate.
+fn ring_and_tags() -> impl Strategy<Value = (RingCtx, Vec<u64>)> {
+    arb_ring().prop_flat_map(|ring| {
+        let q = ring.field().order();
+        let max_tags = ((q - 2) as usize).clamp(1, 12);
+        let tags = proptest::collection::vec(1..(q - 1).max(2), 1..=max_tags);
+        (Just(ring), tags)
+    })
+}
+
+fn product_of(ring: &RingCtx, tags: &[u64]) -> ssx_poly::RingPoly {
+    let mut acc = ring.one();
+    for &t in tags {
+        acc = ring.mul_linear(&acc, t);
+    }
+    acc
+}
+
+proptest! {
+    /// The containment test is exact on the plaintext polynomial: it vanishes
+    /// at v iff v is one of the factored-in tags.
+    #[test]
+    fn containment_test_exact((ring, tags) in ring_and_tags()) {
+        let f = product_of(&ring, &tags);
+        for v in ring.field().nonzero_elements() {
+            let vanishes = ring.eval(&f, v) == 0;
+            prop_assert_eq!(vanishes, tags.contains(&v), "v = {}", v);
+        }
+    }
+
+    /// Secret sharing is correct and evaluation-homomorphic.
+    #[test]
+    fn sharing_round_trips((ring, tags) in ring_and_tags(), key in any::<u64>()) {
+        let f = product_of(&ring, &tags);
+        let mut prg = Prg::from_u64(key);
+        let (c, s) = split_with_prg(&ring, &f, &mut prg);
+        prop_assert_eq!(reconstruct(&ring, &c, &s), f.clone());
+        for v in ring.field().nonzero_elements().take(8) {
+            let sum = ring.field().add(ring.eval(&c, v), ring.eval(&s, v));
+            prop_assert_eq!(sum, ring.eval(&f, v));
+        }
+    }
+
+    /// Equality-test root extraction recovers the node's own tag.
+    #[test]
+    fn root_extraction_recovers_tag((ring, tags) in ring_and_tags()) {
+        let q = ring.field().order();
+        if q <= 2 { return Ok(()); }
+        let g = product_of(&ring, &tags);
+        if g.is_zero() { return Ok(()); } // tag multiset annihilated the ring
+        let node_tag = 1 + (tags.iter().sum::<u64>() % (q - 1));
+        let f = ring.mul_linear(&g, node_tag);
+        match extract_root(&ring, &f, &g, true) {
+            RootOutcome::Root(t) => prop_assert_eq!(t, node_tag),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// Radix and bit packings both round-trip arbitrary ring elements.
+    #[test]
+    fn packing_round_trips((ring, tags) in ring_and_tags(), key in any::<u64>()) {
+        let _ = tags;
+        let packer = Packer::new(&ring);
+        let mut prg = Prg::from_u64(key);
+        let f = ssx_poly::random_poly(&ring, &mut prg);
+        let radix = packer.pack_radix(&f);
+        prop_assert_eq!(radix.len(), packer.radix_len());
+        prop_assert_eq!(packer.unpack_radix(&ring, &radix).unwrap(), f.clone());
+        let bits = packer.pack_bits(&f);
+        prop_assert_eq!(packer.unpack_bits(&ring, &bits).unwrap(), f);
+    }
+
+    /// Ring multiplication is commutative/associative on random elements.
+    #[test]
+    fn ring_algebra(key in any::<u64>(), ring in arb_ring()) {
+        let mut prg = Prg::from_u64(key);
+        let a = ssx_poly::random_poly(&ring, &mut prg);
+        let b = ssx_poly::random_poly(&ring, &mut prg);
+        let c = ssx_poly::random_poly(&ring, &mut prg);
+        prop_assert_eq!(ring.mul(&a, &b), ring.mul(&b, &a));
+        prop_assert_eq!(ring.mul(&ring.mul(&a, &b), &c), ring.mul(&a, &ring.mul(&b, &c)));
+        let left = ring.mul(&a, &ring.add(&b, &c));
+        let right = ring.add(&ring.mul(&a, &b), &ring.mul(&a, &c));
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Deterministic pseudorandom generation for the secret-sharing scheme.
+//!
+//! In the paper (§3 steps 3–4, §5.2) the client's share of every node
+//! polynomial is produced by a pseudorandom generator so that the client only
+//! has to store a small *seed file*; whenever a query touches node `pre`, the
+//! client regenerates exactly that node's share from `(seed, pre)`.
+//!
+//! This crate provides that machinery:
+//!
+//! * [`Prg`] — a fast deterministic stream (xoshiro256** seeded via
+//!   splitmix64) with helpers for unbiased bounded sampling.
+//! * [`Seed`] — a 32-byte master key with hex/file serialisation (the
+//!   paper's "seed file", which *is* the encryption key).
+//! * [`node_prg`] — the keyed derivation `PRG(seed, pre)` used for share
+//!   regeneration. Distinct `pre` values give statistically independent
+//!   streams.
+//!
+//! **Security note (documented substitution).** The Java prototype used an
+//! unspecified PRG; ours is a high-quality *non-cryptographic* generator.
+//! The code path exercised — regenerate a node share from `(seed, location)`
+//! deterministically — is identical to what a cryptographic PRF would
+//! provide. The original scheme has known cryptanalytic weaknesses
+//! regardless (see DESIGN.md).
+
+mod seed;
+mod stream;
+
+pub use seed::{Seed, SeedError, SEED_BYTES};
+pub use stream::{node_prg, Prg};

@@ -1,0 +1,167 @@
+//! The master seed — the paper's "seed file".
+//!
+//! > "The seed file acts as the encryption key and should therefore be kept
+//! > secure. Without the seed file it is impossible to regenerate the client
+//! > tree, and without the client tree the data on the server is
+//! > meaningless." (§5.1)
+
+use std::fmt;
+use std::path::Path;
+
+/// Length of a master seed in bytes.
+pub const SEED_BYTES: usize = 32;
+
+/// Errors from parsing or loading a seed.
+#[derive(Debug)]
+pub enum SeedError {
+    /// Hex string had the wrong length or invalid characters.
+    BadHex(String),
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedError::BadHex(s) => write!(f, "invalid seed hex: {s}"),
+            SeedError::Io(e) => write!(f, "seed file I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+impl From<std::io::Error> for SeedError {
+    fn from(e: std::io::Error) -> Self {
+        SeedError::Io(e)
+    }
+}
+
+/// A 32-byte master seed. Equality is exact; `Debug` redacts the contents so
+/// seeds do not leak into logs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Seed {
+    bytes: [u8; SEED_BYTES],
+}
+
+impl fmt::Debug for Seed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seed(<redacted>)")
+    }
+}
+
+impl Seed {
+    /// Wraps raw bytes as a seed.
+    pub fn from_bytes(bytes: [u8; SEED_BYTES]) -> Self {
+        Seed { bytes }
+    }
+
+    /// Derives a seed deterministically from a low-entropy test key. Not for
+    /// production use; convenient in examples and benchmarks.
+    pub fn from_test_key(key: u64) -> Self {
+        let mut bytes = [0u8; SEED_BYTES];
+        let mut state = key ^ 0x5851_F42D_4C95_7F2D;
+        for chunk in bytes.chunks_exact_mut(8) {
+            let v = crate::stream::splitmix64(&mut state);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        Seed { bytes }
+    }
+
+    /// Raw byte view.
+    pub fn bytes(&self) -> &[u8; SEED_BYTES] {
+        &self.bytes
+    }
+
+    /// Lowercase hex encoding (64 characters).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(SEED_BYTES * 2);
+        for b in self.bytes {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses the 64-character hex encoding (case-insensitive, surrounding
+    /// whitespace ignored).
+    pub fn from_hex(hex: &str) -> Result<Self, SeedError> {
+        let hex = hex.trim();
+        if hex.len() != SEED_BYTES * 2 {
+            return Err(SeedError::BadHex(format!(
+                "expected {} hex chars, got {}",
+                SEED_BYTES * 2,
+                hex.len()
+            )));
+        }
+        let mut bytes = [0u8; SEED_BYTES];
+        for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char)
+                .to_digit(16)
+                .ok_or_else(|| SeedError::BadHex(hex.to_string()))?;
+            let lo = (chunk[1] as char)
+                .to_digit(16)
+                .ok_or_else(|| SeedError::BadHex(hex.to_string()))?;
+            bytes[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(Seed { bytes })
+    }
+
+    /// Loads a seed file (hex encoding produced by [`Seed::save`]).
+    pub fn load(path: &Path) -> Result<Self, SeedError> {
+        let text = std::fs::read_to_string(path)?;
+        Seed::from_hex(&text)
+    }
+
+    /// Saves the hex encoding to a file.
+    pub fn save(&self, path: &Path) -> Result<(), SeedError> {
+        std::fs::write(path, self.to_hex())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let seed = Seed::from_test_key(123);
+        let hex = seed.to_hex();
+        assert_eq!(hex.len(), 64);
+        let back = Seed::from_hex(&hex).unwrap();
+        assert_eq!(back, seed);
+        // Case and whitespace tolerated.
+        let upper = format!("  {}\n", hex.to_uppercase());
+        assert_eq!(Seed::from_hex(&upper).unwrap(), seed);
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert!(Seed::from_hex("abc").is_err());
+        assert!(Seed::from_hex(&"zz".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn test_keys_differ() {
+        assert_ne!(Seed::from_test_key(1), Seed::from_test_key(2));
+        assert_eq!(Seed::from_test_key(1), Seed::from_test_key(1));
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let seed = Seed::from_test_key(1);
+        assert_eq!(format!("{seed:?}"), "Seed(<redacted>)");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ssx_prg_seed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seed.hex");
+        let seed = Seed::from_test_key(99);
+        seed.save(&path).unwrap();
+        assert_eq!(Seed::load(&path).unwrap(), seed);
+        std::fs::remove_file(&path).ok();
+    }
+}

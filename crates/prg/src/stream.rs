@@ -1,0 +1,222 @@
+//! The generator core: splitmix64 seeding + xoshiro256** stream.
+
+use crate::seed::Seed;
+
+/// splitmix64 step; used for seeding and key mixing. Passes through every
+/// 64-bit state exactly once, so distinct inputs give distinct outputs.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudorandom stream (xoshiro256**).
+///
+/// Instances are cheap (32 bytes of state, no allocation) so one is created
+/// per node-share regeneration.
+#[derive(Clone, Debug)]
+pub struct Prg {
+    s: [u64; 4],
+}
+
+impl Prg {
+    /// Creates a stream from a 64-bit key via splitmix64 expansion.
+    pub fn from_u64(key: u64) -> Self {
+        let mut sm = key;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Prg { s }
+    }
+
+    /// Creates a stream from a full 32-byte seed.
+    pub fn from_seed(seed: &Seed) -> Self {
+        let b = seed.bytes();
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[i * 8..(i + 1) * 8]);
+            *slot = u64::from_le_bytes(w);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        // One warm-up mixing pass so low-entropy seeds still diffuse.
+        let mut prg = Prg { s };
+        for _ in 0..4 {
+            prg.next_u64();
+        }
+        prg
+    }
+
+    /// Next 64 pseudorandom bits (xoshiro256** update).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` by rejection sampling over a bitmask —
+    /// unbiased and deterministic across platforms. Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        if bound == 1 {
+            return 0;
+        }
+        let mask = u64::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let v = self.next_u64() & mask;
+            if v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive). Panics when `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+/// Derives the per-node stream `PRG(seed, pre)` used to (re)generate the
+/// client share of the node stored at pre-order position `pre`.
+///
+/// The derivation hashes the seed words and the location through splitmix64
+/// so that adjacent locations yield unrelated streams.
+pub fn node_prg(seed: &Seed, pre: u64) -> Prg {
+    let b = seed.bytes();
+    let mut acc = 0x6A09_E667_F3BC_C908u64; // sqrt(2) fractional bits
+    for chunk in b.chunks_exact(8) {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(chunk);
+        acc ^= u64::from_le_bytes(w);
+        acc = splitmix64(&mut acc);
+    }
+    acc ^= pre.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let _ = splitmix64(&mut acc);
+    Prg::from_u64(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let mut a = Prg::from_u64(42);
+        let mut b = Prg::from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut a = Prg::from_u64(1);
+        let mut b = Prg::from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn node_streams_are_location_dependent() {
+        let seed = Seed::from_bytes([7u8; 32]);
+        let mut s1 = node_prg(&seed, 1);
+        let mut s2 = node_prg(&seed, 2);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+        // And reproducible.
+        let mut s1b = node_prg(&seed, 1);
+        let mut s1c = node_prg(&seed, 1);
+        for _ in 0..32 {
+            assert_eq!(s1b.next_u64(), s1c.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_is_in_range_and_covers() {
+        let mut prg = Prg::from_u64(9);
+        let mut seen = [false; 83];
+        for _ in 0..5000 {
+            let v = prg.next_below(83);
+            assert!(v < 83);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "5000 draws should cover F_83");
+    }
+
+    #[test]
+    fn bounded_sampling_roughly_uniform() {
+        let mut prg = Prg::from_u64(1234);
+        let n = 83u64;
+        let draws = 83_000;
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..draws {
+            counts[prg.next_below(n) as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        // Chi-squared statistic; df = 82, the 99.9% quantile is ~124.8.
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 130.0, "chi2 = {chi2} suggests bias");
+    }
+
+    #[test]
+    fn range_and_pick_helpers() {
+        let mut prg = Prg::from_u64(5);
+        for _ in 0..100 {
+            let v = prg.next_range(10, 12);
+            assert!((10..=12).contains(&v));
+        }
+        let items = ["a", "b", "c"];
+        for _ in 0..50 {
+            assert!(items.contains(prg.pick(&items)));
+        }
+        assert_eq!(prg.next_below(1), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut prg = Prg::from_u64(77);
+        for _ in 0..1000 {
+            let v = prg.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Statistical quality checks on the PRG — the properties the
+//! secret-sharing layer actually relies on.
+
+use ssx_prg::{node_prg, Prg, Seed};
+
+/// Counts bit differences between two u64s.
+fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[test]
+fn adjacent_node_streams_have_avalanche() {
+    // Streams for pre and pre+1 should differ in ~32 of 64 bits on average:
+    // the location is mixed through splitmix64, not merely added.
+    let seed = Seed::from_test_key(1);
+    let mut total = 0u64;
+    let n = 2000u64;
+    for pre in 1..=n {
+        let a = node_prg(&seed, pre).next_u64();
+        let b = node_prg(&seed, pre + 1).next_u64();
+        total += hamming(a, b) as u64;
+    }
+    let avg = total as f64 / n as f64;
+    assert!((28.0..36.0).contains(&avg), "avalanche average {avg} (want ~32)");
+}
+
+#[test]
+fn seed_bit_flip_decorrelates_all_nodes() {
+    let mut bytes = [0x5au8; 32];
+    let seed_a = Seed::from_bytes(bytes);
+    bytes[17] ^= 0x01; // single-bit change
+    let seed_b = Seed::from_bytes(bytes);
+    let mut total = 0u64;
+    let n = 1000u64;
+    for pre in 1..=n {
+        let a = node_prg(&seed_a, pre).next_u64();
+        let b = node_prg(&seed_b, pre).next_u64();
+        total += hamming(a, b) as u64;
+    }
+    let avg = total as f64 / n as f64;
+    assert!((28.0..36.0).contains(&avg), "seed avalanche {avg}");
+}
+
+#[test]
+fn stream_bits_are_balanced() {
+    let mut prg = Prg::from_u64(7);
+    let mut ones = 0u64;
+    let draws = 10_000;
+    for _ in 0..draws {
+        ones += prg.next_u64().count_ones() as u64;
+    }
+    let frac = ones as f64 / (draws as f64 * 64.0);
+    assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
+}
+
+#[test]
+fn serial_correlation_is_low() {
+    // Lag-1 correlation of the high bit across a long run.
+    let mut prg = Prg::from_u64(99);
+    let mut prev = prg.next_u64() >> 63;
+    let mut agree = 0u64;
+    let n = 20_000u64;
+    for _ in 0..n {
+        let cur = prg.next_u64() >> 63;
+        if cur == prev {
+            agree += 1;
+        }
+        prev = cur;
+    }
+    let frac = agree as f64 / n as f64;
+    assert!((0.48..0.52).contains(&frac), "lag-1 agreement {frac}");
+}
+
+#[test]
+fn next_below_large_bounds() {
+    let mut prg = Prg::from_u64(3);
+    // Near-maximum bound exercises the rejection path repeatedly.
+    let bound = (1u64 << 63) + 3;
+    for _ in 0..1000 {
+        assert!(prg.next_below(bound) < bound);
+    }
+    // Power-of-two bound never rejects.
+    for _ in 0..1000 {
+        assert!(prg.next_below(1 << 32) < (1 << 32));
+    }
+}
+
+#[test]
+fn node_streams_are_pairwise_distinct_over_a_large_range() {
+    let seed = Seed::from_test_key(42);
+    let mut firsts = std::collections::HashSet::new();
+    for pre in 1..=100_000u64 {
+        let v = node_prg(&seed, pre).next_u64();
+        assert!(firsts.insert(v), "collision of first outputs at pre={pre}");
+    }
+}
+
+#[test]
+fn chance_respects_probability() {
+    let mut prg = Prg::from_u64(11);
+    let n = 50_000;
+    let hits = (0..n).filter(|_| prg.chance(0.3)).count();
+    let frac = hits as f64 / n as f64;
+    assert!((0.28..0.32).contains(&frac), "chance(0.3) hit rate {frac}");
+    // Degenerate probabilities.
+    assert!(!(0..100).any(|_| prg.chance(0.0)));
+    assert!((0..100).all(|_| prg.chance(1.1)));
+}

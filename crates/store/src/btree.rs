@@ -1,0 +1,486 @@
+//! An in-memory B-tree (CLRS layout) over `u64` keys and values.
+//!
+//! Minimum degree `T = 32`: every node except the root holds between
+//! `T − 1` and `2T − 1` keys, so trees stay shallow (3 levels cover ~260k
+//! keys) and range scans are cache-friendly. Nodes live in an arena; child
+//! links are indices, which keeps the structure compact and lets
+//! [`BTree::byte_size`] report honest index sizes for the Fig 4 series.
+
+/// Minimum degree (CLRS `t`). Nodes hold `T-1 ..= 2T-1` keys.
+const T: usize = 32;
+const MAX_KEYS: usize = 2 * T - 1;
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    /// Child arena indices; empty for leaves.
+    children: Vec<u32>,
+}
+
+impl Node {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::with_capacity(MAX_KEYS),
+            vals: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+}
+
+/// A `u64 → u64` B-tree with unique keys.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    nodes: Vec<Node>,
+    root: u32,
+    len: usize,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BTree { nodes: vec![Node::leaf()], root: 0, len: 0 }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key → val`. Returns the previous value when `key` was
+    /// already present (and replaces it).
+    pub fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
+        // Replace in place when present (B-tree keys are unique here).
+        if let Some(old) = self.replace(key, val) {
+            return Some(old);
+        }
+        if self.nodes[self.root as usize].is_full() {
+            // Grow: new root with the old root as single child, then split.
+            let old_root = self.root;
+            let mut new_root = Node::leaf();
+            new_root.children.push(old_root);
+            self.nodes.push(new_root);
+            self.root = (self.nodes.len() - 1) as u32;
+            self.split_child(self.root, 0);
+        }
+        self.insert_nonfull(self.root, key, val);
+        self.len += 1;
+        None
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            match n.keys.binary_search(&key) {
+                Ok(i) => return Some(n.vals[i]),
+                Err(i) => {
+                    if n.is_leaf() {
+                        return None;
+                    }
+                    node = n.children[i];
+                }
+            }
+        }
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Ordered iterator over entries with `lo <= key <= hi`.
+    pub fn range(&self, lo: u64, hi: u64) -> RangeIter<'_> {
+        let mut iter = RangeIter { tree: self, stack: Vec::new(), hi };
+        if lo <= hi {
+            iter.descend_to_lower_bound(self.root, lo);
+        }
+        iter
+    }
+
+    /// Ordered iterator over all entries.
+    pub fn iter(&self) -> RangeIter<'_> {
+        self.range(0, u64::MAX)
+    }
+
+    /// First entry with `key >= lo`.
+    pub fn lower_bound(&self, lo: u64) -> Option<(u64, u64)> {
+        self.range(lo, u64::MAX).next()
+    }
+
+    /// Number of arena nodes (tests + size accounting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap footprint in bytes: keys + values (8 each) and child
+    /// links (4), plus a fixed per-node header — the measure reported as
+    /// "index size" in the Fig 4 reproduction.
+    pub fn byte_size(&self) -> usize {
+        const NODE_HEADER: usize = 3 * 24; // three Vec headers
+        self.nodes
+            .iter()
+            .map(|n| NODE_HEADER + n.keys.len() * 8 + n.vals.len() * 8 + n.children.len() * 4)
+            .sum()
+    }
+
+    /// Validates the B-tree structural invariants (tests and persistence
+    /// loading): key ordering inside nodes, key-range separation across
+    /// children, minimum fill of non-root nodes, and uniform leaf depth.
+    /// Returns the total number of keys seen.
+    pub fn check_invariants(&self) -> Result<usize, String> {
+        let mut leaf_depth = None;
+        let count =
+            self.check_node(self.root, None, None, 0, &mut leaf_depth, true)?;
+        if count != self.len {
+            return Err(format!("len {} != counted {}", self.len, count));
+        }
+        Ok(count)
+    }
+
+    fn check_node(
+        &self,
+        node: u32,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+        is_root: bool,
+    ) -> Result<usize, String> {
+        let n = &self.nodes[node as usize];
+        if n.keys.len() != n.vals.len() {
+            return Err("keys/vals length mismatch".into());
+        }
+        if !is_root && n.keys.len() < T - 1 {
+            return Err(format!("underfull node: {} keys", n.keys.len()));
+        }
+        if n.keys.len() > MAX_KEYS {
+            return Err("overfull node".into());
+        }
+        for w in n.keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err("keys not strictly increasing".into());
+            }
+        }
+        if let (Some(lo), Some(&first)) = (lo, n.keys.first()) {
+            if first <= lo {
+                return Err("key below subtree lower bound".into());
+            }
+        }
+        if let (Some(hi), Some(&last)) = (hi, n.keys.last()) {
+            if last >= hi {
+                return Err("key above subtree upper bound".into());
+            }
+        }
+        if n.is_leaf() {
+            match *leaf_depth {
+                None => *leaf_depth = Some(depth),
+                Some(d) if d != depth => return Err("leaves at different depths".into()),
+                _ => {}
+            }
+            return Ok(n.keys.len());
+        }
+        if n.children.len() != n.keys.len() + 1 {
+            return Err("child count != key count + 1".into());
+        }
+        let mut total = n.keys.len();
+        for (i, &child) in n.children.iter().enumerate() {
+            let child_lo = if i == 0 { lo } else { Some(n.keys[i - 1]) };
+            let child_hi = if i == n.keys.len() { hi } else { Some(n.keys[i]) };
+            total += self.check_node(child, child_lo, child_hi, depth + 1, leaf_depth, false)?;
+        }
+        Ok(total)
+    }
+
+    fn replace(&mut self, key: u64, val: u64) -> Option<u64> {
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            match n.keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = self.nodes[node as usize].vals[i];
+                    self.nodes[node as usize].vals[i] = val;
+                    return Some(old);
+                }
+                Err(i) => {
+                    if n.is_leaf() {
+                        return None;
+                    }
+                    node = n.children[i];
+                }
+            }
+        }
+    }
+
+    /// Splits the full `i`-th child of `parent` (CLRS B-TREE-SPLIT-CHILD).
+    fn split_child(&mut self, parent: u32, i: usize) {
+        let child_idx = self.nodes[parent as usize].children[i];
+        let (mid_key, mid_val, right) = {
+            let child = &mut self.nodes[child_idx as usize];
+            debug_assert!(child.is_full());
+            let mut right = Node::leaf();
+            right.keys = child.keys.split_off(T);
+            right.vals = child.vals.split_off(T);
+            if !child.is_leaf() {
+                right.children = child.children.split_off(T);
+            }
+            let mid_key = child.keys.pop().expect("median key");
+            let mid_val = child.vals.pop().expect("median val");
+            (mid_key, mid_val, right)
+        };
+        self.nodes.push(right);
+        let right_idx = (self.nodes.len() - 1) as u32;
+        let parent_node = &mut self.nodes[parent as usize];
+        parent_node.keys.insert(i, mid_key);
+        parent_node.vals.insert(i, mid_val);
+        parent_node.children.insert(i + 1, right_idx);
+    }
+
+    fn insert_nonfull(&mut self, mut node: u32, key: u64, val: u64) {
+        loop {
+            let n = &self.nodes[node as usize];
+            let i = match n.keys.binary_search(&key) {
+                Ok(_) => unreachable!("replace() handled existing keys"),
+                Err(i) => i,
+            };
+            if n.is_leaf() {
+                let n = &mut self.nodes[node as usize];
+                n.keys.insert(i, key);
+                n.vals.insert(i, val);
+                return;
+            }
+            let child = n.children[i];
+            if self.nodes[child as usize].is_full() {
+                self.split_child(node, i);
+                // The split may have moved the target range.
+                let n = &self.nodes[node as usize];
+                let i = match n.keys.binary_search(&key) {
+                    Ok(_) => unreachable!("median key equal to inserted key"),
+                    Err(i) => i,
+                };
+                node = n.children[i];
+            } else {
+                node = child;
+            }
+        }
+    }
+}
+
+/// Ordered range iterator. Holds an explicit descent stack; `O(log n)` space.
+pub struct RangeIter<'a> {
+    tree: &'a BTree,
+    /// `(node, next index)` — for internal nodes, `index` counts entries;
+    /// invariant: when popped, emit key `index` then descend child `index+1`.
+    stack: Vec<(u32, usize)>,
+    hi: u64,
+}
+
+impl<'a> RangeIter<'a> {
+    fn descend_to_lower_bound(&mut self, mut node: u32, lo: u64) {
+        loop {
+            let n = &self.tree.nodes[node as usize];
+            let i = n.keys.partition_point(|&k| k < lo);
+            self.stack.push((node, i));
+            if n.is_leaf() {
+                return;
+            }
+            node = n.children[i];
+        }
+    }
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &(node, i) = self.stack.last()?;
+            let n = &self.tree.nodes[node as usize];
+            if i >= n.keys.len() {
+                self.stack.pop();
+                continue;
+            }
+            let key = n.keys[i];
+            if key > self.hi {
+                self.stack.clear();
+                return None;
+            }
+            let val = n.vals[i];
+            // Advance: past this entry, then descend into the right child.
+            self.stack.last_mut().expect("non-empty").1 = i + 1;
+            if !n.is_leaf() {
+                let child = n.children[i + 1];
+                self.descend_leftmost(child);
+            }
+            return Some((key, val));
+        }
+    }
+}
+
+impl<'a> RangeIter<'a> {
+    fn descend_leftmost(&mut self, mut node: u32) {
+        loop {
+            self.stack.push((node, 0));
+            let n = &self.tree.nodes[node as usize];
+            if n.is_leaf() {
+                return;
+            }
+            node = n.children[0];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BTree::new();
+        assert!(t.is_empty());
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(4), None);
+        assert!(t.contains(9));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(20));
+    }
+
+    #[test]
+    fn sequential_inserts_force_splits() {
+        let mut t = BTree::new();
+        let n = 10_000u64;
+        for k in 0..n {
+            t.insert(k, k ^ 0xabcd);
+        }
+        assert_eq!(t.len(), n as usize);
+        t.check_invariants().unwrap();
+        assert!(t.node_count() > 100, "splits must have happened");
+        for k in (0..n).step_by(97) {
+            assert_eq!(t.get(k), Some(k ^ 0xabcd));
+        }
+    }
+
+    #[test]
+    fn reverse_and_interleaved_inserts() {
+        let mut t = BTree::new();
+        for k in (0..5000u64).rev() {
+            t.insert(k, k);
+        }
+        t.check_invariants().unwrap();
+        let mut t2 = BTree::new();
+        // Zig-zag order.
+        for i in 0..2500u64 {
+            t2.insert(i, i);
+            t2.insert(4999 - i, 4999 - i);
+        }
+        t2.check_invariants().unwrap();
+        assert_eq!(t2.len(), 5000);
+    }
+
+    #[test]
+    fn range_scan_matches_model() {
+        let mut t = BTree::new();
+        let mut model = BTreeMap::new();
+        // Pseudo-random keys via a multiplicative walk.
+        let mut k = 1u64;
+        for i in 0..3000u64 {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = k % 10_000;
+            t.insert(key, i);
+            model.insert(key, i);
+        }
+        t.check_invariants().unwrap();
+        for (lo, hi) in [(0u64, 10_000u64), (500, 600), (9990, 10_500), (42, 42), (7, 3)] {
+            let got: Vec<(u64, u64)> = t.range(lo, hi).collect();
+            let want: Vec<(u64, u64)> =
+                model.range(lo..=hi.max(lo)).map(|(&k, &v)| (k, v)).collect();
+            let want = if lo > hi { vec![] } else { want };
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn full_iteration_sorted() {
+        let mut t = BTree::new();
+        for k in [9u64, 2, 7, 4, 1, 8, 3, 0, 6, 5] {
+            t.insert(k, 100 + k);
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lower_bound() {
+        let mut t = BTree::new();
+        for k in [10u64, 20, 30] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.lower_bound(0), Some((10, 10)));
+        assert_eq!(t.lower_bound(10), Some((10, 10)));
+        assert_eq!(t.lower_bound(11), Some((20, 20)));
+        assert_eq!(t.lower_bound(31), None);
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut t = BTree::new();
+        t.insert(0, 1);
+        t.insert(u64::MAX, 2);
+        assert_eq!(t.get(0), Some(1));
+        assert_eq!(t.get(u64::MAX), Some(2));
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(0, 1), (u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn byte_size_grows_with_content() {
+        let mut t = BTree::new();
+        let empty = t.byte_size();
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        assert!(t.byte_size() > empty + 1000 * 16 / 2, "size must reflect entries");
+    }
+
+    #[test]
+    fn empty_range_on_empty_tree() {
+        let t = BTree::new();
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.range(5, 10).count(), 0);
+        assert_eq!(t.lower_bound(0), None);
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The server-side store: a B-tree-indexed relational table of encoded
+//! nodes, standing in for the paper's MySQL backend (§5.1).
+//!
+//! > "The tree structure is stored by adding pre, post and parent values to
+//! > each polynomial. … In order to speed up the search process the pre,
+//! > post and parent fields are indexed by a B-tree."
+//!
+//! * [`BTree`] — a from-scratch in-memory B-tree (`u64 → u64`) with point
+//!   lookups and ordered range scans; structural invariants are enforced in
+//!   tests, and sizes are measurable for the Fig 4 index-size series.
+//! * [`Table`] — rows of `(pre, post, parent, packed polynomial)` with three
+//!   indices mirroring the paper's layout: `pre` (point access), `post`
+//!   (interval checks) and `(parent, pre)` (children enumeration).
+//!   Descendant enumeration exploits that descendants of `u` are exactly the
+//!   rows with `pre > pre(u) ∧ post < post(u)`, contiguous in `pre` order.
+//! * [`persist`] — a simple checksummed file format; loading rebuilds the
+//!   indices (a documented deviation from MySQL, which persists B-trees;
+//!   sizes are still reported for both data and indices).
+
+pub mod btree;
+pub mod persist;
+pub mod table;
+
+pub use btree::BTree;
+pub use persist::{load_table, save_table};
+pub use table::{Loc, Row, SizeReport, StoreError, Table};

@@ -1,0 +1,196 @@
+//! Checksummed single-file persistence for [`Table`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8  b"SSXDB\x01\0\0"
+//! poly_len 4
+//! rows     8
+//! row * rows: pre u32 | post u32 | parent u32 | poly[poly_len]
+//! checksum 8  FNV-1a over everything before it
+//! ```
+//!
+//! Loading verifies the checksum, rebuilds the three indices and runs the
+//! structural integrity check, so a truncated or bit-flipped file is
+//! reported as [`StoreError::Persist`] instead of corrupting queries.
+
+use crate::table::{Loc, Row, StoreError, Table};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SSXDB\x01\0\0";
+
+/// FNV-1a, 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises `table` to `path` atomically (write temp + rename).
+pub fn save_table(table: &Table, path: &Path) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(
+        MAGIC.len() + 12 + table.len() * (12 + table.poly_len()) + 8,
+    );
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(table.poly_len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    for row in table.rows() {
+        buf.extend_from_slice(&row.loc.pre.to_le_bytes());
+        buf.extend_from_slice(&row.loc.post.to_le_bytes());
+        buf.extend_from_slice(&row.loc.parent.to_le_bytes());
+        buf.extend_from_slice(&row.poly);
+    }
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(&buf).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)?;
+    Ok(())
+}
+
+/// Loads a table previously written by [`save_table`], rebuilding indices
+/// and verifying integrity.
+pub fn load_table(path: &Path) -> Result<Table, StoreError> {
+    let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+    let mut buf = Vec::new();
+    std::fs::File::open(path).map_err(io)?.read_to_end(&mut buf).map_err(io)?;
+    if buf.len() < MAGIC.len() + 12 + 8 {
+        return Err(StoreError::Persist("file too short".into()));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let stored_sum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored_sum {
+        return Err(StoreError::Persist("checksum mismatch".into()));
+    }
+    if &body[..8] != MAGIC {
+        return Err(StoreError::Persist("bad magic".into()));
+    }
+    let poly_len = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let rows = u64::from_le_bytes(body[12..20].try_into().unwrap()) as usize;
+    let row_size = 12 + poly_len;
+    let expected = 20 + rows * row_size;
+    if body.len() != expected {
+        return Err(StoreError::Persist(format!(
+            "expected {expected} body bytes, found {}",
+            body.len()
+        )));
+    }
+    let mut table = Table::new(poly_len);
+    for i in 0..rows {
+        let off = 20 + i * row_size;
+        let pre = u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
+        let post = u32::from_le_bytes(body[off + 4..off + 8].try_into().unwrap());
+        let parent = u32::from_le_bytes(body[off + 8..off + 12].try_into().unwrap());
+        let poly = body[off + 12..off + row_size].to_vec().into_boxed_slice();
+        table
+            .insert(Row { loc: Loc { pre, post, parent }, poly })
+            .map_err(|e| StoreError::Persist(format!("row {i}: {e}")))?;
+    }
+    table.check_integrity()?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(3);
+        for (pre, post, parent) in [(1u32, 3u32, 0u32), (2, 1, 1), (3, 2, 1)] {
+            t.insert(Row {
+                loc: Loc { pre, post, parent },
+                poly: vec![pre as u8, 0xaa, 0xbb].into_boxed_slice(),
+            })
+            .unwrap();
+        }
+        t
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ssx_store_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let path = tmp("round_trip.ssxdb");
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.poly_len(), t.poly_len());
+        for row in t.rows() {
+            assert_eq!(back.by_pre(row.loc.pre).unwrap(), row);
+        }
+        // Indices work after reload.
+        assert_eq!(back.children_of(1).len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = sample();
+        let path = tmp("truncated.ssxdb");
+        save_table(&t, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(load_table(&path).unwrap_err(), StoreError::Persist(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let t = sample();
+        let path = tmp("bitflip.ssxdb");
+        save_table(&t, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_table(&path).unwrap_err(), StoreError::Persist(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let path = tmp("badmagic.ssxdb");
+        // Valid checksum over garbage body.
+        let mut buf = b"NOTADB\0\0".to_vec();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let sum = super::fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        let err = load_table(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Persist(ref m) if m.contains("magic")), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(matches!(
+            load_table(Path::new("/nonexistent/nope.ssxdb")).unwrap_err(),
+            StoreError::Persist(_)
+        ));
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new(7);
+        let path = tmp("empty.ssxdb");
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.poly_len(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

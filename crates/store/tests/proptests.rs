@@ -1,0 +1,130 @@
+//! Property tests: the B-tree against the standard-library model, and
+//! table scans against brute force on random trees.
+
+use proptest::prelude::*;
+use ssx_store::{BTree, Loc, Row, Table};
+use std::collections::BTreeMap;
+
+proptest! {
+    /// BTree behaves exactly like std::BTreeMap under random workloads.
+    #[test]
+    fn btree_model_equivalence(ops in proptest::collection::vec((any::<u16>(), any::<u64>()), 1..600)) {
+        let mut tree = BTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in ops {
+            let k = k as u64;
+            prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), model.len());
+        let got: Vec<(u64, u64)> = tree.iter().collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Range scans match the model for random bounds.
+    #[test]
+    fn btree_range_equivalence(
+        keys in proptest::collection::btree_set(0u64..5000, 0..300),
+        lo in 0u64..5000,
+        span in 0u64..1000,
+    ) {
+        let mut tree = BTree::new();
+        for &k in &keys {
+            tree.insert(k, k * 3);
+        }
+        let hi = lo.saturating_add(span);
+        let got: Vec<u64> = tree.range(lo, hi).map(|(k, _)| k).collect();
+        let want: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Generates a random tree as a parent-pointer vector: node i (0-based,
+/// root = 0) has parent `parents[i] < i`.
+fn arb_tree(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(any::<proptest::sample::Index>(), 0..max).prop_map(|choices| {
+        let mut parents = vec![0usize]; // root sentinel (unused slot 0)
+        for (i, c) in choices.iter().enumerate() {
+            let node = i + 1;
+            parents.push(c.index(node)); // parent in 0..node
+        }
+        parents
+    })
+}
+
+/// Builds pre/post numbering from parent pointers (children in index order).
+fn table_from_parents(parents: &[usize]) -> Table {
+    let n = parents.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        children[p].push(i);
+    }
+    let mut pre = vec![0u32; n];
+    let mut post = vec![0u32; n];
+    let mut pre_c = 0u32;
+    let mut post_c = 0u32;
+    // Iterative DFS with explicit phases.
+    let mut stack = vec![(0usize, false)];
+    while let Some((node, entered)) = stack.pop() {
+        if entered {
+            post_c += 1;
+            post[node] = post_c;
+            continue;
+        }
+        pre_c += 1;
+        pre[node] = pre_c;
+        stack.push((node, true));
+        for &c in children[node].iter().rev() {
+            stack.push((c, false));
+        }
+    }
+    let mut table = Table::new(2);
+    // Insert in pre order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| pre[i]);
+    for i in order {
+        let parent_pre = if i == 0 { 0 } else { pre[parents[i]] };
+        table
+            .insert(Row {
+                loc: Loc { pre: pre[i], post: post[i], parent: parent_pre },
+                poly: vec![0u8; 2].into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    table
+}
+
+proptest! {
+    /// Indexed children/descendant scans agree with brute force on random trees.
+    #[test]
+    fn table_scans_match_bruteforce(parents in arb_tree(60)) {
+        let table = table_from_parents(&parents);
+        table.check_integrity().unwrap();
+        let locs = table.all_locs();
+        for &loc in &locs {
+            // children_of vs filter.
+            let kids = table.children_of(loc.pre);
+            let brute: Vec<Loc> = locs.iter().copied().filter(|l| l.parent == loc.pre).collect();
+            prop_assert_eq!(kids, brute);
+            // descendants via index vs scan baseline.
+            prop_assert_eq!(table.descendants_of(loc), table.descendants_of_scan(loc));
+        }
+        // Root is pre = 1.
+        prop_assert_eq!(table.root().unwrap().loc.pre, 1);
+    }
+
+    /// Save/load round-trips random tables bit-exactly.
+    #[test]
+    fn persistence_round_trip(parents in arb_tree(40), tag in any::<u32>()) {
+        let table = table_from_parents(&parents);
+        let path = std::env::temp_dir()
+            .join("ssx_store_proptests")
+            .join(format!("t{tag}.ssxdb"));
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        ssx_store::save_table(&table, &path).unwrap();
+        let back = ssx_store::load_table(&path).unwrap();
+        prop_assert_eq!(back.rows(), table.rows());
+        std::fs::remove_file(&path).ok();
+    }
+}

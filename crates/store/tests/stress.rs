@@ -1,0 +1,130 @@
+//! Stress and scale tests for the storage layer.
+
+use ssx_store::{BTree, Loc, Row, Table};
+
+#[test]
+fn btree_hundred_thousand_random_keys() {
+    let mut tree = BTree::new();
+    // Deterministic pseudo-random permutation via an LCG.
+    let mut k = 1u64;
+    let n = 100_000u64;
+    for i in 0..n {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        tree.insert(k, i);
+    }
+    assert_eq!(tree.len() as u64, n, "no collisions expected from the LCG in 100k draws");
+    tree.check_invariants().unwrap();
+    // Full iteration is sorted and complete.
+    let mut prev = 0u64;
+    let mut count = 0;
+    for (key, _) in tree.iter() {
+        assert!(count == 0 || key > prev);
+        prev = key;
+        count += 1;
+    }
+    assert_eq!(count, n as usize);
+    // Tree height stays logarithmic: with t = 32, 100k keys fit in 4 levels,
+    // so node count is comfortably below n / 16.
+    assert!(tree.node_count() < (n as usize) / 16);
+}
+
+#[test]
+fn deep_chain_descendants() {
+    // A 20k-deep chain: descendants_of(root) scans the whole table, and the
+    // interval property must hold at every level.
+    let n = 20_000u32;
+    let mut table = Table::new(1);
+    for pre in 1..=n {
+        table
+            .insert(Row {
+                loc: Loc { pre, post: n - pre + 1, parent: pre.saturating_sub(1) },
+                poly: vec![0u8].into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    table.check_integrity().unwrap();
+    let root = table.root().unwrap().loc;
+    assert_eq!(table.descendants_of(root).len(), n as usize - 1);
+    // A mid node sees exactly the nodes below it.
+    let mid = table.by_pre(n / 2).unwrap().loc;
+    assert_eq!(table.descendants_of(mid).len(), (n - n / 2) as usize);
+    // Every node has at most one child in a chain.
+    for pre in 1..n {
+        assert_eq!(table.children_of(pre).len(), 1);
+    }
+    assert_eq!(table.children_of(n).len(), 0);
+}
+
+#[test]
+fn wide_star_children() {
+    // One root with 50k children: children_of must return them in order via
+    // a single range scan of the (parent, pre) index.
+    let n = 50_000u32;
+    let mut table = Table::new(1);
+    table
+        .insert(Row {
+            loc: Loc { pre: 1, post: n + 1, parent: 0 },
+            poly: vec![0u8].into_boxed_slice(),
+        })
+        .unwrap();
+    for i in 0..n {
+        table
+            .insert(Row {
+                loc: Loc { pre: 2 + i, post: 1 + i, parent: 1 },
+                poly: vec![0u8].into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    table.check_integrity().unwrap();
+    let kids = table.children_of(1);
+    assert_eq!(kids.len(), n as usize);
+    assert!(kids.windows(2).all(|w| w[0].pre < w[1].pre), "document order");
+}
+
+#[test]
+fn interleaved_insertion_order() {
+    // Rows may arrive in any order (the encoder emits post-order; loaders
+    // emit file order); indices must not care.
+    let rows = [
+        (3u32, 1u32, 2u32),
+        (1, 4, 0),
+        (4, 3, 1),
+        (2, 2, 1),
+    ];
+    let mut table = Table::new(1);
+    for (pre, post, parent) in rows {
+        table
+            .insert(Row {
+                loc: Loc { pre, post, parent },
+                poly: vec![0u8].into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    table.check_integrity().unwrap();
+    assert_eq!(table.root().unwrap().loc.pre, 1);
+    assert_eq!(
+        table.children_of(1).iter().map(|l| l.pre).collect::<Vec<_>>(),
+        vec![2, 4]
+    );
+    assert_eq!(table.all_locs().iter().map(|l| l.pre).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn persistence_scales() {
+    let n = 10_000u32;
+    let mut table = Table::new(8);
+    for pre in 1..=n {
+        table
+            .insert(Row {
+                loc: Loc { pre, post: n - pre + 1, parent: pre.saturating_sub(1) },
+                poly: vec![pre as u8; 8].into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    let path = std::env::temp_dir().join("ssx_store_stress.ssxdb");
+    ssx_store::save_table(&table, &path).unwrap();
+    let back = ssx_store::load_table(&path).unwrap();
+    assert_eq!(back.len(), n as usize);
+    assert_eq!(back.by_pre(n).unwrap().poly, table.by_pre(n).unwrap().poly);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,136 @@
+//! Quantifying the §4 compression claims.
+//!
+//! > "On average removing duplicate words from a text reduces the size by
+//! > 50%. Reducing a text into a compressed trie reduces the size by 75-80%.
+//! > However each node is converted into a polynomial of size
+//! > (p^e − 1)·log2 p^e bits. In case p = 29 a polynomial costs 17 bytes.
+//! > Due to the trie compression the 'encryption' of a single letter will
+//! > cost approximately 3½ − 4½ bytes."
+
+use crate::trie::Trie;
+use crate::words::split_words;
+
+/// Size statistics for a text corpus under the trie transformations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrieStats {
+    /// Characters across all word occurrences (the "original size").
+    pub original_chars: usize,
+    /// Number of word occurrences.
+    pub word_occurrences: usize,
+    /// Number of distinct words.
+    pub distinct_words: usize,
+    /// Characters across distinct words (size after removing duplicates).
+    pub deduped_chars: usize,
+    /// Character nodes in the compressed trie.
+    pub trie_char_nodes: usize,
+    /// Terminator nodes in the compressed trie.
+    pub trie_terminals: usize,
+}
+
+impl TrieStats {
+    /// Fractional size reduction from removing duplicate words
+    /// (paper: ≈ 0.5 on natural text).
+    pub fn dedup_reduction(&self) -> f64 {
+        reduction(self.original_chars, self.deduped_chars)
+    }
+
+    /// Fractional size reduction of the compressed trie vs the original
+    /// character count (paper: 0.75–0.80 on natural text).
+    pub fn trie_reduction(&self) -> f64 {
+        reduction(self.original_chars, self.trie_char_nodes)
+    }
+
+    /// Effective encrypted cost per original letter when every trie node
+    /// (characters + terminators) costs `poly_bytes` (paper: 3.5–4.5 bytes
+    /// per letter at 17-byte polynomials).
+    pub fn bytes_per_letter(&self, poly_bytes: f64) -> f64 {
+        if self.original_chars == 0 {
+            return 0.0;
+        }
+        (self.trie_char_nodes + self.trie_terminals) as f64 * poly_bytes
+            / self.original_chars as f64
+    }
+}
+
+fn reduction(before: usize, after: usize) -> f64 {
+    if before == 0 {
+        return 0.0;
+    }
+    1.0 - after as f64 / before as f64
+}
+
+/// Computes [`TrieStats`] over a corpus of text fragments (e.g. every text
+/// node of a document).
+pub fn corpus_stats<'a, I: IntoIterator<Item = &'a str>>(fragments: I) -> TrieStats {
+    let mut words: Vec<String> = Vec::new();
+    for frag in fragments {
+        words.extend(split_words(frag));
+    }
+    let original_chars: usize = words.iter().map(|w| w.chars().count()).sum();
+    let word_occurrences = words.len();
+    let mut distinct: Vec<&str> = words.iter().map(String::as_str).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let deduped_chars: usize = distinct.iter().map(|w| w.chars().count()).sum();
+    let trie = Trie::from_words(&words);
+    TrieStats {
+        original_chars,
+        word_occurrences,
+        distinct_words: distinct.len(),
+        deduped_chars,
+        trie_char_nodes: trie.char_node_count(),
+        trie_terminals: trie.terminal_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_repetitive_text() {
+        // 10 copies of "the cat sat on the mat": heavy duplication.
+        let text = "the cat sat on the mat. ".repeat(10);
+        let stats = corpus_stats([text.as_str()]);
+        assert_eq!(stats.word_occurrences, 60);
+        assert_eq!(stats.distinct_words, 5); // the, cat, sat, on, mat
+        // 60 occurrences, "the" twice per sentence: chars = 10*(3+3+3+2+3+3).
+        assert_eq!(stats.original_chars, 170);
+        assert_eq!(stats.deduped_chars, 3 + 3 + 3 + 2 + 3);
+        assert!(stats.dedup_reduction() > 0.9, "repetition dedups massively");
+        assert!(stats.trie_reduction() > 0.9);
+    }
+
+    #[test]
+    fn trie_never_larger_than_dedup() {
+        let stats = corpus_stats(["alpha alphabet alphabetical beta betamax"]);
+        assert!(stats.trie_char_nodes <= stats.deduped_chars);
+        assert!(stats.deduped_chars <= stats.original_chars);
+    }
+
+    #[test]
+    fn bytes_per_letter_formula() {
+        let stats = corpus_stats(["aaa aaa"]); // one word "aaa", 6 original chars
+        assert_eq!(stats.original_chars, 6);
+        assert_eq!(stats.trie_char_nodes, 3);
+        assert_eq!(stats.trie_terminals, 1);
+        // (3 + 1) * 17 / 6 ≈ 11.3
+        let bpl = stats.bytes_per_letter(17.0);
+        assert!((bpl - 4.0 * 17.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let stats = corpus_stats(std::iter::empty());
+        assert_eq!(stats.original_chars, 0);
+        assert_eq!(stats.dedup_reduction(), 0.0);
+        assert_eq!(stats.bytes_per_letter(17.0), 0.0);
+    }
+
+    #[test]
+    fn fragments_merge() {
+        let a = corpus_stats(["one two", "two three"]);
+        let b = corpus_stats(["one two two three"]);
+        assert_eq!(a, b);
+    }
+}

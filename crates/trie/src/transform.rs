@@ -1,0 +1,172 @@
+//! Rewriting a document so text nodes become trie subtrees.
+//!
+//! After this pass every node in the document is an element whose name is
+//! either an original tag or a single trie character (or the terminator), so
+//! the unmodified polynomial encoding covers text search too. This is the
+//! integration the paper lists as future work ("The trie-representation is
+//! not yet part of the current prototype", §7) — implemented here.
+
+use crate::trie::Trie;
+use crate::words::{split_words, WORD_END_NAME};
+use ssx_xml::{Document, NodeId, NodeKind};
+
+/// Which §4 representation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrieMode {
+    /// Figure 2(b): shared prefixes, duplicates collapsed. Smallest; loses
+    /// word order and multiplicity.
+    Compressed,
+    /// Figure 2(c): one path per word occurrence. Larger; information
+    /// preserving.
+    Uncompressed,
+}
+
+/// Returns a copy of `doc` in which every text node is replaced by its trie
+/// representation: character-element paths under the text node's parent,
+/// each word terminated by a `⊥` (`"_"`) element.
+pub fn transform_document(doc: &Document, mode: TrieMode) -> Document {
+    let mut out = Document::new(doc.name(doc.root()).expect("root is an element"));
+    let out_root = out.root();
+    copy_children(doc, doc.root(), &mut out, out_root, mode);
+    out
+}
+
+fn copy_children(
+    src: &Document,
+    src_node: NodeId,
+    dst: &mut Document,
+    dst_node: NodeId,
+    mode: TrieMode,
+) {
+    // Gather the words of all immediate text children first so compressed
+    // mode merges them into a single trie per parent element.
+    let mut words: Vec<String> = Vec::new();
+    for &child in src.children(src_node) {
+        match src.kind(child) {
+            NodeKind::Element(name) => {
+                let name = name.clone();
+                let new_child = dst.add_element(dst_node, &name);
+                copy_children(src, child, dst, new_child, mode);
+            }
+            NodeKind::Text(t) => words.extend(split_words(t)),
+        }
+    }
+    if words.is_empty() {
+        return;
+    }
+    match mode {
+        TrieMode::Compressed => {
+            let trie = Trie::from_words(&words);
+            emit_trie(&trie, dst, dst_node);
+        }
+        TrieMode::Uncompressed => {
+            for w in &words {
+                let mut cur = dst_node;
+                for c in w.chars() {
+                    cur = dst.add_element(cur, &c.to_string());
+                }
+                dst.add_element(cur, WORD_END_NAME);
+            }
+        }
+    }
+}
+
+fn emit_trie(trie: &Trie, dst: &mut Document, parent: NodeId) {
+    if trie.is_terminal() {
+        dst.add_element(parent, WORD_END_NAME);
+    }
+    for (c, child) in trie.children() {
+        let node = dst.add_element(parent, &c.to_string());
+        emit_trie(child, dst, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_compressed() {
+        let doc = Document::parse("<name>Joan Johnson</name>").unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        // Root <name>, one child 'j' (shared), then 'o', branching to
+        // a-n-⊥ and h-n-s-o-n-⊥.
+        let root = out.root();
+        assert_eq!(out.name(root), Some("name"));
+        let top: Vec<_> = out.child_elements(root).collect();
+        assert_eq!(top.len(), 1);
+        assert_eq!(out.name(top[0]), Some("j"));
+        // Count: 9 char nodes + 2 terminators + root = 12 elements.
+        assert_eq!(out.element_count(), 12);
+    }
+
+    #[test]
+    fn paper_figure2_uncompressed() {
+        let doc = Document::parse("<name>Joan Johnson</name>").unwrap();
+        let out = transform_document(&doc, TrieMode::Uncompressed);
+        // Two independent paths: 4 + 7 char nodes + 2 terminators + root.
+        assert_eq!(out.element_count(), 4 + 7 + 2 + 1);
+        let top: Vec<_> = out.child_elements(out.root()).collect();
+        assert_eq!(top.len(), 2, "one path per word");
+    }
+
+    #[test]
+    fn duplicates_collapse_only_in_compressed() {
+        let doc = Document::parse("<t>dog dog dog</t>").unwrap();
+        let compressed = transform_document(&doc, TrieMode::Compressed);
+        let uncompressed = transform_document(&doc, TrieMode::Uncompressed);
+        // dog = 3 chars + ⊥ + root.
+        assert_eq!(compressed.element_count(), 3 + 1 + 1);
+        assert_eq!(uncompressed.element_count(), 3 * (3 + 1) + 1);
+    }
+
+    #[test]
+    fn elements_preserved_text_replaced() {
+        let doc =
+            Document::parse("<person><name>Ann</name><age>30</age></person>").unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        assert_eq!(out.name(out.root()), Some("person"));
+        let kids: Vec<_> = out.child_elements(out.root()).collect();
+        assert_eq!(out.name(kids[0]), Some("name"));
+        assert_eq!(out.name(kids[1]), Some("age"));
+        // "ann" path under name: a-n-n-⊥; "30" under age: 3-0-⊥.
+        let name_sub = out.descendants(kids[0]);
+        assert_eq!(name_sub.len(), 1 + 3 + 1);
+        // No text nodes remain anywhere.
+        for id in out.descendants(out.root()) {
+            assert!(out.name(id).is_some(), "text node survived transformation");
+        }
+    }
+
+    #[test]
+    fn querying_transformed_doc_by_path() {
+        // The path j/o/a/n must exist under <name> after transformation —
+        // the document-side counterpart of the query translation.
+        let doc = Document::parse("<name>Joan Johnson</name>").unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        let mut cur = out.root();
+        for c in ["j", "o", "a", "n"] {
+            cur = out
+                .child_elements(cur)
+                .find(|&id| out.name(id) == Some(c))
+                .unwrap_or_else(|| panic!("missing path element {c}"));
+        }
+        // Terminal marker present (joan is a whole word).
+        assert!(out.child_elements(cur).any(|id| out.name(id) == Some(WORD_END_NAME)));
+    }
+
+    #[test]
+    fn mixed_content_words_merge_per_parent() {
+        let doc = Document::parse("<t>ab<x/>ab cd</t>").unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        // Words {ab, cd}: 4 char nodes + 2 terminators + <x/> + root = 8.
+        assert_eq!(out.element_count(), 8);
+    }
+
+    #[test]
+    fn empty_text_only_whitespace() {
+        let doc = Document::parse("<t>   </t>").unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        assert_eq!(out.element_count(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! The compressed trie data structure (Fredkin 1960, as cited by the paper).
+
+use std::collections::BTreeMap;
+
+/// A compressed trie over word strings. Children are ordered (BTreeMap) so
+/// document generation is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trie {
+    children: BTreeMap<char, Trie>,
+    /// True when a word ends at this node (rendered as a `⊥` child).
+    terminal: bool,
+}
+
+impl Trie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Trie::default()
+    }
+
+    /// Builds a trie from words (duplicates collapse — that is the point).
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Trie::new();
+        for w in words {
+            t.insert(w.as_ref());
+        }
+        t
+    }
+
+    /// Inserts one word.
+    pub fn insert(&mut self, word: &str) {
+        let mut node = self;
+        for c in word.chars() {
+            node = node.children.entry(c).or_default();
+        }
+        node.terminal = true;
+    }
+
+    /// True when `word` was inserted exactly (terminator honoured).
+    pub fn contains_word(&self, word: &str) -> bool {
+        match self.walk(word) {
+            Some(node) => node.terminal,
+            None => false,
+        }
+    }
+
+    /// True when some inserted word starts with `prefix` — the semantics of
+    /// the paper's `contains(text(), …)` path query without a terminator.
+    pub fn contains_prefix(&self, prefix: &str) -> bool {
+        self.walk(prefix).is_some()
+    }
+
+    /// Ordered child iterator.
+    pub fn children(&self) -> impl Iterator<Item = (char, &Trie)> {
+        self.children.iter().map(|(&c, t)| (c, t))
+    }
+
+    /// True when a word terminates here.
+    pub fn is_terminal(&self) -> bool {
+        self.terminal
+    }
+
+    /// Number of character nodes (excluding the root, excluding
+    /// terminators) — the §4 "size" of the compressed representation.
+    pub fn char_node_count(&self) -> usize {
+        self.children.values().map(|t| 1 + t.char_node_count()).sum()
+    }
+
+    /// Number of terminator (`⊥`) nodes.
+    pub fn terminal_count(&self) -> usize {
+        self.children.values().map(Trie::terminal_count).sum::<usize>()
+            + usize::from(self.terminal)
+    }
+
+    /// All stored words, in lexicographic order.
+    pub fn words(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut prefix = String::new();
+        self.collect_words(&mut prefix, &mut out);
+        out
+    }
+
+    fn collect_words(&self, prefix: &mut String, out: &mut Vec<String>) {
+        if self.terminal {
+            out.push(prefix.clone());
+        }
+        for (c, child) in &self.children {
+            prefix.push(*c);
+            child.collect_words(prefix, out);
+            prefix.pop();
+        }
+    }
+
+    fn walk(&self, s: &str) -> Option<&Trie> {
+        let mut node = self;
+        for c in s.chars() {
+            node = node.children.get(&c)?;
+        }
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_shared_prefix() {
+        // "joan" and "johnson" share the prefix "jo" (fig 2(b)).
+        let t = Trie::from_words(["joan", "johnson"]);
+        // j, o shared; a, n for joan; h, n, s, o, n for johnson = 2 + 2 + 5.
+        assert_eq!(t.char_node_count(), 9);
+        assert_eq!(t.terminal_count(), 2);
+        assert!(t.contains_word("joan"));
+        assert!(t.contains_word("johnson"));
+        assert!(!t.contains_word("jo"));
+        assert!(t.contains_prefix("jo"));
+        assert!(!t.contains_prefix("jx"));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let once = Trie::from_words(["abc"]);
+        let thrice = Trie::from_words(["abc", "abc", "abc"]);
+        assert_eq!(once, thrice);
+        assert_eq!(thrice.char_node_count(), 3);
+    }
+
+    #[test]
+    fn words_round_trip_sorted() {
+        let t = Trie::from_words(["beta", "alpha", "beta", "a"]);
+        assert_eq!(t.words(), vec!["a", "alpha", "beta"]);
+    }
+
+    #[test]
+    fn prefix_word_interaction() {
+        let t = Trie::from_words(["car", "cart"]);
+        assert!(t.contains_word("car"));
+        assert!(t.contains_word("cart"));
+        assert!(!t.contains_word("ca"));
+        assert_eq!(t.char_node_count(), 4); // c, a, r, t
+        assert_eq!(t.terminal_count(), 2);
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = Trie::new();
+        assert_eq!(t.char_node_count(), 0);
+        assert_eq!(t.terminal_count(), 0);
+        assert!(t.words().is_empty());
+        assert!(t.contains_prefix(""), "empty prefix always present");
+        assert!(!t.contains_word(""));
+    }
+
+    #[test]
+    fn empty_word_marks_root_terminal() {
+        let mut t = Trie::new();
+        t.insert("");
+        assert!(t.contains_word(""));
+        assert_eq!(t.terminal_count(), 1);
+        assert_eq!(t.char_node_count(), 0);
+    }
+}

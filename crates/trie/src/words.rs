@@ -1,0 +1,86 @@
+//! Word splitting and the trie alphabet.
+//!
+//! "In this example we first split a string into words, represented by
+//! paths, and then each path is split into several characters. Other ways of
+//! splitting the string into nodes are possible." (§4)
+
+/// Element name standing in for the paper's `⊥` terminator node.
+pub const WORD_END_NAME: &str = "_";
+
+/// The trie alphabet: `a..z`, `0..9` — 36 character classes. Together with
+/// the terminator that is 37 extra tag names the field must accommodate
+/// (hence `p = 131` for trie-enabled databases, see DESIGN.md).
+pub fn trie_alphabet() -> Vec<String> {
+    let mut out: Vec<String> =
+        ('a'..='z').chain('0'..='9').map(|c| c.to_string()).collect();
+    out.push(WORD_END_NAME.to_string());
+    out
+}
+
+/// Splits a data string into trie words: maximal alphanumeric runs,
+/// lowercased. Everything else (punctuation, whitespace, symbols) separates
+/// words, mirroring the query-side translation in `ssx-xpath`.
+pub fn split_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(split_words("Joan Johnson"), vec!["joan", "johnson"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(
+            split_words("O'Neil, 3rd item!"),
+            vec!["o", "neil", "3rd", "item"]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(split_words("").is_empty());
+        assert!(split_words("  \t \n ").is_empty());
+        assert!(split_words("...---...").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_dropped_as_separators() {
+        assert_eq!(split_words("café au lait"), vec!["caf", "au", "lait"]);
+    }
+
+    #[test]
+    fn alphabet_size() {
+        let a = trie_alphabet();
+        assert_eq!(a.len(), 37);
+        assert!(a.contains(&"a".to_string()));
+        assert!(a.contains(&"9".to_string()));
+        assert!(a.contains(&WORD_END_NAME.to_string()));
+    }
+
+    #[test]
+    fn words_stay_within_alphabet() {
+        let alphabet = trie_alphabet();
+        for w in split_words("The Quick-Brown FOX no. 99!") {
+            for c in w.chars() {
+                assert!(alphabet.contains(&c.to_string()), "{c} outside alphabet");
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the trie against a set model, and the document
+//! transformation against direct word extraction.
+
+use proptest::prelude::*;
+use ssx_trie::{corpus_stats, split_words, transform_document, Trie, TrieMode, WORD_END_NAME};
+use ssx_xml::Document;
+use std::collections::BTreeSet;
+
+fn arb_words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z0-9]{1,10}", 0..40)
+}
+
+proptest! {
+    /// Trie membership behaves exactly like a set of words.
+    #[test]
+    fn trie_models_a_word_set(words in arb_words(), probes in arb_words()) {
+        let trie = Trie::from_words(&words);
+        let model: BTreeSet<&String> = words.iter().collect();
+        for w in &words {
+            prop_assert!(trie.contains_word(w));
+        }
+        for p in &probes {
+            prop_assert_eq!(trie.contains_word(p), model.contains(p), "word {}", p);
+            let has_prefix = model.iter().any(|w| w.starts_with(p.as_str()));
+            prop_assert_eq!(trie.contains_prefix(p), has_prefix, "prefix {}", p);
+        }
+        prop_assert_eq!(trie.words(), model.into_iter().cloned().collect::<Vec<_>>());
+    }
+
+    /// Character node count equals the number of distinct prefixes.
+    #[test]
+    fn char_nodes_count_distinct_prefixes(words in arb_words()) {
+        let trie = Trie::from_words(&words);
+        let mut prefixes = BTreeSet::new();
+        for w in &words {
+            for i in 1..=w.len() {
+                prefixes.insert(&w[..i]);
+            }
+        }
+        prop_assert_eq!(trie.char_node_count(), prefixes.len());
+        // Terminators = distinct words.
+        let distinct: BTreeSet<&String> = words.iter().collect();
+        prop_assert_eq!(trie.terminal_count(), distinct.len());
+    }
+
+    /// The transformed document contains exactly the corpus words as paths.
+    #[test]
+    fn transformation_preserves_words(words in arb_words()) {
+        let text = words.join(" ");
+        let xml = format!("<t>{text}</t>");
+        let doc = Document::parse(&xml).unwrap();
+        let out = transform_document(&doc, TrieMode::Compressed);
+        // Walk every root-to-terminator path and collect the words.
+        let mut found = BTreeSet::new();
+        collect_words(&out, out.root(), String::new(), &mut found);
+        let expect: BTreeSet<String> = split_words(&text).into_iter().collect();
+        prop_assert_eq!(found, expect);
+    }
+
+    /// Stats are internally consistent on arbitrary corpora.
+    #[test]
+    fn stats_invariants(words in arb_words()) {
+        let text = words.join(" ");
+        let stats = corpus_stats([text.as_str()]);
+        prop_assert!(stats.deduped_chars <= stats.original_chars);
+        prop_assert!(stats.trie_char_nodes <= stats.deduped_chars);
+        prop_assert!(stats.distinct_words <= stats.word_occurrences);
+        prop_assert_eq!(stats.trie_terminals, stats.distinct_words);
+        prop_assert!((0.0..=1.0).contains(&stats.dedup_reduction()));
+        prop_assert!((0.0..=1.0).contains(&stats.trie_reduction()));
+    }
+}
+
+fn collect_words(
+    doc: &Document,
+    node: ssx_xml::NodeId,
+    prefix: String,
+    out: &mut BTreeSet<String>,
+) {
+    for child in doc.child_elements(node) {
+        let name = doc.name(child).unwrap();
+        if name == WORD_END_NAME {
+            out.insert(prefix.clone());
+        } else if name.chars().count() == 1 {
+            let mut next = prefix.clone();
+            next.push_str(name);
+            collect_words(doc, child, next, out);
+        }
+    }
+}

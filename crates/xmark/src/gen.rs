@@ -1,0 +1,591 @@
+//! The streaming document generator.
+//!
+//! Byte budgets are split across the six `site` sections with proportions
+//! close to the original XMark's output mix; inside a section, entities are
+//! emitted until the section budget is exhausted. A handful of entities are
+//! *forced* regardless of budget so the paper's experiment queries always
+//! have witnesses: a `europe` item with the full
+//! `description/parlist/listitem/text/keyword` chain (Table 1, length-9
+//! query), a person with an address (`city`), and an open auction with a
+//! bidder (`//bidder/date`).
+
+use crate::vocab::Vocabulary;
+use ssx_prg::Prg;
+use ssx_xml::XmlWriter;
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct XmarkConfig {
+    /// PRG seed; equal seeds give byte-identical documents.
+    pub seed: u64,
+    /// Approximate output size in bytes (the generator overshoots by at most
+    /// one entity, roughly a kilobyte).
+    pub target_bytes: usize,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig { seed: 42, target_bytes: 256 * 1024 }
+    }
+}
+
+/// Generates an auction document per the appendix-A DTD.
+pub fn generate(cfg: &XmarkConfig) -> String {
+    let mut prg = Prg::from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+    // A large, flattish vocabulary so the word-repetition statistics (§4:
+    // dedup ≈ 50% on natural text) are in a realistic band.
+    let vocab = Vocabulary::with_exponent(&mut prg, 6000, 0.75);
+    let mut g = Gen {
+        w: XmlWriter::new(false),
+        prg,
+        vocab,
+        items: 0,
+        persons: 0,
+        categories: 0,
+        open_auctions: 0,
+    };
+    g.site(cfg.target_bytes);
+    g.w.finish()
+}
+
+struct Gen {
+    w: XmlWriter,
+    prg: Prg,
+    vocab: Vocabulary,
+    items: u32,
+    persons: u32,
+    categories: u32,
+    open_auctions: u32,
+}
+
+impl Gen {
+    fn site(&mut self, target: usize) {
+        let t = target as f64;
+        self.w.start_element("site");
+        self.regions((t * 0.40) as usize);
+        self.categories_section((t * 0.45) as usize);
+        self.catgraph((t * 0.47) as usize);
+        self.people((t * 0.70) as usize);
+        self.open_auctions_section((t * 0.90) as usize);
+        self.closed_auctions_section(target);
+        self.w.end_element();
+    }
+
+    // ---- regions ---------------------------------------------------------
+
+    fn regions(&mut self, end: usize) {
+        let base = self.w.len();
+        let span = end.saturating_sub(base) as f64;
+        self.w.start_element("regions");
+        // Continent shares mirror the original generator's skew.
+        let shares = [
+            ("africa", 0.04),
+            ("asia", 0.20),
+            ("australia", 0.28),
+            ("europe", 0.64),
+            ("namerica", 0.92),
+            ("samerica", 1.0),
+        ];
+        for (name, cum) in shares {
+            let continent_end = base + (span * cum) as usize;
+            self.w.start_element(name);
+            // The witness item for the Table-1 chain lives in europe.
+            if name == "europe" {
+                self.item(true);
+            }
+            while self.w.len() < continent_end {
+                self.item(false);
+            }
+            self.w.end_element();
+        }
+        self.w.end_element();
+    }
+
+    fn item(&mut self, force_deep_description: bool) {
+        self.items += 1;
+        let id = self.items;
+        self.w.start_element("item");
+        self.w.attribute("id", &format!("item{id}"));
+        let loc = self.name_string();
+        self.leaf("location", &loc);
+        let qty = self.prg.next_range(1, 10).to_string();
+        self.leaf("quantity", &qty);
+        let nm = self.name_string();
+        self.leaf("name", &nm);
+        let pay = ["Cash", "Creditcard", "Money order", "Personal Check"];
+        let pay = *self.prg.pick(&pay);
+        self.leaf("payment", pay);
+        self.description(force_deep_description, 0);
+        let ship = ["Will ship internationally", "Buyer pays fixed shipping charges", "See description for charges"];
+        let ship = *self.prg.pick(&ship);
+        self.leaf("shipping", ship);
+        let incats = self.prg.next_range(1, 3);
+        for _ in 0..incats {
+            let cat = self.prg.next_range(1, self.categories.max(1) as u64);
+            self.w.start_element("incategory");
+            self.w.attribute("category", &format!("category{cat}"));
+            self.w.end_element();
+        }
+        self.w.start_element("mailbox");
+        let mails = self.prg.next_range(0, 2);
+        for _ in 0..mails {
+            self.mail();
+        }
+        self.w.end_element();
+        self.w.end_element();
+    }
+
+    fn mail(&mut self) {
+        self.w.start_element("mail");
+        let from = self.name_string();
+        self.leaf("from", &from);
+        let to = self.name_string();
+        self.leaf("to", &to);
+        let date = self.date();
+        self.leaf("date", &date);
+        self.text_element(20, 80);
+        self.w.end_element();
+    }
+
+    /// description := (text | parlist)
+    fn description(&mut self, force_parlist: bool, depth: u32) {
+        self.w.start_element("description");
+        if force_parlist || (depth < 2 && self.prg.chance(0.35)) {
+            self.parlist(force_parlist, depth + 1);
+        } else {
+            self.text_element(30, 120);
+        }
+        self.w.end_element();
+    }
+
+    /// parlist := (listitem)*
+    fn parlist(&mut self, force_text_keyword: bool, depth: u32) {
+        self.w.start_element("parlist");
+        let n = if force_text_keyword { 1 } else { self.prg.next_range(1, 3) };
+        for i in 0..n {
+            self.w.start_element("listitem");
+            let nested = !force_text_keyword && depth < 2 && self.prg.chance(0.25);
+            if nested {
+                self.parlist(false, depth + 1);
+            } else if force_text_keyword && i == 0 {
+                // Witness: text with a keyword child (Table-1 query tail).
+                self.w.start_element("text");
+                let s = self.sentence(4, 8);
+                self.w.text(&s);
+                self.w.start_element("keyword");
+                let kw = self.sentence(1, 2);
+                self.w.text(&kw);
+                self.w.end_element();
+                let s2 = self.sentence(2, 6);
+                self.w.text(&s2);
+                self.w.end_element();
+            } else {
+                self.text_element(25, 100);
+            }
+            self.w.end_element();
+        }
+        self.w.end_element();
+    }
+
+    /// text := (#PCDATA | bold | keyword | emph)*
+    fn text_element(&mut self, min_words: u64, max_words: u64) {
+        self.w.start_element("text");
+        let total = self.prg.next_range(min_words, max_words);
+        let mut emitted = 0;
+        while emitted < total {
+            let run = self.prg.next_range(1, 6).min(total - emitted);
+            let s = self.sentence(run, run);
+            self.w.text(&s);
+            emitted += run;
+            if emitted < total && self.prg.chance(0.25) {
+                let tag = *self.prg.pick(&["bold", "keyword", "emph"]);
+                self.w.start_element(tag);
+                let inner = self.prg.next_range(1, 3).min(total - emitted);
+                let s = self.sentence(inner, inner);
+                self.w.text(&s);
+                emitted += inner;
+                self.w.end_element();
+            } else {
+                self.w.text(" ");
+            }
+        }
+        self.w.end_element();
+    }
+
+    // ---- categories / catgraph --------------------------------------------
+
+    fn categories_section(&mut self, end: usize) {
+        self.w.start_element("categories");
+        // category+ requires at least one.
+        self.category();
+        while self.w.len() < end {
+            self.category();
+        }
+        self.w.end_element();
+    }
+
+    fn category(&mut self) {
+        self.categories += 1;
+        let id = self.categories;
+        self.w.start_element("category");
+        self.w.attribute("id", &format!("category{id}"));
+        let nm = self.name_string();
+        self.leaf("name", &nm);
+        self.description(false, 1);
+        self.w.end_element();
+    }
+
+    fn catgraph(&mut self, end: usize) {
+        self.w.start_element("catgraph");
+        while self.w.len() < end && self.categories >= 2 {
+            let from = self.prg.next_range(1, self.categories as u64);
+            let to = self.prg.next_range(1, self.categories as u64);
+            self.w.start_element("edge");
+            self.w.attribute("from", &format!("category{from}"));
+            self.w.attribute("to", &format!("category{to}"));
+            self.w.end_element();
+        }
+        self.w.end_element();
+    }
+
+    // ---- people ------------------------------------------------------------
+
+    fn people(&mut self, end: usize) {
+        self.w.start_element("people");
+        self.person(true); // witness person with an address/city
+        while self.w.len() < end {
+            self.person(false);
+        }
+        self.w.end_element();
+    }
+
+    fn person(&mut self, force_address: bool) {
+        self.persons += 1;
+        let id = self.persons;
+        self.w.start_element("person");
+        self.w.attribute("id", &format!("person{id}"));
+        let nm = self.name_string();
+        self.leaf("name", &nm);
+        let email = format!("mailto:{}@example.net", nm.to_lowercase().replace(' ', "."));
+        self.leaf("emailaddress", &email);
+        if self.prg.chance(0.5) {
+            let ph = format!("+{} ({}) {}", self.prg.next_range(1, 99), self.prg.next_range(100, 999), self.prg.next_range(1_000_000, 9_999_999));
+            self.leaf("phone", &ph);
+        }
+        if force_address || self.prg.chance(0.7) {
+            self.address();
+        }
+        if self.prg.chance(0.3) {
+            let hp = format!("http://www.example.net/~{}", nm.split(' ').next().unwrap_or("x").to_lowercase());
+            self.leaf("homepage", &hp);
+        }
+        if self.prg.chance(0.4) {
+            let cc = format!(
+                "{} {} {} {}",
+                self.prg.next_range(1000, 9999),
+                self.prg.next_range(1000, 9999),
+                self.prg.next_range(1000, 9999),
+                self.prg.next_range(1000, 9999)
+            );
+            self.leaf("creditcard", &cc);
+        }
+        if self.prg.chance(0.6) {
+            self.profile();
+        }
+        if self.prg.chance(0.5) {
+            self.w.start_element("watches");
+            let n = self.prg.next_range(0, 4);
+            for _ in 0..n {
+                let oa = self.prg.next_range(1, self.open_auctions.max(1) as u64);
+                self.w.start_element("watch");
+                self.w.attribute("open_auction", &format!("open_auction{oa}"));
+                self.w.end_element();
+            }
+            self.w.end_element();
+        }
+        self.w.end_element();
+    }
+
+    fn address(&mut self) {
+        self.w.start_element("address");
+        let street = format!("{} {} St", self.prg.next_range(1, 99), self.name_string());
+        self.leaf("street", &street);
+        let city = self.word_capitalised();
+        self.leaf("city", &city);
+        let country = *self.prg.pick(&["United States", "Germany", "Netherlands", "Japan", "Malaysia"]);
+        self.leaf("country", country);
+        if self.prg.chance(0.3) {
+            let prov = self.word_capitalised();
+            self.leaf("province", &prov);
+        }
+        let zip = self.prg.next_range(10000, 99999).to_string();
+        self.leaf("zipcode", &zip);
+        self.w.end_element();
+    }
+
+    fn profile(&mut self) {
+        self.w.start_element("profile");
+        let interests = self.prg.next_range(0, 3);
+        for _ in 0..interests {
+            let cat = self.prg.next_range(1, self.categories.max(1) as u64);
+            self.w.start_element("interest");
+            self.w.attribute("category", &format!("category{cat}"));
+            self.w.end_element();
+        }
+        if self.prg.chance(0.5) {
+            let edu = *self.prg.pick(&["High School", "College", "Graduate School", "Other"]);
+            self.leaf("education", edu);
+        }
+        if self.prg.chance(0.7) {
+            let g = *self.prg.pick(&["male", "female"]);
+            self.leaf("gender", g);
+        }
+        let b = *self.prg.pick(&["Yes", "No"]);
+        self.leaf("business", b);
+        if self.prg.chance(0.6) {
+            let age = self.prg.next_range(18, 80).to_string();
+            self.leaf("age", &age);
+        }
+        self.w.end_element();
+    }
+
+    // ---- auctions -----------------------------------------------------------
+
+    fn open_auctions_section(&mut self, end: usize) {
+        self.w.start_element("open_auctions");
+        self.open_auction(true); // witness bidder
+        while self.w.len() < end {
+            self.open_auction(false);
+        }
+        self.w.end_element();
+    }
+
+    fn open_auction(&mut self, force_bidder: bool) {
+        self.open_auctions += 1;
+        let id = self.open_auctions;
+        self.w.start_element("open_auction");
+        self.w.attribute("id", &format!("open_auction{id}"));
+        let initial = self.money();
+        self.leaf("initial", &initial);
+        if self.prg.chance(0.4) {
+            let r = self.money();
+            self.leaf("reserve", &r);
+        }
+        let bidders = if force_bidder {
+            self.prg.next_range(1, 4)
+        } else {
+            self.prg.next_range(0, 4)
+        };
+        for _ in 0..bidders {
+            self.bidder();
+        }
+        let cur = self.money();
+        self.leaf("current", &cur);
+        if self.prg.chance(0.2) {
+            self.leaf("privacy", "Yes");
+        }
+        self.empty_ref("itemref", "item", self.items.max(1));
+        self.empty_ref("seller", "person", self.persons.max(1));
+        self.annotation();
+        let q = self.prg.next_range(1, 10).to_string();
+        self.leaf("quantity", &q);
+        let ty = *self.prg.pick(&["Regular", "Featured", "Dutch"]);
+        self.leaf("type", ty);
+        self.w.start_element("interval");
+        let st = self.date();
+        self.leaf("start", &st);
+        let en = self.date();
+        self.leaf("end", &en);
+        self.w.end_element();
+        self.w.end_element();
+    }
+
+    fn bidder(&mut self) {
+        self.w.start_element("bidder");
+        let d = self.date();
+        self.leaf("date", &d);
+        let t = self.time();
+        self.leaf("time", &t);
+        self.empty_ref("personref", "person", self.persons.max(1));
+        let inc = self.money();
+        self.leaf("increase", &inc);
+        self.w.end_element();
+    }
+
+    fn annotation(&mut self) {
+        self.w.start_element("annotation");
+        self.empty_ref("author", "person", self.persons.max(1));
+        if self.prg.chance(0.6) {
+            self.description(false, 1);
+        }
+        let h = self.prg.next_range(1, 10).to_string();
+        self.leaf("happiness", &h);
+        self.w.end_element();
+    }
+
+    fn closed_auctions_section(&mut self, end: usize) {
+        self.w.start_element("closed_auctions");
+        self.closed_auction();
+        while self.w.len() < end {
+            self.closed_auction();
+        }
+        self.w.end_element();
+    }
+
+    fn closed_auction(&mut self) {
+        self.w.start_element("closed_auction");
+        self.empty_ref("seller", "person", self.persons.max(1));
+        self.empty_ref("buyer", "person", self.persons.max(1));
+        self.empty_ref("itemref", "item", self.items.max(1));
+        let p = self.money();
+        self.leaf("price", &p);
+        let d = self.date();
+        self.leaf("date", &d);
+        let q = self.prg.next_range(1, 10).to_string();
+        self.leaf("quantity", &q);
+        let ty = *self.prg.pick(&["Regular", "Featured", "Dutch"]);
+        self.leaf("type", ty);
+        if self.prg.chance(0.5) {
+            self.annotation();
+        }
+        self.w.end_element();
+    }
+
+    // ---- primitives ----------------------------------------------------------
+
+    fn leaf(&mut self, name: &str, content: &str) {
+        self.w.start_element(name);
+        self.w.text(content);
+        self.w.end_element();
+    }
+
+    fn empty_ref(&mut self, element: &str, kind: &str, max_id: u32) {
+        let id = self.prg.next_range(1, max_id as u64);
+        self.w.start_element(element);
+        self.w.attribute(kind, &format!("{kind}{id}"));
+        self.w.end_element();
+    }
+
+    fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.prg.next_range(1, 12),
+            self.prg.next_range(1, 28),
+            self.prg.next_range(1998, 2001)
+        )
+    }
+
+    fn time(&mut self) -> String {
+        format!(
+            "{:02}:{:02}:{:02}",
+            self.prg.next_range(0, 23),
+            self.prg.next_range(0, 59),
+            self.prg.next_range(0, 59)
+        )
+    }
+
+    fn money(&mut self) -> String {
+        format!("{}.{:02}", self.prg.next_range(1, 500), self.prg.next_range(0, 99))
+    }
+
+    fn sentence(&mut self, min: u64, max: u64) -> String {
+        let n = self.prg.next_range(min, max);
+        self.vocab.sentence(&mut self.prg, n as usize)
+    }
+
+    fn name_string(&mut self) -> String {
+        self.vocab.proper_name(&mut self.prg)
+    }
+
+    fn word_capitalised(&mut self) -> String {
+        let w = self.vocab.word(&mut self.prg).to_string();
+        let mut c = w.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DTD_ELEMENTS;
+    use ssx_xml::Document;
+
+    #[test]
+    fn generates_valid_xml_at_target_size() {
+        let cfg = XmarkConfig { seed: 1, target_bytes: 64 * 1024 };
+        let xml = generate(&cfg);
+        assert!(xml.len() >= 64 * 1024, "hit the target ({} bytes)", xml.len());
+        assert!(xml.len() < 64 * 1024 + 16 * 1024, "no huge overshoot ({} bytes)", xml.len());
+        let doc = Document::parse(&xml).expect("well-formed output");
+        assert_eq!(doc.name(doc.root()), Some("site"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = XmarkConfig { seed: 7, target_bytes: 20_000 };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = XmarkConfig { seed: 8, target_bytes: 20_000 };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn all_tags_in_dtd_universe() {
+        let xml = generate(&XmarkConfig { seed: 3, target_bytes: 120_000 });
+        let doc = Document::parse(&xml).unwrap();
+        for id in doc.descendants(doc.root()) {
+            if let Some(name) = doc.name(id) {
+                assert!(DTD_ELEMENTS.contains(&name), "tag {name} not in DTD");
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_for_experiment_queries_present() {
+        // Even a tiny document must contain the query witnesses.
+        let xml = generate(&XmarkConfig { seed: 5, target_bytes: 4_000 });
+        let doc = Document::parse(&xml).unwrap();
+        let names: std::collections::HashSet<&str> = doc
+            .descendants(doc.root())
+            .into_iter()
+            .filter_map(|id| doc.name(id))
+            .collect();
+        for needed in [
+            "site", "regions", "europe", "item", "description", "parlist", "listitem",
+            "text", "keyword", "people", "person", "address", "city", "open_auctions",
+            "open_auction", "bidder", "date", "closed_auctions", "closed_auction",
+        ] {
+            assert!(names.contains(needed), "missing witness element {needed}");
+        }
+    }
+
+    #[test]
+    fn table1_chain_query_has_matches() {
+        // /site/regions/europe/item/description/parlist/listitem/text/keyword
+        let xml = generate(&XmarkConfig { seed: 11, target_bytes: 8_000 });
+        let doc = Document::parse(&xml).unwrap();
+        let mut frontier = vec![doc.root()];
+        for (i, step) in ["regions", "europe", "item", "description", "parlist", "listitem", "text", "keyword"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(doc.name(frontier[0]), if i == 0 { Some("site") } else { doc.name(frontier[0]) });
+            let mut next = Vec::new();
+            for &f in &frontier {
+                next.extend(doc.child_elements(f).filter(|&c| doc.name(c) == Some(step)));
+            }
+            assert!(!next.is_empty(), "no {step} nodes at chain depth {}", i + 1);
+            frontier = next;
+        }
+    }
+
+    #[test]
+    fn size_scales_roughly_linearly() {
+        let small = generate(&XmarkConfig { seed: 9, target_bytes: 30_000 }).len() as f64;
+        let large = generate(&XmarkConfig { seed: 9, target_bytes: 120_000 }).len() as f64;
+        let ratio = large / small;
+        assert!((3.0..5.5).contains(&ratio), "4x target should give ~4x bytes, got {ratio}");
+    }
+}

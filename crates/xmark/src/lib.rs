@@ -1,0 +1,122 @@
+#![warn(missing_docs)]
+
+//! Deterministic XMark-style auction document generator.
+//!
+//! The paper's experiments (§6) "act on an auction database synthesized by
+//! the XMark benchmark" whose DTD (appendix A) declares exactly 77 elements.
+//! The original `xmlgen` C program is not redistributable here, so this
+//! crate is a faithful substitute (see DESIGN.md): it emits documents
+//! conforming to that DTD, with
+//!
+//! * the same element vocabulary ([`DTD_ELEMENTS`], all 77 names),
+//! * realistic proportions between regions / people / auctions,
+//! * a byte-size target so the Fig 4 sweep (1–10 MB inputs) reproduces, and
+//! * full determinism (seeded by [`ssx_prg::Prg`]) so every experiment is
+//!   repeatable bit-for-bit.
+//!
+//! Prose is synthesised from a Zipf-weighted syllable vocabulary instead of
+//! the original Shakespeare word list; the trie-compression statistics stay
+//! meaningful because what matters there is word-length and repetition
+//! structure, not English spelling.
+
+pub mod gen;
+pub mod vocab;
+
+pub use gen::{generate, XmarkConfig};
+pub use vocab::Vocabulary;
+
+/// All 77 element names declared by the appendix-A DTD, in declaration
+/// order. This is the tag universe the map file must cover (`p = 83 > 77`).
+pub const DTD_ELEMENTS: [&str; 77] = [
+    "site",
+    "categories",
+    "category",
+    "name",
+    "description",
+    "text",
+    "bold",
+    "keyword",
+    "emph",
+    "parlist",
+    "listitem",
+    "catgraph",
+    "edge",
+    "regions",
+    "africa",
+    "asia",
+    "australia",
+    "namerica",
+    "samerica",
+    "europe",
+    "item",
+    "location",
+    "quantity",
+    "payment",
+    "shipping",
+    "reserve",
+    "incategory",
+    "mailbox",
+    "mail",
+    "from",
+    "to",
+    "date",
+    "itemref",
+    "personref",
+    "people",
+    "person",
+    "emailaddress",
+    "phone",
+    "address",
+    "street",
+    "city",
+    "province",
+    "zipcode",
+    "country",
+    "homepage",
+    "creditcard",
+    "profile",
+    "interest",
+    "education",
+    "income",
+    "gender",
+    "business",
+    "age",
+    "watches",
+    "watch",
+    "open_auctions",
+    "open_auction",
+    "privacy",
+    "initial",
+    "bidder",
+    "seller",
+    "current",
+    "increase",
+    "type",
+    "interval",
+    "start",
+    "end",
+    "time",
+    "status",
+    "amount",
+    "closed_auctions",
+    "closed_auction",
+    "buyer",
+    "price",
+    "annotation",
+    "author",
+    "happiness",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_census_is_77() {
+        assert_eq!(DTD_ELEMENTS.len(), 77, "the paper: 'The DTD contains 77 elements'");
+        let mut sorted: Vec<&str> = DTD_ELEMENTS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 77, "no duplicates");
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic vocabulary with Zipf-like sampling.
+//!
+//! Substitutes for XMark's Shakespeare word list. Words are built from
+//! consonant-vowel syllables (pronounceable, 2–4 syllables); sampling weight
+//! of rank `r` is `1/(r+1)`, giving the heavy word-repetition natural text
+//! has — which is what the §4 dedup/trie statistics depend on.
+
+use ssx_prg::Prg;
+
+const CONSONANTS: &[&str] =
+    &["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z"];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u"];
+
+/// A fixed list of distinct words plus a cumulative Zipf table.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative weights scaled to u64 for integer sampling.
+    cumulative: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Builds `size` distinct words with classic Zipf weights `1/(r+1)`.
+    pub fn new(prg: &mut Prg, size: usize) -> Self {
+        Self::with_exponent(prg, size, 1.0)
+    }
+
+    /// Builds `size` distinct words with weights `1/(r+1)^alpha`. Smaller
+    /// `alpha` flattens the distribution (more distinct words per corpus) —
+    /// the knob that calibrates the §4 dedup statistics against natural
+    /// text.
+    pub fn with_exponent(prg: &mut Prg, size: usize, alpha: f64) -> Self {
+        assert!(size > 0, "empty vocabulary");
+        let mut words = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::new();
+        while words.len() < size {
+            let syllables = prg.next_range(2, 4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                let onset = *prg.pick(CONSONANTS);
+                w.push_str(onset);
+                let nucleus = *prg.pick(VOWELS);
+                w.push_str(nucleus);
+                if prg.chance(0.2) {
+                    let coda = *prg.pick(CONSONANTS);
+                    w.push_str(coda);
+                }
+            }
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        // Fixed-point cumulative weights at 1e6.
+        let mut cumulative = Vec::with_capacity(size);
+        let mut acc = 0u64;
+        for r in 0..size {
+            acc += (1_000_000.0 / (r as f64 + 1.0).powf(alpha)).max(1.0) as u64;
+            cumulative.push(acc);
+        }
+        Vocabulary { words, cumulative }
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Vocabularies are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Draws one word with Zipf weighting.
+    pub fn word<'a>(&'a self, prg: &mut Prg) -> &'a str {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = prg.next_below(total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        &self.words[idx.min(self.words.len() - 1)]
+    }
+
+    /// Draws a sentence of `n` words separated by single spaces.
+    pub fn sentence(&self, prg: &mut Prg, n: usize) -> String {
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(prg));
+        }
+        out
+    }
+
+    /// A proper-noun-ish name (capitalised word pair) for people/items.
+    pub fn proper_name(&self, prg: &mut Prg) -> String {
+        let cap = |w: &str| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        };
+        format!("{} {}", cap(self.word(prg)), cap(self.word(prg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = Vocabulary::new(&mut Prg::from_u64(1), 100);
+        let b = Vocabulary::new(&mut Prg::from_u64(1), 100);
+        assert_eq!(a.words, b.words);
+    }
+
+    #[test]
+    fn distinct_words() {
+        let v = Vocabulary::new(&mut Prg::from_u64(2), 300);
+        let mut sorted = v.words.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 300);
+    }
+
+    #[test]
+    fn zipf_head_heavier_than_tail() {
+        let v = Vocabulary::new(&mut Prg::from_u64(3), 200);
+        let mut prg = Prg::from_u64(4);
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        for _ in 0..20_000 {
+            let w = v.word(&mut prg);
+            let rank = v.words.iter().position(|x| x == w).unwrap();
+            if rank < 20 {
+                head += 1;
+            } else if rank >= 100 {
+                tail += 1;
+            }
+        }
+        assert!(head > tail * 2, "head {head} should dominate tail {tail}");
+    }
+
+    #[test]
+    fn sentences_have_n_words() {
+        let v = Vocabulary::new(&mut Prg::from_u64(5), 50);
+        let mut prg = Prg::from_u64(6);
+        let s = v.sentence(&mut prg, 7);
+        assert_eq!(s.split(' ').count(), 7);
+        assert!(!s.contains("  "));
+    }
+
+    #[test]
+    fn proper_names_capitalised() {
+        let v = Vocabulary::new(&mut Prg::from_u64(7), 50);
+        let mut prg = Prg::from_u64(8);
+        let name = v.proper_name(&mut prg);
+        let parts: Vec<&str> = name.split(' ').collect();
+        assert_eq!(parts.len(), 2);
+        for p in parts {
+            assert!(p.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let v = Vocabulary::new(&mut Prg::from_u64(9), 100);
+        for w in &v.words {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 4, "2 syllables minimum: {w}");
+        }
+    }
+}

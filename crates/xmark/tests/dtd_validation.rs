@@ -1,0 +1,242 @@
+//! Validates generated documents against the appendix-A DTD content models.
+//!
+//! A small hand-rolled validator: for each element with a *sequence* content
+//! model the child-element sequence must match the declared pattern
+//! (`?` optional, `*`/`+` repetition); choice models and mixed content are
+//! checked structurally (allowed child set).
+
+use ssx_xmark::{generate, XmarkConfig};
+use ssx_xml::{Document, NodeId};
+
+/// One token of a sequence content model.
+#[derive(Clone, Copy)]
+enum Tok {
+    One(&'static str),
+    Opt(&'static str),
+    Star(&'static str),
+    Plus(&'static str),
+}
+use Tok::*;
+
+/// Matches a child-name sequence against a model, greedily (sufficient for
+/// these DTDs: no adjacent tokens share an element name).
+fn matches_seq(children: &[&str], model: &[Tok]) -> bool {
+    let mut i = 0;
+    for tok in model {
+        match *tok {
+            One(name) => {
+                if i < children.len() && children[i] == name {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+            Opt(name) => {
+                if i < children.len() && children[i] == name {
+                    i += 1;
+                }
+            }
+            Star(name) => {
+                while i < children.len() && children[i] == name {
+                    i += 1;
+                }
+            }
+            Plus(name) => {
+                if i >= children.len() || children[i] != name {
+                    return false;
+                }
+                while i < children.len() && children[i] == name {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i == children.len()
+}
+
+fn child_names(doc: &Document, id: NodeId) -> Vec<&str> {
+    doc.child_elements(id).filter_map(|c| doc.name(c)).collect()
+}
+
+/// Sequence content models from the appendix-A DTD (the structural ones the
+/// generator must honour exactly).
+fn sequence_model(name: &str) -> Option<Vec<Tok>> {
+    Some(match name {
+        "site" => vec![
+            One("regions"),
+            One("categories"),
+            One("catgraph"),
+            One("people"),
+            One("open_auctions"),
+            One("closed_auctions"),
+        ],
+        "regions" => vec![
+            One("africa"),
+            One("asia"),
+            One("australia"),
+            One("europe"),
+            One("namerica"),
+            One("samerica"),
+        ],
+        "africa" | "asia" | "australia" | "europe" | "namerica" | "samerica" => {
+            vec![Star("item")]
+        }
+        "item" => vec![
+            One("location"),
+            One("quantity"),
+            One("name"),
+            One("payment"),
+            One("description"),
+            One("shipping"),
+            Plus("incategory"),
+            One("mailbox"),
+        ],
+        "categories" => vec![Plus("category")],
+        "category" => vec![One("name"), One("description")],
+        "catgraph" => vec![Star("edge")],
+        "people" => vec![Star("person")],
+        "person" => vec![
+            One("name"),
+            One("emailaddress"),
+            Opt("phone"),
+            Opt("address"),
+            Opt("homepage"),
+            Opt("creditcard"),
+            Opt("profile"),
+            Opt("watches"),
+        ],
+        "address" => vec![
+            One("street"),
+            One("city"),
+            One("country"),
+            Opt("province"),
+            One("zipcode"),
+        ],
+        "profile" => vec![
+            Star("interest"),
+            Opt("education"),
+            Opt("gender"),
+            One("business"),
+            Opt("age"),
+        ],
+        "watches" => vec![Star("watch")],
+        "mailbox" => vec![Star("mail")],
+        "mail" => vec![One("from"), One("to"), One("date"), One("text")],
+        "open_auctions" => vec![Star("open_auction")],
+        "open_auction" => vec![
+            One("initial"),
+            Opt("reserve"),
+            Star("bidder"),
+            One("current"),
+            Opt("privacy"),
+            One("itemref"),
+            One("seller"),
+            One("annotation"),
+            One("quantity"),
+            One("type"),
+            One("interval"),
+        ],
+        "bidder" => vec![One("date"), One("time"), One("personref"), One("increase")],
+        "interval" => vec![One("start"), One("end")],
+        "annotation" => vec![One("author"), Opt("description"), One("happiness")],
+        "closed_auctions" => vec![Star("closed_auction")],
+        "closed_auction" => vec![
+            One("seller"),
+            One("buyer"),
+            One("itemref"),
+            One("price"),
+            One("date"),
+            One("quantity"),
+            One("type"),
+            Opt("annotation"),
+        ],
+        _ => return None,
+    })
+}
+
+/// Choice / mixed content models: the allowed child-element sets.
+fn allowed_children(name: &str) -> Option<&'static [&'static str]> {
+    Some(match name {
+        "description" => &["text", "parlist"],
+        "parlist" => &["listitem"],
+        "listitem" => &["text", "parlist"],
+        "text" | "bold" | "keyword" | "emph" => &["bold", "keyword", "emph"],
+        _ => return None,
+    })
+}
+
+/// Elements declared EMPTY (must have no element children or text).
+const EMPTY_ELEMENTS: [&str; 9] =
+    ["edge", "incategory", "itemref", "personref", "seller", "buyer", "author", "interest", "watch"];
+
+#[test]
+fn generated_documents_conform_to_the_dtd() {
+    for (seed, bytes) in [(1u64, 30_000usize), (2, 120_000), (99, 8_000)] {
+        let xml = generate(&XmarkConfig { seed, target_bytes: bytes });
+        let doc = Document::parse(&xml).unwrap();
+        let mut checked = 0usize;
+        for id in doc.descendants(doc.root()) {
+            let Some(name) = doc.name(id) else { continue };
+            let kids = child_names(&doc, id);
+            if let Some(model) = sequence_model(name) {
+                assert!(
+                    matches_seq(&kids, &model),
+                    "seed {seed}: <{name}> children {kids:?} violate its content model"
+                );
+                checked += 1;
+            } else if let Some(allowed) = allowed_children(name) {
+                for k in &kids {
+                    assert!(
+                        allowed.contains(k),
+                        "seed {seed}: <{name}> may not contain <{k}>"
+                    );
+                }
+                checked += 1;
+            } else if EMPTY_ELEMENTS.contains(&name) {
+                assert!(
+                    doc.children(id).is_empty(),
+                    "seed {seed}: EMPTY element <{name}> has children"
+                );
+                checked += 1;
+            }
+            // Remaining elements are #PCDATA leaves; nothing to check
+            // structurally.
+        }
+        assert!(checked > 50, "validator exercised only {checked} nodes");
+    }
+}
+
+#[test]
+fn pcdata_leaves_have_no_element_children() {
+    let xml = generate(&XmarkConfig { seed: 7, target_bytes: 40_000 });
+    let doc = Document::parse(&xml).unwrap();
+    let pcdata_only = [
+        "location", "quantity", "payment", "shipping", "from", "to", "date", "name",
+        "emailaddress", "phone", "street", "city", "province", "zipcode", "country",
+        "homepage", "creditcard", "education", "gender", "business", "age", "privacy",
+        "initial", "current", "increase", "type", "start", "end", "time", "price",
+        "happiness", "reserve",
+    ];
+    for id in doc.descendants(doc.root()) {
+        if let Some(name) = doc.name(id) {
+            if pcdata_only.contains(&name) {
+                assert_eq!(
+                    doc.child_elements(id).count(),
+                    0,
+                    "<{name}> must be a text-only leaf"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sequence_matcher_sanity() {
+    assert!(matches_seq(&["a", "b"], &[One("a"), One("b")]));
+    assert!(!matches_seq(&["b", "a"], &[One("a"), One("b")]));
+    assert!(matches_seq(&["a"], &[One("a"), Opt("b")]));
+    assert!(matches_seq(&[], &[Star("x")]));
+    assert!(!matches_seq(&[], &[Plus("x")]));
+    assert!(matches_seq(&["x", "x", "x"], &[Plus("x")]));
+    assert!(!matches_seq(&["x", "y"], &[Star("x")]));
+}

@@ -1,0 +1,376 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a flat `Vec` and reference each other by [`NodeId`]
+//! (index), which keeps the tree compact and makes pre/post traversal
+//! numbering (the storage layout of the paper's relational table) a single
+//! pass.
+
+use crate::parser::{PullParser, XmlError, XmlEvent};
+use crate::writer::XmlWriter;
+
+/// Index of a node in its [`Document`] arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// What a node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a tag name.
+    Element(String),
+    /// A text node (character data).
+    Text(String),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A parsed XML document as an arena of element and text nodes.
+///
+/// Attributes are dropped at DOM construction: the encoding scheme of the
+/// paper operates on element tags (and, with the trie extension, text), so
+/// the DOM carries exactly what the database encodes.
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Parses a document from text.
+    pub fn parse(text: &str) -> Result<Document, XmlError> {
+        let events = PullParser::parse_all(text)?;
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root = None;
+        for ev in events {
+            match ev {
+                XmlEvent::StartElement { name, .. } => {
+                    let id = NodeId(nodes.len() as u32);
+                    let parent = stack.last().copied();
+                    nodes.push(Node { kind: NodeKind::Element(name), parent, children: vec![] });
+                    if let Some(p) = parent {
+                        nodes[p.0 as usize].children.push(id);
+                    } else {
+                        root = Some(id);
+                    }
+                    stack.push(id);
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) => {
+                    // Skip ignorable whitespace between elements.
+                    if t.trim().is_empty() {
+                        continue;
+                    }
+                    let parent = match stack.last().copied() {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(Node {
+                        kind: NodeKind::Text(t),
+                        parent: Some(parent),
+                        children: vec![],
+                    });
+                    nodes[parent.0 as usize].children.push(id);
+                }
+            }
+        }
+        let root = root.ok_or_else(|| XmlError::BadDocumentStructure("no root".into()))?;
+        Ok(Document { nodes, root })
+    }
+
+    /// Builds a single-element document (building block for synthetic trees).
+    pub fn new(root_name: &str) -> Document {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Element(root_name.to_string()),
+                parent: None,
+                children: vec![],
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no nodes (cannot happen via public
+    /// constructors; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Element(_))).count()
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0 as usize].kind
+    }
+
+    /// Element name, `None` for text nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.0 as usize].kind {
+            NodeKind::Element(n) => Some(n),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Text content, `None` for elements.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.0 as usize].kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element(_) => None,
+        }
+    }
+
+    /// Parent, `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0 as usize].parent
+    }
+
+    /// Children in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0 as usize].children
+    }
+
+    /// Child *elements* in document order (text nodes filtered out).
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| matches!(self.kind(c), NodeKind::Element(_)))
+    }
+
+    /// Appends a new element under `parent`, returning its id.
+    pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Element(name.to_string()),
+            parent: Some(parent),
+            children: vec![],
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Appends a text node under `parent`, returning its id.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Text(text.to_string()),
+            parent: Some(parent),
+            children: vec![],
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Removes all children of `id` (used by the trie transformation when a
+    /// text node is replaced by a trie subtree).
+    pub fn clear_children(&mut self, id: NodeId) {
+        let children = std::mem::take(&mut self.nodes[id.0 as usize].children);
+        for c in children {
+            self.nodes[c.0 as usize].parent = None;
+        }
+    }
+
+    /// Depth-first pre-order walk over *all* nodes starting at `id`.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push in reverse so children pop in document order.
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Assigns the paper's pre/post numbering to every *element* node:
+    /// `pre` counts open tags (root = 1), `post` counts close tags. Text
+    /// nodes are skipped (the base scheme stores only elements). Returns
+    /// `(id, pre, post, parent_pre)` tuples in pre order; the root's
+    /// `parent_pre` is 0.
+    pub fn pre_post_numbering(&self) -> Vec<(NodeId, u32, u32, u32)> {
+        let mut out: Vec<(NodeId, u32, u32, u32)> = Vec::new();
+        let mut slot_of = vec![usize::MAX; self.nodes.len()];
+        let mut pre = 0u32;
+        let mut post = 0u32;
+        // (node, parent_pre, entered)
+        let mut stack: Vec<(NodeId, u32, bool)> = vec![(self.root, 0, false)];
+        while let Some((id, parent_pre, entered)) = stack.pop() {
+            if entered {
+                post += 1;
+                // Patch the post value now that the subtree is closed.
+                out[slot_of[id.0 as usize]].2 = post;
+                continue;
+            }
+            if matches!(self.kind(id), NodeKind::Text(_)) {
+                continue;
+            }
+            pre += 1;
+            slot_of[id.0 as usize] = out.len();
+            out.push((id, pre, 0, parent_pre));
+            stack.push((id, parent_pre, true));
+            for &c in self.children(id).iter().rev() {
+                stack.push((c, pre, false));
+            }
+        }
+        out
+    }
+
+    /// Serialises back to XML text.
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::new(false);
+        self.write_node(self.root, &mut w);
+        w.finish()
+    }
+
+    /// Serialises with indentation (tests and examples).
+    pub fn to_pretty_xml(&self) -> String {
+        let mut w = XmlWriter::new(true);
+        self.write_node(self.root, &mut w);
+        w.finish()
+    }
+
+    /// Iterative serialisation — safe for arbitrarily deep documents (the
+    /// parser is iterative too, so depth is bounded only by memory).
+    fn write_node(&self, id: NodeId, w: &mut XmlWriter) {
+        let mut stack: Vec<(NodeId, bool)> = vec![(id, false)];
+        while let Some((node, entered)) = stack.pop() {
+            if entered {
+                w.end_element();
+                continue;
+            }
+            match self.kind(node) {
+                NodeKind::Element(name) => {
+                    w.start_element(name);
+                    stack.push((node, true));
+                    for &c in self.children(node).iter().rev() {
+                        stack.push((c, false));
+                    }
+                }
+                NodeKind::Text(t) => w.text(t),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse("<a><b>hi</b><c/></a>").unwrap();
+        let root = doc.root();
+        assert_eq!(doc.name(root), Some("a"));
+        let kids: Vec<_> = doc.child_elements(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.name(kids[0]), Some("b"));
+        let b_children = doc.children(kids[0]);
+        assert_eq!(doc.text(b_children[0]), Some("hi"));
+        assert_eq!(doc.parent(kids[1]), Some(root));
+        assert_eq!(doc.parent(root), None);
+    }
+
+    #[test]
+    fn pre_post_numbering_matches_paper_convention() {
+        // <a> <b> <c/> </b> <d/> </a>
+        // pre:  a=1 b=2 c=3 d=4
+        // post: c=1 b=2 d=3 a=4
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let rows = doc.pre_post_numbering();
+        let by_name: Vec<(&str, u32, u32, u32)> = rows
+            .iter()
+            .map(|&(id, pre, post, pp)| (doc.name(id).unwrap(), pre, post, pp))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![("a", 1, 4, 0), ("b", 2, 2, 1), ("c", 3, 1, 2), ("d", 4, 3, 1)]
+        );
+    }
+
+    #[test]
+    fn descendant_interval_property() {
+        // v is a descendant of u iff pre(v) > pre(u) && post(v) < post(u).
+        let doc =
+            Document::parse("<r><a><b/><c><d/></c></a><e><f/></e></r>").unwrap();
+        let rows = doc.pre_post_numbering();
+        let lookup: std::collections::HashMap<NodeId, (u32, u32)> =
+            rows.iter().map(|&(id, pre, post, _)| (id, (pre, post))).collect();
+        for &(u, u_pre, u_post, _) in &rows {
+            let descendants: std::collections::HashSet<NodeId> = doc
+                .descendants(u)
+                .into_iter()
+                .filter(|&d| d != u && doc.name(d).is_some())
+                .collect();
+            for &(v, ..) in &rows {
+                if v == u {
+                    continue;
+                }
+                let (v_pre, v_post) = lookup[&v];
+                let interval_says = v_pre > u_pre && v_post < u_post;
+                assert_eq!(interval_says, descendants.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn text_nodes_skipped_in_numbering() {
+        let doc = Document::parse("<a>hello<b>world</b></a>").unwrap();
+        let rows = doc.pre_post_numbering();
+        assert_eq!(rows.len(), 2, "only elements get pre/post numbers");
+    }
+
+    #[test]
+    fn serialise_round_trip() {
+        let src = "<site><regions><europe><item><name>Bicycle</name></item></europe></regions></site>";
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+        let again = Document::parse(&doc.to_xml()).unwrap();
+        assert_eq!(again.to_xml(), src);
+    }
+
+    #[test]
+    fn mutation_api() {
+        let mut doc = Document::new("root");
+        let a = doc.add_element(doc.root(), "a");
+        doc.add_text(a, "content");
+        let b = doc.add_element(doc.root(), "b");
+        assert_eq!(doc.to_xml(), "<root><a>content</a><b/></root>");
+        doc.clear_children(b);
+        assert_eq!(doc.children(b).len(), 0);
+    }
+
+    #[test]
+    fn whitespace_between_elements_ignored() {
+        let doc = Document::parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 2);
+    }
+
+    #[test]
+    fn element_count_excludes_text() {
+        let doc = Document::parse("<a>t1<b>t2</b></a>").unwrap();
+        assert_eq!(doc.len(), 4);
+        assert_eq!(doc.element_count(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Entity escaping and unescaping.
+
+use std::borrow::Cow;
+
+/// Escapes character data: `& < >` (the minimum for well-formed output).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escapes attribute values: also `"` so values can be double-quoted.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves the predefined entities and numeric character references.
+/// Unknown entities are preserved verbatim (lenient mode, like most SAX
+/// parsers outside validating contexts).
+pub fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        match tail.find(';') {
+            Some(semi) if semi <= 12 => {
+                let name = &tail[1..semi];
+                match name {
+                    "amp" => out.push('&'),
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "apos" => out.push('\''),
+                    "quot" => out.push('"'),
+                    _ if name.starts_with("#x") || name.starts_with("#X") => {
+                        match u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32) {
+                            Some(c) => out.push(c),
+                            None => out.push_str(&tail[..=semi]),
+                        }
+                    }
+                    _ if name.starts_with('#') => {
+                        match name[1..].parse::<u32>().ok().and_then(char::from_u32) {
+                            Some(c) => out.push(c),
+                            None => out.push_str(&tail[..=semi]),
+                        }
+                    }
+                    _ => out.push_str(&tail[..=semi]),
+                }
+                rest = &tail[semi + 1..];
+            }
+            _ => {
+                out.push('&');
+                rest = &tail[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = r#"a < b && c > "d""#;
+        assert_eq!(unescape(&escape_text(nasty)), nasty);
+        assert_eq!(unescape(&escape_attr(nasty)), nasty);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("&#x1F600;"), "\u{1F600}");
+    }
+
+    #[test]
+    fn lenient_on_unknown_entities() {
+        assert_eq!(unescape("&nbsp; &x"), "&nbsp; &x");
+        assert_eq!(unescape("100% &"), "100% &");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+    }
+
+    #[test]
+    fn predefined_entities() {
+        assert_eq!(unescape("&lt;tag&gt; &amp; &apos;q&apos; &quot;"), "<tag> & 'q' \"");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! A small, dependency-free XML layer: streaming pull parser, arena DOM and
+//! serializer.
+//!
+//! The paper's prototype parses documents with a SAX parser so that "there is
+//! no need for a big client machine with lots of memory … It only needs
+//! memory proportional to the depth of the tree" (§5.1). [`PullParser`]
+//! provides exactly that: an iterator of [`XmlEvent`]s over the input with
+//! `O(depth)` state. [`Document`] is an index-based arena DOM built on top,
+//! used by the plaintext reference engine, the trie transformation and the
+//! test oracles.
+//!
+//! Supported XML subset (sufficient for XMark-style documents):
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions and `<!DOCTYPE …>` (skipped), and the five
+//! predefined entities plus decimal/hex character references.
+
+pub mod dom;
+pub mod escape;
+pub mod parser;
+pub mod writer;
+
+pub use dom::{Document, NodeId, NodeKind};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::{Attribute, PullParser, XmlError, XmlEvent};
+pub use writer::XmlWriter;

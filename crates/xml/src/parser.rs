@@ -1,0 +1,485 @@
+//! The streaming pull parser.
+//!
+//! `O(depth)` state: the only growing structure is the open-tag stack used
+//! for well-formedness checking. This is the property the paper's thin-client
+//! story depends on — the encoder consumes these events directly without ever
+//! materialising the document.
+
+use crate::escape::unescape;
+use std::fmt;
+
+/// An attribute on a start tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written.
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// A parse event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v">` or the opening half of `<name/>`.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` or the closing half of `<name/>`.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entity references resolved). Whitespace-only runs are
+    /// reported too; callers decide what to keep.
+    Text(String),
+}
+
+/// Parse errors with byte offsets into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Generic syntax error.
+    Syntax {
+        /// Byte offset.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// `</b>` closed `<a>`.
+    MismatchedTag {
+        /// Byte offset of the offending close tag.
+        pos: usize,
+        /// Tag that was open.
+        expected: String,
+        /// Tag that was found.
+        found: String,
+    },
+    /// Input ended with open elements.
+    UnexpectedEof,
+    /// Document had no root element or multiple roots.
+    BadDocumentStructure(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { pos, msg } => write!(f, "syntax error at byte {pos}: {msg}"),
+            XmlError::MismatchedTag { pos, expected, found } => {
+                write!(f, "mismatched tag at byte {pos}: expected </{expected}>, found </{found}>")
+            }
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::BadDocumentStructure(msg) => write!(f, "bad document structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A pull parser over an in-memory document.
+pub struct PullParser<'a> {
+    input: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    stack: Vec<String>,
+    /// Queued end event for self-closing tags.
+    pending_end: Option<String>,
+}
+
+impl<'a> PullParser<'a> {
+    /// Creates a parser over `text`.
+    pub fn new(text: &'a str) -> Self {
+        PullParser {
+            input: text.as_bytes(),
+            text,
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+        }
+    }
+
+    /// Current nesting depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pulls the next event; `Ok(None)` at clean end of input.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return Err(XmlError::UnexpectedEof);
+                }
+                return Ok(None);
+            }
+            if self.input[self.pos] == b'<' {
+                match self.peek_markup() {
+                    Markup::Comment => self.skip_until(b"-->")?,
+                    Markup::Pi => self.skip_until(b"?>")?,
+                    Markup::Doctype => self.skip_doctype()?,
+                    Markup::Cdata => return self.parse_cdata().map(Some),
+                    Markup::Close => return self.parse_close().map(Some),
+                    Markup::Open => return self.parse_open().map(Some),
+                }
+            } else {
+                let ev = self.parse_text()?;
+                // Outside the root, only whitespace is allowed.
+                if self.stack.is_empty() {
+                    if let XmlEvent::Text(ref t) = ev {
+                        if t.trim().is_empty() {
+                            continue;
+                        }
+                        return Err(XmlError::Syntax {
+                            pos: self.pos,
+                            msg: "character data outside root element".into(),
+                        });
+                    }
+                }
+                return Ok(Some(ev));
+            }
+        }
+    }
+
+    /// Collects all events, checking the document is a single rooted tree.
+    pub fn parse_all(text: &'a str) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut parser = PullParser::new(text);
+        let mut events = Vec::new();
+        let mut roots = 0usize;
+        let mut depth = 0usize;
+        while let Some(ev) = parser.next()? {
+            match &ev {
+                XmlEvent::StartElement { .. } => {
+                    if depth == 0 {
+                        roots += 1;
+                    }
+                    depth += 1;
+                }
+                XmlEvent::EndElement { .. } => depth -= 1,
+                XmlEvent::Text(_) => {}
+            }
+            events.push(ev);
+        }
+        match roots {
+            0 => Err(XmlError::BadDocumentStructure("no root element".into())),
+            1 => Ok(events),
+            n => Err(XmlError::BadDocumentStructure(format!("{n} root elements"))),
+        }
+    }
+
+    fn peek_markup(&self) -> Markup {
+        let rest = &self.input[self.pos..];
+        if rest.starts_with(b"<!--") {
+            Markup::Comment
+        } else if rest.starts_with(b"<![CDATA[") {
+            Markup::Cdata
+        } else if rest.starts_with(b"<!") {
+            Markup::Doctype
+        } else if rest.starts_with(b"<?") {
+            Markup::Pi
+        } else if rest.starts_with(b"</") {
+            Markup::Close
+        } else {
+            Markup::Open
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &[u8]) -> Result<(), XmlError> {
+        let start = self.pos;
+        while self.pos + terminator.len() <= self.input.len() {
+            if &self.input[self.pos..self.pos + terminator.len()] == terminator {
+                self.pos += terminator.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::Syntax { pos: start, msg: "unterminated markup".into() })
+    }
+
+    /// Skips `<!DOCTYPE …>` including a bracketed internal subset.
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        let start = self.pos;
+        let mut depth = 0i32;
+        while self.pos < self.input.len() {
+            match self.input[self.pos] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::Syntax { pos: start, msg: "unterminated <! declaration".into() })
+    }
+
+    fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += "<![CDATA[".len();
+        let content_start = self.pos;
+        while self.pos + 3 <= self.input.len() {
+            if &self.input[self.pos..self.pos + 3] == b"]]>" {
+                let content = self.text[content_start..self.pos].to_string();
+                self.pos += 3;
+                if self.stack.is_empty() {
+                    return Err(XmlError::Syntax {
+                        pos: start,
+                        msg: "CDATA outside root element".into(),
+                    });
+                }
+                return Ok(XmlEvent::Text(content));
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::Syntax { pos: start, msg: "unterminated CDATA section".into() })
+    }
+
+    fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.text[start..self.pos];
+        Ok(XmlEvent::Text(unescape(raw).into_owned()))
+    }
+
+    fn parse_close(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += 2; // "</"
+        let name = self.read_name()?;
+        self.skip_ws();
+        if self.pos >= self.input.len() || self.input[self.pos] != b'>' {
+            return Err(XmlError::Syntax { pos: self.pos, msg: "expected '>'".into() });
+        }
+        self.pos += 1;
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) => Err(XmlError::MismatchedTag { pos: start, expected: open, found: name }),
+            None => Err(XmlError::Syntax {
+                pos: start,
+                msg: format!("close tag </{name}> with no open element"),
+            }),
+        }
+    }
+
+    fn parse_open(&mut self) -> Result<XmlEvent, XmlError> {
+        self.pos += 1; // '<'
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Err(XmlError::UnexpectedEof);
+            }
+            match self.input[self.pos] {
+                b'>' => {
+                    self.pos += 1;
+                    self.stack.push(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                b'/' => {
+                    if self.input.get(self.pos + 1) != Some(&b'>') {
+                        return Err(XmlError::Syntax {
+                            pos: self.pos,
+                            msg: "expected '/>'".into(),
+                        });
+                    }
+                    self.pos += 2;
+                    self.stack.push(name.clone());
+                    self.pending_end = Some(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                _ => {
+                    let attr_name = self.read_name()?;
+                    self.skip_ws();
+                    if self.pos >= self.input.len() || self.input[self.pos] != b'=' {
+                        return Err(XmlError::Syntax {
+                            pos: self.pos,
+                            msg: format!("expected '=' after attribute '{attr_name}'"),
+                        });
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.read_quoted()?;
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Syntax { pos: start, msg: "expected a name".into() });
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn read_quoted(&mut self) -> Result<String, XmlError> {
+        let quote = *self.input.get(self.pos).ok_or(XmlError::UnexpectedEof)?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::Syntax { pos: self.pos, msg: "expected quoted value".into() });
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(XmlError::Syntax { pos: start, msg: "unterminated attribute".into() });
+        }
+        let raw = &self.text[start..self.pos];
+        self.pos += 1;
+        Ok(unescape(raw).into_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+enum Markup {
+    Comment,
+    Pi,
+    Doctype,
+    Cdata,
+    Close,
+    Open,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<XmlEvent> {
+        PullParser::parse_all(s).unwrap()
+    }
+
+    fn start(name: &str) -> XmlEvent {
+        XmlEvent::StartElement { name: name.into(), attributes: vec![] }
+    }
+
+    fn end(name: &str) -> XmlEvent {
+        XmlEvent::EndElement { name: name.into() }
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(
+            events("<a><b/>hi</a>"),
+            vec![start("a"), start("b"), end("b"), XmlEvent::Text("hi".into()), end("a")]
+        );
+    }
+
+    #[test]
+    fn attributes_parsed_and_unescaped() {
+        let evs = events(r#"<a x="1" y='two &amp; three'/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[1].value, "two & three");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prolog_comment_doctype_skipped() {
+        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE site [<!ELEMENT a (b)>]>\n<!-- c -->\n<a/>";
+        assert_eq!(events(doc), vec![start("a"), end("a")]);
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        assert_eq!(
+            events("<a><![CDATA[<not> & markup]]></a>"),
+            vec![start("a"), XmlEvent::Text("<not> & markup".into()), end("a")]
+        );
+    }
+
+    #[test]
+    fn entities_in_text() {
+        assert_eq!(
+            events("<a>x &lt; y &#38; z</a>"),
+            vec![start("a"), XmlEvent::Text("x < y & z".into()), end("a")]
+        );
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = PullParser::parse_all("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn eof_with_open_elements_rejected() {
+        assert_eq!(PullParser::parse_all("<a><b>").unwrap_err(), XmlError::UnexpectedEof);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = PullParser::parse_all("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::BadDocumentStructure(_)));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(PullParser::parse_all("<a/>junk").is_err());
+        // Whitespace is fine.
+        assert!(PullParser::parse_all("  <a/>  \n").is_ok());
+    }
+
+    #[test]
+    fn close_without_open_rejected() {
+        assert!(matches!(PullParser::parse_all("</a>").unwrap_err(), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut p = PullParser::new("<a><b><c/></b></a>");
+        assert_eq!(p.depth(), 0);
+        p.next().unwrap(); // <a>
+        assert_eq!(p.depth(), 1);
+        p.next().unwrap(); // <b>
+        p.next().unwrap(); // <c>
+        assert_eq!(p.depth(), 3);
+        p.next().unwrap(); // </c>
+        p.next().unwrap(); // </b>
+        assert_eq!(p.depth(), 1);
+    }
+
+    #[test]
+    fn whitespace_text_preserved_inside_root() {
+        // start a, " ", start b, end b, " ", end a
+        let evs = events("<a> <b/> </a>");
+        assert_eq!(evs.len(), 6);
+        assert_eq!(evs[1], XmlEvent::Text(" ".into()));
+        assert_eq!(evs[4], XmlEvent::Text(" ".into()));
+    }
+
+    #[test]
+    fn unterminated_markup_errors() {
+        assert!(PullParser::parse_all("<a><!-- never closed").is_err());
+        assert!(PullParser::parse_all("<a><![CDATA[oops").is_err());
+        assert!(PullParser::parse_all("<a hello").is_err());
+        assert!(PullParser::parse_all("<a x=>").is_err());
+        assert!(PullParser::parse_all("<a x=\"unterminated>").is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming XML serialisation.
+//!
+//! Used by the DOM for round-tripping and by the XMark generator to stream
+//! multi-megabyte documents without building a tree first.
+
+use crate::escape::{escape_attr, escape_text};
+
+/// An event-driven XML writer.
+pub struct XmlWriter {
+    out: String,
+    stack: Vec<String>,
+    pretty: bool,
+    /// The current element has been opened with `<name` but not yet closed
+    /// with `>` — attributes may still be appended.
+    tag_open: bool,
+    /// The current element has child content (so `</name>` is required
+    /// instead of `/>`).
+    has_content: Vec<bool>,
+}
+
+impl XmlWriter {
+    /// Creates a writer; `pretty` adds newline + two-space indentation.
+    pub fn new(pretty: bool) -> Self {
+        XmlWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            pretty,
+            tag_open: false,
+            has_content: Vec::new(),
+        }
+    }
+
+    /// Opens `<name`.
+    pub fn start_element(&mut self, name: &str) {
+        self.close_pending_tag(true);
+        if self.pretty && !self.out.is_empty() {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push('<');
+        self.out.push_str(name);
+        self.stack.push(name.to_string());
+        self.has_content.push(false);
+        self.tag_open = true;
+    }
+
+    /// Adds an attribute to the currently open start tag. Panics when no
+    /// start tag is open (programming error in the caller).
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        assert!(self.tag_open, "attribute() outside a start tag");
+        self.out.push(' ');
+        self.out.push_str(name);
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attr(value));
+        self.out.push('"');
+    }
+
+    /// Writes escaped character data.
+    pub fn text(&mut self, text: &str) {
+        self.close_pending_tag(true);
+        self.out.push_str(&escape_text(text));
+    }
+
+    /// Closes the innermost open element.
+    pub fn end_element(&mut self) {
+        let name = self.stack.pop().expect("end_element without start_element");
+        let had_content = self.has_content.pop().expect("stack in sync");
+        if self.tag_open {
+            // Empty element: <name/>
+            self.out.push_str("/>");
+            self.tag_open = false;
+        } else {
+            if self.pretty && had_content {
+                self.out.push('\n');
+                for _ in 0..self.stack.len() {
+                    self.out.push_str("  ");
+                }
+            }
+            self.out.push_str("</");
+            self.out.push_str(&name);
+            self.out.push('>');
+        }
+    }
+
+    /// Finishes and returns the document text. Panics if elements are open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.out
+    }
+
+    /// Bytes written so far (used by the generator to hit size targets).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn close_pending_tag(&mut self, mark_content: bool) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+        if mark_content {
+            if let Some(last) = self.has_content.last_mut() {
+                *last = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::PullParser;
+
+    #[test]
+    fn basic_structure() {
+        let mut w = XmlWriter::new(false);
+        w.start_element("a");
+        w.start_element("b");
+        w.text("hi");
+        w.end_element();
+        w.start_element("c");
+        w.end_element();
+        w.end_element();
+        assert_eq!(w.finish(), "<a><b>hi</b><c/></a>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut w = XmlWriter::new(false);
+        w.start_element("a");
+        w.attribute("x", "1 & 2 \"q\"");
+        w.end_element();
+        let s = w.finish();
+        assert_eq!(s, "<a x=\"1 &amp; 2 &quot;q&quot;\"/>");
+        // And the parser reads it back intact.
+        let evs = PullParser::parse_all(&s).unwrap();
+        match &evs[0] {
+            crate::parser::XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "1 & 2 \"q\"");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn text_escaped() {
+        let mut w = XmlWriter::new(false);
+        w.start_element("a");
+        w.text("x < y & z");
+        w.end_element();
+        assert_eq!(w.finish(), "<a>x &lt; y &amp; z</a>");
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let mut w = XmlWriter::new(true);
+        w.start_element("a");
+        w.start_element("b");
+        w.end_element();
+        w.end_element();
+        assert_eq!(w.finish(), "<a>\n  <b/>\n</a>");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed elements")]
+    fn finish_with_open_elements_panics() {
+        let mut w = XmlWriter::new(false);
+        w.start_element("a");
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn len_tracks_output() {
+        let mut w = XmlWriter::new(false);
+        assert!(w.is_empty());
+        w.start_element("abc");
+        w.end_element();
+        assert_eq!(w.len(), "<abc/>".len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge cases for the XML layer: depth, size, odd-but-legal syntax.
+
+use ssx_xml::{Document, PullParser, XmlEvent};
+
+#[test]
+fn very_deep_nesting_round_trips() {
+    // 50k levels: the parser, DOM builder, numbering and serializer are all
+    // iterative, so this must work without stack overflow.
+    let depth = 50_000;
+    let mut xml = String::with_capacity(depth * 7);
+    for _ in 0..depth - 1 {
+        xml.push_str("<a>");
+    }
+    xml.push_str("<a/>"); // innermost empty element, serializer-canonical
+    for _ in 0..depth - 1 {
+        xml.push_str("</a>");
+    }
+    let doc = Document::parse(&xml).unwrap();
+    assert_eq!(doc.element_count(), depth);
+    let rows = doc.pre_post_numbering();
+    assert_eq!(rows.len(), depth);
+    // Innermost node: pre = depth, post = 1.
+    assert_eq!(rows.last().unwrap().1, depth as u32);
+    assert_eq!(rows.last().unwrap().2, 1);
+    assert_eq!(doc.to_xml(), xml);
+}
+
+#[test]
+fn very_wide_fanout() {
+    let width = 100_000;
+    let mut xml = String::from("<r>");
+    for _ in 0..width {
+        xml.push_str("<c/>");
+    }
+    xml.push_str("</r>");
+    let doc = Document::parse(&xml).unwrap();
+    assert_eq!(doc.children(doc.root()).len(), width);
+    let rows = doc.pre_post_numbering();
+    assert_eq!(rows.len(), width + 1);
+}
+
+#[test]
+fn parser_depth_is_streaming() {
+    // The pull parser's only growing state is the open-tag stack.
+    let mut xml = String::new();
+    for i in 0..1000 {
+        xml.push_str(&format!("<e{i}>"));
+    }
+    for i in (0..1000).rev() {
+        xml.push_str(&format!("</e{i}>"));
+    }
+    let mut p = PullParser::new(&xml);
+    let mut max_depth = 0;
+    while let Some(_ev) = p.next().unwrap() {
+        max_depth = max_depth.max(p.depth());
+    }
+    assert_eq!(max_depth, 1000);
+}
+
+#[test]
+fn mixed_prolog_and_trailing_whitespace() {
+    let doc = "\u{feff}".to_string()
+        + "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- header -->\n<a/>\n\n";
+    // BOM before the prolog is text outside the root; our parser treats the
+    // BOM as non-whitespace text -> error. Strip-BOM is the caller's job.
+    assert!(PullParser::parse_all(&doc).is_err());
+    let ok = "<?xml version=\"1.0\"?>\n<a/>\n";
+    assert!(PullParser::parse_all(ok).is_ok());
+}
+
+#[test]
+fn unicode_content_and_names() {
+    let xml = "<données><ville>Enschede — Überlingen</ville><名前>テスト</名前></données>";
+    let doc = Document::parse(xml).unwrap();
+    assert_eq!(doc.name(doc.root()), Some("données"));
+    let kids: Vec<_> = doc.child_elements(doc.root()).collect();
+    assert_eq!(doc.name(kids[1]), Some("名前"));
+    assert_eq!(doc.to_xml(), xml);
+}
+
+#[test]
+fn adjacent_cdata_and_text_merge_order() {
+    let evs = PullParser::parse_all("<a>one<![CDATA[ two ]]>three</a>").unwrap();
+    let texts: Vec<&str> = evs
+        .iter()
+        .filter_map(|e| match e {
+            XmlEvent::Text(t) => Some(t.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(texts, vec!["one", " two ", "three"]);
+}
+
+#[test]
+fn comments_inside_elements_are_invisible() {
+    let doc = Document::parse("<a><!-- hidden --><b/><!-- also --></a>").unwrap();
+    assert_eq!(doc.children(doc.root()).len(), 1);
+}
+
+#[test]
+fn attribute_heavy_elements() {
+    let mut xml = String::from("<a");
+    for i in 0..500 {
+        xml.push_str(&format!(" k{i}=\"v{i}\""));
+    }
+    xml.push_str("/>");
+    let evs = PullParser::parse_all(&xml).unwrap();
+    match &evs[0] {
+        XmlEvent::StartElement { attributes, .. } => assert_eq!(attributes.len(), 500),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn crlf_and_tabs_are_whitespace() {
+    let doc = Document::parse("<a>\r\n\t<b/>\r\n</a>").unwrap();
+    assert_eq!(doc.children(doc.root()).len(), 1);
+}
+
+#[test]
+fn doctype_with_internal_subset_skipped() {
+    let xml = r#"<!DOCTYPE site [
+        <!ELEMENT site (a)>
+        <!ENTITY x "y">
+    ]><site><a/></site>"#;
+    let doc = Document::parse(xml).unwrap();
+    assert_eq!(doc.element_count(), 2);
+}
+
+#[test]
+fn empty_document_and_whitespace_only_are_errors() {
+    assert!(PullParser::parse_all("").is_err());
+    assert!(PullParser::parse_all("   \n  ").is_err());
+    assert!(PullParser::parse_all("<!-- only a comment -->").is_err());
+}

@@ -1,0 +1,94 @@
+//! Property tests: parse→serialise→parse must be a fixpoint for arbitrary
+//! generated documents, and numbering invariants must hold on random trees.
+
+use proptest::prelude::*;
+use ssx_xml::{Document, NodeKind};
+
+/// Recursive strategy for random XML trees rendered as text.
+fn arb_tree() -> impl Strategy<Value = String> {
+    let name = prop_oneof![
+        Just("site".to_string()),
+        Just("item".to_string()),
+        Just("a".to_string()),
+        Just("person-x".to_string()),
+        Just("b2".to_string()),
+    ];
+    let text = "[ -~]{0,12}"; // printable ASCII runs
+    let leaf = (name.clone(), text.prop_map(|s| s)).prop_map(|(n, t)| {
+        if t.trim().is_empty() {
+            format!("<{n}/>")
+        } else {
+            format!("<{n}>{}</{n}>", ssx_xml::escape_text(&t))
+        }
+    });
+    leaf.prop_recursive(4, 32, 4, move |inner| {
+        (
+            prop_oneof![
+                Just("r".to_string()),
+                Just("group".to_string()),
+                Just("x_y".to_string())
+            ],
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(n, kids)| {
+                if kids.is_empty() {
+                    format!("<{n}/>")
+                } else {
+                    format!("<{n}>{}</{n}>", kids.join(""))
+                }
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_serialise_fixpoint(doc_text in arb_tree()) {
+        let doc = Document::parse(&doc_text).expect("generated doc parses");
+        let once = doc.to_xml();
+        let doc2 = Document::parse(&once).expect("serialised doc parses");
+        let twice = doc2.to_xml();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn numbering_invariants(doc_text in arb_tree()) {
+        let doc = Document::parse(&doc_text).unwrap();
+        let rows = doc.pre_post_numbering();
+        // Bijective pre numbers 1..=n, post numbers a permutation of the same.
+        let n = rows.len() as u32;
+        let mut pres: Vec<u32> = rows.iter().map(|r| r.1).collect();
+        let mut posts: Vec<u32> = rows.iter().map(|r| r.2).collect();
+        pres.sort_unstable();
+        posts.sort_unstable();
+        prop_assert_eq!(&pres, &(1..=n).collect::<Vec<_>>());
+        prop_assert_eq!(&posts, &(1..=n).collect::<Vec<_>>());
+        // Root first, parent_pre = 0 exactly once.
+        prop_assert_eq!(rows[0].3, 0);
+        prop_assert_eq!(rows.iter().filter(|r| r.3 == 0).count(), 1);
+        // Every parent_pre refers to an earlier pre.
+        for &(_, pre, _, parent_pre) in &rows[1..] {
+            prop_assert!(parent_pre < pre);
+        }
+    }
+
+    #[test]
+    fn descendant_counts_match(doc_text in arb_tree()) {
+        let doc = Document::parse(&doc_text).unwrap();
+        let all = doc.descendants(doc.root());
+        prop_assert_eq!(all.len(), doc.len());
+        let elements = all
+            .iter()
+            .filter(|&&id| matches!(doc.kind(id), NodeKind::Element(_)))
+            .count();
+        prop_assert_eq!(elements, doc.element_count());
+    }
+
+    #[test]
+    fn pretty_print_parses_back(doc_text in arb_tree()) {
+        let doc = Document::parse(&doc_text).unwrap();
+        let pretty = doc.to_pretty_xml();
+        let back = Document::parse(&pretty).expect("pretty output parses");
+        // Element structure must be preserved (text may gain whitespace).
+        prop_assert_eq!(back.element_count(), doc.element_count());
+    }
+}

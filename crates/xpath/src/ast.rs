@@ -1,0 +1,259 @@
+//! Query AST and the trie translation.
+
+use std::fmt;
+
+/// The element name used for the trie word terminator `⊥`.
+///
+/// `⊥` itself is not a portable XML name, so the trie transformation and the
+/// query translation agree on `"_"` instead.
+pub const TRIE_WORD_END: &str = "_";
+
+/// Step direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — children of the current candidates.
+    Child,
+    /// `//` — all descendants of the current candidates.
+    Descendant,
+}
+
+/// What a step matches.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A concrete tag name.
+    Name(String),
+    /// `*` — every node, no filtering.
+    Star,
+    /// `..` — the parent.
+    Parent,
+}
+
+/// The `contains(text(), "w")` predicate before trie translation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TextPredicate {
+    /// The word searched for (matched case-insensitively against the trie).
+    pub word: String,
+    /// When true the match is anchored at a word boundary on the right too:
+    /// the translated path ends with the terminator node, so "joan" matches
+    /// the word *joan* but not *joanna*. `contains` semantics use `false`.
+    pub whole_word: bool,
+}
+
+/// One location step.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Direction.
+    pub axis: Axis,
+    /// Node test.
+    pub test: NodeTest,
+    /// Optional text predicate (translated away before execution).
+    pub predicate: Option<TextPredicate>,
+}
+
+impl Step {
+    /// Convenience constructor for a plain step.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step { axis, test, predicate: None }
+    }
+
+    /// `/name`
+    pub fn child(name: &str) -> Self {
+        Step::new(Axis::Child, NodeTest::Name(name.to_string()))
+    }
+
+    /// `//name`
+    pub fn descendant(name: &str) -> Self {
+        Step::new(Axis::Descendant, NodeTest::Name(name.to_string()))
+    }
+}
+
+/// A parsed query: a non-empty sequence of steps.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// The steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl Query {
+    /// Builds a query from steps (panics on empty input — parse errors are
+    /// the job of [`crate::parse_query`]).
+    pub fn new(steps: Vec<Step>) -> Self {
+        assert!(!steps.is_empty(), "a query needs at least one step");
+        Query { steps }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Queries are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of `//` (descendant) steps — the quantity the paper's Fig 7
+    /// correlates with accuracy loss.
+    pub fn descendant_step_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.axis == Axis::Descendant).count()
+    }
+
+    /// True when the query is *absolute*: child steps only. The paper notes
+    /// the containment test reaches 100% accuracy on such queries.
+    pub fn is_absolute(&self) -> bool {
+        self.descendant_step_count() == 0
+    }
+
+    /// The distinct tag names tested anywhere in the query, in first-use
+    /// order. This is the name set the AdvancedQuery engine look-ahead
+    /// checks at every node.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.steps {
+            if let NodeTest::Name(n) = &s.test {
+                if !out.contains(&n.as_str()) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Translates every `contains(text(), "w")` predicate into trie path
+    /// steps (paper §4):
+    ///
+    /// `/name[contains(text(), "Joan")]` → `/name//j/o/a/n`
+    ///
+    /// The first character becomes a descendant step (the word may start at
+    /// any depth below the element once data strings are split into words),
+    /// the remaining characters child steps; a `whole_word` predicate appends
+    /// the terminator node. Characters outside the trie alphabet are
+    /// lowercased / dropped exactly like the document-side transformation.
+    pub fn expand_text_predicates(&self) -> Query {
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let mut plain = step.clone();
+            let predicate = plain.predicate.take();
+            steps.push(plain);
+            if let Some(pred) = predicate {
+                let chars: Vec<String> = pred
+                    .word
+                    .to_lowercase()
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric())
+                    .map(|c| c.to_string())
+                    .collect();
+                for (i, c) in chars.iter().enumerate() {
+                    let axis = if i == 0 { Axis::Descendant } else { Axis::Child };
+                    steps.push(Step::new(axis, NodeTest::Name(c.clone())));
+                }
+                if pred.whole_word && !chars.is_empty() {
+                    steps.push(Step::child(TRIE_WORD_END));
+                }
+            }
+        }
+        Query { steps }
+    }
+
+    /// True if any step still carries a text predicate (i.e. the query needs
+    /// [`Query::expand_text_predicates`] before execution).
+    pub fn has_text_predicates(&self) -> bool {
+        self.steps.iter().any(|s| s.predicate.is_some())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step.axis {
+                Axis::Child => write!(f, "/")?,
+                Axis::Descendant => write!(f, "//")?,
+            }
+            match &step.test {
+                NodeTest::Name(n) => write!(f, "{n}")?,
+                NodeTest::Star => write!(f, "*")?,
+                NodeTest::Parent => write!(f, "..")?,
+            }
+            if let Some(p) = &step.predicate {
+                let func = if p.whole_word { "word" } else { "contains" };
+                write!(f, "[{func}(text(), \"{}\")]", p.word)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let q = Query::new(vec![
+            Step::child("site"),
+            Step::new(Axis::Child, NodeTest::Star),
+            Step::child("person"),
+            Step::descendant("city"),
+        ]);
+        assert_eq!(q.to_string(), "/site/*/person//city");
+    }
+
+    #[test]
+    fn names_deduplicated_in_order() {
+        let q = Query::new(vec![
+            Step::child("a"),
+            Step::new(Axis::Child, NodeTest::Star),
+            Step::descendant("b"),
+            Step::child("a"),
+        ]);
+        assert_eq!(q.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn absolute_detection() {
+        let abs = Query::new(vec![Step::child("a"), Step::child("b")]);
+        assert!(abs.is_absolute());
+        let rel = Query::new(vec![Step::child("a"), Step::descendant("b")]);
+        assert!(!rel.is_absolute());
+        assert_eq!(rel.descendant_step_count(), 1);
+    }
+
+    #[test]
+    fn paper_trie_translation_example() {
+        // /name[contains(text(), "Joan")] -> /name//j/o/a/n
+        let q = Query::new(vec![Step {
+            axis: Axis::Child,
+            test: NodeTest::Name("name".into()),
+            predicate: Some(TextPredicate { word: "Joan".into(), whole_word: false }),
+        }]);
+        let expanded = q.expand_text_predicates();
+        assert_eq!(expanded.to_string(), "/name//j/o/a/n");
+        assert!(!expanded.has_text_predicates());
+    }
+
+    #[test]
+    fn whole_word_appends_terminator() {
+        let q = Query::new(vec![Step {
+            axis: Axis::Child,
+            test: NodeTest::Name("name".into()),
+            predicate: Some(TextPredicate { word: "jo".into(), whole_word: true }),
+        }]);
+        assert_eq!(q.expand_text_predicates().to_string(), "/name//j/o/_");
+    }
+
+    #[test]
+    fn non_alphanumerics_dropped_in_translation() {
+        let q = Query::new(vec![Step {
+            axis: Axis::Child,
+            test: NodeTest::Name("name".into()),
+            predicate: Some(TextPredicate { word: "O'Neil 3".into(), whole_word: false }),
+        }]);
+        assert_eq!(q.expand_text_predicates().to_string(), "/name//o/n/e/i/l/3");
+    }
+
+    #[test]
+    fn expansion_without_predicates_is_identity() {
+        let q = Query::new(vec![Step::child("a"), Step::descendant("b")]);
+        assert_eq!(q.expand_text_predicates(), q);
+    }
+}

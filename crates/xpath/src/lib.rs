@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The XPath subset of the paper (§5.3) plus the trie query translation (§4).
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query     := step+
+//! step      := ("/" | "//") test predicate?
+//! test      := NAME | "*" | ".."
+//! predicate := "[" "contains(text()," STRING ")" "]"
+//! ```
+//!
+//! * `/` selects children, `//` selects descendants.
+//! * `*` matches every child ("reduces the workload because no additional
+//!   filtering is needed" — §5.3); `..` matches the parent.
+//! * `contains(text(), "w")` is the paper's §4 text search: before execution
+//!   it is *translated* into trie path steps, e.g.
+//!   `/name[contains(text(), "Joan")]` becomes `/name//j/o/a/n`
+//!   (lowercased to match the trie alphabet).
+//!
+//! [`Query`] is the parsed form; [`Query::expand_text_predicates`] performs
+//! the trie translation so the engines only ever see structural steps.
+
+pub mod ast;
+pub mod parse;
+
+pub use ast::{Axis, NodeTest, Query, Step, TextPredicate, TRIE_WORD_END};
+pub use parse::{parse_query, ParseError};

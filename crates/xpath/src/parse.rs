@@ -1,0 +1,274 @@
+//! Hand-rolled recursive-descent parser for the query grammar.
+
+use crate::ast::{Axis, NodeTest, Query, Step, TextPredicate};
+use std::fmt;
+
+/// Parse errors with character positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a query string like `/site/*/person//city` or
+/// `/name[contains(text(), "Joan")]`.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), text: input, pos: 0 };
+    p.skip_ws();
+    let mut steps = Vec::new();
+    while p.pos < p.input.len() {
+        steps.push(p.step()?);
+        p.skip_ws();
+    }
+    if steps.is_empty() {
+        return Err(ParseError { pos: 0, msg: "empty query".into() });
+    }
+    Ok(Query::new(steps))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn step(&mut self) -> Result<Step, ParseError> {
+        if !self.eat(b'/') {
+            return Err(self.err("expected '/'"));
+        }
+        let axis = if self.eat(b'/') { Axis::Descendant } else { Axis::Child };
+        let test = self.node_test()?;
+        let predicate = if self.peek() == Some(b'[') { Some(self.predicate()?) } else { None };
+        if predicate.is_some() && !matches!(test, NodeTest::Name(_)) {
+            return Err(self.err("text predicates only apply to named steps"));
+        }
+        Ok(Step { axis, test, predicate })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                Ok(NodeTest::Star)
+            }
+            Some(b'.') => {
+                if self.input[self.pos..].starts_with(b"..") {
+                    self.pos += 2;
+                    Ok(NodeTest::Parent)
+                } else {
+                    Err(self.err("expected '..'"))
+                }
+            }
+            _ => {
+                let name = self.name()?;
+                Ok(NodeTest::Name(name))
+            }
+        }
+    }
+
+    fn predicate(&mut self) -> Result<TextPredicate, ParseError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let whole_word = if self.eat_keyword("contains") {
+            false
+        } else if self.eat_keyword("word") {
+            true
+        } else {
+            return Err(self.err("expected 'contains' or 'word'"));
+        };
+        self.skip_ws();
+        self.expect(b'(')?;
+        self.skip_ws();
+        if !self.eat_keyword("text") {
+            return Err(self.err("expected 'text()'"));
+        }
+        self.skip_ws();
+        self.expect(b'(')?;
+        self.skip_ws();
+        self.expect(b')')?;
+        self.skip_ws();
+        self.expect(b',')?;
+        self.skip_ws();
+        let word = self.quoted()?;
+        self.skip_ws();
+        self.expect(b')')?;
+        self.skip_ws();
+        self.expect(b']')?;
+        Ok(TextPredicate { word, whole_word })
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a tag name"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn quoted(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted string")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.input.len() {
+            return Err(ParseError { pos: start, msg: "unterminated string".into() });
+        }
+        let s = self.text[start..self.pos].to_string();
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { pos: self.pos, msg: msg.to_string() }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    // '.' is excluded from names so that '..' lexes as the parent test.
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, NodeTest, Step};
+
+    #[test]
+    fn paper_table1_queries() {
+        // All nine Table-1 queries parse into pure child chains.
+        let q9 = "/site/regions/europe/item/description/parlist/listitem/text/keyword";
+        for len in 1..=9 {
+            let parts: Vec<&str> = q9.trim_start_matches('/').split('/').collect();
+            let query_text = format!("/{}", parts[..len].join("/"));
+            let q = parse_query(&query_text).unwrap();
+            assert_eq!(q.len(), len);
+            assert!(q.is_absolute());
+            assert_eq!(q.to_string(), query_text);
+        }
+    }
+
+    #[test]
+    fn paper_table2_queries() {
+        let cases = [
+            ("/site//europe/item", 3, 1),
+            ("/site//europe//item", 3, 2),
+            ("/site/*/person//city", 4, 1),
+            ("/*/*/open_auction/bidder/date", 5, 0),
+            ("//bidder/date", 2, 1),
+        ];
+        for (text, steps, desc) in cases {
+            let q = parse_query(text).unwrap();
+            assert_eq!(q.len(), steps, "{text}");
+            assert_eq!(q.descendant_step_count(), desc, "{text}");
+            assert_eq!(q.to_string(), text, "round trip");
+        }
+    }
+
+    #[test]
+    fn star_and_parent_tests() {
+        let q = parse_query("/a/*/../b").unwrap();
+        assert_eq!(q.steps[1].test, NodeTest::Star);
+        assert_eq!(q.steps[2].test, NodeTest::Parent);
+        assert_eq!(q.to_string(), "/a/*/../b");
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let q = parse_query(r#"/name[contains(text(), "Joan")]"#).unwrap();
+        assert!(q.has_text_predicates());
+        let p = q.steps[0].predicate.as_ref().unwrap();
+        assert_eq!(p.word, "Joan");
+        assert!(!p.whole_word);
+        // Whitespace variations accepted.
+        assert!(parse_query(r#"/name[ contains( text( ) , 'Joan' ) ]"#).is_ok());
+    }
+
+    #[test]
+    fn word_predicate() {
+        let q = parse_query(r#"/name[word(text(), "joan")]"#).unwrap();
+        assert!(q.steps[0].predicate.as_ref().unwrap().whole_word);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("site").is_err(), "must start with /");
+        assert!(parse_query("/site/").is_err(), "trailing slash needs a test");
+        assert!(parse_query("/a[contains(text(), \"x\"").is_err(), "unterminated");
+        assert!(parse_query("/a[foo(text(), \"x\")]").is_err(), "unknown function");
+        assert!(parse_query("/*[contains(text(), \"x\")]").is_err(), "predicate on *");
+        assert!(parse_query("/a[contains(text(), \"x)]").is_err(), "unterminated string");
+    }
+
+    #[test]
+    fn constructed_equals_parsed() {
+        let q = parse_query("/site//europe/item").unwrap();
+        let manual = crate::ast::Query::new(vec![
+            Step::child("site"),
+            Step::descendant("europe"),
+            Step::new(Axis::Child, NodeTest::Name("item".into())),
+        ]);
+        assert_eq!(q, manual);
+    }
+
+    #[test]
+    fn xmark_names_with_underscores() {
+        let q = parse_query("/site/open_auctions/open_auction").unwrap();
+        assert_eq!(q.names(), vec!["site", "open_auctions", "open_auction"]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: Display/parse round-trips for arbitrary structurally valid
+//! queries.
+
+use proptest::prelude::*;
+use ssx_xpath::{parse_query, Axis, NodeTest, Query, Step, TextPredicate};
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let axis = prop_oneof![Just(Axis::Child), Just(Axis::Descendant)];
+    let name = prop_oneof![
+        Just("site".to_string()),
+        Just("open_auction".to_string()),
+        Just("person".to_string()),
+        Just("city".to_string()),
+        Just("a1".to_string()),
+        Just("b-c".to_string()),
+    ];
+    let test = prop_oneof![
+        name.clone().prop_map(NodeTest::Name),
+        Just(NodeTest::Star),
+        Just(NodeTest::Parent),
+    ];
+    let word = "[a-zA-Z]{1,8}";
+    let predicate = proptest::option::of((word, any::<bool>()).prop_map(|(w, ww)| {
+        TextPredicate { word: w, whole_word: ww }
+    }));
+    (axis, test, predicate).prop_map(|(axis, test, predicate)| {
+        // Predicates only attach to named steps (grammar restriction).
+        let predicate = if matches!(test, NodeTest::Name(_)) { predicate } else { None };
+        Step { axis, test, predicate }
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    proptest::collection::vec(arb_step(), 1..8).prop_map(Query::new)
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(q in arb_query()) {
+        let text = q.to_string();
+        let back = parse_query(&text).expect("displayed query parses");
+        prop_assert_eq!(back, q);
+    }
+
+    #[test]
+    fn expansion_removes_predicates(q in arb_query()) {
+        let expanded = q.expand_text_predicates();
+        prop_assert!(!expanded.has_text_predicates());
+        // Expansion never shrinks the query.
+        prop_assert!(expanded.len() >= q.len());
+        // And expanded queries still round-trip through the parser.
+        let text = expanded.to_string();
+        prop_assert_eq!(parse_query(&text).unwrap(), expanded);
+    }
+
+    #[test]
+    fn names_subset_of_step_names(q in arb_query()) {
+        let names = q.names();
+        for n in &names {
+            let appears = q.steps.iter().any(|s| matches!(&s.test, NodeTest::Name(m) if m == n));
+            prop_assert!(appears);
+        }
+        // Dedup: no repeats.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), names.len());
+    }
+}

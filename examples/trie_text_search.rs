@@ -1,0 +1,79 @@
+//! Text search through the §4 trie enhancement — the paper's future-work
+//! item, implemented end to end.
+//!
+//! Transforms a document's text nodes into character tries, encrypts the
+//! result (over `F_131`, large enough for 77 tags + the 37-symbol trie
+//! alphabet), translates a `contains(text(), …)` query into a path query,
+//! and answers it over the encrypted database.
+//!
+//! ```text
+//! cargo run --example trie_text_search
+//! ```
+
+use ssxdb::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+use ssxdb::prg::Seed;
+use ssxdb::trie::{corpus_stats, transform_document, trie_alphabet, TrieMode};
+use ssxdb::xml::Document;
+use ssxdb::xpath::parse_query;
+
+fn main() {
+    let xml = "<people>\
+        <person><name>Joan Johnson</name><city>Enschede</city></person>\
+        <person><name>John Johnson</name><city>Eindhoven</city></person>\
+        <person><name>Mary Jane</name><city>Enschede</city></person>\
+    </people>";
+    println!("plaintext:\n  {xml}\n");
+
+    // Transform text into tries (paper fig 2).
+    let doc = Document::parse(xml).unwrap();
+    let trie_doc = transform_document(&doc, TrieMode::Compressed);
+    println!("after trie transformation ({} element nodes):", trie_doc.element_count());
+    println!("{}\n", indent(&trie_doc.to_pretty_xml()));
+
+    // Compression statistics (paper §4 claims).
+    let texts: Vec<&str> = doc
+        .descendants(doc.root())
+        .into_iter()
+        .filter_map(|id| doc.text(id))
+        .collect();
+    let stats = corpus_stats(texts.iter().copied());
+    println!(
+        "trie stats: {} chars -> {} trie nodes ({:.0}% reduction), dedup saves {:.0}%",
+        stats.original_chars,
+        stats.trie_char_nodes,
+        100.0 * stats.trie_reduction(),
+        100.0 * stats.dedup_reduction()
+    );
+
+    // Build the combined tag + alphabet map over F_131.
+    let mut names: Vec<String> =
+        ["people", "person", "name", "city"].iter().map(|s| s.to_string()).collect();
+    names.extend(trie_alphabet());
+    let map = MapFile::sequential(131, 1, &names).unwrap();
+    let seed = Seed::from_test_key(1960); // Fredkin's trie paper
+    let mut db = EncryptedDb::encode_doc(&trie_doc, map, seed).unwrap();
+    println!("\nencrypted {} nodes over F_131\n", db.node_count());
+
+    // The paper's query translation:
+    //   /name[contains(text(), "Joan")]  ->  /name//j/o/a/n
+    for (query_text, comment) in [
+        (r#"//name[contains(text(), "Joan")]"#, "substring: matches Joan (prefix of nothing else)"),
+        (r#"//name[contains(text(), "Jo")]"#, "prefix shared by Joan and John"),
+        (r#"//name[word(text(), "jane")]"#, "whole-word match with terminator"),
+        (r#"//city[contains(text(), "Enschede")]"#, "text under a different tag"),
+    ] {
+        let query = parse_query(query_text).unwrap();
+        let expanded = query.expand_text_predicates();
+        let out = db.query(query_text, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        println!("{query_text}");
+        println!("  translated: {expanded}");
+        println!("  matches: {} node(s)   ({comment})", out.result.len());
+    }
+
+    println!("\nThe server answered every query without ever seeing a tag");
+    println!("name, a character, or a word boundary in the clear.");
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

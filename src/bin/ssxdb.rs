@@ -1,0 +1,356 @@
+//! `ssxdb` — command-line front end for the secret-shared XML database.
+//!
+//! ```text
+//! ssxdb keygen  <seed-file>
+//! ssxdb genmap  [--p 83] [--e 1] (--doc <xml> | --dtd | --names a,b,c) [--trie-alphabet] <map-file>
+//! ssxdb xmark   [--bytes N] [--seed K] <out.xml>
+//! ssxdb encode  --map <map> --seed <seed> [--trie compressed|uncompressed] <in.xml> <out.ssxdb>
+//! ssxdb info    <db.ssxdb>
+//! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
+//!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
+//! ssxdb serve   --p <p> --e <e> --addr <host:port> <db.ssxdb>
+//! ssxdb remote  --map <map> --seed <seed> --addr <host:port>
+//!               [--engine …] [--rule …] [--stats] <query>
+//! ```
+//!
+//! The map and seed files are the client secrets; `info` and `serve` work
+//! without them (they only touch what the untrusted server would hold).
+
+use ssxdb::core::{
+    encode_dom, encode_document, serve_tcp, ClientFilter, Engine, EngineKind, MapFile, MatchRule,
+    ServerFilter, TcpTransport,
+};
+use ssxdb::poly::RingCtx;
+use ssxdb::prg::Seed;
+use ssxdb::store::{load_table, save_table};
+use ssxdb::trie::{transform_document, trie_alphabet, TrieMode};
+use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
+use ssxdb::xml::Document;
+use ssxdb::xpath::parse_query;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut parser = Args::new(args);
+    let command = parser.positional("command")?;
+    match command.as_str() {
+        "keygen" => keygen(parser),
+        "genmap" => genmap(parser),
+        "xmark" => xmark(parser),
+        "encode" => encode(parser),
+        "info" => info(parser),
+        "query" => query(parser),
+        "serve" => serve(parser),
+        "remote" => remote(parser),
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try 'ssxdb help'")),
+    }
+}
+
+const USAGE: &str = "\
+ssxdb — queries over encrypted XML using secret sharing
+
+commands:
+  keygen  <seed-file>                         create a fresh 32-byte seed
+  genmap  [--p 83] [--e 1] (--doc <xml> | --dtd | --names a,b,c)
+          [--trie-alphabet] <map-file>        create the secret tag map
+  xmark   [--bytes N] [--seed K] <out.xml>    generate an auction document
+  encode  --map M --seed S [--trie MODE] <in.xml> <out.ssxdb>
+  info    <db.ssxdb>                          sizes & structure (no secrets)
+  query   --map M --seed S [--engine simple|advanced]
+          [--rule containment|equality] [--stats] <db.ssxdb> <query>
+  serve   --p P --e E --addr HOST:PORT <db.ssxdb>
+  remote  --map M --seed S --addr HOST:PORT [--engine ..] [--rule ..] <query>
+";
+
+// ---- tiny argument parser ---------------------------------------------------
+
+struct Args {
+    flags: Vec<(String, String)>,
+    positionals: Vec<String>,
+    cursor: usize,
+}
+
+impl Args {
+    fn new(raw: Vec<String>) -> Self {
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "stats" || name == "dtd" || name == "trie-alphabet" {
+                    // boolean flags
+                    flags.push((name.to_string(), "true".to_string()));
+                } else {
+                    let value = iter.next().unwrap_or_default();
+                    flags.push((name.to_string(), value));
+                }
+            } else {
+                positionals.push(a);
+            }
+        }
+        Args { flags, positionals, cursor: 0 }
+    }
+
+    fn positional(&mut self, what: &str) -> Result<String, String> {
+        let v = self
+            .positionals
+            .get(self.cursor)
+            .cloned()
+            .ok_or_else(|| format!("missing <{what}>"))?;
+        self.cursor += 1;
+        Ok(v)
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flag(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn bool(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+}
+
+fn parse_engine(args: &Args) -> Result<EngineKind, String> {
+    match args.flag("engine").unwrap_or("advanced") {
+        "simple" => Ok(EngineKind::Simple),
+        "advanced" => Ok(EngineKind::Advanced),
+        other => Err(format!("unknown engine '{other}' (simple|advanced)")),
+    }
+}
+
+fn parse_rule(args: &Args) -> Result<MatchRule, String> {
+    match args.flag("rule").unwrap_or("equality") {
+        "containment" | "nonstrict" => Ok(MatchRule::Containment),
+        "equality" | "strict" => Ok(MatchRule::Equality),
+        other => Err(format!("unknown rule '{other}' (containment|equality)")),
+    }
+}
+
+fn load_secrets(args: &Args) -> Result<(MapFile, Seed), String> {
+    let map = MapFile::load(Path::new(args.required("map")?)).map_err(|e| e.to_string())?;
+    let seed = Seed::load(Path::new(args.required("seed")?)).map_err(|e| e.to_string())?;
+    Ok((map, seed))
+}
+
+// ---- commands ---------------------------------------------------------------
+
+fn keygen(mut args: Args) -> Result<(), String> {
+    let out = PathBuf::from(args.positional("seed-file")?);
+    // Entropy from the OS (dev/urandom on Unix); falls back to a time+pid
+    // mix if unavailable so the command still works everywhere.
+    let mut bytes = [0u8; 32];
+    if std::fs::File::open("/dev/urandom")
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut bytes))
+        .is_err()
+    {
+        let mut state = std::process::id() as u64
+            ^ std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0xDEAD_BEEF);
+        let mut prg = ssxdb::prg::Prg::from_u64(state);
+        for chunk in bytes.chunks_exact_mut(8) {
+            state = prg.next_u64();
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+    }
+    let seed = Seed::from_bytes(bytes);
+    seed.save(&out).map_err(|e| e.to_string())?;
+    println!("wrote seed to {} — keep it secret, it IS the key", out.display());
+    Ok(())
+}
+
+fn genmap(mut args: Args) -> Result<(), String> {
+    let p: u64 = args.flag("p").unwrap_or("83").parse().map_err(|_| "bad --p")?;
+    let e: u32 = args.flag("e").unwrap_or("1").parse().map_err(|_| "bad --e")?;
+    let mut names: Vec<String> = if let Some(doc_path) = args.flag("doc") {
+        let text = std::fs::read_to_string(doc_path).map_err(|err| err.to_string())?;
+        let doc = Document::parse(&text).map_err(|err| err.to_string())?;
+        let mut set = BTreeSet::new();
+        for id in doc.descendants(doc.root()) {
+            if let Some(n) = doc.name(id) {
+                set.insert(n.to_string());
+            }
+        }
+        set.into_iter().collect()
+    } else if args.bool("dtd") {
+        DTD_ELEMENTS.iter().map(|s| s.to_string()).collect()
+    } else if let Some(list) = args.flag("names") {
+        list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    } else {
+        return Err("need one of --doc <xml>, --dtd, or --names a,b,c".into());
+    };
+    if args.bool("trie-alphabet") {
+        let existing: BTreeSet<String> = names.iter().cloned().collect();
+        for sym in trie_alphabet() {
+            if !existing.contains(&sym) {
+                names.push(sym);
+            }
+        }
+    }
+    let out = PathBuf::from(args.positional("map-file")?);
+    // Random assignment keyed from OS entropy via a throwaway seed.
+    let mut key = [0u8; 8];
+    let _ = std::fs::File::open("/dev/urandom")
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut key));
+    let mut prg = ssxdb::prg::Prg::from_u64(u64::from_le_bytes(key));
+    let map = MapFile::random(p, e, &names, &mut prg).map_err(|err| err.to_string())?;
+    map.save(&out).map_err(|err| err.to_string())?;
+    println!("wrote map with {} names over F_{p}^{e} to {}", map.len(), out.display());
+    Ok(())
+}
+
+fn xmark(mut args: Args) -> Result<(), String> {
+    let bytes: usize = args.flag("bytes").unwrap_or("262144").parse().map_err(|_| "bad --bytes")?;
+    let seed: u64 = args.flag("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let out = PathBuf::from(args.positional("out.xml")?);
+    let xml = generate(&XmarkConfig { seed, target_bytes: bytes });
+    std::fs::write(&out, &xml).map_err(|e| e.to_string())?;
+    println!("wrote {} bytes of auction data to {}", xml.len(), out.display());
+    Ok(())
+}
+
+fn encode(mut args: Args) -> Result<(), String> {
+    let (map, seed) = load_secrets(&args)?;
+    let input = PathBuf::from(args.positional("in.xml")?);
+    let output = PathBuf::from(args.positional("out.ssxdb")?);
+    let xml = std::fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let out = match args.flag("trie") {
+        None => encode_document(&xml, &map, &seed).map_err(|e| e.to_string())?,
+        Some(mode) => {
+            let mode = match mode {
+                "compressed" => TrieMode::Compressed,
+                "uncompressed" => TrieMode::Uncompressed,
+                other => return Err(format!("unknown trie mode '{other}'")),
+            };
+            let doc = Document::parse(&xml).map_err(|e| e.to_string())?;
+            let trie_doc = transform_document(&doc, mode);
+            encode_dom(&trie_doc, &map, &seed).map_err(|e| e.to_string())?
+        }
+    };
+    save_table(&out.table, &output).map_err(|e| e.to_string())?;
+    let report = out.table.size_report();
+    println!(
+        "encoded {} elements ({} input bytes) in {:?}",
+        out.stats.elements, out.stats.input_bytes, out.stats.elapsed
+    );
+    println!(
+        "server database: {} bytes data ({} poly + {} structure), {}",
+        report.data_bytes(),
+        report.poly_bytes,
+        report.structure_bytes,
+        output.display()
+    );
+    Ok(())
+}
+
+fn info(mut args: Args) -> Result<(), String> {
+    let path = PathBuf::from(args.positional("db.ssxdb")?);
+    let table = load_table(&path).map_err(|e| e.to_string())?;
+    let report = table.size_report();
+    println!("{}", path.display());
+    println!("  rows (elements):    {}", report.rows);
+    println!("  polynomial bytes:   {} ({} per row)", report.poly_bytes, table.poly_len());
+    println!("  structure bytes:    {} ({:.1}% of data)", report.structure_bytes, 100.0 * report.structure_fraction());
+    println!("  index bytes:        {}", report.index_bytes);
+    if let Some(root) = table.root() {
+        println!("  root: pre={} post={} (tree of {} nodes)", root.loc.pre, root.loc.post, report.rows);
+    }
+    println!("  note: without the map and seed this is all anyone can learn.");
+    Ok(())
+}
+
+fn open_db(
+    args: &Args,
+    db_path: &Path,
+) -> Result<ClientFilter<ssxdb::core::LocalTransport>, String> {
+    let (map, seed) = load_secrets(args)?;
+    let table = load_table(db_path).map_err(|e| e.to_string())?;
+    let ring = RingCtx::new(map.p(), map.e()).map_err(|e| e.to_string())?;
+    let server = ServerFilter::new(table, ring);
+    ClientFilter::new(ssxdb::core::LocalTransport::new(server), map, seed)
+        .map_err(|e| e.to_string())
+}
+
+fn query(mut args: Args) -> Result<(), String> {
+    let db_path = PathBuf::from(args.positional("db.ssxdb")?);
+    let query_text = args.positional("query")?;
+    let mut client = open_db(&args, &db_path)?;
+    let engine = parse_engine(&args)?;
+    let rule = parse_rule(&args)?;
+    let q = parse_query(&query_text).map_err(|e| e.to_string())?.expand_text_predicates();
+    let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
+    print_outcome(&query_text, &out, args.bool("stats"));
+    Ok(())
+}
+
+fn serve(mut args: Args) -> Result<(), String> {
+    let p: u64 = args.required("p")?.parse().map_err(|_| "bad --p")?;
+    let e: u32 = args.flag("e").unwrap_or("1").parse().map_err(|_| "bad --e")?;
+    let addr = args.required("addr")?.to_string();
+    let db_path = PathBuf::from(args.positional("db.ssxdb")?);
+    let table = load_table(&db_path).map_err(|err| err.to_string())?;
+    let ring = RingCtx::new(p, e).map_err(|err| err.to_string())?;
+    let server = ServerFilter::new(table, ring);
+    let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
+    println!("serving {} on {addr} (Ctrl-C or a Shutdown request stops it)", db_path.display());
+    let server = serve_tcp(listener, server).map_err(|err| err.to_string())?;
+    let stats = server.stats();
+    println!(
+        "served {} requests: {} evaluations, {} polynomials",
+        stats.requests, stats.evaluations, stats.polys_served
+    );
+    Ok(())
+}
+
+fn remote(mut args: Args) -> Result<(), String> {
+    let (map, seed) = load_secrets(&args)?;
+    let addr = args.required("addr")?.to_string();
+    let query_text = args.positional("query")?;
+    let transport = TcpTransport::connect(&addr).map_err(|e| e.to_string())?;
+    let mut client = ClientFilter::new(transport, map, seed).map_err(|e| e.to_string())?;
+    let engine = parse_engine(&args)?;
+    let rule = parse_rule(&args)?;
+    let q = parse_query(&query_text).map_err(|e| e.to_string())?.expand_text_predicates();
+    let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
+    print_outcome(&query_text, &out, args.bool("stats"));
+    Ok(())
+}
+
+fn print_outcome(query_text: &str, out: &ssxdb::core::QueryOutcome, stats: bool) {
+    println!("{query_text}: {} match(es)", out.result.len());
+    for loc in &out.result {
+        println!("  node pre={} post={} parent={}", loc.pre, loc.post, loc.parent);
+    }
+    if stats {
+        let s = &out.stats;
+        println!("stats:");
+        println!("  containment tests: {}", s.containment_tests);
+        println!("  equality tests:    {}", s.equality_tests);
+        println!("  evaluations:       {} ({} client + {} server)", s.evaluations(), s.client_evals, s.server_evals);
+        println!("  polys fetched:     {}", s.polys_fetched);
+        println!("  round trips:       {}", s.round_trips);
+        println!("  bytes sent/recv:   {} / {}", s.bytes_sent, s.bytes_received);
+        println!("  elapsed:           {:?}", s.elapsed);
+    }
+}

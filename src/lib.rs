@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! # ssxdb — a secret-shared XML database
+//!
+//! A from-scratch Rust reproduction of
+//! *Brinkman, Schoenmakers, Doumen, Jonker — "Experiments with Queries over
+//! Encrypted Data Using Secret Sharing"* (Secure Data Management workshop @
+//! VLDB, 2005).
+//!
+//! An XML document's tag tree is encoded bottom-up into polynomials over
+//! `F_q[x]/(x^{q-1} − 1)`; every node polynomial is additively split into a
+//! pseudorandom **client share** (regenerable from a secret seed) and a
+//! **server share** stored — with pre/post/parent numbers — in a
+//! B-tree-indexed table. The server can answer structural navigation and
+//! evaluate its shares at points the client names, but learns neither tag
+//! names nor document content. XPath-style queries run interactively with
+//! two engines (left-to-right `SimpleQuery`, look-ahead `AdvancedQuery`)
+//! and two matching rules (cheap *containment*, exact *equality*).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ssxdb::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+//! use ssxdb::prg::Seed;
+//!
+//! // Client secrets: the tag map and the seed.
+//! let map = MapFile::sequential(83, 1, &["library", "shelf", "book"]).unwrap();
+//! let seed = Seed::from_test_key(42);
+//!
+//! // Encode a document; the server stores only its shares.
+//! let xml = "<library><shelf><book/><book/></shelf></library>";
+//! let mut db = EncryptedDb::encode(xml, map, seed).unwrap();
+//!
+//! // Query over the encrypted data.
+//! let hits = db.query("/library//book", EngineKind::Advanced, MatchRule::Equality).unwrap();
+//! assert_eq!(hits.result.len(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`field`] | finite fields `F_{p^e}` (Miller–Rabin, Rabin irreducibility) |
+//! | [`poly`] | the encoding ring, secret sharing, root extraction, packing |
+//! | [`prg`] | deterministic PRG keyed by `(seed, node)` |
+//! | [`xml`] | pull parser, arena DOM, serializer |
+//! | [`xpath`] | the query subset + trie translation |
+//! | [`trie`] | §4 trie representation of text data |
+//! | [`store`] | B-tree indexed table, persistence (the MySQL stand-in) |
+//! | [`xmark`] | deterministic XMark-style document generator |
+//! | [`core`] | encoder, client/server filters, transports, engines |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every figure and table.
+
+pub use ssx_core as core;
+pub use ssx_field as field;
+pub use ssx_poly as poly;
+pub use ssx_prg as prg;
+pub use ssx_store as store;
+pub use ssx_trie as trie;
+pub use ssx_xmark as xmark;
+pub use ssx_xml as xml;
+pub use ssx_xpath as xpath;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+        use crate::prg::Seed;
+        let map = MapFile::sequential(83, 1, &["a", "b"]).unwrap();
+        let mut db =
+            EncryptedDb::encode("<a><b/></a>", map, Seed::from_test_key(1)).unwrap();
+        let out = db.query("/a/b", EngineKind::Simple, MatchRule::Equality).unwrap();
+        assert_eq!(out.result.len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Integration tests for the `ssxdb` command-line tool: the full
+//! keygen → genmap → encode → info/query/serve/remote workflow.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ssxdb")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ssxdb_cli_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str], cwd: &Path) -> (bool, String, String) {
+    let out = Command::new(bin()).args(args).current_dir(cwd).output().expect("spawn ssxdb");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_ok(args: &[&str], cwd: &Path) -> String {
+    let (ok, stdout, stderr) = run(args, cwd);
+    assert!(ok, "ssxdb {args:?} failed:\nstdout: {stdout}\nstderr: {stderr}");
+    stdout
+}
+
+/// Builds the standard fixture: seed, doc, map, encoded db. Returns cwd.
+fn fixture(name: &str) -> PathBuf {
+    let dir = workdir(name);
+    assert_ok(&["keygen", "seed.hex"], &dir);
+    assert_ok(&["xmark", "--bytes", "6000", "--seed", "5", "doc.xml"], &dir);
+    assert_ok(&["genmap", "--p", "83", "--doc", "doc.xml", "map.properties"], &dir);
+    assert_ok(
+        &["encode", "--map", "map.properties", "--seed", "seed.hex", "doc.xml", "db.ssxdb"],
+        &dir,
+    );
+    dir
+}
+
+#[test]
+fn full_workflow_and_query() {
+    let dir = fixture("workflow");
+    let info = assert_ok(&["info", "db.ssxdb"], &dir);
+    assert!(info.contains("rows (elements)"), "{info}");
+
+    let out = assert_ok(
+        &[
+            "query", "--map", "map.properties", "--seed", "seed.hex", "--engine", "advanced",
+            "--rule", "equality", "--stats", "db.ssxdb", "/site/regions/europe/item",
+        ],
+        &dir,
+    );
+    assert!(out.contains("match(es)"), "{out}");
+    assert!(out.contains("round trips"), "{out}");
+    // The generator guarantees at least one europe item.
+    let first = out.lines().next().unwrap();
+    let n: usize = first
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.trim().split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(n >= 1, "expected matches, got {first}");
+}
+
+#[test]
+fn engines_agree_via_cli() {
+    let dir = fixture("engines");
+    let base = ["query", "--map", "map.properties", "--seed", "seed.hex", "--rule", "equality"];
+    let q = "//bidder/date";
+    let simple = {
+        let mut a = base.to_vec();
+        a.extend(["--engine", "simple", "db.ssxdb", q]);
+        assert_ok(&a, &dir)
+    };
+    let advanced = {
+        let mut a = base.to_vec();
+        a.extend(["--engine", "advanced", "db.ssxdb", q]);
+        assert_ok(&a, &dir)
+    };
+    let nodes = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.trim_start().starts_with("node pre=")).map(String::from).collect()
+    };
+    assert_eq!(nodes(&simple), nodes(&advanced));
+    assert!(!nodes(&simple).is_empty());
+}
+
+#[test]
+fn trie_encode_and_contains_query() {
+    let dir = workdir("trie");
+    std::fs::write(
+        dir.join("doc.xml"),
+        "<people><person><name>Joan Johnson</name></person></people>",
+    )
+    .unwrap();
+    assert_ok(&["keygen", "seed.hex"], &dir);
+    assert_ok(
+        &["genmap", "--p", "131", "--doc", "doc.xml", "--trie-alphabet", "map.properties"],
+        &dir,
+    );
+    assert_ok(
+        &[
+            "encode", "--map", "map.properties", "--seed", "seed.hex", "--trie", "compressed",
+            "doc.xml", "db.ssxdb",
+        ],
+        &dir,
+    );
+    let out = assert_ok(
+        &[
+            "query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb",
+            r#"//name[contains(text(), "Joan")]"#,
+        ],
+        &dir,
+    );
+    assert!(out.contains("1 match(es)"), "{out}");
+    let miss = assert_ok(
+        &[
+            "query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb",
+            r#"//name[contains(text(), "zebra")]"#,
+        ],
+        &dir,
+    );
+    assert!(miss.contains("0 match(es)"), "{miss}");
+}
+
+#[test]
+fn serve_and_remote_query() {
+    let dir = fixture("serve");
+    // Pick a free port by binding and releasing.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = Command::new(bin())
+        .args(["serve", "--p", "83", "--e", "1", "--addr", &addr, "db.ssxdb"])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait for the listener.
+    let mut connected = false;
+    for _ in 0..50 {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(connected, "server did not come up");
+
+    let out = assert_ok(
+        &[
+            "remote", "--map", "map.properties", "--seed", "seed.hex", "--addr", &addr,
+            "--stats", "/site/regions/europe/item",
+        ],
+        &dir,
+    );
+    assert!(out.contains("match(es)"), "{out}");
+
+    // Shut the server down via the protocol.
+    use ssxdb::core::protocol::Request;
+    use ssxdb::core::{TcpTransport, Transport};
+    let mut t = TcpTransport::connect(&addr).unwrap();
+    t.call(&Request::Shutdown).unwrap();
+    let status = server.wait().unwrap();
+    assert!(status.success());
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dir = workdir("errors");
+    // Unknown command.
+    let (ok, _, err) = run(&["frobnicate"], &dir);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+    // Missing file.
+    let (ok, _, err) = run(&["info", "nope.ssxdb"], &dir);
+    assert!(!ok);
+    assert!(err.contains("error"), "{err}");
+    // Bad query on a real db.
+    let dir = fixture("badquery");
+    let (ok, _, err) = run(
+        &["query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb", "site"],
+        &dir,
+    );
+    assert!(!ok);
+    assert!(err.contains("error"), "{err}");
+    // Wrong rule keyword.
+    let (ok, _, err) = run(
+        &[
+            "query", "--map", "map.properties", "--seed", "seed.hex", "--rule", "bogus",
+            "db.ssxdb", "/site",
+        ],
+        &dir,
+    );
+    assert!(!ok);
+    assert!(err.contains("unknown rule"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let dir = workdir("help");
+    let out = assert_ok(&["help"], &dir);
+    assert!(out.contains("keygen"));
+    assert!(out.contains("serve"));
+}

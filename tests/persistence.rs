@@ -1,0 +1,84 @@
+//! The encrypted table survives a round trip to disk and keeps answering
+//! queries; damaged files are rejected, not silently misread.
+
+use ssxdb::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+use ssxdb::prg::{Prg, Seed};
+use ssxdb::store::StoreError;
+use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
+
+fn workdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ssxdb_persistence_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn secrets() -> (MapFile, Seed) {
+    (
+        MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(12)).unwrap(),
+        Seed::from_test_key(0xD15C),
+    )
+}
+
+#[test]
+fn save_load_query_equivalence() {
+    let xml = generate(&XmarkConfig { seed: 31, target_bytes: 8 * 1024 });
+    let (map, seed) = secrets();
+    let mut db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
+    let before = db.query("//bidder/date", EngineKind::Advanced, MatchRule::Equality).unwrap();
+
+    let path = workdir().join("auction.ssxdb");
+    db.save(&path).unwrap();
+    let mut reloaded = EncryptedDb::load(&path, map, seed).unwrap();
+    let after =
+        reloaded.query("//bidder/date", EngineKind::Advanced, MatchRule::Equality).unwrap();
+    assert_eq!(before.pres(), after.pres());
+    assert_eq!(db.node_count(), reloaded.node_count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_rejected() {
+    let xml = generate(&XmarkConfig { seed: 32, target_bytes: 4 * 1024 });
+    let (map, seed) = secrets();
+    let db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
+    let path = workdir().join("truncated.ssxdb");
+    db.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(EncryptedDb::load(&path, map, seed).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_bit_rejected() {
+    let xml = generate(&XmarkConfig { seed: 33, target_bytes: 4 * 1024 });
+    let (map, seed) = secrets();
+    let db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
+    let path = workdir().join("bitflip.ssxdb");
+    db.save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let idx = bytes.len() / 3;
+    bytes[idx] ^= 0x08;
+    std::fs::write(&path, &bytes).unwrap();
+    match ssxdb::store::load_table(&path) {
+        Err(StoreError::Persist(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+        other => panic!("expected checksum failure, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn reloaded_db_with_wrong_seed_cannot_decrypt() {
+    let xml = generate(&XmarkConfig { seed: 34, target_bytes: 4 * 1024 });
+    let (map, seed) = secrets();
+    let db = EncryptedDb::encode(&xml, map.clone(), seed).unwrap();
+    let path = workdir().join("wrongseed.ssxdb");
+    db.save(&path).unwrap();
+    let mut stolen = EncryptedDb::load(&path, map, Seed::from_test_key(0xBAD)).unwrap();
+    // The structure is public, so navigation works …
+    assert!(stolen.node_count() > 0);
+    // … but tag tests return garbage: /site never matches.
+    let out = stolen.query("/site", EngineKind::Simple, MatchRule::Containment).unwrap();
+    assert!(out.result.is_empty(), "wrong seed must not answer queries");
+    std::fs::remove_file(&path).ok();
+}

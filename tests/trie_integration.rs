@@ -1,0 +1,108 @@
+//! Trie-enhanced text search, end to end: document transformation, combined
+//! tag+alphabet map, encrypted execution, checked against a plaintext word
+//! oracle.
+
+use ssxdb::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+use ssxdb::prg::Seed;
+use ssxdb::trie::{split_words, transform_document, trie_alphabet, TrieMode};
+use ssxdb::xml::Document;
+
+const TAGS: [&str; 4] = ["people", "person", "name", "note"];
+
+fn build(xml: &str, mode: TrieMode) -> (Document, EncryptedDb) {
+    let doc = Document::parse(xml).unwrap();
+    let trie_doc = transform_document(&doc, mode);
+    let mut names: Vec<String> = TAGS.iter().map(|s| s.to_string()).collect();
+    names.extend(trie_alphabet());
+    let map = MapFile::sequential(131, 1, &names).unwrap();
+    let db = EncryptedDb::encode_doc(&trie_doc, map, Seed::from_test_key(2)).unwrap();
+    (doc, db)
+}
+
+/// Plaintext oracle: does any text node under a `tag` element contain a
+/// word starting with `prefix`?
+fn oracle_contains(doc: &Document, tag: &str, prefix: &str) -> bool {
+    doc.descendants(doc.root()).into_iter().any(|id| {
+        doc.name(id) == Some(tag)
+            && doc.descendants(id).into_iter().filter_map(|d| doc.text(d)).any(|t| {
+                split_words(t).iter().any(|w| w.starts_with(&prefix.to_lowercase()))
+            })
+    })
+}
+
+#[test]
+fn contains_queries_match_oracle() {
+    let xml = "<people>\
+        <person><name>Joan Johnson</name><note>fast shipping</note></person>\
+        <person><name>John Smith</name><note>slow boat</note></person>\
+    </people>";
+    let (doc, mut db) = build(xml, TrieMode::Compressed);
+    for (word, _expect_hits) in
+        [("Joan", 1), ("John", 2), ("jo", 2), ("smith", 1), ("zebra", 0), ("ship", 1)]
+    {
+        let q = format!(r#"//name[contains(text(), "{word}")]"#);
+        let out = db.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let found = !out.result.is_empty();
+        assert_eq!(
+            found,
+            oracle_contains(&doc, "name", word),
+            "query {q} disagreed with oracle"
+        );
+    }
+}
+
+#[test]
+fn whole_word_vs_prefix() {
+    let xml = "<people><person><name>Anna Annabelle</name></person></people>";
+    let (_, mut db) = build(xml, TrieMode::Compressed);
+    // Prefix "anna" matches both words; whole word only matches "anna".
+    let prefix = db
+        .query(r#"//name[contains(text(), "anna")]"#, EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert!(!prefix.result.is_empty());
+    let whole = db
+        .query(r#"//name[word(text(), "anna")]"#, EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert!(!whole.result.is_empty());
+    let whole_miss = db
+        .query(r#"//name[word(text(), "annab")]"#, EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert!(whole_miss.result.is_empty(), "annab is not a whole word");
+}
+
+#[test]
+fn compressed_and_uncompressed_answer_alike() {
+    let xml = "<people><person><note>alpha beta alpha gamma</note></person></people>";
+    let (_, mut dbc) = build(xml, TrieMode::Compressed);
+    let (_, mut dbu) = build(xml, TrieMode::Uncompressed);
+    for word in ["alpha", "beta", "gamma", "delta", "alp"] {
+        let q = format!(r#"//note[contains(text(), "{word}")]"#);
+        let c = dbc.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let u = dbu.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        assert_eq!(
+            c.result.is_empty(),
+            u.result.is_empty(),
+            "modes disagree on {word}"
+        );
+    }
+}
+
+#[test]
+fn uncompressed_preserves_multiplicity_in_size() {
+    let xml = "<people><note>dup dup dup dup</note></people>";
+    let doc = Document::parse(xml).unwrap();
+    let compressed = transform_document(&doc, TrieMode::Compressed);
+    let uncompressed = transform_document(&doc, TrieMode::Uncompressed);
+    assert!(uncompressed.element_count() > compressed.element_count());
+    // Compressed: root + note? (root=people, note child) + d,u,p + ⊥.
+    assert_eq!(compressed.element_count(), 2 + 3 + 1);
+    assert_eq!(uncompressed.element_count(), 2 + 4 * 4);
+}
+
+#[test]
+fn tag_queries_still_work_on_trie_documents() {
+    let xml = "<people><person><name>Joan</name></person></people>";
+    let (_, mut db) = build(xml, TrieMode::Compressed);
+    let out = db.query("/people/person/name", EngineKind::Simple, MatchRule::Equality).unwrap();
+    assert_eq!(out.result.len(), 1);
+}
