@@ -21,14 +21,25 @@ fn packing_tradeoff(c: &mut Criterion) {
         packer.bit_len(),
         packer.raw_len()
     );
-    let polys: Vec<_> =
-        (0..64).map(|i| random_poly(&ring, &mut Prg::from_u64(i))).collect();
+    let polys: Vec<_> = (0..64)
+        .map(|i| random_poly(&ring, &mut Prg::from_u64(i)))
+        .collect();
     let mut group = c.benchmark_group("ablation_packing");
     group.bench_function("radix_64_polys", |b| {
-        b.iter(|| polys.iter().map(|p| packer.pack_radix(p).len()).sum::<usize>())
+        b.iter(|| {
+            polys
+                .iter()
+                .map(|p| packer.pack_radix(p).len())
+                .sum::<usize>()
+        })
     });
     group.bench_function("bits_64_polys", |b| {
-        b.iter(|| polys.iter().map(|p| packer.pack_bits(p).len()).sum::<usize>())
+        b.iter(|| {
+            polys
+                .iter()
+                .map(|p| packer.pack_bits(p).len())
+                .sum::<usize>()
+        })
     });
     group.finish();
 }
@@ -42,9 +53,11 @@ fn descendant_scan(c: &mut Criterion) {
     let regions = table.children_of(root.pre)[0];
     let mut group = c.benchmark_group("ablation_descendants");
     for (label, loc) in [("root", root), ("regions", regions)] {
-        group.bench_with_input(BenchmarkId::new("btree_interval", label), &loc, |b, &loc| {
-            b.iter(|| table.descendants_of(loc).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("btree_interval", label),
+            &loc,
+            |b, &loc| b.iter(|| table.descendants_of(loc).len()),
+        );
         group.bench_with_input(BenchmarkId::new("full_scan", label), &loc, |b, &loc| {
             b.iter(|| table.descendants_of_scan(loc).len())
         });
@@ -64,7 +77,12 @@ fn batching(c: &mut Criterion) {
             let root = client.root().unwrap().unwrap();
             let all = client.descendants(root).unwrap();
             let v = client.value_of("bidder").unwrap();
-            client.containment_many(&all, v).unwrap().iter().filter(|&&x| x).count()
+            client
+                .containment_many(&all, v)
+                .unwrap()
+                .iter()
+                .filter(|&&x| x)
+                .count()
         })
     });
     group.bench_function("per_node_round_trips", |b| {
@@ -93,15 +111,25 @@ fn equality_verification(c: &mut Criterion) {
         db.set_verify_equality(verify);
         group.bench_function(label, |b| {
             b.iter(|| {
-                db.query("/site//europe/item", EngineKind::Advanced, MatchRule::Equality)
-                    .unwrap()
-                    .result
-                    .len()
+                db.query(
+                    "/site//europe/item",
+                    EngineKind::Advanced,
+                    MatchRule::Equality,
+                )
+                .unwrap()
+                .result
+                .len()
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, packing_tradeoff, descendant_scan, batching, equality_verification);
+criterion_group!(
+    benches,
+    packing_tradeoff,
+    descendant_scan,
+    batching,
+    equality_verification
+);
 criterion_main!(benches);

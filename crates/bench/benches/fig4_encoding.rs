@@ -16,9 +16,13 @@ fn bench_encoding(c: &mut Criterion) {
     for kb in [32usize, 64, 128] {
         let xml = document(kb * 1024);
         group.throughput(Throughput::Bytes(xml.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &xml, |b, xml| {
-            b.iter(|| encode_document(xml, &map, &seed).expect("encode"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KB")),
+            &xml,
+            |b, xml| {
+                b.iter(|| encode_document(xml, &map, &seed).expect("encode"));
+            },
+        );
     }
     group.finish();
 }

@@ -10,17 +10,18 @@ fn bench_query_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_query_length");
     group.sample_size(10);
     for (i, q) in table1_queries().into_iter().enumerate() {
-        for (label, kind) in [("simple", EngineKind::Simple), ("advanced", EngineKind::Advanced)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(label, i + 1),
-                &q,
-                |b, q| {
-                    b.iter(|| {
-                        db.query(q, kind, MatchRule::Containment).expect("query").result.len()
-                    })
-                },
-            );
+        for (label, kind) in [
+            ("simple", EngineKind::Simple),
+            ("advanced", EngineKind::Advanced),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, i + 1), &q, |b, q| {
+                b.iter(|| {
+                    db.query(q, kind, MatchRule::Containment)
+                        .expect("query")
+                        .result
+                        .len()
+                })
+            });
         }
     }
     group.finish();

@@ -11,9 +11,17 @@ fn bench_strictness(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_strictness");
     group.sample_size(10);
     let combos = [
-        ("nonstrict_simple", EngineKind::Simple, MatchRule::Containment),
+        (
+            "nonstrict_simple",
+            EngineKind::Simple,
+            MatchRule::Containment,
+        ),
         ("strict_simple", EngineKind::Simple, MatchRule::Equality),
-        ("nonstrict_advanced", EngineKind::Advanced, MatchRule::Containment),
+        (
+            "nonstrict_advanced",
+            EngineKind::Advanced,
+            MatchRule::Containment,
+        ),
         ("strict_advanced", EngineKind::Advanced, MatchRule::Equality),
     ];
     for (i, q) in TABLE2.iter().enumerate() {

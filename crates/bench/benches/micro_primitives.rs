@@ -36,10 +36,16 @@ fn ring_ops(c: &mut Criterion) {
     let a = random_poly(&ring, &mut prg);
     let b2 = random_poly(&ring, &mut prg);
     let mut group = c.benchmark_group("ring_f83");
-    group.bench_function("mul_full", |b| b.iter(|| ring.mul(black_box(&a), black_box(&b2))));
-    group.bench_function("mul_linear", |b| b.iter(|| ring.mul_linear(black_box(&a), 17)));
+    group.bench_function("mul_full", |b| {
+        b.iter(|| ring.mul(black_box(&a), black_box(&b2)))
+    });
+    group.bench_function("mul_linear", |b| {
+        b.iter(|| ring.mul_linear(black_box(&a), 17))
+    });
     group.bench_function("eval", |b| b.iter(|| ring.eval(black_box(&a), 55)));
-    group.bench_function("add", |b| b.iter(|| ring.add(black_box(&a), black_box(&b2))));
+    group.bench_function("add", |b| {
+        b.iter(|| ring.add(black_box(&a), black_box(&b2)))
+    });
     group.finish();
 }
 
@@ -93,11 +99,15 @@ fn packing_ops(c: &mut Criterion) {
     let radix = packer.pack_radix(&poly);
     let bits = packer.pack_bits(&poly);
     let mut group = c.benchmark_group("packing");
-    group.bench_function("pack_radix", |b| b.iter(|| packer.pack_radix(black_box(&poly))));
+    group.bench_function("pack_radix", |b| {
+        b.iter(|| packer.pack_radix(black_box(&poly)))
+    });
     group.bench_function("unpack_radix", |b| {
         b.iter(|| packer.unpack_radix(&ring, black_box(&radix)).unwrap())
     });
-    group.bench_function("pack_bits", |b| b.iter(|| packer.pack_bits(black_box(&poly))));
+    group.bench_function("pack_bits", |b| {
+        b.iter(|| packer.pack_bits(black_box(&poly)))
+    });
     group.bench_function("unpack_bits", |b| {
         b.iter(|| packer.unpack_bits(&ring, black_box(&bits)).unwrap())
     });

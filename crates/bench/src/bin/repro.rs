@@ -1,12 +1,12 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p ssx-bench --bin repro -- all
-//! cargo run --release -p ssx-bench --bin repro -- fig4   # encoding sweep
-//! cargo run --release -p ssx-bench --bin repro -- fig5   # query-length series (Table 1)
-//! cargo run --release -p ssx-bench --bin repro -- fig6   # strictness timing (Table 2)
-//! cargo run --release -p ssx-bench --bin repro -- fig7   # containment accuracy
-//! cargo run --release -p ssx-bench --bin repro -- trie   # §4 compression claims
+//! cargo run --release -p ssx_bench --bin repro -- all
+//! cargo run --release -p ssx_bench --bin repro -- fig4   # encoding sweep
+//! cargo run --release -p ssx_bench --bin repro -- fig5   # query-length series (Table 1)
+//! cargo run --release -p ssx_bench --bin repro -- fig6   # strictness timing (Table 2)
+//! cargo run --release -p ssx_bench --bin repro -- fig7   # containment accuracy
+//! cargo run --release -p ssx_bench --bin repro -- trie   # §4 compression claims
 //! ```
 //!
 //! Environment: `SSXDB_SCALE=<f64>` scales document sizes; `SSXDB_FULL=1`
@@ -97,9 +97,12 @@ fn fig5() {
         "#", "query", "output", "evals simple", "evals advanced"
     );
     for (i, q) in table1_queries().iter().enumerate() {
-        let simple = db.query(q, EngineKind::Simple, MatchRule::Containment).expect("simple");
-        let advanced =
-            db.query(q, EngineKind::Advanced, MatchRule::Containment).expect("advanced");
+        let simple = db
+            .query(q, EngineKind::Simple, MatchRule::Containment)
+            .expect("simple");
+        let advanced = db
+            .query(q, EngineKind::Advanced, MatchRule::Containment)
+            .expect("advanced");
         assert_eq!(simple.pres(), advanced.pres(), "engines must agree");
         println!(
             "{:>3} {:<70} {:>10} {:>12} {:>14}",
@@ -156,10 +159,17 @@ fn fig7() {
     let bytes = (256.0 * 1024.0 * scale()) as usize;
     let mut db = build_db(bytes);
     println!("document: ~{bytes} bytes, {} elements\n", db.node_count());
-    println!("{:>3} {:<34} {:>8} {:>8} {:>10} {:>6}", "#", "query", "|E|", "|C|", "accuracy", "//s");
+    println!(
+        "{:>3} {:<34} {:>8} {:>8} {:>10} {:>6}",
+        "#", "query", "|E|", "|C|", "accuracy", "//s"
+    );
     for (i, q) in TABLE2.iter().enumerate() {
-        let e = db.query(q, EngineKind::Advanced, MatchRule::Equality).expect("E");
-        let c = db.query(q, EngineKind::Advanced, MatchRule::Containment).expect("C");
+        let e = db
+            .query(q, EngineKind::Advanced, MatchRule::Equality)
+            .expect("E");
+        let c = db
+            .query(q, EngineKind::Advanced, MatchRule::Containment)
+            .expect("C");
         let query = ssx_xpath::parse_query(q).unwrap();
         println!(
             "{:>3} {:<34} {:>8} {:>8} {:>9.1}% {:>6}",
@@ -173,8 +183,12 @@ fn fig7() {
     }
     // The paper's extra claim: absolute queries reach 100%.
     let absolute = "/site/regions/europe/item";
-    let e = db.query(absolute, EngineKind::Advanced, MatchRule::Equality).unwrap();
-    let c = db.query(absolute, EngineKind::Advanced, MatchRule::Containment).unwrap();
+    let e = db
+        .query(absolute, EngineKind::Advanced, MatchRule::Equality)
+        .unwrap();
+    let c = db
+        .query(absolute, EngineKind::Advanced, MatchRule::Containment)
+        .unwrap();
     println!(
         "\nabsolute control {absolute}: accuracy {:.1}%",
         accuracy_percent(e.result.len(), c.result.len())
@@ -208,8 +222,11 @@ fn reduction() {
         if doc.name(id).is_none() {
             continue;
         }
-        let subtree_elems =
-            doc.descendants(id).into_iter().filter(|&d| doc.name(d).is_some()).count();
+        let subtree_elems = doc
+            .descendants(id)
+            .into_iter()
+            .filter(|&d| doc.name(d).is_some())
+            .count();
         // Unreduced degree = number of factors = subtree size.
         unreduced_coeffs += subtree_elems + 1;
         capped_coeffs += (subtree_elems + 1).min(n);
@@ -222,7 +239,11 @@ fn reduction() {
     let dense_coeffs = elements * n; // what the system stores: uniform rows
     let bits = (q as f64).log2();
     let to_bytes = |coeffs: usize| (coeffs as f64 * bits / 8.0) as usize;
-    println!("document: {} elements ({} input bytes), q = {q}", elements, xml.len());
+    println!(
+        "document: {} elements ({} input bytes), q = {q}",
+        elements,
+        xml.len()
+    );
     println!(
         "unreduced, sparse:      {:>10} coefficients = {:>9} B (largest node: {})",
         unreduced_coeffs,
@@ -242,7 +263,10 @@ fn reduction() {
         n
     );
     println!("\nfindings: the reduction caps the worst node at q-1 = {n} coefficients");
-    println!("({}x smaller than the unreduced root here) and makes every row the", largest_node.div_ceil(n));
+    println!(
+        "({}x smaller than the unreduced root here) and makes every row the",
+        largest_node.div_ceil(n)
+    );
     println!("same size — variable-length unreduced rows would leak every subtree's");
     println!("cardinality to the server. The paper's §7 '50% overhead' refers to the");
     println!("Fig 4 output/input ratio, which the fig4 experiment reproduces.");
@@ -254,19 +278,31 @@ fn trie() {
     let bytes = (256.0 * 1024.0 * scale()) as usize;
     let xml = document(bytes);
     let doc = Document::parse(&xml).expect("parse");
-    let texts: Vec<&str> =
-        doc.descendants(doc.root()).into_iter().filter_map(|id| doc.text(id)).collect();
+    let texts: Vec<&str> = doc
+        .descendants(doc.root())
+        .into_iter()
+        .filter_map(|id| doc.text(id))
+        .collect();
     let stats = corpus_stats(texts.iter().copied());
     // Polynomial cost at the paper's p = 29 example and at the trie-capable
     // p = 131 configuration.
     let poly29 = ssx_poly::radix_len(29, 28) as f64;
     let poly131 = ssx_poly::radix_len(131, 130) as f64;
-    println!("corpus: {} words, {} distinct", stats.word_occurrences, stats.distinct_words);
+    println!(
+        "corpus: {} words, {} distinct",
+        stats.word_occurrences, stats.distinct_words
+    );
     println!("original characters:          {:>10}", stats.original_chars);
-    println!("after word dedup:             {:>10}  ({:.1}% reduction; paper: ~50%)",
-        stats.deduped_chars, 100.0 * stats.dedup_reduction());
-    println!("compressed trie char nodes:   {:>10}  ({:.1}% reduction; paper: 75-80%)",
-        stats.trie_char_nodes, 100.0 * stats.trie_reduction());
+    println!(
+        "after word dedup:             {:>10}  ({:.1}% reduction; paper: ~50%)",
+        stats.deduped_chars,
+        100.0 * stats.dedup_reduction()
+    );
+    println!(
+        "compressed trie char nodes:   {:>10}  ({:.1}% reduction; paper: 75-80%)",
+        stats.trie_char_nodes,
+        100.0 * stats.trie_reduction()
+    );
     println!("trie terminators:             {:>10}", stats.trie_terminals);
     println!(
         "bytes/letter at p=29 ({} B/poly):  {:>6.2}  (paper: ~3.5-4.5)",
@@ -290,12 +326,17 @@ fn trie() {
     let small_doc = Document::parse(&small).unwrap();
     let base = EncryptedDb::encode(&small, paper_map(), paper_seed()).unwrap();
     let trie_doc = ssx_trie::transform_document(&small_doc, ssx_trie::TrieMode::Compressed);
-    let mut names: Vec<String> =
-        ssx_xmark::DTD_ELEMENTS.iter().map(|s| s.to_string()).collect();
+    let mut names: Vec<String> = ssx_xmark::DTD_ELEMENTS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     names.extend(ssx_trie::trie_alphabet());
     let trie_map = ssx_core::MapFile::sequential(131, 1, &names).unwrap();
     let trie_db = EncryptedDb::encode_doc(&trie_doc, trie_map, paper_seed()).unwrap();
-    println!("\nend-to-end on a {} input:", ssx_bench::human_bytes(small.len()));
+    println!(
+        "\nend-to-end on a {} input:",
+        ssx_bench::human_bytes(small.len())
+    );
     println!(
         "  tags only  (p=83):  {:>8} nodes, {:>10} B",
         base.node_count(),

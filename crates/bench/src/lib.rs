@@ -29,17 +29,24 @@ pub const TABLE2: [&str; 5] = [
 /// Queries 1..=9 of Table 1.
 pub fn table1_queries() -> Vec<String> {
     let parts: Vec<&str> = TABLE1_CHAIN.trim_start_matches('/').split('/').collect();
-    (1..=parts.len()).map(|len| format!("/{}", parts[..len].join("/"))).collect()
+    (1..=parts.len())
+        .map(|len| format!("/{}", parts[..len].join("/")))
+        .collect()
 }
 
 /// `SSXDB_SCALE` (default 1.0).
 pub fn scale() -> f64 {
-    std::env::var("SSXDB_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    std::env::var("SSXDB_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// `SSXDB_FULL=1` switches Fig 4 to the paper's 1–10 MB sweep.
 pub fn full_sweep() -> bool {
-    std::env::var("SSXDB_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SSXDB_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The experiments' standard secrets: the 77-element DTD map over `F_83`
@@ -55,7 +62,10 @@ pub fn paper_seed() -> Seed {
 
 /// Generates the standard auction document of roughly `bytes` bytes.
 pub fn document(bytes: usize) -> String {
-    generate(&XmarkConfig { seed: 0x2005, target_bytes: bytes })
+    generate(&XmarkConfig {
+        seed: 0x2005,
+        target_bytes: bytes,
+    })
 }
 
 /// Builds the encrypted database for a document of roughly `bytes` bytes.

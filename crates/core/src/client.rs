@@ -76,8 +76,11 @@ impl<T: Transport> ClientFilter<T> {
     /// Enables or disables the client-share cache (disabled = the paper's
     /// thin-client memory profile). Disabling clears any cached shares.
     pub fn set_share_cache(&mut self, enabled: bool) {
-        self.share_cache =
-            if enabled { Some(std::collections::HashMap::new()) } else { None };
+        self.share_cache = if enabled {
+            Some(std::collections::HashMap::new())
+        } else {
+            None
+        };
     }
 
     /// Number of shares currently cached.
@@ -178,7 +181,10 @@ impl<T: Transport> ClientFilter<T> {
             return Ok(Vec::new());
         }
         let pres: Vec<u32> = locs.iter().map(|l| l.pre).collect();
-        let server_vals = match self.transport.call(&Request::EvalMany { pres, point: value })? {
+        let server_vals = match self
+            .transport
+            .call(&Request::EvalMany { pres, point: value })?
+        {
             Response::Values(vs) => vs,
             Response::Err(e) => return Err(CoreError::Transport(e)),
             other => return Err(unexpected(other)),
@@ -217,7 +223,10 @@ impl<T: Transport> ClientFilter<T> {
         let mut pres: Vec<u32> = Vec::with_capacity(children.len() + 1);
         pres.push(loc.pre);
         pres.extend(children.iter().map(|l| l.pre));
-        let polys = match self.transport.call(&Request::GetPolys { pres: pres.clone() })? {
+        let polys = match self
+            .transport
+            .call(&Request::GetPolys { pres: pres.clone() })?
+        {
             Response::Polys(ps) => ps,
             Response::Err(e) => return Err(CoreError::Transport(e)),
             other => return Err(unexpected(other)),
@@ -247,7 +256,8 @@ impl<T: Transport> ClientFilter<T> {
     /// used by examples to show what the client can do that the server
     /// cannot.
     pub fn reveal_tag_value(&mut self, loc: Loc) -> Result<u64, CoreError> {
-        self.node_tag_value(loc)?.ok_or(CoreError::Indeterminate { pre: loc.pre })
+        self.node_tag_value(loc)?
+            .ok_or(CoreError::Indeterminate { pre: loc.pre })
     }
 
     fn reconstruct_node(&mut self, pre: u32, packed: &[u8]) -> Result<RingPoly, CoreError> {
@@ -287,7 +297,10 @@ impl<T: Transport> ClientFilter<T> {
 
     /// Opens a server-side cursor over the descendants of `locs`.
     pub fn open_descendants_cursor(&mut self, locs: Vec<Loc>) -> Result<u32, CoreError> {
-        match self.transport.call(&Request::OpenDescendantsCursor { locs })? {
+        match self
+            .transport
+            .call(&Request::OpenDescendantsCursor { locs })?
+        {
             Response::Cursor(c) => Ok(c),
             other => Err(unexpected(other)),
         }
@@ -362,7 +375,10 @@ mod tests {
         let vsite = c.value_of("site").unwrap();
         let va = c.value_of("a").unwrap();
         assert!(c.equality(root, vsite).unwrap());
-        assert!(!c.equality(root, va).unwrap(), "root contains a but is not a");
+        assert!(
+            !c.equality(root, va).unwrap(),
+            "root contains a but is not a"
+        );
         let a = c.children(root.pre).unwrap()[0];
         assert!(c.equality(a, va).unwrap());
         // reveal_tag_value decrypts the exact tag.
@@ -467,7 +483,13 @@ mod tests {
         let mut c = ClientFilter::new(LocalTransport::new(server), map, bad).unwrap();
         let root = c.root().unwrap().unwrap();
         let vsite = c.value_of("site").unwrap();
-        assert!(!c.containment(root, vsite).unwrap(), "wrong seed must not decrypt");
-        assert!(c.equality(root, vsite).is_err(), "reconstruction is inconsistent");
+        assert!(
+            !c.containment(root, vsite).unwrap(),
+            "wrong seed must not decrypt"
+        );
+        assert!(
+            c.equality(root, vsite).is_err(),
+            "reconstruction is inconsistent"
+        );
     }
 }

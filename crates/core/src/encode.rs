@@ -84,7 +84,12 @@ impl<'a> Encoder<'a> {
         let tag_value = self.map.value(name)?;
         self.pre += 1;
         let parent_pre = self.stack.last().map_or(0, |f| f.pre);
-        self.stack.push(Frame { pre: self.pre, parent_pre, tag_value, acc: self.ring.one() });
+        self.stack.push(Frame {
+            pre: self.pre,
+            parent_pre,
+            tag_value,
+            acc: self.ring.one(),
+        });
         self.max_depth = self.max_depth.max(self.stack.len());
         Ok(())
     }
@@ -99,7 +104,11 @@ impl<'a> Encoder<'a> {
         let client = random_poly(&self.ring, &mut prg);
         let server = self.ring.sub(&f, &client);
         self.table.insert(Row {
-            loc: Loc { pre: frame.pre, post: self.post, parent: frame.parent_pre },
+            loc: Loc {
+                pre: frame.pre,
+                post: self.post,
+                parent: frame.parent_pre,
+            },
             poly: self.packer.pack_radix(&server).into_boxed_slice(),
         })?;
         // Fold the finished polynomial into the parent's accumulator.
@@ -207,8 +216,22 @@ mod tests {
         assert_eq!(out.stats.max_depth, 3);
         // Locations follow the paper's convention.
         let root = out.table.root().unwrap();
-        assert_eq!(root.loc, Loc { pre: 1, post: 4, parent: 0 });
-        assert_eq!(out.table.by_pre(3).unwrap().loc, Loc { pre: 3, post: 1, parent: 2 });
+        assert_eq!(
+            root.loc,
+            Loc {
+                pre: 1,
+                post: 4,
+                parent: 0
+            }
+        );
+        assert_eq!(
+            out.table.by_pre(3).unwrap().loc,
+            Loc {
+                pre: 3,
+                post: 1,
+                parent: 2
+            }
+        );
     }
 
     #[test]

@@ -168,7 +168,12 @@ fn filter_by_rule<T: Transport>(
     match rule {
         MatchRule::Containment => {
             let keep = filter.containment_many(&candidates, value)?;
-            Ok(candidates.into_iter().zip(keep).filter(|(_, k)| *k).map(|(l, _)| l).collect())
+            Ok(candidates
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(l, _)| l)
+                .collect())
         }
         MatchRule::Equality => {
             let mut out = Vec::new();
@@ -307,8 +312,7 @@ impl SimpleEngine {
                     let value = filter.value_of(name)?;
                     match mode {
                         FetchMode::Bulk => {
-                            let candidates =
-                                expand_candidates(filter, &frontier, step, i == 0)?;
+                            let candidates = expand_candidates(filter, &frontier, step, i == 0)?;
                             filter_by_rule(filter, rule, candidates, value)?
                         }
                         FetchMode::Pipelined => Self::pipelined_expand(
@@ -338,7 +342,11 @@ impl SimpleEngine {
     ) -> Result<Vec<Loc>, CoreError> {
         let mut out = Vec::new();
         // Step 0 evaluates against the root element itself (no cursor).
-        let inline: Vec<Loc> = if first_step { frontier.to_vec() } else { Vec::new() };
+        let inline: Vec<Loc> = if first_step {
+            frontier.to_vec()
+        } else {
+            Vec::new()
+        };
         let cursor = match step.axis {
             Axis::Child if first_step => None,
             Axis::Child => {
@@ -417,14 +425,11 @@ impl AdvancedEngine {
                     let value = filter.value_of(name)?;
                     match step.axis {
                         Axis::Child => {
-                            let candidates =
-                                expand_candidates(filter, &frontier, step, i == 0)?;
+                            let candidates = expand_candidates(filter, &frontier, step, i == 0)?;
                             filter_by_rule(filter, rule, candidates, value)?
                         }
                         Axis::Descendant => {
-                            Self::pruned_descendant_search(
-                                filter, &frontier, value, rule, i == 0,
-                            )?
+                            Self::pruned_descendant_search(filter, &frontier, value, rule, i == 0)?
                         }
                     }
                 }
@@ -472,8 +477,12 @@ impl AdvancedEngine {
                 break;
             }
             let keep = filter.containment_many(&frontier, v)?;
-            frontier =
-                frontier.into_iter().zip(keep).filter(|(_, k)| *k).map(|(l, _)| l).collect();
+            frontier = frontier
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(l, _)| l)
+                .collect();
         }
         Ok(frontier)
     }
@@ -501,8 +510,12 @@ impl AdvancedEngine {
         };
         while !level.is_empty() {
             let keep = filter.containment_many(&level, value)?;
-            let alive: Vec<Loc> =
-                level.into_iter().zip(keep).filter(|(_, k)| *k).map(|(l, _)| l).collect();
+            let alive: Vec<Loc> = level
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(l, _)| l)
+                .collect();
             match rule {
                 MatchRule::Containment => out.extend_from_slice(&alive),
                 MatchRule::Equality => {
@@ -560,13 +573,41 @@ mod tests {
     fn equality_rule_is_exact_xpath() {
         for kind in [EngineKind::Simple, EngineKind::Advanced] {
             assert_eq!(run(kind, MatchRule::Equality, "/site"), vec![1], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/a"), vec![2, 5], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/a/c"), vec![6], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "//c"), vec![4, 6, 9], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site//a"), vec![2, 5, 8], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/*/c"), vec![6], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/b//c"), vec![9], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/a/../b"), vec![7], "{kind:?}");
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/a"),
+                vec![2, 5],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/a/c"),
+                vec![6],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "//c"),
+                vec![4, 6, 9],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site//a"),
+                vec![2, 5, 8],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/*/c"),
+                vec![6],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/b//c"),
+                vec![9],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/a/../b"),
+                vec![7],
+                "{kind:?}"
+            );
             assert_eq!(run(kind, MatchRule::Equality, "//b/c"), vec![4], "{kind:?}");
         }
     }
@@ -576,21 +617,38 @@ mod tests {
         // /site/a under containment keeps every child of site whose subtree
         // contains an a — including b(7) which merely wraps a(8).
         for kind in [EngineKind::Simple, EngineKind::Advanced] {
-            assert_eq!(run(kind, MatchRule::Containment, "/site/a"), vec![2, 5, 7], "{kind:?}");
+            assert_eq!(
+                run(kind, MatchRule::Containment, "/site/a"),
+                vec![2, 5, 7],
+                "{kind:?}"
+            );
             // /site/a/c keeps children whose subtree contains a c: b(3)
             // (wraps c(4)), c(6) itself, a(8) (wraps c(9)). The exact answer
             // would be {4, 6, 9} — this is the Fig 7 accuracy loss even on
             // absolute queries over *this* document shape; the paper's 100%
             // claim holds when containment-matched steps are leaf-level.
-            assert_eq!(run(kind, MatchRule::Containment, "/site/a/c"), vec![3, 6, 8], "{kind:?}");
+            assert_eq!(
+                run(kind, MatchRule::Containment, "/site/a/c"),
+                vec![3, 6, 8],
+                "{kind:?}"
+            );
         }
     }
 
     #[test]
     fn engines_agree_on_both_rules() {
         let queries = [
-            "/site", "/site/a", "/site/a/b", "//c", "/site//c", "/site/*/c", "//a//c",
-            "//b/c", "/site/a/../b", "/*", "/*/*",
+            "/site",
+            "/site/a",
+            "/site/a/b",
+            "//c",
+            "/site//c",
+            "/site/*/c",
+            "//a//c",
+            "//b/c",
+            "/site/a/../b",
+            "/*",
+            "/*/*",
         ];
         for q in queries {
             for rule in [MatchRule::Containment, MatchRule::Equality] {
@@ -662,14 +720,20 @@ mod tests {
         let mut c = client();
         for q in ["/..", "/site//.."] {
             let query = parse_query(q).unwrap();
-            assert!(matches!(
-                SimpleEngine::run(&query, MatchRule::Containment, &mut c),
-                Err(CoreError::Unsupported(_))
-            ), "{q}");
-            assert!(matches!(
-                AdvancedEngine::run(&query, MatchRule::Containment, &mut c),
-                Err(CoreError::Unsupported(_))
-            ), "{q}");
+            assert!(
+                matches!(
+                    SimpleEngine::run(&query, MatchRule::Containment, &mut c),
+                    Err(CoreError::Unsupported(_))
+                ),
+                "{q}"
+            );
+            assert!(
+                matches!(
+                    AdvancedEngine::run(&query, MatchRule::Containment, &mut c),
+                    Err(CoreError::Unsupported(_))
+                ),
+                "{q}"
+            );
         }
     }
 
@@ -699,8 +763,15 @@ mod tests {
 
     #[test]
     fn pipelined_equals_bulk() {
-        let queries =
-            ["/site", "/site/a", "//c", "/site//c", "/site/*/c", "//b/c", "/site/a/../b"];
+        let queries = [
+            "/site",
+            "/site/a",
+            "//c",
+            "/site//c",
+            "/site/*/c",
+            "//b/c",
+            "/site/a/../b",
+        ];
         for q in queries {
             for rule in [MatchRule::Containment, MatchRule::Equality] {
                 let mut c1 = client();
@@ -732,9 +803,13 @@ mod tests {
         // batched mode's handful.
         let mut c = client();
         let query = parse_query("//c").unwrap();
-        let piped =
-            SimpleEngine::run_with_mode(&query, MatchRule::Containment, &mut c, FetchMode::Pipelined)
-                .unwrap();
+        let piped = SimpleEngine::run_with_mode(
+            &query,
+            MatchRule::Containment,
+            &mut c,
+            FetchMode::Pipelined,
+        )
+        .unwrap();
         assert!(piped.stats.round_trips > 15, "{}", piped.stats.round_trips);
     }
 
@@ -742,8 +817,16 @@ mod tests {
     fn star_queries() {
         for kind in [EngineKind::Simple, EngineKind::Advanced] {
             assert_eq!(run(kind, MatchRule::Equality, "/*"), vec![1], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/*/*"), vec![2, 5, 7], "{kind:?}");
-            assert_eq!(run(kind, MatchRule::Equality, "/site/*"), vec![2, 5, 7], "{kind:?}");
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/*/*"),
+                vec![2, 5, 7],
+                "{kind:?}"
+            );
+            assert_eq!(
+                run(kind, MatchRule::Equality, "/site/*"),
+                vec![2, 5, 7],
+                "{kind:?}"
+            );
         }
     }
 }

@@ -28,7 +28,10 @@ impl EncryptedDb {
         let out = encode_document(xml, &map, &seed)?;
         let server = ServerFilter::new(out.table, out.ring);
         let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
-        Ok(EncryptedDb { client, encode_stats: out.stats })
+        Ok(EncryptedDb {
+            client,
+            encode_stats: out.stats,
+        })
     }
 
     /// Encodes a DOM (for trie-transformed documents).
@@ -36,7 +39,10 @@ impl EncryptedDb {
         let out = encode_dom(doc, &map, &seed)?;
         let server = ServerFilter::new(out.table, out.ring);
         let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
-        Ok(EncryptedDb { client, encode_stats: out.stats })
+        Ok(EncryptedDb {
+            client,
+            encode_stats: out.stats,
+        })
     }
 
     /// Parses and runs a query text.
@@ -116,7 +122,10 @@ impl EncryptedDb {
         }
         let server = ServerFilter::new(table, ring);
         let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
-        Ok(EncryptedDb { client, encode_stats: EncodeStats::default() })
+        Ok(EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+        })
     }
 }
 
@@ -133,7 +142,9 @@ mod tests {
     #[test]
     fn query_through_facade() {
         let mut db = demo();
-        let out = db.query("/site/a/b", EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let out = db
+            .query("/site/a/b", EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
         assert_eq!(out.pres(), vec![3]);
         assert_eq!(db.node_count(), 4);
         assert!(db.size_report().data_bytes() > 0);
@@ -151,7 +162,9 @@ mod tests {
         let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
         let seed = Seed::from_test_key(33);
         let mut back = EncryptedDb::load(&path, map, seed).unwrap();
-        let out = back.query("//b", EngineKind::Simple, MatchRule::Equality).unwrap();
+        let out = back
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
         assert_eq!(out.pres(), vec![3]);
         std::fs::remove_file(&path).ok();
     }

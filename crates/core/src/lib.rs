@@ -36,7 +36,10 @@ pub mod transport;
 pub use accuracy::accuracy_percent;
 pub use client::{ClientFilter, ClientStats};
 pub use encode::{encode_document, encode_dom, encode_events, EncodeOutput, EncodeStats};
-pub use engine::{AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats, SimpleEngine};
+pub use engine::{
+    AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats,
+    SimpleEngine,
+};
 pub use error::CoreError;
 pub use facade::EncryptedDb;
 pub use map::MapFile;

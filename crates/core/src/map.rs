@@ -35,7 +35,10 @@ impl MapFile {
         }
         let mut by_name = BTreeMap::new();
         for (i, n) in names.iter().enumerate() {
-            if by_name.insert(n.as_ref().to_string(), i as u64 + 1).is_some() {
+            if by_name
+                .insert(n.as_ref().to_string(), i as u64 + 1)
+                .is_some()
+            {
                 return Err(CoreError::Map(format!("duplicate name '{}'", n.as_ref())));
             }
         }
@@ -135,22 +138,27 @@ impl MapFile {
             if let Some(comment) = line.strip_prefix('#') {
                 let c = comment.trim();
                 if let Some(v) = c.strip_prefix("p =") {
-                    p = Some(v.trim().parse::<u64>().map_err(|_| {
-                        CoreError::Map(format!("line {}: bad p", lineno + 1))
-                    })?);
+                    p = Some(
+                        v.trim()
+                            .parse::<u64>()
+                            .map_err(|_| CoreError::Map(format!("line {}: bad p", lineno + 1)))?,
+                    );
                 } else if let Some(v) = c.strip_prefix("e =") {
-                    e = Some(v.trim().parse::<u32>().map_err(|_| {
-                        CoreError::Map(format!("line {}: bad e", lineno + 1))
-                    })?);
+                    e = Some(
+                        v.trim()
+                            .parse::<u32>()
+                            .map_err(|_| CoreError::Map(format!("line {}: bad e", lineno + 1)))?,
+                    );
                 }
                 continue;
             }
             let (name, value) = line.split_once('=').ok_or_else(|| {
                 CoreError::Map(format!("line {}: expected 'name = value'", lineno + 1))
             })?;
-            let value: u64 = value.trim().parse().map_err(|_| {
-                CoreError::Map(format!("line {}: bad value", lineno + 1))
-            })?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| CoreError::Map(format!("line {}: bad value", lineno + 1)))?;
             entries.push((name.trim().to_string(), value));
         }
         let p = p.ok_or_else(|| CoreError::Map("missing '# p = …' header".into()))?;
@@ -206,7 +214,10 @@ mod tests {
     #[test]
     fn too_many_names_rejected() {
         let names: Vec<String> = (0..5).map(|i| format!("n{i}")).collect();
-        assert!(MapFile::sequential(5, 1, &names).is_err(), "only 4 nonzero values in F_5");
+        assert!(
+            MapFile::sequential(5, 1, &names).is_err(),
+            "only 4 nonzero values in F_5"
+        );
         assert!(MapFile::sequential(7, 1, &names).is_ok());
     }
 
@@ -233,8 +244,14 @@ mod tests {
     #[test]
     fn parse_validations() {
         let base = "# p = 5\n# e = 1\n";
-        assert!(MapFile::from_property_string(&format!("{base}a = 0\n")).is_err(), "zero value");
-        assert!(MapFile::from_property_string(&format!("{base}a = 5\n")).is_err(), "out of field");
+        assert!(
+            MapFile::from_property_string(&format!("{base}a = 0\n")).is_err(),
+            "zero value"
+        );
+        assert!(
+            MapFile::from_property_string(&format!("{base}a = 5\n")).is_err(),
+            "out of field"
+        );
         assert!(
             MapFile::from_property_string(&format!("{base}a = 1\nb = 1\n")).is_err(),
             "value collision"
@@ -243,7 +260,10 @@ mod tests {
             MapFile::from_property_string(&format!("{base}a = 1\na = 2\n")).is_err(),
             "name collision"
         );
-        assert!(MapFile::from_property_string("a = 1\n").is_err(), "missing header");
+        assert!(
+            MapFile::from_property_string("a = 1\n").is_err(),
+            "missing header"
+        );
         assert!(MapFile::from_property_string(&format!("{base}garbage\n")).is_err());
         // Clean parse with whitespace and blank lines.
         let ok = MapFile::from_property_string(&format!("{base}\n  a  =  3 \n")).unwrap();

@@ -159,7 +159,11 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
     }
     fn loc(&mut self) -> Result<Loc, CoreError> {
-        Ok(Loc { pre: self.u32()?, post: self.u32()?, parent: self.u32()? })
+        Ok(Loc {
+            pre: self.u32()?,
+            post: self.u32()?,
+            parent: self.u32()?,
+        })
     }
     fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
         let len = self.u32()? as usize;
@@ -261,8 +265,14 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CoreError> {
         1 => Request::GetLoc { pre: r.u32()? },
         2 => Request::Children { pre: r.u32()? },
         3 => Request::Descendants { loc: r.loc()? },
-        4 => Request::Eval { pre: r.u32()?, point: r.u64()? },
-        5 => Request::EvalMany { pres: r.u32s()?, point: r.u64()? },
+        4 => Request::Eval {
+            pre: r.u32()?,
+            point: r.u64()?,
+        },
+        5 => Request::EvalMany {
+            pres: r.u32s()?,
+            point: r.u64()?,
+        },
         6 => Request::GetPolys { pres: r.u32s()? },
         7 => Request::OpenChildrenCursor { pres: r.u32s()? },
         8 => {
@@ -394,7 +404,11 @@ mod tests {
     use super::*;
 
     fn loc(pre: u32) -> Loc {
-        Loc { pre, post: pre + 1, parent: pre.saturating_sub(1) }
+        Loc {
+            pre,
+            post: pre + 1,
+            parent: pre.saturating_sub(1),
+        }
     }
 
     #[test]
@@ -405,11 +419,19 @@ mod tests {
             Request::Children { pre: 42 },
             Request::Descendants { loc: loc(3) },
             Request::Eval { pre: 1, point: 82 },
-            Request::EvalMany { pres: vec![1, 2, 3], point: 5 },
-            Request::EvalMany { pres: vec![], point: 0 },
+            Request::EvalMany {
+                pres: vec![1, 2, 3],
+                point: 5,
+            },
+            Request::EvalMany {
+                pres: vec![],
+                point: 0,
+            },
             Request::GetPolys { pres: vec![9, 8] },
             Request::OpenChildrenCursor { pres: vec![1] },
-            Request::OpenDescendantsCursor { locs: vec![loc(1), loc(5)] },
+            Request::OpenDescendantsCursor {
+                locs: vec![loc(1), loc(5)],
+            },
             Request::Next { cursor: 2 },
             Request::CloseCursor { cursor: 2 },
             Request::Count,
@@ -447,7 +469,10 @@ mod tests {
         assert!(decode_request(&[]).is_err());
         assert!(decode_request(&[99]).is_err(), "unknown tag");
         assert!(decode_request(&[4, 1, 0]).is_err(), "truncated Eval");
-        assert!(decode_response(&[1, 255, 255, 255, 255]).is_err(), "absurd length");
+        assert!(
+            decode_response(&[1, 255, 255, 255, 255]).is_err(),
+            "absurd length"
+        );
         // Trailing garbage detected.
         let mut ok = encode_request(&Request::Root);
         ok.push(0);

@@ -72,7 +72,11 @@ struct RefCtx {
 
 impl RefCtx {
     fn new(doc: &Document) -> Self {
-        let pre_of = doc.pre_post_numbering().into_iter().map(|(id, pre, ..)| (id, pre)).collect();
+        let pre_of = doc
+            .pre_post_numbering()
+            .into_iter()
+            .map(|(id, pre, ..)| (id, pre))
+            .collect();
         RefCtx { pre_of }
     }
 
@@ -108,7 +112,9 @@ impl RefCtx {
     /// Subtree-contains check (includes the node itself, like the
     /// polynomial containment test).
     fn contains(&self, doc: &Document, node: NodeId, name: &str) -> bool {
-        doc.descendants(node).into_iter().any(|d| doc.name(d) == Some(name))
+        doc.descendants(node)
+            .into_iter()
+            .any(|d| doc.name(d) == Some(name))
     }
 }
 
@@ -154,8 +160,8 @@ mod tests {
     #[test]
     fn text_nodes_invisible() {
         let doc = Document::parse("<site><a>text here</a></site>").unwrap();
-        let res = reference_eval(&doc, &parse_query("/site/a").unwrap(), MatchRule::Equality)
-            .unwrap();
+        let res =
+            reference_eval(&doc, &parse_query("/site/a").unwrap(), MatchRule::Equality).unwrap();
         assert_eq!(res, vec![2]);
     }
 }

@@ -48,7 +48,14 @@ impl ServerFilter {
             table.poly_len(),
             "table was packed for a different field"
         );
-        ServerFilter { table, ring, packer, stats: ServerStats::default(), cursors: HashMap::new(), next_cursor: 1 }
+        ServerFilter {
+            table,
+            ring,
+            packer,
+            stats: ServerStats::default(),
+            cursors: HashMap::new(),
+            next_cursor: 1,
+        }
     }
 
     /// The underlying table (read access for size reports).
@@ -71,9 +78,15 @@ impl ServerFilter {
     /// ring arithmetic out of range.
     fn eval_one(&mut self, pre: u32, point: u64) -> Result<u64, String> {
         if !self.ring.field().is_valid(point) {
-            return Err(format!("evaluation point {point} outside F_{}", self.ring.field().order()));
+            return Err(format!(
+                "evaluation point {point} outside F_{}",
+                self.ring.field().order()
+            ));
         }
-        let row = self.table.by_pre(pre).ok_or_else(|| format!("no node pre={pre}"))?;
+        let row = self
+            .table
+            .by_pre(pre)
+            .ok_or_else(|| format!("no node pre={pre}"))?;
         let poly = self
             .packer
             .unpack_radix(&self.ring, &row.poly)
@@ -88,9 +101,7 @@ impl ServerFilter {
         self.stats.requests += 1;
         match req {
             Request::Root => Response::MaybeLoc(self.table.root().map(|r| r.loc)),
-            Request::GetLoc { pre } => {
-                Response::MaybeLoc(self.table.by_pre(*pre).map(|r| r.loc))
-            }
+            Request::GetLoc { pre } => Response::MaybeLoc(self.table.by_pre(*pre).map(|r| r.loc)),
             Request::Children { pre } => Response::Locs(self.table.children_of(*pre)),
             Request::Descendants { loc } => Response::Locs(self.table.descendants_of(*loc)),
             Request::Eval { pre, point } => match self.eval_one(*pre, *point) {
@@ -209,7 +220,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(s.stats().evaluations, 1);
-        match s.handle(&Request::EvalMany { pres: vec![1, 2, 3], point: 7 }) {
+        match s.handle(&Request::EvalMany {
+            pres: vec![1, 2, 3],
+            point: 7,
+        }) {
             Response::Values(vs) => assert_eq!(vs.len(), 3),
             other => panic!("{other:?}"),
         }

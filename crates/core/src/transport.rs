@@ -7,7 +7,9 @@
 //! `client_server_tcp` example and the integration tests.
 
 use crate::error::CoreError;
-use crate::protocol::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
 use crate::server::ServerFilter;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -41,7 +43,10 @@ pub struct LocalTransport {
 impl LocalTransport {
     /// Wraps a server filter.
     pub fn new(server: ServerFilter) -> Self {
-        LocalTransport { server, stats: TransportStats::default() }
+        LocalTransport {
+            server,
+            stats: TransportStats::default(),
+        }
     }
 
     /// Read access to the wrapped server (server-side stats, table sizes).
@@ -82,18 +87,23 @@ pub struct TcpTransport {
 impl TcpTransport {
     /// Connects to a [`serve_tcp`] endpoint.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, CoreError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| CoreError::Transport(format!("connect: {e}")))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| CoreError::Transport(format!("connect: {e}")))?;
         stream
             .set_nodelay(true)
             .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
-        Ok(TcpTransport { stream, stats: TransportStats::default() })
+        Ok(TcpTransport {
+            stream,
+            stats: TransportStats::default(),
+        })
     }
 }
 
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), CoreError> {
     let io = |e: std::io::Error| CoreError::Transport(format!("write: {e}"));
-    stream.write_all(&(payload.len() as u32).to_le_bytes()).map_err(io)?;
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(io)?;
     stream.write_all(payload).map_err(io)?;
     Ok(())
 }
@@ -107,7 +117,9 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, CoreError> {
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > 64 << 20 {
-        return Err(CoreError::Transport(format!("frame of {len} bytes refused")));
+        return Err(CoreError::Transport(format!(
+            "frame of {len} bytes refused"
+        )));
     }
     let mut payload = vec![0u8; len];
     stream
@@ -136,7 +148,10 @@ impl Transport for TcpTransport {
 /// Serves `server` on `listener`, one connection at a time, until a client
 /// sends [`Request::Shutdown`]. Returns the server filter (with its final
 /// stats) when shut down.
-pub fn serve_tcp(listener: TcpListener, mut server: ServerFilter) -> Result<ServerFilter, CoreError> {
+pub fn serve_tcp(
+    listener: TcpListener,
+    mut server: ServerFilter,
+) -> Result<ServerFilter, CoreError> {
     'outer: loop {
         let (mut stream, _) = listener
             .accept()

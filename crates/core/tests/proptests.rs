@@ -11,8 +11,8 @@
 
 use proptest::prelude::*;
 use ssx_core::{
-    encode_document, reference_eval, AdvancedEngine, ClientFilter, LocalTransport,
-    MapFile, MatchRule, ServerFilter, SimpleEngine,
+    encode_document, reference_eval, AdvancedEngine, ClientFilter, LocalTransport, MapFile,
+    MatchRule, ServerFilter, SimpleEngine,
 };
 use ssx_prg::Seed;
 use ssx_xml::Document;
@@ -73,7 +73,11 @@ fn arb_query() -> impl Strategy<Value = Query> {
     )
         .prop_map(|(axis, test)| {
             // `//..` is unsupported; parent steps always use the child axis.
-            let axis = if test == NodeTest::Parent { Axis::Child } else { axis };
+            let axis = if test == NodeTest::Parent {
+                Axis::Child
+            } else {
+                axis
+            };
             Step::new(axis, test)
         });
     (first, proptest::collection::vec(rest, 0..4)).prop_map(|(f, mut r)| {

@@ -49,7 +49,10 @@ fn server_reports_corrupt_rows_instead_of_panicking() {
     }
     let corrupt_pre = out.table.rows()[0].loc.pre;
     let mut server = ServerFilter::new(table, out.ring);
-    match server.handle(&Request::Eval { pre: corrupt_pre, point: 5 }) {
+    match server.handle(&Request::Eval {
+        pre: corrupt_pre,
+        point: 5,
+    }) {
         ssx_core::protocol::Response::Err(msg) => {
             assert!(msg.contains(&format!("pre={corrupt_pre}")), "{msg}")
         }
@@ -89,7 +92,11 @@ fn unknown_nodes_and_cursors_error_cleanly() {
     let server = ServerFilter::new(out.table, out.ring);
     let mut client = ClientFilter::new(LocalTransport::new(server), map, seed).unwrap();
     // Containment on a non-existent node.
-    let ghost = Loc { pre: 99, post: 99, parent: 0 };
+    let ghost = Loc {
+        pre: 99,
+        post: 99,
+        parent: 0,
+    };
     assert!(client.containment(ghost, 5).is_err());
     // Pulling from a cursor that was never opened.
     assert!(client.next_node(12345).is_err());

@@ -48,7 +48,10 @@ impl fmt::Display for FieldError {
                 write!(f, "extension degree {e} outside 1..={MAX_EXTENSION_DEGREE}")
             }
             FieldError::OrderTooLarge { p, e } => {
-                write!(f, "field order {p}^{e} exceeds the supported maximum {MAX_ORDER}")
+                write!(
+                    f,
+                    "field order {p}^{e} exceeds the supported maximum {MAX_ORDER}"
+                )
             }
             FieldError::BadModulus => write!(f, "modulus is not a monic irreducible of degree e"),
             FieldError::InvalidElement(c) => write!(f, "element code {c} out of range"),
@@ -88,7 +91,11 @@ impl FieldCtx {
                 return Err(FieldError::OrderTooLarge { p, e });
             }
         }
-        let modulus = if e == 1 { Vec::new() } else { find_irreducible(p, e) };
+        let modulus = if e == 1 {
+            Vec::new()
+        } else {
+            find_irreducible(p, e)
+        };
         Ok(Self::assemble(p, e, q, modulus))
     }
 
@@ -110,7 +117,9 @@ impl FieldCtx {
             }
         }
         let f = FpPoly::from_coeffs(&modulus, p);
-        if f.degree() != Some(e as usize) || *f.coeffs().last().unwrap() != 1 || !is_irreducible(&f, p)
+        if f.degree() != Some(e as usize)
+            || *f.coeffs().last().unwrap() != 1
+            || !is_irreducible(&f, p)
         {
             return Err(FieldError::BadModulus);
         }
@@ -124,7 +133,13 @@ impl FieldCtx {
             p_pows.push(acc);
             acc = acc.saturating_mul(p);
         }
-        FieldCtx { p, e, q, modulus, p_pows }
+        FieldCtx {
+            p,
+            e,
+            q,
+            modulus,
+            p_pows,
+        }
     }
 
     /// Field characteristic `p`.
@@ -372,7 +387,10 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         assert_eq!(FieldCtx::new(84, 1).unwrap_err(), FieldError::NotPrime(84));
-        assert_eq!(FieldCtx::new(83, 0).unwrap_err(), FieldError::BadExtensionDegree(0));
+        assert_eq!(
+            FieldCtx::new(83, 0).unwrap_err(),
+            FieldError::BadExtensionDegree(0)
+        );
         assert!(matches!(
             FieldCtx::new(83, 16).unwrap_err(),
             FieldError::OrderTooLarge { .. }

@@ -285,12 +285,24 @@ mod tests {
         let aes = FpPoly::from_coeffs(&[1, 1, 0, 1, 1, 0, 0, 0, 1], 2);
         assert!(is_irreducible(&aes, 2));
         // x^8 + 1 = (x+1)^8 over F_2 is not irreducible.
-        assert!(!is_irreducible(&FpPoly::from_coeffs(&[1, 0, 0, 0, 0, 0, 0, 0, 1], 2), 2));
+        assert!(!is_irreducible(
+            &FpPoly::from_coeffs(&[1, 0, 0, 0, 0, 0, 0, 0, 1], 2),
+            2
+        ));
     }
 
     #[test]
     fn find_irreducible_is_irreducible() {
-        for (p, e) in [(2u64, 2u32), (2, 4), (2, 8), (3, 2), (3, 4), (5, 3), (7, 2), (29, 2)] {
+        for (p, e) in [
+            (2u64, 2u32),
+            (2, 4),
+            (2, 8),
+            (3, 2),
+            (3, 4),
+            (5, 3),
+            (7, 2),
+            (29, 2),
+        ] {
             let coeffs = find_irreducible(p, e);
             assert_eq!(coeffs.len(), e as usize + 1);
             assert_eq!(*coeffs.last().unwrap(), 1, "monic");

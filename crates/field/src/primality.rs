@@ -140,6 +140,10 @@ mod tests {
             }
         }
         assert_eq!(inv_mod_prime(0, 83), None);
-        assert_eq!(inv_mod_prime(83, 83), None, "multiples of p have no inverse");
+        assert_eq!(
+            inv_mod_prime(83, 83),
+            None,
+            "multiples of p have no inverse"
+        );
     }
 }

@@ -29,7 +29,9 @@ impl DensePoly {
 
     /// `x − t`.
     pub fn linear(field: &FieldCtx, t: u64) -> Self {
-        DensePoly { coeffs: vec![field.neg(t), 1] }
+        DensePoly {
+            coeffs: vec![field.neg(t), 1],
+        }
     }
 
     /// From little-endian coefficients (normalising trailing zeros; the
@@ -108,7 +110,9 @@ impl DensePoly {
             return (DensePoly::zero(), self.clone());
         }
         let dd = div.coeffs.len() - 1;
-        let lead_inv = field.inv(*div.coeffs.last().unwrap()).expect("nonzero lead");
+        let lead_inv = field
+            .inv(*div.coeffs.last().unwrap())
+            .expect("nonzero lead");
         let mut rem = self.coeffs.clone();
         let mut quot = vec![0u64; rem.len() - dd];
         for i in (dd..rem.len()).rev() {
@@ -135,7 +139,8 @@ impl DensePoly {
             let k = i % n;
             out[k] = ring.field().add(out[k], c);
         }
-        ring.poly_from_coeffs(out).expect("reduction yields valid element")
+        ring.poly_from_coeffs(out)
+            .expect("reduction yields valid element")
     }
 }
 
@@ -220,7 +225,10 @@ mod tests {
         let f = f5();
         assert!(DensePoly::zero().is_zero());
         assert_eq!(DensePoly::zero().degree(), None);
-        assert_eq!(DensePoly::zero().mul(&DensePoly::one(), &f), DensePoly::zero());
+        assert_eq!(
+            DensePoly::zero().mul(&DensePoly::one(), &f),
+            DensePoly::zero()
+        );
         assert_eq!(DensePoly::from_coeffs(vec![0, 0, 0]), DensePoly::zero());
     }
 }

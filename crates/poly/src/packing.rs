@@ -56,7 +56,13 @@ impl Packer {
         let n = ring.len();
         let bits_per_coeff = ring.field().bits_per_element();
         let bit_len = (n * bits_per_coeff as usize).div_ceil(8);
-        Packer { q, n, radix_len: radix_len(q, n), bits_per_coeff, bit_len }
+        Packer {
+            q,
+            n,
+            radix_len: radix_len(q, n),
+            bits_per_coeff,
+            bit_len,
+        }
     }
 
     /// Bytes per polynomial under radix packing — the paper's
@@ -101,7 +107,10 @@ impl Packer {
     /// Inverse of [`Packer::pack_radix`].
     pub fn unpack_radix(&self, ring: &RingCtx, bytes: &[u8]) -> Result<RingPoly, PackError> {
         if bytes.len() != self.radix_len {
-            return Err(PackError::WrongLength { expected: self.radix_len, got: bytes.len() });
+            return Err(PackError::WrongLength {
+                expected: self.radix_len,
+                got: bytes.len(),
+            });
         }
         let mut digits = vec![0u64; self.n];
         for &b in bytes.iter().rev() {
@@ -116,7 +125,8 @@ impl Packer {
                 return Err(PackError::Corrupt);
             }
         }
-        ring.poly_from_coeffs(digits).map_err(|_| PackError::Corrupt)
+        ring.poly_from_coeffs(digits)
+            .map_err(|_| PackError::Corrupt)
     }
 
     /// Packs with `ceil(log2 q)` bits per coefficient, LSB-first.
@@ -138,7 +148,10 @@ impl Packer {
     /// Inverse of [`Packer::pack_bits`].
     pub fn unpack_bits(&self, ring: &RingCtx, bytes: &[u8]) -> Result<RingPoly, PackError> {
         if bytes.len() != self.bit_len {
-            return Err(PackError::WrongLength { expected: self.bit_len, got: bytes.len() });
+            return Err(PackError::WrongLength {
+                expected: self.bit_len,
+                got: bytes.len(),
+            });
         }
         let mut coeffs = vec![0u64; self.n];
         let mut bitpos = 0usize;
@@ -150,7 +163,8 @@ impl Packer {
                 bitpos += 1;
             }
         }
-        ring.poly_from_coeffs(coeffs).map_err(|_| PackError::Corrupt)
+        ring.poly_from_coeffs(coeffs)
+            .map_err(|_| PackError::Corrupt)
     }
 }
 
@@ -201,7 +215,12 @@ mod tests {
     fn radix_round_trip_extremes() {
         let ring = RingCtx::new(5, 1).unwrap();
         let packer = Packer::new(&ring);
-        for coeffs in [vec![0, 0, 0, 0], vec![4, 4, 4, 4], vec![0, 0, 0, 4], vec![4, 0, 0, 0]] {
+        for coeffs in [
+            vec![0, 0, 0, 0],
+            vec![4, 4, 4, 4],
+            vec![0, 0, 0, 4],
+            vec![4, 0, 0, 0],
+        ] {
             let f = ring.poly_from_coeffs(coeffs).unwrap();
             let bytes = packer.pack_radix(&f);
             assert_eq!(packer.unpack_radix(&ring, &bytes).unwrap(), f);

@@ -75,7 +75,10 @@ impl RingCtx {
         if n == 0 || n > MAX_RING_LEN {
             return Err(RingError::RingTooLarge(n));
         }
-        Ok(RingCtx { field: Arc::new(field), n: n as usize })
+        Ok(RingCtx {
+            field: Arc::new(field),
+            n: n as usize,
+        })
     }
 
     /// The underlying field.
@@ -98,14 +101,18 @@ impl RingCtx {
 
     /// The zero element.
     pub fn zero(&self) -> RingPoly {
-        RingPoly { coeffs: vec![0; self.n].into_boxed_slice() }
+        RingPoly {
+            coeffs: vec![0; self.n].into_boxed_slice(),
+        }
     }
 
     /// The multiplicative identity (constant polynomial 1).
     pub fn one(&self) -> RingPoly {
         let mut c = vec![0; self.n];
         c[0] = 1;
-        RingPoly { coeffs: c.into_boxed_slice() }
+        RingPoly {
+            coeffs: c.into_boxed_slice(),
+        }
     }
 
     /// The constant polynomial `c`.
@@ -113,7 +120,9 @@ impl RingCtx {
         debug_assert!(self.field.is_valid(c));
         let mut v = vec![0; self.n];
         v[0] = c;
-        RingPoly { coeffs: v.into_boxed_slice() }
+        RingPoly {
+            coeffs: v.into_boxed_slice(),
+        }
     }
 
     /// The leaf-node monomial `x − t` (paper §3 step 2, leaf case).
@@ -129,18 +138,25 @@ impl RingCtx {
         } else {
             c[1] = 1;
         }
-        RingPoly { coeffs: c.into_boxed_slice() }
+        RingPoly {
+            coeffs: c.into_boxed_slice(),
+        }
     }
 
     /// Validates an externally supplied coefficient vector.
     pub fn poly_from_coeffs(&self, coeffs: Vec<u64>) -> Result<RingPoly, RingError> {
         if coeffs.len() != self.n {
-            return Err(RingError::WrongLength { expected: self.n, got: coeffs.len() });
+            return Err(RingError::WrongLength {
+                expected: self.n,
+                got: coeffs.len(),
+            });
         }
         if let Some(&bad) = coeffs.iter().find(|&&c| !self.field.is_valid(c)) {
             return Err(RingError::InvalidCoefficient(bad));
         }
-        Ok(RingPoly { coeffs: coeffs.into_boxed_slice() })
+        Ok(RingPoly {
+            coeffs: coeffs.into_boxed_slice(),
+        })
     }
 
     /// Addition.
@@ -197,7 +213,9 @@ impl RingCtx {
                 out[k] = self.field.add(out[k], self.field.mul(ai, bj));
             }
         }
-        RingPoly { coeffs: out.into_boxed_slice() }
+        RingPoly {
+            coeffs: out.into_boxed_slice(),
+        }
     }
 
     /// Multiplies by the linear factor `(x − t)` in `O(n)` — the hot path of
@@ -212,10 +230,16 @@ impl RingCtx {
         for i in 0..n {
             // x * a contributes a[i] to position i+1 (cyclically);
             // -t * a contributes -t*a[i] to position i.
-            let shifted = if i == 0 { a.coeffs[n - 1] } else { a.coeffs[i - 1] };
+            let shifted = if i == 0 {
+                a.coeffs[n - 1]
+            } else {
+                a.coeffs[i - 1]
+            };
             out[i] = self.field.add(shifted, self.field.mul(neg_t, a.coeffs[i]));
         }
-        RingPoly { coeffs: out.into_boxed_slice() }
+        RingPoly {
+            coeffs: out.into_boxed_slice(),
+        }
     }
 
     /// Evaluates at a point by Horner's rule (`n − 1` multiply-adds).
@@ -298,9 +322,15 @@ mod tests {
     #[test]
     fn construction_limits() {
         assert!(RingCtx::new(83, 1).is_ok());
-        assert!(matches!(RingCtx::new(6, 1).unwrap_err(), RingError::Field(_)));
+        assert!(matches!(
+            RingCtx::new(6, 1).unwrap_err(),
+            RingError::Field(_)
+        ));
         // q - 1 too large for the ring even though the field allows it.
-        assert!(matches!(RingCtx::new(131101, 1).unwrap_err(), RingError::RingTooLarge(_)));
+        assert!(matches!(
+            RingCtx::new(131101, 1).unwrap_err(),
+            RingError::RingTooLarge(_)
+        ));
     }
 
     #[test]
@@ -332,7 +362,10 @@ mod tests {
         // math, which interpolation at the nonzero points confirms.)
         let root = r.mul(&r.mul(&f, &g), &r.linear(2));
         assert_eq!(root.coeffs(), &[4, 1, 4, 1]);
-        assert_eq!(root, g, "A^2 and A agree on all nonzero points, hence in the ring");
+        assert_eq!(
+            root, g,
+            "A^2 and A agree on all nonzero points, hence in the ring"
+        );
     }
 
     #[test]
@@ -400,12 +433,19 @@ mod tests {
     #[test]
     fn eval_is_ring_homomorphism_at_nonzero_points() {
         let r = RingCtx::new(29, 1).unwrap();
-        let a = r.poly_from_coeffs((0..28).map(|i| (i * 7 + 3) % 29).collect()).unwrap();
-        let b = r.poly_from_coeffs((0..28).map(|i| (i * 11 + 1) % 29).collect()).unwrap();
+        let a = r
+            .poly_from_coeffs((0..28).map(|i| (i * 7 + 3) % 29).collect())
+            .unwrap();
+        let b = r
+            .poly_from_coeffs((0..28).map(|i| (i * 11 + 1) % 29).collect())
+            .unwrap();
         let prod = r.mul(&a, &b);
         let sum = r.add(&a, &b);
         for v in r.field().nonzero_elements() {
-            assert_eq!(r.eval(&prod, v), r.field().mul(r.eval(&a, v), r.eval(&b, v)));
+            assert_eq!(
+                r.eval(&prod, v),
+                r.field().mul(r.eval(&a, v), r.eval(&b, v))
+            );
             assert_eq!(r.eval(&sum, v), r.field().add(r.eval(&a, v), r.eval(&b, v)));
         }
     }
@@ -415,7 +455,10 @@ mod tests {
         let r = ring5();
         assert!(matches!(
             r.poly_from_coeffs(vec![0; 3]).unwrap_err(),
-            RingError::WrongLength { expected: 4, got: 3 }
+            RingError::WrongLength {
+                expected: 4,
+                got: 3
+            }
         ));
         assert!(matches!(
             r.poly_from_coeffs(vec![0, 9, 0, 0]).unwrap_err(),

@@ -78,7 +78,10 @@ mod tests {
     fn leaf_case_children_product_is_one() {
         let ring = RingCtx::new(29, 1).unwrap();
         let f = ring.linear(12);
-        assert_eq!(extract_root(&ring, &f, &ring.one(), true), RootOutcome::Root(12));
+        assert_eq!(
+            extract_root(&ring, &f, &ring.one(), true),
+            RootOutcome::Root(12)
+        );
     }
 
     #[test]
@@ -90,7 +93,10 @@ mod tests {
         let mut coeffs = f.coeffs().to_vec();
         coeffs[10] = (coeffs[10] + 1) % 83;
         let f_bad = ring.poly_from_coeffs(coeffs).unwrap();
-        assert_eq!(extract_root(&ring, &f_bad, &g, true), RootOutcome::Inconsistent);
+        assert_eq!(
+            extract_root(&ring, &f_bad, &g, true),
+            RootOutcome::Inconsistent
+        );
         // Without verification the corruption may go unnoticed (returns the
         // candidate from the first usable point) — documented trade-off.
         assert!(matches!(
@@ -109,7 +115,10 @@ mod tests {
         }
         assert!(g.is_zero(), "x^4 - 1 reduces to zero");
         let f = ring.mul_linear(&g, 2);
-        assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Indeterminate);
+        assert_eq!(
+            extract_root(&ring, &f, &g, true),
+            RootOutcome::Indeterminate
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use ssx_prg::Prg;
 pub fn random_poly(ring: &RingCtx, prg: &mut Prg) -> RingPoly {
     let q = ring.field().order();
     let coeffs: Vec<u64> = (0..ring.len()).map(|_| prg.next_below(q)).collect();
-    ring.poly_from_coeffs(coeffs).expect("draws are valid field elements")
+    ring.poly_from_coeffs(coeffs)
+        .expect("draws are valid field elements")
 }
 
 /// Splits `f` into `(client, server)` with `client + server = f`, the client
@@ -96,7 +97,10 @@ mod tests {
             })
             .sum();
         // df = 4; 99.9% quantile ≈ 18.47.
-        assert!(chi2 < 20.0, "server share coefficient biased: chi2 = {chi2}");
+        assert!(
+            chi2 < 20.0,
+            "server share coefficient biased: chi2 = {chi2}"
+        );
     }
 
     #[test]

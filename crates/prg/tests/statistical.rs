@@ -21,7 +21,10 @@ fn adjacent_node_streams_have_avalanche() {
         total += hamming(a, b) as u64;
     }
     let avg = total as f64 / n as f64;
-    assert!((28.0..36.0).contains(&avg), "avalanche average {avg} (want ~32)");
+    assert!(
+        (28.0..36.0).contains(&avg),
+        "avalanche average {avg} (want ~32)"
+    );
 }
 
 #[test]

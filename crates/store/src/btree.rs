@@ -53,7 +53,11 @@ impl Default for BTree {
 impl BTree {
     /// Empty tree.
     pub fn new() -> Self {
-        BTree { nodes: vec![Node::leaf()], root: 0, len: 0 }
+        BTree {
+            nodes: vec![Node::leaf()],
+            root: 0,
+            len: 0,
+        }
     }
 
     /// Number of stored keys.
@@ -111,7 +115,11 @@ impl BTree {
 
     /// Ordered iterator over entries with `lo <= key <= hi`.
     pub fn range(&self, lo: u64, hi: u64) -> RangeIter<'_> {
-        let mut iter = RangeIter { tree: self, stack: Vec::new(), hi };
+        let mut iter = RangeIter {
+            tree: self,
+            stack: Vec::new(),
+            hi,
+        };
         if lo <= hi {
             iter.descend_to_lower_bound(self.root, lo);
         }
@@ -150,8 +158,7 @@ impl BTree {
     /// Returns the total number of keys seen.
     pub fn check_invariants(&self) -> Result<usize, String> {
         let mut leaf_depth = None;
-        let count =
-            self.check_node(self.root, None, None, 0, &mut leaf_depth, true)?;
+        let count = self.check_node(self.root, None, None, 0, &mut leaf_depth, true)?;
         if count != self.len {
             return Err(format!("len {} != counted {}", self.len, count));
         }
@@ -206,7 +213,11 @@ impl BTree {
         let mut total = n.keys.len();
         for (i, &child) in n.children.iter().enumerate() {
             let child_lo = if i == 0 { lo } else { Some(n.keys[i - 1]) };
-            let child_hi = if i == n.keys.len() { hi } else { Some(n.keys[i]) };
+            let child_hi = if i == n.keys.len() {
+                hi
+            } else {
+                Some(n.keys[i])
+            };
             total += self.check_node(child, child_lo, child_hi, depth + 1, leaf_depth, false)?;
         }
         Ok(total)
@@ -417,16 +428,26 @@ mod tests {
         // Pseudo-random keys via a multiplicative walk.
         let mut k = 1u64;
         for i in 0..3000u64 {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = k % 10_000;
             t.insert(key, i);
             model.insert(key, i);
         }
         t.check_invariants().unwrap();
-        for (lo, hi) in [(0u64, 10_000u64), (500, 600), (9990, 10_500), (42, 42), (7, 3)] {
+        for (lo, hi) in [
+            (0u64, 10_000u64),
+            (500, 600),
+            (9990, 10_500),
+            (42, 42),
+            (7, 3),
+        ] {
             let got: Vec<(u64, u64)> = t.range(lo, hi).collect();
-            let want: Vec<(u64, u64)> =
-                model.range(lo..=hi.max(lo)).map(|(&k, &v)| (k, v)).collect();
+            let want: Vec<(u64, u64)> = model
+                .range(lo..=hi.max(lo))
+                .map(|(&k, &v)| (k, v))
+                .collect();
             let want = if lo > hi { vec![] } else { want };
             assert_eq!(got, want, "range {lo}..={hi}");
         }
@@ -472,7 +493,10 @@ mod tests {
         for k in 0..1000u64 {
             t.insert(k, k);
         }
-        assert!(t.byte_size() > empty + 1000 * 16 / 2, "size must reflect entries");
+        assert!(
+            t.byte_size() > empty + 1000 * 16 / 2,
+            "size must reflect entries"
+        );
     }
 
     #[test]

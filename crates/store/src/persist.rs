@@ -32,9 +32,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Serialises `table` to `path` atomically (write temp + rename).
 pub fn save_table(table: &Table, path: &Path) -> Result<(), StoreError> {
-    let mut buf = Vec::with_capacity(
-        MAGIC.len() + 12 + table.len() * (12 + table.poly_len()) + 8,
-    );
+    let mut buf = Vec::with_capacity(MAGIC.len() + 12 + table.len() * (12 + table.poly_len()) + 8);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(table.poly_len() as u32).to_le_bytes());
     buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
@@ -61,7 +59,10 @@ pub fn save_table(table: &Table, path: &Path) -> Result<(), StoreError> {
 pub fn load_table(path: &Path) -> Result<Table, StoreError> {
     let io = |e: std::io::Error| StoreError::Persist(e.to_string());
     let mut buf = Vec::new();
-    std::fs::File::open(path).map_err(io)?.read_to_end(&mut buf).map_err(io)?;
+    std::fs::File::open(path)
+        .map_err(io)?
+        .read_to_end(&mut buf)
+        .map_err(io)?;
     if buf.len() < MAGIC.len() + 12 + 8 {
         return Err(StoreError::Persist("file too short".into()));
     }
@@ -91,7 +92,10 @@ pub fn load_table(path: &Path) -> Result<Table, StoreError> {
         let parent = u32::from_le_bytes(body[off + 8..off + 12].try_into().unwrap());
         let poly = body[off + 12..off + row_size].to_vec().into_boxed_slice();
         table
-            .insert(Row { loc: Loc { pre, post, parent }, poly })
+            .insert(Row {
+                loc: Loc { pre, post, parent },
+                poly,
+            })
             .map_err(|e| StoreError::Persist(format!("row {i}: {e}")))?;
     }
     table.check_integrity()?;
@@ -143,7 +147,10 @@ mod tests {
         save_table(&t, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
-        assert!(matches!(load_table(&path).unwrap_err(), StoreError::Persist(_)));
+        assert!(matches!(
+            load_table(&path).unwrap_err(),
+            StoreError::Persist(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -156,7 +163,10 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(load_table(&path).unwrap_err(), StoreError::Persist(_)));
+        assert!(matches!(
+            load_table(&path).unwrap_err(),
+            StoreError::Persist(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -171,7 +181,10 @@ mod tests {
         buf.extend_from_slice(&sum.to_le_bytes());
         std::fs::write(&path, &buf).unwrap();
         let err = load_table(&path).unwrap_err();
-        assert!(matches!(err, StoreError::Persist(ref m) if m.contains("magic")), "{err}");
+        assert!(
+            matches!(err, StoreError::Persist(ref m) if m.contains("magic")),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -131,14 +131,19 @@ impl Table {
     /// length, and basic sanity (`pre >= 1`, `parent < pre`).
     pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
         if row.poly.len() != self.poly_len {
-            return Err(StoreError::WrongPolyLen { expected: self.poly_len, got: row.poly.len() });
+            return Err(StoreError::WrongPolyLen {
+                expected: self.poly_len,
+                got: row.poly.len(),
+            });
         }
         let Loc { pre, post, parent } = row.loc;
         if pre == 0 {
             return Err(StoreError::BadRow("pre must be >= 1".into()));
         }
         if parent >= pre {
-            return Err(StoreError::BadRow(format!("parent {parent} not before pre {pre}")));
+            return Err(StoreError::BadRow(format!(
+                "parent {parent} not before pre {pre}"
+            )));
         }
         if self.pre_idx.contains(pre as u64) {
             return Err(StoreError::BadRow(format!("duplicate pre {pre}")));
@@ -149,14 +154,17 @@ impl Table {
         let pos = self.rows.len() as u64;
         self.pre_idx.insert(pre as u64, pos);
         self.post_idx.insert(post as u64, pos);
-        self.parent_idx.insert(((parent as u64) << 32) | pre as u64, pos);
+        self.parent_idx
+            .insert(((parent as u64) << 32) | pre as u64, pos);
         self.rows.push(row);
         Ok(())
     }
 
     /// Row by `pre` (indexed point lookup).
     pub fn by_pre(&self, pre: u32) -> Option<&Row> {
-        self.pre_idx.get(pre as u64).map(|pos| &self.rows[pos as usize])
+        self.pre_idx
+            .get(pre as u64)
+            .map(|pos| &self.rows[pos as usize])
     }
 
     /// The root row — "the only node without a parent (parent = 0)", found
@@ -174,7 +182,10 @@ impl Table {
     pub fn children_of(&self, parent: u32) -> Vec<Loc> {
         let lo = (parent as u64) << 32;
         let hi = lo | u32::MAX as u64;
-        self.parent_idx.range(lo, hi).map(|(_, pos)| self.rows[pos as usize].loc).collect()
+        self.parent_idx
+            .range(lo, hi)
+            .map(|(_, pos)| self.rows[pos as usize].loc)
+            .collect()
     }
 
     /// Descendants of `loc` in document order. Exploits the interval
@@ -209,7 +220,10 @@ impl Table {
 
     /// All locations in document (`pre`) order.
     pub fn all_locs(&self) -> Vec<Loc> {
-        self.pre_idx.iter().map(|(_, pos)| self.rows[pos as usize].loc).collect()
+        self.pre_idx
+            .iter()
+            .map(|(_, pos)| self.rows[pos as usize].loc)
+            .collect()
     }
 
     /// Direct row access in insertion order (persistence).
@@ -240,12 +254,12 @@ impl Table {
             if row.loc.parent == 0 {
                 roots += 1;
             } else {
-                let parent = self
-                    .by_pre(row.loc.parent)
-                    .ok_or_else(|| StoreError::BadRow(format!(
+                let parent = self.by_pre(row.loc.parent).ok_or_else(|| {
+                    StoreError::BadRow(format!(
                         "row pre={} references missing parent {}",
                         row.loc.pre, row.loc.parent
-                    )))?;
+                    ))
+                })?;
                 // Child strictly inside the parent's interval.
                 if !(row.loc.pre > parent.loc.pre && row.loc.post < parent.loc.post) {
                     return Err(StoreError::BadRow(format!(
@@ -288,7 +302,14 @@ mod tests {
     fn point_lookups() {
         let t = sample_table();
         assert_eq!(t.len(), 4);
-        assert_eq!(t.by_pre(3).unwrap().loc, Loc { pre: 3, post: 1, parent: 2 });
+        assert_eq!(
+            t.by_pre(3).unwrap().loc,
+            Loc {
+                pre: 3,
+                post: 1,
+                parent: 2
+            }
+        );
         assert!(t.by_pre(99).is_none());
         assert_eq!(t.root().unwrap().loc.pre, 1);
     }
@@ -306,9 +327,18 @@ mod tests {
         let t = sample_table();
         let root = t.root().unwrap().loc;
         let desc = t.descendants_of(root);
-        assert_eq!(desc.iter().map(|l| l.pre).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            desc.iter().map(|l| l.pre).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
         let b = t.by_pre(2).unwrap().loc;
-        assert_eq!(t.descendants_of(b).iter().map(|l| l.pre).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(
+            t.descendants_of(b)
+                .iter()
+                .map(|l| l.pre)
+                .collect::<Vec<_>>(),
+            vec![3]
+        );
         // Scan baseline agrees.
         assert_eq!(t.descendants_of(root), t.descendants_of_scan(root));
         assert_eq!(t.descendants_of(b), t.descendants_of_scan(b));
@@ -319,24 +349,62 @@ mod tests {
         let mut t = sample_table();
         let poly = vec![0u8; 4].into_boxed_slice();
         assert!(matches!(
-            t.insert(Row { loc: Loc { pre: 0, post: 9, parent: 0 }, poly: poly.clone() }),
+            t.insert(Row {
+                loc: Loc {
+                    pre: 0,
+                    post: 9,
+                    parent: 0
+                },
+                poly: poly.clone()
+            }),
             Err(StoreError::BadRow(_))
         ));
         assert!(matches!(
-            t.insert(Row { loc: Loc { pre: 2, post: 9, parent: 1 }, poly: poly.clone() }),
+            t.insert(Row {
+                loc: Loc {
+                    pre: 2,
+                    post: 9,
+                    parent: 1
+                },
+                poly: poly.clone()
+            }),
             Err(StoreError::BadRow(_)) // duplicate pre
         ));
         assert!(matches!(
-            t.insert(Row { loc: Loc { pre: 9, post: 2, parent: 1 }, poly: poly.clone() }),
+            t.insert(Row {
+                loc: Loc {
+                    pre: 9,
+                    post: 2,
+                    parent: 1
+                },
+                poly: poly.clone()
+            }),
             Err(StoreError::BadRow(_)) // duplicate post
         ));
         assert!(matches!(
-            t.insert(Row { loc: Loc { pre: 9, post: 9, parent: 9 }, poly: poly.clone() }),
+            t.insert(Row {
+                loc: Loc {
+                    pre: 9,
+                    post: 9,
+                    parent: 9
+                },
+                poly: poly.clone()
+            }),
             Err(StoreError::BadRow(_)) // parent not before pre
         ));
         assert!(matches!(
-            t.insert(Row { loc: Loc { pre: 9, post: 9, parent: 1 }, poly: vec![0; 3].into() }),
-            Err(StoreError::WrongPolyLen { expected: 4, got: 3 })
+            t.insert(Row {
+                loc: Loc {
+                    pre: 9,
+                    post: 9,
+                    parent: 1
+                },
+                poly: vec![0; 3].into()
+            }),
+            Err(StoreError::WrongPolyLen {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 
@@ -359,7 +427,11 @@ mod tests {
         // A second root breaks it.
         let mut bad = sample_table();
         bad.insert(Row {
-            loc: Loc { pre: 9, post: 9, parent: 0 },
+            loc: Loc {
+                pre: 9,
+                post: 9,
+                parent: 0,
+            },
             poly: vec![0; 4].into_boxed_slice(),
         })
         .unwrap();
@@ -367,7 +439,11 @@ mod tests {
         // A dangling parent breaks it.
         let mut bad2 = sample_table();
         bad2.insert(Row {
-            loc: Loc { pre: 9, post: 9, parent: 7 },
+            loc: Loc {
+                pre: 9,
+                post: 9,
+                parent: 7,
+            },
             poly: vec![0; 4].into_boxed_slice(),
         })
         .unwrap();
@@ -392,18 +468,30 @@ mod tests {
         // pre numbers: root 1; child i -> 2i, grandchild -> 2i+1 (i from 1).
         // posts: grandchild closes first.
         t.insert(Row {
-            loc: Loc { pre: 1, post: 2 * n + 1, parent: 0 },
+            loc: Loc {
+                pre: 1,
+                post: 2 * n + 1,
+                parent: 0,
+            },
             poly: vec![0].into(),
         })
         .unwrap();
         for i in 1..=n {
             t.insert(Row {
-                loc: Loc { pre: 2 * i, post: 2 * i, parent: 1 },
+                loc: Loc {
+                    pre: 2 * i,
+                    post: 2 * i,
+                    parent: 1,
+                },
                 poly: vec![0].into(),
             })
             .unwrap();
             t.insert(Row {
-                loc: Loc { pre: 2 * i + 1, post: 2 * i - 1, parent: 2 * i },
+                loc: Loc {
+                    pre: 2 * i + 1,
+                    post: 2 * i - 1,
+                    parent: 2 * i,
+                },
                 poly: vec![0].into(),
             })
             .unwrap();

@@ -87,7 +87,11 @@ fn table_from_parents(parents: &[usize]) -> Table {
         let parent_pre = if i == 0 { 0 } else { pre[parents[i]] };
         table
             .insert(Row {
-                loc: Loc { pre: pre[i], post: post[i], parent: parent_pre },
+                loc: Loc {
+                    pre: pre[i],
+                    post: post[i],
+                    parent: parent_pre,
+                },
                 poly: vec![0u8; 2].into_boxed_slice(),
             })
             .unwrap();

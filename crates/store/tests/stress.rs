@@ -9,10 +9,16 @@ fn btree_hundred_thousand_random_keys() {
     let mut k = 1u64;
     let n = 100_000u64;
     for i in 0..n {
-        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        k = k
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         tree.insert(k, i);
     }
-    assert_eq!(tree.len() as u64, n, "no collisions expected from the LCG in 100k draws");
+    assert_eq!(
+        tree.len() as u64,
+        n,
+        "no collisions expected from the LCG in 100k draws"
+    );
     tree.check_invariants().unwrap();
     // Full iteration is sorted and complete.
     let mut prev = 0u64;
@@ -37,7 +43,11 @@ fn deep_chain_descendants() {
     for pre in 1..=n {
         table
             .insert(Row {
-                loc: Loc { pre, post: n - pre + 1, parent: pre.saturating_sub(1) },
+                loc: Loc {
+                    pre,
+                    post: n - pre + 1,
+                    parent: pre.saturating_sub(1),
+                },
                 poly: vec![0u8].into_boxed_slice(),
             })
             .unwrap();
@@ -63,14 +73,22 @@ fn wide_star_children() {
     let mut table = Table::new(1);
     table
         .insert(Row {
-            loc: Loc { pre: 1, post: n + 1, parent: 0 },
+            loc: Loc {
+                pre: 1,
+                post: n + 1,
+                parent: 0,
+            },
             poly: vec![0u8].into_boxed_slice(),
         })
         .unwrap();
     for i in 0..n {
         table
             .insert(Row {
-                loc: Loc { pre: 2 + i, post: 1 + i, parent: 1 },
+                loc: Loc {
+                    pre: 2 + i,
+                    post: 1 + i,
+                    parent: 1,
+                },
                 poly: vec![0u8].into_boxed_slice(),
             })
             .unwrap();
@@ -78,19 +96,17 @@ fn wide_star_children() {
     table.check_integrity().unwrap();
     let kids = table.children_of(1);
     assert_eq!(kids.len(), n as usize);
-    assert!(kids.windows(2).all(|w| w[0].pre < w[1].pre), "document order");
+    assert!(
+        kids.windows(2).all(|w| w[0].pre < w[1].pre),
+        "document order"
+    );
 }
 
 #[test]
 fn interleaved_insertion_order() {
     // Rows may arrive in any order (the encoder emits post-order; loaders
     // emit file order); indices must not care.
-    let rows = [
-        (3u32, 1u32, 2u32),
-        (1, 4, 0),
-        (4, 3, 1),
-        (2, 2, 1),
-    ];
+    let rows = [(3u32, 1u32, 2u32), (1, 4, 0), (4, 3, 1), (2, 2, 1)];
     let mut table = Table::new(1);
     for (pre, post, parent) in rows {
         table
@@ -103,10 +119,17 @@ fn interleaved_insertion_order() {
     table.check_integrity().unwrap();
     assert_eq!(table.root().unwrap().loc.pre, 1);
     assert_eq!(
-        table.children_of(1).iter().map(|l| l.pre).collect::<Vec<_>>(),
+        table
+            .children_of(1)
+            .iter()
+            .map(|l| l.pre)
+            .collect::<Vec<_>>(),
         vec![2, 4]
     );
-    assert_eq!(table.all_locs().iter().map(|l| l.pre).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    assert_eq!(
+        table.all_locs().iter().map(|l| l.pre).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4]
+    );
 }
 
 #[test]
@@ -116,7 +139,11 @@ fn persistence_scales() {
     for pre in 1..=n {
         table
             .insert(Row {
-                loc: Loc { pre, post: n - pre + 1, parent: pre.saturating_sub(1) },
+                loc: Loc {
+                    pre,
+                    post: n - pre + 1,
+                    parent: pre.saturating_sub(1),
+                },
                 poly: vec![pre as u8; 8].into_boxed_slice(),
             })
             .unwrap();

@@ -94,7 +94,7 @@ mod tests {
         let stats = corpus_stats([text.as_str()]);
         assert_eq!(stats.word_occurrences, 60);
         assert_eq!(stats.distinct_words, 5); // the, cat, sat, on, mat
-        // 60 occurrences, "the" twice per sentence: chars = 10*(3+3+3+2+3+3).
+                                             // 60 occurrences, "the" twice per sentence: chars = 10*(3+3+3+2+3+3).
         assert_eq!(stats.original_chars, 170);
         assert_eq!(stats.deduped_chars, 3 + 3 + 3 + 2 + 3);
         assert!(stats.dedup_reduction() > 0.9, "repetition dedups massively");

@@ -122,8 +122,7 @@ mod tests {
 
     #[test]
     fn elements_preserved_text_replaced() {
-        let doc =
-            Document::parse("<person><name>Ann</name><age>30</age></person>").unwrap();
+        let doc = Document::parse("<person><name>Ann</name><age>30</age></person>").unwrap();
         let out = transform_document(&doc, TrieMode::Compressed);
         assert_eq!(out.name(out.root()), Some("person"));
         let kids: Vec<_> = out.child_elements(out.root()).collect();
@@ -152,7 +151,9 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing path element {c}"));
         }
         // Terminal marker present (joan is a whole word).
-        assert!(out.child_elements(cur).any(|id| out.name(id) == Some(WORD_END_NAME)));
+        assert!(out
+            .child_elements(cur)
+            .any(|id| out.name(id) == Some(WORD_END_NAME)));
     }
 
     #[test]

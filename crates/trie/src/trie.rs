@@ -66,12 +66,18 @@ impl Trie {
     /// Number of character nodes (excluding the root, excluding
     /// terminators) — the §4 "size" of the compressed representation.
     pub fn char_node_count(&self) -> usize {
-        self.children.values().map(|t| 1 + t.char_node_count()).sum()
+        self.children
+            .values()
+            .map(|t| 1 + t.char_node_count())
+            .sum()
     }
 
     /// Number of terminator (`⊥`) nodes.
     pub fn terminal_count(&self) -> usize {
-        self.children.values().map(Trie::terminal_count).sum::<usize>()
+        self.children
+            .values()
+            .map(Trie::terminal_count)
+            .sum::<usize>()
             + usize::from(self.terminal)
     }
 

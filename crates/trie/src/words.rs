@@ -11,8 +11,10 @@ pub const WORD_END_NAME: &str = "_";
 /// the terminator that is 37 extra tag names the field must accommodate
 /// (hence `p = 131` for trie-enabled databases, see DESIGN.md).
 pub fn trie_alphabet() -> Vec<String> {
-    let mut out: Vec<String> =
-        ('a'..='z').chain('0'..='9').map(|c| c.to_string()).collect();
+    let mut out: Vec<String> = ('a'..='z')
+        .chain('0'..='9')
+        .map(|c| c.to_string())
+        .collect();
     out.push(WORD_END_NAME.to_string());
     out
 }

@@ -25,7 +25,10 @@ pub struct XmarkConfig {
 
 impl Default for XmarkConfig {
     fn default() -> Self {
-        XmarkConfig { seed: 42, target_bytes: 256 * 1024 }
+        XmarkConfig {
+            seed: 42,
+            target_bytes: 256 * 1024,
+        }
     }
 }
 
@@ -116,7 +119,11 @@ impl Gen {
         let pay = *self.prg.pick(&pay);
         self.leaf("payment", pay);
         self.description(force_deep_description, 0);
-        let ship = ["Will ship internationally", "Buyer pays fixed shipping charges", "See description for charges"];
+        let ship = [
+            "Will ship internationally",
+            "Buyer pays fixed shipping charges",
+            "See description for charges",
+        ];
         let ship = *self.prg.pick(&ship);
         self.leaf("shipping", ship);
         let incats = self.prg.next_range(1, 3);
@@ -161,7 +168,11 @@ impl Gen {
     /// parlist := (listitem)*
     fn parlist(&mut self, force_text_keyword: bool, depth: u32) {
         self.w.start_element("parlist");
-        let n = if force_text_keyword { 1 } else { self.prg.next_range(1, 3) };
+        let n = if force_text_keyword {
+            1
+        } else {
+            self.prg.next_range(1, 3)
+        };
         for i in 0..n {
             self.w.start_element("listitem");
             let nested = !force_text_keyword && depth < 2 && self.prg.chance(0.25);
@@ -269,14 +280,22 @@ impl Gen {
         let email = format!("mailto:{}@example.net", nm.to_lowercase().replace(' ', "."));
         self.leaf("emailaddress", &email);
         if self.prg.chance(0.5) {
-            let ph = format!("+{} ({}) {}", self.prg.next_range(1, 99), self.prg.next_range(100, 999), self.prg.next_range(1_000_000, 9_999_999));
+            let ph = format!(
+                "+{} ({}) {}",
+                self.prg.next_range(1, 99),
+                self.prg.next_range(100, 999),
+                self.prg.next_range(1_000_000, 9_999_999)
+            );
             self.leaf("phone", &ph);
         }
         if force_address || self.prg.chance(0.7) {
             self.address();
         }
         if self.prg.chance(0.3) {
-            let hp = format!("http://www.example.net/~{}", nm.split(' ').next().unwrap_or("x").to_lowercase());
+            let hp = format!(
+                "http://www.example.net/~{}",
+                nm.split(' ').next().unwrap_or("x").to_lowercase()
+            );
             self.leaf("homepage", &hp);
         }
         if self.prg.chance(0.4) {
@@ -298,7 +317,8 @@ impl Gen {
             for _ in 0..n {
                 let oa = self.prg.next_range(1, self.open_auctions.max(1) as u64);
                 self.w.start_element("watch");
-                self.w.attribute("open_auction", &format!("open_auction{oa}"));
+                self.w
+                    .attribute("open_auction", &format!("open_auction{oa}"));
                 self.w.end_element();
             }
             self.w.end_element();
@@ -312,7 +332,13 @@ impl Gen {
         self.leaf("street", &street);
         let city = self.word_capitalised();
         self.leaf("city", &city);
-        let country = *self.prg.pick(&["United States", "Germany", "Netherlands", "Japan", "Malaysia"]);
+        let country = *self.prg.pick(&[
+            "United States",
+            "Germany",
+            "Netherlands",
+            "Japan",
+            "Malaysia",
+        ]);
         self.leaf("country", country);
         if self.prg.chance(0.3) {
             let prov = self.word_capitalised();
@@ -333,7 +359,9 @@ impl Gen {
             self.w.end_element();
         }
         if self.prg.chance(0.5) {
-            let edu = *self.prg.pick(&["High School", "College", "Graduate School", "Other"]);
+            let edu = *self
+                .prg
+                .pick(&["High School", "College", "Graduate School", "Other"]);
             self.leaf("education", edu);
         }
         if self.prg.chance(0.7) {
@@ -485,7 +513,11 @@ impl Gen {
     }
 
     fn money(&mut self) -> String {
-        format!("{}.{:02}", self.prg.next_range(1, 500), self.prg.next_range(0, 99))
+        format!(
+            "{}.{:02}",
+            self.prg.next_range(1, 500),
+            self.prg.next_range(0, 99)
+        )
     }
 
     fn sentence(&mut self, min: u64, max: u64) -> String {
@@ -515,25 +547,45 @@ mod tests {
 
     #[test]
     fn generates_valid_xml_at_target_size() {
-        let cfg = XmarkConfig { seed: 1, target_bytes: 64 * 1024 };
+        let cfg = XmarkConfig {
+            seed: 1,
+            target_bytes: 64 * 1024,
+        };
         let xml = generate(&cfg);
-        assert!(xml.len() >= 64 * 1024, "hit the target ({} bytes)", xml.len());
-        assert!(xml.len() < 64 * 1024 + 16 * 1024, "no huge overshoot ({} bytes)", xml.len());
+        assert!(
+            xml.len() >= 64 * 1024,
+            "hit the target ({} bytes)",
+            xml.len()
+        );
+        assert!(
+            xml.len() < 64 * 1024 + 16 * 1024,
+            "no huge overshoot ({} bytes)",
+            xml.len()
+        );
         let doc = Document::parse(&xml).expect("well-formed output");
         assert_eq!(doc.name(doc.root()), Some("site"));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = XmarkConfig { seed: 7, target_bytes: 20_000 };
+        let cfg = XmarkConfig {
+            seed: 7,
+            target_bytes: 20_000,
+        };
         assert_eq!(generate(&cfg), generate(&cfg));
-        let other = XmarkConfig { seed: 8, target_bytes: 20_000 };
+        let other = XmarkConfig {
+            seed: 8,
+            target_bytes: 20_000,
+        };
         assert_ne!(generate(&cfg), generate(&other));
     }
 
     #[test]
     fn all_tags_in_dtd_universe() {
-        let xml = generate(&XmarkConfig { seed: 3, target_bytes: 120_000 });
+        let xml = generate(&XmarkConfig {
+            seed: 3,
+            target_bytes: 120_000,
+        });
         let doc = Document::parse(&xml).unwrap();
         for id in doc.descendants(doc.root()) {
             if let Some(name) = doc.name(id) {
@@ -545,7 +597,10 @@ mod tests {
     #[test]
     fn witnesses_for_experiment_queries_present() {
         // Even a tiny document must contain the query witnesses.
-        let xml = generate(&XmarkConfig { seed: 5, target_bytes: 4_000 });
+        let xml = generate(&XmarkConfig {
+            seed: 5,
+            target_bytes: 4_000,
+        });
         let doc = Document::parse(&xml).unwrap();
         let names: std::collections::HashSet<&str> = doc
             .descendants(doc.root())
@@ -553,9 +608,25 @@ mod tests {
             .filter_map(|id| doc.name(id))
             .collect();
         for needed in [
-            "site", "regions", "europe", "item", "description", "parlist", "listitem",
-            "text", "keyword", "people", "person", "address", "city", "open_auctions",
-            "open_auction", "bidder", "date", "closed_auctions", "closed_auction",
+            "site",
+            "regions",
+            "europe",
+            "item",
+            "description",
+            "parlist",
+            "listitem",
+            "text",
+            "keyword",
+            "people",
+            "person",
+            "address",
+            "city",
+            "open_auctions",
+            "open_auction",
+            "bidder",
+            "date",
+            "closed_auctions",
+            "closed_auction",
         ] {
             assert!(names.contains(needed), "missing witness element {needed}");
         }
@@ -564,14 +635,33 @@ mod tests {
     #[test]
     fn table1_chain_query_has_matches() {
         // /site/regions/europe/item/description/parlist/listitem/text/keyword
-        let xml = generate(&XmarkConfig { seed: 11, target_bytes: 8_000 });
+        let xml = generate(&XmarkConfig {
+            seed: 11,
+            target_bytes: 8_000,
+        });
         let doc = Document::parse(&xml).unwrap();
         let mut frontier = vec![doc.root()];
-        for (i, step) in ["regions", "europe", "item", "description", "parlist", "listitem", "text", "keyword"]
-            .iter()
-            .enumerate()
+        for (i, step) in [
+            "regions",
+            "europe",
+            "item",
+            "description",
+            "parlist",
+            "listitem",
+            "text",
+            "keyword",
+        ]
+        .iter()
+        .enumerate()
         {
-            assert_eq!(doc.name(frontier[0]), if i == 0 { Some("site") } else { doc.name(frontier[0]) });
+            assert_eq!(
+                doc.name(frontier[0]),
+                if i == 0 {
+                    Some("site")
+                } else {
+                    doc.name(frontier[0])
+                }
+            );
             let mut next = Vec::new();
             for &f in &frontier {
                 next.extend(doc.child_elements(f).filter(|&c| doc.name(c) == Some(step)));
@@ -583,9 +673,20 @@ mod tests {
 
     #[test]
     fn size_scales_roughly_linearly() {
-        let small = generate(&XmarkConfig { seed: 9, target_bytes: 30_000 }).len() as f64;
-        let large = generate(&XmarkConfig { seed: 9, target_bytes: 120_000 }).len() as f64;
+        let small = generate(&XmarkConfig {
+            seed: 9,
+            target_bytes: 30_000,
+        })
+        .len() as f64;
+        let large = generate(&XmarkConfig {
+            seed: 9,
+            target_bytes: 120_000,
+        })
+        .len() as f64;
         let ratio = large / small;
-        assert!((3.0..5.5).contains(&ratio), "4x target should give ~4x bytes, got {ratio}");
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "4x target should give ~4x bytes, got {ratio}"
+        );
     }
 }

@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn element_census_is_77() {
-        assert_eq!(DTD_ELEMENTS.len(), 77, "the paper: 'The DTD contains 77 elements'");
+        assert_eq!(
+            DTD_ELEMENTS.len(),
+            77,
+            "the paper: 'The DTD contains 77 elements'"
+        );
         let mut sorted: Vec<&str> = DTD_ELEMENTS.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

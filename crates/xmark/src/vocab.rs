@@ -7,8 +7,9 @@
 
 use ssx_prg::Prg;
 
-const CONSONANTS: &[&str] =
-    &["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z"];
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u"];
 
 /// A fixed list of distinct words plus a cumulative Zipf table.

@@ -166,13 +166,25 @@ fn allowed_children(name: &str) -> Option<&'static [&'static str]> {
 }
 
 /// Elements declared EMPTY (must have no element children or text).
-const EMPTY_ELEMENTS: [&str; 9] =
-    ["edge", "incategory", "itemref", "personref", "seller", "buyer", "author", "interest", "watch"];
+const EMPTY_ELEMENTS: [&str; 9] = [
+    "edge",
+    "incategory",
+    "itemref",
+    "personref",
+    "seller",
+    "buyer",
+    "author",
+    "interest",
+    "watch",
+];
 
 #[test]
 fn generated_documents_conform_to_the_dtd() {
     for (seed, bytes) in [(1u64, 30_000usize), (2, 120_000), (99, 8_000)] {
-        let xml = generate(&XmarkConfig { seed, target_bytes: bytes });
+        let xml = generate(&XmarkConfig {
+            seed,
+            target_bytes: bytes,
+        });
         let doc = Document::parse(&xml).unwrap();
         let mut checked = 0usize;
         for id in doc.descendants(doc.root()) {
@@ -208,14 +220,44 @@ fn generated_documents_conform_to_the_dtd() {
 
 #[test]
 fn pcdata_leaves_have_no_element_children() {
-    let xml = generate(&XmarkConfig { seed: 7, target_bytes: 40_000 });
+    let xml = generate(&XmarkConfig {
+        seed: 7,
+        target_bytes: 40_000,
+    });
     let doc = Document::parse(&xml).unwrap();
     let pcdata_only = [
-        "location", "quantity", "payment", "shipping", "from", "to", "date", "name",
-        "emailaddress", "phone", "street", "city", "province", "zipcode", "country",
-        "homepage", "creditcard", "education", "gender", "business", "age", "privacy",
-        "initial", "current", "increase", "type", "start", "end", "time", "price",
-        "happiness", "reserve",
+        "location",
+        "quantity",
+        "payment",
+        "shipping",
+        "from",
+        "to",
+        "date",
+        "name",
+        "emailaddress",
+        "phone",
+        "street",
+        "city",
+        "province",
+        "zipcode",
+        "country",
+        "homepage",
+        "creditcard",
+        "education",
+        "gender",
+        "business",
+        "age",
+        "privacy",
+        "initial",
+        "current",
+        "increase",
+        "type",
+        "start",
+        "end",
+        "time",
+        "price",
+        "happiness",
+        "reserve",
     ];
     for id in doc.descendants(doc.root()) {
         if let Some(name) = doc.name(id) {

@@ -51,7 +51,11 @@ impl Document {
                 XmlEvent::StartElement { name, .. } => {
                     let id = NodeId(nodes.len() as u32);
                     let parent = stack.last().copied();
-                    nodes.push(Node { kind: NodeKind::Element(name), parent, children: vec![] });
+                    nodes.push(Node {
+                        kind: NodeKind::Element(name),
+                        parent,
+                        children: vec![],
+                    });
                     if let Some(p) = parent {
                         nodes[p.0 as usize].children.push(id);
                     } else {
@@ -115,7 +119,10 @@ impl Document {
 
     /// Number of element nodes.
     pub fn element_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Element(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element(_)))
+            .count()
     }
 
     /// The node's kind.
@@ -305,18 +312,24 @@ mod tests {
             .collect();
         assert_eq!(
             by_name,
-            vec![("a", 1, 4, 0), ("b", 2, 2, 1), ("c", 3, 1, 2), ("d", 4, 3, 1)]
+            vec![
+                ("a", 1, 4, 0),
+                ("b", 2, 2, 1),
+                ("c", 3, 1, 2),
+                ("d", 4, 3, 1)
+            ]
         );
     }
 
     #[test]
     fn descendant_interval_property() {
         // v is a descendant of u iff pre(v) > pre(u) && post(v) < post(u).
-        let doc =
-            Document::parse("<r><a><b/><c><d/></c></a><e><f/></e></r>").unwrap();
+        let doc = Document::parse("<r><a><b/><c><d/></c></a><e><f/></e></r>").unwrap();
         let rows = doc.pre_post_numbering();
-        let lookup: std::collections::HashMap<NodeId, (u32, u32)> =
-            rows.iter().map(|&(id, pre, post, _)| (id, (pre, post))).collect();
+        let lookup: std::collections::HashMap<NodeId, (u32, u32)> = rows
+            .iter()
+            .map(|&(id, pre, post, _)| (id, (pre, post)))
+            .collect();
         for &(u, u_pre, u_post, _) in &rows {
             let descendants: std::collections::HashSet<NodeId> = doc
                 .descendants(u)
@@ -343,7 +356,8 @@ mod tests {
 
     #[test]
     fn serialise_round_trip() {
-        let src = "<site><regions><europe><item><name>Bicycle</name></item></europe></regions></site>";
+        let src =
+            "<site><regions><europe><item><name>Bicycle</name></item></europe></regions></site>";
         let doc = Document::parse(src).unwrap();
         assert_eq!(doc.to_xml(), src);
         let again = Document::parse(&doc.to_xml()).unwrap();

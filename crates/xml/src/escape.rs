@@ -13,7 +13,9 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
 }
 
 fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs = s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
     if !needs {
         return Cow::Borrowed(s);
     }
@@ -52,7 +54,10 @@ pub fn unescape(s: &str) -> Cow<'_, str> {
                     "apos" => out.push('\''),
                     "quot" => out.push('"'),
                     _ if name.starts_with("#x") || name.starts_with("#X") => {
-                        match u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32) {
+                        match u32::from_str_radix(&name[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                        {
                             Some(c) => out.push(c),
                             None => out.push_str(&tail[..=semi]),
                         }
@@ -109,6 +114,9 @@ mod tests {
 
     #[test]
     fn predefined_entities() {
-        assert_eq!(unescape("&lt;tag&gt; &amp; &apos;q&apos; &quot;"), "<tag> & 'q' \"");
+        assert_eq!(
+            unescape("&lt;tag&gt; &amp; &apos;q&apos; &quot;"),
+            "<tag> & 'q' \""
+        );
     }
 }

@@ -66,8 +66,15 @@ impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XmlError::Syntax { pos, msg } => write!(f, "syntax error at byte {pos}: {msg}"),
-            XmlError::MismatchedTag { pos, expected, found } => {
-                write!(f, "mismatched tag at byte {pos}: expected </{expected}>, found </{found}>")
+            XmlError::MismatchedTag {
+                pos,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "mismatched tag at byte {pos}: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
             XmlError::BadDocumentStructure(msg) => write!(f, "bad document structure: {msg}"),
@@ -198,7 +205,10 @@ impl<'a> PullParser<'a> {
             }
             self.pos += 1;
         }
-        Err(XmlError::Syntax { pos: start, msg: "unterminated markup".into() })
+        Err(XmlError::Syntax {
+            pos: start,
+            msg: "unterminated markup".into(),
+        })
     }
 
     /// Skips `<!DOCTYPE …>` including a bracketed internal subset.
@@ -217,7 +227,10 @@ impl<'a> PullParser<'a> {
             }
             self.pos += 1;
         }
-        Err(XmlError::Syntax { pos: start, msg: "unterminated <! declaration".into() })
+        Err(XmlError::Syntax {
+            pos: start,
+            msg: "unterminated <! declaration".into(),
+        })
     }
 
     fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
@@ -238,7 +251,10 @@ impl<'a> PullParser<'a> {
             }
             self.pos += 1;
         }
-        Err(XmlError::Syntax { pos: start, msg: "unterminated CDATA section".into() })
+        Err(XmlError::Syntax {
+            pos: start,
+            msg: "unterminated CDATA section".into(),
+        })
     }
 
     fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
@@ -256,12 +272,19 @@ impl<'a> PullParser<'a> {
         let name = self.read_name()?;
         self.skip_ws();
         if self.pos >= self.input.len() || self.input[self.pos] != b'>' {
-            return Err(XmlError::Syntax { pos: self.pos, msg: "expected '>'".into() });
+            return Err(XmlError::Syntax {
+                pos: self.pos,
+                msg: "expected '>'".into(),
+            });
         }
         self.pos += 1;
         match self.stack.pop() {
             Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
-            Some(open) => Err(XmlError::MismatchedTag { pos: start, expected: open, found: name }),
+            Some(open) => Err(XmlError::MismatchedTag {
+                pos: start,
+                expected: open,
+                found: name,
+            }),
             None => Err(XmlError::Syntax {
                 pos: start,
                 msg: format!("close tag </{name}> with no open element"),
@@ -308,7 +331,10 @@ impl<'a> PullParser<'a> {
                     self.pos += 1;
                     self.skip_ws();
                     let value = self.read_quoted()?;
-                    attributes.push(Attribute { name: attr_name, value });
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
                 }
             }
         }
@@ -320,7 +346,10 @@ impl<'a> PullParser<'a> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(XmlError::Syntax { pos: start, msg: "expected a name".into() });
+            return Err(XmlError::Syntax {
+                pos: start,
+                msg: "expected a name".into(),
+            });
         }
         Ok(self.text[start..self.pos].to_string())
     }
@@ -328,7 +357,10 @@ impl<'a> PullParser<'a> {
     fn read_quoted(&mut self) -> Result<String, XmlError> {
         let quote = *self.input.get(self.pos).ok_or(XmlError::UnexpectedEof)?;
         if quote != b'"' && quote != b'\'' {
-            return Err(XmlError::Syntax { pos: self.pos, msg: "expected quoted value".into() });
+            return Err(XmlError::Syntax {
+                pos: self.pos,
+                msg: "expected quoted value".into(),
+            });
         }
         self.pos += 1;
         let start = self.pos;
@@ -336,7 +368,10 @@ impl<'a> PullParser<'a> {
             self.pos += 1;
         }
         if self.pos >= self.input.len() {
-            return Err(XmlError::Syntax { pos: start, msg: "unterminated attribute".into() });
+            return Err(XmlError::Syntax {
+                pos: start,
+                msg: "unterminated attribute".into(),
+            });
         }
         let raw = &self.text[start..self.pos];
         self.pos += 1;
@@ -372,7 +407,10 @@ mod tests {
     }
 
     fn start(name: &str) -> XmlEvent {
-        XmlEvent::StartElement { name: name.into(), attributes: vec![] }
+        XmlEvent::StartElement {
+            name: name.into(),
+            attributes: vec![],
+        }
     }
 
     fn end(name: &str) -> XmlEvent {
@@ -383,7 +421,13 @@ mod tests {
     fn simple_document() {
         assert_eq!(
             events("<a><b/>hi</a>"),
-            vec![start("a"), start("b"), end("b"), XmlEvent::Text("hi".into()), end("a")]
+            vec![
+                start("a"),
+                start("b"),
+                end("b"),
+                XmlEvent::Text("hi".into()),
+                end("a")
+            ]
         );
     }
 
@@ -410,7 +454,11 @@ mod tests {
     fn cdata_is_text() {
         assert_eq!(
             events("<a><![CDATA[<not> & markup]]></a>"),
-            vec![start("a"), XmlEvent::Text("<not> & markup".into()), end("a")]
+            vec![
+                start("a"),
+                XmlEvent::Text("<not> & markup".into()),
+                end("a")
+            ]
         );
     }
 
@@ -430,7 +478,10 @@ mod tests {
 
     #[test]
     fn eof_with_open_elements_rejected() {
-        assert_eq!(PullParser::parse_all("<a><b>").unwrap_err(), XmlError::UnexpectedEof);
+        assert_eq!(
+            PullParser::parse_all("<a><b>").unwrap_err(),
+            XmlError::UnexpectedEof
+        );
     }
 
     #[test]
@@ -448,7 +499,10 @@ mod tests {
 
     #[test]
     fn close_without_open_rejected() {
-        assert!(matches!(PullParser::parse_all("</a>").unwrap_err(), XmlError::Syntax { .. }));
+        assert!(matches!(
+            PullParser::parse_all("</a>").unwrap_err(),
+            XmlError::Syntax { .. }
+        ));
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub struct Step {
 impl Step {
     /// Convenience constructor for a plain step.
     pub fn new(axis: Axis, test: NodeTest) -> Self {
-        Step { axis, test, predicate: None }
+        Step {
+            axis,
+            test,
+            predicate: None,
+        }
     }
 
     /// `/name`
@@ -95,7 +99,10 @@ impl Query {
     /// Number of `//` (descendant) steps — the quantity the paper's Fig 7
     /// correlates with accuracy loss.
     pub fn descendant_step_count(&self) -> usize {
-        self.steps.iter().filter(|s| s.axis == Axis::Descendant).count()
+        self.steps
+            .iter()
+            .filter(|s| s.axis == Axis::Descendant)
+            .count()
     }
 
     /// True when the query is *absolute*: child steps only. The paper notes
@@ -144,7 +151,11 @@ impl Query {
                     .map(|c| c.to_string())
                     .collect();
                 for (i, c) in chars.iter().enumerate() {
-                    let axis = if i == 0 { Axis::Descendant } else { Axis::Child };
+                    let axis = if i == 0 {
+                        Axis::Descendant
+                    } else {
+                        Axis::Child
+                    };
                     steps.push(Step::new(axis, NodeTest::Name(c.clone())));
                 }
                 if pred.whole_word && !chars.is_empty() {
@@ -224,7 +235,10 @@ mod tests {
         let q = Query::new(vec![Step {
             axis: Axis::Child,
             test: NodeTest::Name("name".into()),
-            predicate: Some(TextPredicate { word: "Joan".into(), whole_word: false }),
+            predicate: Some(TextPredicate {
+                word: "Joan".into(),
+                whole_word: false,
+            }),
         }]);
         let expanded = q.expand_text_predicates();
         assert_eq!(expanded.to_string(), "/name//j/o/a/n");
@@ -236,7 +250,10 @@ mod tests {
         let q = Query::new(vec![Step {
             axis: Axis::Child,
             test: NodeTest::Name("name".into()),
-            predicate: Some(TextPredicate { word: "jo".into(), whole_word: true }),
+            predicate: Some(TextPredicate {
+                word: "jo".into(),
+                whole_word: true,
+            }),
         }]);
         assert_eq!(q.expand_text_predicates().to_string(), "/name//j/o/_");
     }
@@ -246,7 +263,10 @@ mod tests {
         let q = Query::new(vec![Step {
             axis: Axis::Child,
             test: NodeTest::Name("name".into()),
-            predicate: Some(TextPredicate { word: "O'Neil 3".into(), whole_word: false }),
+            predicate: Some(TextPredicate {
+                word: "O'Neil 3".into(),
+                whole_word: false,
+            }),
         }]);
         assert_eq!(q.expand_text_predicates().to_string(), "/name//o/n/e/i/l/3");
     }

@@ -23,7 +23,11 @@ impl std::error::Error for ParseError {}
 /// Parses a query string like `/site/*/person//city` or
 /// `/name[contains(text(), "Joan")]`.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), text: input, pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        text: input,
+        pos: 0,
+    };
     p.skip_ws();
     let mut steps = Vec::new();
     while p.pos < p.input.len() {
@@ -31,7 +35,10 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
         p.skip_ws();
     }
     if steps.is_empty() {
-        return Err(ParseError { pos: 0, msg: "empty query".into() });
+        return Err(ParseError {
+            pos: 0,
+            msg: "empty query".into(),
+        });
     }
     Ok(Query::new(steps))
 }
@@ -47,13 +54,25 @@ impl<'a> Parser<'a> {
         if !self.eat(b'/') {
             return Err(self.err("expected '/'"));
         }
-        let axis = if self.eat(b'/') { Axis::Descendant } else { Axis::Child };
+        let axis = if self.eat(b'/') {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let test = self.node_test()?;
-        let predicate = if self.peek() == Some(b'[') { Some(self.predicate()?) } else { None };
+        let predicate = if self.peek() == Some(b'[') {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
         if predicate.is_some() && !matches!(test, NodeTest::Name(_)) {
             return Err(self.err("text predicates only apply to named steps"));
         }
-        Ok(Step { axis, test, predicate })
+        Ok(Step {
+            axis,
+            test,
+            predicate,
+        })
     }
 
     fn node_test(&mut self) -> Result<NodeTest, ParseError> {
@@ -130,7 +149,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if self.pos >= self.input.len() {
-            return Err(ParseError { pos: start, msg: "unterminated string".into() });
+            return Err(ParseError {
+                pos: start,
+                msg: "unterminated string".into(),
+            });
         }
         let s = self.text[start..self.pos].to_string();
         self.pos += 1;
@@ -174,7 +196,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { pos: self.pos, msg: msg.to_string() }
+        ParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -248,11 +273,26 @@ mod tests {
     fn errors() {
         assert!(parse_query("").is_err());
         assert!(parse_query("site").is_err(), "must start with /");
-        assert!(parse_query("/site/").is_err(), "trailing slash needs a test");
-        assert!(parse_query("/a[contains(text(), \"x\"").is_err(), "unterminated");
-        assert!(parse_query("/a[foo(text(), \"x\")]").is_err(), "unknown function");
-        assert!(parse_query("/*[contains(text(), \"x\")]").is_err(), "predicate on *");
-        assert!(parse_query("/a[contains(text(), \"x)]").is_err(), "unterminated string");
+        assert!(
+            parse_query("/site/").is_err(),
+            "trailing slash needs a test"
+        );
+        assert!(
+            parse_query("/a[contains(text(), \"x\"").is_err(),
+            "unterminated"
+        );
+        assert!(
+            parse_query("/a[foo(text(), \"x\")]").is_err(),
+            "unknown function"
+        );
+        assert!(
+            parse_query("/*[contains(text(), \"x\")]").is_err(),
+            "predicate on *"
+        );
+        assert!(
+            parse_query("/a[contains(text(), \"x)]").is_err(),
+            "unterminated string"
+        );
     }
 
     #[test]

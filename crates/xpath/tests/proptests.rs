@@ -20,13 +20,22 @@ fn arb_step() -> impl Strategy<Value = Step> {
         Just(NodeTest::Parent),
     ];
     let word = "[a-zA-Z]{1,8}";
-    let predicate = proptest::option::of((word, any::<bool>()).prop_map(|(w, ww)| {
-        TextPredicate { word: w, whole_word: ww }
+    let predicate = proptest::option::of((word, any::<bool>()).prop_map(|(w, ww)| TextPredicate {
+        word: w,
+        whole_word: ww,
     }));
     (axis, test, predicate).prop_map(|(axis, test, predicate)| {
         // Predicates only attach to named steps (grammar restriction).
-        let predicate = if matches!(test, NodeTest::Name(_)) { predicate } else { None };
-        Step { axis, test, predicate }
+        let predicate = if matches!(test, NodeTest::Name(_)) {
+            predicate
+        } else {
+            None
+        };
+        Step {
+            axis,
+            test,
+            predicate,
+        }
     })
 }
 

@@ -14,7 +14,10 @@ use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
 
 fn main() {
     // A ~96 KB auction database, deterministic.
-    let xml = generate(&XmarkConfig { seed: 20050902, target_bytes: 96 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 20050902,
+        target_bytes: 96 * 1024,
+    });
     println!("generated XMark-style document: {} bytes", xml.len());
 
     // Client secrets: random injective map over F_83 + a seed.
@@ -48,11 +51,7 @@ fn main() {
 
     println!(
         "{:<32} {:>22} {:>22} {:>22} {:>22}",
-        "query",
-        "non-strict/simple",
-        "strict/simple",
-        "non-strict/advanced",
-        "strict/advanced"
+        "query", "non-strict/simple", "strict/simple", "non-strict/advanced", "strict/advanced"
     );
     for q in queries {
         print!("{q:<32}");

@@ -10,12 +10,12 @@
 //! cargo run --release --example client_server_tcp
 //! ```
 
+use ssxdb::core::protocol::Request;
+use ssxdb::core::transport::Transport;
 use ssxdb::core::{
     encode_document, serve_tcp, AdvancedEngine, ClientFilter, MatchRule, ServerFilter,
     SimpleEngine, TcpTransport,
 };
-use ssxdb::core::protocol::Request;
-use ssxdb::core::transport::Transport;
 use ssxdb::prg::{Prg, Seed};
 use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
 use ssxdb::xpath::parse_query;
@@ -23,11 +23,18 @@ use std::net::TcpListener;
 
 fn main() {
     // --- client side: encode the document, keep the secrets -------------
-    let xml = generate(&XmarkConfig { seed: 7, target_bytes: 24 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 7,
+        target_bytes: 24 * 1024,
+    });
     let map = MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(4)).unwrap();
     let seed = Seed::from_test_key(0xC11E27);
     let out = encode_document(&xml, &map, &seed).unwrap();
-    println!("client encoded {} elements ({} bytes input)", out.stats.elements, xml.len());
+    println!(
+        "client encoded {} elements ({} bytes input)",
+        out.stats.elements,
+        xml.len()
+    );
 
     // --- server side: receives table + public ring parameters only ------
     let server = ServerFilter::new(out.table, out.ring);
@@ -77,7 +84,10 @@ fn main() {
         "\nserver handled {} requests: {} share evaluations, {} polynomials served",
         stats.requests, stats.evaluations, stats.polys_served
     );
-    println!("total traffic seen by the client: {:?}", client.transport_stats());
+    println!(
+        "total traffic seen by the client: {:?}",
+        client.transport_stats()
+    );
 }
 
 use ssxdb::core::MapFile;

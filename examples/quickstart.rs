@@ -32,9 +32,11 @@ fn main() {
     // Encode: the server receives only its shares + tree structure.
     let seed = Seed::from_test_key(2005);
     let mut db = EncryptedDb::encode(xml, map, seed).unwrap();
-    println!("\nencoded {} nodes; server stores {} bytes of shares + structure",
+    println!(
+        "\nencoded {} nodes; server stores {} bytes of shares + structure",
         db.node_count(),
-        db.size_report().data_bytes());
+        db.size_report().data_bytes()
+    );
 
     // Queries under both rules and both engines.
     for (query, why) in [

@@ -27,7 +27,10 @@ fn main() {
     // Transform text into tries (paper fig 2).
     let doc = Document::parse(xml).unwrap();
     let trie_doc = transform_document(&doc, TrieMode::Compressed);
-    println!("after trie transformation ({} element nodes):", trie_doc.element_count());
+    println!(
+        "after trie transformation ({} element nodes):",
+        trie_doc.element_count()
+    );
     println!("{}\n", indent(&trie_doc.to_pretty_xml()));
 
     // Compression statistics (paper §4 claims).
@@ -46,8 +49,10 @@ fn main() {
     );
 
     // Build the combined tag + alphabet map over F_131.
-    let mut names: Vec<String> =
-        ["people", "person", "name", "city"].iter().map(|s| s.to_string()).collect();
+    let mut names: Vec<String> = ["people", "person", "name", "city"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     names.extend(trie_alphabet());
     let map = MapFile::sequential(131, 1, &names).unwrap();
     let seed = Seed::from_test_key(1960); // Fredkin's trie paper
@@ -57,14 +62,28 @@ fn main() {
     // The paper's query translation:
     //   /name[contains(text(), "Joan")]  ->  /name//j/o/a/n
     for (query_text, comment) in [
-        (r#"//name[contains(text(), "Joan")]"#, "substring: matches Joan (prefix of nothing else)"),
-        (r#"//name[contains(text(), "Jo")]"#, "prefix shared by Joan and John"),
-        (r#"//name[word(text(), "jane")]"#, "whole-word match with terminator"),
-        (r#"//city[contains(text(), "Enschede")]"#, "text under a different tag"),
+        (
+            r#"//name[contains(text(), "Joan")]"#,
+            "substring: matches Joan (prefix of nothing else)",
+        ),
+        (
+            r#"//name[contains(text(), "Jo")]"#,
+            "prefix shared by Joan and John",
+        ),
+        (
+            r#"//name[word(text(), "jane")]"#,
+            "whole-word match with terminator",
+        ),
+        (
+            r#"//city[contains(text(), "Enschede")]"#,
+            "text under a different tag",
+        ),
     ] {
         let query = parse_query(query_text).unwrap();
         let expanded = query.expand_text_predicates();
-        let out = db.query(query_text, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let out = db
+            .query(query_text, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
         println!("{query_text}");
         println!("  translated: {expanded}");
         println!("  matches: {} node(s)   ({comment})", out.result.len());

@@ -17,7 +17,7 @@
 //! without them (they only touch what the untrusted server would hold).
 
 use ssxdb::core::{
-    encode_dom, encode_document, serve_tcp, ClientFilter, Engine, EngineKind, MapFile, MatchRule,
+    encode_document, encode_dom, serve_tcp, ClientFilter, Engine, EngineKind, MapFile, MatchRule,
     ServerFilter, TcpTransport,
 };
 use ssxdb::poly::RingCtx;
@@ -104,7 +104,11 @@ impl Args {
                 positionals.push(a);
             }
         }
-        Args { flags, positionals, cursor: 0 }
+        Args {
+            flags,
+            positionals,
+            cursor: 0,
+        }
     }
 
     fn positional(&mut self, what: &str) -> Result<String, String> {
@@ -118,7 +122,10 @@ impl Args {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
@@ -176,13 +183,24 @@ fn keygen(mut args: Args) -> Result<(), String> {
     }
     let seed = Seed::from_bytes(bytes);
     seed.save(&out).map_err(|e| e.to_string())?;
-    println!("wrote seed to {} — keep it secret, it IS the key", out.display());
+    println!(
+        "wrote seed to {} — keep it secret, it IS the key",
+        out.display()
+    );
     Ok(())
 }
 
 fn genmap(mut args: Args) -> Result<(), String> {
-    let p: u64 = args.flag("p").unwrap_or("83").parse().map_err(|_| "bad --p")?;
-    let e: u32 = args.flag("e").unwrap_or("1").parse().map_err(|_| "bad --e")?;
+    let p: u64 = args
+        .flag("p")
+        .unwrap_or("83")
+        .parse()
+        .map_err(|_| "bad --p")?;
+    let e: u32 = args
+        .flag("e")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --e")?;
     let mut names: Vec<String> = if let Some(doc_path) = args.flag("doc") {
         let text = std::fs::read_to_string(doc_path).map_err(|err| err.to_string())?;
         let doc = Document::parse(&text).map_err(|err| err.to_string())?;
@@ -196,7 +214,10 @@ fn genmap(mut args: Args) -> Result<(), String> {
     } else if args.bool("dtd") {
         DTD_ELEMENTS.iter().map(|s| s.to_string()).collect()
     } else if let Some(list) = args.flag("names") {
-        list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+        list.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
     } else {
         return Err("need one of --doc <xml>, --dtd, or --names a,b,c".into());
     };
@@ -216,17 +237,36 @@ fn genmap(mut args: Args) -> Result<(), String> {
     let mut prg = ssxdb::prg::Prg::from_u64(u64::from_le_bytes(key));
     let map = MapFile::random(p, e, &names, &mut prg).map_err(|err| err.to_string())?;
     map.save(&out).map_err(|err| err.to_string())?;
-    println!("wrote map with {} names over F_{p}^{e} to {}", map.len(), out.display());
+    println!(
+        "wrote map with {} names over F_{p}^{e} to {}",
+        map.len(),
+        out.display()
+    );
     Ok(())
 }
 
 fn xmark(mut args: Args) -> Result<(), String> {
-    let bytes: usize = args.flag("bytes").unwrap_or("262144").parse().map_err(|_| "bad --bytes")?;
-    let seed: u64 = args.flag("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let bytes: usize = args
+        .flag("bytes")
+        .unwrap_or("262144")
+        .parse()
+        .map_err(|_| "bad --bytes")?;
+    let seed: u64 = args
+        .flag("seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let out = PathBuf::from(args.positional("out.xml")?);
-    let xml = generate(&XmarkConfig { seed, target_bytes: bytes });
+    let xml = generate(&XmarkConfig {
+        seed,
+        target_bytes: bytes,
+    });
     std::fs::write(&out, &xml).map_err(|e| e.to_string())?;
-    println!("wrote {} bytes of auction data to {}", xml.len(), out.display());
+    println!(
+        "wrote {} bytes of auction data to {}",
+        xml.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -270,11 +310,22 @@ fn info(mut args: Args) -> Result<(), String> {
     let report = table.size_report();
     println!("{}", path.display());
     println!("  rows (elements):    {}", report.rows);
-    println!("  polynomial bytes:   {} ({} per row)", report.poly_bytes, table.poly_len());
-    println!("  structure bytes:    {} ({:.1}% of data)", report.structure_bytes, 100.0 * report.structure_fraction());
+    println!(
+        "  polynomial bytes:   {} ({} per row)",
+        report.poly_bytes,
+        table.poly_len()
+    );
+    println!(
+        "  structure bytes:    {} ({:.1}% of data)",
+        report.structure_bytes,
+        100.0 * report.structure_fraction()
+    );
     println!("  index bytes:        {}", report.index_bytes);
     if let Some(root) = table.root() {
-        println!("  root: pre={} post={} (tree of {} nodes)", root.loc.pre, root.loc.post, report.rows);
+        println!(
+            "  root: pre={} post={} (tree of {} nodes)",
+            root.loc.pre, root.loc.post, report.rows
+        );
     }
     println!("  note: without the map and seed this is all anyone can learn.");
     Ok(())
@@ -298,7 +349,9 @@ fn query(mut args: Args) -> Result<(), String> {
     let mut client = open_db(&args, &db_path)?;
     let engine = parse_engine(&args)?;
     let rule = parse_rule(&args)?;
-    let q = parse_query(&query_text).map_err(|e| e.to_string())?.expand_text_predicates();
+    let q = parse_query(&query_text)
+        .map_err(|e| e.to_string())?
+        .expand_text_predicates();
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())
@@ -306,14 +359,21 @@ fn query(mut args: Args) -> Result<(), String> {
 
 fn serve(mut args: Args) -> Result<(), String> {
     let p: u64 = args.required("p")?.parse().map_err(|_| "bad --p")?;
-    let e: u32 = args.flag("e").unwrap_or("1").parse().map_err(|_| "bad --e")?;
+    let e: u32 = args
+        .flag("e")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --e")?;
     let addr = args.required("addr")?.to_string();
     let db_path = PathBuf::from(args.positional("db.ssxdb")?);
     let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let ring = RingCtx::new(p, e).map_err(|err| err.to_string())?;
     let server = ServerFilter::new(table, ring);
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
-    println!("serving {} on {addr} (Ctrl-C or a Shutdown request stops it)", db_path.display());
+    println!(
+        "serving {} on {addr} (Ctrl-C or a Shutdown request stops it)",
+        db_path.display()
+    );
     let server = serve_tcp(listener, server).map_err(|err| err.to_string())?;
     let stats = server.stats();
     println!(
@@ -331,7 +391,9 @@ fn remote(mut args: Args) -> Result<(), String> {
     let mut client = ClientFilter::new(transport, map, seed).map_err(|e| e.to_string())?;
     let engine = parse_engine(&args)?;
     let rule = parse_rule(&args)?;
-    let q = parse_query(&query_text).map_err(|e| e.to_string())?.expand_text_predicates();
+    let q = parse_query(&query_text)
+        .map_err(|e| e.to_string())?
+        .expand_text_predicates();
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())
@@ -340,17 +402,28 @@ fn remote(mut args: Args) -> Result<(), String> {
 fn print_outcome(query_text: &str, out: &ssxdb::core::QueryOutcome, stats: bool) {
     println!("{query_text}: {} match(es)", out.result.len());
     for loc in &out.result {
-        println!("  node pre={} post={} parent={}", loc.pre, loc.post, loc.parent);
+        println!(
+            "  node pre={} post={} parent={}",
+            loc.pre, loc.post, loc.parent
+        );
     }
     if stats {
         let s = &out.stats;
         println!("stats:");
         println!("  containment tests: {}", s.containment_tests);
         println!("  equality tests:    {}", s.equality_tests);
-        println!("  evaluations:       {} ({} client + {} server)", s.evaluations(), s.client_evals, s.server_evals);
+        println!(
+            "  evaluations:       {} ({} client + {} server)",
+            s.evaluations(),
+            s.client_evals,
+            s.server_evals
+        );
         println!("  polys fetched:     {}", s.polys_fetched);
         println!("  round trips:       {}", s.round_trips);
-        println!("  bytes sent/recv:   {} / {}", s.bytes_sent, s.bytes_received);
+        println!(
+            "  bytes sent/recv:   {} / {}",
+            s.bytes_sent, s.bytes_received
+        );
         println!("  elapsed:           {:?}", s.elapsed);
     }
 }

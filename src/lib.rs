@@ -70,9 +70,10 @@ mod tests {
         use crate::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
         use crate::prg::Seed;
         let map = MapFile::sequential(83, 1, &["a", "b"]).unwrap();
-        let mut db =
-            EncryptedDb::encode("<a><b/></a>", map, Seed::from_test_key(1)).unwrap();
-        let out = db.query("/a/b", EngineKind::Simple, MatchRule::Equality).unwrap();
+        let mut db = EncryptedDb::encode("<a><b/></a>", map, Seed::from_test_key(1)).unwrap();
+        let out = db
+            .query("/a/b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
         assert_eq!(out.result.len(), 1);
     }
 }

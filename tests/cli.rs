@@ -16,7 +16,11 @@ fn workdir(name: &str) -> PathBuf {
 }
 
 fn run(args: &[&str], cwd: &Path) -> (bool, String, String) {
-    let out = Command::new(bin()).args(args).current_dir(cwd).output().expect("spawn ssxdb");
+    let out = Command::new(bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn ssxdb");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -26,7 +30,10 @@ fn run(args: &[&str], cwd: &Path) -> (bool, String, String) {
 
 fn assert_ok(args: &[&str], cwd: &Path) -> String {
     let (ok, stdout, stderr) = run(args, cwd);
-    assert!(ok, "ssxdb {args:?} failed:\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        ok,
+        "ssxdb {args:?} failed:\nstdout: {stdout}\nstderr: {stderr}"
+    );
     stdout
 }
 
@@ -34,10 +41,24 @@ fn assert_ok(args: &[&str], cwd: &Path) -> String {
 fn fixture(name: &str) -> PathBuf {
     let dir = workdir(name);
     assert_ok(&["keygen", "seed.hex"], &dir);
-    assert_ok(&["xmark", "--bytes", "6000", "--seed", "5", "doc.xml"], &dir);
-    assert_ok(&["genmap", "--p", "83", "--doc", "doc.xml", "map.properties"], &dir);
     assert_ok(
-        &["encode", "--map", "map.properties", "--seed", "seed.hex", "doc.xml", "db.ssxdb"],
+        &["xmark", "--bytes", "6000", "--seed", "5", "doc.xml"],
+        &dir,
+    );
+    assert_ok(
+        &["genmap", "--p", "83", "--doc", "doc.xml", "map.properties"],
+        &dir,
+    );
+    assert_ok(
+        &[
+            "encode",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "doc.xml",
+            "db.ssxdb",
+        ],
         &dir,
     );
     dir
@@ -51,8 +72,18 @@ fn full_workflow_and_query() {
 
     let out = assert_ok(
         &[
-            "query", "--map", "map.properties", "--seed", "seed.hex", "--engine", "advanced",
-            "--rule", "equality", "--stats", "db.ssxdb", "/site/regions/europe/item",
+            "query",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--engine",
+            "advanced",
+            "--rule",
+            "equality",
+            "--stats",
+            "db.ssxdb",
+            "/site/regions/europe/item",
         ],
         &dir,
     );
@@ -72,7 +103,15 @@ fn full_workflow_and_query() {
 #[test]
 fn engines_agree_via_cli() {
     let dir = fixture("engines");
-    let base = ["query", "--map", "map.properties", "--seed", "seed.hex", "--rule", "equality"];
+    let base = [
+        "query",
+        "--map",
+        "map.properties",
+        "--seed",
+        "seed.hex",
+        "--rule",
+        "equality",
+    ];
     let q = "//bidder/date";
     let simple = {
         let mut a = base.to_vec();
@@ -85,7 +124,10 @@ fn engines_agree_via_cli() {
         assert_ok(&a, &dir)
     };
     let nodes = |s: &str| -> Vec<String> {
-        s.lines().filter(|l| l.trim_start().starts_with("node pre=")).map(String::from).collect()
+        s.lines()
+            .filter(|l| l.trim_start().starts_with("node pre="))
+            .map(String::from)
+            .collect()
     };
     assert_eq!(nodes(&simple), nodes(&advanced));
     assert!(!nodes(&simple).is_empty());
@@ -101,19 +143,39 @@ fn trie_encode_and_contains_query() {
     .unwrap();
     assert_ok(&["keygen", "seed.hex"], &dir);
     assert_ok(
-        &["genmap", "--p", "131", "--doc", "doc.xml", "--trie-alphabet", "map.properties"],
+        &[
+            "genmap",
+            "--p",
+            "131",
+            "--doc",
+            "doc.xml",
+            "--trie-alphabet",
+            "map.properties",
+        ],
         &dir,
     );
     assert_ok(
         &[
-            "encode", "--map", "map.properties", "--seed", "seed.hex", "--trie", "compressed",
-            "doc.xml", "db.ssxdb",
+            "encode",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--trie",
+            "compressed",
+            "doc.xml",
+            "db.ssxdb",
         ],
         &dir,
     );
     let out = assert_ok(
         &[
-            "query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb",
+            "query",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "db.ssxdb",
             r#"//name[contains(text(), "Joan")]"#,
         ],
         &dir,
@@ -121,7 +183,12 @@ fn trie_encode_and_contains_query() {
     assert!(out.contains("1 match(es)"), "{out}");
     let miss = assert_ok(
         &[
-            "query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb",
+            "query",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "db.ssxdb",
             r#"//name[contains(text(), "zebra")]"#,
         ],
         &dir,
@@ -139,7 +206,9 @@ fn serve_and_remote_query() {
     };
     let addr = format!("127.0.0.1:{port}");
     let mut server = Command::new(bin())
-        .args(["serve", "--p", "83", "--e", "1", "--addr", &addr, "db.ssxdb"])
+        .args([
+            "serve", "--p", "83", "--e", "1", "--addr", &addr, "db.ssxdb",
+        ])
         .current_dir(&dir)
         .stdout(std::process::Stdio::piped())
         .spawn()
@@ -157,8 +226,15 @@ fn serve_and_remote_query() {
 
     let out = assert_ok(
         &[
-            "remote", "--map", "map.properties", "--seed", "seed.hex", "--addr", &addr,
-            "--stats", "/site/regions/europe/item",
+            "remote",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--addr",
+            &addr,
+            "--stats",
+            "/site/regions/europe/item",
         ],
         &dir,
     );
@@ -187,7 +263,15 @@ fn errors_are_reported_not_panicked() {
     // Bad query on a real db.
     let dir = fixture("badquery");
     let (ok, _, err) = run(
-        &["query", "--map", "map.properties", "--seed", "seed.hex", "db.ssxdb", "site"],
+        &[
+            "query",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "db.ssxdb",
+            "site",
+        ],
         &dir,
     );
     assert!(!ok);
@@ -195,8 +279,15 @@ fn errors_are_reported_not_panicked() {
     // Wrong rule keyword.
     let (ok, _, err) = run(
         &[
-            "query", "--map", "map.properties", "--seed", "seed.hex", "--rule", "bogus",
-            "db.ssxdb", "/site",
+            "query",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--rule",
+            "bogus",
+            "db.ssxdb",
+            "/site",
         ],
         &dir,
     );

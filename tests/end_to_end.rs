@@ -8,8 +8,7 @@ use ssxdb::xml::Document;
 use ssxdb::xpath::parse_query;
 
 /// The Table-1 chain queries (lengths 1..=9).
-const TABLE1_FULL: &str =
-    "/site/regions/europe/item/description/parlist/listitem/text/keyword";
+const TABLE1_FULL: &str = "/site/regions/europe/item/description/parlist/listitem/text/keyword";
 
 /// The Table-2 strictness queries.
 const TABLE2: [&str; 5] = [
@@ -22,11 +21,16 @@ const TABLE2: [&str; 5] = [
 
 fn table1_queries() -> Vec<String> {
     let parts: Vec<&str> = TABLE1_FULL.trim_start_matches('/').split('/').collect();
-    (1..=parts.len()).map(|len| format!("/{}", parts[..len].join("/"))).collect()
+    (1..=parts.len())
+        .map(|len| format!("/{}", parts[..len].join("/")))
+        .collect()
 }
 
 fn build(seed_key: u64, bytes: usize) -> (Document, EncryptedDb) {
-    let xml = generate(&XmarkConfig { seed: seed_key, target_bytes: bytes });
+    let xml = generate(&XmarkConfig {
+        seed: seed_key,
+        target_bytes: bytes,
+    });
     let doc = Document::parse(&xml).unwrap();
     let map = MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(17)).unwrap();
     let seed = Seed::from_test_key(seed_key);
@@ -71,7 +75,9 @@ fn table1_results_nonempty_and_nested() {
     let (_, mut db) = build(3, 8 * 1024);
     let mut prev = usize::MAX;
     for q in table1_queries() {
-        let out = db.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let out = db
+            .query(&q, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
         assert!(!out.result.is_empty(), "no matches for {q}");
         // Result sets along the chain stay reasonable (each step narrows the
         // frontier to children of the previous matches).
@@ -84,8 +90,14 @@ fn table1_results_nonempty_and_nested() {
 fn equality_is_subset_of_containment_on_xmark() {
     let (_, mut db) = build(4, 10 * 1024);
     for q in TABLE2 {
-        let e = db.query(q, EngineKind::Simple, MatchRule::Equality).unwrap().pres();
-        let c = db.query(q, EngineKind::Simple, MatchRule::Containment).unwrap().pres();
+        let e = db
+            .query(q, EngineKind::Simple, MatchRule::Equality)
+            .unwrap()
+            .pres();
+        let c = db
+            .query(q, EngineKind::Simple, MatchRule::Containment)
+            .unwrap()
+            .pres();
         assert!(e.iter().all(|p| c.contains(p)), "E ⊄ C for {q}");
     }
 }
@@ -100,13 +112,20 @@ fn advanced_engine_wins_on_table2_costs() {
     let (_, mut db) = build(5, 16 * 1024);
     for q in TABLE2 {
         let query = parse_query(q).unwrap();
-        let simple = db.query(q, EngineKind::Simple, MatchRule::Containment).unwrap();
-        let advanced = db.query(q, EngineKind::Advanced, MatchRule::Containment).unwrap();
+        let simple = db
+            .query(q, EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
+        let advanced = db
+            .query(q, EngineKind::Advanced, MatchRule::Containment)
+            .unwrap();
         let (a, s) = (advanced.stats.evaluations(), simple.stats.evaluations());
         if query.descendant_step_count() > 0 {
             assert!(a < s, "{q}: advanced {a} should beat simple {s}");
         } else {
-            assert!(a as f64 <= s as f64 * 1.25, "{q}: advanced {a} ≫ simple {s}");
+            assert!(
+                a as f64 <= s as f64 * 1.25,
+                "{q}: advanced {a} ≫ simple {s}"
+            );
         }
     }
 }
@@ -114,9 +133,15 @@ fn advanced_engine_wins_on_table2_costs() {
 #[test]
 fn verify_equality_toggle_changes_nothing_on_honest_data() {
     let (_, mut db) = build(6, 6 * 1024);
-    let with = db.query(TABLE2[0], EngineKind::Advanced, MatchRule::Equality).unwrap().pres();
+    let with = db
+        .query(TABLE2[0], EngineKind::Advanced, MatchRule::Equality)
+        .unwrap()
+        .pres();
     db.set_verify_equality(false);
-    let without = db.query(TABLE2[0], EngineKind::Advanced, MatchRule::Equality).unwrap().pres();
+    let without = db
+        .query(TABLE2[0], EngineKind::Advanced, MatchRule::Equality)
+        .unwrap()
+        .pres();
     assert_eq!(with, without);
 }
 

@@ -13,8 +13,14 @@ fn db(xml: &str) -> EncryptedDb {
 }
 
 fn eq(db: &mut EncryptedDb, q: &str) -> Vec<u32> {
-    let a = db.query(q, EngineKind::Simple, MatchRule::Equality).unwrap().pres();
-    let b = db.query(q, EngineKind::Advanced, MatchRule::Equality).unwrap().pres();
+    let a = db
+        .query(q, EngineKind::Simple, MatchRule::Equality)
+        .unwrap()
+        .pres();
+    let b = db
+        .query(q, EngineKind::Advanced, MatchRule::Equality)
+        .unwrap()
+        .pres();
     assert_eq!(a, b, "engines disagree on {q}");
     a
 }
@@ -45,7 +51,11 @@ fn repeated_tags_along_a_path() {
     assert_eq!(eq(&mut db, "/r/a/a"), vec![3]);
     assert_eq!(eq(&mut db, "/r/a/a/a"), vec![4]);
     assert_eq!(eq(&mut db, "/r/a/a/a/a"), Vec::<u32>::new());
-    assert_eq!(eq(&mut db, "//a//a"), vec![3, 4], "all a's strictly below another a");
+    assert_eq!(
+        eq(&mut db, "//a//a"),
+        vec![3, 4],
+        "all a's strictly below another a"
+    );
 }
 
 #[test]
@@ -58,7 +68,11 @@ fn parent_steps_can_climb_and_descend_again() {
     assert_eq!(eq(&mut db, "/r/a/c/../../b/d"), vec![5]);
     // Parent of multiple frontier nodes dedups.
     assert_eq!(eq(&mut db, "//c/.."), vec![2]);
-    assert_eq!(eq(&mut db, "/r/*/../*"), vec![2, 4], "climb to r, expand again");
+    assert_eq!(
+        eq(&mut db, "/r/*/../*"),
+        vec![2, 4],
+        "climb to r, expand again"
+    );
 }
 
 #[test]
@@ -85,7 +99,10 @@ fn containment_on_chains_counts_ancestors() {
     // Under containment, /r/a returns every child of r containing an a —
     // including b, which only wraps one.
     let mut db = db("<r><a/><b><a/></b><c/></r>");
-    let c = db.query("/r/a", EngineKind::Simple, MatchRule::Containment).unwrap().pres();
+    let c = db
+        .query("/r/a", EngineKind::Simple, MatchRule::Containment)
+        .unwrap()
+        .pres();
     assert_eq!(c, vec![2, 3]);
     let e = eq(&mut db, "/r/a");
     assert_eq!(e, vec![2]);
@@ -98,16 +115,11 @@ fn pipelined_mode_agrees_on_fixtures() {
         let mut d1 = db(xml);
         let query = parse_query(q).unwrap();
         for rule in [MatchRule::Containment, MatchRule::Equality] {
-            let bulk =
-                SimpleEngine::run_with_mode(&query, rule, d1.client_mut(), FetchMode::Bulk)
+            let bulk = SimpleEngine::run_with_mode(&query, rule, d1.client_mut(), FetchMode::Bulk)
+                .unwrap();
+            let piped =
+                SimpleEngine::run_with_mode(&query, rule, d1.client_mut(), FetchMode::Pipelined)
                     .unwrap();
-            let piped = SimpleEngine::run_with_mode(
-                &query,
-                rule,
-                d1.client_mut(),
-                FetchMode::Pipelined,
-            )
-            .unwrap();
             assert_eq!(bulk.pres(), piped.pres(), "{q} {rule:?}");
         }
     }
@@ -118,7 +130,9 @@ fn stats_invariants() {
     let mut db = db("<r><a><c/></a><b><d/><e/></b></r>");
     // Containment-only queries: client and server evaluations match 1:1.
     for q in ["/r/a", "//d", "/r/*/c"] {
-        let out = db.query(q, EngineKind::Simple, MatchRule::Containment).unwrap();
+        let out = db
+            .query(q, EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
         assert_eq!(out.stats.client_evals, out.stats.server_evals, "{q}");
         assert_eq!(out.stats.equality_tests, 0, "{q}");
         assert_eq!(out.stats.polys_fetched, 0, "{q}");
@@ -128,7 +142,9 @@ fn stats_invariants() {
         );
     }
     // Equality queries fetch at least one polynomial per test.
-    let out = db.query("/r/a", EngineKind::Simple, MatchRule::Equality).unwrap();
+    let out = db
+        .query("/r/a", EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
     assert!(out.stats.polys_fetched >= out.stats.equality_tests);
 }
 

@@ -26,7 +26,13 @@ fn gf_3_4_database_answers_correctly() {
     // F_81: ring length 80, element codes are base-3 digit packings.
     let mut db = db(3, 4);
     let doc = Document::parse(DOC).unwrap();
-    for q in ["/site/region/item", "//name", "/site//price", "//item/../..", "/site/seller/name"] {
+    for q in [
+        "/site/region/item",
+        "//name",
+        "/site//price",
+        "//item/../..",
+        "/site/seller/name",
+    ] {
         let query = parse_query(q).unwrap();
         for rule in [MatchRule::Containment, MatchRule::Equality] {
             let oracle = reference_eval(&doc, &query, rule).unwrap();
@@ -42,9 +48,13 @@ fn gf_3_4_database_answers_correctly() {
 fn gf_2_8_database_answers_correctly() {
     // F_256: the ring has 255 coefficients; packing is byte-aligned.
     let mut db = db(2, 8);
-    let out = db.query("//item", EngineKind::Advanced, MatchRule::Equality).unwrap();
+    let out = db
+        .query("//item", EngineKind::Advanced, MatchRule::Equality)
+        .unwrap();
     assert_eq!(out.result.len(), 3);
-    let c = db.query("//item", EngineKind::Advanced, MatchRule::Containment).unwrap();
+    let c = db
+        .query("//item", EngineKind::Advanced, MatchRule::Containment)
+        .unwrap();
     assert!(c.result.len() >= out.result.len());
 }
 
@@ -57,7 +67,10 @@ fn extension_field_row_sizes_follow_the_formula() {
     assert_eq!(report.poly_bytes / report.rows, expected);
     // F_256: exactly 255 bytes per row.
     let db256 = db(2, 8);
-    assert_eq!(db256.size_report().poly_bytes / db256.size_report().rows, 255);
+    assert_eq!(
+        db256.size_report().poly_bytes / db256.size_report().rows,
+        255
+    );
 }
 
 #[test]

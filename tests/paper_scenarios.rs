@@ -6,7 +6,10 @@ use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
 use ssxdb::xpath::parse_query;
 
 fn db(bytes: usize) -> EncryptedDb {
-    let xml = generate(&XmarkConfig { seed: 55, target_bytes: bytes });
+    let xml = generate(&XmarkConfig {
+        seed: 55,
+        target_bytes: bytes,
+    });
     let map = MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(8)).unwrap();
     EncryptedDb::encode(&xml, map, Seed::from_test_key(55)).unwrap()
 }
@@ -17,7 +20,9 @@ fn db(bytes: usize) -> EncryptedDb {
 #[test]
 fn root_lookup_is_one_round_trip() {
     let mut db = db(4 * 1024);
-    let out = db.query("/site", EngineKind::Simple, MatchRule::Containment).unwrap();
+    let out = db
+        .query("/site", EngineKind::Simple, MatchRule::Containment)
+        .unwrap();
     assert_eq!(out.result.len(), 1);
     // Root + 1 batched containment evaluation = 2 round trips.
     assert_eq!(out.stats.round_trips, 2);
@@ -29,7 +34,9 @@ fn root_lookup_is_one_round_trip() {
 #[test]
 fn star_step_needs_no_evaluations() {
     let mut db = db(4 * 1024);
-    let starred = db.query("/site/*", EngineKind::Simple, MatchRule::Containment).unwrap();
+    let starred = db
+        .query("/site/*", EngineKind::Simple, MatchRule::Containment)
+        .unwrap();
     // Only the /site test costs evaluations; /* is pure navigation.
     assert_eq!(starred.stats.containment_tests, 1);
     assert_eq!(starred.result.len(), 6, "the six site sections");
@@ -42,8 +49,13 @@ fn star_step_needs_no_evaluations() {
 fn advanced_initial_lookahead_counts() {
     let mut db = db(4 * 1024);
     let q = parse_query("/site/*/person//city").unwrap();
-    let out = db.run(&q, EngineKind::Advanced, MatchRule::Containment).unwrap();
-    assert!(out.stats.containment_tests >= 3, "at least the root look-ahead");
+    let out = db
+        .run(&q, EngineKind::Advanced, MatchRule::Containment)
+        .unwrap();
+    assert!(
+        out.stats.containment_tests >= 3,
+        "at least the root look-ahead"
+    );
     // And the result is non-empty (the generator guarantees a person with
     // an address).
     assert!(!out.result.is_empty());
@@ -55,8 +67,16 @@ fn advanced_initial_lookahead_counts() {
 fn accuracy_shape_matches_fig7() {
     let mut db = db(24 * 1024);
     let acc = |db: &mut EncryptedDb, q: &str| {
-        let e = db.query(q, EngineKind::Advanced, MatchRule::Equality).unwrap().result.len();
-        let c = db.query(q, EngineKind::Advanced, MatchRule::Containment).unwrap().result.len();
+        let e = db
+            .query(q, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap()
+            .result
+            .len();
+        let c = db
+            .query(q, EngineKind::Advanced, MatchRule::Containment)
+            .unwrap()
+            .result
+            .len();
         accuracy_percent(e, c)
     };
     // Absolute chain: every step's containment matches only real tag nodes
@@ -69,7 +89,10 @@ fn accuracy_shape_matches_fig7() {
     let one_desc = acc(&mut db, "/site//europe/item");
     let two_desc = acc(&mut db, "/site//europe//item");
     assert!(deep >= one_desc, "absolute {deep}% >= one-// {one_desc}%");
-    assert!(one_desc >= two_desc, "one-// {one_desc}% >= two-// {two_desc}%");
+    assert!(
+        one_desc >= two_desc,
+        "one-// {one_desc}% >= two-// {two_desc}%"
+    );
     assert!((0.0..=100.0).contains(&two_desc));
 }
 
@@ -83,8 +106,12 @@ fn fig5_constant_factor_gap() {
     let parts: Vec<&str> = chain.trim_start_matches('/').split('/').collect();
     for len in 1..=parts.len() {
         let q = format!("/{}", parts[..len].join("/"));
-        let simple = db.query(&q, EngineKind::Simple, MatchRule::Containment).unwrap();
-        let advanced = db.query(&q, EngineKind::Advanced, MatchRule::Containment).unwrap();
+        let simple = db
+            .query(&q, EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
+        let advanced = db
+            .query(&q, EngineKind::Advanced, MatchRule::Containment)
+            .unwrap();
         assert_eq!(simple.pres(), advanced.pres(), "{q}");
         let s = simple.stats.evaluations().max(1);
         let a = advanced.stats.evaluations().max(1);
@@ -100,7 +127,10 @@ fn fig5_constant_factor_gap() {
 /// a given seed (bit-identical databases).
 #[test]
 fn deterministic_encoding() {
-    let xml = generate(&XmarkConfig { seed: 77, target_bytes: 4 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 77,
+        target_bytes: 4 * 1024,
+    });
     let map = MapFile::random(83, 1, &DTD_ELEMENTS, &mut Prg::from_u64(8)).unwrap();
     let d1 = EncryptedDb::encode(&xml, map.clone(), Seed::from_test_key(9)).unwrap();
     let d2 = EncryptedDb::encode(&xml, map, Seed::from_test_key(9)).unwrap();
@@ -114,9 +144,17 @@ fn deterministic_encoding() {
 #[test]
 fn strictness_shrinks_frontiers() {
     let mut db = db(12 * 1024);
-    for q in ["/site//europe/item", "//bidder/date", "/site/*/person//city"] {
-        let e = db.query(q, EngineKind::Simple, MatchRule::Equality).unwrap();
-        let c = db.query(q, EngineKind::Simple, MatchRule::Containment).unwrap();
+    for q in [
+        "/site//europe/item",
+        "//bidder/date",
+        "/site/*/person//city",
+    ] {
+        let e = db
+            .query(q, EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        let c = db
+            .query(q, EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
         assert!(e.result.len() <= c.result.len(), "{q}");
     }
 }

@@ -21,16 +21,22 @@ fn secrets() -> (MapFile, Seed) {
 
 #[test]
 fn save_load_query_equivalence() {
-    let xml = generate(&XmarkConfig { seed: 31, target_bytes: 8 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 31,
+        target_bytes: 8 * 1024,
+    });
     let (map, seed) = secrets();
     let mut db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
-    let before = db.query("//bidder/date", EngineKind::Advanced, MatchRule::Equality).unwrap();
+    let before = db
+        .query("//bidder/date", EngineKind::Advanced, MatchRule::Equality)
+        .unwrap();
 
     let path = workdir().join("auction.ssxdb");
     db.save(&path).unwrap();
     let mut reloaded = EncryptedDb::load(&path, map, seed).unwrap();
-    let after =
-        reloaded.query("//bidder/date", EngineKind::Advanced, MatchRule::Equality).unwrap();
+    let after = reloaded
+        .query("//bidder/date", EngineKind::Advanced, MatchRule::Equality)
+        .unwrap();
     assert_eq!(before.pres(), after.pres());
     assert_eq!(db.node_count(), reloaded.node_count());
     std::fs::remove_file(&path).ok();
@@ -38,7 +44,10 @@ fn save_load_query_equivalence() {
 
 #[test]
 fn truncated_file_rejected() {
-    let xml = generate(&XmarkConfig { seed: 32, target_bytes: 4 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 32,
+        target_bytes: 4 * 1024,
+    });
     let (map, seed) = secrets();
     let db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
     let path = workdir().join("truncated.ssxdb");
@@ -51,7 +60,10 @@ fn truncated_file_rejected() {
 
 #[test]
 fn flipped_bit_rejected() {
-    let xml = generate(&XmarkConfig { seed: 33, target_bytes: 4 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 33,
+        target_bytes: 4 * 1024,
+    });
     let (map, seed) = secrets();
     let db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
     let path = workdir().join("bitflip.ssxdb");
@@ -69,7 +81,10 @@ fn flipped_bit_rejected() {
 
 #[test]
 fn reloaded_db_with_wrong_seed_cannot_decrypt() {
-    let xml = generate(&XmarkConfig { seed: 34, target_bytes: 4 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 34,
+        target_bytes: 4 * 1024,
+    });
     let (map, seed) = secrets();
     let db = EncryptedDb::encode(&xml, map.clone(), seed).unwrap();
     let path = workdir().join("wrongseed.ssxdb");
@@ -78,7 +93,9 @@ fn reloaded_db_with_wrong_seed_cannot_decrypt() {
     // The structure is public, so navigation works …
     assert!(stolen.node_count() > 0);
     // … but tag tests return garbage: /site never matches.
-    let out = stolen.query("/site", EngineKind::Simple, MatchRule::Containment).unwrap();
+    let out = stolen
+        .query("/site", EngineKind::Simple, MatchRule::Containment)
+        .unwrap();
     assert!(out.result.is_empty(), "wrong seed must not answer queries");
     std::fs::remove_file(&path).ok();
 }

@@ -19,7 +19,13 @@ fn encode(xml: &str, seed_key: u64) -> (Vec<Vec<u64>>, RingCtx) {
         .table
         .rows()
         .iter()
-        .map(|r| packer.unpack_radix(&out.ring, &r.poly).unwrap().coeffs().to_vec())
+        .map(|r| {
+            packer
+                .unpack_radix(&out.ring, &r.poly)
+                .unwrap()
+                .coeffs()
+                .to_vec()
+        })
         .collect();
     (polys, out.ring)
 }
@@ -50,7 +56,10 @@ fn server_share_coefficients_look_uniform() {
         .sum();
     // df = 82; the 99.99% quantile is ≈ 141. Far looser than that would
     // indicate structure leaking into the shares.
-    assert!(chi2 < 150.0, "server shares not uniform: chi2 = {chi2} over {total} coeffs");
+    assert!(
+        chi2 < 150.0,
+        "server shares not uniform: chi2 = {chi2} over {total} coeffs"
+    );
 }
 
 #[test]
@@ -64,7 +73,10 @@ fn identical_subtrees_store_unrelated_rows() {
     // Simplest: no two rows may be equal at all.
     for i in 0..polys.len() {
         for j in (i + 1)..polys.len() {
-            assert_ne!(polys[i], polys[j], "rows {i} and {j} identical — deterministic leak");
+            assert_ne!(
+                polys[i], polys[j],
+                "rows {i} and {j} identical — deterministic leak"
+            );
         }
     }
 }
@@ -106,8 +118,12 @@ fn structure_is_the_only_public_information() {
     let xml = "<site><a><b/></a><c/></site>";
     let map1 = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
     let map2 = MapFile::sequential(83, 1, &["c", "b", "a", "site"]).unwrap(); // different values
-    let t1 = encode_document(xml, &map1, &Seed::from_test_key(1)).unwrap().table;
-    let t2 = encode_document(xml, &map2, &Seed::from_test_key(2)).unwrap().table;
+    let t1 = encode_document(xml, &map1, &Seed::from_test_key(1))
+        .unwrap()
+        .table;
+    let t2 = encode_document(xml, &map2, &Seed::from_test_key(2))
+        .unwrap()
+        .table;
     let locs1: Vec<_> = t1.rows().iter().map(|r| r.loc).collect();
     let locs2: Vec<_> = t2.rows().iter().map(|r| r.loc).collect();
     assert_eq!(locs1, locs2, "structure must be independent of the secrets");

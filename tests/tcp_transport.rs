@@ -4,7 +4,7 @@
 use ssxdb::core::protocol::Request;
 use ssxdb::core::transport::Transport;
 use ssxdb::core::{
-    encode_document, serve_tcp, ClientFilter, EngineKind, Engine, LocalTransport, MapFile,
+    encode_document, serve_tcp, ClientFilter, Engine, EngineKind, LocalTransport, MapFile,
     MatchRule, ServerFilter, TcpTransport,
 };
 use ssxdb::prg::{Prg, Seed};
@@ -19,7 +19,10 @@ fn secrets() -> (MapFile, Seed) {
 
 #[test]
 fn local_and_tcp_agree() {
-    let xml = generate(&XmarkConfig { seed: 10, target_bytes: 6 * 1024 });
+    let xml = generate(&XmarkConfig {
+        seed: 10,
+        target_bytes: 6 * 1024,
+    });
     let (map, seed) = secrets();
     let out = encode_document(&xml, &map, &seed).unwrap();
 
@@ -36,7 +39,11 @@ fn local_and_tcp_agree() {
     let mut tcp_client =
         ClientFilter::new(TcpTransport::connect(addr).unwrap(), map, seed).unwrap();
 
-    for q in ["/site//europe/item", "//bidder/date", "/site/*/person//city"] {
+    for q in [
+        "/site//europe/item",
+        "//bidder/date",
+        "/site/*/person//city",
+    ] {
         let query = parse_query(q).unwrap();
         for rule in [MatchRule::Containment, MatchRule::Equality] {
             for kind in [EngineKind::Simple, EngineKind::Advanced] {
@@ -44,7 +51,10 @@ fn local_and_tcp_agree() {
                 let b = Engine::run(kind, rule, &query, &mut tcp_client).unwrap();
                 assert_eq!(a.pres(), b.pres(), "{q} {kind:?} {rule:?}");
                 // Same protocol work regardless of the wire.
-                assert_eq!(a.stats.round_trips, b.stats.round_trips, "{q} {kind:?} {rule:?}");
+                assert_eq!(
+                    a.stats.round_trips, b.stats.round_trips,
+                    "{q} {kind:?} {rule:?}"
+                );
                 assert_eq!(a.stats.bytes_sent, b.stats.bytes_sent, "{q}");
                 assert_eq!(a.stats.bytes_received, b.stats.bytes_received, "{q}");
             }

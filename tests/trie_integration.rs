@@ -24,9 +24,15 @@ fn build(xml: &str, mode: TrieMode) -> (Document, EncryptedDb) {
 fn oracle_contains(doc: &Document, tag: &str, prefix: &str) -> bool {
     doc.descendants(doc.root()).into_iter().any(|id| {
         doc.name(id) == Some(tag)
-            && doc.descendants(id).into_iter().filter_map(|d| doc.text(d)).any(|t| {
-                split_words(t).iter().any(|w| w.starts_with(&prefix.to_lowercase()))
-            })
+            && doc
+                .descendants(id)
+                .into_iter()
+                .filter_map(|d| doc.text(d))
+                .any(|t| {
+                    split_words(t)
+                        .iter()
+                        .any(|w| w.starts_with(&prefix.to_lowercase()))
+                })
     })
 }
 
@@ -37,11 +43,18 @@ fn contains_queries_match_oracle() {
         <person><name>John Smith</name><note>slow boat</note></person>\
     </people>";
     let (doc, mut db) = build(xml, TrieMode::Compressed);
-    for (word, _expect_hits) in
-        [("Joan", 1), ("John", 2), ("jo", 2), ("smith", 1), ("zebra", 0), ("ship", 1)]
-    {
+    for (word, _expect_hits) in [
+        ("Joan", 1),
+        ("John", 2),
+        ("jo", 2),
+        ("smith", 1),
+        ("zebra", 0),
+        ("ship", 1),
+    ] {
         let q = format!(r#"//name[contains(text(), "{word}")]"#);
-        let out = db.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let out = db
+            .query(&q, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
         let found = !out.result.is_empty();
         assert_eq!(
             found,
@@ -57,15 +70,27 @@ fn whole_word_vs_prefix() {
     let (_, mut db) = build(xml, TrieMode::Compressed);
     // Prefix "anna" matches both words; whole word only matches "anna".
     let prefix = db
-        .query(r#"//name[contains(text(), "anna")]"#, EngineKind::Simple, MatchRule::Equality)
+        .query(
+            r#"//name[contains(text(), "anna")]"#,
+            EngineKind::Simple,
+            MatchRule::Equality,
+        )
         .unwrap();
     assert!(!prefix.result.is_empty());
     let whole = db
-        .query(r#"//name[word(text(), "anna")]"#, EngineKind::Simple, MatchRule::Equality)
+        .query(
+            r#"//name[word(text(), "anna")]"#,
+            EngineKind::Simple,
+            MatchRule::Equality,
+        )
         .unwrap();
     assert!(!whole.result.is_empty());
     let whole_miss = db
-        .query(r#"//name[word(text(), "annab")]"#, EngineKind::Simple, MatchRule::Equality)
+        .query(
+            r#"//name[word(text(), "annab")]"#,
+            EngineKind::Simple,
+            MatchRule::Equality,
+        )
         .unwrap();
     assert!(whole_miss.result.is_empty(), "annab is not a whole word");
 }
@@ -77,8 +102,12 @@ fn compressed_and_uncompressed_answer_alike() {
     let (_, mut dbu) = build(xml, TrieMode::Uncompressed);
     for word in ["alpha", "beta", "gamma", "delta", "alp"] {
         let q = format!(r#"//note[contains(text(), "{word}")]"#);
-        let c = dbc.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
-        let u = dbu.query(&q, EngineKind::Advanced, MatchRule::Equality).unwrap();
+        let c = dbc
+            .query(&q, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
+        let u = dbu
+            .query(&q, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
         assert_eq!(
             c.result.is_empty(),
             u.result.is_empty(),
@@ -103,6 +132,12 @@ fn uncompressed_preserves_multiplicity_in_size() {
 fn tag_queries_still_work_on_trie_documents() {
     let xml = "<people><person><name>Joan</name></person></people>";
     let (_, mut db) = build(xml, TrieMode::Compressed);
-    let out = db.query("/people/person/name", EngineKind::Simple, MatchRule::Equality).unwrap();
+    let out = db
+        .query(
+            "/people/person/name",
+            EngineKind::Simple,
+            MatchRule::Equality,
+        )
+        .unwrap();
     assert_eq!(out.result.len(), 1);
 }

@@ -1,0 +1,107 @@
+//! Workspace bring-up smoke test: exercises the end-to-end encode → query
+//! path through every facade re-export, across both engines and both match
+//! rules, so a manifest or feature change that silently drops a crate from
+//! the build (or a re-export from the facade) fails here rather than only
+//! in deeper suites.
+
+use ssxdb::core::{EncryptedDb, EngineKind, MapFile, MatchRule};
+use ssxdb::prg::Seed;
+
+const XML: &str = "<library>\
+       <shelf><book><title/></book><book/></shelf>\
+       <shelf><book/></shelf>\
+       <office><book/></office>\
+     </library>";
+
+fn build() -> EncryptedDb {
+    let map = MapFile::sequential(83, 1, &["library", "shelf", "book", "title", "office"])
+        .expect("map file");
+    EncryptedDb::encode(XML, map, Seed::from_test_key(7)).expect("encode")
+}
+
+#[test]
+fn every_engine_and_rule_combination_answers_correctly() {
+    let mut db = build();
+    // (query, expected hits) — exact under Equality; Containment may
+    // over-approximate but never under-approximate (E ⊆ C).
+    let cases: [(&str, usize); 4] = [
+        ("/library/shelf/book", 3),
+        ("/library//book", 4),
+        ("//book/title", 1),
+        ("//office//book", 1),
+    ];
+    for kind in [EngineKind::Simple, EngineKind::Advanced] {
+        for rule in [MatchRule::Containment, MatchRule::Equality] {
+            for (query, expect) in cases {
+                let out = db.query(query, kind, rule).expect("query");
+                if rule == MatchRule::Equality {
+                    assert_eq!(out.result.len(), expect, "{query} under {kind:?}/{rule:?}");
+                } else {
+                    assert!(
+                        out.result.len() >= expect,
+                        "{query} under {kind:?}/{rule:?}: containment returned \
+                         {} < {expect} (must over-approximate, never drop hits)",
+                        out.result.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_per_rule() {
+    let mut db = build();
+    for rule in [MatchRule::Containment, MatchRule::Equality] {
+        for (query, _) in [
+            ("/library/shelf/book", 0),
+            ("/library//book", 0),
+            ("//book", 0),
+            ("/library/*/book", 0),
+        ] {
+            let simple = db
+                .query(query, EngineKind::Simple, rule)
+                .expect("simple")
+                .pres();
+            let advanced = db
+                .query(query, EngineKind::Advanced, rule)
+                .expect("advanced")
+                .pres();
+            assert_eq!(simple, advanced, "{query} under {rule:?}");
+        }
+    }
+}
+
+/// Touches each re-exported crate once, pinning the facade's crate map: a
+/// workspace edit that drops a member from the dependency graph breaks this
+/// file at compile time.
+#[test]
+fn facade_reexports_cover_all_crates() {
+    let field = ssxdb::field::FieldCtx::new(83, 1).expect("field");
+    assert_eq!(field.order(), 83);
+
+    let ring = ssxdb::poly::RingCtx::new(5, 1).expect("ring");
+    assert_eq!(ring.field().order(), 5);
+
+    let mut prg = ssxdb::prg::Prg::from_u64(9);
+    let _ = prg.next_u64();
+
+    let doc = ssxdb::xml::Document::parse("<a><b/></a>").expect("xml");
+    assert_eq!(doc.element_count(), 2);
+
+    let q = ssxdb::xpath::parse_query("/a//b").expect("xpath");
+    assert_eq!(q.len(), 2);
+
+    let trie = ssxdb::trie::Trie::from_words(&["ab".to_string(), "ac".to_string()]);
+    assert_eq!(trie.terminal_count(), 2);
+
+    let tree = ssxdb::store::BTree::new();
+    assert_eq!(tree.len(), 0);
+
+    assert_eq!(ssxdb::xmark::DTD_ELEMENTS.len(), 77);
+
+    let hits = build()
+        .query("/library", EngineKind::Advanced, MatchRule::Equality)
+        .expect("core query");
+    assert_eq!(hits.result.len(), 1);
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! This build environment has no network access and no pre-populated cargo
+//! registry, so the real `criterion` cannot be fetched. This crate implements
+//! the API subset the workspace's five bench targets use — `Criterion`,
+//! `BenchmarkGroup` (`sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock measurement loop instead of the real
+//! statistical machinery.
+//!
+//! Each benchmark is calibrated by doubling the iteration count until the
+//! measured window exceeds ~`50ms` (tunable via `CRITERION_STUB_MS`), then
+//! the mean ns/iter is printed. Results are indicative, not rigorous; the
+//! point is that `cargo bench` runs and reports comparable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring the real API shape.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's calibration loop does not
+    /// use discrete samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.0),
+            self.throughput,
+            &bencher,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    report(label, throughput, &bencher);
+}
+
+fn report(label: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    let Some((iters, elapsed)) = bencher.measurement else {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    };
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mbps = b as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            format!("  ({mbps:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(e)) => {
+            let eps = e as f64 / (ns / 1e9);
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {ns:>14.1} ns/iter  [{iters} iters]{rate}");
+}
+
+/// Measures one closure; created by the driver, used via [`Bencher::iter`].
+#[derive(Default)]
+pub struct Bencher {
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Calibrates and times `f`, recording total iterations and elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let target = target_window();
+        let started = Instant::now();
+        let mut total_iters = 0u64;
+        let mut batch = 1u64;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+            let elapsed = started.elapsed();
+            if elapsed >= target || total_iters >= (1 << 24) {
+                self.measurement = Some((total_iters, elapsed));
+                return;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+}
+
+fn target_window() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms)
+}
+
+/// A benchmark identifier: function name and/or parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units for derived-rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Declares a group function invoking each target with a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group. CLI arguments (e.g. the filter and
+/// `--bench` that `cargo bench` passes) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("CRITERION_STUB_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * x)
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 1u64 + 1));
+    }
+}
