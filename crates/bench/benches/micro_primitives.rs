@@ -49,6 +49,35 @@ fn ring_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dual representation: pointwise O(n) products and O(1) evaluations
+/// against their coefficient-domain counterparts, plus the boundary
+/// transforms themselves.
+fn eval_domain_ops(c: &mut Criterion) {
+    let ring = RingCtx::new(83, 1).unwrap();
+    let mut prg = Prg::from_u64(1);
+    let a = random_poly(&ring, &mut prg);
+    let b2 = random_poly(&ring, &mut prg);
+    let ea = ring.to_evals(&a);
+    let eb = ring.to_evals(&b2);
+    let mut group = c.benchmark_group("evaldom_f83");
+    group.bench_function("mul_pointwise", |b| {
+        let mut acc = ea.clone();
+        b.iter(|| {
+            ring.eval_mul_assign(black_box(&mut acc), black_box(&eb));
+        })
+    });
+    group.bench_function("mul_linear_pointwise", |b| {
+        let mut acc = ea.clone();
+        b.iter(|| {
+            ring.eval_mul_linear_assign(black_box(&mut acc), 17);
+        })
+    });
+    group.bench_function("eval_o1", |b| b.iter(|| ring.eval_at(black_box(&ea), 55)));
+    group.bench_function("to_evals", |b| b.iter(|| ring.to_evals(black_box(&a))));
+    group.bench_function("from_evals", |b| b.iter(|| ring.from_evals(black_box(&ea))));
+    group.finish();
+}
+
 fn sharing_ops(c: &mut Criterion) {
     let ring = RingCtx::new(83, 1).unwrap();
     let seed = Seed::from_test_key(3);
@@ -88,6 +117,10 @@ fn equality_test_ops(c: &mut Criterion) {
     });
     group.bench_function("extract_root_verified", |b| {
         b.iter(|| extract_root(&ring, black_box(&f), black_box(&g), true))
+    });
+    let (fe, ge) = (ring.to_evals(&f), ring.to_evals(&g));
+    group.bench_function("extract_root_evals_verified", |b| {
+        b.iter(|| ssx_poly::extract_root_evals(&ring, black_box(&fe), black_box(&ge), true))
     });
     group.finish();
 }
@@ -140,6 +173,7 @@ criterion_group!(
     benches,
     field_ops,
     ring_ops,
+    eval_domain_ops,
     sharing_ops,
     equality_test_ops,
     packing_ops,

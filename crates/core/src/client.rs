@@ -12,9 +12,15 @@ use crate::error::CoreError;
 use crate::map::MapFile;
 use crate::protocol::{Request, Response};
 use crate::transport::{Transport, TransportStats};
-use ssx_poly::{extract_root, random_poly, reconstruct, Packer, RingCtx, RingPoly, RootOutcome};
+use ssx_poly::{extract_root_evals, random_poly, EvalPoly, Packer, RingCtx, RingPoly, RootOutcome};
 use ssx_prg::{node_prg, Seed};
 use ssx_store::Loc;
+use std::collections::HashMap;
+
+/// Default capacity of the bounded client-share cache (shares, not bytes):
+/// at the paper's `q = 83` this is ~2.7 MB — generous for a thin client yet
+/// bounded regardless of database size.
+pub const DEFAULT_SHARE_CACHE_CAP: usize = 4096;
 
 /// Client-side cost counters; the per-query deltas become [`crate::engine::QueryStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,10 +37,75 @@ pub struct ClientStats {
     pub shares_regenerated: u64,
     /// Client shares served from the optional cache instead of the PRG.
     pub share_cache_hits: u64,
+    /// Cache lookups that missed (share had to be regenerated).
+    pub share_cache_misses: u64,
+    /// Cached shares evicted to stay within the capacity cap.
+    pub share_cache_evictions: u64,
     /// Full polynomials fetched from the server.
     pub polys_fetched: u64,
     /// Polynomial reconstructions (share additions).
     pub reconstructions: u64,
+}
+
+/// A fixed-capacity clock (second-chance) cache of regenerated client
+/// shares, keyed by `pre`. O(1) amortised get/insert, no allocation after
+/// warm-up, and a hard memory bound of `cap · (q − 1)` words — the
+/// share-cache policy the ROADMAP called for.
+struct ShareCache {
+    cap: usize,
+    /// `(pre, share, referenced-since-last-sweep)` slots.
+    entries: Vec<(u32, RingPoly, bool)>,
+    index: HashMap<u32, usize>,
+    hand: usize,
+}
+
+impl ShareCache {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        ShareCache {
+            cap,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    fn get(&mut self, pre: u32) -> Option<&RingPoly> {
+        let &i = self.index.get(&pre)?;
+        self.entries[i].2 = true;
+        Some(&self.entries[i].1)
+    }
+
+    /// Inserts a share, returning `true` when an older entry was evicted.
+    fn insert(&mut self, pre: u32, share: RingPoly) -> bool {
+        if self.index.contains_key(&pre) {
+            return false;
+        }
+        if self.entries.len() < self.cap {
+            self.index.insert(pre, self.entries.len());
+            self.entries.push((pre, share, true));
+            return false;
+        }
+        // Clock sweep: give referenced entries a second chance, replace the
+        // first unreferenced one.
+        loop {
+            let slot = &mut self.entries[self.hand];
+            if slot.2 {
+                slot.2 = false;
+                self.hand = (self.hand + 1) % self.cap;
+                continue;
+            }
+            self.index.remove(&slot.0);
+            *slot = (pre, share, true);
+            self.index.insert(pre, self.hand);
+            self.hand = (self.hand + 1) % self.cap;
+            return true;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// The `ClientFilter`.
@@ -45,15 +116,15 @@ pub struct ClientFilter<T: Transport> {
     seed: Seed,
     map: MapFile,
     stats: ClientStats,
-    /// Verify equality-test quotients with a full ring multiplication.
-    /// Exact but `O(n²)`; on by default (tests), disabled in timing runs.
+    /// Verify equality-test quotients against every evaluation point.
+    /// Exact; on by default (tests), disabled in timing runs.
     pub verify_equality: bool,
-    /// Optional memo of regenerated client shares, keyed by `pre`. Off by
-    /// default — the paper's thin client holds one node at a time — but a
-    /// client with memory to spare trades `O(visited · (q−1))` words for
-    /// skipping repeat PRG regenerations (queries revisit nodes across
-    /// steps and look-ahead prunes).
-    share_cache: Option<std::collections::HashMap<u32, RingPoly>>,
+    /// Optional bounded memo of regenerated client shares. Off by default —
+    /// the paper's thin client holds one node at a time — but a client with
+    /// memory to spare trades a capped `cap · (q−1)` words for skipping
+    /// repeat PRG regenerations (queries revisit nodes across steps and
+    /// look-ahead prunes).
+    share_cache: Option<ShareCache>,
 }
 
 impl<T: Transport> ClientFilter<T> {
@@ -73,14 +144,30 @@ impl<T: Transport> ClientFilter<T> {
         })
     }
 
-    /// Enables or disables the client-share cache (disabled = the paper's
-    /// thin-client memory profile). Disabling clears any cached shares.
+    /// Enables (at [`DEFAULT_SHARE_CACHE_CAP`]) or disables the client-share
+    /// cache (disabled = the paper's thin-client memory profile). Disabling
+    /// clears any cached shares.
     pub fn set_share_cache(&mut self, enabled: bool) {
         self.share_cache = if enabled {
-            Some(std::collections::HashMap::new())
+            Some(ShareCache::new(DEFAULT_SHARE_CACHE_CAP))
         } else {
             None
         };
+    }
+
+    /// Enables the share cache with an explicit capacity (in shares);
+    /// `cap = 0` disables it. Replacing the cache clears it.
+    pub fn set_share_cache_capacity(&mut self, cap: usize) {
+        self.share_cache = if cap == 0 {
+            None
+        } else {
+            Some(ShareCache::new(cap))
+        };
+    }
+
+    /// The configured cache capacity (`None` when disabled).
+    pub fn share_cache_capacity(&self) -> Option<usize> {
+        self.share_cache.as_ref().map(|c| c.cap)
     }
 
     /// Number of shares currently cached.
@@ -235,14 +322,20 @@ impl<T: Transport> ClientFilter<T> {
             return Err(CoreError::Transport("GetPolys length mismatch".into()));
         }
         self.stats.polys_fetched += polys.len() as u64;
-        // Reconstruct node polynomial and the product of children.
-        let f = self.reconstruct_node(pres[0], &polys[0])?;
-        let mut g = self.ring.one();
+        // Reconstruct the node polynomial and the product of its children in
+        // the evaluation domain. Per child the dominant cost stays O(n²) —
+        // the wire format is coefficient-domain, so each dense reconstructed
+        // sum pays one forward transform — but the transform is table-ops
+        // cheap, the fold itself is O(n) pointwise, and verified root
+        // extraction drops from an O(n²) ring multiply to O(n) component
+        // checks.
+        let f = self.reconstruct_node_evals(pres[0], &polys[0])?;
+        let mut g = self.ring.evals_one();
         for (pre, packed) in pres[1..].iter().zip(&polys[1..]) {
-            let child = self.reconstruct_node(*pre, packed)?;
-            g = self.ring.mul(&g, &child);
+            let child = self.reconstruct_node_evals(*pre, packed)?;
+            self.ring.eval_mul_assign(&mut g, &child);
         }
-        match extract_root(&self.ring, &f, &g, self.verify_equality) {
+        match extract_root_evals(&self.ring, &f, &g, self.verify_equality) {
             RootOutcome::Root(t) => Ok(Some(t)),
             RootOutcome::Inconsistent => Err(CoreError::Corrupt(format!(
                 "node pre={} does not factor as (x - t) * children",
@@ -260,27 +353,33 @@ impl<T: Transport> ClientFilter<T> {
             .ok_or(CoreError::Indeterminate { pre: loc.pre })
     }
 
-    fn reconstruct_node(&mut self, pre: u32, packed: &[u8]) -> Result<RingPoly, CoreError> {
-        let server = self.packer.unpack_radix(&self.ring, packed)?;
+    /// Reconstructs `server + client` for one node and lifts it into the
+    /// evaluation domain (the representation the equality test runs in).
+    fn reconstruct_node_evals(&mut self, pre: u32, packed: &[u8]) -> Result<EvalPoly, CoreError> {
+        let mut sum = self.packer.unpack_radix(&self.ring, packed)?;
         let client = self.client_share(pre);
+        self.ring.add_assign(&mut sum, &client);
         self.stats.reconstructions += 1;
-        Ok(reconstruct(&self.ring, &client, &server))
+        Ok(self.ring.to_evals(&sum))
     }
 
     /// Regenerates the client share of node `pre` from the seed (or serves
     /// it from the cache when enabled).
     fn client_share(&mut self, pre: u32) -> RingPoly {
-        if let Some(cache) = &self.share_cache {
-            if let Some(share) = cache.get(&pre) {
+        if let Some(cache) = &mut self.share_cache {
+            if let Some(share) = cache.get(pre) {
                 self.stats.share_cache_hits += 1;
                 return share.clone();
             }
+            self.stats.share_cache_misses += 1;
         }
         self.stats.shares_regenerated += 1;
         let mut prg = node_prg(&self.seed, pre as u64);
         let share = random_poly(&self.ring, &mut prg);
         if let Some(cache) = &mut self.share_cache {
-            cache.insert(pre, share.clone());
+            if cache.insert(pre, share.clone()) {
+                self.stats.share_cache_evictions += 1;
+            }
         }
         share
     }
@@ -468,6 +567,44 @@ mod tests {
         // Disabling clears the memo.
         cached.set_share_cache(false);
         assert_eq!(cached.cached_shares(), 0);
+    }
+
+    #[test]
+    fn share_cache_capacity_bounds_memory_and_evicts() {
+        let mut c = client();
+        c.set_share_cache_capacity(2);
+        assert_eq!(c.share_cache_capacity(), Some(2));
+        let root = c.root().unwrap().unwrap();
+        let vb = c.value_of("b").unwrap();
+        let all = {
+            let mut v = vec![root];
+            v.extend(c.descendants(root).unwrap());
+            v
+        };
+        assert!(all.len() > 2, "fixture must exceed the cap");
+        // Repeated sweeps over 5 nodes through a 2-slot cache: the cache
+        // never exceeds its cap and must evict.
+        let mut uncached = client();
+        for _ in 0..3 {
+            let a = c.containment_many(&all, vb).unwrap();
+            let b = uncached.containment_many(&all, vb).unwrap();
+            assert_eq!(a, b, "bounded cache must stay transparent");
+            assert!(c.cached_shares() <= 2);
+        }
+        let s = c.stats();
+        assert!(s.share_cache_evictions > 0, "{s:?}");
+        assert_eq!(
+            s.share_cache_misses, s.shares_regenerated,
+            "every miss regenerates"
+        );
+        assert_eq!(
+            s.share_cache_hits + s.share_cache_misses,
+            3 * all.len() as u64
+        );
+        // cap = 0 disables.
+        c.set_share_cache_capacity(0);
+        assert_eq!(c.share_cache_capacity(), None);
+        assert_eq!(c.cached_shares(), 0);
     }
 
     #[test]

@@ -6,10 +6,17 @@
 //! split into a PRG client share and a server share, and the server share is
 //! stored as a `(pre, post, parent, poly)` row. The client share is
 //! discarded — it is regenerated from `(seed, pre)` at query time.
+//!
+//! The accumulators live in the **evaluation domain** ([`ssx_poly::EvalPoly`]):
+//! folding a finished child into its parent and applying `(x − map(tag))`
+//! are both `O(q)` pointwise passes instead of `O(q²)` convolutions. The
+//! polynomial returns to coefficient form only at the wire/storage boundary
+//! (one inverse transform per node, just before the share split), so the
+//! packed bytes are bit-identical to the coefficient-domain encoding.
 
 use crate::error::CoreError;
 use crate::map::MapFile;
-use ssx_poly::{random_poly, Packer, RingCtx, RingPoly};
+use ssx_poly::{random_poly_into, EvalPoly, Packer, RingCtx, RingPoly};
 use ssx_prg::{node_prg, Seed};
 use ssx_store::{Loc, Row, Table};
 use ssx_xml::{Document, NodeKind, PullParser, XmlEvent};
@@ -46,7 +53,14 @@ struct Frame {
     pre: u32,
     parent_pre: u32,
     tag_value: u64,
-    acc: RingPoly,
+    /// Product of the finished children, kept in the evaluation domain so
+    /// each fold is `O(q)` pointwise.
+    acc: EvalPoly,
+    /// Elements already folded into `acc` (children subtree sizes). With
+    /// `d` linear factors the node polynomial has exact degree
+    /// `min(d, n−1)`, which bounds the inverse-transform work at the
+    /// storage boundary.
+    subtree_elems: usize,
 }
 
 /// Incremental encoder; drive it with [`Encoder::start`]/[`Encoder::end`].
@@ -60,6 +74,10 @@ struct Encoder<'a> {
     pre: u32,
     post: u32,
     max_depth: usize,
+    /// Scratch coefficient buffers reused across nodes; the per-node loop
+    /// allocates only the packed wire bytes.
+    scratch_node: RingPoly,
+    scratch_client: RingPoly,
 }
 
 impl<'a> Encoder<'a> {
@@ -67,6 +85,8 @@ impl<'a> Encoder<'a> {
         let ring = RingCtx::new(map.p(), map.e())?;
         let packer = Packer::new(&ring);
         let table = Table::new(packer.radix_len());
+        let scratch_node = ring.zero();
+        let scratch_client = ring.zero();
         Ok(Encoder {
             ring,
             packer,
@@ -77,6 +97,8 @@ impl<'a> Encoder<'a> {
             pre: 0,
             post: 0,
             max_depth: 0,
+            scratch_node,
+            scratch_client,
         })
     }
 
@@ -88,7 +110,8 @@ impl<'a> Encoder<'a> {
             pre: self.pre,
             parent_pre,
             tag_value,
-            acc: self.ring.one(),
+            acc: self.ring.evals_one(),
+            subtree_elems: 0,
         });
         self.max_depth = self.max_depth.max(self.stack.len());
         Ok(())
@@ -97,23 +120,35 @@ impl<'a> Encoder<'a> {
     fn end(&mut self) -> Result<(), CoreError> {
         let frame = self.stack.pop().expect("end without start");
         self.post += 1;
-        // f = (x - map(tag)) * product(children)
-        let f = self.ring.mul_linear(&frame.acc, frame.tag_value);
-        // Split: client share from PRG(seed, pre), server share = f - client.
+        // f = (x - map(tag)) * product(children), pointwise in the
+        // evaluation domain.
+        let mut f = frame.acc;
+        self.ring.eval_mul_linear_assign(&mut f, frame.tag_value);
+        let factors = frame.subtree_elems + 1;
+        // Wire/storage boundary: back to coefficient form — bounded by the
+        // node's exact degree — then split: client share from
+        // PRG(seed, pre), server share = f - client.
+        self.ring
+            .from_evals_bounded_into(&f, factors, &mut self.scratch_node);
         let mut prg = node_prg(self.seed, frame.pre as u64);
-        let client = random_poly(&self.ring, &mut prg);
-        let server = self.ring.sub(&f, &client);
+        random_poly_into(&self.ring, &mut prg, &mut self.scratch_client);
+        self.ring
+            .sub_assign(&mut self.scratch_node, &self.scratch_client);
         self.table.insert(Row {
             loc: Loc {
                 pre: frame.pre,
                 post: self.post,
                 parent: frame.parent_pre,
             },
-            poly: self.packer.pack_radix(&server).into_boxed_slice(),
+            poly: self
+                .packer
+                .pack_radix(&self.scratch_node)
+                .into_boxed_slice(),
         })?;
         // Fold the finished polynomial into the parent's accumulator.
         if let Some(parent) = self.stack.last_mut() {
-            parent.acc = self.ring.mul(&parent.acc, &f);
+            self.ring.eval_mul_assign(&mut parent.acc, &f);
+            parent.subtree_elems += factors;
         }
         Ok(())
     }
@@ -199,7 +234,7 @@ pub fn encode_dom(doc: &Document, map: &MapFile, seed: &Seed) -> Result<EncodeOu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssx_poly::reconstruct;
+    use ssx_poly::{random_poly, reconstruct};
 
     fn setup() -> (MapFile, Seed) {
         let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();

@@ -58,6 +58,12 @@ pub struct QueryStats {
     pub server_evals: u64,
     /// Full polynomials transferred for equality tests.
     pub polys_fetched: u64,
+    /// Client-share cache hits (0 when the cache is disabled).
+    pub share_cache_hits: u64,
+    /// Client-share cache misses (0 when the cache is disabled).
+    pub share_cache_misses: u64,
+    /// Client-share cache evictions under the capacity cap.
+    pub share_cache_evictions: u64,
     /// Protocol round trips.
     pub round_trips: u64,
     /// Request bytes.
@@ -137,6 +143,10 @@ impl StatWindow {
                 client_evals: c.client_evals - self.client_before.client_evals,
                 server_evals: c.server_evals - self.client_before.server_evals,
                 polys_fetched: c.polys_fetched - self.client_before.polys_fetched,
+                share_cache_hits: c.share_cache_hits - self.client_before.share_cache_hits,
+                share_cache_misses: c.share_cache_misses - self.client_before.share_cache_misses,
+                share_cache_evictions: c.share_cache_evictions
+                    - self.client_before.share_cache_evictions,
                 round_trips: t.round_trips - self.transport_before.round_trips,
                 bytes_sent: t.bytes_sent - self.transport_before.bytes_sent,
                 bytes_received: t.bytes_received - self.transport_before.bytes_received,

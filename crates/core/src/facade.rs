@@ -92,9 +92,17 @@ impl EncryptedDb {
     }
 
     /// Toggle the client-share cache (memory for speed; transparent to
-    /// query results).
+    /// query results). Enabling uses
+    /// [`crate::client::DEFAULT_SHARE_CACHE_CAP`].
     pub fn set_share_cache(&mut self, enabled: bool) {
         self.client.set_share_cache(enabled);
+    }
+
+    /// Enable the client-share cache with an explicit capacity (in shares);
+    /// `cap = 0` disables it. The cache is a bounded clock cache: memory
+    /// stays under `cap · (q − 1)` words no matter the database size.
+    pub fn set_share_cache_capacity(&mut self, cap: usize) {
+        self.client.set_share_cache_capacity(cap);
     }
 
     /// Persists the server table. The map and seed are *not* written — they

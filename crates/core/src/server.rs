@@ -8,10 +8,15 @@
 //! patterns, never tag names or plaintext polynomials.
 
 use crate::protocol::{Request, Response};
-use ssx_poly::{Packer, RingCtx};
+use ssx_poly::{EvalPoly, Packer, RingCtx};
 use ssx_store::{Loc, Table};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+
+/// Upper bound on decoded evaluation-domain rows kept in memory. Each entry
+/// costs `q − 1` words; at the paper's `q = 83` a full cache of this size is
+/// ~0.7 GB — beyond it the server still answers, it just re-decodes.
+const EVAL_CACHE_MAX_ENTRIES: usize = 1 << 20;
 
 /// Server-side counters (reported by benches and the TCP example).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,6 +25,9 @@ pub struct ServerStats {
     pub requests: u64,
     /// Single-point share evaluations performed.
     pub evaluations: u64,
+    /// Evaluations answered from the decoded evaluation-domain cache
+    /// (an O(1) component lookup instead of unpack + Horner).
+    pub eval_cache_hits: u64,
     /// Packed polynomials served to the client.
     pub polys_served: u64,
     /// Cursors opened.
@@ -36,6 +44,11 @@ pub struct ServerFilter {
     stats: ServerStats,
     cursors: HashMap<u32, VecDeque<Loc>>,
     next_cursor: u32,
+    /// Rows decoded into the evaluation domain on first touch: every later
+    /// evaluation of that share is an O(1) lookup ("the big server will do
+    /// the buffering", §5.2). The stored table keeps the packed coefficient
+    /// form — this cache is derived data, never persisted.
+    eval_cache: HashMap<u32, EvalPoly>,
 }
 
 impl ServerFilter {
@@ -55,6 +68,7 @@ impl ServerFilter {
             stats: ServerStats::default(),
             cursors: HashMap::new(),
             next_cursor: 1,
+            eval_cache: HashMap::new(),
         }
     }
 
@@ -76,12 +90,21 @@ impl ServerFilter {
     /// Evaluates the stored share of `pre` at `point`. The point is
     /// validated first — it arrives from the network and must not reach the
     /// ring arithmetic out of range.
+    ///
+    /// The first evaluation of a row unpacks it and transforms it into the
+    /// evaluation domain; every subsequent evaluation at any nonzero point
+    /// is then an O(1) component lookup instead of a Horner pass.
     fn eval_one(&mut self, pre: u32, point: u64) -> Result<u64, String> {
         if !self.ring.field().is_valid(point) {
             return Err(format!(
                 "evaluation point {point} outside F_{}",
                 self.ring.field().order()
             ));
+        }
+        if let Some(evals) = self.eval_cache.get(&pre) {
+            self.stats.evaluations += 1;
+            self.stats.eval_cache_hits += 1;
+            return Ok(self.ring.eval_at(evals, point));
         }
         let row = self
             .table
@@ -91,8 +114,13 @@ impl ServerFilter {
             .packer
             .unpack_radix(&self.ring, &row.poly)
             .map_err(|e| format!("row pre={pre}: {e}"))?;
+        let evals = self.ring.to_evals(&poly);
+        let value = self.ring.eval_at(&evals, point);
+        if self.eval_cache.len() < EVAL_CACHE_MAX_ENTRIES {
+            self.eval_cache.insert(pre, evals);
+        }
         self.stats.evaluations += 1;
-        Ok(self.ring.eval(&poly, point))
+        Ok(value)
     }
 
     /// Handles one request. Never panics on malformed input — errors travel
@@ -253,6 +281,33 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(s.stats().cursor_items, 4);
+    }
+
+    #[test]
+    fn repeat_evaluations_hit_the_eval_cache() {
+        let mut s = server();
+        // First eval of a row decodes it; later evals (any point) are hits.
+        for point in [3u64, 7, 11, 3] {
+            match s.handle(&Request::Eval { pre: 1, point }) {
+                Response::Value(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(s.stats().evaluations, 4);
+        assert_eq!(s.stats().eval_cache_hits, 3);
+        // Cached answers must agree with a fresh server's.
+        let mut fresh = server();
+        for point in 1..83u64 {
+            let a = match s.handle(&Request::Eval { pre: 2, point }) {
+                Response::Value(v) => v,
+                other => panic!("{other:?}"),
+            };
+            let b = match fresh.handle(&Request::Eval { pre: 2, point }) {
+                Response::Value(v) => v,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(a, b, "point={point}");
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Wire/storage-format regression: the evaluation-domain encoder must emit
+//! **bit-identical** packed bytes to the original coefficient-domain
+//! encoder.
+//!
+//! The hex snapshots below were captured from the pre-dual-representation
+//! build (PR 1, coefficient-domain `mul`/`mul_linear` throughout). Any drift
+//! here means the evaluation-domain fast path changed on-disk/on-wire data —
+//! a compatibility break, not a refactor.
+
+use ssx_core::{encode_document, MapFile};
+use ssx_poly::{random_poly, Packer, RingCtx};
+use ssx_prg::{node_prg, Seed};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The figure-1 worked example over `F_5` (map: a=2, b=1, c=3): the document
+/// whose node polynomials §3 computes by hand — `<b><c/></b>` is the
+/// middle-left `(x−1)(x−3)`, the second `<b>` the middle-right product, the
+/// root `a` the reduced square.
+#[test]
+fn figure1_example_bytes_unchanged() {
+    let map = MapFile::sequential(5, 1, &["b", "a", "c"]).unwrap();
+    let seed = Seed::from_test_key(1);
+    let out = encode_document("<a><b><c/></b><b><c/><a/></b></a>", &map, &seed).unwrap();
+    // (pre, packed server share) snapshot from the coefficient-form baseline.
+    let baseline = [
+        (1u32, "3f01"),
+        (2, "0402"),
+        (3, "6302"),
+        (4, "8a01"),
+        (5, "0000"),
+        (6, "9900"),
+    ];
+    assert_eq!(out.table.len(), baseline.len());
+    for (pre, expected) in baseline {
+        let row = out.table.by_pre(pre).unwrap();
+        assert_eq!(hex(&row.poly), expected, "pre={pre}");
+    }
+}
+
+/// The paper's `q = 83` configuration on a small document, same pinning.
+#[test]
+fn f83_bytes_unchanged() {
+    let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+    let seed = Seed::from_test_key(11);
+    let out = encode_document("<site><a><b/><b/></a><c/></site>", &map, &seed).unwrap();
+    let baseline = [
+        (
+            1u32,
+            "eb68a1b567e40764bce08920e6ca0368984fe34354b5b907cad874763f4806d6e634\
+             50bede4c0dabe9aa6b92bccb49a352ce5a657b3b72494f9df523208b61ee0603",
+        ),
+        (
+            2,
+            "1ae431402514a7ac046d8163930a22487ebe981999ff40ccd06d61a3283d9e30c0b9\
+             af60cdf24c98d1069c88da5281e85f7969bec0e8d9ee07656f9fc9d5081b5f04",
+        ),
+        (
+            3,
+            "41c3a34781bb23318924594473d7fbba0db9840c926d6cb05353ea6b2ee40736656c\
+             cb4032eeadd65303c65330b7b5a13bb3ffa030d60c1d887fbd70876dfa214000",
+        ),
+        (
+            4,
+            "e026be05509b0d743fde9543212c049acb7b5f1ff444e30d46c7af2917418f713151\
+             bfebaa221cd4a226791d99cda746c4336bb23ca854c710dbc7e87d142a674901",
+        ),
+        (
+            5,
+            "3b681be68af47bd92bcae0abc3d5e0c0c81a45aaa670e0b78589fc16c3444311f64e\
+             28a2ccf317d008ed265a044f59a2beed1d60e3936c3ece96b1beb0e00c7bf805",
+        ),
+    ];
+    assert_eq!(out.table.len(), baseline.len());
+    for (pre, expected) in baseline {
+        let row = out.table.by_pre(pre).unwrap();
+        assert_eq!(hex(&row.poly), expected, "pre={pre}");
+    }
+}
+
+/// Independent recomputation: build every node polynomial with the
+/// *coefficient-domain* ring operations (`mul_linear`/`mul`), split with the
+/// same PRG draws, and require byte equality with the evaluation-domain
+/// encoder's table. This proves conversion happens only at the pack/unpack
+/// boundary — the two domains are the same ring element.
+#[test]
+fn coefficient_domain_recomputation_matches_encoder() {
+    let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+    let seed = Seed::from_test_key(11);
+    let out = encode_document("<site><a><b/><b/></a><c/></site>", &map, &seed).unwrap();
+    let ring = RingCtx::new(83, 1).unwrap();
+    let packer = Packer::new(&ring);
+    let v = |n: &str| map.value(n).unwrap();
+    // Plaintext polynomials by hand, coefficient domain only.
+    let b1 = ring.linear(v("b"));
+    let b2 = ring.linear(v("b"));
+    let a = ring.mul_linear(&ring.mul(&b1, &b2), v("a"));
+    let c = ring.linear(v("c"));
+    let site = ring.mul_linear(&ring.mul(&a, &c), v("site"));
+    // pre numbering: site=1, a=2, b=3, b=4, c=5.
+    for (pre, plain) in [(1u32, &site), (2, &a), (3, &b1), (4, &b2), (5, &c)] {
+        let client = random_poly(&ring, &mut node_prg(&seed, pre as u64));
+        let server = ring.sub(plain, &client);
+        let expected = packer.pack_radix(&server);
+        let row = out.table.by_pre(pre).unwrap();
+        assert_eq!(&row.poly[..], &expected[..], "pre={pre}");
+    }
+}

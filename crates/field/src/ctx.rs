@@ -7,8 +7,28 @@
 //! and `O(e^2)` digit work for extensions.
 
 use crate::fp_poly::{find_irreducible, is_irreducible, FpPoly};
-use crate::primality::{inv_mod_prime, is_prime_u64, mul_mod};
+use crate::primality::{is_prime_u64, mul_mod};
 use std::fmt;
+
+/// Distinct prime factors of `n` by trial division (`n ≤ 2^24`, so the scan
+/// is at most 4096 candidates).
+fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
 
 /// Maximum supported extension degree. Extension elements are manipulated in
 /// fixed stack buffers of this size.
@@ -61,8 +81,23 @@ impl fmt::Display for FieldError {
 
 impl std::error::Error for FieldError {}
 
+/// Precomputed multiplicative structure of `F_q^*`: powers of a fixed
+/// generator and discrete logarithms. Built once per context (`O(q)` time
+/// and space; `q ≤ 2^24` by [`MAX_ORDER`]), it turns `mul`/`inv`/`pow` into
+/// table lookups that are uniform across prime and extension fields — no
+/// per-call dispatch on `e`, no 128-bit `%`, no digit unpacking.
+struct MulTables {
+    /// The chosen generator `g`: the smallest element code of
+    /// multiplicative order `q − 1`.
+    generator: u64,
+    /// `exp[i] = g^i` for `i in 0..n`, `n = q − 1`.
+    exp: Vec<u32>,
+    /// `log[a] = i` with `g^i = a` for `a in 1..q`; index 0 is unused.
+    log: Vec<u32>,
+}
+
 /// A finite field `F_{p^e}` with elements encoded as dense `u64` codes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct FieldCtx {
     p: u64,
     e: u32,
@@ -72,7 +107,31 @@ pub struct FieldCtx {
     modulus: Vec<u64>,
     /// `p^i` for `i in 0..e` (code packing radix powers).
     p_pows: Vec<u64>,
+    /// Shared exp/log tables (cheap to clone).
+    tables: std::sync::Arc<MulTables>,
 }
+
+impl fmt::Debug for FieldCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FieldCtx")
+            .field("p", &self.p)
+            .field("e", &self.e)
+            .field("q", &self.q)
+            .field("modulus", &self.modulus)
+            .field("generator", &self.tables.generator)
+            .finish()
+    }
+}
+
+impl PartialEq for FieldCtx {
+    fn eq(&self, other: &Self) -> bool {
+        // The tables are derived data: two contexts are the same field iff
+        // their defining parameters agree.
+        self.p == other.p && self.e == other.e && self.modulus == other.modulus
+    }
+}
+
+impl Eq for FieldCtx {}
 
 impl FieldCtx {
     /// Constructs `F_{p^e}`, deterministically choosing the modulus for
@@ -133,12 +192,79 @@ impl FieldCtx {
             p_pows.push(acc);
             acc = acc.saturating_mul(p);
         }
-        FieldCtx {
+        let mut ctx = FieldCtx {
             p,
             e,
             q,
             modulus,
             p_pows,
+            tables: std::sync::Arc::new(MulTables {
+                generator: 1,
+                exp: Vec::new(),
+                log: Vec::new(),
+            }),
+        };
+        ctx.tables = std::sync::Arc::new(ctx.build_tables());
+        ctx
+    }
+
+    /// Multiplication from first principles (digit arithmetic / `mul_mod`),
+    /// used only while the tables are being built.
+    fn raw_mul(&self, a: u64, b: u64) -> u64 {
+        if self.e == 1 {
+            mul_mod(a, b, self.p)
+        } else {
+            self.ext_mul(a, b)
+        }
+    }
+
+    fn raw_pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.raw_mul(acc, base);
+            }
+            base = self.raw_mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Smallest element code generating the cyclic group `F_q^*`: `g` is a
+    /// generator iff `g^{n/r} ≠ 1` for every prime `r | n`.
+    fn find_generator(&self) -> u64 {
+        let n = self.q - 1;
+        if n == 1 {
+            return 1;
+        }
+        let factors = distinct_prime_factors(n);
+        'candidate: for g in 2..self.q {
+            for &r in &factors {
+                if self.raw_pow(g, n / r) == 1 {
+                    continue 'candidate;
+                }
+            }
+            return g;
+        }
+        unreachable!("F_q^* is cyclic, so a generator exists")
+    }
+
+    fn build_tables(&self) -> MulTables {
+        let n = (self.q - 1) as usize;
+        let generator = self.find_generator();
+        let mut exp = vec![0u32; n];
+        let mut log = vec![0u32; self.q as usize];
+        let mut acc = 1u64;
+        for (i, slot) in exp.iter_mut().enumerate() {
+            *slot = acc as u32;
+            log[acc as usize] = i as u32;
+            acc = self.raw_mul(acc, generator);
+        }
+        debug_assert_eq!(acc, 1, "generator must have order q - 1");
+        MulTables {
+            generator,
+            exp,
+            log,
         }
     }
 
@@ -277,29 +403,34 @@ impl FieldCtx {
         self.sub(0, a)
     }
 
-    /// Multiplication.
+    /// Multiplication: one table-indexed exponent addition, uniform across
+    /// prime and extension fields.
     #[inline]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(self.is_valid(a) && self.is_valid(b));
-        if self.e == 1 {
-            mul_mod(a, b, self.p)
-        } else {
-            self.ext_mul(a, b)
+        if a == 0 || b == 0 {
+            return 0;
         }
+        let t = &*self.tables;
+        let n = self.q - 1;
+        let s = t.log[a as usize] as u64 + t.log[b as usize] as u64;
+        t.exp[(if s >= n { s - n } else { s }) as usize] as u64
     }
 
-    /// Multiplicative inverse; `None` for zero.
+    /// Multiplicative inverse; `None` for zero. `g^{-k} = g^{n-k}`.
+    #[inline]
     pub fn inv(&self, a: u64) -> Option<u64> {
         debug_assert!(self.is_valid(a));
         if a == 0 {
             return None;
         }
-        if self.e == 1 {
-            inv_mod_prime(a, self.p)
+        let t = &*self.tables;
+        let la = t.log[a as usize] as u64;
+        Some(if la == 0 {
+            1
         } else {
-            // Fermat: a^(q-2). q is small so this is at most ~24 squarings.
-            Some(self.pow(a, self.q - 2))
-        }
+            t.exp[(self.q - 1 - la) as usize] as u64
+        })
     }
 
     /// Division `a / b`; `None` when `b` is zero.
@@ -307,18 +438,43 @@ impl FieldCtx {
         self.inv(b).map(|ib| self.mul(a, ib))
     }
 
-    /// Exponentiation by square-and-multiply.
-    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+    /// Exponentiation: one multiplication in the exponent group `Z_{q-1}`.
+    pub fn pow(&self, base: u64, exp: u64) -> u64 {
         debug_assert!(self.is_valid(base));
-        let mut acc = self.one();
-        while exp > 0 {
-            if exp & 1 == 1 {
-                acc = self.mul(acc, base);
-            }
-            base = self.mul(base, base);
-            exp >>= 1;
+        if base == 0 {
+            return if exp == 0 { 1 } else { 0 };
         }
-        acc
+        let n = (self.q - 1) as u128;
+        let la = self.tables.log[base as usize] as u128;
+        self.tables.exp[((la * exp as u128) % n) as usize] as u64
+    }
+
+    /// A fixed generator of the cyclic group `F_q^*` — the evaluation-point
+    /// basis of the dual (evaluation-domain) polynomial representation.
+    #[inline]
+    pub fn generator(&self) -> u64 {
+        self.tables.generator
+    }
+
+    /// Discrete logarithm base [`FieldCtx::generator`]: the unique
+    /// `k ∈ [0, q−1)` with `g^k = a`. `None` for zero, which lies outside
+    /// the multiplicative group. O(1) table lookup.
+    #[inline]
+    pub fn dlog(&self, a: u64) -> Option<u64> {
+        debug_assert!(self.is_valid(a));
+        if a == 0 {
+            None
+        } else {
+            Some(self.tables.log[a as usize] as u64)
+        }
+    }
+
+    /// `generator()^k` for `k ∈ [0, q−1)` — the inverse of
+    /// [`FieldCtx::dlog`]. O(1) table lookup.
+    #[inline]
+    pub fn generator_pow(&self, k: u64) -> u64 {
+        debug_assert!(k < self.q - 1);
+        self.tables.exp[k as usize] as u64
     }
 
     #[inline]
@@ -454,6 +610,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn generator_and_dlog_invert_each_other() {
+        for (p, e) in [(2u64, 1u32), (5, 1), (29, 1), (83, 1), (2, 2), (3, 3)] {
+            let f = FieldCtx::new(p, e).unwrap();
+            let g = f.generator();
+            let n = f.order() - 1;
+            // g generates: the dlog of every nonzero element is defined and
+            // generator_pow inverts it.
+            let mut seen = std::collections::HashSet::new();
+            for a in f.nonzero_elements() {
+                let k = f.dlog(a).unwrap();
+                assert!(k < n, "p={p} e={e}");
+                assert_eq!(f.generator_pow(k), a);
+                assert!(seen.insert(k), "dlog must be injective");
+            }
+            assert_eq!(f.dlog(0), None);
+            assert_eq!(f.dlog(g), if n == 1 { Some(0) } else { Some(1) });
+            assert_eq!(f.pow(g, n), 1, "Lagrange on the generator");
+        }
+    }
+
+    #[test]
+    fn table_mul_matches_first_principles() {
+        // Exhaustive cross-check of the table path against digit/`mul_mod`
+        // arithmetic for one prime and one extension field.
+        for (p, e) in [(83u64, 1u32), (3, 3)] {
+            let f = FieldCtx::new(p, e).unwrap();
+            for a in f.elements() {
+                for b in f.elements() {
+                    assert_eq!(f.mul(a, b), f.raw_mul(a, b), "p={p} e={e} {a}*{b}");
+                }
+                assert_eq!(f.pow(a, 5), f.raw_pow(a, 5));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let f = FieldCtx::new(5, 1).unwrap();
+        assert_eq!(f.pow(0, 0), 1, "0^0 = 1 by convention");
+        assert_eq!(f.pow(0, 7), 0);
+        assert_eq!(f.pow(3, 0), 1);
+        // Exponents far beyond q - 1 reduce correctly.
+        assert_eq!(f.pow(2, u64::MAX), f.pow(2, u64::MAX % 4));
     }
 
     #[test]

@@ -5,10 +5,20 @@
 //! equality test. The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31,
 //! 37}` is proven deterministic for all `n < 3.317e24`, which covers `u64`.
 
-/// Multiplies `a * b mod m` without overflow using 128-bit intermediates.
+/// Multiplies `a * b mod m` without overflow.
+///
+/// When the operands are already reduced and `m` fits in 32 bits — the
+/// field-arithmetic hot path, where `m = p ≤ 2^24` — the product fits in a
+/// `u64` and a single native reduction suffices. The 128-bit intermediate
+/// path remains for large moduli (Miller–Rabin witnesses on `u64`
+/// candidates) and unreduced operands.
 #[inline]
 pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
-    ((a as u128 * b as u128) % m as u128) as u64
+    if m < (1 << 32) && a < m && b < m {
+        (a * b) % m
+    } else {
+        ((a as u128 * b as u128) % m as u128) as u64
+    }
 }
 
 /// Computes `base^exp mod m` by square-and-multiply.
@@ -128,6 +138,30 @@ mod tests {
                     naive = mul_mod(naive, b, m);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mul_mod_fast_and_wide_paths_agree() {
+        // Small modulus, reduced operands: fast u64 path.
+        assert_eq!(mul_mod(82, 82, 83), (82 * 82) % 83);
+        // Small modulus, unreduced operands: must still be exact.
+        assert_eq!(mul_mod(1 << 40, 1 << 40, 97), {
+            let m = ((1u128 << 80) % 97) as u64;
+            m
+        });
+        // Boundary: m just below and above 2^32.
+        let m_small = (1u64 << 32) - 1;
+        let m_large = (1u64 << 32) + 15;
+        for (a, b) in [(m_small - 1, m_small - 2), (123_456_789, 987_654_321)] {
+            assert_eq!(
+                mul_mod(a, b, m_small),
+                ((a as u128 * b as u128) % m_small as u128) as u64
+            );
+            assert_eq!(
+                mul_mod(a, b, m_large),
+                ((a as u128 * b as u128) % m_large as u128) as u64
+            );
         }
     }
 

@@ -26,13 +26,15 @@
 //! faster bit-aligned packing is provided for comparison (ablation bench).
 
 pub mod dense;
+pub mod evaldom;
 pub mod packing;
 pub mod ring;
 pub mod root;
 pub mod share;
 
 pub use dense::DensePoly;
+pub use evaldom::EvalPoly;
 pub use packing::{radix_len, PackError, Packer};
 pub use ring::{RingCtx, RingError, RingPoly};
-pub use root::{extract_root, RootOutcome};
-pub use share::{random_poly, reconstruct, split_with_prg};
+pub use root::{extract_root, extract_root_evals, RootOutcome};
+pub use share::{random_poly, random_poly_into, reconstruct, split_with_prg};

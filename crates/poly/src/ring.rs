@@ -55,11 +55,19 @@ impl From<FieldError> for RingError {
 
 /// Context for `F_q[x]/(x^{q-1} − 1)`: the field plus derived constants.
 ///
-/// Cheap to clone (the field context is shared behind an [`Arc`]).
+/// Cheap to clone (the field context is shared behind an [`Arc`]). Besides
+/// the coefficient representation, the context owns the evaluation-point
+/// basis `g^0, g^1, …, g^{n−1}` (generator `g` of `F_q^*`) of the dual
+/// evaluation-domain representation — see [`crate::evaldom`].
 #[derive(Clone, Debug)]
 pub struct RingCtx {
     field: Arc<FieldCtx>,
     n: usize,
+    /// `points[k] = g^k` — the DFT twiddle/evaluation points.
+    pub(crate) points: Arc<[u64]>,
+    /// `(q − 1)^{-1}` as a field element (always `p − 1`, since
+    /// `q − 1 ≡ −1 (mod p)`); scales the inverse transform.
+    pub(crate) n_inv: u64,
 }
 
 impl RingCtx {
@@ -75,9 +83,15 @@ impl RingCtx {
         if n == 0 || n > MAX_RING_LEN {
             return Err(RingError::RingTooLarge(n));
         }
+        let points: Arc<[u64]> = (0..n).map(|k| field.generator_pow(k)).collect();
+        let n_inv = field
+            .inv(n % field.p())
+            .expect("q - 1 ≡ -1 (mod p) is invertible");
         Ok(RingCtx {
             field: Arc::new(field),
             n: n as usize,
+            points,
+            n_inv,
         })
     }
 
@@ -172,6 +186,15 @@ impl RingCtx {
         RingPoly { coeffs }
     }
 
+    /// In-place addition `a += b` — no allocation.
+    pub fn add_assign(&self, a: &mut RingPoly, b: &RingPoly) {
+        self.check(a);
+        self.check(b);
+        for (x, &y) in a.coeffs.iter_mut().zip(b.coeffs.iter()) {
+            *x = self.field.add(*x, y);
+        }
+    }
+
     /// Subtraction.
     pub fn sub(&self, a: &RingPoly, b: &RingPoly) -> RingPoly {
         self.check(a);
@@ -183,6 +206,15 @@ impl RingCtx {
             .map(|(&x, &y)| self.field.sub(x, y))
             .collect();
         RingPoly { coeffs }
+    }
+
+    /// In-place subtraction `a -= b` — no allocation.
+    pub fn sub_assign(&self, a: &mut RingPoly, b: &RingPoly) {
+        self.check(a);
+        self.check(b);
+        for (x, &y) in a.coeffs.iter_mut().zip(b.coeffs.iter()) {
+            *x = self.field.sub(*x, y);
+        }
     }
 
     /// Additive inverse.
@@ -221,11 +253,20 @@ impl RingCtx {
     /// Multiplies by the linear factor `(x − t)` in `O(n)` — the hot path of
     /// the bottom-up encoder (one linear multiply per node).
     pub fn mul_linear(&self, a: &RingPoly, t: u64) -> RingPoly {
+        let mut out = self.zero();
+        self.mul_linear_into(a, t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RingCtx::mul_linear`]: writes
+    /// `(x − t) · a` into `out` (which must be a distinct element of this
+    /// ring).
+    pub fn mul_linear_into(&self, a: &RingPoly, t: u64, out: &mut RingPoly) {
         self.check(a);
+        self.check(out);
         debug_assert!(self.field.is_valid(t));
         let n = self.n;
         let neg_t = self.field.neg(t);
-        let mut out = vec![0u64; n];
         #[allow(clippy::needless_range_loop)] // i indexes both `out` and the shifted source
         for i in 0..n {
             // x * a contributes a[i] to position i+1 (cyclically);
@@ -235,19 +276,23 @@ impl RingCtx {
             } else {
                 a.coeffs[i - 1]
             };
-            out[i] = self.field.add(shifted, self.field.mul(neg_t, a.coeffs[i]));
-        }
-        RingPoly {
-            coeffs: out.into_boxed_slice(),
+            out.coeffs[i] = self.field.add(shifted, self.field.mul(neg_t, a.coeffs[i]));
         }
     }
 
     /// Evaluates at a point by Horner's rule (`n − 1` multiply-adds).
     pub fn eval(&self, a: &RingPoly, v: u64) -> u64 {
         self.check(a);
+        self.horner(&a.coeffs, v)
+    }
+
+    /// Horner evaluation of a raw coefficient slice (shared by `eval` and
+    /// the evaluation-domain transforms).
+    #[inline]
+    pub(crate) fn horner(&self, coeffs: &[u64], v: u64) -> u64 {
         debug_assert!(self.field.is_valid(v));
         let mut acc = 0u64;
-        for &c in a.coeffs.iter().rev() {
+        for &c in coeffs.iter().rev() {
             acc = self.field.add(self.field.mul(acc, v), c);
         }
         acc
@@ -270,6 +315,13 @@ impl RingPoly {
     #[inline]
     pub fn coeffs(&self) -> &[u64] {
         &self.coeffs
+    }
+
+    /// Mutable coefficient view for the crate's allocation-free fill paths
+    /// (PRG draws, inverse transforms). Callers must keep codes valid.
+    #[inline]
+    pub(crate) fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
     }
 
     /// True iff all coefficients are zero.

@@ -13,6 +13,7 @@
 //! possible when the children's tag multiset covers every nonzero field
 //! value. That degenerate case is reported as [`RootOutcome::Indeterminate`].
 
+use crate::evaldom::EvalPoly;
 use crate::ring::{RingCtx, RingPoly};
 
 /// Result of attempting to factor `f = (x − t) · g`.
@@ -50,6 +51,33 @@ pub fn extract_root(ring: &RingCtx, f: &RingPoly, g: &RingPoly, verify: bool) ->
             let recomposed = ring.mul_linear(g, t);
             if &recomposed != f {
                 return RootOutcome::Inconsistent;
+            }
+        }
+        return RootOutcome::Root(t);
+    }
+    RootOutcome::Indeterminate
+}
+
+/// Evaluation-domain variant of [`extract_root`]: with `f` and `g` already
+/// in the dual representation, every probe is an O(1) component read and —
+/// unlike the coefficient-domain version, whose verification is an `O(n²)`
+/// ring multiplication — full verification is `O(n)`: `f = (x − t)·g` in the
+/// ring iff `f(g^k) = (g^k − t)·g(g^k)` at all `n` points.
+pub fn extract_root_evals(ring: &RingCtx, f: &EvalPoly, g: &EvalPoly, verify: bool) -> RootOutcome {
+    let field = ring.field();
+    for (k, (&gv, &fv)) in g.evals().iter().zip(f.evals()).enumerate() {
+        if gv == 0 {
+            continue;
+        }
+        let v = ring.point(k);
+        // f(v) = (v - t) g(v)  =>  t = v - f(v)/g(v)
+        let quotient = field.mul(fv, field.inv(gv).expect("gv nonzero"));
+        let t = field.sub(v, quotient);
+        if verify {
+            for (j, (&gj, &fj)) in g.evals().iter().zip(f.evals()).enumerate() {
+                if fj != field.mul(field.sub(ring.point(j), t), gj) {
+                    return RootOutcome::Inconsistent;
+                }
             }
         }
         return RootOutcome::Root(t);
@@ -129,6 +157,47 @@ mod tests {
         let g = ring.mul_linear(&ring.mul_linear(&ring.one(), 1), 2); // roots 1, 2
         let f = ring.mul_linear(&g, 3);
         assert_eq!(extract_root(&ring, &f, &g, true), RootOutcome::Root(3));
+    }
+
+    #[test]
+    fn evals_variant_agrees_with_coefficient_variant() {
+        for (p, e) in [(5u64, 1u32), (83, 1), (3, 2)] {
+            let ring = RingCtx::new(p, e).unwrap();
+            let mut g = ring.one();
+            for t in [2u64, 2, 3] {
+                g = ring.mul_linear(&g, t);
+            }
+            let f = ring.mul_linear(&g, 1);
+            let (fe, ge) = (ring.to_evals(&f), ring.to_evals(&g));
+            for verify in [false, true] {
+                assert_eq!(
+                    extract_root_evals(&ring, &fe, &ge, verify),
+                    RootOutcome::Root(1),
+                    "p={p} e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evals_variant_detects_corruption_and_indeterminacy() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let g = ring.mul_linear(&ring.linear(5), 9);
+        let f = ring.mul_linear(&g, 33);
+        let mut coeffs = f.coeffs().to_vec();
+        coeffs[10] = (coeffs[10] + 1) % 83;
+        let f_bad = ring.poly_from_coeffs(coeffs).unwrap();
+        assert_eq!(
+            extract_root_evals(&ring, &ring.to_evals(&f_bad), &ring.to_evals(&g), true),
+            RootOutcome::Inconsistent
+        );
+        // g ≡ 0 in the ring: indeterminate, as in the coefficient domain.
+        let ring5 = RingCtx::new(5, 1).unwrap();
+        let zero = ring5.evals_zero();
+        assert_eq!(
+            extract_root_evals(&ring5, &zero, &zero, true),
+            RootOutcome::Indeterminate
+        );
     }
 
     #[test]

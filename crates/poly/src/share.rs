@@ -11,10 +11,20 @@ use ssx_prg::Prg;
 /// of a node. Exactly `q − 1` bounded draws, so the stream position after a
 /// call is deterministic.
 pub fn random_poly(ring: &RingCtx, prg: &mut Prg) -> RingPoly {
+    let mut out = ring.zero();
+    random_poly_into(ring, prg, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`random_poly`]: overwrites `out` with the
+/// next pseudorandom ring element. Identical draw sequence, so shares are
+/// interchangeable with the allocating version.
+pub fn random_poly_into(ring: &RingCtx, prg: &mut Prg, out: &mut RingPoly) {
+    debug_assert_eq!(out.len(), ring.len());
     let q = ring.field().order();
-    let coeffs: Vec<u64> = (0..ring.len()).map(|_| prg.next_below(q)).collect();
-    ring.poly_from_coeffs(coeffs)
-        .expect("draws are valid field elements")
+    for c in out.coeffs_mut() {
+        *c = prg.next_below(q);
+    }
 }
 
 /// Splits `f` into `(client, server)` with `client + server = f`, the client

@@ -103,4 +103,49 @@ proptest! {
         let right = ring.add(&ring.mul(&a, &b), &ring.mul(&a, &c));
         prop_assert_eq!(left, right);
     }
+
+    /// The evaluation map is an exact ring isomorphism: coefficient ↔
+    /// evaluation round-trips are the identity, and every operation agrees
+    /// between the two domains on random elements.
+    #[test]
+    fn dual_representation_is_isomorphic(key in any::<u64>(), ring in arb_ring(), t_seed in any::<u64>()) {
+        let mut prg = Prg::from_u64(key);
+        let a = ssx_poly::random_poly(&ring, &mut prg);
+        let b = ssx_poly::random_poly(&ring, &mut prg);
+        // Round trip.
+        prop_assert_eq!(ring.from_evals(&ring.to_evals(&a)), a.clone());
+        // mul agrees.
+        let eval_prod = ring.eval_mul(&ring.to_evals(&a), &ring.to_evals(&b));
+        prop_assert_eq!(ring.from_evals(&eval_prod), ring.mul(&a, &b));
+        // mul_linear agrees at a random nonzero tag.
+        let q = ring.field().order();
+        let t = 1 + t_seed % (q - 1);
+        let mut lin = ring.to_evals(&a);
+        ring.eval_mul_linear_assign(&mut lin, t);
+        prop_assert_eq!(ring.from_evals(&lin), ring.mul_linear(&a, t));
+        // add agrees.
+        let mut sum = ring.to_evals(&a);
+        ring.eval_add_assign(&mut sum, &ring.to_evals(&b));
+        prop_assert_eq!(ring.from_evals(&sum), ring.add(&a, &b));
+        // eval agrees at every point (including 0).
+        let evals = ring.to_evals(&a);
+        for v in ring.field().elements().take(16) {
+            prop_assert_eq!(ring.eval_at(&evals, v), ring.eval(&a, v), "v = {}", v);
+        }
+    }
+
+    /// The evaluation-domain root extraction agrees with the
+    /// coefficient-domain one on well-formed inputs.
+    #[test]
+    fn root_extraction_agrees_between_domains((ring, tags) in ring_and_tags()) {
+        let g = product_of(&ring, &tags);
+        let t = tags[0]; // any nonzero tag
+        let f = ring.mul_linear(&g, t);
+        let coeff = extract_root(&ring, &f, &g, true);
+        let evals = ssx_poly::extract_root_evals(&ring, &ring.to_evals(&f), &ring.to_evals(&g), true);
+        prop_assert_eq!(coeff, evals);
+        if let RootOutcome::Root(r) = evals {
+            prop_assert_eq!(r, t);
+        }
+    }
 }
