@@ -32,7 +32,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_2.json".to_string());
+                .unwrap_or_else(|| "BENCH_3.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -72,14 +72,16 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_2.json`; the committed file is the PR-2 baseline
+/// `path`, default `BENCH_3.json`; the committed file is the PR-3 baseline
 /// and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
-/// representations, the boundary transforms, the per-node encode cost, and
-/// an end-to-end Table-1 chain query under both engines.
+/// representations, the boundary transforms, the pack/unpack boundary, the
+/// per-node encode cost, an end-to-end Table-1 chain query under both
+/// engines, and the shard-count × batching matrix of the sharded query
+/// plane (round trips and wall-clock per configuration).
 fn bench_json(path: &str) {
-    use ssx_poly::{random_poly, RingCtx};
+    use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
 
     banner("bench-json — machine-readable perf datapoint (q = 83)");
@@ -107,6 +109,23 @@ fn bench_json(path: &str) {
     });
     let eval_o1_ns = time_ns(|| {
         std::hint::black_box(ring.eval_at(std::hint::black_box(&ea), 55));
+    });
+
+    // The pack/unpack boundary (now scratch-buffered, 32-bit chunked).
+    let packer = Packer::new(&ring);
+    let mut pack_work = Vec::new();
+    let mut pack_out = Vec::new();
+    let pack_ns = time_ns(|| {
+        packer.pack_radix_into(std::hint::black_box(&a), &mut pack_work, &mut pack_out);
+        std::hint::black_box(&pack_out);
+    });
+    let packed = packer.pack_radix(&a);
+    let mut unpack_buf = ring.zero();
+    let unpack_ns = time_ns(|| {
+        packer
+            .unpack_radix_into(std::hint::black_box(&packed), &mut unpack_buf)
+            .expect("unpack");
+        std::hint::black_box(&unpack_buf);
     });
 
     // Per-node encode cost on a fixed ~64 KB document (includes parse,
@@ -142,8 +161,46 @@ fn bench_json(path: &str) {
     let query_simple_ms = query_ms(EngineKind::Simple);
     let query_advanced_ms = query_ms(EngineKind::Advanced);
 
+    // The sharded/batched query plane: S ∈ {1, 2, 4} × batching {on, off}
+    // on the fig5-style chain query. Results must be identical in every
+    // cell; round trips are the quantity the plane exists to cut.
+    let mut shard_cells = Vec::new();
+    let mut reference: Option<Vec<u32>> = None;
+    let mut rt_batched_s1 = 0u64;
+    let mut rt_unbatched_s1 = 0u64;
+    for shards in [1u32, 2, 4] {
+        for batched in [true, false] {
+            let mut db = EncryptedDb::encode_sharded(&xml, paper_map(), paper_seed(), shards)
+                .expect("sharded db");
+            if !batched {
+                db.set_batch_limit(Some(1));
+            }
+            let started = Instant::now();
+            let out = db
+                .query(&chain, EngineKind::Simple, MatchRule::Containment)
+                .expect("query");
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            match &reference {
+                None => reference = Some(out.pres()),
+                Some(r) => assert_eq!(r, &out.pres(), "results must not depend on S/batching"),
+            }
+            if shards == 1 && batched {
+                rt_batched_s1 = out.stats.round_trips;
+            }
+            if shards == 1 && !batched {
+                rt_unbatched_s1 = out.stats.round_trips;
+            }
+            shard_cells.push(format!(
+                "    {{ \"shards\": {shards}, \"batched\": {batched}, \
+                 \"round_trips\": {}, \"shard_dispatches\": {}, \"query_ms\": {ms:.3} }}",
+                out.stats.round_trips, out.stats.shard_dispatches
+            ));
+        }
+    }
+    let rt_reduction = rt_unbatched_s1 as f64 / rt_batched_s1.max(1) as f64;
+
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/1\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/2\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -151,10 +208,15 @@ fn bench_json(path: &str) {
          \"from_evals_ns\": {from_evals_ns:.1},\n  \
          \"eval_horner_ns\": {eval_horner_ns:.1},\n  \
          \"eval_o1_ns\": {eval_o1_ns:.1},\n  \
+         \"pack_radix_ns\": {pack_ns:.1},\n  \
+         \"unpack_radix_ns\": {unpack_ns:.1},\n  \
          \"node_encode_ns\": {node_encode_ns:.1},\n  \
          \"query_table1_chain_simple_ms\": {query_simple_ms:.3},\n  \
-         \"query_table1_chain_advanced_ms\": {query_advanced_ms:.3}\n}}\n",
+         \"query_table1_chain_advanced_ms\": {query_advanced_ms:.3},\n  \
+         \"round_trip_reduction_batched\": {rt_reduction:.1},\n  \
+         \"shard_batch_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
+        shard_cells.join(",\n"),
     );
     print!("{json}");
     std::fs::write(path, &json).expect("write bench json");

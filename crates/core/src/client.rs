@@ -125,6 +125,10 @@ pub struct ClientFilter<T: Transport> {
     /// repeat PRG regenerations (queries revisit nodes across steps and
     /// look-ahead prunes).
     share_cache: Option<ShareCache>,
+    /// Cap on sub-requests per batch frame (`None` = one frame per
+    /// frontier). `Some(1)` reproduces the unbatched one-request-per-round-
+    /// trip wire shape — the ablation baseline.
+    batch_limit: Option<usize>,
 }
 
 impl<T: Transport> ClientFilter<T> {
@@ -141,7 +145,33 @@ impl<T: Transport> ClientFilter<T> {
             stats: ClientStats::default(),
             verify_equality: true,
             share_cache: None,
+            batch_limit: None,
         })
+    }
+
+    /// Caps how many sub-requests travel in one batch frame; `None` (the
+    /// default) batches a whole frontier per round trip, `Some(1)` degrades
+    /// to the unbatched protocol (the round-trip ablation baseline).
+    pub fn set_batch_limit(&mut self, limit: Option<usize>) {
+        self.batch_limit = limit.map(|l| l.max(1));
+    }
+
+    /// The configured batch cap.
+    pub fn batch_limit(&self) -> Option<usize> {
+        self.batch_limit
+    }
+
+    /// Issues `reqs` in as few round trips as the batch cap allows.
+    fn call_chunked(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        let chunk = self
+            .batch_limit
+            .unwrap_or(usize::MAX)
+            .min(reqs.len().max(1));
+        let mut out = Vec::with_capacity(reqs.len());
+        for group in reqs.chunks(chunk) {
+            out.extend(self.transport.call_batch(group)?);
+        }
+        Ok(out)
     }
 
     /// Enables (at [`DEFAULT_SHARE_CACHE_CAP`]) or disables the client-share
@@ -252,6 +282,52 @@ impl<T: Transport> ClientFilter<T> {
         }
     }
 
+    // ---- batched structure fetches ----------------------------------------
+    //
+    // One logical round trip for a whole frontier: the engines' traversal
+    // loops issue these instead of per-node calls, so a step costs waves,
+    // not nodes. Over a [`crate::router::ShardRouter`] each batch is further
+    // split across shards and served concurrently.
+
+    /// Children of every node in `pres`, one list per node, one batch.
+    pub fn children_many(&mut self, pres: &[u32]) -> Result<Vec<Vec<Loc>>, CoreError> {
+        let reqs: Vec<Request> = pres.iter().map(|&pre| Request::Children { pre }).collect();
+        self.call_chunked(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Locs(ls) => Ok(ls),
+                other => Err(unexpected(other)),
+            })
+            .collect()
+    }
+
+    /// Descendants of every subtree root in `locs`, one list per root.
+    pub fn descendants_many(&mut self, locs: &[Loc]) -> Result<Vec<Vec<Loc>>, CoreError> {
+        let reqs: Vec<Request> = locs
+            .iter()
+            .map(|&loc| Request::Descendants { loc })
+            .collect();
+        self.call_chunked(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Locs(ls) => Ok(ls),
+                other => Err(unexpected(other)),
+            })
+            .collect()
+    }
+
+    /// Locations of many nodes (`None` slots for unknown `pre`s).
+    pub fn locs_of_many(&mut self, pres: &[u32]) -> Result<Vec<Option<Loc>>, CoreError> {
+        let reqs: Vec<Request> = pres.iter().map(|&pre| Request::GetLoc { pre }).collect();
+        self.call_chunked(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::MaybeLoc(l) => Ok(l),
+                other => Err(unexpected(other)),
+            })
+            .collect()
+    }
+
     // ---- tests -----------------------------------------------------------
 
     /// Containment test: does the subtree rooted at `loc` contain a node
@@ -262,20 +338,26 @@ impl<T: Transport> ClientFilter<T> {
 
     /// Batched containment test at a single point — one round trip for the
     /// whole candidate set (the server evaluates its shares, the client its
-    /// regenerated shares, sums decide).
+    /// regenerated shares, sums decide). A [`ClientFilter::set_batch_limit`]
+    /// cap applies here too: the candidate set is evaluated in chunks of at
+    /// most `limit` nodes per round trip (`Some(1)` = the per-node protocol).
     pub fn containment_many(&mut self, locs: &[Loc], value: u64) -> Result<Vec<bool>, CoreError> {
         if locs.is_empty() {
             return Ok(Vec::new());
         }
-        let pres: Vec<u32> = locs.iter().map(|l| l.pre).collect();
-        let server_vals = match self
-            .transport
-            .call(&Request::EvalMany { pres, point: value })?
-        {
-            Response::Values(vs) => vs,
-            Response::Err(e) => return Err(CoreError::Transport(e)),
-            other => return Err(unexpected(other)),
-        };
+        let limit = self.batch_limit.unwrap_or(usize::MAX).max(1);
+        let mut server_vals = Vec::with_capacity(locs.len());
+        for chunk in locs.chunks(limit) {
+            let pres: Vec<u32> = chunk.iter().map(|l| l.pre).collect();
+            match self
+                .transport
+                .call(&Request::EvalMany { pres, point: value })?
+            {
+                Response::Values(vs) => server_vals.extend(vs),
+                Response::Err(e) => return Err(CoreError::Transport(e)),
+                other => return Err(unexpected(other)),
+            }
+        }
         if server_vals.len() != locs.len() {
             return Err(CoreError::Transport("EvalMany length mismatch".into()));
         }
@@ -298,59 +380,93 @@ impl<T: Transport> ClientFilter<T> {
     /// and compares the extracted root (§3, §5.2). Costs one `Children` and
     /// one `GetPolys` round trip plus `1 + #children` share regenerations.
     pub fn equality(&mut self, loc: Loc, value: u64) -> Result<bool, CoreError> {
-        let t = self.node_tag_value(loc)?;
-        Ok(t == Some(value))
+        Ok(self.equality_many(&[loc], value)?[0])
     }
 
-    /// Recovers the tag *value* of a node (`None` when indeterminate would
-    /// be an error instead). Shared by the equality test and diagnostics.
-    fn node_tag_value(&mut self, loc: Loc) -> Result<Option<u64>, CoreError> {
-        self.stats.equality_tests += 1;
-        let children = self.children(loc.pre)?;
-        let mut pres: Vec<u32> = Vec::with_capacity(children.len() + 1);
-        pres.push(loc.pre);
-        pres.extend(children.iter().map(|l| l.pre));
-        let polys = match self
-            .transport
-            .call(&Request::GetPolys { pres: pres.clone() })?
-        {
-            Response::Polys(ps) => ps,
-            Response::Err(e) => return Err(CoreError::Transport(e)),
-            other => return Err(unexpected(other)),
-        };
-        if polys.len() != pres.len() {
-            return Err(CoreError::Transport("GetPolys length mismatch".into()));
+    /// Batched equality test: the `Children` lookups of the whole candidate
+    /// set travel in one round trip, the `GetPolys` fetches in a second —
+    /// two waves for any number of candidates instead of two per candidate.
+    /// Reconstruction work and counters are identical to the one-at-a-time
+    /// path.
+    pub fn equality_many(&mut self, locs: &[Loc], value: u64) -> Result<Vec<bool>, CoreError> {
+        let tags = self.tag_values_many(locs)?;
+        Ok(tags.into_iter().map(|t| t == Some(value)).collect())
+    }
+
+    /// Recovers the tag *value* of each node (`None` never occurs today —
+    /// indeterminate outcomes are errors instead). Shared by the equality
+    /// tests and diagnostics.
+    fn tag_values_many(&mut self, locs: &[Loc]) -> Result<Vec<Option<u64>>, CoreError> {
+        if locs.is_empty() {
+            return Ok(Vec::new());
         }
-        self.stats.polys_fetched += polys.len() as u64;
-        // Reconstruct the node polynomial and the product of its children in
-        // the evaluation domain. Per child the dominant cost stays O(n²) —
-        // the wire format is coefficient-domain, so each dense reconstructed
-        // sum pays one forward transform — but the transform is table-ops
-        // cheap, the fold itself is O(n) pointwise, and verified root
-        // extraction drops from an O(n²) ring multiply to O(n) component
-        // checks.
-        let f = self.reconstruct_node_evals(pres[0], &polys[0])?;
-        let mut g = self.ring.evals_one();
-        for (pre, packed) in pres[1..].iter().zip(&polys[1..]) {
-            let child = self.reconstruct_node_evals(*pre, packed)?;
-            self.ring.eval_mul_assign(&mut g, &child);
+        self.stats.equality_tests += locs.len() as u64;
+        // Wave 1: every candidate's children.
+        let children = self.children_many(&locs.iter().map(|l| l.pre).collect::<Vec<_>>())?;
+        // Wave 2: every candidate's polynomial family (itself + children).
+        let families: Vec<Vec<u32>> = locs
+            .iter()
+            .zip(&children)
+            .map(|(loc, kids)| {
+                let mut pres = Vec::with_capacity(kids.len() + 1);
+                pres.push(loc.pre);
+                pres.extend(kids.iter().map(|l| l.pre));
+                pres
+            })
+            .collect();
+        let reqs: Vec<Request> = families
+            .iter()
+            .map(|pres| Request::GetPolys { pres: pres.clone() })
+            .collect();
+        let responses = self.call_chunked(&reqs)?;
+        // Local reconstruction per candidate.
+        let mut out = Vec::with_capacity(locs.len());
+        for ((loc, pres), resp) in locs.iter().zip(&families).zip(responses) {
+            let polys = match resp {
+                Response::Polys(ps) => ps,
+                Response::Err(e) => return Err(CoreError::Transport(e)),
+                other => return Err(unexpected(other)),
+            };
+            if polys.len() != pres.len() {
+                return Err(CoreError::Transport("GetPolys length mismatch".into()));
+            }
+            self.stats.polys_fetched += polys.len() as u64;
+            // Reconstruct the node polynomial and the product of its
+            // children in the evaluation domain. Per child the dominant
+            // cost stays O(n²) — the wire format is coefficient-domain, so
+            // each dense reconstructed sum pays one forward transform — but
+            // the transform is table-ops cheap, the fold itself is O(n)
+            // pointwise, and verified root extraction drops from an O(n²)
+            // ring multiply to O(n) component checks.
+            let f = self.reconstruct_node_evals(pres[0], &polys[0])?;
+            let mut g = self.ring.evals_one();
+            for (pre, packed) in pres[1..].iter().zip(&polys[1..]) {
+                let child = self.reconstruct_node_evals(*pre, packed)?;
+                self.ring.eval_mul_assign(&mut g, &child);
+            }
+            out.push(
+                match extract_root_evals(&self.ring, &f, &g, self.verify_equality) {
+                    RootOutcome::Root(t) => Some(t),
+                    RootOutcome::Inconsistent => {
+                        return Err(CoreError::Corrupt(format!(
+                            "node pre={} does not factor as (x - t) * children",
+                            loc.pre
+                        )))
+                    }
+                    RootOutcome::Indeterminate => {
+                        return Err(CoreError::Indeterminate { pre: loc.pre })
+                    }
+                },
+            );
         }
-        match extract_root_evals(&self.ring, &f, &g, self.verify_equality) {
-            RootOutcome::Root(t) => Ok(Some(t)),
-            RootOutcome::Inconsistent => Err(CoreError::Corrupt(format!(
-                "node pre={} does not factor as (x - t) * children",
-                loc.pre
-            ))),
-            RootOutcome::Indeterminate => Err(CoreError::Indeterminate { pre: loc.pre }),
-        }
+        Ok(out)
     }
 
     /// Decrypts the tag value of a node — only possible with the secrets;
     /// used by examples to show what the client can do that the server
     /// cannot.
     pub fn reveal_tag_value(&mut self, loc: Loc) -> Result<u64, CoreError> {
-        self.node_tag_value(loc)?
-            .ok_or(CoreError::Indeterminate { pre: loc.pre })
+        self.tag_values_many(&[loc])?[0].ok_or(CoreError::Indeterminate { pre: loc.pre })
     }
 
     /// Reconstructs `server + client` for one node and lifts it into the
@@ -605,6 +721,81 @@ mod tests {
         c.set_share_cache_capacity(0);
         assert_eq!(c.share_cache_capacity(), None);
         assert_eq!(c.cached_shares(), 0);
+    }
+
+    #[test]
+    fn batched_structure_fetches_match_singles() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let all = {
+            let mut v = vec![root];
+            v.extend(c.descendants(root).unwrap());
+            v
+        };
+        let pres: Vec<u32> = all.iter().map(|l| l.pre).collect();
+        let before = c.transport_stats().round_trips;
+        let many = c.children_many(&pres).unwrap();
+        assert_eq!(
+            c.transport_stats().round_trips - before,
+            1,
+            "one wave for the whole frontier"
+        );
+        for (pre, kids) in pres.iter().zip(&many) {
+            assert_eq!(kids, &c.children(*pre).unwrap(), "pre={pre}");
+        }
+        let many_desc = c.descendants_many(&all).unwrap();
+        for (loc, desc) in all.iter().zip(&many_desc) {
+            assert_eq!(desc, &c.descendants(*loc).unwrap(), "pre={}", loc.pre);
+        }
+        let locs = c.locs_of_many(&[1, 999, 3]).unwrap();
+        assert_eq!(locs[0].unwrap().pre, 1);
+        assert!(locs[1].is_none());
+        assert_eq!(locs[2].unwrap().pre, 3);
+    }
+
+    #[test]
+    fn batch_limit_trades_round_trips_not_answers() {
+        let mut batched = client();
+        let mut unbatched = client();
+        unbatched.set_batch_limit(Some(1));
+        assert_eq!(unbatched.batch_limit(), Some(1));
+        let pres: Vec<u32> = (1..=5).collect();
+        let b0 = batched.transport_stats().round_trips;
+        let u0 = unbatched.transport_stats().round_trips;
+        let a = batched.children_many(&pres).unwrap();
+        let b = unbatched.children_many(&pres).unwrap();
+        assert_eq!(a, b, "batching is invisible in the answers");
+        assert_eq!(batched.transport_stats().round_trips - b0, 1);
+        assert_eq!(
+            unbatched.transport_stats().round_trips - u0,
+            5,
+            "limit 1 = the old one-request-per-round-trip shape"
+        );
+        assert_eq!(batched.transport_stats().batched_requests, 5);
+        assert_eq!(unbatched.transport_stats().batched_requests, 0);
+    }
+
+    #[test]
+    fn equality_many_matches_sequential() {
+        let mut c = client();
+        let root = c.root().unwrap().unwrap();
+        let all = {
+            let mut v = vec![root];
+            v.extend(c.descendants(root).unwrap());
+            v
+        };
+        let vb = c.value_of("b").unwrap();
+        let before = c.transport_stats().round_trips;
+        let many = c.equality_many(&all, vb).unwrap();
+        let waves = c.transport_stats().round_trips - before;
+        assert_eq!(waves, 2, "children wave + polys wave");
+        let mut fresh = client();
+        for (loc, &m) in all.iter().zip(&many) {
+            assert_eq!(fresh.equality(*loc, vb).unwrap(), m, "pre={}", loc.pre);
+        }
+        // Same protocol work per candidate, fewer round trips.
+        assert_eq!(c.stats().equality_tests, all.len() as u64);
+        assert_eq!(c.stats().polys_fetched, fresh.stats().polys_fetched);
     }
 
     #[test]

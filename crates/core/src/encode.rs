@@ -74,10 +74,12 @@ struct Encoder<'a> {
     pre: u32,
     post: u32,
     max_depth: usize,
-    /// Scratch coefficient buffers reused across nodes; the per-node loop
-    /// allocates only the packed wire bytes.
+    /// Scratch buffers reused across nodes; the per-node loop allocates
+    /// only the row's own boxed byte payload.
     scratch_node: RingPoly,
     scratch_client: RingPoly,
+    scratch_pack_work: Vec<u64>,
+    scratch_pack_out: Vec<u8>,
 }
 
 impl<'a> Encoder<'a> {
@@ -99,6 +101,8 @@ impl<'a> Encoder<'a> {
             max_depth: 0,
             scratch_node,
             scratch_client,
+            scratch_pack_work: Vec::new(),
+            scratch_pack_out: Vec::new(),
         })
     }
 
@@ -134,16 +138,20 @@ impl<'a> Encoder<'a> {
         random_poly_into(&self.ring, &mut prg, &mut self.scratch_client);
         self.ring
             .sub_assign(&mut self.scratch_node, &self.scratch_client);
+        // Pack through the reusable scratch buffers (the conversion itself
+        // now dominates the encode boundary; see ssx_poly::packing).
+        self.packer.pack_radix_into(
+            &self.scratch_node,
+            &mut self.scratch_pack_work,
+            &mut self.scratch_pack_out,
+        );
         self.table.insert(Row {
             loc: Loc {
                 pre: frame.pre,
                 post: self.post,
                 parent: frame.parent_pre,
             },
-            poly: self
-                .packer
-                .pack_radix(&self.scratch_node)
-                .into_boxed_slice(),
+            poly: self.scratch_pack_out.as_slice().into(),
         })?;
         // Fold the finished polynomial into the parent's accumulator.
         if let Some(parent) = self.stack.last_mut() {

@@ -64,12 +64,20 @@ pub struct QueryStats {
     pub share_cache_misses: u64,
     /// Client-share cache evictions under the capacity cap.
     pub share_cache_evictions: u64,
-    /// Protocol round trips.
+    /// Protocol round trips (logical waves: a batch or a concurrent
+    /// multi-shard dispatch counts once).
     pub round_trips: u64,
     /// Request bytes.
     pub bytes_sent: u64,
     /// Response bytes.
     pub bytes_received: u64,
+    /// Batch frames sent.
+    pub batches: u64,
+    /// Sub-requests carried inside batch frames.
+    pub batched_requests: u64,
+    /// Physical per-shard sends behind the logical round trips (0 unless a
+    /// shard router is in play).
+    pub shard_dispatches: u64,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -150,6 +158,9 @@ impl StatWindow {
                 round_trips: t.round_trips - self.transport_before.round_trips,
                 bytes_sent: t.bytes_sent - self.transport_before.bytes_sent,
                 bytes_received: t.bytes_received - self.transport_before.bytes_received,
+                batches: t.batches - self.transport_before.batches,
+                batched_requests: t.batched_requests - self.transport_before.batched_requests,
+                shard_dispatches: t.shard_dispatches - self.transport_before.shard_dispatches,
                 elapsed: self.started.elapsed(),
             },
         }
@@ -186,13 +197,15 @@ fn filter_by_rule<T: Transport>(
                 .collect())
         }
         MatchRule::Equality => {
-            let mut out = Vec::new();
-            for loc in candidates {
-                if filter.equality(loc, value)? {
-                    out.push(loc);
-                }
-            }
-            Ok(out)
+            // Two waves for the whole candidate set (children + polys)
+            // instead of two round trips per candidate.
+            let keep = filter.equality_many(&candidates, value)?;
+            Ok(candidates
+                .into_iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(l, _)| l)
+                .collect())
         }
     }
 }
@@ -205,7 +218,8 @@ fn dedup(mut locs: Vec<Loc>) -> Vec<Loc> {
 }
 
 /// Expands one step's candidate set from the current frontier (shared by
-/// both engines; the advanced engine overrides descendant expansion).
+/// both engines; the advanced engine overrides descendant expansion). The
+/// whole frontier expands in one batched round trip.
 fn expand_candidates<T: Transport>(
     filter: &mut ClientFilter<T>,
     frontier: &[Loc],
@@ -220,8 +234,9 @@ fn expand_candidates<T: Transport>(
                 // conceptual context node is the document root above it).
                 out.extend_from_slice(frontier);
             } else {
-                for f in frontier {
-                    out.extend(filter.children(f.pre)?);
+                let pres: Vec<u32> = frontier.iter().map(|l| l.pre).collect();
+                for kids in filter.children_many(&pres)? {
+                    out.extend(kids);
                 }
             }
         }
@@ -230,28 +245,26 @@ fn expand_candidates<T: Transport>(
                 // `//x` from the document root: root element + descendants.
                 out.extend_from_slice(frontier);
             }
-            for f in frontier {
-                out.extend(filter.descendants(*f)?);
+            for desc in filter.descendants_many(frontier)? {
+                out.extend(desc);
             }
         }
     }
     Ok(dedup(out))
 }
 
-/// Replaces the frontier with the parents of its members (the `..` test).
+/// Replaces the frontier with the parents of its members (the `..` test),
+/// one batched round trip for the whole frontier.
 fn parents_of<T: Transport>(
     filter: &mut ClientFilter<T>,
     frontier: &[Loc],
 ) -> Result<Vec<Loc>, CoreError> {
-    let mut out = Vec::new();
-    for f in frontier {
-        if f.parent == 0 {
-            continue; // the root has no parent node
-        }
-        if let Some(p) = filter.loc_of(f.parent)? {
-            out.push(p);
-        }
-    }
+    let pres: Vec<u32> = frontier
+        .iter()
+        .filter(|f| f.parent != 0) // the root has no parent node
+        .map(|f| f.parent)
+        .collect();
+    let out = filter.locs_of_many(&pres)?.into_iter().flatten().collect();
     Ok(dedup(out))
 }
 
@@ -382,8 +395,17 @@ impl SimpleEngine {
             test_and_push(filter, loc, &mut out)?;
         }
         if let Some(cursor) = cursor {
-            while let Some(loc) = filter.next_node(cursor)? {
-                test_and_push(filter, loc, &mut out)?;
+            let drained = (|| -> Result<(), CoreError> {
+                while let Some(loc) = filter.next_node(cursor)? {
+                    test_and_push(filter, loc, &mut out)?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = drained {
+                // Release the server-side buffer instead of leaking it;
+                // the original error wins over any close failure.
+                let _ = filter.close_cursor(cursor);
+                return Err(e);
             }
         }
         Ok(dedup(out))
@@ -508,15 +530,22 @@ impl AdvancedEngine {
         include_frontier: bool,
     ) -> Result<Vec<Loc>, CoreError> {
         let mut out = Vec::new();
-        // Level-order walk, one batched containment round trip per level.
+        // Level-order walk: per level one batched containment round trip,
+        // one batched children expansion (and under the strict rule two
+        // batched equality waves) — wave count scales with depth, not nodes.
+        let fetch_level =
+            |filter: &mut ClientFilter<T>, locs: &[Loc]| -> Result<Vec<Loc>, CoreError> {
+                let pres: Vec<u32> = locs.iter().map(|l| l.pre).collect();
+                let mut kids = Vec::new();
+                for list in filter.children_many(&pres)? {
+                    kids.extend(list);
+                }
+                Ok(dedup(kids))
+            };
         let mut level: Vec<Loc> = if include_frontier {
             frontier.to_vec()
         } else {
-            let mut kids = Vec::new();
-            for f in frontier {
-                kids.extend(filter.children(f.pre)?);
-            }
-            dedup(kids)
+            fetch_level(filter, frontier)?
         };
         while !level.is_empty() {
             let keep = filter.containment_many(&level, value)?;
@@ -529,18 +558,11 @@ impl AdvancedEngine {
             match rule {
                 MatchRule::Containment => out.extend_from_slice(&alive),
                 MatchRule::Equality => {
-                    for &loc in &alive {
-                        if filter.equality(loc, value)? {
-                            out.push(loc);
-                        }
-                    }
+                    let keep = filter.equality_many(&alive, value)?;
+                    out.extend(alive.iter().zip(keep).filter(|(_, k)| *k).map(|(l, _)| *l));
                 }
             }
-            let mut next = Vec::new();
-            for loc in &alive {
-                next.extend(filter.children(loc.pre)?);
-            }
-            level = dedup(next);
+            level = fetch_level(filter, &alive)?;
         }
         Ok(dedup(out))
     }

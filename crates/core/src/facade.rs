@@ -1,44 +1,79 @@
 //! One-stop construction: encode a document, keep the server in-process,
 //! query it. What examples, tests and benchmarks use when they do not need
 //! to wire the pieces manually.
+//!
+//! The in-process query plane is the sharded one: a
+//! [`ShardRouter`] over one [`crate::transport::LocalTransport`] per shard.
+//! The default is a single shard — byte- and round-trip-identical to the
+//! monolithic server — and [`EncryptedDb::encode_sharded`] (or
+//! [`EncryptedDb::load_sharded`]) partitions the same table across `S`
+//! independent server filters.
 
 use crate::client::ClientFilter;
-use crate::encode::{encode_document, encode_dom, EncodeStats};
+use crate::encode::{encode_document, encode_dom, EncodeOutput, EncodeStats};
 use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
 use crate::error::CoreError;
 use crate::map::MapFile;
-use crate::server::ServerFilter;
+use crate::router::ShardRouter;
+use crate::shard::ShardedServer;
 use crate::transport::LocalTransport;
 use ssx_poly::RingCtx;
 use ssx_prg::Seed;
-use ssx_store::SizeReport;
+use ssx_store::{Row, SizeReport, Table};
 use ssx_xml::Document;
 use ssx_xpath::parse_query;
 use std::path::Path;
 
-/// An encrypted database with an in-process server.
+/// An encrypted database with an in-process (optionally sharded) server.
 pub struct EncryptedDb {
-    client: ClientFilter<LocalTransport>,
+    client: ClientFilter<ShardRouter<LocalTransport>>,
     encode_stats: EncodeStats,
 }
 
 impl EncryptedDb {
-    /// Encodes `xml` under `map` and `seed`.
+    /// Encodes `xml` under `map` and `seed` (single shard).
     pub fn encode(xml: &str, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
-        let out = encode_document(xml, &map, &seed)?;
-        let server = ServerFilter::new(out.table, out.ring);
-        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
-        Ok(EncryptedDb {
-            client,
-            encode_stats: out.stats,
-        })
+        Self::encode_sharded(xml, map, seed, 1)
     }
 
-    /// Encodes a DOM (for trie-transformed documents).
+    /// Encodes `xml` and partitions the table across `shards` server
+    /// filters. Query results are identical for every shard count; what
+    /// changes is placement, per-shard state and the concurrency available
+    /// to a networked deployment.
+    pub fn encode_sharded(
+        xml: &str,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
+        let out = encode_document(xml, &map, &seed)?;
+        Self::from_encode_output(out, map, seed, shards)
+    }
+
+    /// Encodes a DOM (for trie-transformed documents; single shard).
     pub fn encode_doc(doc: &Document, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        Self::encode_doc_sharded(doc, map, seed, 1)
+    }
+
+    /// Encodes a DOM across `shards` server filters.
+    pub fn encode_doc_sharded(
+        doc: &Document,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
         let out = encode_dom(doc, &map, &seed)?;
-        let server = ServerFilter::new(out.table, out.ring);
-        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
+        Self::from_encode_output(out, map, seed, shards)
+    }
+
+    fn from_encode_output(
+        out: EncodeOutput,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
+        let server = ShardedServer::from_table(out.table, out.ring, shards)?;
+        let client = ClientFilter::new(ShardRouter::local(server), map, seed)?;
         Ok(EncryptedDb {
             client,
             encode_stats: out.stats,
@@ -67,7 +102,7 @@ impl EncryptedDb {
     }
 
     /// The client filter (tests and custom protocols).
-    pub fn client_mut(&mut self) -> &mut ClientFilter<LocalTransport> {
+    pub fn client_mut(&mut self) -> &mut ClientFilter<ShardRouter<LocalTransport>> {
         &mut self.client
     }
 
@@ -76,14 +111,44 @@ impl EncryptedDb {
         self.encode_stats
     }
 
-    /// Server-side table sizes (Fig 4 series).
-    pub fn size_report(&self) -> SizeReport {
-        self.client.transport().server().table().size_report()
+    /// Number of shards the table is partitioned across.
+    pub fn shards(&self) -> u32 {
+        self.client.transport().spec().shards()
     }
 
-    /// Number of encoded elements.
+    /// Caps batch frames at `limit` sub-requests (`None` = whole-frontier
+    /// batches; `Some(1)` = the unbatched wire shape, the ablation
+    /// baseline).
+    pub fn set_batch_limit(&mut self, limit: Option<usize>) {
+        self.client.set_batch_limit(limit);
+    }
+
+    /// Server-side table sizes, summed across shards (Fig 4 series; the
+    /// partition moves rows, it does not change their cost).
+    pub fn size_report(&self) -> SizeReport {
+        let mut total = SizeReport {
+            poly_bytes: 0,
+            structure_bytes: 0,
+            index_bytes: 0,
+            rows: 0,
+        };
+        for server in self.client.transport().servers() {
+            let r = server.table().size_report();
+            total.poly_bytes += r.poly_bytes;
+            total.structure_bytes += r.structure_bytes;
+            total.index_bytes += r.index_bytes;
+            total.rows += r.rows;
+        }
+        total
+    }
+
+    /// Number of encoded elements (across all shards).
     pub fn node_count(&self) -> usize {
-        self.client.transport().server().table().len()
+        self.client
+            .transport()
+            .servers()
+            .map(|s| s.table().len())
+            .sum()
     }
 
     /// Toggle full verification of equality-test quotients.
@@ -105,17 +170,47 @@ impl EncryptedDb {
         self.client.set_share_cache_capacity(cap);
     }
 
-    /// Persists the server table. The map and seed are *not* written — they
-    /// are the client's secrets and travel separately.
+    /// Persists the server table — shard partitions are merged back into
+    /// one document-ordered table, so the on-disk format is independent of
+    /// the shard count (and bit-identical per row). The map and seed are
+    /// *not* written — they are the client's secrets and travel separately.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
-        ssx_store::save_table(self.client.transport().server().table(), path)?;
+        let mut rows: Vec<Row> = self
+            .client
+            .transport()
+            .servers()
+            .flat_map(|s| s.table().rows().iter().cloned())
+            .collect();
+        rows.sort_by_key(|r| r.loc.pre);
+        let poly_len = self
+            .client
+            .transport()
+            .servers()
+            .next()
+            .map_or(0, |s| s.table().poly_len());
+        let mut merged = Table::new(poly_len);
+        for row in rows {
+            merged.insert(row)?;
+        }
+        ssx_store::save_table(&merged, path)?;
         Ok(())
     }
 
-    /// Reopens a persisted table with the client secrets. Fails with a
-    /// descriptive error when the map's field parameters do not match the
-    /// table's packed polynomial size.
+    /// Reopens a persisted table with the client secrets (single shard).
+    /// Fails with a descriptive error when the map's field parameters do
+    /// not match the table's packed polynomial size.
     pub fn load(path: &Path, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        Self::load_sharded(path, map, seed, 1)
+    }
+
+    /// Reopens a persisted table and partitions it across `shards` server
+    /// filters — any table can be re-sharded on load.
+    pub fn load_sharded(
+        path: &Path,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
         let table = ssx_store::load_table(path)?;
         let ring = RingCtx::new(map.p(), map.e())?;
         let expected = ssx_poly::Packer::new(&ring).radix_len();
@@ -128,8 +223,8 @@ impl EncryptedDb {
                 table.poly_len()
             )));
         }
-        let server = ServerFilter::new(table, ring);
-        let client = ClientFilter::new(LocalTransport::new(server), map, seed)?;
+        let server = ShardedServer::from_table(table, ring, shards)?;
+        let client = ClientFilter::new(ShardRouter::local(server), map, seed)?;
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
@@ -174,6 +269,59 @@ mod tests {
             .query("//b", EngineKind::Simple, MatchRule::Equality)
             .unwrap();
         assert_eq!(out.pres(), vec![3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_facade_matches_single_shard() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let mut single = EncryptedDb::encode(xml, map(), Seed::from_test_key(33)).unwrap();
+        assert_eq!(single.shards(), 1);
+        for shards in [2u32, 4] {
+            let mut db =
+                EncryptedDb::encode_sharded(xml, map(), Seed::from_test_key(33), shards).unwrap();
+            assert_eq!(db.shards(), shards);
+            assert_eq!(db.node_count(), single.node_count());
+            let r = db.size_report();
+            let r1 = single.size_report();
+            assert_eq!(r.poly_bytes, r1.poly_bytes);
+            assert_eq!(r.rows, r1.rows);
+            for q in ["/site/a", "//c", "/site/b//c", "/site/*/c"] {
+                for kind in [EngineKind::Simple, EngineKind::Advanced] {
+                    for rule in [MatchRule::Containment, MatchRule::Equality] {
+                        let a = single.query(q, kind, rule).unwrap();
+                        let b = db.query(q, kind, rule).unwrap();
+                        assert_eq!(a.pres(), b.pres(), "{q} {kind:?} {rule:?} S={shards}");
+                        // Same logical round trips and protocol work.
+                        assert_eq!(a.stats.round_trips, b.stats.round_trips, "{q} S={shards}");
+                        assert_eq!(a.stats.evaluations(), b.stats.evaluations(), "{q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_save_load_round_trips_any_shard_count() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let xml = "<site><a><b/></a><c/></site>";
+        let db = EncryptedDb::encode_sharded(xml, map(), Seed::from_test_key(33), 3).unwrap();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db_sharded.ssxdb");
+        db.save(&path).unwrap();
+        // The file is shard-count independent: load unsharded and re-sharded.
+        let mut flat = EncryptedDb::load(&path, map(), Seed::from_test_key(33)).unwrap();
+        let mut wide = EncryptedDb::load_sharded(&path, map(), Seed::from_test_key(33), 2).unwrap();
+        let a = flat
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        let b = wide
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        assert_eq!(a.pres(), vec![3]);
+        assert_eq!(b.pres(), vec![3]);
         std::fs::remove_file(&path).ok();
     }
 

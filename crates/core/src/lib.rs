@@ -10,8 +10,10 @@
 //! | map file         | [`map`] — secret tag-name → `F_q` assignment |
 //! | `MySQLEncode`    | [`encode`] — streaming SAX encoder filling the server table |
 //! | `ServerFilter`   | [`server`] — evaluates stored shares, walks the tree, buffers cursors |
-//! | RMI              | [`protocol`] + [`transport`] — binary message protocol over in-process or TCP links |
-//! | `ClientFilter`   | [`client`] — regenerates client shares from the seed, combines evaluations |
+//! | RMI              | [`protocol`] + [`transport`] — binary message protocol (single + batch frames) over in-process or TCP links |
+//! | `ClientFilter`   | [`client`] — regenerates client shares from the seed, combines evaluations, batch-first fetch APIs |
+//! | —                | [`shard`] — deterministic `pre → shard` partition, `ShardedServer` (S independent filters) |
+//! | —                | [`router`] — `ShardRouter`: splits batches by shard, concurrent dispatch, document-order merge |
 //! | `SimpleQuery`    | [`engine::SimpleEngine`] |
 //! | `AdvancedQuery`  | [`engine::AdvancedEngine`] |
 //! | —                | [`mod@reference`] — plaintext XPath oracle (ground truth for Fig 7 accuracy) |
@@ -30,7 +32,9 @@ pub mod facade;
 pub mod map;
 pub mod protocol;
 pub mod reference;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod transport;
 
 pub use accuracy::accuracy_percent;
@@ -44,5 +48,7 @@ pub use error::CoreError;
 pub use facade::EncryptedDb;
 pub use map::MapFile;
 pub use reference::reference_eval;
+pub use router::ShardRouter;
 pub use server::{ServerFilter, ServerStats};
-pub use transport::{serve_tcp, LocalTransport, TcpTransport, Transport};
+pub use shard::{partition_table, ShardSpec, ShardedServer};
+pub use transport::{serve_tcp, serve_tcp_sharded, LocalTransport, TcpTransport, Transport};

@@ -74,6 +74,26 @@ pub enum Request {
     Count,
     /// Ask a TCP server loop to stop (tests/examples).
     Shutdown,
+    /// How many shards this endpoint serves. A bare [`ServerFilter`]
+    /// answers 1; a sharded host intercepts it and answers its fleet size —
+    /// clients use this handshake to refuse a shard-count mismatch instead
+    /// of silently querying a partition.
+    ///
+    /// [`ServerFilter`]: crate::server::ServerFilter
+    ShardCount,
+    /// Many sub-requests in one round trip; answered by a parallel
+    /// [`Response::Batch`]. Sub-requests may not themselves be `Batch` or
+    /// `ToShard` frames (enforced by the codec).
+    Batch(Vec<Request>),
+    /// Addresses `req` to one shard of a sharded server. The inner request
+    /// may be anything except another `ToShard` (a `Batch` is common: one
+    /// tagged frame carries a whole per-shard batch).
+    ToShard {
+        /// Target shard index.
+        shard: u32,
+        /// The request the shard should handle.
+        req: Box<Request>,
+    },
 }
 
 /// Server → client messages.
@@ -97,6 +117,10 @@ pub enum Response {
     Ok,
     /// Server-side failure description.
     Err(String),
+    /// Sub-responses parallel to a [`Request::Batch`]'s sub-requests. A
+    /// failed sub-request yields an inline [`Response::Err`] in its slot —
+    /// one bad slot does not poison the rest of the batch.
+    Batch(Vec<Response>),
 }
 
 // ---- codec -----------------------------------------------------------------
@@ -253,11 +277,50 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Count => Writer::new(11).buf,
         Request::Shutdown => Writer::new(12).buf,
+        Request::ShardCount => Writer::new(15).buf,
+        Request::Batch(subs) => {
+            let mut w = Writer::new(13);
+            w.u32(subs.len() as u32);
+            for sub in subs {
+                debug_assert!(
+                    !matches!(sub, Request::Batch(_) | Request::ToShard { .. }),
+                    "batches must be flat"
+                );
+                w.bytes(&encode_request(sub));
+            }
+            w.buf
+        }
+        Request::ToShard { shard, req } => {
+            let mut w = Writer::new(14);
+            w.u32(*shard);
+            debug_assert!(
+                !matches!(**req, Request::ToShard { .. }),
+                "shard tags must not nest"
+            );
+            w.bytes(&encode_request(req));
+            w.buf
+        }
     }
+}
+
+/// How deep compound frames may nest when decoding: a `ToShard` may carry a
+/// `Batch`, a `Batch` carries only simple requests.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Nesting {
+    /// Top level: every frame allowed.
+    Top,
+    /// Inside `ToShard`: `Batch` allowed, `ToShard` not.
+    InShard,
+    /// Inside `Batch`: simple requests only.
+    InBatch,
 }
 
 /// Deserialises a request.
 pub fn decode_request(buf: &[u8]) -> Result<Request, CoreError> {
+    decode_request_nested(buf, Nesting::Top)
+}
+
+fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreError> {
     let mut r = Reader::new(buf);
     let tag = r.u8()?;
     let req = match tag {
@@ -287,6 +350,35 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CoreError> {
         10 => Request::CloseCursor { cursor: r.u32()? },
         11 => Request::Count,
         12 => Request::Shutdown,
+        15 => Request::ShardCount,
+        13 => {
+            if nesting != Nesting::Top && nesting != Nesting::InShard {
+                return Err(CoreError::Transport("nested batch refused".into()));
+            }
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            let subs = (0..n)
+                .map(|_| {
+                    let frame = r.bytes()?;
+                    decode_request_nested(&frame, Nesting::InBatch)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Batch(subs)
+        }
+        14 => {
+            if nesting != Nesting::Top {
+                return Err(CoreError::Transport("nested shard tag refused".into()));
+            }
+            let shard = r.u32()?;
+            let frame = r.bytes()?;
+            let req = decode_request_nested(&frame, Nesting::InShard)?;
+            Request::ToShard {
+                shard,
+                req: Box::new(req),
+            }
+        }
         t => return Err(CoreError::Transport(format!("unknown request tag {t}"))),
     };
     r.finish()?;
@@ -352,11 +444,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.bytes(msg.as_bytes());
             w.buf
         }
+        Response::Batch(subs) => {
+            let mut w = Writer::new(9);
+            w.u32(subs.len() as u32);
+            for sub in subs {
+                debug_assert!(!matches!(sub, Response::Batch(_)), "batches must be flat");
+                w.bytes(&encode_response(sub));
+            }
+            w.buf
+        }
     }
 }
 
 /// Deserialises a response.
 pub fn decode_response(buf: &[u8]) -> Result<Response, CoreError> {
+    decode_response_nested(buf, true)
+}
+
+fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, CoreError> {
     let mut r = Reader::new(buf);
     let tag = r.u8()?;
     let resp = match tag {
@@ -392,6 +497,22 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, CoreError> {
         8 => {
             let msg = r.bytes()?;
             Response::Err(String::from_utf8_lossy(&msg).into_owned())
+        }
+        9 => {
+            if !allow_batch {
+                return Err(CoreError::Transport("nested batch refused".into()));
+            }
+            let n = r.u32()? as usize;
+            if n > buf.len() {
+                return Err(short());
+            }
+            let subs = (0..n)
+                .map(|_| {
+                    let frame = r.bytes()?;
+                    decode_response_nested(&frame, false)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Response::Batch(subs)
         }
         t => return Err(CoreError::Transport(format!("unknown response tag {t}"))),
     };
@@ -436,6 +557,24 @@ mod tests {
             Request::CloseCursor { cursor: 2 },
             Request::Count,
             Request::Shutdown,
+            Request::ShardCount,
+            Request::Batch(vec![]),
+            Request::Batch(vec![
+                Request::Root,
+                Request::Children { pre: 4 },
+                Request::EvalMany {
+                    pres: vec![1, 9],
+                    point: 3,
+                },
+            ]),
+            Request::ToShard {
+                shard: 2,
+                req: Box::new(Request::Count),
+            },
+            Request::ToShard {
+                shard: 0,
+                req: Box::new(Request::Batch(vec![Request::Root, Request::Count])),
+            },
         ];
         for req in cases {
             let bytes = encode_request(&req);
@@ -457,6 +596,12 @@ mod tests {
             Response::Count(1234),
             Response::Ok,
             Response::Err("boom".into()),
+            Response::Batch(vec![]),
+            Response::Batch(vec![
+                Response::Ok,
+                Response::Values(vec![7, 0]),
+                Response::Err("one bad slot".into()),
+            ]),
         ];
         for resp in cases {
             let bytes = encode_response(&resp);
@@ -477,5 +622,65 @@ mod tests {
         let mut ok = encode_request(&Request::Root);
         ok.push(0);
         assert!(decode_request(&ok).is_err());
+    }
+
+    #[test]
+    fn compound_nesting_rules_enforced() {
+        // A hand-built Batch-in-Batch frame must be refused by the decoder.
+        let inner = encode_request(&Request::Batch(vec![Request::Root]));
+        let mut w = vec![13u8];
+        w.extend_from_slice(&1u32.to_le_bytes());
+        w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        w.extend_from_slice(&inner);
+        assert!(decode_request(&w).is_err(), "nested batch");
+
+        // ToShard-in-ToShard likewise.
+        let inner = encode_request(&Request::ToShard {
+            shard: 1,
+            req: Box::new(Request::Root),
+        });
+        let mut w = vec![14u8];
+        w.extend_from_slice(&0u32.to_le_bytes());
+        w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        w.extend_from_slice(&inner);
+        assert!(decode_request(&w).is_err(), "nested shard tag");
+
+        // ToShard-in-Batch likewise (batches are flat).
+        let inner = encode_request(&Request::ToShard {
+            shard: 1,
+            req: Box::new(Request::Root),
+        });
+        let mut w = vec![13u8];
+        w.extend_from_slice(&1u32.to_le_bytes());
+        w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        w.extend_from_slice(&inner);
+        assert!(decode_request(&w).is_err(), "shard tag inside batch");
+
+        // Batch-in-Batch on the response side.
+        let inner = encode_response(&Response::Batch(vec![Response::Ok]));
+        let mut w = vec![9u8];
+        w.extend_from_slice(&1u32.to_le_bytes());
+        w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        w.extend_from_slice(&inner);
+        assert!(decode_response(&w).is_err(), "nested response batch");
+    }
+
+    /// The single-request frames of the seed protocol must stay bit-identical
+    /// — a sharded/batched client and a PR-2 server can interoperate on them.
+    #[test]
+    fn legacy_frame_bytes_unchanged() {
+        assert_eq!(encode_request(&Request::Root), vec![0]);
+        assert_eq!(
+            encode_request(&Request::Eval { pre: 1, point: 82 }),
+            vec![4, 1, 0, 0, 0, 82, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(encode_request(&Request::Count), vec![11]);
+        assert_eq!(encode_request(&Request::Shutdown), vec![12]);
+        assert_eq!(encode_response(&Response::Value(81)), {
+            let mut v = vec![2u8];
+            v.extend_from_slice(&81u64.to_le_bytes());
+            v
+        });
+        assert_eq!(encode_response(&Response::Ok), vec![7]);
     }
 }

@@ -1,0 +1,866 @@
+//! The shard-aware, batch-first transport: [`ShardRouter`].
+//!
+//! A router owns one [`Transport`] per shard and presents the whole fleet as
+//! a single [`Transport`]: engines and the [`crate::client::ClientFilter`]
+//! stay shard-oblivious. Per logical round trip (a *wave*) the router
+//!
+//! 1. **splits** every sub-request by the deterministic `pre → shard`
+//!    partition ([`ShardSpec::shard_of`]): point requests (`GetLoc`, `Eval`)
+//!    go to the owning shard, item-list requests (`EvalMany`, `GetPolys`)
+//!    are split into per-shard sublists, and structure requests (`Root`,
+//!    `Children`, `Descendants`, `Count`) fan out to every shard;
+//! 2. **dispatches** at most one frame per shard — many sub-requests for
+//!    the same shard collapse into one [`Request::Batch`] — concurrently on
+//!    threads for socket transports, or as a sequential loop for in-process
+//!    ones;
+//! 3. **merges** the answers back in document order: split item lists are
+//!    scattered to their original positions, fanned location lists are
+//!    k-way merged by `pre` (shards hold disjoint `pre` sets, so the merge
+//!    reproduces the unsharded answer exactly).
+//!
+//! Cursors (the §5.2 `nextNode()` pipeline) keep working over shards: the
+//! router opens one cursor per shard, holds one look-ahead head per stream,
+//! and answers each `Next` with the minimum-`pre` head — the same document
+//! order a single server streams, at one wave per node.
+
+use crate::error::CoreError;
+use crate::protocol::{Request, Response};
+use crate::server::ServerFilter;
+use crate::shard::{ShardSpec, ShardedServer};
+use crate::transport::{LocalTransport, TcpTransport, Transport, TransportStats};
+use ssx_store::Loc;
+use std::collections::HashMap;
+use std::net::ToSocketAddrs;
+
+/// How the answers of one original request are reassembled from per-shard
+/// sub-responses.
+enum Slot {
+    /// Answer produced without touching any shard (e.g. an empty item list).
+    Ready(Response),
+    /// The request went verbatim to one shard.
+    Single { shard: usize, pos: usize },
+    /// An item-list request was split; each part remembers which original
+    /// item indices it carries.
+    Split {
+        kind: SplitKind,
+        total_items: usize,
+        parts: Vec<(usize, usize, Vec<usize>)>,
+    },
+    /// The request was sent to every shard; `positions[s]` is its slot in
+    /// shard `s`'s frame.
+    Fan {
+        kind: FanKind,
+        positions: Vec<usize>,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum SplitKind {
+    /// `EvalMany` → `Values`, scattered by item index.
+    Values,
+    /// `GetPolys` → `Polys`, scattered by item index.
+    Polys,
+}
+
+#[derive(Clone, Copy)]
+enum FanKind {
+    /// `Root`: at most one shard answers `Some`.
+    Root,
+    /// `Children`/`Descendants`: disjoint sorted lists, merged by `pre`.
+    Locs,
+    /// `Count`: summed.
+    Count,
+    /// `Shutdown` and friends: every shard must ack.
+    Ok,
+}
+
+/// One per-shard cursor stream of a merged cursor, with one look-ahead head.
+struct ShardStream {
+    cursor: u32,
+    head: Loc,
+}
+
+/// A router-level cursor: the live per-shard streams (index = shard).
+struct MergeCursor {
+    streams: Vec<Option<ShardStream>>,
+}
+
+/// The shard-aware batch-first transport (see the module docs).
+pub struct ShardRouter<T: Transport> {
+    spec: ShardSpec,
+    transports: Vec<T>,
+    /// Wrap per-shard frames in [`Request::ToShard`]. Socket endpoints need
+    /// the tag (the host routes on it); local transports are positional.
+    tag_frames: bool,
+    /// Dispatch per-shard frames on scoped threads instead of a sequential
+    /// loop. On for TCP, off for in-process transports.
+    concurrent: bool,
+    waves: u64,
+    batches: u64,
+    batched_requests: u64,
+    cursors: HashMap<u32, MergeCursor>,
+    next_cursor: u32,
+}
+
+impl ShardRouter<LocalTransport> {
+    /// Routes to in-process shards: one [`LocalTransport`] per filter of
+    /// `server`, sequential dispatch (there is no I/O to overlap).
+    pub fn local(server: ShardedServer) -> Self {
+        let spec = server.spec();
+        let transports = server
+            .into_filters()
+            .into_iter()
+            .map(LocalTransport::new)
+            .collect();
+        ShardRouter::new(spec, transports, false, false)
+    }
+
+    /// Read access to the per-shard servers (stats, table sizes).
+    pub fn servers(&self) -> impl Iterator<Item = &ServerFilter> {
+        self.transports.iter().map(|t| t.server())
+    }
+
+    /// Mutable access to the per-shard servers (stat resets in benches).
+    pub fn servers_mut(&mut self) -> impl Iterator<Item = &mut ServerFilter> {
+        self.transports.iter_mut().map(|t| t.server_mut())
+    }
+}
+
+impl ShardRouter<TcpTransport> {
+    /// Connects one socket per shard to a [`crate::transport::serve_tcp_sharded`]
+    /// endpoint; frames are shard-tagged and dispatched concurrently.
+    ///
+    /// The first connection performs the [`Request::ShardCount`] handshake:
+    /// a shard count that disagrees with the server's is refused here —
+    /// routing by the wrong partition would silently drop every row on the
+    /// unreached shards. `shards = 1` skips the tags, so it also speaks to
+    /// a legacy single-filter [`crate::transport::serve_tcp`] endpoint
+    /// (which answers the handshake with 1 itself).
+    pub fn connect<A: ToSocketAddrs + Copy>(addr: A, shards: u32) -> Result<Self, CoreError> {
+        let spec = ShardSpec::new(shards);
+        let mut transports = (0..spec.shards())
+            .map(|_| TcpTransport::connect(addr))
+            .collect::<Result<Vec<_>, _>>()?;
+        match transports[0].call(&Request::ShardCount)? {
+            Response::Count(n) if n == spec.shards() as u64 => {}
+            Response::Count(n) => {
+                return Err(CoreError::Transport(format!(
+                    "server partitions across {n} shard(s) but the client asked for {}; \
+                     reconnect with the server's shard count",
+                    spec.shards()
+                )))
+            }
+            other => {
+                return Err(CoreError::Transport(format!(
+                    "unexpected shard-count handshake response {other:?}"
+                )))
+            }
+        }
+        Ok(ShardRouter::new(spec, transports, spec.shards() > 1, true))
+    }
+}
+
+impl<T: Transport + Send> ShardRouter<T> {
+    /// Wires a router over explicit per-shard transports.
+    pub fn new(spec: ShardSpec, transports: Vec<T>, tag_frames: bool, concurrent: bool) -> Self {
+        assert_eq!(spec.shards() as usize, transports.len());
+        ShardRouter {
+            spec,
+            transports,
+            tag_frames,
+            concurrent,
+            waves: 0,
+            batches: 0,
+            batched_requests: 0,
+            cursors: HashMap::new(),
+            next_cursor: 1,
+        }
+    }
+
+    /// The partition spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Per-shard traffic counters (physical sends, bytes per shard).
+    pub fn shard_stats(&self) -> Vec<TransportStats> {
+        self.transports.iter().map(|t| t.stats()).collect()
+    }
+
+    /// The underlying per-shard transports.
+    pub fn transports(&self) -> &[T] {
+        &self.transports
+    }
+
+    /// Mutable access to the underlying transports.
+    pub fn transports_mut(&mut self) -> &mut [T] {
+        &mut self.transports
+    }
+
+    fn shard_of(&self, pre: u32) -> usize {
+        self.spec.shard_of(pre) as usize
+    }
+
+    /// Sends one frame per shard with work queued (batching multi-request
+    /// shards), one wave. Returns per-shard response lists parallel to
+    /// `per_shard`.
+    fn dispatch(&mut self, per_shard: Vec<Vec<Request>>) -> Result<Vec<Vec<Response>>, CoreError> {
+        debug_assert_eq!(per_shard.len(), self.transports.len());
+        if per_shard.iter().all(|v| v.is_empty()) {
+            return Ok(per_shard.into_iter().map(|_| Vec::new()).collect());
+        }
+        self.waves += 1;
+        let tag = self.tag_frames;
+        // Build the outgoing frame per shard.
+        let mut frames: Vec<Option<(Request, usize)>> = Vec::with_capacity(per_shard.len());
+        for (shard, reqs) in per_shard.into_iter().enumerate() {
+            if reqs.is_empty() {
+                frames.push(None);
+                continue;
+            }
+            let expected = reqs.len();
+            let mut frame = if expected == 1 {
+                reqs.into_iter().next().expect("one request")
+            } else {
+                self.batches += 1;
+                self.batched_requests += expected as u64;
+                Request::Batch(reqs)
+            };
+            if tag {
+                frame = Request::ToShard {
+                    shard: shard as u32,
+                    req: Box::new(frame),
+                };
+            }
+            frames.push(Some((frame, expected)));
+        }
+        // Dispatch: scoped threads overlap the socket round trips; the
+        // sequential loop is the right shape for in-process shards.
+        let results: Vec<Option<Result<Response, CoreError>>> = if self.concurrent {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .transports
+                    .iter_mut()
+                    .zip(&frames)
+                    .map(|(t, f)| {
+                        f.as_ref()
+                            .map(|(frame, _)| scope.spawn(move || t.call(frame)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("shard dispatch thread")))
+                    .collect()
+            })
+        } else {
+            self.transports
+                .iter_mut()
+                .zip(&frames)
+                .map(|(t, f)| f.as_ref().map(|(frame, _)| t.call(frame)))
+                .collect()
+        };
+        // Unwrap batch envelopes back into per-shard response lists.
+        let mut out = Vec::with_capacity(results.len());
+        for (res, frame) in results.into_iter().zip(frames) {
+            match (res, frame) {
+                (None, _) => out.push(Vec::new()),
+                (Some(res), Some((_, expected))) => {
+                    let resp = res?;
+                    if expected == 1 {
+                        out.push(vec![resp]);
+                    } else {
+                        out.push(crate::transport::unwrap_batch(resp, expected)?);
+                    }
+                }
+                (Some(_), None) => unreachable!("response without a frame"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splits `reqs` by shard, dispatches one wave, merges the answers back
+    /// in request order. Cursor requests need router-held merge state and
+    /// are answered through it (each is its own wave).
+    fn route_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        if reqs.iter().any(|r| {
+            matches!(
+                r,
+                Request::OpenChildrenCursor { .. }
+                    | Request::OpenDescendantsCursor { .. }
+                    | Request::Next { .. }
+                    | Request::CloseCursor { .. }
+            )
+        }) {
+            return reqs.iter().map(|r| self.route_one(r)).collect();
+        }
+        let shards = self.transports.len();
+        let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); shards];
+        let mut slots: Vec<Slot> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            slots.push(self.plan(req, &mut per_shard));
+        }
+        let mut responses = self.dispatch(per_shard)?;
+        slots
+            .into_iter()
+            .map(|slot| merge_slot(slot, &mut responses))
+            .collect()
+    }
+
+    /// Routes one request that is not a cursor operation.
+    fn plan(&self, req: &Request, per_shard: &mut [Vec<Request>]) -> Slot {
+        match req {
+            Request::GetLoc { pre } | Request::Eval { pre, .. } => {
+                let shard = self.shard_of(*pre);
+                let pos = per_shard[shard].len();
+                per_shard[shard].push(req.clone());
+                Slot::Single { shard, pos }
+            }
+            Request::EvalMany { pres, point } => {
+                let parts = self.split_items(pres, per_shard, |sub| Request::EvalMany {
+                    pres: sub,
+                    point: *point,
+                });
+                Slot::Split {
+                    kind: SplitKind::Values,
+                    total_items: pres.len(),
+                    parts,
+                }
+            }
+            Request::GetPolys { pres } => {
+                let parts =
+                    self.split_items(pres, per_shard, |sub| Request::GetPolys { pres: sub });
+                Slot::Split {
+                    kind: SplitKind::Polys,
+                    total_items: pres.len(),
+                    parts,
+                }
+            }
+            Request::Root => self.fan(req, FanKind::Root, per_shard),
+            Request::Children { .. } | Request::Descendants { .. } => {
+                self.fan(req, FanKind::Locs, per_shard)
+            }
+            Request::Count => self.fan(req, FanKind::Count, per_shard),
+            Request::Shutdown => self.fan(req, FanKind::Ok, per_shard),
+            // The router *is* the sharded endpoint from its client's view.
+            Request::ShardCount => Slot::Ready(Response::Count(self.spec.shards() as u64)),
+            Request::Batch(_) | Request::ToShard { .. } => Slot::Ready(Response::Err(
+                "routers build their own envelopes; send plain requests".into(),
+            )),
+            Request::OpenChildrenCursor { .. }
+            | Request::OpenDescendantsCursor { .. }
+            | Request::Next { .. }
+            | Request::CloseCursor { .. } => {
+                unreachable!("cursor requests are answered by the merge-cursor path")
+            }
+        }
+    }
+
+    /// Groups `pres` by owning shard, queueing one sub-request per shard
+    /// with items; records original item indices for the scatter.
+    fn split_items(
+        &self,
+        pres: &[u32],
+        per_shard: &mut [Vec<Request>],
+        make: impl Fn(Vec<u32>) -> Request,
+    ) -> Vec<(usize, usize, Vec<usize>)> {
+        let mut grouped: Vec<(Vec<u32>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); per_shard.len()];
+        for (i, &pre) in pres.iter().enumerate() {
+            let shard = self.shard_of(pre);
+            grouped[shard].0.push(pre);
+            grouped[shard].1.push(i);
+        }
+        let mut parts = Vec::new();
+        for (shard, (sub, idxs)) in grouped.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let pos = per_shard[shard].len();
+            per_shard[shard].push(make(sub));
+            parts.push((shard, pos, idxs));
+        }
+        parts
+    }
+
+    fn fan(&self, req: &Request, kind: FanKind, per_shard: &mut [Vec<Request>]) -> Slot {
+        let positions = per_shard
+            .iter_mut()
+            .map(|q| {
+                q.push(req.clone());
+                q.len() - 1
+            })
+            .collect();
+        Slot::Fan { kind, positions }
+    }
+
+    fn route_one(&mut self, req: &Request) -> Result<Response, CoreError> {
+        match req {
+            Request::OpenChildrenCursor { .. } | Request::OpenDescendantsCursor { .. } => {
+                self.open_merge_cursor(req)
+            }
+            Request::Next { cursor } => self.next_merged(*cursor),
+            Request::CloseCursor { cursor } => self.close_merged(*cursor),
+            _ => {
+                let shards = self.transports.len();
+                let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); shards];
+                let slot = self.plan(req, &mut per_shard);
+                let mut responses = self.dispatch(per_shard)?;
+                merge_slot(slot, &mut responses)
+            }
+        }
+    }
+
+    // ---- merged cursors ---------------------------------------------------
+
+    /// Opens one per-shard cursor plus one look-ahead head per stream (two
+    /// waves), registering a router-level cursor id.
+    fn open_merge_cursor(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let shards = self.transports.len();
+        let opened = self.dispatch(vec![vec![req.clone()]; shards])?;
+        let mut shard_cursors = Vec::with_capacity(shards);
+        for resp in opened {
+            match resp.into_iter().next() {
+                Some(Response::Cursor(c)) => shard_cursors.push(c),
+                Some(Response::Err(e)) => return Ok(Response::Err(e)),
+                other => {
+                    return Err(CoreError::Transport(format!(
+                        "unexpected cursor-open response {other:?}"
+                    )))
+                }
+            }
+        }
+        let heads = self.dispatch(
+            shard_cursors
+                .iter()
+                .map(|&c| vec![Request::Next { cursor: c }])
+                .collect(),
+        )?;
+        let mut streams = Vec::with_capacity(shards);
+        for (cursor, resp) in shard_cursors.into_iter().zip(heads) {
+            match resp.into_iter().next() {
+                Some(Response::MaybeLoc(Some(head))) => {
+                    streams.push(Some(ShardStream { cursor, head }))
+                }
+                // Exhausted immediately; the shard already dropped it.
+                Some(Response::MaybeLoc(None)) => streams.push(None),
+                Some(Response::Err(e)) => return Ok(Response::Err(e)),
+                other => {
+                    return Err(CoreError::Transport(format!(
+                        "unexpected cursor-head response {other:?}"
+                    )))
+                }
+            }
+        }
+        let id = self.next_cursor;
+        self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
+        self.cursors.insert(id, MergeCursor { streams });
+        Ok(Response::Cursor(id))
+    }
+
+    /// Pops the minimum-`pre` head across the live streams and refills that
+    /// stream (one wave to one shard).
+    fn next_merged(&mut self, id: u32) -> Result<Response, CoreError> {
+        let Some(cursor) = self.cursors.get(&id) else {
+            return Ok(Response::Err(format!("no cursor {id}")));
+        };
+        let Some((shard, _)) = cursor
+            .streams
+            .iter()
+            .enumerate()
+            .filter_map(|(s, st)| st.as_ref().map(|st| (s, st.head.pre)))
+            .min_by_key(|&(_, pre)| pre)
+        else {
+            // Every stream drained: mirror the server's auto-close.
+            self.cursors.remove(&id);
+            return Ok(Response::MaybeLoc(None));
+        };
+        let shard_cursor = cursor.streams[shard].as_ref().expect("live stream").cursor;
+        let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); self.transports.len()];
+        per_shard[shard].push(Request::Next {
+            cursor: shard_cursor,
+        });
+        let resp = self.dispatch(per_shard)?;
+        let refill = match resp
+            .into_iter()
+            .nth(shard)
+            .and_then(|v| v.into_iter().next())
+        {
+            Some(Response::MaybeLoc(l)) => l,
+            Some(Response::Err(e)) => return Ok(Response::Err(e)),
+            other => {
+                return Err(CoreError::Transport(format!(
+                    "unexpected cursor-next response {other:?}"
+                )))
+            }
+        };
+        let cursor = self.cursors.get_mut(&id).expect("checked above");
+        let stream = cursor.streams[shard].as_mut().expect("live stream");
+        let head = stream.head;
+        match refill {
+            Some(next) => stream.head = next,
+            None => cursor.streams[shard] = None,
+        }
+        Ok(Response::MaybeLoc(Some(head)))
+    }
+
+    /// Closes the remaining per-shard cursors (one wave) and drops the
+    /// merge state. Unknown ids ack like the server does.
+    fn close_merged(&mut self, id: u32) -> Result<Response, CoreError> {
+        let Some(cursor) = self.cursors.remove(&id) else {
+            return Ok(Response::Ok);
+        };
+        let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); self.transports.len()];
+        for (shard, stream) in cursor.streams.into_iter().enumerate() {
+            if let Some(stream) = stream {
+                per_shard[shard].push(Request::CloseCursor {
+                    cursor: stream.cursor,
+                });
+            }
+        }
+        self.dispatch(per_shard)?;
+        Ok(Response::Ok)
+    }
+}
+
+/// Reassembles one original request's response from the per-shard lists.
+/// Every `(shard, pos)` slot is consumed by exactly one original request,
+/// so responses are *moved* out of the lists (polynomial payloads are never
+/// copied), leaving `Response::Ok` placeholders behind.
+fn merge_slot(slot: Slot, responses: &mut [Vec<Response>]) -> Result<Response, CoreError> {
+    match slot {
+        Slot::Ready(resp) => Ok(resp),
+        Slot::Single { shard, pos } => Ok(take_response(responses, shard, pos)),
+        Slot::Split {
+            kind,
+            total_items,
+            parts,
+        } => merge_split(kind, total_items, parts, responses),
+        Slot::Fan { kind, positions } => merge_fan(kind, positions, responses),
+    }
+}
+
+/// Moves one per-shard response out of the lists.
+fn take_response(responses: &mut [Vec<Response>], shard: usize, pos: usize) -> Response {
+    std::mem::replace(&mut responses[shard][pos], Response::Ok)
+}
+
+fn merge_split(
+    kind: SplitKind,
+    total_items: usize,
+    parts: Vec<(usize, usize, Vec<usize>)>,
+    responses: &mut [Vec<Response>],
+) -> Result<Response, CoreError> {
+    match kind {
+        SplitKind::Values => {
+            let mut out = vec![0u64; total_items];
+            for (shard, pos, idxs) in parts {
+                match take_response(responses, shard, pos) {
+                    Response::Values(vs) if vs.len() == idxs.len() => {
+                        for (&i, &v) in idxs.iter().zip(&vs) {
+                            out[i] = v;
+                        }
+                    }
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected EvalMany part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Values(out))
+        }
+        SplitKind::Polys => {
+            let mut out = vec![Vec::new(); total_items];
+            for (shard, pos, idxs) in parts {
+                match take_response(responses, shard, pos) {
+                    Response::Polys(ps) if ps.len() == idxs.len() => {
+                        for (&i, p) in idxs.iter().zip(ps) {
+                            out[i] = p;
+                        }
+                    }
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected GetPolys part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Polys(out))
+        }
+    }
+}
+
+fn merge_fan(
+    kind: FanKind,
+    positions: Vec<usize>,
+    responses: &mut [Vec<Response>],
+) -> Result<Response, CoreError> {
+    let parts: Vec<Response> = positions
+        .iter()
+        .enumerate()
+        .map(|(shard, &pos)| take_response(responses, shard, pos))
+        .collect();
+    match kind {
+        FanKind::Root => {
+            let mut found = None;
+            for part in parts {
+                match part {
+                    Response::MaybeLoc(Some(l)) => found = Some(l),
+                    Response::MaybeLoc(None) => {}
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected Root part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::MaybeLoc(found))
+        }
+        FanKind::Locs => {
+            let mut out: Vec<Loc> = Vec::new();
+            for part in parts {
+                match part {
+                    Response::Locs(ls) => out.extend(ls),
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected Locs part {other:?}"
+                        )))
+                    }
+                }
+            }
+            // Shards hold disjoint pre sets: sorting the concatenation is
+            // exactly the k-way document-order merge.
+            out.sort_by_key(|l| l.pre);
+            Ok(Response::Locs(out))
+        }
+        FanKind::Count => {
+            let mut total = 0u64;
+            for part in parts {
+                match part {
+                    Response::Count(n) => total += n,
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected Count part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Count(total))
+        }
+        FanKind::Ok => {
+            for part in parts {
+                match part {
+                    Response::Ok => {}
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected ack part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Ok)
+        }
+    }
+}
+
+impl<T: Transport + Send> Transport for ShardRouter<T> {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        self.route_one(req)
+    }
+
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        self.route_batch(reqs)
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = TransportStats {
+            round_trips: self.waves,
+            batches: self.batches,
+            batched_requests: self.batched_requests,
+            ..TransportStats::default()
+        };
+        for t in &self.transports {
+            let u = t.stats();
+            s.bytes_sent += u.bytes_sent;
+            s.bytes_received += u.bytes_received;
+            s.shard_dispatches += u.round_trips;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::map::MapFile;
+    use ssx_prg::Seed;
+
+    fn router(shards: u32) -> ShardRouter<LocalTransport> {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(21);
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let out = encode_document(xml, &map, &seed).unwrap();
+        let server = ShardedServer::from_table(out.table, out.ring, shards).unwrap();
+        ShardRouter::local(server)
+    }
+
+    fn locs(resp: Response) -> Vec<u32> {
+        match resp {
+            Response::Locs(ls) => ls.iter().map(|l| l.pre).collect(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn structure_queries_merge_across_shards() {
+        for shards in [1u32, 2, 4] {
+            let mut r = router(shards);
+            match r.call(&Request::Root).unwrap() {
+                Response::MaybeLoc(Some(l)) => assert_eq!(l.pre, 1, "{shards} shards"),
+                other => panic!("{other:?}"),
+            }
+            assert_eq!(
+                locs(r.call(&Request::Children { pre: 1 }).unwrap()),
+                vec![2, 5, 7],
+                "{shards} shards"
+            );
+            let root = Loc {
+                pre: 1,
+                post: 9,
+                parent: 0,
+            };
+            assert_eq!(
+                locs(r.call(&Request::Descendants { loc: root }).unwrap()),
+                vec![2, 3, 4, 5, 6, 7, 8, 9],
+                "{shards} shards"
+            );
+            match r.call(&Request::Count).unwrap() {
+                Response::Count(9) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_scatters_back_in_request_order() {
+        let mut single = router(1);
+        let mut sharded = router(4);
+        let req = Request::EvalMany {
+            pres: vec![9, 1, 4, 2, 8, 3],
+            point: 17,
+        };
+        let a = match single.call(&req).unwrap() {
+            Response::Values(vs) => vs,
+            other => panic!("{other:?}"),
+        };
+        let b = match sharded.call(&req).unwrap() {
+            Response::Values(vs) => vs,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a, b, "values must align with the request order");
+        // The sharded call was still one logical round trip.
+        assert_eq!(sharded.stats().round_trips, 1);
+        assert!(sharded.stats().shard_dispatches >= 2, "work was split");
+    }
+
+    #[test]
+    fn batched_waves_count_one_round_trip() {
+        let mut r = router(2);
+        let reqs = vec![
+            Request::Children { pre: 1 },
+            Request::Children { pre: 2 },
+            Request::Children { pre: 7 },
+            Request::GetLoc { pre: 4 },
+        ];
+        let resps = r.call_batch(&reqs).unwrap();
+        assert_eq!(resps.len(), 4);
+        assert_eq!(locs(resps[0].clone()), vec![2, 5, 7]);
+        assert_eq!(locs(resps[1].clone()), vec![3]);
+        assert_eq!(locs(resps[2].clone()), vec![8]);
+        assert!(matches!(&resps[3], Response::MaybeLoc(Some(l)) if l.pre == 4));
+        let s = r.stats();
+        assert_eq!(s.round_trips, 1, "one wave for the whole frontier");
+        assert!(s.batches >= 1);
+        assert!(s.batched_requests >= 4);
+    }
+
+    #[test]
+    fn merged_cursors_stream_in_document_order() {
+        for shards in [1u32, 2, 4] {
+            let mut r = router(shards);
+            let cursor = match r
+                .call(&Request::OpenChildrenCursor { pres: vec![1, 2] })
+                .unwrap()
+            {
+                Response::Cursor(c) => c,
+                other => panic!("{other:?}"),
+            };
+            let mut pres = Vec::new();
+            loop {
+                match r.call(&Request::Next { cursor }).unwrap() {
+                    Response::MaybeLoc(Some(l)) => pres.push(l.pre),
+                    Response::MaybeLoc(None) => break,
+                    other => panic!("{other:?}"),
+                }
+            }
+            assert_eq!(pres, vec![2, 3, 5, 7], "{shards} shards");
+            // Drained merge cursor is gone, like the server's.
+            assert!(matches!(
+                r.call(&Request::Next { cursor }).unwrap(),
+                Response::Err(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn close_cursor_releases_every_shard() {
+        let mut r = router(4);
+        let cursor = match r
+            .call(&Request::OpenChildrenCursor { pres: vec![1] })
+            .unwrap()
+        {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            r.call(&Request::CloseCursor { cursor }).unwrap(),
+            Response::Ok
+        );
+        for server in r.servers() {
+            assert_eq!(server.open_cursors(), 0, "abandoned per-shard cursor");
+        }
+    }
+
+    #[test]
+    fn errors_surface_not_panic() {
+        let mut r = router(2);
+        assert!(matches!(
+            r.call(&Request::Eval { pre: 999, point: 3 }).unwrap(),
+            Response::Err(_)
+        ));
+        assert!(matches!(
+            r.call(&Request::EvalMany {
+                pres: vec![1, 999],
+                point: 3
+            })
+            .unwrap(),
+            Response::Err(_)
+        ));
+        // Empty item lists cost nothing and still answer.
+        assert_eq!(
+            r.call(&Request::EvalMany {
+                pres: vec![],
+                point: 3
+            })
+            .unwrap(),
+            Response::Values(vec![])
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! patterns, never tag names or plaintext polynomials.
 
 use crate::protocol::{Request, Response};
-use ssx_poly::{EvalPoly, Packer, RingCtx};
+use ssx_poly::{EvalPoly, Packer, RingCtx, RingPoly};
 use ssx_store::{Loc, Table};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -17,6 +17,12 @@ use std::collections::VecDeque;
 /// costs `q − 1` words; at the paper's `q = 83` a full cache of this size is
 /// ~0.7 GB — beyond it the server still answers, it just re-decodes.
 const EVAL_CACHE_MAX_ENTRIES: usize = 1 << 20;
+
+/// Upper bound on concurrently open cursors. Drained cursors are dropped on
+/// their final `Next` and clients release abandoned ones with `CloseCursor`,
+/// so a well-behaved client keeps a handful alive; the cap turns a leaky or
+/// hostile client into an explicit error instead of unbounded server memory.
+pub const MAX_OPEN_CURSORS: usize = 1024;
 
 /// Server-side counters (reported by benches and the TCP example).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +55,9 @@ pub struct ServerFilter {
     /// the buffering", §5.2). The stored table keeps the packed coefficient
     /// form — this cache is derived data, never persisted.
     eval_cache: HashMap<u32, EvalPoly>,
+    /// Reused coefficient buffer for first-touch row decodes (the unpack
+    /// boundary allocates nothing in steady state).
+    scratch_row: RingPoly,
 }
 
 impl ServerFilter {
@@ -61,6 +70,7 @@ impl ServerFilter {
             table.poly_len(),
             "table was packed for a different field"
         );
+        let scratch_row = ring.zero();
         ServerFilter {
             table,
             ring,
@@ -69,6 +79,7 @@ impl ServerFilter {
             cursors: HashMap::new(),
             next_cursor: 1,
             eval_cache: HashMap::new(),
+            scratch_row,
         }
     }
 
@@ -110,11 +121,10 @@ impl ServerFilter {
             .table
             .by_pre(pre)
             .ok_or_else(|| format!("no node pre={pre}"))?;
-        let poly = self
-            .packer
-            .unpack_radix(&self.ring, &row.poly)
+        self.packer
+            .unpack_radix_into(&row.poly, &mut self.scratch_row)
             .map_err(|e| format!("row pre={pre}: {e}"))?;
-        let evals = self.ring.to_evals(&poly);
+        let evals = self.ring.to_evals(&self.scratch_row);
         let value = self.ring.eval_at(&evals, point);
         if self.eval_cache.len() < EVAL_CACHE_MAX_ENTRIES {
             self.eval_cache.insert(pre, evals);
@@ -160,18 +170,18 @@ impl ServerFilter {
                 Response::Polys(out)
             }
             Request::OpenChildrenCursor { pres } => {
-                let mut queue = VecDeque::new();
+                let mut queue = Vec::new();
                 for &pre in pres {
                     queue.extend(self.table.children_of(pre));
                 }
-                Response::Cursor(self.open_cursor(queue))
+                self.open_cursor(queue)
             }
             Request::OpenDescendantsCursor { locs } => {
-                let mut queue = VecDeque::new();
+                let mut queue = Vec::new();
                 for &loc in locs {
                     queue.extend(self.table.descendants_of(loc));
                 }
-                Response::Cursor(self.open_cursor(queue))
+                self.open_cursor(queue)
             }
             Request::Next { cursor } => match self.cursors.get_mut(cursor) {
                 Some(q) => {
@@ -191,15 +201,49 @@ impl ServerFilter {
             }
             Request::Count => Response::Count(self.table.len() as u64),
             Request::Shutdown => Response::Ok,
+            // A bare filter is a 1-shard endpoint; sharded hosts intercept
+            // this request before it reaches any filter.
+            Request::ShardCount => Response::Count(1),
+            Request::Batch(subs) => {
+                let mut out = Vec::with_capacity(subs.len());
+                for sub in subs {
+                    out.push(match sub {
+                        Request::Batch(_) | Request::ToShard { .. } => {
+                            Response::Err("nested batch refused".into())
+                        }
+                        _ => self.handle(sub),
+                    });
+                }
+                Response::Batch(out)
+            }
+            Request::ToShard { .. } => {
+                Response::Err("shard-tagged request reached an unsharded endpoint".into())
+            }
         }
     }
 
-    fn open_cursor(&mut self, queue: VecDeque<Loc>) -> u32 {
+    /// Number of cursors currently held open (leak diagnostics).
+    pub fn open_cursors(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Opens a cursor over `queue` normalised to document order (sorted by
+    /// `pre`, duplicates dropped) — the order every other node-set answer
+    /// uses, and the order a sharded deployment can reproduce by merging
+    /// per-shard cursor streams.
+    fn open_cursor(&mut self, mut queue: Vec<Loc>) -> Response {
+        if self.cursors.len() >= MAX_OPEN_CURSORS {
+            return Response::Err(format!(
+                "cursor limit reached ({MAX_OPEN_CURSORS} open); close or drain cursors first"
+            ));
+        }
+        queue.sort_by_key(|l| l.pre);
+        queue.dedup_by_key(|l| l.pre);
         let id = self.next_cursor;
         self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
-        self.cursors.insert(id, queue);
+        self.cursors.insert(id, VecDeque::from(queue));
         self.stats.cursors_opened += 1;
-        id
+        Response::Cursor(id)
     }
 }
 
@@ -265,7 +309,8 @@ mod tests {
             Response::Cursor(c) => c,
             other => panic!("{other:?}"),
         };
-        // Children of 1 = {2, 5}; children of 2 = {3, 4}: four pulls + None.
+        // Children of 1 = {2, 5}; children of 2 = {3, 4}: four pulls + None,
+        // streamed in document order.
         let mut pres = Vec::new();
         loop {
             match s.handle(&Request::Next { cursor }) {
@@ -274,13 +319,94 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
-        assert_eq!(pres, vec![2, 5, 3, 4]);
+        assert_eq!(pres, vec![2, 3, 4, 5]);
         // Cursor auto-closed after exhaustion.
         match s.handle(&Request::Next { cursor }) {
             Response::Err(_) => {}
             other => panic!("{other:?}"),
         }
         assert_eq!(s.stats().cursor_items, 4);
+        assert_eq!(s.open_cursors(), 0, "drained cursor must be dropped");
+    }
+
+    #[test]
+    fn abandoned_cursors_are_bounded_and_closeable() {
+        let mut s = server();
+        // Open up to the cap without ever pulling.
+        for _ in 0..MAX_OPEN_CURSORS {
+            match s.handle(&Request::OpenChildrenCursor { pres: vec![1] }) {
+                Response::Cursor(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(s.open_cursors(), MAX_OPEN_CURSORS);
+        // One more is refused, not buffered.
+        let refused = match s.handle(&Request::OpenChildrenCursor { pres: vec![1] }) {
+            Response::Err(msg) => msg,
+            other => panic!("{other:?}"),
+        };
+        assert!(refused.contains("cursor limit"), "{refused}");
+        // CloseCursor releases capacity.
+        assert_eq!(s.handle(&Request::CloseCursor { cursor: 1 }), Response::Ok);
+        assert_eq!(s.open_cursors(), MAX_OPEN_CURSORS - 1);
+        match s.handle(&Request::OpenChildrenCursor { pres: vec![1] }) {
+            Response::Cursor(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_queue_is_document_ordered_and_deduped() {
+        let mut s = server();
+        // Overlapping descendant roots: root subtree contains the <a>
+        // subtree; duplicates must collapse and order must be by pre.
+        let root = match s.handle(&Request::Root) {
+            Response::MaybeLoc(Some(l)) => l,
+            other => panic!("{other:?}"),
+        };
+        let a = s.table().children_of(root.pre)[0];
+        let cursor = match s.handle(&Request::OpenDescendantsCursor {
+            locs: vec![root, a, root],
+        }) {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        let mut pres = Vec::new();
+        while let Response::MaybeLoc(Some(l)) = s.handle(&Request::Next { cursor }) {
+            pres.push(l.pre);
+        }
+        assert_eq!(pres, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn batch_requests_answered_slotwise() {
+        let mut s = server();
+        let resp = s.handle(&Request::Batch(vec![
+            Request::Count,
+            Request::Children { pre: 1 },
+            Request::Eval { pre: 999, point: 3 },
+            Request::Batch(vec![Request::Count]),
+        ]));
+        match resp {
+            Response::Batch(subs) => {
+                assert_eq!(subs.len(), 4);
+                assert_eq!(subs[0], Response::Count(5));
+                assert!(matches!(&subs[1], Response::Locs(ls) if ls.len() == 2));
+                assert!(matches!(&subs[2], Response::Err(_)), "bad slot is inline");
+                assert!(matches!(&subs[3], Response::Err(_)), "nested batch refused");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Envelope + each sub counted as server work.
+        assert_eq!(s.stats().requests, 1 + 3);
+        // Shard tags are a router/server-host concern, not ServerFilter's.
+        assert!(matches!(
+            s.handle(&Request::ToShard {
+                shard: 0,
+                req: Box::new(Request::Count)
+            }),
+            Response::Err(_)
+        ));
     }
 
     #[test]

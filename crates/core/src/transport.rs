@@ -11,18 +11,34 @@ use crate::protocol::{
     decode_request, decode_response, encode_request, encode_response, Request, Response,
 };
 use crate::server::ServerFilter;
+use crate::shard::ShardedServer;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Traffic counters shared by all transports.
+///
+/// `round_trips` counts *logical* request waves: a batch frame is one round
+/// trip however many sub-requests it carries, and a
+/// [`crate::router::ShardRouter`] counts one wave when it contacts several
+/// shards concurrently (the per-shard sends show up in `shard_dispatches`
+/// and in the per-shard [`crate::router::ShardRouter::shard_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TransportStats {
-    /// Request/response pairs exchanged.
+    /// Logical round trips (request waves).
     pub round_trips: u64,
     /// Request bytes (client → server).
     pub bytes_sent: u64,
     /// Response bytes (server → client).
     pub bytes_received: u64,
+    /// Batch frames sent (each is one round trip carrying many requests).
+    pub batches: u64,
+    /// Sub-requests carried inside batch frames.
+    pub batched_requests: u64,
+    /// Physical per-shard sends made by a router on behalf of the logical
+    /// waves (0 on direct transports).
+    pub shard_dispatches: u64,
 }
 
 /// A synchronous request/response channel to a `ServerFilter`.
@@ -30,8 +46,58 @@ pub trait Transport {
     /// Sends one request and waits for the response.
     fn call(&mut self, req: &Request) -> Result<Response, CoreError>;
 
+    /// Sends many requests in one logical round trip, returning responses
+    /// in request order. Failed sub-requests come back as inline
+    /// [`Response::Err`] slots. The default implementation degrades to one
+    /// round trip per request (the unbatched wire shape); every built-in
+    /// transport overrides it with a single [`Request::Batch`] frame.
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        reqs.iter().map(|r| self.call(r)).collect()
+    }
+
     /// Counter snapshot.
     fn stats(&self) -> TransportStats;
+}
+
+/// The shared `call_batch` body of the concrete frame transports: empty and
+/// singleton fast paths, batch counters, one [`Request::Batch`] envelope
+/// (which `call` counts as the single round trip it is), unwrap.
+fn framed_call_batch<T: Transport + HasStats>(
+    transport: &mut T,
+    reqs: &[Request],
+) -> Result<Vec<Response>, CoreError> {
+    if reqs.is_empty() {
+        return Ok(Vec::new());
+    }
+    if reqs.len() == 1 {
+        return Ok(vec![transport.call(&reqs[0])?]);
+    }
+    let stats = transport.stats_mut();
+    stats.batches += 1;
+    stats.batched_requests += reqs.len() as u64;
+    let resp = transport.call(&Request::Batch(reqs.to_vec()))?;
+    unwrap_batch(resp, reqs.len())
+}
+
+/// Mutable counter access for [`framed_call_batch`].
+trait HasStats {
+    fn stats_mut(&mut self) -> &mut TransportStats;
+}
+
+/// Shared by the concrete transports: wrap `reqs` in one batch frame and
+/// unwrap the multi-response, validating the slot count.
+pub(crate) fn unwrap_batch(resp: Response, expected: usize) -> Result<Vec<Response>, CoreError> {
+    match resp {
+        Response::Batch(subs) if subs.len() == expected => Ok(subs),
+        Response::Batch(subs) => Err(CoreError::Transport(format!(
+            "batch answered {} of {expected} slots",
+            subs.len()
+        ))),
+        Response::Err(e) => Err(CoreError::Transport(e)),
+        other => Err(CoreError::Transport(format!(
+            "unexpected batch response {other:?}"
+        ))),
+    }
 }
 
 /// In-process transport: full encode/decode on both sides, zero I/O.
@@ -73,8 +139,18 @@ impl Transport for LocalTransport {
         decode_response(&resp_frame)
     }
 
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        framed_call_batch(self, reqs)
+    }
+
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+}
+
+impl HasStats for LocalTransport {
+    fn stats_mut(&mut self) -> &mut TransportStats {
+        &mut self.stats
     }
 }
 
@@ -82,6 +158,12 @@ impl Transport for LocalTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     stats: TransportStats,
+}
+
+impl HasStats for TcpTransport {
+    fn stats_mut(&mut self) -> &mut TransportStats {
+        &mut self.stats
+    }
 }
 
 impl TcpTransport {
@@ -140,14 +222,20 @@ impl Transport for TcpTransport {
         decode_response(&payload)
     }
 
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        framed_call_batch(self, reqs)
+    }
+
     fn stats(&self) -> TransportStats {
         self.stats
     }
 }
 
 /// Serves `server` on `listener`, one connection at a time, until a client
-/// sends [`Request::Shutdown`]. Returns the server filter (with its final
-/// stats) when shut down.
+/// sends [`Request::Shutdown`]. A connection that breaks mid-stream (I/O
+/// error, unframeable bytes) is dropped and the next one accepted — a
+/// misbehaving client cannot take the server down. Returns the server
+/// filter (with its final stats) when shut down.
 pub fn serve_tcp(
     listener: TcpListener,
     mut server: ServerFilter,
@@ -156,15 +244,19 @@ pub fn serve_tcp(
         let (mut stream, _) = listener
             .accept()
             .map_err(|e| CoreError::Transport(format!("accept: {e}")))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
-        while let Some(frame) = read_frame(&mut stream)? {
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        // A clean hang-up (None) or poisoned stream (Err) both end the
+        // connection; the server accepts the next one.
+        while let Ok(Some(frame)) = read_frame(&mut stream) {
             let resp = match decode_request(&frame) {
                 Ok(req) => {
                     let resp = server.handle(&req);
                     let shutdown = matches!(req, Request::Shutdown);
-                    write_frame(&mut stream, &encode_response(&resp))?;
+                    if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+                        break;
+                    }
                     if shutdown {
                         break 'outer;
                     }
@@ -172,11 +264,113 @@ pub fn serve_tcp(
                 }
                 Err(e) => Response::Err(e.to_string()),
             };
-            write_frame(&mut stream, &encode_response(&resp))?;
+            if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+                break;
+            }
         }
-        // Client hung up without Shutdown: accept the next connection.
     }
     Ok(server)
+}
+
+/// Shared state of a concurrent sharded host: one independently lockable
+/// filter per shard, so connections bound to different shards execute in
+/// parallel.
+struct ShardHost {
+    filters: Vec<Mutex<ServerFilter>>,
+    stop: AtomicBool,
+}
+
+/// Serves a [`ShardedServer`] on `listener`, one thread per connection,
+/// until any client sends [`Request::Shutdown`] (bare or shard-tagged, as a
+/// standalone frame). Clients address shards with [`Request::ToShard`];
+/// untagged requests go to shard 0, so a single-shard deployment speaks the
+/// exact legacy protocol. Returns the sharded server (with its per-shard
+/// stats) once every connection has drained.
+pub fn serve_tcp_sharded(
+    listener: TcpListener,
+    server: ShardedServer,
+) -> Result<ShardedServer, CoreError> {
+    let spec = server.spec();
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CoreError::Transport(format!("local_addr: {e}")))?;
+    let host = Arc::new(ShardHost {
+        filters: server.into_filters().into_iter().map(Mutex::new).collect(),
+        stop: AtomicBool::new(false),
+    });
+    std::thread::scope(|scope| -> Result<(), CoreError> {
+        loop {
+            let (stream, _) = listener
+                .accept()
+                .map_err(|e| CoreError::Transport(format!("accept: {e}")))?;
+            if host.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let host = Arc::clone(&host);
+            scope.spawn(move || {
+                // A connection failing mid-stream only ends that connection.
+                let _ = serve_sharded_connection(stream, &host, addr);
+            });
+        }
+    })?;
+    let host = Arc::into_inner(host).expect("all connection threads joined");
+    let filters = host
+        .filters
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect();
+    Ok(ShardedServer::from_filters(spec, filters))
+}
+
+fn serve_sharded_connection(
+    mut stream: TcpStream,
+    host: &ShardHost,
+    addr: SocketAddr,
+) -> Result<(), CoreError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
+    while let Some(frame) = read_frame(&mut stream)? {
+        let resp = match decode_request(&frame) {
+            Ok(req) => {
+                let (shard, inner): (u32, &Request) = match &req {
+                    Request::ToShard { shard, req } => (*shard, req),
+                    other => (0, other),
+                };
+                // The handshake answers for the whole host, whatever shard
+                // it was addressed to.
+                if matches!(inner, Request::ShardCount) {
+                    let resp = Response::Count(host.filters.len() as u64);
+                    write_frame(&mut stream, &encode_response(&resp))?;
+                    continue;
+                }
+                // Shutdown only counts when it was addressed to a shard
+                // that exists — an erroneous frame must not stop the host.
+                let mut shutdown = matches!(inner, Request::Shutdown);
+                let resp = match host.filters.get(shard as usize) {
+                    Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
+                    None => {
+                        shutdown = false;
+                        Response::Err(format!(
+                            "no shard {shard} (server has {})",
+                            host.filters.len()
+                        ))
+                    }
+                };
+                write_frame(&mut stream, &encode_response(&resp))?;
+                if shutdown {
+                    host.stop.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the stop flag.
+                    let _ = TcpStream::connect(addr);
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => Response::Err(e.to_string()),
+        };
+        write_frame(&mut stream, &encode_response(&resp))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -146,10 +146,7 @@ mod tests {
         // Small modulus, reduced operands: fast u64 path.
         assert_eq!(mul_mod(82, 82, 83), (82 * 82) % 83);
         // Small modulus, unreduced operands: must still be exact.
-        assert_eq!(mul_mod(1 << 40, 1 << 40, 97), {
-            let m = ((1u128 << 80) % 97) as u64;
-            m
-        });
+        assert_eq!(mul_mod(1 << 40, 1 << 40, 97), ((1u128 << 80) % 97) as u64);
         // Boundary: m just below and above 2^32.
         let m_small = (1u64 << 32) - 1;
         let m_large = (1u64 << 32) + 15;

@@ -87,46 +87,97 @@ impl Packer {
     /// Packs a polynomial as a little-endian base-256 rendering of the
     /// base-`q` integer `Σ c_i · q^i`. Exactly [`Packer::radix_len`] bytes.
     pub fn pack_radix(&self, poly: &RingPoly) -> Vec<u8> {
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        self.pack_radix_into(poly, &mut work, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Packer::pack_radix`]: `work` is a reusable
+    /// digit buffer and the packed bytes replace the contents of `out` — no
+    /// allocation once both buffers have warmed up. The emitted bytes are
+    /// bit-identical to [`Packer::pack_radix`] (the base-256 digits of an
+    /// integer are unique); the conversion extracts 32 bits per division
+    /// pass instead of 8, ~4× fewer passes over the digit vector.
+    pub fn pack_radix_into(&self, poly: &RingPoly, work: &mut Vec<u64>, out: &mut Vec<u8>) {
         debug_assert_eq!(poly.len(), self.n);
-        let mut work: Vec<u64> = poly.coeffs().to_vec();
-        let mut out = Vec::with_capacity(self.radix_len);
-        for _ in 0..self.radix_len {
-            // Divide the base-q bignum by 256, pushing the remainder byte.
+        work.clear();
+        work.extend_from_slice(poly.coeffs());
+        out.clear();
+        out.reserve(self.radix_len);
+        debug_assert!(
+            self.q <= u32::MAX as u64 + 1,
+            "chunked packing needs q ≤ 2^32"
+        );
+        let mut remaining = self.radix_len;
+        while remaining > 0 {
+            // Divide the base-q bignum by 2^32, pushing up to four remainder
+            // bytes (fewer in the final, most-significant chunk).
             let mut rem: u64 = 0;
             for d in work.iter_mut().rev() {
                 let cur = rem * self.q + *d;
-                *d = cur >> 8;
-                rem = cur & 0xff;
+                *d = cur >> 32;
+                rem = cur & 0xffff_ffff;
             }
-            out.push(rem as u8);
+            let take = remaining.min(4);
+            out.extend_from_slice(&(rem as u32).to_le_bytes()[..take]);
+            debug_assert!(rem >> (8 * take) == 0, "value exceeded q^n");
+            remaining -= take;
         }
         debug_assert!(work.iter().all(|&d| d == 0), "value exceeded q^n");
-        out
     }
 
     /// Inverse of [`Packer::pack_radix`].
     pub fn unpack_radix(&self, ring: &RingCtx, bytes: &[u8]) -> Result<RingPoly, PackError> {
+        let mut out = ring.zero();
+        self.unpack_radix_into(bytes, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-buffer variant of [`Packer::unpack_radix`]: decodes into an
+    /// existing polynomial (typically a reused [`RingCtx::zero`]) without
+    /// allocating. Consumes 32 bits per multiply-accumulate pass.
+    pub fn unpack_radix_into(&self, bytes: &[u8], out: &mut RingPoly) -> Result<(), PackError> {
         if bytes.len() != self.radix_len {
             return Err(PackError::WrongLength {
                 expected: self.radix_len,
                 got: bytes.len(),
             });
         }
-        let mut digits = vec![0u64; self.n];
-        for &b in bytes.iter().rev() {
-            // digits = digits * 256 + b in base q.
-            let mut carry = b as u64;
+        debug_assert_eq!(out.len(), self.n, "output polynomial from the wrong ring");
+        let digits = out.coeffs_mut();
+        digits.fill(0);
+        // Chunks of four bytes, most-significant (tail, possibly short)
+        // chunk first: digits = digits * 2^(8·len) + chunk, in base q.
+        let q = self.q;
+        let mut absorb = |chunk: u64, shift: u32| -> Result<(), PackError> {
+            let mut carry = chunk;
             for d in digits.iter_mut() {
-                let cur = (*d << 8) + carry;
-                *d = cur % self.q;
-                carry = cur / self.q;
+                let cur = (*d << shift) + carry;
+                *d = cur % q;
+                carry = cur / q;
             }
             if carry != 0 {
                 return Err(PackError::Corrupt);
             }
+            Ok(())
+        };
+        let head = self.radix_len % 4;
+        if head != 0 {
+            let tail = &bytes[self.radix_len - head..];
+            let mut v = 0u64;
+            for (k, &b) in tail.iter().enumerate() {
+                v |= (b as u64) << (8 * k);
+            }
+            absorb(v, 8 * head as u32)?;
         }
-        ring.poly_from_coeffs(digits)
-            .map_err(|_| PackError::Corrupt)
+        for c in bytes[..self.radix_len - head].chunks_exact(4).rev() {
+            absorb(
+                u32::from_le_bytes(c.try_into().expect("4 bytes")) as u64,
+                32,
+            )?;
+        }
+        Ok(())
     }
 
     /// Packs with `ceil(log2 q)` bits per coefficient, LSB-first.
@@ -264,6 +315,46 @@ mod tests {
         assert_eq!(err, PackError::Corrupt);
         let err = packer.unpack_radix(&ring, &[0x01]).unwrap_err();
         assert!(matches!(err, PackError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_buffers() {
+        // radix_len % 4 covers 2 (F_5 n=4 → 2 B), 0 (F_83 → 66... 66 % 4 = 2),
+        // so include F_29 (18 B → rem 2) and a power of two (GF(256), 255 B →
+        // rem 3) plus F_131 (130·log2 131 / 8 = 115 B → rem 3).
+        for (p, e) in [(5u64, 1u32), (29, 1), (83, 1), (131, 1), (2, 8), (3, 4)] {
+            let ring = RingCtx::new(p, e).unwrap();
+            let packer = Packer::new(&ring);
+            let mut work = Vec::new();
+            let mut out = Vec::new();
+            let mut back = ring.zero();
+            let mut f = ring.one();
+            for t in 1..ring.field().order().min(20) {
+                f = ring.mul_linear(&f, t);
+                let baseline = packer.pack_radix(&f);
+                packer.pack_radix_into(&f, &mut work, &mut out);
+                assert_eq!(out, baseline, "bit-identical packing for q={}", p.pow(e));
+                packer.unpack_radix_into(&out, &mut back).unwrap();
+                assert_eq!(back, f);
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_rejects_corrupt_and_wrong_length() {
+        let ring = RingCtx::new(5, 1).unwrap();
+        let packer = Packer::new(&ring);
+        let mut out = ring.zero();
+        assert_eq!(
+            packer
+                .unpack_radix_into(&[0xff, 0xff], &mut out)
+                .unwrap_err(),
+            PackError::Corrupt
+        );
+        assert!(matches!(
+            packer.unpack_radix_into(&[0x01], &mut out).unwrap_err(),
+            PackError::WrongLength { .. }
+        ));
     }
 
     #[test]

@@ -231,6 +231,12 @@ impl Table {
         &self.rows
     }
 
+    /// Consumes the table, yielding its rows in insertion order (used to
+    /// repartition a table across shards without cloning the payloads).
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
     /// Byte-level size accounting for the Fig 4 series.
     pub fn size_report(&self) -> SizeReport {
         SizeReport {

@@ -8,17 +8,21 @@
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
-//! ssxdb serve   --p <p> --e <e> --addr <host:port> <db.ssxdb>
-//! ssxdb remote  --map <map> --seed <seed> --addr <host:port>
+//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] <db.ssxdb>
+//! ssxdb remote  --map <map> --seed <seed> --addr <host:port> [--shards S]
 //!               [--engine …] [--rule …] [--stats] <query>
 //! ```
+//!
+//! `serve --shards S` partitions the table across `S` independent server
+//! filters behind one concurrent listener; `remote --shards S` opens one
+//! connection per shard and batches each query frontier across them.
 //!
 //! The map and seed files are the client secrets; `info` and `serve` work
 //! without them (they only touch what the untrusted server would hold).
 
 use ssxdb::core::{
-    encode_document, encode_dom, serve_tcp, ClientFilter, Engine, EngineKind, MapFile, MatchRule,
-    ServerFilter, TcpTransport,
+    encode_document, encode_dom, serve_tcp, serve_tcp_sharded, ClientFilter, Engine, EngineKind,
+    MapFile, MatchRule, ServerFilter, ShardRouter, ShardedServer,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
@@ -74,8 +78,9 @@ commands:
   info    <db.ssxdb>                          sizes & structure (no secrets)
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
-  serve   --p P --e E --addr HOST:PORT <db.ssxdb>
-  remote  --map M --seed S --addr HOST:PORT [--engine ..] [--rule ..] <query>
+  serve   --p P --e E --addr HOST:PORT [--shards S] <db.ssxdb>
+  remote  --map M --seed S --addr HOST:PORT [--shards S]
+          [--engine ..] [--rule ..] <query>
 ";
 
 // ---- tiny argument parser ---------------------------------------------------
@@ -364,36 +369,71 @@ fn serve(mut args: Args) -> Result<(), String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| "bad --e")?;
+    let shards: u32 = args
+        .flag("shards")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --shards")?;
     let addr = args.required("addr")?.to_string();
     let db_path = PathBuf::from(args.positional("db.ssxdb")?);
     let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let ring = RingCtx::new(p, e).map_err(|err| err.to_string())?;
-    let server = ServerFilter::new(table, ring);
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
-    println!(
-        "serving {} on {addr} (Ctrl-C or a Shutdown request stops it)",
-        db_path.display()
-    );
-    let server = serve_tcp(listener, server).map_err(|err| err.to_string())?;
-    let stats = server.stats();
-    println!(
-        "served {} requests: {} evaluations, {} polynomials",
-        stats.requests, stats.evaluations, stats.polys_served
-    );
+    if shards <= 1 {
+        let server = ServerFilter::new(table, ring);
+        println!(
+            "serving {} on {addr} (Ctrl-C or a Shutdown request stops it)",
+            db_path.display()
+        );
+        let server = serve_tcp(listener, server).map_err(|err| err.to_string())?;
+        let stats = server.stats();
+        println!(
+            "served {} requests: {} evaluations, {} polynomials",
+            stats.requests, stats.evaluations, stats.polys_served
+        );
+    } else {
+        let server =
+            ShardedServer::from_table(table, ring, shards).map_err(|err| err.to_string())?;
+        println!(
+            "serving {} on {addr} across {shards} shards, one thread per connection \
+             (Ctrl-C or a Shutdown request stops it)",
+            db_path.display()
+        );
+        let server = serve_tcp_sharded(listener, server).map_err(|err| err.to_string())?;
+        for (i, f) in server.filters().iter().enumerate() {
+            let s = f.stats();
+            println!(
+                "shard {i}: {} rows, {} requests, {} evaluations, {} polynomials",
+                f.table().len(),
+                s.requests,
+                s.evaluations,
+                s.polys_served
+            );
+        }
+    }
     Ok(())
 }
 
 fn remote(mut args: Args) -> Result<(), String> {
     let (map, seed) = load_secrets(&args)?;
     let addr = args.required("addr")?.to_string();
+    let shards: u32 = args
+        .flag("shards")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --shards")?;
     let query_text = args.positional("query")?;
-    let transport = TcpTransport::connect(&addr).map_err(|e| e.to_string())?;
-    let mut client = ClientFilter::new(transport, map, seed).map_err(|e| e.to_string())?;
     let engine = parse_engine(&args)?;
     let rule = parse_rule(&args)?;
     let q = parse_query(&query_text)
         .map_err(|e| e.to_string())?
         .expand_text_predicates();
+    // Always connect through the router: its handshake refuses a shard
+    // count that disagrees with the server's (which would silently skip
+    // partitions), and with `--shards 1` it speaks the untagged legacy
+    // protocol.
+    let router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+    let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())

@@ -1,0 +1,199 @@
+//! TCP failure paths must surface as typed `CoreError`s on the client and
+//! must not take servers down: truncated frames, absurd length prefixes,
+//! and mid-query disconnects.
+
+use ssxdb::core::protocol::Request;
+use ssxdb::core::transport::Transport;
+use ssxdb::core::{
+    encode_document, serve_tcp, serve_tcp_sharded, CoreError, MapFile, ServerFilter, ShardRouter,
+    ShardedServer, TcpTransport,
+};
+use ssxdb::prg::Seed;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+fn demo_server() -> ServerFilter {
+    let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+    let seed = Seed::from_test_key(9);
+    let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+    ServerFilter::new(out.table, out.ring)
+}
+
+/// A fake server that accepts one connection, runs `script` on it, and
+/// drops it.
+fn fake_server(script: impl FnOnce(TcpStream) + Send + 'static) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        script(stream);
+    });
+    addr
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_not_allocated() {
+    let addr = fake_server(|mut stream| {
+        // Read the request frame, answer with a 4 GiB length prefix.
+        let mut buf = [0u8; 256];
+        use std::io::Read;
+        let _ = stream.read(&mut buf);
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        // Keep the socket open long enough for the client to read the prefix.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    let mut t = TcpTransport::connect(addr).unwrap();
+    match t.call(&Request::Count) {
+        Err(CoreError::Transport(msg)) => assert!(msg.contains("refused"), "{msg}"),
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_response_frame_errors() {
+    let addr = fake_server(|mut stream| {
+        let mut buf = [0u8; 256];
+        use std::io::Read;
+        let _ = stream.read(&mut buf);
+        // Promise 100 bytes, deliver 3, hang up.
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+    });
+    let mut t = TcpTransport::connect(addr).unwrap();
+    match t.call(&Request::Count) {
+        Err(CoreError::Transport(msg)) => assert!(msg.contains("read"), "{msg}"),
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_disconnect_mid_query_errors() {
+    let addr = fake_server(drop);
+    let mut t = TcpTransport::connect(addr).unwrap();
+    // The server is gone: either the write fails or the read sees EOF —
+    // both must be typed errors, never a panic.
+    match t.call(&Request::Count) {
+        Err(CoreError::Transport(_)) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_client_frames_do_not_kill_serve_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || serve_tcp(listener, demo_server()).unwrap());
+
+    // A client that promises 50 bytes and delivers 5, then vanishes.
+    {
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&50u32.to_le_bytes()).unwrap();
+        bad.write_all(&[9, 9, 9, 9, 9]).unwrap();
+    }
+    // A client that sends an oversized prefix.
+    {
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    }
+    // The server must still answer a well-behaved client.
+    let mut good = TcpTransport::connect(addr).unwrap();
+    match good.call(&Request::Count).unwrap() {
+        ssxdb::core::protocol::Response::Count(3) => {}
+        other => panic!("{other:?}"),
+    }
+    good.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shard_count_mismatch_is_refused_at_connect() {
+    let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+    let seed = Seed::from_test_key(9);
+    let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+    let server = ShardedServer::from_table(out.table, out.ring, 4).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || serve_tcp_sharded(listener, server).unwrap());
+
+    // Too few shards would silently skip partitions; too many would route
+    // to nonexistent ones. Both must be refused by the handshake.
+    for wrong in [1u32, 2, 8] {
+        match ShardRouter::connect(addr, wrong) {
+            Err(CoreError::Transport(msg)) => {
+                assert!(msg.contains("4 shard"), "{msg}");
+            }
+            Ok(_) => panic!("shard count {wrong} accepted against a 4-shard host"),
+            Err(other) => panic!("{other:?}"),
+        }
+    }
+    // The right count connects and works.
+    let mut router = ShardRouter::connect(addr, 4).unwrap();
+    match router.call(&Request::Count).unwrap() {
+        ssxdb::core::protocol::Response::Count(3) => {}
+        other => panic!("{other:?}"),
+    }
+    router.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_to_a_nonexistent_shard_does_not_stop_the_host() {
+    let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+    let seed = Seed::from_test_key(9);
+    let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+    let server = ShardedServer::from_table(out.table, out.ring, 2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || serve_tcp_sharded(listener, server).unwrap());
+
+    // A raw mis-addressed Shutdown gets an error and must NOT stop the host.
+    let mut raw = TcpTransport::connect(addr).unwrap();
+    match raw
+        .call(&Request::ToShard {
+            shard: 99,
+            req: Box::new(Request::Shutdown),
+        })
+        .unwrap()
+    {
+        ssxdb::core::protocol::Response::Err(msg) => assert!(msg.contains("no shard"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    // Still serving.
+    let mut router = ShardRouter::connect(addr, 2).unwrap();
+    match router.call(&Request::Count).unwrap() {
+        ssxdb::core::protocol::Response::Count(3) => {}
+        other => panic!("{other:?}"),
+    }
+    // Close every connection (the host joins its connection threads before
+    // returning, so the raw socket must go first), then stop.
+    drop(raw);
+    router.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_frames_only_drop_their_connection_on_sharded_host() {
+    let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+    let seed = Seed::from_test_key(9);
+    let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+    let server = ShardedServer::from_table(out.table, out.ring, 2).unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || serve_tcp_sharded(listener, server).unwrap());
+
+    let mut router = ShardRouter::connect(addr, 2).unwrap();
+    // Poison a separate connection mid-stream.
+    {
+        let mut bad = TcpStream::connect(addr).unwrap();
+        bad.write_all(&33u32.to_le_bytes()).unwrap();
+        bad.write_all(&[7; 4]).unwrap();
+    }
+    // The router's connections keep working.
+    match router.call(&Request::Count).unwrap() {
+        ssxdb::core::protocol::Response::Count(3) => {}
+        other => panic!("{other:?}"),
+    }
+    router.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
