@@ -32,7 +32,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_3.json".to_string());
+                .unwrap_or_else(|| "BENCH_4.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -72,14 +72,15 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_3.json`; the committed file is the PR-3 baseline
+/// `path`, default `BENCH_4.json`; the committed file is the PR-4 baseline
 /// and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
 /// representations, the boundary transforms, the pack/unpack boundary, the
 /// per-node encode cost, an end-to-end Table-1 chain query under both
-/// engines, and the shard-count × batching matrix of the sharded query
-/// plane (round trips and wall-clock per configuration).
+/// engines, and the shard-count × batching × **speculation** matrix of the
+/// sharded query plane (round trips, speculative hit counts and wall-clock
+/// per configuration).
 fn bench_json(path: &str) {
     use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
@@ -162,45 +163,72 @@ fn bench_json(path: &str) {
     let query_advanced_ms = query_ms(EngineKind::Advanced);
 
     // The sharded/batched query plane: S ∈ {1, 2, 4} × batching {on, off}
-    // on the fig5-style chain query. Results must be identical in every
-    // cell; round trips are the quantity the plane exists to cut.
+    // × speculation {off, on} on the fig5-style chain query. Results must
+    // be identical in every cell; round trips are the quantity the plane
+    // exists to cut, and the speculation column is the PR-4 datapoint —
+    // waves strictly below the PR-3 baseline at identical results.
     let mut shard_cells = Vec::new();
     let mut reference: Option<Vec<u32>> = None;
     let mut rt_batched_s1 = 0u64;
     let mut rt_unbatched_s1 = 0u64;
+    let mut rt_speculative_s1 = 0u64;
+    let mut spec_hits_s1 = 0u64;
+    let mut spec_wasted_s1 = 0u64;
     for shards in [1u32, 2, 4] {
         for batched in [true, false] {
-            let mut db = EncryptedDb::encode_sharded(&xml, paper_map(), paper_seed(), shards)
-                .expect("sharded db");
-            if !batched {
-                db.set_batch_limit(Some(1));
+            for speculation in [false, true] {
+                let mut db = EncryptedDb::encode_sharded(&xml, paper_map(), paper_seed(), shards)
+                    .expect("sharded db");
+                if !batched {
+                    db.set_batch_limit(Some(1));
+                }
+                db.set_speculation(speculation);
+                let started = Instant::now();
+                let out = db
+                    .query(&chain, EngineKind::Simple, MatchRule::Containment)
+                    .expect("query");
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                match &reference {
+                    None => reference = Some(out.pres()),
+                    Some(r) => assert_eq!(
+                        r,
+                        &out.pres(),
+                        "results must not depend on S/batching/speculation"
+                    ),
+                }
+                if shards == 1 && batched && !speculation {
+                    rt_batched_s1 = out.stats.round_trips;
+                }
+                if shards == 1 && !batched && !speculation {
+                    rt_unbatched_s1 = out.stats.round_trips;
+                }
+                if shards == 1 && batched && speculation {
+                    rt_speculative_s1 = out.stats.round_trips;
+                    spec_hits_s1 = out.stats.speculative_hits;
+                    spec_wasted_s1 = out.stats.speculative_wasted;
+                }
+                shard_cells.push(format!(
+                    "    {{ \"shards\": {shards}, \"batched\": {batched}, \
+                     \"speculation\": {speculation}, \"round_trips\": {}, \
+                     \"shard_dispatches\": {}, \"speculative_hits\": {}, \
+                     \"speculative_wasted\": {}, \"query_ms\": {ms:.3} }}",
+                    out.stats.round_trips,
+                    out.stats.shard_dispatches,
+                    out.stats.speculative_hits,
+                    out.stats.speculative_wasted
+                ));
             }
-            let started = Instant::now();
-            let out = db
-                .query(&chain, EngineKind::Simple, MatchRule::Containment)
-                .expect("query");
-            let ms = started.elapsed().as_secs_f64() * 1e3;
-            match &reference {
-                None => reference = Some(out.pres()),
-                Some(r) => assert_eq!(r, &out.pres(), "results must not depend on S/batching"),
-            }
-            if shards == 1 && batched {
-                rt_batched_s1 = out.stats.round_trips;
-            }
-            if shards == 1 && !batched {
-                rt_unbatched_s1 = out.stats.round_trips;
-            }
-            shard_cells.push(format!(
-                "    {{ \"shards\": {shards}, \"batched\": {batched}, \
-                 \"round_trips\": {}, \"shard_dispatches\": {}, \"query_ms\": {ms:.3} }}",
-                out.stats.round_trips, out.stats.shard_dispatches
-            ));
         }
     }
     let rt_reduction = rt_unbatched_s1 as f64 / rt_batched_s1.max(1) as f64;
+    assert!(
+        rt_speculative_s1 < rt_batched_s1,
+        "speculation must beat the PR-3 wave baseline ({rt_speculative_s1} vs {rt_batched_s1})"
+    );
 
+    let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/2\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/3\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -214,6 +242,11 @@ fn bench_json(path: &str) {
          \"query_table1_chain_simple_ms\": {query_simple_ms:.3},\n  \
          \"query_table1_chain_advanced_ms\": {query_advanced_ms:.3},\n  \
          \"round_trip_reduction_batched\": {rt_reduction:.1},\n  \
+         \"fig5_chain_waves_baseline\": {rt_batched_s1},\n  \
+         \"fig5_chain_waves_speculative\": {rt_speculative_s1},\n  \
+         \"speculative_hits\": {spec_hits_s1},\n  \
+         \"speculative_wasted\": {spec_wasted_s1},\n  \
+         \"speculative_hit_rate\": {spec_hit_rate:.3},\n  \
          \"shard_batch_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),

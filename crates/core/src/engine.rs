@@ -78,6 +78,12 @@ pub struct QueryStats {
     /// Physical per-shard sends behind the logical round trips (0 unless a
     /// shard router is in play).
     pub shard_dispatches: u64,
+    /// Requests answered from the router's speculation cache — each one a
+    /// round trip the query did not pay (0 unless speculation is on).
+    pub speculative_hits: u64,
+    /// Speculative prefetches this query issued that went unconsumed
+    /// within its window — the mis-speculation cost.
+    pub speculative_wasted: u64,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -161,6 +167,13 @@ impl StatWindow {
                 batches: t.batches - self.transport_before.batches,
                 batched_requests: t.batched_requests - self.transport_before.batched_requests,
                 shard_dispatches: t.shard_dispatches - self.transport_before.shard_dispatches,
+                speculative_hits: t.speculative_hits - self.transport_before.speculative_hits,
+                // Saturating: a prefetch issued by an *earlier* query may be
+                // consumed inside this window, pulling the cumulative wasted
+                // count below its opening value.
+                speculative_wasted: t
+                    .speculative_wasted
+                    .saturating_sub(self.transport_before.speculative_wasted),
                 elapsed: self.started.elapsed(),
             },
         }

@@ -116,6 +116,31 @@ impl EncryptedDb {
         self.client.transport().spec().shards()
     }
 
+    /// Repartitions the in-process fleet across `shards` filters **online**
+    /// — no save/load cycle, rows move bit-identically (only placement
+    /// changes), query results are unaffected. See
+    /// [`crate::router::ShardRouter::reshard`].
+    pub fn reshard(&mut self, shards: u32) -> Result<(), CoreError> {
+        self.client.transport_mut().reshard(shards)
+    }
+
+    /// The shard count the observed per-shard traffic argues for (the
+    /// auto-tuning heuristic; see
+    /// [`crate::router::ShardRouter::suggest_shards`]). Pair with
+    /// [`EncryptedDb::reshard`] — the facade never repartitions on its own.
+    pub fn suggest_shards(&self) -> u32 {
+        self.client.transport().suggest_shards()
+    }
+
+    /// Enables or disables speculative wave pipelining: dependent query
+    /// waves overlap (the next frontier's expansion rides the current
+    /// wave's frames), cutting round trips on chain queries at identical
+    /// results. Off by default. See the
+    /// [`crate::router::ShardRouter`] module docs.
+    pub fn set_speculation(&mut self, enabled: bool) {
+        self.client.transport_mut().set_speculation(enabled);
+    }
+
     /// Caps batch frames at `limit` sub-requests (`None` = whole-frontier
     /// batches; `Some(1)` = the unbatched wire shape, the ablation
     /// baseline).
@@ -323,6 +348,65 @@ mod tests {
         assert_eq!(a.pres(), vec![3]);
         assert_eq!(b.pres(), vec![3]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn online_reshard_round_trips_with_bit_identical_save_bytes() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let mut db = EncryptedDb::encode_sharded(xml, map(), Seed::from_test_key(33), 2).unwrap();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let before_path = dir.join("reshard_before.ssxdb");
+        let after_path = dir.join("reshard_after.ssxdb");
+        db.save(&before_path).unwrap();
+        let baseline = db
+            .query("//c", EngineKind::Simple, MatchRule::Equality)
+            .unwrap()
+            .pres();
+        // S = 2 → 4 → 1 → 2, querying at every stop.
+        for shards in [4u32, 1, 2] {
+            db.reshard(shards).unwrap();
+            assert_eq!(db.shards(), shards);
+            assert_eq!(
+                db.query("//c", EngineKind::Simple, MatchRule::Equality)
+                    .unwrap()
+                    .pres(),
+                baseline,
+                "S={shards}"
+            );
+        }
+        db.save(&after_path).unwrap();
+        let a = std::fs::read(&before_path).unwrap();
+        let b = std::fs::read(&after_path).unwrap();
+        assert_eq!(a, b, "reshard round trip must save bit-identical bytes");
+        std::fs::remove_file(&before_path).ok();
+        std::fs::remove_file(&after_path).ok();
+    }
+
+    #[test]
+    fn speculation_through_the_facade_cuts_waves_not_answers() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let mut plain = EncryptedDb::encode(xml, map(), Seed::from_test_key(33)).unwrap();
+        let mut spec = EncryptedDb::encode(xml, map(), Seed::from_test_key(33)).unwrap();
+        spec.set_speculation(true);
+        for q in ["/site/a/b/c", "/site/a/c"] {
+            let a = plain
+                .query(q, EngineKind::Simple, MatchRule::Containment)
+                .unwrap();
+            let b = spec
+                .query(q, EngineKind::Simple, MatchRule::Containment)
+                .unwrap();
+            assert_eq!(a.pres(), b.pres(), "{q}");
+            assert!(
+                b.stats.round_trips < a.stats.round_trips,
+                "{q}: speculative {} vs plain {}",
+                b.stats.round_trips,
+                a.stats.round_trips
+            );
+            assert!(b.stats.speculative_hits > 0, "{q}");
+        }
     }
 
     #[test]

@@ -81,6 +81,20 @@ pub enum Request {
     ///
     /// [`ServerFilter`]: crate::server::ServerFilter
     ShardCount,
+    /// Repartition a sharded host across `shards` filters, in memory,
+    /// without a save/load cycle. Intercepted by the sharded TCP host (like
+    /// [`Request::ShardCount`]); a bare [`ServerFilter`] refuses it.
+    /// Answered with [`Response::Ok`] once every row has moved — shares
+    /// move bit-identically, only placement changes. Clients connected
+    /// under the old shard count must reconnect (their partition no longer
+    /// matches; stale point requests surface as errors, never wrong
+    /// answers).
+    ///
+    /// [`ServerFilter`]: crate::server::ServerFilter
+    Reshard {
+        /// The new shard count (clamped to ≥ 1 server-side).
+        shards: u32,
+    },
     /// Many sub-requests in one round trip; answered by a parallel
     /// [`Response::Batch`]. Sub-requests may not themselves be `Batch` or
     /// `ToShard` frames (enforced by the codec).
@@ -171,13 +185,13 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
     fn u32(&mut self) -> Result<u32, CoreError> {
-        let end = self.pos + 4;
+        let end = self.pos.checked_add(4).ok_or_else(short)?;
         let s = self.buf.get(self.pos..end).ok_or_else(short)?;
         self.pos = end;
         Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
     }
     fn u64(&mut self) -> Result<u64, CoreError> {
-        let end = self.pos + 8;
+        let end = self.pos.checked_add(8).ok_or_else(short)?;
         let s = self.buf.get(self.pos..end).ok_or_else(short)?;
         self.pos = end;
         Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
@@ -191,16 +205,26 @@ impl<'a> Reader<'a> {
     }
     fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
         let len = self.u32()? as usize;
-        let end = self.pos + len;
+        let end = self.pos.checked_add(len).ok_or_else(short)?;
         let s = self.buf.get(self.pos..end).ok_or_else(short)?;
         self.pos = end;
         Ok(s.to_vec())
     }
+    /// Validates a wire-declared element count against the bytes actually
+    /// left in the frame: `n` elements of at least `elem_min` bytes each
+    /// cannot fit in fewer than `n * elem_min` bytes. Checking *before*
+    /// collecting keeps a hostile length prefix from pre-allocating
+    /// gigabytes through a collector's size hint.
+    fn items(&self, n: usize, elem_min: usize) -> Result<usize, CoreError> {
+        let left = self.buf.len() - self.pos;
+        if n.checked_mul(elem_min).is_none_or(|need| need > left) {
+            return Err(short());
+        }
+        Ok(n)
+    }
     fn u32s(&mut self) -> Result<Vec<u32>, CoreError> {
         let len = self.u32()? as usize;
-        if len > self.buf.len() {
-            return Err(short()); // length sanity before allocating
-        }
+        let len = self.items(len, 4)?;
         (0..len).map(|_| self.u32()).collect()
     }
     fn finish(self) -> Result<(), CoreError> {
@@ -278,6 +302,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Count => Writer::new(11).buf,
         Request::Shutdown => Writer::new(12).buf,
         Request::ShardCount => Writer::new(15).buf,
+        Request::Reshard { shards } => {
+            let mut w = Writer::new(16);
+            w.u32(*shards);
+            w.buf
+        }
         Request::Batch(subs) => {
             let mut w = Writer::new(13);
             w.u32(subs.len() as u32);
@@ -340,9 +369,7 @@ fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreEr
         7 => Request::OpenChildrenCursor { pres: r.u32s()? },
         8 => {
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            let n = r.items(n, 12)?;
             let locs = (0..n).map(|_| r.loc()).collect::<Result<Vec<_>, _>>()?;
             Request::OpenDescendantsCursor { locs }
         }
@@ -351,14 +378,14 @@ fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreEr
         11 => Request::Count,
         12 => Request::Shutdown,
         15 => Request::ShardCount,
+        16 => Request::Reshard { shards: r.u32()? },
         13 => {
             if nesting != Nesting::Top && nesting != Nesting::InShard {
                 return Err(CoreError::Transport("nested batch refused".into()));
             }
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            // Each sub-frame costs at least its length prefix plus a tag.
+            let n = r.items(n, 5)?;
             let subs = (0..n)
                 .map(|_| {
                     let frame = r.bytes()?;
@@ -471,24 +498,19 @@ fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, Cor
         }
         1 => {
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            let n = r.items(n, 12)?;
             Response::Locs((0..n).map(|_| r.loc()).collect::<Result<Vec<_>, _>>()?)
         }
         2 => Response::Value(r.u64()?),
         3 => {
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            let n = r.items(n, 8)?;
             Response::Values((0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?)
         }
         4 => {
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            // Each packed polynomial costs at least its length prefix.
+            let n = r.items(n, 4)?;
             Response::Polys((0..n).map(|_| r.bytes()).collect::<Result<Vec<_>, _>>()?)
         }
         5 => Response::Cursor(r.u32()?),
@@ -503,9 +525,8 @@ fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, Cor
                 return Err(CoreError::Transport("nested batch refused".into()));
             }
             let n = r.u32()? as usize;
-            if n > buf.len() {
-                return Err(short());
-            }
+            // Each sub-frame costs at least its length prefix plus a tag.
+            let n = r.items(n, 5)?;
             let subs = (0..n)
                 .map(|_| {
                     let frame = r.bytes()?;
@@ -558,6 +579,7 @@ mod tests {
             Request::Count,
             Request::Shutdown,
             Request::ShardCount,
+            Request::Reshard { shards: 4 },
             Request::Batch(vec![]),
             Request::Batch(vec![
                 Request::Root,
@@ -624,6 +646,32 @@ mod tests {
         assert!(decode_request(&ok).is_err());
     }
 
+    /// A hostile length prefix must fail the per-element bound check before
+    /// any collector pre-allocates from it: `n` declared elements cannot
+    /// outnumber the bytes left in the frame divided by the element's
+    /// minimum encoding size.
+    #[test]
+    fn absurd_counts_rejected_before_allocation() {
+        // Batch claiming u32::MAX sub-requests with an empty body.
+        let mut w = vec![13u8];
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&w).is_err());
+        // Locs response claiming more entries than 12 bytes each allow.
+        let mut w = vec![1u8];
+        w.extend_from_slice(&3u32.to_le_bytes());
+        w.extend_from_slice(&[0u8; 24]); // room for 2, not 3
+        assert!(decode_response(&w).is_err());
+        // Polys response with a huge count and no payload.
+        let mut w = vec![4u8];
+        w.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(decode_response(&w).is_err());
+        // OpenDescendantsCursor with a count that cannot fit.
+        let mut w = vec![8u8];
+        w.extend_from_slice(&1000u32.to_le_bytes());
+        w.extend_from_slice(&[0u8; 12]);
+        assert!(decode_request(&w).is_err());
+    }
+
     #[test]
     fn compound_nesting_rules_enforced() {
         // A hand-built Batch-in-Batch frame must be refused by the decoder.
@@ -676,6 +724,11 @@ mod tests {
         );
         assert_eq!(encode_request(&Request::Count), vec![11]);
         assert_eq!(encode_request(&Request::Shutdown), vec![12]);
+        assert_eq!(
+            encode_request(&Request::Reshard { shards: 2 }),
+            vec![16, 2, 0, 0, 0],
+            "the PR-4 frame claims a fresh tag"
+        );
         assert_eq!(encode_response(&Response::Value(81)), {
             let mut v = vec![2u8];
             v.extend_from_slice(&81u64.to_le_bytes());

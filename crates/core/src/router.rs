@@ -22,6 +22,23 @@
 //! router opens one cursor per shard, holds one look-ahead head per stream,
 //! and answers each `Next` with the minimum-`pre` head — the same document
 //! order a single server streams, at one wave per node.
+//!
+//! # Speculative wave pipelining
+//!
+//! With [`ShardRouter::set_speculation`] on, the router overlaps dependent
+//! waves: every `EvalMany` wave (a frontier being tested) piggybacks
+//! `Children` prefetches for the same nodes **inside the same physical
+//! frames** — wave *k + 1*'s probable batch travels while wave *k*'s
+//! answers are in flight. The predicted answers land in a bounded cache;
+//! when the engine then expands the surviving frontier, those `Children`
+//! requests are answered locally (`speculative_hits`) and the expansion
+//! wave costs **zero round trips**. A frontier that diverges from the
+//! prediction (look-ahead pruning, `..` steps, descendant expansion) simply
+//! never consumes its prefetches — they are counted as
+//! `speculative_wasted`, and correctness is untouched because cached
+//! answers are the very responses the owning shards produced for an
+//! immutable table. Speculation is invisible in results by construction;
+//! what it trades is bytes (prefetches for pruned nodes) for waves.
 
 use crate::error::CoreError;
 use crate::protocol::{Request, Response};
@@ -74,6 +91,34 @@ enum FanKind {
     Ok,
 }
 
+/// Upper bound on cached speculative answers (entries, each one node's
+/// children list). Beyond it the router stops prefetching rather than
+/// evicting — a bounded memory footprint with no cache-churn pathology.
+const SPEC_CACHE_MAX: usize = 1 << 16;
+
+/// Default per-shard traffic budget (bytes, client-observed send + receive)
+/// behind [`ShardRouter::suggest_shards`]: the fleet is sized so one
+/// shard's share of a measurement window stays under ~1 MiB.
+pub const SUGGEST_TARGET_BYTES: u64 = 1 << 20;
+
+/// Ceiling on what [`ShardRouter::suggest_shards`] will ever recommend.
+pub const MAX_SUGGESTED_SHARDS: u32 = 64;
+
+/// A speculative `Children` prefetch riding an `EvalMany` wave: one fanned
+/// sub-request per shard, harvested into the cache on arrival.
+struct SpecFetch {
+    pre: u32,
+    /// `positions[s]` = slot of the prefetch in shard `s`'s frame.
+    positions: Vec<usize>,
+}
+
+/// A cached speculative answer. `consumed` marks first use, for the
+/// hit/wasted accounting.
+struct SpecEntry {
+    locs: Vec<Loc>,
+    consumed: bool,
+}
+
 /// One per-shard cursor stream of a merged cursor, with one look-ahead head.
 struct ShardStream {
     cursor: u32,
@@ -100,6 +145,21 @@ pub struct ShardRouter<T: Transport> {
     batched_requests: u64,
     cursors: HashMap<u32, MergeCursor>,
     next_cursor: u32,
+    /// Speculative wave pipelining (see the module docs). Off by default —
+    /// the PR-3 wire shape — because it trades bytes for waves.
+    speculate: bool,
+    /// Children lists prefetched by speculation, keyed by parent `pre`.
+    spec_cache: HashMap<u32, SpecEntry>,
+    /// Prefetches issued / answers served from the cache / distinct cached
+    /// entries consumed at least once (`issued − consumed` = wasted).
+    spec_issued: u64,
+    spec_hits: u64,
+    spec_consumed: u64,
+    /// Traffic of transports retired by [`ShardRouter::reshard`] — folded
+    /// into [`ShardRouter::stats`] so counters never run backwards across a
+    /// repartition. Only `bytes_sent`/`bytes_received`/`shard_dispatches`
+    /// are ever non-zero here.
+    carry: TransportStats,
 }
 
 impl ShardRouter<LocalTransport> {
@@ -123,6 +183,42 @@ impl ShardRouter<LocalTransport> {
     /// Mutable access to the per-shard servers (stat resets in benches).
     pub fn servers_mut(&mut self) -> impl Iterator<Item = &mut ServerFilter> {
         self.transports.iter_mut().map(|t| t.server_mut())
+    }
+
+    /// Repartitions the in-process fleet across `shards` filters without a
+    /// save/load cycle ([`ShardedServer::reshard`]): rows move
+    /// bit-identically, the router re-wires one transport per new shard,
+    /// and cumulative byte counters carry over. Open merged cursors are
+    /// invalidated (their server-side buffers die with the old placement;
+    /// the next `Next` gets an explicit error), and the speculation cache
+    /// is cleared. A refused repartition (see [`ShardedServer::reshard`])
+    /// re-wires the *original* fleet and surfaces the error — the router
+    /// stays fully usable either way.
+    pub fn reshard(&mut self, shards: u32) -> Result<(), CoreError> {
+        self.cursors.clear();
+        self.spec_cache.clear();
+        for t in &self.transports {
+            let u = t.stats();
+            self.carry.bytes_sent += u.bytes_sent;
+            self.carry.bytes_received += u.bytes_received;
+            self.carry.shard_dispatches += u.round_trips;
+        }
+        let filters: Vec<ServerFilter> = std::mem::take(&mut self.transports)
+            .into_iter()
+            .map(LocalTransport::into_server)
+            .collect();
+        let (server, outcome) =
+            match ShardedServer::from_filters(self.spec, filters).reshard(shards) {
+                Ok(server) => (server, Ok(())),
+                Err((original, e)) => (original, Err(CoreError::from(e))),
+            };
+        self.spec = server.spec();
+        self.transports = server
+            .into_filters()
+            .into_iter()
+            .map(LocalTransport::new)
+            .collect();
+        outcome
     }
 }
 
@@ -174,7 +270,27 @@ impl<T: Transport + Send> ShardRouter<T> {
             batched_requests: 0,
             cursors: HashMap::new(),
             next_cursor: 1,
+            speculate: false,
+            spec_cache: HashMap::new(),
+            spec_issued: 0,
+            spec_hits: 0,
+            spec_consumed: 0,
+            carry: TransportStats::default(),
         }
+    }
+
+    /// Enables or disables speculative wave pipelining (see the module
+    /// docs). Disabling clears the prefetch cache; counters persist.
+    pub fn set_speculation(&mut self, enabled: bool) {
+        self.speculate = enabled;
+        if !enabled {
+            self.spec_cache.clear();
+        }
+    }
+
+    /// Whether speculative wave pipelining is on.
+    pub fn speculation(&self) -> bool {
+        self.speculate
     }
 
     /// The partition spec.
@@ -185,6 +301,44 @@ impl<T: Transport + Send> ShardRouter<T> {
     /// Per-shard traffic counters (physical sends, bytes per shard).
     pub fn shard_stats(&self) -> Vec<TransportStats> {
         self.transports.iter().map(|t| t.stats()).collect()
+    }
+
+    /// Auto-tuning: the shard count the observed per-shard load argues for,
+    /// at the default [`SUGGEST_TARGET_BYTES`] per-shard budget. See
+    /// [`ShardRouter::suggest_shards_for_target`].
+    pub fn suggest_shards(&self) -> u32 {
+        self.suggest_shards_for_target(SUGGEST_TARGET_BYTES)
+    }
+
+    /// Auto-tuning with an explicit per-shard byte budget: sizes the fleet
+    /// so that the *busiest* shard's observed traffic, taken as what any
+    /// shard may attract (conservative under load skew), would fit under
+    /// `target_bytes` — `⌈busiest · S / target⌉`, clamped to
+    /// `[1, MAX_SUGGESTED_SHARDS]`. Under the balanced round-robin
+    /// partition this reduces to `⌈total / target⌉`; skew (one shard
+    /// hotter than the mean) pushes the suggestion up. With no traffic
+    /// observed it keeps the current count. Feed the result to
+    /// [`ShardRouter::reshard`] (or `ssxdb reshard`) — the router never
+    /// repartitions behind the caller's back.
+    pub fn suggest_shards_for_target(&self, target_bytes: u64) -> u32 {
+        let target = target_bytes.max(1);
+        let loads = self
+            .transports
+            .iter()
+            .map(|t| {
+                let s = t.stats();
+                s.bytes_sent + s.bytes_received
+            })
+            .collect::<Vec<u64>>();
+        let busiest = loads.iter().copied().max().unwrap_or(0);
+        if busiest == 0 {
+            return self.spec.shards();
+        }
+        let needed = busiest
+            .saturating_mul(self.spec.shards() as u64)
+            .div_ceil(target)
+            .min(MAX_SUGGESTED_SHARDS as u64) as u32;
+        needed.max(1)
     }
 
     /// The underlying per-shard transports.
@@ -293,21 +447,102 @@ impl<T: Transport + Send> ShardRouter<T> {
         }) {
             return reqs.iter().map(|r| self.route_one(r)).collect();
         }
+        self.route_batch_core(reqs)
+    }
+
+    /// The non-cursor wave: plan every request, piggyback speculative
+    /// prefetches, dispatch (at most) once, harvest, merge. A wave whose
+    /// every request was answered from the speculation cache dispatches
+    /// nothing and costs zero round trips.
+    fn route_batch_core(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
         let shards = self.transports.len();
         let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); shards];
         let mut slots: Vec<Slot> = Vec::with_capacity(reqs.len());
         for req in reqs {
             slots.push(self.plan(req, &mut per_shard));
         }
+        let specs = self.plan_speculation(reqs, &mut per_shard);
         let mut responses = self.dispatch(per_shard)?;
+        self.harvest_speculation(specs, &mut responses);
         slots
             .into_iter()
             .map(|slot| merge_slot(slot, &mut responses))
             .collect()
     }
 
+    /// Queues the next wave's probable `Children` fetches onto a wave that
+    /// is about to dispatch anyway: one fanned prefetch per distinct
+    /// `EvalMany` node not already cached. Prefetches never *create* a wave
+    /// — an otherwise-empty wave stays empty — and stop when the cache is
+    /// full.
+    fn plan_speculation(
+        &mut self,
+        reqs: &[Request],
+        per_shard: &mut [Vec<Request>],
+    ) -> Vec<SpecFetch> {
+        if !self.speculate || per_shard.iter().all(|v| v.is_empty()) {
+            return Vec::new();
+        }
+        let mut out: Vec<SpecFetch> = Vec::new();
+        let mut queued: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for req in reqs {
+            let Request::EvalMany { pres, .. } = req else {
+                continue;
+            };
+            for &pre in pres {
+                if self.spec_cache.len() + out.len() >= SPEC_CACHE_MAX {
+                    return out;
+                }
+                if !queued.insert(pre) || self.spec_cache.contains_key(&pre) {
+                    continue;
+                }
+                // Children of `pre` may live on any shard (the partition is
+                // by the *child's* pre), so the prefetch fans like a real
+                // `Children` request would.
+                let positions = per_shard
+                    .iter_mut()
+                    .map(|q| {
+                        q.push(Request::Children { pre });
+                        q.len() - 1
+                    })
+                    .collect();
+                self.spec_issued += 1;
+                out.push(SpecFetch { pre, positions });
+            }
+        }
+        out
+    }
+
+    /// Moves the speculative answers out of the wave and into the cache.
+    /// A prefetch any shard answered with an error is dropped (it stays
+    /// issued-but-never-consumed, i.e. wasted) — the cache holds only
+    /// answers identical to what a real fan would have merged.
+    fn harvest_speculation(&mut self, specs: Vec<SpecFetch>, responses: &mut [Vec<Response>]) {
+        for spec in specs {
+            let mut locs: Vec<Loc> = Vec::new();
+            let mut ok = true;
+            for (shard, &pos) in spec.positions.iter().enumerate() {
+                match take_response(responses, shard, pos) {
+                    Response::Locs(ls) => locs.extend(ls),
+                    _ => ok = false,
+                }
+            }
+            if ok {
+                // Disjoint pre sets: sorting is the exact k-way merge.
+                locs.sort_by_key(|l| l.pre);
+                self.spec_cache.insert(
+                    spec.pre,
+                    SpecEntry {
+                        locs,
+                        consumed: false,
+                    },
+                );
+            }
+        }
+    }
+
     /// Routes one request that is not a cursor operation.
-    fn plan(&self, req: &Request, per_shard: &mut [Vec<Request>]) -> Slot {
+    fn plan(&mut self, req: &Request, per_shard: &mut [Vec<Request>]) -> Slot {
         match req {
             Request::GetLoc { pre } | Request::Eval { pre, .. } => {
                 let shard = self.shard_of(*pre);
@@ -336,13 +571,33 @@ impl<T: Transport + Send> ShardRouter<T> {
                 }
             }
             Request::Root => self.fan(req, FanKind::Root, per_shard),
-            Request::Children { .. } | Request::Descendants { .. } => {
+            Request::Children { pre } => {
+                // A speculative prefetch may already hold this answer; if
+                // so the request never leaves the router.
+                if self.speculate {
+                    if let Some(entry) = self.spec_cache.get_mut(pre) {
+                        self.spec_hits += 1;
+                        if !entry.consumed {
+                            entry.consumed = true;
+                            self.spec_consumed += 1;
+                        }
+                        return Slot::Ready(Response::Locs(entry.locs.clone()));
+                    }
+                }
                 self.fan(req, FanKind::Locs, per_shard)
             }
+            Request::Descendants { .. } => self.fan(req, FanKind::Locs, per_shard),
             Request::Count => self.fan(req, FanKind::Count, per_shard),
             Request::Shutdown => self.fan(req, FanKind::Ok, per_shard),
             // The router *is* the sharded endpoint from its client's view.
             Request::ShardCount => Slot::Ready(Response::Count(self.spec.shards() as u64)),
+            // Repartitioning a fleet the router holds open connections to
+            // would silently invalidate its own partition; the owning
+            // endpoint does it instead ([`ShardRouter::reshard`] locally, a
+            // raw transport against a sharded TCP host remotely).
+            Request::Reshard { .. } => Slot::Ready(Response::Err(
+                "reshard via ShardRouter::reshard (local) or a direct transport (TCP host)".into(),
+            )),
             Request::Batch(_) | Request::ToShard { .. } => Slot::Ready(Response::Err(
                 "routers build their own envelopes; send plain requests".into(),
             )),
@@ -401,11 +656,8 @@ impl<T: Transport + Send> ShardRouter<T> {
             Request::Next { cursor } => self.next_merged(*cursor),
             Request::CloseCursor { cursor } => self.close_merged(*cursor),
             _ => {
-                let shards = self.transports.len();
-                let mut per_shard: Vec<Vec<Request>> = vec![Vec::new(); shards];
-                let slot = self.plan(req, &mut per_shard);
-                let mut responses = self.dispatch(per_shard)?;
-                merge_slot(slot, &mut responses)
+                let mut responses = self.route_batch_core(std::slice::from_ref(req))?;
+                Ok(responses.pop().expect("one response per request"))
             }
         }
     }
@@ -683,7 +935,10 @@ impl<T: Transport + Send> Transport for ShardRouter<T> {
             round_trips: self.waves,
             batches: self.batches,
             batched_requests: self.batched_requests,
-            ..TransportStats::default()
+            speculative_hits: self.spec_hits,
+            speculative_wasted: self.spec_issued - self.spec_consumed,
+            // Traffic of transports retired by a reshard.
+            ..self.carry
         };
         for t in &self.transports {
             let u = t.stats();
@@ -836,6 +1091,193 @@ mod tests {
         for server in r.servers() {
             assert_eq!(server.open_cursors(), 0, "abandoned per-shard cursor");
         }
+    }
+
+    #[test]
+    fn speculation_serves_children_without_a_wave() {
+        for shards in [1u32, 2, 4] {
+            let mut plain = router(shards);
+            let mut spec = router(shards);
+            spec.set_speculation(true);
+            assert!(spec.speculation());
+            // Wave k: test a frontier. The speculative router piggybacks
+            // children prefetches on the same wave.
+            let eval = Request::EvalMany {
+                pres: vec![1, 2, 5, 7],
+                point: 17,
+            };
+            let a = plain.call(&eval).unwrap();
+            let b = spec.call(&eval).unwrap();
+            assert_eq!(a, b, "speculation is invisible in answers");
+            // Wave k+1: expand the (here: whole) frontier. The speculative
+            // router answers from cache — zero additional round trips.
+            let waves_before = spec.stats().round_trips;
+            for pre in [1u32, 2, 5, 7] {
+                let a = plain.call(&Request::Children { pre }).unwrap();
+                let b = spec.call(&Request::Children { pre }).unwrap();
+                assert_eq!(a, b, "pre={pre} S={shards}");
+            }
+            assert_eq!(
+                spec.stats().round_trips,
+                waves_before,
+                "cached expansion must not cost waves (S={shards})"
+            );
+            let s = spec.stats();
+            assert_eq!(s.speculative_hits, 4);
+            assert_eq!(s.speculative_wasted, 0, "every prefetch was consumed");
+            assert!(plain.stats().round_trips > spec.stats().round_trips);
+        }
+    }
+
+    #[test]
+    fn unconsumed_prefetches_count_as_wasted() {
+        let mut r = router(2);
+        r.set_speculation(true);
+        r.call(&Request::EvalMany {
+            pres: vec![1, 2],
+            point: 17,
+        })
+        .unwrap();
+        // The frontier "diverges": no children request ever arrives.
+        let s = r.stats();
+        assert_eq!(s.speculative_hits, 0);
+        assert_eq!(s.speculative_wasted, 2);
+        // …but a later wave may still consume them: not monotonic.
+        r.call(&Request::Children { pre: 1 }).unwrap();
+        let s = r.stats();
+        assert_eq!(s.speculative_hits, 1);
+        assert_eq!(s.speculative_wasted, 1);
+    }
+
+    #[test]
+    fn speculation_never_creates_a_wave() {
+        let mut r = router(2);
+        r.set_speculation(true);
+        // An empty item list is answered without touching any shard; the
+        // speculative router must not turn that into a physical wave.
+        let before = r.stats().round_trips;
+        assert_eq!(
+            r.call(&Request::EvalMany {
+                pres: vec![],
+                point: 3
+            })
+            .unwrap(),
+            Response::Values(vec![])
+        );
+        assert_eq!(r.stats().round_trips, before);
+    }
+
+    #[test]
+    fn disabling_speculation_clears_the_cache() {
+        let mut r = router(2);
+        r.set_speculation(true);
+        r.call(&Request::EvalMany {
+            pres: vec![1],
+            point: 17,
+        })
+        .unwrap();
+        r.set_speculation(false);
+        let before = r.stats().round_trips;
+        r.call(&Request::Children { pre: 1 }).unwrap();
+        assert_eq!(r.stats().round_trips, before + 1, "no cache, real wave");
+        assert_eq!(r.stats().speculative_hits, 0);
+    }
+
+    #[test]
+    fn reshard_in_place_preserves_answers_and_counters() {
+        let mut r = router(1);
+        let before_children = locs(r.call(&Request::Children { pre: 1 }).unwrap());
+        let bytes_before = r.stats().bytes_sent;
+        assert!(bytes_before > 0);
+        for shards in [4u32, 2, 1, 3] {
+            r.reshard(shards).unwrap();
+            assert_eq!(r.spec().shards(), shards);
+            assert_eq!(
+                locs(r.call(&Request::Children { pre: 1 }).unwrap()),
+                before_children,
+                "S={shards}"
+            );
+            match r.call(&Request::Count).unwrap() {
+                Response::Count(9) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(
+            r.stats().bytes_sent > bytes_before,
+            "byte counters must survive re-sharding, not reset"
+        );
+    }
+
+    #[test]
+    fn reshard_invalidates_open_cursors_explicitly() {
+        let mut r = router(2);
+        let cursor = match r
+            .call(&Request::OpenChildrenCursor { pres: vec![1] })
+            .unwrap()
+        {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        r.reshard(3).unwrap();
+        assert!(
+            matches!(r.call(&Request::Next { cursor }).unwrap(), Response::Err(_)),
+            "stale cursor surfaces as an error, not a wrong answer"
+        );
+        // The new fleet holds no leaked per-shard cursors.
+        for server in r.servers() {
+            assert_eq!(server.open_cursors(), 0);
+        }
+    }
+
+    /// A refused repartition (here: the same rows on both shards, which
+    /// cannot coexist in one partition) must leave the router fully wired —
+    /// not an empty-transport husk that panics on the next call.
+    #[test]
+    fn failed_reshard_leaves_the_router_usable() {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(21);
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let out = encode_document(xml, &map, &seed).unwrap();
+        let f1 = ServerFilter::new(out.table.clone(), out.ring.clone());
+        let f2 = ServerFilter::new(out.table, out.ring);
+        let server = ShardedServer::from_filters(ShardSpec::new(2), vec![f1, f2]);
+        let mut r = ShardRouter::local(server);
+        assert!(r.reshard(1).is_err(), "duplicate pres must refuse");
+        assert_eq!(r.spec().shards(), 2, "original fleet restored");
+        // The router still routes: the fanned count sums both shards.
+        match r.call(&Request::Count).unwrap() {
+            Response::Count(18) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reshard_request_through_a_router_is_refused() {
+        let mut r = router(2);
+        assert!(matches!(
+            r.call(&Request::Reshard { shards: 4 }).unwrap(),
+            Response::Err(_)
+        ));
+    }
+
+    #[test]
+    fn suggest_shards_scales_with_observed_load() {
+        let mut r = router(2);
+        // No traffic: keep the current fleet.
+        assert_eq!(r.suggest_shards_for_target(1024), 2);
+        // Generate some traffic, then ask with a tiny budget: grow.
+        for _ in 0..20 {
+            r.call(&Request::EvalMany {
+                pres: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                point: 17,
+            })
+            .unwrap();
+        }
+        let grown = r.suggest_shards_for_target(64);
+        assert!(grown > 2, "heavy load must suggest growth, got {grown}");
+        assert!(grown <= MAX_SUGGESTED_SHARDS);
+        // A huge budget suggests shrinking to a single shard.
+        assert_eq!(r.suggest_shards_for_target(u64::MAX), 1);
     }
 
     #[test]

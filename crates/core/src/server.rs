@@ -88,6 +88,19 @@ impl ServerFilter {
         &self.table
     }
 
+    /// The ring the stored shares live in.
+    pub fn ring(&self) -> &RingCtx {
+        &self.ring
+    }
+
+    /// Consumes the filter, yielding its table — the rows move out intact
+    /// (bit-identical packed bytes), which is what online re-sharding
+    /// repartitions. Derived state (eval cache, cursors, counters) is
+    /// dropped: it is rebuilt lazily on the new placement.
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.stats
@@ -204,6 +217,11 @@ impl ServerFilter {
             // A bare filter is a 1-shard endpoint; sharded hosts intercept
             // this request before it reaches any filter.
             Request::ShardCount => Response::Count(1),
+            // Repartitioning is a fleet-level operation; sharded hosts
+            // intercept it before it reaches any filter.
+            Request::Reshard { .. } => {
+                Response::Err("reshard requires a sharded host endpoint".into())
+            }
             Request::Batch(subs) => {
                 let mut out = Vec::with_capacity(subs.len());
                 for sub in subs {

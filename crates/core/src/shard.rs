@@ -115,6 +115,79 @@ impl ShardedServer {
         self.filters
     }
 
+    /// Repartitions the fleet across `shards` filters **in memory** — the
+    /// online alternative to the save/load cycle. Every row moves to its
+    /// new `(pre − 1) mod S'` home with its packed polynomial bytes
+    /// untouched (the partition only decides placement), so `S → S' → S`
+    /// round trips are bit-identical row-for-row. Derived per-shard state
+    /// (eval caches, counters, any open cursors) is dropped with the old
+    /// filters: caches rebuild lazily, and an invalidated cursor surfaces
+    /// as an explicit `no cursor` error on its next use — never a wrong
+    /// answer. `S' = S` still rebuilds (a cheap no-op placement-wise).
+    ///
+    /// Failure is **non-destructive**: the fleet is validated *before*
+    /// anything moves (a hand-built [`ShardedServer::from_filters`] fleet
+    /// may hold rows that cannot coexist in one partition — duplicate
+    /// `pre`/`post` across shards, mismatched polynomial lengths), and a
+    /// rejected reshard hands the untouched server back with the error, so
+    /// a live host never loses rows to a bad request.
+    pub fn reshard(self, shards: u32) -> Result<Self, (Self, StoreError)> {
+        if let Err(e) = self.validate_movable() {
+            return Err((self, e));
+        }
+        let spec = ShardSpec::new(shards);
+        let ring = self.filters[0].ring().clone();
+        let poly_len = self.filters[0].table().poly_len();
+        let mut tables: Vec<Table> = (0..spec.shards()).map(|_| Table::new(poly_len)).collect();
+        for filter in self.filters {
+            for row in filter.into_table().into_rows() {
+                tables[spec.shard_of(row.loc.pre) as usize]
+                    .insert(row)
+                    .expect("validated row set repartitions without conflicts");
+            }
+        }
+        let filters = tables
+            .into_iter()
+            .map(|t| ServerFilter::new(t, ring.clone()))
+            .collect();
+        Ok(ShardedServer { spec, filters })
+    }
+
+    /// Checks that every row of the fleet can be re-inserted under *any*
+    /// placement: one polynomial length fleet-wide and globally unique
+    /// `pre`/`post` (per-row sanity — `pre ≥ 1`, `parent < pre` — held at
+    /// original insert time). [`Table::insert`] can fail on nothing else,
+    /// so a fleet passing this check repartitions infallibly.
+    fn validate_movable(&self) -> Result<(), StoreError> {
+        let poly_len = self.filters[0].table().poly_len();
+        let mut pres = std::collections::HashSet::new();
+        let mut posts = std::collections::HashSet::new();
+        for filter in &self.filters {
+            let table = filter.table();
+            if table.poly_len() != poly_len {
+                return Err(StoreError::WrongPolyLen {
+                    expected: poly_len,
+                    got: table.poly_len(),
+                });
+            }
+            for row in table.rows() {
+                if !pres.insert(row.loc.pre) {
+                    return Err(StoreError::BadRow(format!(
+                        "pre {} stored on more than one shard",
+                        row.loc.pre
+                    )));
+                }
+                if !posts.insert(row.loc.post) {
+                    return Err(StoreError::BadRow(format!(
+                        "post {} stored on more than one shard",
+                        row.loc.post
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Handles one request addressed to `shard`. Out-of-range shards get a
     /// protocol error, not a panic — the index arrives from the network.
     pub fn handle(&mut self, shard: u32, req: &Request) -> Response {
@@ -201,6 +274,83 @@ mod tests {
             shards.iter().flat_map(|t| t.descendants_of(root)).collect();
         merged_desc.sort_by_key(|l| l.pre);
         assert_eq!(merged_desc, descendants);
+    }
+
+    #[test]
+    fn reshard_moves_every_row_bit_identically() {
+        let (table, ring) = encoded();
+        let originals: Vec<(u32, Vec<u8>)> = table
+            .rows()
+            .iter()
+            .map(|r| (r.loc.pre, r.poly.to_vec()))
+            .collect();
+        let mut server = ShardedServer::from_table(table, ring, 1).unwrap();
+        for shards in [3u32, 1, 4, 2, 1] {
+            server = server.reshard(shards).map_err(|(_, e)| e).unwrap();
+            assert_eq!(server.spec().shards(), shards);
+            assert_eq!(server.total_rows(), originals.len());
+            for (pre, poly) in &originals {
+                let home = server.spec().shard_of(*pre) as usize;
+                let row = server.filters()[home]
+                    .table()
+                    .by_pre(*pre)
+                    .unwrap_or_else(|| panic!("pre={pre} missing after S={shards}"));
+                assert_eq!(&row.poly.to_vec(), poly, "pre={pre} bytes moved intact");
+                // …and on no other shard.
+                let hits = server
+                    .filters()
+                    .iter()
+                    .filter(|f| f.table().by_pre(*pre).is_some())
+                    .count();
+                assert_eq!(hits, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reshard_zero_clamps_to_one() {
+        let (table, ring) = encoded();
+        let server = ShardedServer::from_table(table, ring, 2).unwrap();
+        let server = server.reshard(0).map_err(|(_, e)| e).unwrap();
+        assert_eq!(server.spec().shards(), 1);
+    }
+
+    /// A hand-built fleet whose rows cannot coexist in one partition (the
+    /// same `pre` on two shards) must be *refused* — and handed back whole,
+    /// not consumed: a live host never loses rows to a bad reshard request.
+    #[test]
+    fn reshard_failure_is_non_destructive() {
+        let (table, ring) = encoded();
+        let rows = table.len();
+        let filters = partition_table(table, ShardSpec::new(2))
+            .unwrap()
+            .into_iter()
+            .map(|t| ServerFilter::new(t, ring.clone()))
+            .collect::<Vec<_>>();
+        // Duplicate one shard's table onto both shards: every pre now lives
+        // twice across the fleet.
+        let dup = {
+            let t0 = filters[0].table();
+            let mut copy = Table::new(t0.poly_len());
+            for row in t0.rows() {
+                copy.insert(row.clone()).unwrap();
+            }
+            ServerFilter::new(copy, ring.clone())
+        };
+        let broken = ShardedServer::from_filters(
+            ShardSpec::new(2),
+            vec![dup, filters.into_iter().next().unwrap()],
+        );
+        let before = broken.total_rows();
+        assert!(before < 2 * rows && before > 0);
+        let (returned, err) = match broken.reshard(1) {
+            Err(t) => t,
+            Ok(_) => panic!("duplicate pres must refuse"),
+        };
+        assert!(err.to_string().contains("more than one shard"), "{err}");
+        // The fleet came back untouched: same shard count, same rows.
+        assert_eq!(returned.spec().shards(), 2);
+        assert_eq!(returned.total_rows(), before);
     }
 
     #[test]

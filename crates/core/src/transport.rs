@@ -14,8 +14,8 @@ use crate::server::ServerFilter;
 use crate::shard::ShardedServer;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Traffic counters shared by all transports.
 ///
@@ -39,6 +39,13 @@ pub struct TransportStats {
     /// Physical per-shard sends made by a router on behalf of the logical
     /// waves (0 on direct transports).
     pub shard_dispatches: u64,
+    /// Requests answered from a router's speculation cache instead of a
+    /// round trip (0 unless speculation is enabled on a shard router).
+    pub speculative_hits: u64,
+    /// Speculative prefetches issued but (as of this snapshot) never
+    /// consumed — the cost of mis-speculation. Not monotonic: an entry
+    /// counted wasted now may still be consumed by a later wave.
+    pub speculative_wasted: u64,
 }
 
 /// A synchronous request/response channel to a `ServerFilter`.
@@ -123,6 +130,12 @@ impl LocalTransport {
     /// Mutable access (stat resets in benches).
     pub fn server_mut(&mut self) -> &mut ServerFilter {
         &mut self.server
+    }
+
+    /// Consumes the transport, yielding the wrapped server filter (used by
+    /// the router's online re-shard to take the fleet back).
+    pub fn into_server(self) -> ServerFilter {
+        self.server
     }
 }
 
@@ -274,28 +287,80 @@ pub fn serve_tcp(
 
 /// Shared state of a concurrent sharded host: one independently lockable
 /// filter per shard, so connections bound to different shards execute in
-/// parallel.
+/// parallel. The fleet vector itself sits behind an `RwLock` so an online
+/// [`Request::Reshard`] can swap it out from under live connections:
+/// request handling holds the read lock (many at once, per-shard
+/// parallelism intact); re-sharding takes the write lock, which by
+/// construction waits until every in-flight request has finished and keeps
+/// new ones out while rows move.
 struct ShardHost {
-    filters: Vec<Mutex<ServerFilter>>,
+    filters: RwLock<Vec<Mutex<ServerFilter>>>,
+    /// Bumped under the write lock by every reshard. Connections remember
+    /// the generation they were accepted under; a mismatch means the client
+    /// routes by a dead partition, and answering it would risk *silently
+    /// incomplete* fan-outs (it would never ask the new shards) — so stale
+    /// connections get an explicit "reconnect" error instead, for
+    /// everything except the always-safe fleet-level frames.
+    generation: AtomicU64,
     stop: AtomicBool,
+}
+
+impl ShardHost {
+    fn shard_count(&self) -> usize {
+        self.filters.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Online repartition: exclusive fleet access, rows move in memory,
+    /// connections resume against the new placement. Existing connections
+    /// are fenced off by the generation bump (see [`ShardHost::generation`]).
+    /// A refused repartition (see [`ShardedServer::reshard`]) puts the
+    /// original fleet back untouched — no rows lost, no generation bump.
+    fn reshard(&self, shards: u32) -> Response {
+        let mut guard = self.filters.write().unwrap_or_else(|p| p.into_inner());
+        let old: Vec<Mutex<ServerFilter>> = std::mem::take(&mut *guard);
+        let spec = crate::shard::ShardSpec::new(old.len() as u32);
+        let filters = old
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect();
+        match ShardedServer::from_filters(spec, filters).reshard(shards) {
+            Ok(server) => {
+                *guard = server.into_filters().into_iter().map(Mutex::new).collect();
+                self.generation.fetch_add(1, Ordering::SeqCst);
+                Response::Ok
+            }
+            Err((original, e)) => {
+                *guard = original
+                    .into_filters()
+                    .into_iter()
+                    .map(Mutex::new)
+                    .collect();
+                Response::Err(format!("reshard refused: {e}"))
+            }
+        }
+    }
 }
 
 /// Serves a [`ShardedServer`] on `listener`, one thread per connection,
 /// until any client sends [`Request::Shutdown`] (bare or shard-tagged, as a
 /// standalone frame). Clients address shards with [`Request::ToShard`];
 /// untagged requests go to shard 0, so a single-shard deployment speaks the
-/// exact legacy protocol. Returns the sharded server (with its per-shard
-/// stats) once every connection has drained.
+/// exact legacy protocol. [`Request::Reshard`] repartitions the fleet
+/// online (see [`ShardedServer::reshard`]); connections that predate a
+/// reshard are fenced off with an explicit "reconnect" error — their
+/// partition is dead, and answering them could silently skip the new
+/// shards. Returns the sharded server (with its per-shard stats and final
+/// shard count) once every connection has drained.
 pub fn serve_tcp_sharded(
     listener: TcpListener,
     server: ShardedServer,
 ) -> Result<ShardedServer, CoreError> {
-    let spec = server.spec();
     let addr = listener
         .local_addr()
         .map_err(|e| CoreError::Transport(format!("local_addr: {e}")))?;
     let host = Arc::new(ShardHost {
-        filters: server.into_filters().into_iter().map(Mutex::new).collect(),
+        filters: RwLock::new(server.into_filters().into_iter().map(Mutex::new).collect()),
+        generation: AtomicU64::new(0),
         stop: AtomicBool::new(false),
     });
     std::thread::scope(|scope| -> Result<(), CoreError> {
@@ -314,11 +379,14 @@ pub fn serve_tcp_sharded(
         }
     })?;
     let host = Arc::into_inner(host).expect("all connection threads joined");
-    let filters = host
+    let filters: Vec<ServerFilter> = host
         .filters
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
         .into_iter()
         .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
         .collect();
+    let spec = crate::shard::ShardSpec::new(filters.len() as u32);
     Ok(ShardedServer::from_filters(spec, filters))
 }
 
@@ -330,6 +398,7 @@ fn serve_sharded_connection(
     stream
         .set_nodelay(true)
         .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
+    let born = host.generation.load(Ordering::SeqCst);
     while let Some(frame) = read_frame(&mut stream)? {
         let resp = match decode_request(&frame) {
             Ok(req) => {
@@ -340,21 +409,50 @@ fn serve_sharded_connection(
                 // The handshake answers for the whole host, whatever shard
                 // it was addressed to.
                 if matches!(inner, Request::ShardCount) {
-                    let resp = Response::Count(host.filters.len() as u64);
+                    let resp = Response::Count(host.shard_count() as u64);
+                    write_frame(&mut stream, &encode_response(&resp))?;
+                    continue;
+                }
+                // Re-sharding is likewise a fleet-level operation: it takes
+                // the write lock, so it runs strictly between requests.
+                if let Request::Reshard { shards } = inner {
+                    let resp = host.reshard(*shards);
                     write_frame(&mut stream, &encode_response(&resp))?;
                     continue;
                 }
                 // Shutdown only counts when it was addressed to a shard
                 // that exists — an erroneous frame must not stop the host.
                 let mut shutdown = matches!(inner, Request::Shutdown);
-                let resp = match host.filters.get(shard as usize) {
-                    Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
-                    None => {
-                        shutdown = false;
-                        Response::Err(format!(
-                            "no shard {shard} (server has {})",
-                            host.filters.len()
-                        ))
+                let resp = {
+                    let filters = host.filters.read().unwrap_or_else(|p| p.into_inner());
+                    // Generation fence (read under the same lock the reshard
+                    // bumps it under): a connection accepted before a
+                    // reshard routes by a dead partition. Answering it
+                    // could be *silently incomplete* — a fan-out would
+                    // never reach the new shards — so it gets an explicit
+                    // error and must reconnect. Shutdown stays honoured
+                    // (fleet-level, partition-independent).
+                    if host.generation.load(Ordering::SeqCst) != born
+                        && !matches!(inner, Request::Shutdown)
+                    {
+                        drop(filters);
+                        write_frame(
+                            &mut stream,
+                            &encode_response(&Response::Err(
+                                "shard layout changed (reshard); reconnect".into(),
+                            )),
+                        )?;
+                        continue;
+                    }
+                    match filters.get(shard as usize) {
+                        Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
+                        None => {
+                            shutdown = false;
+                            Response::Err(format!(
+                                "no shard {shard} (server has {})",
+                                filters.len()
+                            ))
+                        }
                     }
                 };
                 write_frame(&mut stream, &encode_response(&resp))?;
@@ -418,6 +516,42 @@ mod tests {
         let server = handle.join().unwrap();
         assert!(server.stats().requests >= 4);
         assert_eq!(t.stats().round_trips, 4);
+    }
+
+    /// A sharded host refusing a reshard (rows that cannot coexist in one
+    /// partition) must keep serving from the original fleet — the refusal
+    /// path restores it under the write lock instead of dropping it.
+    #[test]
+    fn sharded_host_survives_a_refused_reshard() {
+        use crate::shard::ShardSpec;
+        let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+        let seed = Seed::from_test_key(9);
+        let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+        let f1 = ServerFilter::new(out.table.clone(), out.ring.clone());
+        let f2 = ServerFilter::new(out.table, out.ring);
+        let server = ShardedServer::from_filters(ShardSpec::new(2), vec![f1, f2]);
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || serve_tcp_sharded(listener, server).unwrap());
+
+        let mut t = TcpTransport::connect(addr).unwrap();
+        match t.call(&Request::Reshard { shards: 1 }).unwrap() {
+            Response::Err(e) => assert!(e.contains("reshard refused"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        // No generation bump on refusal: the same connection keeps working
+        // against the intact original fleet.
+        assert_eq!(t.call(&Request::Count).unwrap(), Response::Count(3));
+        assert_eq!(
+            t.call(&Request::ShardCount).unwrap(),
+            Response::Count(2),
+            "fleet size unchanged"
+        );
+        t.call(&Request::Shutdown).unwrap();
+        let server = handle.join().unwrap();
+        assert_eq!(server.spec().shards(), 2);
+        assert_eq!(server.total_rows(), 6, "no row lost to the refusal");
     }
 
     #[test]

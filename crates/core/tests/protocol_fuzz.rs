@@ -1,0 +1,162 @@
+//! The wire decoders are *total*: no byte string — random, truncated,
+//! bit-flipped, or length-spliced — may panic or over-allocate. Malformed
+//! frames must come back as `Err`, well-formed frames as the value that
+//! produced them. This is the fuzz-style hardening suite the speculative /
+//! re-sharding plane leans on: every frame a hostile client can send
+//! travels through exactly these two entry points.
+
+use proptest::prelude::*;
+use ssx_core::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use ssx_store::Loc;
+
+fn arb_loc() -> impl Strategy<Value = Loc> {
+    (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(pre, post, parent)| Loc {
+        pre,
+        post,
+        parent,
+    })
+}
+
+/// Every simple (non-compound) request variant with arbitrary payloads.
+fn arb_simple_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        Just(Request::Root),
+        any::<u32>().prop_map(|pre| Request::GetLoc { pre }),
+        any::<u32>().prop_map(|pre| Request::Children { pre }),
+        arb_loc().prop_map(|loc| Request::Descendants { loc }),
+        (any::<u32>(), any::<u64>()).prop_map(|(pre, point)| Request::Eval { pre, point }),
+        (proptest::collection::vec(any::<u32>(), 0..8), any::<u64>())
+            .prop_map(|(pres, point)| Request::EvalMany { pres, point }),
+        proptest::collection::vec(any::<u32>(), 0..8).prop_map(|pres| Request::GetPolys { pres }),
+        proptest::collection::vec(any::<u32>(), 0..8)
+            .prop_map(|pres| Request::OpenChildrenCursor { pres }),
+        proptest::collection::vec(arb_loc(), 0..6)
+            .prop_map(|locs| Request::OpenDescendantsCursor { locs }),
+        any::<u32>().prop_map(|cursor| Request::Next { cursor }),
+        any::<u32>().prop_map(|cursor| Request::CloseCursor { cursor }),
+        Just(Request::Count),
+        Just(Request::Shutdown),
+        Just(Request::ShardCount),
+        any::<u32>().prop_map(|shards| Request::Reshard { shards }),
+    ]
+    .boxed()
+}
+
+/// Simple, batched, or shard-tagged requests (the full legal wire surface).
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        4 => arb_simple_request(),
+        1 => proptest::collection::vec(arb_simple_request(), 0..5)
+            .prop_map(Request::Batch),
+        1 => (any::<u32>(), arb_simple_request())
+            .prop_map(|(shard, req)| Request::ToShard { shard, req: Box::new(req) }),
+        1 => (any::<u32>(), proptest::collection::vec(arb_simple_request(), 0..4))
+            .prop_map(|(shard, subs)| Request::ToShard {
+                shard,
+                req: Box::new(Request::Batch(subs)),
+            }),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    let simple = prop_oneof![
+        proptest::option::of(arb_loc()).prop_map(Response::MaybeLoc),
+        proptest::collection::vec(arb_loc(), 0..6).prop_map(Response::Locs),
+        any::<u64>().prop_map(Response::Value),
+        proptest::collection::vec(any::<u64>(), 0..8).prop_map(Response::Values),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 0..5)
+            .prop_map(Response::Polys),
+        any::<u32>().prop_map(Response::Cursor),
+        any::<u64>().prop_map(Response::Count),
+        Just(Response::Ok),
+        proptest::collection::vec(any::<u8>(), 0..12)
+            .prop_map(|b| Response::Err(String::from_utf8_lossy(&b).into_owned())),
+    ]
+    .boxed();
+    let batch = proptest::collection::vec(simple.clone(), 0..5).prop_map(Response::Batch);
+    prop_oneof![4 => simple, 1 => batch].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw random bytes: decoding returns, it never panics or aborts.
+    #[test]
+    fn decoders_total_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Random bytes behind every known tag byte: exercises each decoder arm
+    /// with garbage payloads (pure random bytes rarely pick small tags).
+    #[test]
+    fn decoders_total_behind_every_tag(
+        tag in 0u8..20,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut frame = vec![tag];
+        frame.extend_from_slice(&body);
+        let _ = decode_request(&frame);
+        let _ = decode_response(&frame);
+    }
+
+    /// Well-formed frames round-trip exactly.
+    #[test]
+    fn request_encode_decode_round_trips(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_encode_decode_round_trips(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    /// Any truncation of a valid frame decodes to an error — never a panic,
+    /// never a silently shorter value.
+    #[test]
+    fn truncated_frames_error_cleanly(req in arb_request(), cut in any::<proptest::sample::Index>()) {
+        let bytes = encode_request(&req);
+        let keep = cut.index(bytes.len().max(1));
+        if keep < bytes.len() {
+            prop_assert!(decode_request(&bytes[..keep]).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a valid frame must decode to an error or to
+    /// some other *valid* value — never panic. (A flipped byte inside a
+    /// payload legitimately yields a different frame.)
+    #[test]
+    fn bitflipped_frames_never_panic(
+        req in arb_request(),
+        at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_request(&req);
+        if !bytes.is_empty() {
+            let i = at.index(bytes.len());
+            bytes[i] ^= xor;
+            let _ = decode_request(&bytes);
+        }
+    }
+
+    /// Splicing an arbitrary u32 over any aligned position (where length
+    /// prefixes and counts live) must not panic or over-allocate.
+    #[test]
+    fn length_spliced_frames_never_panic(
+        resp in arb_response(),
+        at in any::<proptest::sample::Index>(),
+        word in any::<u32>(),
+    ) {
+        let mut bytes = encode_response(&resp);
+        if bytes.len() >= 4 {
+            let i = at.index(bytes.len() - 3);
+            bytes[i..i + 4].copy_from_slice(&word.to_le_bytes());
+            let _ = decode_response(&bytes);
+        }
+    }
+}

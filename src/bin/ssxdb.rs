@@ -10,15 +10,21 @@
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
 //! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] <db.ssxdb>
 //! ssxdb remote  --map <map> --seed <seed> --addr <host:port> [--shards S]
-//!               [--engine …] [--rule …] [--stats] <query>
+//!               [--engine …] [--rule …] [--speculate] [--stats] <query>
+//! ssxdb reshard --addr <host:port> --shards <S'>
 //! ```
 //!
 //! `serve --shards S` partitions the table across `S` independent server
 //! filters behind one concurrent listener; `remote --shards S` opens one
 //! connection per shard and batches each query frontier across them.
+//! `remote --speculate` overlaps dependent waves (the next frontier's
+//! expansion rides the current wave's frames). `reshard` repartitions a
+//! running sharded host **online** — rows move in memory, bit-identically;
+//! clients connected under the old shard count must reconnect.
 //!
-//! The map and seed files are the client secrets; `info` and `serve` work
-//! without them (they only touch what the untrusted server would hold).
+//! The map and seed files are the client secrets; `info`, `serve` and
+//! `reshard` work without them (they only touch what the untrusted server
+//! would hold).
 
 use ssxdb::core::{
     encode_document, encode_dom, serve_tcp, serve_tcp_sharded, ClientFilter, Engine, EngineKind,
@@ -58,6 +64,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "query" => query(parser),
         "serve" => serve(parser),
         "remote" => remote(parser),
+        "reshard" => reshard(parser),
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -80,7 +87,8 @@ commands:
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
   serve   --p P --e E --addr HOST:PORT [--shards S] <db.ssxdb>
   remote  --map M --seed S --addr HOST:PORT [--shards S]
-          [--engine ..] [--rule ..] <query>
+          [--engine ..] [--rule ..] [--speculate] <query>
+  reshard --addr HOST:PORT --shards S'            repartition a live host
 ";
 
 // ---- tiny argument parser ---------------------------------------------------
@@ -98,7 +106,11 @@ impl Args {
         let mut iter = raw.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if name == "stats" || name == "dtd" || name == "trie-alphabet" {
+                if name == "stats"
+                    || name == "dtd"
+                    || name == "trie-alphabet"
+                    || name == "speculate"
+                {
                     // boolean flags
                     flags.push((name.to_string(), "true".to_string()));
                 } else {
@@ -432,10 +444,40 @@ fn remote(mut args: Args) -> Result<(), String> {
     // count that disagrees with the server's (which would silently skip
     // partitions), and with `--shards 1` it speaks the untagged legacy
     // protocol.
-    let router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+    let mut router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+    router.set_speculation(args.bool("speculate"));
     let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
+    Ok(())
+}
+
+fn reshard(args: Args) -> Result<(), String> {
+    use ssxdb::core::protocol::{Request, Response};
+    use ssxdb::core::{TcpTransport, Transport};
+    let addr = args.required("addr")?.to_string();
+    let shards: u32 = args
+        .required("shards")?
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    let mut transport = TcpTransport::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    match transport
+        .call(&Request::Reshard { shards })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Ok => {}
+        Response::Err(e) => return Err(format!("server refused reshard: {e}")),
+        other => return Err(format!("unexpected reshard response {other:?}")),
+    }
+    match transport
+        .call(&Request::ShardCount)
+        .map_err(|e| e.to_string())?
+    {
+        Response::Count(n) => {
+            println!("{addr} now serves {n} shard(s); reconnect clients with --shards {n}")
+        }
+        other => return Err(format!("unexpected handshake response {other:?}")),
+    }
     Ok(())
 }
 
@@ -460,6 +502,12 @@ fn print_outcome(query_text: &str, out: &ssxdb::core::QueryOutcome, stats: bool)
         );
         println!("  polys fetched:     {}", s.polys_fetched);
         println!("  round trips:       {}", s.round_trips);
+        if s.speculative_hits > 0 || s.speculative_wasted > 0 {
+            println!(
+                "  speculation:       {} hits / {} wasted",
+                s.speculative_hits, s.speculative_wasted
+            );
+        }
         println!(
             "  bytes sent/recv:   {} / {}",
             s.bytes_sent, s.bytes_received

@@ -249,6 +249,105 @@ fn serve_and_remote_query() {
     assert!(status.success());
 }
 
+/// The online re-sharding workflow over the CLI: a sharded host comes up
+/// with S = 2, `ssxdb reshard` repartitions it to 3 while it runs, and a
+/// speculative `remote` client under the new count gets the same answer.
+#[test]
+fn reshard_and_speculative_remote_via_cli() {
+    let dir = fixture("reshard");
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = Command::new(bin())
+        .args([
+            "serve", "--p", "83", "--e", "1", "--addr", &addr, "--shards", "2", "db.ssxdb",
+        ])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut connected = false;
+    for _ in 0..50 {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(connected, "server did not come up");
+
+    let before = assert_ok(
+        &[
+            "remote",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--addr",
+            &addr,
+            "--shards",
+            "2",
+            "/site/regions/europe/item",
+        ],
+        &dir,
+    );
+
+    let out = assert_ok(&["reshard", "--addr", &addr, "--shards", "3"], &dir);
+    assert!(out.contains("3 shard(s)"), "{out}");
+
+    // The old shard count is refused; the new one answers identically —
+    // with speculation on.
+    let (ok, _, err) = run(
+        &[
+            "remote",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--addr",
+            &addr,
+            "--shards",
+            "2",
+            "/site/regions/europe/item",
+        ],
+        &dir,
+    );
+    assert!(!ok, "stale shard count must be refused");
+    assert!(err.contains("shard"), "{err}");
+    let after = assert_ok(
+        &[
+            "remote",
+            "--map",
+            "map.properties",
+            "--seed",
+            "seed.hex",
+            "--addr",
+            &addr,
+            "--shards",
+            "3",
+            "--speculate",
+            "--stats",
+            "/site/regions/europe/item",
+        ],
+        &dir,
+    );
+    let matches = |s: &String| {
+        s.lines()
+            .find(|l| l.contains("match(es)"))
+            .map(str::to_string)
+    };
+    assert_eq!(matches(&before), matches(&after), "answers must survive");
+
+    use ssxdb::core::protocol::Request;
+    use ssxdb::core::{TcpTransport, Transport};
+    let mut t = TcpTransport::connect(&addr).unwrap();
+    t.call(&Request::Shutdown).unwrap();
+    let status = server.wait().unwrap();
+    assert!(status.success());
+}
+
 #[test]
 fn errors_are_reported_not_panicked() {
     let dir = workdir("errors");
