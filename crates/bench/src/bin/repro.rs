@@ -15,7 +15,10 @@
 use ssx_bench::{
     build_db, document, full_sweep, paper_map, paper_seed, scale, table1_queries, TABLE2,
 };
-use ssx_core::{accuracy_percent, encode_document, EncryptedDb, EngineKind, MatchRule};
+use ssx_core::{
+    accuracy_percent, encode_document, serve_tcp_mux, serve_tcp_sharded, ClientFilter, EncryptedDb,
+    Engine, EngineKind, MatchRule, MuxPool, ShardRouter, ShardedServer,
+};
 use ssx_trie::corpus_stats;
 use ssx_xml::Document;
 use std::time::Instant;
@@ -32,7 +35,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_4.json".to_string());
+                .unwrap_or_else(|| "BENCH_5.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -72,15 +75,17 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_4.json`; the committed file is the PR-4 baseline
+/// `path`, default `BENCH_5.json`; the committed file is the PR-5 baseline
 /// and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
 /// representations, the boundary transforms, the pack/unpack boundary, the
 /// per-node encode cost, an end-to-end Table-1 chain query under both
-/// engines, and the shard-count × batching × **speculation** matrix of the
-/// sharded query plane (round trips, speculative hit counts and wall-clock
-/// per configuration).
+/// engines, the shard-count × batching × speculation matrix of the sharded
+/// query plane, and (new in schema 4) the **clients × transport matrix**:
+/// N concurrent clients running the chain over a real TCP host, thread-per-
+/// connection vs multiplexed. The run asserts the mux plane serves 8
+/// concurrent clients in no more wall-clock than the threaded one.
 fn bench_json(path: &str) {
     use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
@@ -226,9 +231,117 @@ fn bench_json(path: &str) {
         "speculation must beat the PR-3 wave baseline ({rt_speculative_s1} vs {rt_batched_s1})"
     );
 
+    // The clients × transport matrix (the PR-5 datapoint): N concurrent
+    // clients each run the chain query REPS times against a live TCP host,
+    // S = 2 — thread-per-connection (every client opens its own per-shard
+    // sockets, each costing a server thread) vs multiplexed (every client
+    // rides one shared pool, one socket per shard, fixed server pool).
+    // Every query's result is asserted against the single-client answer.
+    const MUX_BENCH_CLIENTS: [usize; 3] = [1, 2, 8];
+    const MUX_BENCH_REPS: usize = 4;
+    const MUX_BENCH_SHARDS: u32 = 2;
+    let mux_doc = document(24 * 1024);
+    let chain_query = ssx_xpath::parse_query(&chain)
+        .expect("chain parses")
+        .expand_text_predicates();
+    let chain_reference = {
+        let mut db = EncryptedDb::encode(&mux_doc, paper_map(), paper_seed()).expect("db");
+        db.query(&chain, EngineKind::Simple, MatchRule::Containment)
+            .expect("query")
+            .pres()
+    };
+    let transport_cell = |clients: usize, mux: bool| -> f64 {
+        let out = encode_document(&mux_doc, &map, &seed).expect("encode");
+        let server =
+            ShardedServer::from_table(out.table, out.ring, MUX_BENCH_SHARDS).expect("shard");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let host = std::thread::spawn(move || {
+            if mux {
+                serve_tcp_mux(listener, server, 0).expect("mux host")
+            } else {
+                serve_tcp_sharded(listener, server).expect("threaded host")
+            }
+        });
+        let started = Instant::now();
+        let pool = mux.then(|| MuxPool::connect(addr, MUX_BENCH_SHARDS).expect("pool"));
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let pool = pool.clone();
+                let (map, seed) = (map.clone(), seed.clone());
+                let query = chain_query.clone();
+                let expect = &chain_reference;
+                scope.spawn(move || {
+                    let run = |out: ssx_core::QueryOutcome| {
+                        assert_eq!(&out.pres(), expect, "transport changed the answer");
+                    };
+                    if let Some(pool) = pool {
+                        let mut c =
+                            ClientFilter::new(ShardRouter::mux(&pool), map, seed).expect("client");
+                        for _ in 0..MUX_BENCH_REPS {
+                            run(Engine::run(
+                                EngineKind::Simple,
+                                MatchRule::Containment,
+                                &query,
+                                &mut c,
+                            )
+                            .expect("query"));
+                        }
+                    } else {
+                        let router = ShardRouter::connect(addr, MUX_BENCH_SHARDS).expect("connect");
+                        let mut c = ClientFilter::new(router, map, seed).expect("client");
+                        for _ in 0..MUX_BENCH_REPS {
+                            run(Engine::run(
+                                EngineKind::Simple,
+                                MatchRule::Containment,
+                                &query,
+                                &mut c,
+                            )
+                            .expect("query"));
+                        }
+                    }
+                });
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        drop(pool);
+        let mut closer = ssx_core::TcpTransport::connect(addr).expect("closer");
+        use ssx_core::Transport as _;
+        closer
+            .call(&ssx_core::protocol::Request::Shutdown)
+            .expect("shutdown");
+        drop(closer);
+        host.join().expect("host join");
+        wall_ms
+    };
+    let mut mux_cells = Vec::new();
+    let mut threaded_8_ms = f64::INFINITY;
+    let mut mux_8_ms = f64::INFINITY;
+    for clients in MUX_BENCH_CLIENTS {
+        for mux in [false, true] {
+            // Best of two runs per cell: the figure of merit is the plane's
+            // capability, not a scheduler hiccup.
+            let ms = transport_cell(clients, mux).min(transport_cell(clients, mux));
+            if clients == 8 {
+                if mux {
+                    mux_8_ms = ms;
+                } else {
+                    threaded_8_ms = ms;
+                }
+            }
+            let qps = (clients * MUX_BENCH_REPS) as f64 / (ms / 1e3);
+            mux_cells.push(format!(
+                "    {{ \"clients\": {clients}, \"mux\": {mux}, \
+                 \"shards\": {MUX_BENCH_SHARDS}, \"wall_ms\": {ms:.3}, \
+                 \"queries_per_s\": {qps:.1} }}"
+            ));
+        }
+    }
+    let mux_speedup_8 = threaded_8_ms / mux_8_ms.max(0.001);
+
     let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/3\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/4\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -247,13 +360,23 @@ fn bench_json(path: &str) {
          \"speculative_hits\": {spec_hits_s1},\n  \
          \"speculative_wasted\": {spec_wasted_s1},\n  \
          \"speculative_hit_rate\": {spec_hit_rate:.3},\n  \
-         \"shard_batch_matrix\": [\n{}\n  ]\n}}\n",
+         \"mux_speedup_8_clients\": {mux_speedup_8:.2},\n  \
+         \"shard_batch_matrix\": [\n{}\n  ],\n  \
+         \"mux_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),
+        mux_cells.join(",\n"),
     );
     print!("{json}");
     std::fs::write(path, &json).expect("write bench json");
     println!("\nwrote {path}");
+    // Asserted after the write so a regression still leaves the measured
+    // numbers on disk (and in the CI log) for diagnosis.
+    assert!(
+        mux_8_ms <= threaded_8_ms,
+        "mux must serve 8 concurrent clients in no more wall-clock than \
+         thread-per-connection ({mux_8_ms:.3} ms vs {threaded_8_ms:.3} ms)"
+    );
 }
 
 fn banner(title: &str) {

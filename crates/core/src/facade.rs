@@ -8,6 +8,13 @@
 //! monolithic server — and [`EncryptedDb::encode_sharded`] (or
 //! [`EncryptedDb::load_sharded`]) partitions the same table across `S`
 //! independent server filters.
+//!
+//! The facade is generic over its transport: the default parameter is the
+//! in-process plane, [`EncryptedDb::connect`] opens the same interface onto
+//! a remote thread-per-connection host, and [`EncryptedDb::connect_mux`]
+//! onto a multiplexed [`crate::transport::serve_tcp_mux`] host — many
+//! `connect_mux` databases built on one [`MuxPool`] overlap their query
+//! waves on a single socket per shard.
 
 use crate::client::ClientFilter;
 use crate::encode::{encode_document, encode_dom, EncodeOutput, EncodeStats};
@@ -16,19 +23,30 @@ use crate::error::CoreError;
 use crate::map::MapFile;
 use crate::router::ShardRouter;
 use crate::shard::ShardedServer;
-use crate::transport::LocalTransport;
+use crate::transport::{LocalTransport, MuxPool, MuxTransport, TcpTransport, Transport};
 use ssx_poly::RingCtx;
 use ssx_prg::Seed;
 use ssx_store::{Row, SizeReport, Table};
 use ssx_xml::Document;
 use ssx_xpath::parse_query;
+use std::net::ToSocketAddrs;
 use std::path::Path;
 
-/// An encrypted database with an in-process (optionally sharded) server.
-pub struct EncryptedDb {
-    client: ClientFilter<ShardRouter<LocalTransport>>,
+/// An encrypted database over some query-plane transport. The default type
+/// parameter is the in-process (optionally sharded) server every encode
+/// constructor builds; [`EncryptedDb::connect`]/[`EncryptedDb::connect_mux`]
+/// put the identical query interface on a remote host.
+pub struct EncryptedDb<T: Transport + Send = ShardRouter<LocalTransport>> {
+    client: ClientFilter<T>,
     encode_stats: EncodeStats,
 }
+
+/// An [`EncryptedDb`] over a remote thread-per-connection TCP host.
+pub type RemoteDb = EncryptedDb<ShardRouter<TcpTransport>>;
+
+/// An [`EncryptedDb`] over a remote multiplexed host, riding a shared
+/// [`MuxPool`].
+pub type RemoteMuxDb = EncryptedDb<ShardRouter<MuxTransport>>;
 
 impl EncryptedDb {
     /// Encodes `xml` under `map` and `seed` (single shard).
@@ -80,72 +98,12 @@ impl EncryptedDb {
         })
     }
 
-    /// Parses and runs a query text.
-    pub fn query(
-        &mut self,
-        query_text: &str,
-        kind: EngineKind,
-        rule: MatchRule,
-    ) -> Result<QueryOutcome, CoreError> {
-        let query = parse_query(query_text)?.expand_text_predicates();
-        Engine::run(kind, rule, &query, &mut self.client)
-    }
-
-    /// Runs an already-parsed query.
-    pub fn run(
-        &mut self,
-        query: &ssx_xpath::Query,
-        kind: EngineKind,
-        rule: MatchRule,
-    ) -> Result<QueryOutcome, CoreError> {
-        Engine::run(kind, rule, query, &mut self.client)
-    }
-
-    /// The client filter (tests and custom protocols).
-    pub fn client_mut(&mut self) -> &mut ClientFilter<ShardRouter<LocalTransport>> {
-        &mut self.client
-    }
-
-    /// Encoding statistics of the build.
-    pub fn encode_stats(&self) -> EncodeStats {
-        self.encode_stats
-    }
-
-    /// Number of shards the table is partitioned across.
-    pub fn shards(&self) -> u32 {
-        self.client.transport().spec().shards()
-    }
-
     /// Repartitions the in-process fleet across `shards` filters **online**
     /// — no save/load cycle, rows move bit-identically (only placement
     /// changes), query results are unaffected. See
     /// [`crate::router::ShardRouter::reshard`].
     pub fn reshard(&mut self, shards: u32) -> Result<(), CoreError> {
         self.client.transport_mut().reshard(shards)
-    }
-
-    /// The shard count the observed per-shard traffic argues for (the
-    /// auto-tuning heuristic; see
-    /// [`crate::router::ShardRouter::suggest_shards`]). Pair with
-    /// [`EncryptedDb::reshard`] — the facade never repartitions on its own.
-    pub fn suggest_shards(&self) -> u32 {
-        self.client.transport().suggest_shards()
-    }
-
-    /// Enables or disables speculative wave pipelining: dependent query
-    /// waves overlap (the next frontier's expansion rides the current
-    /// wave's frames), cutting round trips on chain queries at identical
-    /// results. Off by default. See the
-    /// [`crate::router::ShardRouter`] module docs.
-    pub fn set_speculation(&mut self, enabled: bool) {
-        self.client.transport_mut().set_speculation(enabled);
-    }
-
-    /// Caps batch frames at `limit` sub-requests (`None` = whole-frontier
-    /// batches; `Some(1)` = the unbatched wire shape, the ablation
-    /// baseline).
-    pub fn set_batch_limit(&mut self, limit: Option<usize>) {
-        self.client.set_batch_limit(limit);
     }
 
     /// Server-side table sizes, summed across shards (Fig 4 series; the
@@ -174,25 +132,6 @@ impl EncryptedDb {
             .servers()
             .map(|s| s.table().len())
             .sum()
-    }
-
-    /// Toggle full verification of equality-test quotients.
-    pub fn set_verify_equality(&mut self, verify: bool) {
-        self.client.verify_equality = verify;
-    }
-
-    /// Toggle the client-share cache (memory for speed; transparent to
-    /// query results). Enabling uses
-    /// [`crate::client::DEFAULT_SHARE_CACHE_CAP`].
-    pub fn set_share_cache(&mut self, enabled: bool) {
-        self.client.set_share_cache(enabled);
-    }
-
-    /// Enable the client-share cache with an explicit capacity (in shares);
-    /// `cap = 0` disables it. The cache is a bounded clock cache: memory
-    /// stays under `cap · (q − 1)` words no matter the database size.
-    pub fn set_share_cache_capacity(&mut self, cap: usize) {
-        self.client.set_share_cache_capacity(cap);
     }
 
     /// Persists the server table — shard partitions are merged back into
@@ -250,6 +189,126 @@ impl EncryptedDb {
         }
         let server = ShardedServer::from_table(table, ring, shards)?;
         let client = ClientFilter::new(ShardRouter::local(server), map, seed)?;
+        Ok(EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+        })
+    }
+}
+
+impl<T: Transport + Send> EncryptedDb<T> {
+    /// Parses and runs a query text.
+    pub fn query(
+        &mut self,
+        query_text: &str,
+        kind: EngineKind,
+        rule: MatchRule,
+    ) -> Result<QueryOutcome, CoreError> {
+        let query = parse_query(query_text)?.expand_text_predicates();
+        Engine::run(kind, rule, &query, &mut self.client)
+    }
+
+    /// Runs an already-parsed query.
+    pub fn run(
+        &mut self,
+        query: &ssx_xpath::Query,
+        kind: EngineKind,
+        rule: MatchRule,
+    ) -> Result<QueryOutcome, CoreError> {
+        Engine::run(kind, rule, query, &mut self.client)
+    }
+
+    /// The client filter (tests and custom protocols).
+    pub fn client_mut(&mut self) -> &mut ClientFilter<T> {
+        &mut self.client
+    }
+
+    /// Encoding statistics of the build (zeroed on loaded or remote
+    /// databases — the encode happened elsewhere).
+    pub fn encode_stats(&self) -> EncodeStats {
+        self.encode_stats
+    }
+
+    /// Toggle full verification of equality-test quotients.
+    pub fn set_verify_equality(&mut self, verify: bool) {
+        self.client.verify_equality = verify;
+    }
+
+    /// Toggle the client-share cache (memory for speed; transparent to
+    /// query results). Enabling uses
+    /// [`crate::client::DEFAULT_SHARE_CACHE_CAP`].
+    pub fn set_share_cache(&mut self, enabled: bool) {
+        self.client.set_share_cache(enabled);
+    }
+
+    /// Enable the client-share cache with an explicit capacity (in shares);
+    /// `cap = 0` disables it. The cache is a bounded clock cache: memory
+    /// stays under `cap · (q − 1)` words no matter the database size.
+    pub fn set_share_cache_capacity(&mut self, cap: usize) {
+        self.client.set_share_cache_capacity(cap);
+    }
+
+    /// Caps batch frames at `limit` sub-requests (`None` = whole-frontier
+    /// batches; `Some(1)` = the unbatched wire shape, the ablation
+    /// baseline).
+    pub fn set_batch_limit(&mut self, limit: Option<usize>) {
+        self.client.set_batch_limit(limit);
+    }
+}
+
+impl<T: Transport + Send> EncryptedDb<ShardRouter<T>> {
+    /// Number of shards the table is partitioned across.
+    pub fn shards(&self) -> u32 {
+        self.client.transport().spec().shards()
+    }
+
+    /// The shard count the observed per-shard traffic argues for (the
+    /// auto-tuning heuristic; see
+    /// [`crate::router::ShardRouter::suggest_shards`]). Pair with
+    /// [`EncryptedDb::reshard`] (local) or `ssxdb reshard` (remote) — the
+    /// facade never repartitions on its own.
+    pub fn suggest_shards(&self) -> u32 {
+        self.client.transport().suggest_shards()
+    }
+
+    /// Enables or disables speculative wave pipelining: dependent query
+    /// waves overlap (the next frontier's expansion rides the current
+    /// wave's frames), cutting round trips on chain queries at identical
+    /// results. Off by default. See the
+    /// [`crate::router::ShardRouter`] module docs.
+    pub fn set_speculation(&mut self, enabled: bool) {
+        self.client.transport_mut().set_speculation(enabled);
+    }
+}
+
+impl RemoteDb {
+    /// Opens the facade onto a remote thread-per-connection host
+    /// ([`crate::transport::serve_tcp`] or
+    /// [`crate::transport::serve_tcp_sharded`]): one connection per shard,
+    /// shard count validated by the handshake. The map and seed stay
+    /// client-side; the server never sees them.
+    pub fn connect<A: ToSocketAddrs + Copy>(
+        addr: A,
+        shards: u32,
+        map: MapFile,
+        seed: Seed,
+    ) -> Result<Self, CoreError> {
+        let client = ClientFilter::new(ShardRouter::connect(addr, shards)?, map, seed)?;
+        Ok(EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+        })
+    }
+}
+
+impl RemoteMuxDb {
+    /// Opens the facade onto a multiplexed host
+    /// ([`crate::transport::serve_tcp_mux`]) through a shared [`MuxPool`]:
+    /// every database built on the same pool multiplexes its query waves
+    /// over the pool's one socket per shard, so any number of concurrent
+    /// clients cost the server a fixed number of connections.
+    pub fn connect_mux(pool: &MuxPool, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
+        let client = ClientFilter::new(ShardRouter::mux(pool), map, seed)?;
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
@@ -407,6 +466,79 @@ mod tests {
             );
             assert!(b.stats.speculative_hits > 0, "{q}");
         }
+    }
+
+    /// The same facade, three transports: the in-process plane, a remote
+    /// thread-per-connection host and a remote mux host (two databases on
+    /// one shared pool) all answer identically.
+    #[test]
+    fn remote_facades_match_the_local_plane() {
+        use crate::protocol::Request;
+        use crate::transport::{serve_tcp_mux, serve_tcp_sharded};
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let xml = "<site><a><b><c/></b></a><a><c/></a><b><a><c/></a></b></site>";
+        let shards = 2u32;
+        let mut local =
+            EncryptedDb::encode_sharded(xml, map(), Seed::from_test_key(33), shards).unwrap();
+
+        let spawn_host = |mux: bool| {
+            let out =
+                crate::encode::encode_document(xml, &map(), &Seed::from_test_key(33)).unwrap();
+            let server = ShardedServer::from_table(out.table, out.ring, shards).unwrap();
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let handle = std::thread::spawn(move || {
+                if mux {
+                    serve_tcp_mux(listener, server, 0).unwrap()
+                } else {
+                    serve_tcp_sharded(listener, server).unwrap()
+                }
+            });
+            (addr, handle)
+        };
+
+        let (tcp_addr, tcp_handle) = spawn_host(false);
+        let (mux_addr, mux_handle) = spawn_host(true);
+        let mut tcp = RemoteDb::connect(tcp_addr, shards, map(), Seed::from_test_key(33)).unwrap();
+        let pool = MuxPool::connect(mux_addr, shards).unwrap();
+        let mut mux_a = RemoteMuxDb::connect_mux(&pool, map(), Seed::from_test_key(33)).unwrap();
+        let mut mux_b = RemoteMuxDb::connect_mux(&pool, map(), Seed::from_test_key(33)).unwrap();
+        assert_eq!(tcp.shards(), shards);
+        assert_eq!(mux_a.shards(), shards);
+
+        for q in ["/site/a", "//c", "/site/b//c"] {
+            let want = local
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            let got = tcp
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            assert_eq!(got.pres(), want.pres(), "{q} (threaded)");
+            assert_eq!(got.stats.round_trips, want.stats.round_trips, "{q}");
+            let got = mux_a
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            assert_eq!(got.pres(), want.pres(), "{q} (mux)");
+            assert_eq!(got.stats.round_trips, want.stats.round_trips, "{q}");
+            let got = mux_b
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            assert_eq!(got.pres(), want.pres(), "{q} (second pooled client)");
+        }
+        assert_eq!(pool.stray_responses(), 0);
+
+        tcp.client_mut()
+            .transport_mut()
+            .call(&Request::Shutdown)
+            .unwrap();
+        drop(tcp);
+        tcp_handle.join().unwrap();
+        mux_a
+            .client_mut()
+            .transport_mut()
+            .call(&Request::Shutdown)
+            .unwrap();
+        mux_handle.join().unwrap();
     }
 
     #[test]

@@ -45,10 +45,13 @@ pub use engine::{
     SimpleEngine,
 };
 pub use error::CoreError;
-pub use facade::EncryptedDb;
+pub use facade::{EncryptedDb, RemoteDb, RemoteMuxDb};
 pub use map::MapFile;
 pub use reference::reference_eval;
 pub use router::ShardRouter;
 pub use server::{ServerFilter, ServerStats};
 pub use shard::{partition_table, ShardSpec, ShardedServer};
-pub use transport::{serve_tcp, serve_tcp_sharded, LocalTransport, TcpTransport, Transport};
+pub use transport::{
+    serve_tcp, serve_tcp_mux, serve_tcp_sharded, LocalTransport, MuxPool, MuxTransport,
+    PendingCall, TcpTransport, Transport,
+};

@@ -9,6 +9,12 @@
 use crate::error::CoreError;
 use ssx_store::Loc;
 
+/// The multiplexed-transport protocol version this build speaks. A
+/// [`Request::Hello`] carrying at least this version upgrades a connection
+/// to correlation-tagged framing (see [`encode_corr_payload`]); every frame
+/// that existed before the handshake keeps its exact legacy bytes.
+pub const MUX_PROTOCOL_VERSION: u32 = 1;
+
 /// Client → server messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -95,6 +101,20 @@ pub enum Request {
         /// The new shard count (clamped to ≥ 1 server-side).
         shards: u32,
     },
+    /// Opens the multiplexed-transport handshake: "I speak
+    /// correlation-tagged framing up to `version`". A mux-capable host
+    /// answers [`Response::Hello`] and switches the connection to the
+    /// correlation envelope ([`encode_corr_payload`]) from the next frame
+    /// on; every other endpoint answers [`Response::Err`], and the client
+    /// falls back or reports. This is the versioned extension of the
+    /// [`Request::ShardCount`] exchange: the answer carries the fleet size,
+    /// so one round trip both negotiates framing and validates the
+    /// partition. Sent exactly once, as the first frame of a connection —
+    /// inside a batch or after the upgrade it is an error.
+    Hello {
+        /// Highest envelope version the client understands (≥ 1).
+        version: u32,
+    },
     /// Many sub-requests in one round trip; answered by a parallel
     /// [`Response::Batch`]. Sub-requests may not themselves be `Batch` or
     /// `ToShard` frames (enforced by the codec).
@@ -135,6 +155,51 @@ pub enum Response {
     /// failed sub-request yields an inline [`Response::Err`] in its slot —
     /// one bad slot does not poison the rest of the batch.
     Batch(Vec<Response>),
+    /// Accepts a [`Request::Hello`]: the envelope version the server will
+    /// speak (the minimum of both sides' maxima) and its shard count. The
+    /// connection is correlation-framed from the next frame on.
+    Hello {
+        /// Negotiated envelope version.
+        version: u32,
+        /// How many shards this host partitions the table across (the same
+        /// figure the [`Request::ShardCount`] handshake reports).
+        shards: u32,
+    },
+}
+
+// ---- correlation envelope ---------------------------------------------------
+
+/// Bytes the correlation id occupies at the head of a mux-framed payload.
+pub const CORR_BYTES: usize = 8;
+
+/// Wire tag of [`Request::Hello`] — the one frame a mux host's reader must
+/// recognise *before* full decoding, to switch a connection's framing
+/// synchronously with the byte stream.
+pub(crate) const REQ_HELLO_TAG: u8 = 17;
+
+/// Wraps an encoded request or response frame in the correlation envelope a
+/// multiplexed connection speaks after the [`Request::Hello`] upgrade:
+/// `corr` as 8 little-endian bytes, then the untouched legacy frame. The
+/// outer 4-byte length prefix of the stream framing is unchanged, so every
+/// pre-mux decoder skill (length bounds, per-element checks) still applies
+/// to the inner bytes.
+pub fn encode_corr_payload(corr: u64, frame: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CORR_BYTES + frame.len());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Splits a mux-framed payload into its correlation id and the inner legacy
+/// frame. Total: any payload shorter than the 8-byte id is a typed error,
+/// never a panic — the id is returned exactly as the peer wrote it, so a
+/// response can only ever complete the slot whose id it carries.
+pub fn decode_corr_payload(payload: &[u8]) -> Result<(u64, &[u8]), CoreError> {
+    if payload.len() < CORR_BYTES {
+        return Err(CoreError::Transport("short mux frame".into()));
+    }
+    let corr = u64::from_le_bytes(payload[..CORR_BYTES].try_into().expect("8 bytes"));
+    Ok((corr, &payload[CORR_BYTES..]))
 }
 
 // ---- codec -----------------------------------------------------------------
@@ -307,6 +372,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u32(*shards);
             w.buf
         }
+        Request::Hello { version } => {
+            let mut w = Writer::new(REQ_HELLO_TAG);
+            w.u32(*version);
+            w.buf
+        }
         Request::Batch(subs) => {
             let mut w = Writer::new(13);
             w.u32(subs.len() as u32);
@@ -379,6 +449,7 @@ fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreEr
         12 => Request::Shutdown,
         15 => Request::ShardCount,
         16 => Request::Reshard { shards: r.u32()? },
+        REQ_HELLO_TAG => Request::Hello { version: r.u32()? },
         13 => {
             if nesting != Nesting::Top && nesting != Nesting::InShard {
                 return Err(CoreError::Transport("nested batch refused".into()));
@@ -480,6 +551,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
             w.buf
         }
+        Response::Hello { version, shards } => {
+            let mut w = Writer::new(10);
+            w.u32(*version);
+            w.u32(*shards);
+            w.buf
+        }
     }
 }
 
@@ -535,6 +612,10 @@ fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, Cor
                 .collect::<Result<Vec<_>, _>>()?;
             Response::Batch(subs)
         }
+        10 => Response::Hello {
+            version: r.u32()?,
+            shards: r.u32()?,
+        },
         t => return Err(CoreError::Transport(format!("unknown response tag {t}"))),
     };
     r.finish()?;
@@ -580,6 +661,9 @@ mod tests {
             Request::Shutdown,
             Request::ShardCount,
             Request::Reshard { shards: 4 },
+            Request::Hello {
+                version: MUX_PROTOCOL_VERSION,
+            },
             Request::Batch(vec![]),
             Request::Batch(vec![
                 Request::Root,
@@ -624,6 +708,10 @@ mod tests {
                 Response::Values(vec![7, 0]),
                 Response::Err("one bad slot".into()),
             ]),
+            Response::Hello {
+                version: 1,
+                shards: 4,
+            },
         ];
         for resp in cases {
             let bytes = encode_response(&resp);
@@ -729,11 +817,39 @@ mod tests {
             vec![16, 2, 0, 0, 0],
             "the PR-4 frame claims a fresh tag"
         );
+        assert_eq!(
+            encode_request(&Request::Hello { version: 1 }),
+            vec![17, 1, 0, 0, 0],
+            "the PR-5 handshake claims a fresh tag"
+        );
         assert_eq!(encode_response(&Response::Value(81)), {
             let mut v = vec![2u8];
             v.extend_from_slice(&81u64.to_le_bytes());
             v
         });
         assert_eq!(encode_response(&Response::Ok), vec![7]);
+    }
+
+    /// The correlation envelope is the legacy frame with 8 id bytes in
+    /// front — nothing inside the frame changes, and splitting returns the
+    /// id exactly as written.
+    #[test]
+    fn corr_envelope_round_trips_and_rejects_short_payloads() {
+        let frame = encode_request(&Request::Eval { pre: 1, point: 82 });
+        for corr in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0102_0304] {
+            let payload = encode_corr_payload(corr, &frame);
+            assert_eq!(payload.len(), CORR_BYTES + frame.len());
+            let (got, inner) = decode_corr_payload(&payload).unwrap();
+            assert_eq!(got, corr);
+            assert_eq!(inner, &frame[..], "inner bytes are the legacy frame");
+        }
+        for short in 0..CORR_BYTES {
+            assert!(decode_corr_payload(&vec![0u8; short]).is_err());
+        }
+        // Exactly 8 bytes: a valid envelope around an empty frame.
+        let bare = 7u64.to_le_bytes();
+        let (corr, inner) = decode_corr_payload(&bare).unwrap();
+        assert_eq!(corr, 7);
+        assert!(inner.is_empty());
     }
 }

@@ -44,7 +44,9 @@ use crate::error::CoreError;
 use crate::protocol::{Request, Response};
 use crate::server::ServerFilter;
 use crate::shard::{ShardSpec, ShardedServer};
-use crate::transport::{LocalTransport, TcpTransport, Transport, TransportStats};
+use crate::transport::{
+    LocalTransport, MuxPool, MuxTransport, TcpTransport, Transport, TransportStats,
+};
 use ssx_store::Loc;
 use std::collections::HashMap;
 use std::net::ToSocketAddrs;
@@ -256,6 +258,21 @@ impl ShardRouter<TcpTransport> {
     }
 }
 
+impl ShardRouter<MuxTransport> {
+    /// Routes over a shared [`MuxPool`]: one **multiplexed** socket per
+    /// shard, shared with every other router built on the same pool, so the
+    /// waves of many concurrent clients overlap on the wire instead of each
+    /// costing the server a connection and a thread. Frames are
+    /// shard-tagged and dispatched concurrently exactly like
+    /// [`ShardRouter::connect`]; the pool's [`Request::Hello`] handshake
+    /// already negotiated the framing and validated the shard count.
+    pub fn mux(pool: &MuxPool) -> Self {
+        let spec = ShardSpec::new(pool.shards());
+        let transports = (0..spec.shards()).map(|s| pool.transport(s)).collect();
+        ShardRouter::new(spec, transports, spec.shards() > 1, true)
+    }
+}
+
 impl<T: Transport + Send> ShardRouter<T> {
     /// Wires a router over explicit per-shard transports.
     pub fn new(spec: ShardSpec, transports: Vec<T>, tag_frames: bool, concurrent: bool) -> Self {
@@ -388,31 +405,47 @@ impl<T: Transport + Send> ShardRouter<T> {
             }
             frames.push(Some((frame, expected)));
         }
-        // Dispatch: scoped threads overlap the socket round trips; the
-        // sequential loop is the right shape for in-process shards.
-        let results: Vec<Option<Result<Response, CoreError>>> = if self.concurrent {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
+        // Dispatch: a pipelining transport (mux) overlaps the round trips
+        // with zero extra threads — every frame goes on the wire, then the
+        // completion slots are collected; scoped threads overlap blocking
+        // socket transports; the sequential loop is the right shape for
+        // in-process shards.
+        let results: Vec<Option<Result<Response, CoreError>>> =
+            if self.transports.first().is_some_and(Transport::pipelines) {
+                let pending: Vec<_> = self
                     .transports
                     .iter_mut()
                     .zip(&frames)
-                    .map(|(t, f)| {
-                        f.as_ref()
-                            .map(|(frame, _)| scope.spawn(move || t.call(frame)))
-                    })
+                    .map(|(t, f)| f.as_ref().map(|(frame, _)| t.call_pipelined(frame)))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.map(|h| h.join().expect("shard dispatch thread")))
+                self.transports
+                    .iter_mut()
+                    .zip(pending)
+                    .map(|(t, p)| p.map(|p| p.and_then(|call| t.finish_pipelined(call))))
                     .collect()
-            })
-        } else {
-            self.transports
-                .iter_mut()
-                .zip(&frames)
-                .map(|(t, f)| f.as_ref().map(|(frame, _)| t.call(frame)))
-                .collect()
-        };
+            } else if self.concurrent {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .transports
+                        .iter_mut()
+                        .zip(&frames)
+                        .map(|(t, f)| {
+                            f.as_ref()
+                                .map(|(frame, _)| scope.spawn(move || t.call(frame)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.map(|h| h.join().expect("shard dispatch thread")))
+                        .collect()
+                })
+            } else {
+                self.transports
+                    .iter_mut()
+                    .zip(&frames)
+                    .map(|(t, f)| f.as_ref().map(|(frame, _)| t.call(frame)))
+                    .collect()
+            };
         // Unwrap batch envelopes back into per-shard response lists.
         let mut out = Vec::with_capacity(results.len());
         for (res, frame) in results.into_iter().zip(frames) {
@@ -597,6 +630,11 @@ impl<T: Transport + Send> ShardRouter<T> {
             // raw transport against a sharded TCP host remotely).
             Request::Reshard { .. } => Slot::Ready(Response::Err(
                 "reshard via ShardRouter::reshard (local) or a direct transport (TCP host)".into(),
+            )),
+            // Framing negotiation belongs to the connection owner; a mux
+            // router's pool already performed it at connect time.
+            Request::Hello { .. } => Slot::Ready(Response::Err(
+                "mux handshakes are performed by the owning transport at connect time".into(),
             )),
             Request::Batch(_) | Request::ToShard { .. } => Slot::Ready(Response::Err(
                 "routers build their own envelopes; send plain requests".into(),

@@ -222,6 +222,13 @@ impl ServerFilter {
             Request::Reshard { .. } => {
                 Response::Err("reshard requires a sharded host endpoint".into())
             }
+            // The mux handshake is a connection-level operation: the mux
+            // host's reader intercepts it before any filter; everywhere
+            // else (bare filter, thread-per-connection host, inside a
+            // batch) it is a clean refusal the client can fall back on.
+            Request::Hello { .. } => {
+                Response::Err("mux handshake requires a mux host endpoint".into())
+            }
             Request::Batch(subs) => {
                 let mut out = Vec::with_capacity(subs.len());
                 for sub in subs {

@@ -5,17 +5,48 @@
 //! would over a network. [`TcpTransport`]/[`serve_tcp`] carry the identical
 //! frames over a socket with 4-byte length prefixes — used by the
 //! `client_server_tcp` example and the integration tests.
+//!
+//! # Multiplexed transport
+//!
+//! The thread-per-connection hosts serialize a connection's waves: one
+//! request must be answered before the next is read, and every concurrent
+//! client costs an OS thread. [`serve_tcp_mux`] and the client-side
+//! [`MuxPool`]/[`MuxTransport`] replace that with a **multiplexed** plane:
+//!
+//! * a connection upgrades via a versioned [`Request::Hello`] handshake
+//!   (the extension of the [`Request::ShardCount`] exchange — the answer
+//!   carries the fleet size too), after which every frame payload is
+//!   prefixed with a `u64` correlation id
+//!   ([`crate::protocol::encode_corr_payload`]); pre-handshake frames keep
+//!   their exact legacy bytes, so a mux host still serves legacy clients;
+//! * the host runs a *small fixed pool* of threads — one reader/dispatcher
+//!   sweeping all connections' nonblocking sockets plus `workers`
+//!   executors over the shared shard fleet, each writing its response the
+//!   moment it completes under a per-connection send lock — so responses
+//!   leave in **completion order**, not arrival order: a cheap request is
+//!   never stuck behind an expensive one, whichever connection carried it;
+//! * the client pool opens **one socket per shard** and hands out any
+//!   number of [`MuxTransport`]s onto them: each in-flight wave parks on a
+//!   per-correlation completion slot, so many concurrent
+//!   [`crate::router::ShardRouter`]s overlap their waves on the same wire.
+//!
+//! What the server observes per correlation id is exactly what it used to
+//! observe per connection (see DESIGN.md's transport section for the
+//! leakage discussion).
 
 use crate::error::CoreError;
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_corr_payload, decode_request, decode_response, encode_corr_payload, encode_request,
+    encode_response, Request, Response, MUX_PROTOCOL_VERSION, REQ_HELLO_TAG,
 };
 use crate::server::ServerFilter;
-use crate::shard::ShardedServer;
+use crate::shard::{ShardSpec, ShardedServer};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
+use std::time::Duration;
 
 /// Traffic counters shared by all transports.
 ///
@@ -62,8 +93,43 @@ pub trait Transport {
         reqs.iter().map(|r| self.call(r)).collect()
     }
 
+    /// Whether this transport can park an in-flight call and overlap
+    /// several of them without a thread each
+    /// ([`Transport::call_pipelined`]/[`Transport::finish_pipelined`]).
+    /// Routers use it to pick the cheapest wave-overlap strategy: pipelined
+    /// sends on a multiplexed transport, scoped threads on a blocking one.
+    fn pipelines(&self) -> bool {
+        false
+    }
+
+    /// Sends `req` without waiting and parks the in-flight call. Only
+    /// meaningful when [`Transport::pipelines`] is `true`; the default
+    /// refuses.
+    fn call_pipelined(&mut self, req: &Request) -> Result<PendingCall, CoreError> {
+        let _ = req;
+        Err(CoreError::Transport(
+            "transport does not pipeline calls".into(),
+        ))
+    }
+
+    /// Blocks until a call parked by [`Transport::call_pipelined`] **on
+    /// this same transport** completes, and accounts it.
+    fn finish_pipelined(&mut self, call: PendingCall) -> Result<Response, CoreError> {
+        let _ = call;
+        Err(CoreError::Transport(
+            "transport does not pipeline calls".into(),
+        ))
+    }
+
     /// Counter snapshot.
     fn stats(&self) -> TransportStats;
+}
+
+/// An in-flight call parked by [`Transport::call_pipelined`]: the frame is
+/// on the wire, the response will resolve the held completion slot. Only
+/// multiplexed transports construct these.
+pub struct PendingCall {
+    rx: mpsc::Receiver<SlotResult>,
 }
 
 /// The shared `call_batch` body of the concrete frame transports: empty and
@@ -194,6 +260,10 @@ impl TcpTransport {
     }
 }
 
+/// Largest frame any transport will read or buffer — a hostile length
+/// prefix beyond it is refused before allocation.
+const MAX_FRAME_BYTES: usize = 64 << 20;
+
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), CoreError> {
     let io = |e: std::io::Error| CoreError::Transport(format!("write: {e}"));
     stream
@@ -211,7 +281,7 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, CoreError> {
         Err(e) => return Err(CoreError::Transport(format!("read: {e}"))),
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len > 64 << 20 {
+    if len > MAX_FRAME_BYTES {
         return Err(CoreError::Transport(format!(
             "frame of {len} bytes refused"
         )));
@@ -390,6 +460,63 @@ pub fn serve_tcp_sharded(
     Ok(ShardedServer::from_filters(spec, filters))
 }
 
+/// Handles one decoded request against the fleet, shared by the
+/// thread-per-connection host and the mux host's worker pool. `born` is the
+/// generation the connection was accepted under. Returns the response plus
+/// whether the request was an honoured [`Request::Shutdown`] (the caller
+/// stops the host after writing the response).
+fn host_handle_request(host: &ShardHost, born: u64, req: &Request) -> (Response, bool) {
+    let (shard, inner): (u32, &Request) = match req {
+        Request::ToShard { shard, req } => (*shard, req),
+        other => (0, other),
+    };
+    // The handshake answers for the whole host, whatever shard it was
+    // addressed to.
+    if matches!(inner, Request::ShardCount) {
+        return (Response::Count(host.shard_count() as u64), false);
+    }
+    // Re-sharding is likewise a fleet-level operation: it takes the write
+    // lock, so it runs strictly between requests.
+    if let Request::Reshard { shards } = inner {
+        return (host.reshard(*shards), false);
+    }
+    // A mux handshake reaching this path is out of place: the mux host's
+    // reader upgrades connections before any request is dispatched, and the
+    // thread-per-connection host never multiplexes.
+    if matches!(inner, Request::Hello { .. }) {
+        return (
+            Response::Err("mux handshake must be the first frame of a mux host connection".into()),
+            false,
+        );
+    }
+    // Shutdown only counts when it was addressed to a shard that exists —
+    // an erroneous frame must not stop the host.
+    let mut shutdown = matches!(inner, Request::Shutdown);
+    let resp = {
+        let filters = host.filters.read().unwrap_or_else(|p| p.into_inner());
+        // Generation fence (read under the same lock the reshard bumps it
+        // under): a connection accepted before a reshard routes by a dead
+        // partition. Answering it could be *silently incomplete* — a
+        // fan-out would never reach the new shards — so it gets an explicit
+        // error and must reconnect. Shutdown stays honoured (fleet-level,
+        // partition-independent).
+        if host.generation.load(Ordering::SeqCst) != born && !shutdown {
+            return (
+                Response::Err("shard layout changed (reshard); reconnect".into()),
+                false,
+            );
+        }
+        match filters.get(shard as usize) {
+            Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
+            None => {
+                shutdown = false;
+                Response::Err(format!("no shard {shard} (server has {})", filters.len()))
+            }
+        }
+    };
+    (resp, shutdown)
+}
+
 fn serve_sharded_connection(
     mut stream: TcpStream,
     host: &ShardHost,
@@ -400,75 +527,678 @@ fn serve_sharded_connection(
         .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
     let born = host.generation.load(Ordering::SeqCst);
     while let Some(frame) = read_frame(&mut stream)? {
-        let resp = match decode_request(&frame) {
-            Ok(req) => {
-                let (shard, inner): (u32, &Request) = match &req {
-                    Request::ToShard { shard, req } => (*shard, req),
-                    other => (0, other),
-                };
-                // The handshake answers for the whole host, whatever shard
-                // it was addressed to.
-                if matches!(inner, Request::ShardCount) {
-                    let resp = Response::Count(host.shard_count() as u64);
-                    write_frame(&mut stream, &encode_response(&resp))?;
-                    continue;
-                }
-                // Re-sharding is likewise a fleet-level operation: it takes
-                // the write lock, so it runs strictly between requests.
-                if let Request::Reshard { shards } = inner {
-                    let resp = host.reshard(*shards);
-                    write_frame(&mut stream, &encode_response(&resp))?;
-                    continue;
-                }
-                // Shutdown only counts when it was addressed to a shard
-                // that exists — an erroneous frame must not stop the host.
-                let mut shutdown = matches!(inner, Request::Shutdown);
-                let resp = {
-                    let filters = host.filters.read().unwrap_or_else(|p| p.into_inner());
-                    // Generation fence (read under the same lock the reshard
-                    // bumps it under): a connection accepted before a
-                    // reshard routes by a dead partition. Answering it
-                    // could be *silently incomplete* — a fan-out would
-                    // never reach the new shards — so it gets an explicit
-                    // error and must reconnect. Shutdown stays honoured
-                    // (fleet-level, partition-independent).
-                    if host.generation.load(Ordering::SeqCst) != born
-                        && !matches!(inner, Request::Shutdown)
-                    {
-                        drop(filters);
-                        write_frame(
-                            &mut stream,
-                            &encode_response(&Response::Err(
-                                "shard layout changed (reshard); reconnect".into(),
-                            )),
-                        )?;
-                        continue;
-                    }
-                    match filters.get(shard as usize) {
-                        Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
-                        None => {
-                            shutdown = false;
-                            Response::Err(format!(
-                                "no shard {shard} (server has {})",
-                                filters.len()
-                            ))
-                        }
-                    }
-                };
-                write_frame(&mut stream, &encode_response(&resp))?;
-                if shutdown {
-                    host.stop.store(true, Ordering::SeqCst);
-                    // Wake the accept loop so it observes the stop flag.
-                    let _ = TcpStream::connect(addr);
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(e) => Response::Err(e.to_string()),
+        let (resp, shutdown) = match decode_request(&frame) {
+            Ok(req) => host_handle_request(host, born, &req),
+            Err(e) => (Response::Err(e.to_string()), false),
         };
         write_frame(&mut stream, &encode_response(&resp))?;
+        if shutdown {
+            host.stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the stop flag.
+            let _ = TcpStream::connect(addr);
+            return Ok(());
+        }
     }
     Ok(())
+}
+
+// ---- multiplexed host -------------------------------------------------------
+
+/// Executor threads [`serve_tcp_mux`] runs when the caller passes
+/// `workers = 0`.
+pub const DEFAULT_MUX_WORKERS: usize = 4;
+
+/// Per-connection state of the mux host, shared between the reader (which
+/// owns all receive buffers) and the executors (which write responses as
+/// they complete, under the per-connection send lock).
+struct MuxHostConn {
+    /// Nonblocking socket; the reader reads it, responders write it.
+    stream: TcpStream,
+    /// Serialises response sends so frames never interleave mid-write;
+    /// *which* response goes out next is completion order, not arrival
+    /// order.
+    send: Mutex<()>,
+    /// Correlation framing negotiated (flipped once, by the reader, on a
+    /// successful [`Request::Hello`]).
+    mux: AtomicBool,
+    /// Generation fence captured at accept time (see [`ShardHost`]).
+    born: u64,
+    /// A failed read or write poisons the connection; every pool thread
+    /// skips it from then on — one broken client never stalls the pool.
+    dead: AtomicBool,
+}
+
+impl MuxHostConn {
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Frames and sends one response payload, whole, under the send lock.
+    /// A failed send poisons only this connection.
+    fn send_payload(&self, payload: &[u8]) {
+        if self.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let _guard = self.send.lock().unwrap_or_else(|p| p.into_inner());
+        let len = (payload.len() as u32).to_le_bytes();
+        if write_all_nonblocking(&self.stream, &len).is_err()
+            || write_all_nonblocking(&self.stream, payload).is_err()
+        {
+            self.kill();
+        }
+    }
+}
+
+/// One decoded-frame unit of work for the executor pool.
+struct MuxJob {
+    conn: Arc<MuxHostConn>,
+    /// `Some` on an upgraded connection (echoed on the response), `None`
+    /// on a legacy one.
+    corr: Option<u64>,
+    frame: Vec<u8>,
+}
+
+/// How long one response send may stall on a full kernel buffer before the
+/// connection is declared dead. A client that stops *reading* would
+/// otherwise wedge the executor spinning in `send_payload` while it holds
+/// the per-connection send lock — with a fixed pool, a handful of such
+/// clients could halt the host. Past the deadline the send fails, the
+/// connection is poisoned, and the executor moves on.
+const MUX_WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// `write_all` against a nonblocking socket: retries `WouldBlock` with a
+/// short sleep (sends must be atomic per frame) up to
+/// [`MUX_WRITE_STALL_TIMEOUT`] of continuous stall, then gives up with
+/// `TimedOut` so the caller can poison the connection instead of spinning
+/// forever.
+fn write_all_nonblocking(mut stream: &TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    let mut written = 0;
+    let mut stalled_since: Option<std::time::Instant> = None;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                written += n;
+                stalled_since = None;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let since = *stalled_since.get_or_insert_with(std::time::Instant::now);
+                if since.elapsed() > MUX_WRITE_STALL_TIMEOUT {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Serves a [`ShardedServer`] with a **fixed thread pool over multiplexed
+/// connections** instead of one thread per connection: one
+/// reader/dispatcher thread sweeps every connection's nonblocking socket
+/// and feeds `workers` executor threads (0 = a pool sized to the machine,
+/// see [`DEFAULT_MUX_WORKERS`]) that run requests against the shared fleet
+/// and write each response as it completes, under per-connection send
+/// locks — **completion order**, out-of-order with respect to arrival, so
+/// waves from many clients overlap on the wire instead of queueing behind
+/// a thread each.
+///
+/// Connections start in the legacy framing ([`serve_tcp_sharded`]'s exact
+/// wire shape, byte for byte) and upgrade to correlation-tagged frames via
+/// [`Request::Hello`]; legacy clients are served unchanged. Fleet-level
+/// frames ([`Request::ShardCount`], [`Request::Reshard`],
+/// [`Request::Shutdown`]) and the reshard generation fence behave exactly
+/// as on the thread-per-connection host. Returns the sharded server once a
+/// client sends [`Request::Shutdown`].
+pub fn serve_tcp_mux(
+    listener: TcpListener,
+    server: ShardedServer,
+    workers: usize,
+) -> Result<ShardedServer, CoreError> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(DEFAULT_MUX_WORKERS)
+            .clamp(2, 8)
+    } else {
+        workers
+    };
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CoreError::Transport(format!("local_addr: {e}")))?;
+    let host = Arc::new(ShardHost {
+        filters: RwLock::new(server.into_filters().into_iter().map(Mutex::new).collect()),
+        generation: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let (conn_tx, conn_rx) = mpsc::channel::<Arc<MuxHostConn>>();
+    let (job_tx, job_rx) = mpsc::channel::<MuxJob>();
+    let job_rx = Mutex::new(job_rx);
+
+    let result = std::thread::scope(|scope| -> Result<(), CoreError> {
+        {
+            let host = Arc::clone(&host);
+            scope.spawn(move || mux_reader_loop(conn_rx, job_tx, &host));
+        }
+        for _ in 0..workers {
+            let host = Arc::clone(&host);
+            let job_rx = &job_rx;
+            scope.spawn(move || mux_worker_loop(job_rx, &host, addr));
+        }
+
+        loop {
+            let accepted = listener
+                .accept()
+                .map_err(|e| CoreError::Transport(format!("accept: {e}")));
+            let (stream, _) = match accepted {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // Unwind the pool before surfacing the error, or the
+                    // scope would join forever.
+                    host.stop.store(true, Ordering::SeqCst);
+                    return Err(e);
+                }
+            };
+            if host.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let conn = Arc::new(MuxHostConn {
+                stream,
+                send: Mutex::new(()),
+                mux: AtomicBool::new(false),
+                born: host.generation.load(Ordering::SeqCst),
+                dead: AtomicBool::new(false),
+            });
+            if conn_tx.send(conn).is_err() {
+                return Ok(());
+            }
+        }
+    });
+    result?;
+    let host = Arc::into_inner(host).expect("mux pool threads joined");
+    let filters: Vec<ServerFilter> = host
+        .filters
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect();
+    let spec = ShardSpec::new(filters.len() as u32);
+    Ok(ShardedServer::from_filters(spec, filters))
+}
+
+/// The mux host's reader/dispatcher: sweeps every live connection's
+/// nonblocking socket, reassembles length-prefixed frames, performs the
+/// [`Request::Hello`] upgrade synchronously with the byte stream (so a
+/// frame after the upgrade is never misparsed), and hands complete frames
+/// to the executor pool. Exits when the host stops, dropping the job
+/// sender — which winds down the workers.
+fn mux_reader_loop(
+    conn_rx: mpsc::Receiver<Arc<MuxHostConn>>,
+    job_tx: mpsc::Sender<MuxJob>,
+    host: &ShardHost,
+) {
+    struct ReaderConn {
+        conn: Arc<MuxHostConn>,
+        buf: Vec<u8>,
+    }
+    let mut conns: Vec<ReaderConn> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    // Spin-then-park backoff: while traffic flows the sweep never sleeps
+    // (a request-response wave must not pay a park/unpark latency), after a
+    // run of empty sweeps it yields, and only a genuinely idle plane backs
+    // off to a bounded sleep.
+    let mut idle_sweeps = 0u32;
+    loop {
+        while let Ok(conn) = conn_rx.try_recv() {
+            conns.push(ReaderConn {
+                conn,
+                buf: Vec::new(),
+            });
+        }
+        if host.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut progress = false;
+        conns.retain_mut(|rc| {
+            if rc.conn.dead.load(Ordering::SeqCst) {
+                return false;
+            }
+            loop {
+                match (&rc.conn.stream).read(&mut tmp) {
+                    Ok(0) => {
+                        rc.conn.kill();
+                        return false;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        rc.buf.extend_from_slice(&tmp[..n]);
+                        if !drain_host_frames(&rc.conn, &mut rc.buf, &job_tx, host) {
+                            rc.conn.kill();
+                            return false;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        rc.conn.kill();
+                        return false;
+                    }
+                }
+            }
+        });
+        if progress {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// Extracts every complete frame from `buf` and dispatches it. Returns
+/// `false` when the connection's framing is beyond recovery (oversized
+/// length prefix, corr envelope shorter than its id) — the caller drops the
+/// connection, exactly as the blocking hosts drop an unframeable stream.
+fn drain_host_frames(
+    conn: &Arc<MuxHostConn>,
+    buf: &mut Vec<u8>,
+    job_tx: &mpsc::Sender<MuxJob>,
+    host: &ShardHost,
+) -> bool {
+    let mut offset = 0usize;
+    let mut alive = true;
+    while alive {
+        let remaining = &buf[offset..];
+        if remaining.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(remaining[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            alive = false;
+            break;
+        }
+        if remaining.len() < 4 + len {
+            break;
+        }
+        let payload = &remaining[4..4 + len];
+        if conn.mux.load(Ordering::SeqCst) {
+            match decode_corr_payload(payload) {
+                Ok((corr, inner)) => {
+                    let _ = job_tx.send(MuxJob {
+                        conn: Arc::clone(conn),
+                        corr: Some(corr),
+                        frame: inner.to_vec(),
+                    });
+                }
+                // Too short to carry a correlation id: there is no slot to
+                // answer into, so the stream is unrecoverable.
+                Err(_) => alive = false,
+            }
+        } else if payload.first() == Some(&REQ_HELLO_TAG) {
+            // The upgrade is handled here, synchronously with the byte
+            // stream: every later frame of this connection parses under the
+            // negotiated framing even if it is already sitting in `buf`.
+            let resp = match decode_request(payload) {
+                Ok(Request::Hello { version }) if version >= MUX_PROTOCOL_VERSION => {
+                    conn.mux.store(true, Ordering::SeqCst);
+                    Response::Hello {
+                        version: MUX_PROTOCOL_VERSION,
+                        shards: host.shard_count() as u32,
+                    }
+                }
+                Ok(Request::Hello { version }) => Response::Err(format!(
+                    "unsupported mux version {version}; this host speaks {MUX_PROTOCOL_VERSION}"
+                )),
+                Ok(_) => unreachable!("tag {REQ_HELLO_TAG} decodes to Hello"),
+                Err(e) => Response::Err(e.to_string()),
+            };
+            conn.send_payload(&encode_response(&resp));
+        } else {
+            let _ = job_tx.send(MuxJob {
+                conn: Arc::clone(conn),
+                corr: None,
+                frame: payload.to_vec(),
+            });
+        }
+        offset += 4 + len;
+    }
+    buf.drain(..offset);
+    alive
+}
+
+/// One executor of the mux host's pool: decodes a job's frame, runs it
+/// against the fleet (same interception, fence and routing as the
+/// thread-per-connection host), and sends the framed response the moment
+/// it completes — out of order with respect to arrival. An honoured
+/// [`Request::Shutdown`] stops the host after its ack is sent.
+fn mux_worker_loop(job_rx: &Mutex<mpsc::Receiver<MuxJob>>, host: &ShardHost, addr: SocketAddr) {
+    loop {
+        // Holding the lock across the blocking recv simply serializes
+        // dequeues; execution below runs in parallel across workers.
+        let job = match job_rx.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let (resp, shutdown) = match decode_request(&job.frame) {
+            Ok(req) => host_handle_request(host, job.conn.born, &req),
+            Err(e) => (Response::Err(e.to_string()), false),
+        };
+        let frame = encode_response(&resp);
+        let payload = match job.corr {
+            Some(corr) => encode_corr_payload(corr, &frame),
+            None => frame,
+        };
+        job.conn.send_payload(&payload);
+        if shutdown {
+            host.stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the stop flag.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+// ---- multiplexed client -----------------------------------------------------
+
+/// What a completion slot receives: the decoded response plus the payload
+/// length on the wire (byte accounting), or the error that killed the wave.
+type SlotResult = Result<(Response, u64), CoreError>;
+
+/// In-flight waves of one pooled connection, keyed by correlation id.
+type PendingSlots = Mutex<HashMap<u64, mpsc::Sender<SlotResult>>>;
+
+/// One pooled, multiplexed connection: the write half (shared by every
+/// [`MuxTransport`] on this shard), the completion slots the reader thread
+/// resolves, and the correlation counter.
+struct MuxClientConn {
+    write: Mutex<TcpStream>,
+    pending: PendingSlots,
+    next_corr: AtomicU64,
+    dead: AtomicBool,
+    /// Responses carrying a correlation id nobody waits for — dropped, and
+    /// counted: a correct host never produces one.
+    stray: AtomicU64,
+}
+
+impl Drop for MuxClientConn {
+    /// Runs when the last pool clone / transport lets go (the reader holds
+    /// only a `Weak`). The reader thread owns a dup of this socket and sits
+    /// in a blocking read — dropping our write half alone would leave the
+    /// TCP connection established (no FIN) and the thread parked forever,
+    /// so shut the socket down both ways: the reader's read returns, it
+    /// fails to upgrade its `Weak`, and it exits.
+    fn drop(&mut self) {
+        let stream = self.write.get_mut().unwrap_or_else(|p| p.into_inner());
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A shared pool of multiplexed connections to a [`serve_tcp_mux`] host —
+/// **one socket per shard**, however many clients ride it. Cloning the pool
+/// (or calling [`MuxPool::transport`] repeatedly) hands out any number of
+/// [`MuxTransport`]s onto the same sockets; their in-flight waves are told
+/// apart by correlation id, so concurrent [`crate::router::ShardRouter`]s
+/// (and the [`crate::client::ClientFilter`]s above them) overlap on the
+/// wire instead of opening a connection — and costing a server thread —
+/// each.
+#[derive(Clone)]
+pub struct MuxPool {
+    conns: Vec<Arc<MuxClientConn>>,
+    shards: u32,
+}
+
+impl MuxPool {
+    /// Connects one multiplexed socket per shard and performs the versioned
+    /// [`Request::Hello`] handshake on each. Like
+    /// [`crate::router::ShardRouter::connect`], a shard count that
+    /// disagrees with the server's is refused (the Hello answer carries the
+    /// fleet size); a host that does not multiplex (no `--mux`) refuses the
+    /// handshake with a descriptive error.
+    pub fn connect<A: ToSocketAddrs + Copy>(addr: A, shards: u32) -> Result<Self, CoreError> {
+        let spec = ShardSpec::new(shards);
+        let conns = (0..spec.shards())
+            .map(|_| Self::open_conn(addr, spec.shards()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MuxPool {
+            conns,
+            shards: spec.shards(),
+        })
+    }
+
+    fn open_conn<A: ToSocketAddrs>(addr: A, shards: u32) -> Result<Arc<MuxClientConn>, CoreError> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| CoreError::Transport(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
+        // Legacy-framed handshake: the upgrade is only in effect from the
+        // next frame on.
+        write_frame(
+            &mut stream,
+            &encode_request(&Request::Hello {
+                version: MUX_PROTOCOL_VERSION,
+            }),
+        )?;
+        let payload = read_frame(&mut stream)?.ok_or_else(|| {
+            CoreError::Transport("server closed the connection during the mux handshake".into())
+        })?;
+        match decode_response(&payload)? {
+            Response::Hello { version, shards: n } => {
+                if version != MUX_PROTOCOL_VERSION {
+                    return Err(CoreError::Transport(format!(
+                        "server negotiated unsupported mux version {version}"
+                    )));
+                }
+                if n != shards {
+                    return Err(CoreError::Transport(format!(
+                        "server partitions across {n} shard(s) but the client asked for {shards}; \
+                         reconnect with the server's shard count"
+                    )));
+                }
+            }
+            Response::Err(e) => {
+                return Err(CoreError::Transport(format!(
+                    "mux handshake refused: {e} (serve with --mux, or connect without it)"
+                )))
+            }
+            other => {
+                return Err(CoreError::Transport(format!(
+                    "unexpected mux handshake response {other:?}"
+                )))
+            }
+        }
+        let write = stream
+            .try_clone()
+            .map_err(|e| CoreError::Transport(format!("clone: {e}")))?;
+        let conn = Arc::new(MuxClientConn {
+            write: Mutex::new(write),
+            pending: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            stray: AtomicU64::new(0),
+        });
+        // The reader holds only a weak handle: once every transport and
+        // pool clone is gone, `MuxClientConn::drop` shuts the socket down
+        // both ways, the reader's blocking read returns, and the thread
+        // exits — no leaked fd, no parked thread.
+        let weak = Arc::downgrade(&conn);
+        std::thread::spawn(move || mux_client_reader(stream, weak));
+        Ok(conn)
+    }
+
+    /// Number of shards the pool is connected to.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// A transport onto the pooled connection of `shard` (`< shards()`).
+    /// Every call hands out an independent transport with its own counters;
+    /// all of them share the shard's one socket.
+    pub fn transport(&self, shard: u32) -> MuxTransport {
+        MuxTransport {
+            conn: Arc::clone(&self.conns[shard as usize]),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Responses that arrived with a correlation id no slot was waiting for,
+    /// summed over the pool. Always 0 against a correct host — the
+    /// slot-confusion integration tests pin it.
+    pub fn stray_responses(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.stray.load(Ordering::SeqCst))
+            .sum()
+    }
+}
+
+/// The reader thread of one pooled connection: matches every incoming
+/// response to the completion slot its correlation id names. A response
+/// whose id nobody registered is dropped and counted ([`MuxPool::
+/// stray_responses`]) — it can never complete a different wave's slot. On
+/// any framing or socket error the connection is poisoned and every parked
+/// wave gets an explicit error.
+fn mux_client_reader(mut stream: TcpStream, conn: Weak<MuxClientConn>) {
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        let Some(conn) = conn.upgrade() else { return };
+        match decode_corr_payload(&payload) {
+            Ok((corr, inner)) => {
+                let slot = conn
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&corr);
+                match slot {
+                    Some(tx) => {
+                        let result =
+                            decode_response(inner).map(|resp| (resp, payload.len() as u64));
+                        let _ = tx.send(result);
+                    }
+                    None => {
+                        conn.stray.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            // Unframeable: poison the connection below.
+            Err(_) => break,
+        }
+    }
+    if let Some(conn) = conn.upgrade() {
+        conn.dead.store(true, Ordering::SeqCst);
+        let mut pending = conn.pending.lock().unwrap_or_else(|p| p.into_inner());
+        for (_, tx) in pending.drain() {
+            let _ = tx.send(Err(CoreError::Transport("mux connection lost".into())));
+        }
+    }
+}
+
+/// A client transport multiplexed onto one shard's pooled socket (see
+/// [`MuxPool`]). Each call allocates a correlation id, parks on a
+/// completion slot and returns when the reader resolves it — concurrent
+/// transports on the same socket overlap freely, and responses may complete
+/// in any order.
+pub struct MuxTransport {
+    conn: Arc<MuxClientConn>,
+    stats: TransportStats,
+}
+
+impl HasStats for MuxTransport {
+    fn stats_mut(&mut self) -> &mut TransportStats {
+        &mut self.stats
+    }
+}
+
+impl MuxTransport {
+    /// Registers a completion slot and puts the frame on the wire; the
+    /// caller decides when to park on the returned receiver.
+    fn begin(&mut self, req: &Request) -> Result<mpsc::Receiver<SlotResult>, CoreError> {
+        let lost = || CoreError::Transport("mux connection lost".into());
+        if self.conn.dead.load(Ordering::SeqCst) {
+            return Err(lost());
+        }
+        let corr = self.conn.next_corr.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        self.conn
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(corr, tx);
+        // The reader drains the slots *after* setting `dead`, so a slot
+        // registered before this check is either drained (rx holds the
+        // error) or removed here; either way the wave fails explicitly.
+        if self.conn.dead.load(Ordering::SeqCst) {
+            self.conn
+                .pending
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&corr);
+            return Err(lost());
+        }
+        let payload = encode_corr_payload(corr, &encode_request(req));
+        {
+            let mut write = self.conn.write.lock().unwrap_or_else(|p| p.into_inner());
+            if let Err(e) = write_frame(&mut write, &payload) {
+                drop(write);
+                self.conn
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .remove(&corr);
+                return Err(e);
+            }
+        }
+        self.stats.bytes_sent += payload.len() as u64;
+        Ok(rx)
+    }
+
+    /// Parks on a slot registered by [`MuxTransport::begin`] and accounts
+    /// the completed round trip.
+    fn wait(&mut self, rx: mpsc::Receiver<SlotResult>) -> Result<Response, CoreError> {
+        let (resp, bytes) = rx
+            .recv()
+            .map_err(|_| CoreError::Transport("mux connection lost".into()))??;
+        self.stats.bytes_received += bytes;
+        self.stats.round_trips += 1;
+        Ok(resp)
+    }
+}
+
+impl Transport for MuxTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let rx = self.begin(req)?;
+        self.wait(rx)
+    }
+
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        framed_call_batch(self, reqs)
+    }
+
+    fn pipelines(&self) -> bool {
+        true
+    }
+
+    fn call_pipelined(&mut self, req: &Request) -> Result<PendingCall, CoreError> {
+        Ok(PendingCall {
+            rx: self.begin(req)?,
+        })
+    }
+
+    fn finish_pipelined(&mut self, call: PendingCall) -> Result<Response, CoreError> {
+        self.wait(call.rx)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +1282,179 @@ mod tests {
         let server = handle.join().unwrap();
         assert_eq!(server.spec().shards(), 2);
         assert_eq!(server.total_rows(), 6, "no row lost to the refusal");
+    }
+
+    fn demo_sharded(shards: u32) -> ShardedServer {
+        let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+        let seed = Seed::from_test_key(9);
+        let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+        ShardedServer::from_table(out.table, out.ring, shards).unwrap()
+    }
+
+    #[test]
+    fn mux_round_trip_single_shard() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(1), 0).unwrap());
+
+        let pool = MuxPool::connect(addr, 1).unwrap();
+        let mut t = pool.transport(0);
+        assert_eq!(t.call(&Request::Count).unwrap(), Response::Count(3));
+        match t.call(&Request::Root).unwrap() {
+            Response::MaybeLoc(Some(l)) => assert_eq!(l.pre, 1),
+            other => panic!("{other:?}"),
+        }
+        let s = t.stats();
+        assert_eq!(s.round_trips, 2);
+        assert!(s.bytes_sent > 0 && s.bytes_received > 0);
+        assert_eq!(t.call(&Request::Shutdown).unwrap(), Response::Ok);
+        let server = handle.join().unwrap();
+        assert!(server.filters()[0].stats().requests >= 3);
+        assert_eq!(pool.stray_responses(), 0);
+    }
+
+    /// Two transports multiplexed on the *same* pooled socket, driven from
+    /// two threads: every response lands in the slot of the request that
+    /// caused it — distinct `GetLoc` answers prove the correlation ids keep
+    /// the interleaved waves apart.
+    #[test]
+    fn concurrent_transports_share_one_socket_without_slot_confusion() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(1), 2).unwrap());
+
+        let pool = MuxPool::connect(addr, 1).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut t = pool.transport(0);
+                    for round in 0..50u32 {
+                        let pre = 1 + (round % 3);
+                        match t.call(&Request::GetLoc { pre }).unwrap() {
+                            Response::MaybeLoc(Some(l)) => assert_eq!(l.pre, pre),
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.stray_responses(), 0, "no stray correlation ids");
+        pool.transport(0).call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// The mux host still speaks the exact legacy protocol to a client that
+    /// never sends the handshake.
+    #[test]
+    fn mux_host_serves_legacy_clients_unchanged() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(2), 0).unwrap());
+
+        let mut t = TcpTransport::connect(addr).unwrap();
+        assert_eq!(t.call(&Request::ShardCount).unwrap(), Response::Count(2));
+        match t.call(&Request::ToShard {
+            shard: 0,
+            req: Box::new(Request::Count),
+        }) {
+            Ok(Response::Count(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            t.call(&Request::ToShard {
+                shard: 9,
+                req: Box::new(Request::Count),
+            })
+            .unwrap(),
+            Response::Err(_)
+        ));
+        t.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// A host that does not multiplex refuses the handshake with a
+    /// descriptive error instead of hanging or panicking.
+    #[test]
+    fn non_mux_host_refuses_the_handshake() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || serve_tcp(listener, demo_server()).unwrap());
+        match MuxPool::connect(addr, 1) {
+            Err(CoreError::Transport(msg)) => assert!(msg.contains("mux"), "{msg}"),
+            other => panic!("expected a refusal, got {:?}", other.map(|_| "pool")),
+        }
+        let mut t = TcpTransport::connect(addr).unwrap();
+        t.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// The Hello answer carries the fleet size: a mismatched shard count is
+    /// refused at connect, exactly like the router handshake.
+    #[test]
+    fn mux_shard_count_mismatch_refused_at_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(2), 0).unwrap());
+        for wrong in [1u32, 4] {
+            match MuxPool::connect(addr, wrong) {
+                Err(CoreError::Transport(msg)) => assert!(msg.contains("2 shard"), "{msg}"),
+                other => panic!("shard count {wrong} accepted: {:?}", other.map(|_| "pool")),
+            }
+        }
+        let pool = MuxPool::connect(addr, 2).unwrap();
+        assert_eq!(pool.shards(), 2);
+        pool.transport(0).call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Dropping every handle to a pool closes its sockets for real (the
+    /// drop path shuts the stream down both ways so the reader thread's
+    /// dup cannot hold the connection open): the host observes the close,
+    /// keeps serving fresh pools, and shuts down cleanly afterwards.
+    #[test]
+    fn dropping_a_pool_releases_its_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(1), 0).unwrap());
+        for _ in 0..5 {
+            let pool = MuxPool::connect(addr, 1).unwrap();
+            let mut t = pool.transport(0);
+            assert_eq!(t.call(&Request::Count).unwrap(), Response::Count(3));
+            drop(t);
+            drop(pool); // shuts the socket; the host's sweep reaps it
+        }
+        let pool = MuxPool::connect(addr, 1).unwrap();
+        pool.transport(0).call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    /// Killing the host mid-flight fails every parked wave with a typed
+    /// error — no hang, no panic, and later calls fail fast.
+    #[test]
+    fn mux_pool_surfaces_connection_loss() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle =
+            std::thread::spawn(move || serve_tcp_mux(listener, demo_sharded(1), 0).unwrap());
+        let pool = MuxPool::connect(addr, 1).unwrap();
+        let mut t = pool.transport(0);
+        t.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+        // The sockets are gone; calls must error, not hang.
+        let mut late = pool.transport(0);
+        for _ in 0..3 {
+            match late.call(&Request::Count) {
+                Err(CoreError::Transport(_)) => {}
+                Ok(other) => panic!("{other:?}"),
+                Err(other) => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

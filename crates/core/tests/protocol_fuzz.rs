@@ -7,9 +7,11 @@
 
 use proptest::prelude::*;
 use ssx_core::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_corr_payload, decode_request, decode_response, encode_corr_payload, encode_request,
+    encode_response, Request, Response, CORR_BYTES,
 };
 use ssx_store::Loc;
+use std::collections::HashMap;
 
 fn arb_loc() -> impl Strategy<Value = Loc> {
     (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(pre, post, parent)| Loc {
@@ -40,6 +42,7 @@ fn arb_simple_request() -> BoxedStrategy<Request> {
         Just(Request::Shutdown),
         Just(Request::ShardCount),
         any::<u32>().prop_map(|shards| Request::Reshard { shards }),
+        any::<u32>().prop_map(|version| Request::Hello { version }),
     ]
     .boxed()
 }
@@ -74,6 +77,8 @@ fn arb_response() -> BoxedStrategy<Response> {
         Just(Response::Ok),
         proptest::collection::vec(any::<u8>(), 0..12)
             .prop_map(|b| Response::Err(String::from_utf8_lossy(&b).into_owned())),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(version, shards)| Response::Hello { version, shards }),
     ]
     .boxed();
     let batch = proptest::collection::vec(simple.clone(), 0..5).prop_map(Response::Batch);
@@ -157,6 +162,134 @@ proptest! {
             let i = at.index(bytes.len() - 3);
             bytes[i..i + 4].copy_from_slice(&word.to_le_bytes());
             let _ = decode_response(&bytes);
+        }
+    }
+
+    // ---- correlation envelope (the PR-5 mux framing) ------------------------
+
+    /// The envelope round-trips any id around any frame, and the split is
+    /// exact: the id comes back bit-identical and the inner bytes are the
+    /// untouched legacy frame.
+    #[test]
+    fn corr_envelope_round_trips(corr in any::<u64>(), req in arb_request()) {
+        let frame = encode_request(&req);
+        let payload = encode_corr_payload(corr, &frame);
+        let (got, inner) = decode_corr_payload(&payload).unwrap();
+        prop_assert_eq!(got, corr);
+        prop_assert_eq!(decode_request(inner).unwrap(), req);
+    }
+
+    /// The envelope splitter is total on random bytes: short payloads are
+    /// typed errors, everything ≥ 8 bytes splits without panicking, and the
+    /// returned id is exactly the first 8 little-endian bytes — a garbage
+    /// or bit-flipped prefix can only ever name the id it spells out.
+    #[test]
+    fn corr_decoder_total_and_exact_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        match decode_corr_payload(&bytes) {
+            Ok((corr, inner)) => {
+                prop_assert!(bytes.len() >= CORR_BYTES);
+                prop_assert_eq!(
+                    corr,
+                    u64::from_le_bytes(bytes[..CORR_BYTES].try_into().unwrap())
+                );
+                prop_assert_eq!(inner, &bytes[CORR_BYTES..]);
+            }
+            Err(_) => prop_assert!(bytes.len() < CORR_BYTES),
+        }
+    }
+
+    /// Truncating a mux payload anywhere inside the id errors; truncating
+    /// inside the inner frame yields an error *from the inner decoder* —
+    /// never a panic, never a silently different id.
+    #[test]
+    fn corr_truncations_never_panic(
+        corr in any::<u64>(),
+        req in arb_request(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let payload = encode_corr_payload(corr, &encode_request(&req));
+        let keep = cut.index(payload.len());
+        match decode_corr_payload(&payload[..keep]) {
+            Ok((got, inner)) => {
+                prop_assert_eq!(got, corr, "a truncation cannot change the id");
+                prop_assert!(decode_request(inner).is_err(), "truncated inner frame");
+            }
+            Err(_) => prop_assert!(keep < CORR_BYTES),
+        }
+    }
+
+    /// The slot-confusion property, end to end over the real envelope: park
+    /// distinct completion slots, deliver their responses in arbitrary
+    /// order interleaved with garbage and id-corrupted frames, and require
+    /// that every slot resolves with exactly its own payload. A frame can
+    /// complete slot `c` only by carrying `c`; the parked ids are chosen to
+    /// differ in *every* byte (repeat-byte pattern), so a single-byte
+    /// corruption of an id provably names no parked slot — corruption may
+    /// lose a delivery, never cross two slots.
+    #[test]
+    fn corrupted_frames_never_complete_the_wrong_slot(
+        raw_ids in proptest::collection::btree_set(any::<u8>(), 2..8),
+        order in any::<u64>(),
+        garbage in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24), 0..6),
+        flip_at in any::<proptest::sample::Index>(),
+        flip_xor in 1u8..=255,
+    ) {
+        // Distinct bytes fanned across all 8 id bytes: any two parked ids
+        // differ everywhere, so no single-byte flip maps one to another.
+        let corrs: Vec<u64> = raw_ids
+            .into_iter()
+            .map(|b| u64::from_le_bytes([b; 8]))
+            .collect();
+        // Each slot's expected answer is unmistakably its own.
+        let frames: Vec<Vec<u8>> = corrs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| encode_corr_payload(c, &encode_response(&Response::Count(i as u64))))
+            .collect();
+        let mut pending: HashMap<u64, usize> =
+            corrs.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut delivered: Vec<Option<Response>> = vec![None; corrs.len()];
+
+        // Interleave: real frames in a rotated order, garbage in between,
+        // plus one copy of a real frame with a corrupted id byte.
+        let rot = (order as usize) % frames.len();
+        let mut wire: Vec<Vec<u8>> = Vec::new();
+        for (k, f) in frames.iter().enumerate() {
+            wire.push(frames[(k + rot) % frames.len()].clone());
+            if let Some(g) = garbage.get(k) {
+                wire.push(g.clone());
+            }
+            if k == 0 {
+                let mut flipped = f.clone();
+                let i = flip_at.index(CORR_BYTES);
+                flipped[i] ^= flip_xor;
+                wire.push(flipped);
+            }
+        }
+        // The client reader's delivery discipline: split, look up, remove.
+        for payload in wire {
+            let Ok((corr, inner)) = decode_corr_payload(&payload) else {
+                continue;
+            };
+            if let Some(slot) = pending.remove(&corr) {
+                if let Ok(resp) = decode_response(inner) {
+                    prop_assert!(delivered[slot].is_none(), "double delivery");
+                    delivered[slot] = Some(resp);
+                }
+            }
+        }
+        for (i, got) in delivered.iter().enumerate() {
+            match got {
+                Some(resp) => prop_assert_eq!(
+                    resp,
+                    &Response::Count(i as u64),
+                    "slot {} resolved with another slot's payload", i
+                ),
+                None => prop_assert!(false, "slot {} lost its uncorrupted delivery", i),
+            }
         }
     }
 }

@@ -8,9 +8,9 @@
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
-//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] <db.ssxdb>
+//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] [--mux [--workers W]] <db.ssxdb>
 //! ssxdb remote  --map <map> --seed <seed> --addr <host:port> [--shards S]
-//!               [--engine …] [--rule …] [--speculate] [--stats] <query>
+//!               [--engine …] [--rule …] [--speculate] [--mux] [--stats] <query>
 //! ssxdb reshard --addr <host:port> --shards <S'>
 //! ```
 //!
@@ -22,13 +22,21 @@
 //! running sharded host **online** — rows move in memory, bit-identically;
 //! clients connected under the old shard count must reconnect.
 //!
+//! `serve --mux` swaps the thread-per-connection host for the multiplexed
+//! one: a fixed pool of reader/executor/writer threads (`--workers W`,
+//! default 4) over nonblocking sockets, answering correlation-tagged
+//! frames out of order so any number of concurrent clients overlap their
+//! query waves. Legacy (non-mux) clients are still served unchanged.
+//! `remote --mux` connects through the correlation envelope — one
+//! multiplexed socket per shard.
+//!
 //! The map and seed files are the client secrets; `info`, `serve` and
 //! `reshard` work without them (they only touch what the untrusted server
 //! would hold).
 
 use ssxdb::core::{
-    encode_document, encode_dom, serve_tcp, serve_tcp_sharded, ClientFilter, Engine, EngineKind,
-    MapFile, MatchRule, ServerFilter, ShardRouter, ShardedServer,
+    encode_document, encode_dom, serve_tcp, serve_tcp_mux, serve_tcp_sharded, ClientFilter, Engine,
+    EngineKind, MapFile, MatchRule, MuxPool, ServerFilter, ShardRouter, ShardedServer,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
@@ -85,9 +93,10 @@ commands:
   info    <db.ssxdb>                          sizes & structure (no secrets)
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
-  serve   --p P --e E --addr HOST:PORT [--shards S] <db.ssxdb>
+  serve   --p P --e E --addr HOST:PORT [--shards S]
+          [--mux [--workers W]] <db.ssxdb>
   remote  --map M --seed S --addr HOST:PORT [--shards S]
-          [--engine ..] [--rule ..] [--speculate] <query>
+          [--engine ..] [--rule ..] [--speculate] [--mux] <query>
   reshard --addr HOST:PORT --shards S'            repartition a live host
 ";
 
@@ -110,6 +119,7 @@ impl Args {
                     || name == "dtd"
                     || name == "trie-alphabet"
                     || name == "speculate"
+                    || name == "mux"
                 {
                     // boolean flags
                     flags.push((name.to_string(), "true".to_string()));
@@ -391,6 +401,32 @@ fn serve(mut args: Args) -> Result<(), String> {
     let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let ring = RingCtx::new(p, e).map_err(|err| err.to_string())?;
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
+    if args.bool("mux") {
+        let workers: usize = args
+            .flag("workers")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| "bad --workers")?;
+        let server =
+            ShardedServer::from_table(table, ring, shards).map_err(|err| err.to_string())?;
+        println!(
+            "serving {} on {addr} across {shards} shard(s), multiplexed \
+             (fixed thread pool; Ctrl-C or a Shutdown request stops it)",
+            db_path.display()
+        );
+        let server = serve_tcp_mux(listener, server, workers).map_err(|err| err.to_string())?;
+        for (i, f) in server.filters().iter().enumerate() {
+            let s = f.stats();
+            println!(
+                "shard {i}: {} rows, {} requests, {} evaluations, {} polynomials",
+                f.table().len(),
+                s.requests,
+                s.evaluations,
+                s.polys_served
+            );
+        }
+        return Ok(());
+    }
     if shards <= 1 {
         let server = ServerFilter::new(table, ring);
         println!(
@@ -440,14 +476,23 @@ fn remote(mut args: Args) -> Result<(), String> {
     let q = parse_query(&query_text)
         .map_err(|e| e.to_string())?
         .expand_text_predicates();
-    // Always connect through the router: its handshake refuses a shard
-    // count that disagrees with the server's (which would silently skip
+    // Always connect through a router: its handshake refuses a shard count
+    // that disagrees with the server's (which would silently skip
     // partitions), and with `--shards 1` it speaks the untagged legacy
-    // protocol.
-    let mut router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
-    router.set_speculation(args.bool("speculate"));
-    let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
-    let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
+    // protocol. `--mux` rides the correlation envelope instead — one
+    // multiplexed socket per shard.
+    let out = if args.bool("mux") {
+        let pool = MuxPool::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+        let mut router = ShardRouter::mux(&pool);
+        router.set_speculation(args.bool("speculate"));
+        let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
+        Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?
+    } else {
+        let mut router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+        router.set_speculation(args.bool("speculate"));
+        let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
+        Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?
+    };
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())
 }

@@ -2,11 +2,11 @@
 //! must not take servers down: truncated frames, absurd length prefixes,
 //! and mid-query disconnects.
 
-use ssxdb::core::protocol::Request;
+use ssxdb::core::protocol::{encode_request, Request, Response};
 use ssxdb::core::transport::Transport;
 use ssxdb::core::{
-    encode_document, serve_tcp, serve_tcp_sharded, CoreError, MapFile, ServerFilter, ShardRouter,
-    ShardedServer, TcpTransport,
+    encode_document, serve_tcp, serve_tcp_mux, serve_tcp_sharded, CoreError, MapFile, MuxPool,
+    ServerFilter, ShardRouter, ShardedServer, TcpTransport,
 };
 use ssxdb::prg::Seed;
 use std::io::Write;
@@ -103,6 +103,131 @@ fn malformed_client_frames_do_not_kill_serve_tcp() {
     }
     good.call(&Request::Shutdown).unwrap();
     handle.join().unwrap();
+}
+
+/// A server dying in the middle of a *batch* response — the frame is
+/// promised, half the multi-slot payload arrives, the socket drops — must
+/// surface as a typed transport error on `call_batch`, exactly like the
+/// single-request disconnects above (which were the only shape tested
+/// before PR 5).
+#[test]
+fn mid_batch_disconnect_errors_cleanly_on_the_client() {
+    let addr = fake_server(|mut stream| {
+        let mut buf = [0u8; 1024];
+        use std::io::Read;
+        let _ = stream.read(&mut buf);
+        // Promise a 400-byte batch response, deliver a plausible prefix
+        // (the batch tag and a slot count), vanish mid-frame.
+        stream.write_all(&400u32.to_le_bytes()).unwrap();
+        stream.write_all(&[9u8]).unwrap();
+        stream.write_all(&3u32.to_le_bytes()).unwrap();
+    });
+    let mut t = TcpTransport::connect(addr).unwrap();
+    let reqs = vec![Request::Count, Request::Root, Request::Count];
+    match t.call_batch(&reqs) {
+        Err(CoreError::Transport(msg)) => assert!(msg.contains("read"), "{msg}"),
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+/// A complete frame that answers fewer slots than the batch asked for is a
+/// *protocol* failure, not a silent truncation: every slot must be
+/// accounted for or the whole batch errors.
+#[test]
+fn short_batch_response_is_an_error_not_a_truncation() {
+    let addr = fake_server(|mut stream| {
+        let mut buf = [0u8; 1024];
+        use std::io::Read;
+        let _ = stream.read(&mut buf);
+        let payload = ssxdb::core::protocol::encode_response(&Response::Batch(vec![Response::Ok]));
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    let mut t = TcpTransport::connect(addr).unwrap();
+    let reqs = vec![Request::Count, Request::Root, Request::Count];
+    match t.call_batch(&reqs) {
+        Err(CoreError::Transport(msg)) => {
+            assert!(msg.contains("1 of 3"), "{msg}");
+        }
+        other => panic!("expected a slot-count error, got {other:?}"),
+    }
+}
+
+/// A client vanishing halfway through a *batch* frame (length prefix says
+/// the whole batch, half the bytes arrive, the connection drops) must only
+/// end that connection — on the thread-per-connection host AND on the mux
+/// host, where the partial frame sits in the reader's reassembly buffer
+/// when the socket dies.
+#[test]
+fn client_vanishing_mid_batch_leaves_both_hosts_serving() {
+    let batch = encode_request(&Request::Batch(vec![
+        Request::Count,
+        Request::Children { pre: 1 },
+        Request::EvalMany {
+            pres: vec![1, 2, 3],
+            point: 17,
+        },
+    ]));
+    for mux_host in [false, true] {
+        let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+        let seed = Seed::from_test_key(9);
+        let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+        let server = ShardedServer::from_table(out.table, out.ring, 2).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            if mux_host {
+                serve_tcp_mux(listener, server, 0).unwrap()
+            } else {
+                serve_tcp_sharded(listener, server).unwrap()
+            }
+        });
+
+        // Legacy connection: full length prefix, half the batch, gone.
+        {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            bad.write_all(&(batch.len() as u32).to_le_bytes()).unwrap();
+            bad.write_all(&batch[..batch.len() / 2]).unwrap();
+        }
+        // On the mux host, also vanish mid-batch on an *upgraded*
+        // connection: handshake, then a corr-framed batch cut in half.
+        if mux_host {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            let hello = encode_request(&Request::Hello { version: 1 });
+            bad.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+            bad.write_all(&hello).unwrap();
+            let mut ack = [0u8; 64];
+            use std::io::Read;
+            let _ = bad.read(&mut ack);
+            let mut framed = 42u64.to_le_bytes().to_vec();
+            framed.extend_from_slice(&batch);
+            bad.write_all(&(framed.len() as u32).to_le_bytes()).unwrap();
+            bad.write_all(&framed[..framed.len() / 2]).unwrap();
+        }
+
+        // A well-behaved batched client is unaffected.
+        let mut router = ShardRouter::connect(addr, 2).unwrap();
+        let resps = router
+            .call_batch(&[Request::Count, Request::Children { pre: 1 }])
+            .unwrap();
+        assert!(
+            matches!(resps[0], Response::Count(3)),
+            "mux_host={mux_host}: {resps:?}"
+        );
+        if mux_host {
+            let pool = MuxPool::connect(addr, 2).unwrap();
+            let mut t = pool.transport(0);
+            assert_eq!(t.call(&Request::Count).unwrap(), Response::Count(2));
+        }
+        drop(router);
+        let mut closer = TcpTransport::connect(addr).unwrap();
+        closer.call(&Request::Shutdown).unwrap();
+        drop(closer);
+        handle.join().unwrap();
+    }
 }
 
 #[test]
