@@ -35,7 +35,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_5.json".to_string());
+                .unwrap_or_else(|| "BENCH_6.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -75,17 +75,20 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_5.json`; the committed file is the PR-5 baseline
+/// `path`, default `BENCH_6.json`; the committed file is the PR-6 baseline
 /// and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
 /// representations, the boundary transforms, the pack/unpack boundary, the
 /// per-node encode cost, an end-to-end Table-1 chain query under both
 /// engines, the shard-count × batching × speculation matrix of the sharded
-/// query plane, and (new in schema 4) the **clients × transport matrix**:
-/// N concurrent clients running the chain over a real TCP host, thread-per-
-/// connection vs multiplexed. The run asserts the mux plane serves 8
-/// concurrent clients in no more wall-clock than the threaded one.
+/// query plane, the **clients × transport matrix** (N concurrent clients
+/// running the chain over a real TCP host, thread-per-connection vs
+/// multiplexed; the run asserts the mux plane serves 8 concurrent clients
+/// in no more wall-clock than the threaded one), and (new in schema 5) the
+/// **fleet n × t matrix**: the chain on a t-of-n multi-party deployment,
+/// asserting results and wave count identical to the single-party plane in
+/// every cell.
 fn bench_json(path: &str) {
     use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
@@ -231,6 +234,39 @@ fn bench_json(path: &str) {
         "speculation must beat the PR-3 wave baseline ({rt_speculative_s1} vs {rt_batched_s1})"
     );
 
+    // The fleet n × t matrix (the PR-6 datapoint): the chain query on a
+    // t-of-n multi-party deployment — per-server share stores, fan-out,
+    // MAC-verified client-side reconstruction. Every cell must answer
+    // exactly like the single-party plane, in exactly the same number of
+    // waves: the fleet fans *under* the router, so the wave structure is
+    // invariant by construction, and (1, 1) is the degenerate single-party
+    // case down to the stored bytes.
+    let mut fleet_cells = Vec::new();
+    for (servers, threshold) in [(1usize, 1usize), (3, 1), (3, 2)] {
+        let spec = ssx_core::FleetSpec::new(servers, threshold).expect("fleet spec");
+        let mut db =
+            ssx_core::FleetDb::encode_fleet(&xml, paper_map(), paper_seed(), spec).expect("fleet");
+        let started = Instant::now();
+        let out = db
+            .query(&chain, EngineKind::Simple, MatchRule::Containment)
+            .expect("fleet query");
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            reference.as_ref().expect("reference set"),
+            &out.pres(),
+            "n={servers} t={threshold}: fleet results must match single-party"
+        );
+        assert_eq!(
+            out.stats.round_trips, rt_batched_s1,
+            "n={servers} t={threshold}: fleet waves must equal the n=1 wave count"
+        );
+        fleet_cells.push(format!(
+            "    {{ \"servers\": {servers}, \"threshold\": {threshold}, \
+             \"round_trips\": {}, \"query_ms\": {ms:.3} }}",
+            out.stats.round_trips
+        ));
+    }
+
     // The clients × transport matrix (the PR-5 datapoint): N concurrent
     // clients each run the chain query REPS times against a live TCP host,
     // S = 2 — thread-per-connection (every client opens its own per-shard
@@ -341,7 +377,7 @@ fn bench_json(path: &str) {
 
     let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/4\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/5\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -362,9 +398,11 @@ fn bench_json(path: &str) {
          \"speculative_hit_rate\": {spec_hit_rate:.3},\n  \
          \"mux_speedup_8_clients\": {mux_speedup_8:.2},\n  \
          \"shard_batch_matrix\": [\n{}\n  ],\n  \
+         \"fleet_matrix\": [\n{}\n  ],\n  \
          \"mux_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),
+        fleet_cells.join(",\n"),
         mux_cells.join(",\n"),
     );
     print!("{json}");

@@ -239,6 +239,165 @@ pub fn encode_dom(doc: &Document, map: &MapFile, seed: &Seed) -> Result<EncodeOu
     Ok(enc.finish(doc.to_xml().len(), started))
 }
 
+// ---------------------------------------------------------------------------
+// Multi-party fleet: t-of-n splitting of the server share plane.
+// ---------------------------------------------------------------------------
+
+/// PRG domain tag for the per-row Shamir masking randomness. Node pre-orders
+/// are `u32`, so any tag above `u32::MAX` is collision-free with the client
+/// share streams `node_prg(seed, pre)`.
+const FLEET_SPLIT_DOMAIN: u64 = 1u64 << 40;
+/// PRG domain tag for the fleet MAC key `α`.
+const FLEET_MAC_DOMAIN: u64 = 1u64 << 41;
+
+/// Shape of a multi-party deployment: `servers` parties, any `threshold`
+/// of which suffice to answer (and are required to reconstruct).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of parties `n` (1-based party ids `1..=n`).
+    pub servers: usize,
+    /// Reconstruction threshold `t` (`1 ≤ t ≤ n`).
+    pub threshold: usize,
+}
+
+impl FleetSpec {
+    /// Validates `1 ≤ t ≤ n`.
+    pub fn new(servers: usize, threshold: usize) -> Result<Self, CoreError> {
+        if servers == 0 || threshold == 0 || threshold > servers {
+            return Err(CoreError::Transport(format!(
+                "invalid fleet spec: need 1 <= t <= n, got n={servers} t={threshold}"
+            )));
+        }
+        Ok(FleetSpec { servers, threshold })
+    }
+
+    /// The single-party degenerate case (`n = 1, t = 1`).
+    pub fn single() -> Self {
+        FleetSpec {
+            servers: 1,
+            threshold: 1,
+        }
+    }
+
+    /// X-coordinate (field code) of 1-based party `j`.
+    pub fn party_x(party: usize) -> u64 {
+        party as u64
+    }
+}
+
+/// One party's persistent view: its Shamir share of every server-share
+/// polynomial (`data`) and of the MAC companion `α ⊙ share` (`mac`).
+/// Neither table alone — nor any `t − 1` parties' tables together —
+/// determines a single plaintext polynomial.
+#[derive(Debug)]
+pub struct PartyStore {
+    /// 1-based party id (the Shamir x-coordinate).
+    pub party: usize,
+    /// Shamir share of the server-share polynomials.
+    pub data: Table,
+    /// Shamir share of the MAC polynomials `α ⊙ share`.
+    pub mac: Table,
+}
+
+/// Result of a fleet encoding: `n` per-party stores plus the shared context.
+#[derive(Debug)]
+pub struct FleetEncodeOutput {
+    /// Per-party stores, index `j − 1` for party `j`.
+    pub parties: Vec<PartyStore>,
+    /// The deployment shape used for the split.
+    pub spec: FleetSpec,
+    /// The ring both sides compute in.
+    pub ring: RingCtx,
+    /// Packer matching the tables' polynomial payload.
+    pub packer: Packer,
+    /// Cost metrics of the underlying encode.
+    pub stats: EncodeStats,
+}
+
+/// Derives the fleet MAC key `α ∈ F_q \ {0}` from the client seed. Servers
+/// never see `α`: they store shares of `α ⊙ s` without learning either
+/// factor, and the client re-derives `α` at query time exactly like it
+/// re-derives client shares.
+pub fn fleet_mac_key(seed: &Seed, ring: &RingCtx) -> u64 {
+    let q = ring.field().order();
+    node_prg(seed, FLEET_MAC_DOMAIN).next_below(q - 1) + 1
+}
+
+/// Splits a finished single-server encoding into `n` per-party stores:
+/// each server-share polynomial `s` is Shamir-split coefficient-wise
+/// (threshold `t`), and so is its MAC companion `α ⊙ s`. Per-row masking
+/// randomness comes from `node_prg(seed, FLEET_SPLIT_DOMAIN | pre)`, so the
+/// split is deterministic given the seed and disjoint from the client-share
+/// streams. With `t = 1` the data tables are bit-identical replicas of the
+/// input table.
+pub fn split_fleet(
+    output: EncodeOutput,
+    seed: &Seed,
+    spec: FleetSpec,
+) -> Result<FleetEncodeOutput, CoreError> {
+    let spec = FleetSpec::new(spec.servers, spec.threshold)?; // revalidate
+    let EncodeOutput {
+        table,
+        ring,
+        packer,
+        stats,
+    } = output;
+    let q = ring.field().order();
+    if spec.servers as u64 >= q {
+        return Err(CoreError::Transport(format!(
+            "fleet of {} servers needs a field larger than q={q}",
+            spec.servers
+        )));
+    }
+    let alpha = fleet_mac_key(seed, &ring);
+    let mut parties: Vec<PartyStore> = (1..=spec.servers)
+        .map(|party| PartyStore {
+            party,
+            data: Table::new(table.poly_len()),
+            mac: Table::new(table.poly_len()),
+        })
+        .collect();
+    for row in table.rows() {
+        let s = packer.unpack_radix(&ring, &row.poly)?;
+        let m = ssx_poly::scale_poly(&ring, alpha, &s);
+        let mut prg = node_prg(seed, FLEET_SPLIT_DOMAIN | row.loc.pre as u64);
+        let data_shares = ssx_poly::split_n(&ring, &s, spec.servers, spec.threshold, &mut prg);
+        let mac_shares = ssx_poly::split_n(&ring, &m, spec.servers, spec.threshold, &mut prg);
+        for (party, (ds, ms)) in parties
+            .iter_mut()
+            .zip(data_shares.into_iter().zip(mac_shares))
+        {
+            let insert = |table: &mut Table, poly: &RingPoly| {
+                table
+                    .insert(Row {
+                        loc: row.loc,
+                        poly: packer.pack_radix(poly).into_boxed_slice(),
+                    })
+                    .map_err(CoreError::from)
+            };
+            insert(&mut party.data, &ds)?;
+            insert(&mut party.mac, &ms)?;
+        }
+    }
+    Ok(FleetEncodeOutput {
+        parties,
+        spec,
+        ring,
+        packer,
+        stats,
+    })
+}
+
+/// Encodes `xml` and splits the result into an `n`-party fleet.
+pub fn encode_document_fleet(
+    xml: &str,
+    map: &MapFile,
+    seed: &Seed,
+    spec: FleetSpec,
+) -> Result<FleetEncodeOutput, CoreError> {
+    split_fleet(encode_document(xml, map, seed)?, seed, spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +526,97 @@ mod tests {
         assert_eq!(ring.eval(&f, map.value("a").unwrap()), 0);
         assert_eq!(ring.eval(&f, map.value("site").unwrap()), 0);
         assert_ne!(ring.eval(&f, map.value("b").unwrap()), 0);
+    }
+
+    #[test]
+    fn fleet_n1_t1_data_is_bit_identical_to_single_party() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/></a><c/></site>";
+        let single = encode_document(xml, &map, &seed).unwrap();
+        let fleet = encode_document_fleet(xml, &map, &seed, FleetSpec::single()).unwrap();
+        assert_eq!(fleet.parties.len(), 1);
+        let party = &fleet.parties[0];
+        assert_eq!(party.data.len(), single.table.len());
+        for row in single.table.rows() {
+            let frow = party.data.by_pre(row.loc.pre).unwrap();
+            assert_eq!(frow.loc, row.loc);
+            assert_eq!(frow.poly, row.poly, "pre {} not bit-identical", row.loc.pre);
+        }
+    }
+
+    #[test]
+    fn fleet_shares_reconstruct_server_share_and_mac_checks() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/></a><c/></site>";
+        let single = encode_document(xml, &map, &seed).unwrap();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let fleet = split_fleet(encode_document(xml, &map, &seed).unwrap(), &seed, spec);
+        let fleet = fleet.unwrap();
+        let ring = &fleet.ring;
+        let alpha = fleet_mac_key(&seed, ring);
+        for row in single.table.rows() {
+            let s = single.packer.unpack_radix(ring, &row.poly).unwrap();
+            // Any 2 of 3 parties reconstruct both planes; MAC relation holds.
+            for pair in [[0usize, 1], [0, 2], [1, 2]] {
+                let unpack = |t: &Table| {
+                    fleet
+                        .packer
+                        .unpack_radix(ring, &t.by_pre(row.loc.pre).unwrap().poly)
+                        .unwrap()
+                };
+                let data: Vec<RingPoly> = pair
+                    .iter()
+                    .map(|&j| unpack(&fleet.parties[j].data))
+                    .collect();
+                let mac: Vec<RingPoly> = pair
+                    .iter()
+                    .map(|&j| unpack(&fleet.parties[j].mac))
+                    .collect();
+                let pts = |polys: &[RingPoly]| {
+                    pair.iter()
+                        .zip(polys)
+                        .map(|(&j, p)| (FleetSpec::party_x(j + 1), p.clone()))
+                        .collect::<Vec<_>>()
+                };
+                let dp = pts(&data);
+                let dref: Vec<(u64, &RingPoly)> = dp.iter().map(|(x, p)| (*x, p)).collect();
+                let got = ssx_poly::reconstruct_t(ring, &dref).unwrap();
+                assert_eq!(got, s, "data pair {pair:?} pre {}", row.loc.pre);
+                let mp = pts(&mac);
+                let mref: Vec<(u64, &RingPoly)> = mp.iter().map(|(x, p)| (*x, p)).collect();
+                let gotm = ssx_poly::reconstruct_t(ring, &mref).unwrap();
+                assert_eq!(gotm, ssx_poly::scale_poly(ring, alpha, &s));
+            }
+            // A single party's share is masked (t = 2).
+            let lone = fleet
+                .packer
+                .unpack_radix(
+                    ring,
+                    &fleet.parties[0].data.by_pre(row.loc.pre).unwrap().poly,
+                )
+                .unwrap();
+            assert_ne!(lone, s);
+        }
+    }
+
+    #[test]
+    fn fleet_spec_validation() {
+        assert!(FleetSpec::new(0, 0).is_err());
+        assert!(FleetSpec::new(3, 4).is_err());
+        assert!(FleetSpec::new(3, 0).is_err());
+        assert!(FleetSpec::new(3, 3).is_ok());
+        let (map, seed) = setup();
+        let out = encode_document("<site/>", &map, &seed).unwrap();
+        // n must stay below the field order.
+        let err = split_fleet(
+            out,
+            &seed,
+            FleetSpec {
+                servers: 90,
+                threshold: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Transport(_)));
     }
 }

@@ -17,9 +17,15 @@
 //! waves on a single socket per shard.
 
 use crate::client::ClientFilter;
-use crate::encode::{encode_document, encode_dom, EncodeOutput, EncodeStats};
+use crate::encode::{
+    encode_document, encode_document_fleet, encode_dom, EncodeOutput, EncodeStats,
+    FleetEncodeOutput, FleetSpec,
+};
 use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
 use crate::error::CoreError;
+use crate::fleet::{
+    connect_fleet, connect_fleet_mux, local_fleet_router, FleetTransport, LocalPartyTransport,
+};
 use crate::map::MapFile;
 use crate::router::ShardRouter;
 use crate::shard::ShardedServer;
@@ -309,6 +315,100 @@ impl RemoteMuxDb {
     /// clients cost the server a fixed number of connections.
     pub fn connect_mux(pool: &MuxPool, map: MapFile, seed: Seed) -> Result<Self, CoreError> {
         let client = ClientFilter::new(ShardRouter::mux(pool), map, seed)?;
+        Ok(EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+        })
+    }
+}
+
+/// An [`EncryptedDb`] over an in-process t-of-n fleet: `n` party hosts,
+/// each holding only a Shamir share of the data and MAC planes
+/// ([`crate::fleet`]).
+pub type FleetDb = EncryptedDb<ShardRouter<FleetTransport<LocalPartyTransport>>>;
+
+/// An [`EncryptedDb`] over a TCP fleet of thread-per-connection party
+/// hosts, one connection per party per data shard.
+pub type RemoteFleetDb = EncryptedDb<ShardRouter<FleetTransport<TcpTransport>>>;
+
+/// An [`EncryptedDb`] over a fleet of multiplexed party hosts, one
+/// [`MuxPool`] per party.
+pub type RemoteMuxFleetDb = EncryptedDb<ShardRouter<FleetTransport<MuxTransport>>>;
+
+impl FleetDb {
+    /// Encodes `xml` and splits it across an in-process `spec.servers`-party
+    /// fleet (threshold `spec.threshold`), single data shard per party.
+    pub fn encode_fleet(
+        xml: &str,
+        map: MapFile,
+        seed: Seed,
+        spec: FleetSpec,
+    ) -> Result<Self, CoreError> {
+        Self::encode_fleet_sharded(xml, map, seed, spec, 1)
+    }
+
+    /// Encodes `xml` across an in-process fleet with `shards` data
+    /// partitions per party (each party hosts `2·shards` filters: data +
+    /// MAC planes).
+    pub fn encode_fleet_sharded(
+        xml: &str,
+        map: MapFile,
+        seed: Seed,
+        spec: FleetSpec,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
+        let out = encode_document_fleet(xml, &map, &seed, spec)?;
+        Self::from_fleet_output(out, map, seed, shards)
+    }
+
+    /// Wraps an already-split fleet encoding in the query facade.
+    pub fn from_fleet_output(
+        out: FleetEncodeOutput,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<Self, CoreError> {
+        let stats = out.stats;
+        let router = local_fleet_router(out, &seed, shards)?;
+        let client = ClientFilter::new(router, map, seed)?;
+        Ok(EncryptedDb {
+            client,
+            encode_stats: stats,
+        })
+    }
+}
+
+impl RemoteFleetDb {
+    /// Opens the facade onto an `addrs.len()`-party TCP fleet
+    /// ([`crate::fleet::connect_fleet`]): parties dead at connect are
+    /// tolerated down to `threshold` live legs, and every wave reconstructs
+    /// with MAC verification client-side.
+    pub fn connect_fleet(
+        addrs: &[String],
+        threshold: usize,
+        map: MapFile,
+        seed: Seed,
+    ) -> Result<Self, CoreError> {
+        let router = connect_fleet(addrs, threshold, &map, &seed)?;
+        let client = ClientFilter::new(router, map, seed)?;
+        Ok(EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+        })
+    }
+}
+
+impl RemoteMuxFleetDb {
+    /// Opens the facade onto a fleet of multiplexed party hosts
+    /// ([`crate::fleet::connect_fleet_mux`]): one [`MuxPool`] per party.
+    pub fn connect_fleet_mux(
+        addrs: &[String],
+        threshold: usize,
+        map: MapFile,
+        seed: Seed,
+    ) -> Result<Self, CoreError> {
+        let router = connect_fleet_mux(addrs, threshold, &map, &seed)?;
+        let client = ClientFilter::new(router, map, seed)?;
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),

@@ -1,0 +1,1258 @@
+//! The multi-party fleet: one logical server realised as `n` independent
+//! parties, any `t` of which suffice to answer a wave.
+//!
+//! # Topology
+//!
+//! [`FleetTransport`] implements [`Transport`] and sits *under* the
+//! existing [`ShardRouter`]: the router still plans waves, batches, and
+//! speculation against `S` logical data shards, and each of its `S`
+//! per-shard pipes is a fleet pipe fanning every frame to all `n` parties
+//! over independent connections. Wave structure, batching decisions and
+//! speculation counters are therefore **bit-identical** between the `n = 1`
+//! single-party deployment and any fleet — the trust boundary moves, the
+//! waves do not.
+//!
+//! # Party layout
+//!
+//! Each party hosts `2·S` filters over the *unchanged* wire protocol:
+//! filters `0..S` hold the party's Shamir share of the data plane (the
+//! familiar partitions), filters `S..2S` hold its share of the MAC plane
+//! `α ⊙ data` ([`crate::encode::split_fleet`]). A fleet pipe mirrors every
+//! data-plane request (`Eval`/`EvalMany`/`GetPolys`) to the MAC shard as a
+//! second frame on the same connection, so each wire frame still addresses
+//! exactly one shard and the frame format is untouched.
+//!
+//! # Reconstruction and verification
+//!
+//! * **Data-plane responses** (values, value vectors, packed polynomials)
+//!   are Lagrange-combined at zero over the live responders and checked
+//!   against the combined MAC: `α · s = m`. A mismatch with more than `t`
+//!   responders is *attributed* by leave-one-out re-combination and the
+//!   culprit is named and quarantined; with exactly `t` responders the
+//!   corruption is still detected (the query errors), it just cannot be
+//!   pinned on one party.
+//! * **Structural responses** (locations, cursors, counts) carry no
+//!   shares; they must agree byte-for-byte on a `≥ t` quorum, and any
+//!   deviant is named.
+//! * A party that fails at the transport level (dead at connect,
+//!   mid-wave disconnect) is retired from the pipe; as long as `≥ t`
+//!   parties answer, the wave completes with the correct result —
+//!   dropout degrades latency, never correctness.
+
+use crate::encode::{fleet_mac_key, FleetEncodeOutput, FleetSpec};
+use crate::error::CoreError;
+use crate::map::MapFile;
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use crate::router::ShardRouter;
+use crate::server::ServerFilter;
+use crate::shard::{partition_table, ShardSpec, ShardedServer};
+use crate::transport::{MuxPool, MuxTransport, TcpTransport, Transport, TransportStats};
+use ssx_poly::{lagrange_at_zero, Packer, RingCtx};
+use ssx_prg::Seed;
+use ssx_store::Table;
+use std::sync::{Arc, Mutex};
+
+/// Builds one party's 2·S-filter server: data partitions `0..S`, MAC
+/// partitions `S..2S`, both split by the same [`ShardSpec`] so a frame
+/// addressed to data shard `k` has its MAC mirror at `S + k`.
+pub fn party_server(
+    data: Table,
+    mac: Table,
+    ring: &RingCtx,
+    data_shards: u32,
+) -> Result<ShardedServer, CoreError> {
+    let spec = ShardSpec::new(data_shards);
+    let mut filters = Vec::with_capacity(2 * spec.shards() as usize);
+    for table in partition_table(data, spec)? {
+        filters.push(ServerFilter::new(table, ring.clone()));
+    }
+    for table in partition_table(mac, spec)? {
+        filters.push(ServerFilter::new(table, ring.clone()));
+    }
+    Ok(ShardedServer::from_filters(
+        ShardSpec::new(2 * spec.shards()),
+        filters,
+    ))
+}
+
+/// In-process transport onto one fleet party: routes `ToShard` frames to
+/// the party's filters like the TCP host does, with the same encode/decode
+/// round trip so counted bytes match the wire exactly. Pipes of the same
+/// party share the host through an `Arc<Mutex<_>>`.
+pub struct LocalPartyTransport {
+    host: Arc<Mutex<ShardedServer>>,
+    stats: TransportStats,
+}
+
+impl LocalPartyTransport {
+    /// Wraps a shared party host.
+    pub fn new(host: Arc<Mutex<ShardedServer>>) -> Self {
+        LocalPartyTransport {
+            host,
+            stats: TransportStats::default(),
+        }
+    }
+}
+
+impl Transport for LocalPartyTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let frame = encode_request(req);
+        self.stats.bytes_sent += frame.len() as u64;
+        let decoded = decode_request(&frame)?;
+        let (shard, inner): (u32, &Request) = match &decoded {
+            Request::ToShard { shard, req } => (*shard, req),
+            other => (0, other),
+        };
+        let resp = {
+            let mut host = self.host.lock().unwrap_or_else(|p| p.into_inner());
+            if matches!(inner, Request::ShardCount) {
+                Response::Count(host.spec().shards() as u64)
+            } else {
+                host.handle(shard, inner)
+            }
+        };
+        let resp_frame = encode_response(&resp);
+        self.stats.bytes_received += resp_frame.len() as u64;
+        self.stats.round_trips += 1;
+        decode_response(&resp_frame)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// One party's connection inside a fleet pipe.
+pub struct FleetLeg<T> {
+    party: usize,
+    transport: Option<T>,
+    fault: Option<String>,
+}
+
+impl<T> FleetLeg<T> {
+    /// A live leg to 1-based `party`.
+    pub fn up(party: usize, transport: T) -> Self {
+        FleetLeg {
+            party,
+            transport: Some(transport),
+            fault: None,
+        }
+    }
+
+    /// A leg that was already down when the pipe was built (e.g. dead at
+    /// connect); the pipe starts degraded but functional.
+    pub fn down(party: usize, fault: String) -> Self {
+        FleetLeg {
+            party,
+            transport: None,
+            fault: Some(fault),
+        }
+    }
+}
+
+/// Which parts of a wave were mirrored to the MAC plane.
+enum MirrorPlan {
+    /// No data-plane content; structural agreement only.
+    None,
+    /// The whole request is data-plane.
+    Whole,
+    /// A batch whose listed slot indices are data-plane.
+    Slots(Vec<usize>),
+}
+
+fn is_data_plane(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Eval { .. } | Request::EvalMany { .. } | Request::GetPolys { .. }
+    )
+}
+
+/// The MAC mirror of `inner`, if any part of it is data-plane.
+fn mirror_of(inner: &Request) -> (Option<Request>, MirrorPlan) {
+    match inner {
+        r if is_data_plane(r) => (Some(r.clone()), MirrorPlan::Whole),
+        Request::Batch(subs) => {
+            let idx: Vec<usize> = subs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| is_data_plane(r))
+                .map(|(i, _)| i)
+                .collect();
+            if idx.is_empty() {
+                (None, MirrorPlan::None)
+            } else {
+                let sel = idx.iter().map(|&i| subs[i].clone()).collect();
+                (Some(Request::Batch(sel)), MirrorPlan::Slots(idx))
+            }
+        }
+        _ => (None, MirrorPlan::None),
+    }
+}
+
+/// Outcome of a combination step that did not produce a clean response.
+enum FleetError {
+    /// Specific parties were caught deviating; they are quarantined and the
+    /// wave errors naming them.
+    Blamed { parties: Vec<usize>, detail: String },
+    /// Corruption or disagreement detected but not attributable.
+    Fatal(String),
+}
+
+/// Fans every wave to all parties of one data shard, reconstructs with
+/// MAC verification, and tolerates up to `n − t` dead parties. See the
+/// module docs for the full protocol.
+pub struct FleetTransport<T> {
+    legs: Vec<FleetLeg<T>>,
+    threshold: usize,
+    data_shards: u32,
+    shard: u32,
+    ring: RingCtx,
+    packer: Packer,
+    alpha: u64,
+    concurrent: bool,
+    stats: TransportStats,
+}
+
+impl<T: Transport> FleetTransport<T> {
+    /// Assembles a fleet pipe for data shard `shard` of `data_shards`.
+    /// `alpha` is the MAC key ([`fleet_mac_key`]); `concurrent` fans the
+    /// legs out on scoped threads (use for network legs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        legs: Vec<FleetLeg<T>>,
+        threshold: usize,
+        data_shards: u32,
+        shard: u32,
+        ring: RingCtx,
+        packer: Packer,
+        alpha: u64,
+        concurrent: bool,
+    ) -> Self {
+        assert!(threshold >= 1 && threshold <= legs.len());
+        FleetTransport {
+            legs,
+            threshold,
+            data_shards,
+            shard,
+            ring,
+            packer,
+            alpha,
+            concurrent,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// 1-based ids of parties still in the wave rotation.
+    pub fn live_parties(&self) -> Vec<usize> {
+        self.legs
+            .iter()
+            .filter(|l| l.transport.is_some())
+            .map(|l| l.party)
+            .collect()
+    }
+
+    /// `(party, fault)` for every retired leg.
+    pub fn faults(&self) -> Vec<(usize, String)> {
+        self.legs
+            .iter()
+            .filter_map(|l| l.fault.clone().map(|f| (l.party, f)))
+            .collect()
+    }
+
+    /// Retires a leg, folding its traffic counters into the pipe's carry
+    /// so byte accounting survives the drop.
+    fn retire(leg: &mut FleetLeg<T>, carry: &mut TransportStats, fault: String) {
+        if let Some(t) = leg.transport.take() {
+            let s = t.stats();
+            carry.bytes_sent += s.bytes_sent;
+            carry.bytes_received += s.bytes_received;
+        }
+        if leg.fault.is_none() {
+            leg.fault = Some(fault);
+        }
+    }
+
+    /// Sends the data frame (and MAC mirror, when present) down every live
+    /// leg, returning per-leg outcomes in leg order (`None` = already dead).
+    #[allow(clippy::type_complexity)]
+    fn fan_out(
+        &mut self,
+        data_frame: &Request,
+        mirror_frame: Option<&Request>,
+    ) -> Vec<Option<Result<(Response, Option<Response>), CoreError>>>
+    where
+        T: Send,
+    {
+        fn exchange<T: Transport>(
+            transport: &mut T,
+            data_frame: &Request,
+            mirror_frame: Option<&Request>,
+        ) -> Result<(Response, Option<Response>), CoreError> {
+            let data = transport.call(data_frame)?;
+            let mac = match mirror_frame {
+                Some(f) => Some(transport.call(f)?),
+                None => None,
+            };
+            Ok((data, mac))
+        }
+
+        let live = self.legs.iter().filter(|l| l.transport.is_some()).count();
+        if self.concurrent && live > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .legs
+                    .iter_mut()
+                    .map(|leg| {
+                        leg.transport
+                            .as_mut()
+                            .map(|t| s.spawn(move || exchange(t, data_frame, mirror_frame)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(CoreError::Transport("fleet leg panicked".into()))
+                            })
+                        })
+                    })
+                    .collect()
+            })
+        } else {
+            self.legs
+                .iter_mut()
+                .map(|leg| {
+                    leg.transport
+                        .as_mut()
+                        .map(|t| exchange(t, data_frame, mirror_frame))
+                })
+                .collect()
+        }
+    }
+
+    /// Lagrange-combines per-party vectors and verifies every element
+    /// against the combined MAC (`α · s = m`). On mismatch, attributes by
+    /// leave-one-out when the responder count allows it.
+    fn verified_vector(
+        &self,
+        parties: &[usize],
+        data: &[Vec<u64>],
+        mac: &[Vec<u64>],
+    ) -> Result<Vec<u64>, FleetError> {
+        let field = self.ring.field();
+        let m = parties.len();
+        let len = data[0].len();
+        let try_subset = |sel: &[usize]| -> Option<Vec<u64>> {
+            let xs: Vec<u64> = sel
+                .iter()
+                .map(|&k| FleetSpec::party_x(parties[k]))
+                .collect();
+            let lambda = lagrange_at_zero(field, &xs)?;
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                let mut s = field.zero();
+                let mut w = field.zero();
+                for (&k, &l) in sel.iter().zip(&lambda) {
+                    s = field.add(s, field.mul(l, data[k][i]));
+                    w = field.add(w, field.mul(l, mac[k][i]));
+                }
+                if field.mul(self.alpha, s) != w {
+                    return None;
+                }
+                out.push(s);
+            }
+            Some(out)
+        };
+        let all: Vec<usize> = (0..m).collect();
+        if let Some(out) = try_subset(&all) {
+            return Ok(out);
+        }
+        if m > self.threshold {
+            let mut culprit: Option<usize> = None;
+            let mut ambiguous = false;
+            for skip in 0..m {
+                let sel: Vec<usize> = (0..m).filter(|&k| k != skip).collect();
+                if sel.len() < self.threshold {
+                    continue;
+                }
+                if try_subset(&sel).is_some() {
+                    if culprit.is_some() {
+                        ambiguous = true;
+                        break;
+                    }
+                    culprit = Some(skip);
+                }
+            }
+            if let (Some(skip), false) = (culprit, ambiguous) {
+                let p = parties[skip];
+                return Err(FleetError::Blamed {
+                    parties: vec![p],
+                    detail: format!(
+                        "MAC verification failed; corrupted share attributed to party {p}"
+                    ),
+                });
+            }
+            return Err(FleetError::Fatal(format!(
+                "MAC verification failed and attribution was ambiguous among parties {parties:?}"
+            )));
+        }
+        Err(FleetError::Fatal(format!(
+            "MAC verification failed with exactly {m} responders (parties {parties:?}); \
+             more than threshold {} responders are needed to attribute the corruption",
+            self.threshold
+        )))
+    }
+
+    /// Requires a `≥ t`, byte-identical quorum on a structural response;
+    /// deviants are blamed by name.
+    fn structural_majority(&self, parts: &[(usize, &Response)]) -> Result<Response, FleetError> {
+        let mut groups: Vec<(Vec<usize>, &Response)> = Vec::new();
+        for &(party, resp) in parts {
+            match groups.iter_mut().find(|(_, r)| *r == resp) {
+                Some(g) => g.0.push(party),
+                None => groups.push((vec![party], resp)),
+            }
+        }
+        groups.sort_by_key(|(ps, _)| std::cmp::Reverse(ps.len()));
+        let all: Vec<usize> = parts.iter().map(|&(p, _)| p).collect();
+        let (winners, resp) = &groups[0];
+        if winners.len() < self.threshold {
+            return Err(FleetError::Fatal(format!(
+                "no {}-party agreement on a structural response among parties {all:?}",
+                self.threshold
+            )));
+        }
+        if groups.len() > 1 && groups[1].0.len() >= self.threshold {
+            return Err(FleetError::Fatal(format!(
+                "two quorums disagree on a structural response (parties {:?} vs {:?})",
+                winners, groups[1].0
+            )));
+        }
+        let deviants: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|p| !winners.contains(p))
+            .collect();
+        if !deviants.is_empty() {
+            let detail = if deviants.len() == 1 {
+                format!(
+                    "party {} disagreed with the {}-party quorum on a structural response",
+                    deviants[0],
+                    winners.len()
+                )
+            } else {
+                format!(
+                    "parties {deviants:?} disagreed with the {}-party quorum on a structural response",
+                    winners.len()
+                )
+            };
+            return Err(FleetError::Blamed {
+                parties: deviants,
+                detail,
+            });
+        }
+        Ok((*resp).clone())
+    }
+
+    /// Combines one data-plane slot: per-party shares plus their MAC
+    /// mirrors, matched by response shape.
+    fn combine_data_slot(
+        &self,
+        parts: &[(usize, &Response)],
+        macs: &[(usize, &Response)],
+    ) -> Result<Response, FleetError> {
+        let parties: Vec<usize> = parts.iter().map(|&(p, _)| p).collect();
+        // Scalar evaluation.
+        if parts.iter().all(|(_, r)| matches!(r, Response::Value(_)))
+            && macs.iter().all(|(_, r)| matches!(r, Response::Value(_)))
+        {
+            let data: Vec<Vec<u64>> = parts
+                .iter()
+                .map(|(_, r)| match r {
+                    Response::Value(v) => vec![*v],
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mac: Vec<Vec<u64>> = macs
+                .iter()
+                .map(|(_, r)| match r {
+                    Response::Value(v) => vec![*v],
+                    _ => unreachable!(),
+                })
+                .collect();
+            let out = self.verified_vector(&parties, &data, &mac)?;
+            return Ok(Response::Value(out[0]));
+        }
+        // Evaluation vectors of one common length.
+        let values_of = |r: &Response| match r {
+            Response::Values(v) => Some(v.clone()),
+            _ => None,
+        };
+        if let (Some(data), Some(mac)) = (
+            parts
+                .iter()
+                .map(|(_, r)| values_of(r))
+                .collect::<Option<Vec<_>>>(),
+            macs.iter()
+                .map(|(_, r)| values_of(r))
+                .collect::<Option<Vec<_>>>(),
+        ) {
+            let len = data[0].len();
+            if data.iter().all(|v| v.len() == len) && mac.iter().all(|v| v.len() == len) {
+                return Ok(Response::Values(
+                    self.verified_vector(&parties, &data, &mac)?,
+                ));
+            }
+        }
+        // Packed polynomials: unpack, combine coefficient-wise, repack.
+        let polys_of = |r: &Response| match r {
+            Response::Polys(p) => Some(p.clone()),
+            _ => None,
+        };
+        if let (Some(data), Some(mac)) = (
+            parts
+                .iter()
+                .map(|(_, r)| polys_of(r))
+                .collect::<Option<Vec<_>>>(),
+            macs.iter()
+                .map(|(_, r)| polys_of(r))
+                .collect::<Option<Vec<_>>>(),
+        ) {
+            let count = data[0].len();
+            if data.iter().all(|p| p.len() == count) && mac.iter().all(|p| p.len() == count) {
+                let mut out = Vec::with_capacity(count);
+                for j in 0..count {
+                    let unpack = |bytes: &[u8], party: usize| {
+                        self.packer.unpack_radix(&self.ring, bytes).map_err(|e| {
+                            FleetError::Blamed {
+                                parties: vec![party],
+                                detail: format!(
+                                    "party {party} returned an undecodable share polynomial: {e}"
+                                ),
+                            }
+                        })
+                    };
+                    let mut dcoeffs = Vec::with_capacity(parties.len());
+                    let mut mcoeffs = Vec::with_capacity(parties.len());
+                    for (k, &p) in parties.iter().enumerate() {
+                        dcoeffs.push(unpack(&data[k][j], p)?.coeffs().to_vec());
+                        mcoeffs.push(unpack(&mac[k][j], p)?.coeffs().to_vec());
+                    }
+                    let combined = self.verified_vector(&parties, &dcoeffs, &mcoeffs)?;
+                    let poly = self
+                        .ring
+                        .poly_from_coeffs(combined)
+                        .map_err(|e| FleetError::Fatal(format!("recombined polynomial: {e}")))?;
+                    out.push(self.packer.pack_radix(&poly));
+                }
+                return Ok(Response::Polys(out));
+            }
+        }
+        // Mixed or unexpected shapes (e.g. an agreed per-slot error):
+        // structural agreement is the only safe rule left.
+        self.structural_majority(parts)
+    }
+
+    /// Combines one wave's live responses according to the mirror plan.
+    fn combine_wave(
+        &self,
+        live: &[(usize, Response, Option<Response>)],
+        plan: &MirrorPlan,
+    ) -> Result<Response, FleetError> {
+        let parts: Vec<(usize, &Response)> = live.iter().map(|(p, d, _)| (*p, d)).collect();
+        match plan {
+            MirrorPlan::None => self.structural_majority(&parts),
+            MirrorPlan::Whole => {
+                let macs: Vec<(usize, &Response)> = live
+                    .iter()
+                    .filter_map(|(p, _, m)| m.as_ref().map(|m| (*p, m)))
+                    .collect();
+                if macs.len() != parts.len() {
+                    return Err(FleetError::Fatal(
+                        "a mirrored wave is missing MAC responses".into(),
+                    ));
+                }
+                self.combine_data_slot(&parts, &macs)
+            }
+            MirrorPlan::Slots(idx) => {
+                // Every live party must agree this is a batch of the same
+                // slot count, with a MAC batch parallel to `idx`.
+                let batch_of = |r: &Response| match r {
+                    Response::Batch(slots) => Some(slots.len()),
+                    _ => None,
+                };
+                let shapes: Option<Vec<usize>> = parts.iter().map(|(_, r)| batch_of(r)).collect();
+                let mac_ok = live.iter().all(|(_, _, m)| {
+                    matches!(m, Some(Response::Batch(slots)) if slots.len() == idx.len())
+                });
+                let Some(counts) = shapes else {
+                    // Not everyone answered with a batch (e.g. an agreed
+                    // top-level error such as the reshard fence).
+                    return self.structural_majority(&parts);
+                };
+                if counts.windows(2).any(|w| w[0] != w[1]) || !mac_ok {
+                    return self.structural_majority(&parts);
+                }
+                let slot_count = counts[0];
+                fn slots_of(r: &Response) -> &Vec<Response> {
+                    match r {
+                        Response::Batch(slots) => slots,
+                        _ => unreachable!(),
+                    }
+                }
+                let mut out = Vec::with_capacity(slot_count);
+                for i in 0..slot_count {
+                    let slot_parts: Vec<(usize, &Response)> =
+                        live.iter().map(|(p, d, _)| (*p, &slots_of(d)[i])).collect();
+                    if let Ok(pos) = idx.binary_search(&i) {
+                        let slot_macs: Vec<(usize, &Response)> = live
+                            .iter()
+                            .map(|(p, _, m)| {
+                                (*p, &slots_of(m.as_ref().expect("mac batch checked"))[pos])
+                            })
+                            .collect();
+                        out.push(self.combine_data_slot(&slot_parts, &slot_macs)?);
+                    } else {
+                        out.push(self.structural_majority(&slot_parts)?);
+                    }
+                }
+                Ok(Response::Batch(out))
+            }
+        }
+    }
+}
+
+impl<T: Transport + Send> Transport for FleetTransport<T> {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        self.stats.round_trips += 1;
+        let dshard = match req {
+            Request::ToShard { shard, .. } => *shard,
+            _ => self.shard,
+        };
+        let inner: &Request = match req {
+            Request::ToShard { req, .. } => req,
+            other => other,
+        };
+        let (mirror, plan) = mirror_of(inner);
+        let mirror_frame = mirror.map(|m| Request::ToShard {
+            shard: self.data_shards + dshard,
+            req: Box::new(m),
+        });
+
+        let results = self.fan_out(req, mirror_frame.as_ref());
+
+        let mut live: Vec<(usize, Response, Option<Response>)> = Vec::new();
+        for (leg, res) in self.legs.iter_mut().zip(results) {
+            match res {
+                None => {}
+                Some(Ok((data, mac))) => live.push((leg.party, data, mac)),
+                Some(Err(e)) => Self::retire(leg, &mut self.stats, e.to_string()),
+            }
+        }
+        if live.len() < self.threshold {
+            let faults: Vec<String> = self
+                .legs
+                .iter()
+                .filter_map(|l| l.fault.as_ref().map(|f| format!("party {}: {f}", l.party)))
+                .collect();
+            return Err(CoreError::Transport(format!(
+                "fleet quorum lost: {} of {} parties answering, threshold {} ({})",
+                live.len(),
+                self.legs.len(),
+                self.threshold,
+                faults.join("; ")
+            )));
+        }
+        match self.combine_wave(&live, &plan) {
+            Ok(resp) => Ok(resp),
+            Err(FleetError::Blamed { parties, detail }) => {
+                for leg in self.legs.iter_mut() {
+                    if parties.contains(&leg.party) {
+                        Self::retire(leg, &mut self.stats, format!("quarantined: {detail}"));
+                    }
+                }
+                Err(CoreError::Corrupt(format!(
+                    "fleet integrity failure: {detail}"
+                )))
+            }
+            Err(FleetError::Fatal(detail)) => Err(CoreError::Corrupt(format!(
+                "fleet integrity failure: {detail}"
+            ))),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = self.stats;
+        for leg in &self.legs {
+            if let Some(t) = &leg.transport {
+                let u = t.stats();
+                s.bytes_sent += u.bytes_sent;
+                s.bytes_received += u.bytes_received;
+            }
+        }
+        s
+    }
+}
+
+/// Builds the full in-process fleet stack from a fleet encoding: one
+/// shared party host per party, `data_shards` fleet pipes, and the usual
+/// [`ShardRouter`] on top. The `n = 1, t = 1` case routes the exact same
+/// waves as the single-party [`ShardRouter::local`] deployment.
+pub fn local_fleet_router(
+    fleet: FleetEncodeOutput,
+    seed: &Seed,
+    data_shards: u32,
+) -> Result<ShardRouter<FleetTransport<LocalPartyTransport>>, CoreError> {
+    let FleetEncodeOutput {
+        parties,
+        spec,
+        ring,
+        packer,
+        ..
+    } = fleet;
+    let alpha = fleet_mac_key(seed, &ring);
+    let hosts = parties
+        .into_iter()
+        .map(|p| {
+            party_server(p.data, p.mac, &ring, data_shards)
+                .map(Mutex::new)
+                .map(Arc::new)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sspec = ShardSpec::new(data_shards);
+    let pipes: Vec<FleetTransport<LocalPartyTransport>> = (0..sspec.shards())
+        .map(|k| {
+            let legs = hosts
+                .iter()
+                .enumerate()
+                .map(|(j, h)| FleetLeg::up(j + 1, LocalPartyTransport::new(Arc::clone(h))))
+                .collect();
+            FleetTransport::new(
+                legs,
+                spec.threshold,
+                sspec.shards(),
+                k,
+                ring.clone(),
+                packer.clone(),
+                alpha,
+                false,
+            )
+        })
+        .collect();
+    Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, false))
+}
+
+/// Per-party probe outcome during a fleet connect.
+struct Probe<T> {
+    transport: Option<T>,
+    host_shards: Option<u32>,
+    fault: Option<String>,
+}
+
+/// Asks one connected endpoint how many shards it serves.
+fn probe_shard_count<T: Transport>(t: &mut T) -> Result<u32, String> {
+    match t.call(&Request::ShardCount) {
+        Ok(Response::Count(c)) if c >= 2 && c % 2 == 0 && c <= u32::MAX as u64 => Ok(c as u32),
+        Ok(Response::Count(c)) => Err(format!(
+            "endpoint serves {c} shards; a fleet party serves an even count (S data + S MAC)"
+        )),
+        Ok(other) => Err(format!("unexpected handshake answer: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Resolves the host shard count the live probes agree on, requiring at
+/// least `threshold` live parties. Probes that disagree with the first
+/// live answer are faulted in place.
+fn fleet_consensus<T>(probes: &mut [Probe<T>], threshold: usize) -> Result<u32, CoreError> {
+    let mut agreed: Option<u32> = None;
+    for p in probes.iter_mut() {
+        if let Some(c) = p.host_shards {
+            match agreed {
+                None => agreed = Some(c),
+                Some(a) if a != c => {
+                    p.fault = Some(format!("shard count mismatch: {c} vs fleet's {a}"));
+                    p.transport = None;
+                    p.host_shards = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    let live = probes.iter().filter(|p| p.transport.is_some()).count();
+    let Some(total) = agreed else {
+        let faults: Vec<String> = probes
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| p.fault.as_ref().map(|f| format!("party {}: {f}", j + 1)))
+            .collect();
+        return Err(CoreError::Transport(format!(
+            "no fleet party reachable ({})",
+            faults.join("; ")
+        )));
+    };
+    if live < threshold {
+        let faults: Vec<String> = probes
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| p.fault.as_ref().map(|f| format!("party {}: {f}", j + 1)))
+            .collect();
+        return Err(CoreError::Transport(format!(
+            "fleet quorum unreachable at connect: {live} live, threshold {threshold} ({})",
+            faults.join("; ")
+        )));
+    }
+    Ok(total)
+}
+
+/// Connects to an `n`-party fleet over plain framed TCP
+/// ([`crate::transport::serve_tcp_sharded`] hosts), one connection per
+/// party per data shard. Parties dead at connect are tolerated down to
+/// `threshold` live legs.
+pub fn connect_fleet(
+    addrs: &[String],
+    threshold: usize,
+    map: &MapFile,
+    seed: &Seed,
+) -> Result<ShardRouter<FleetTransport<TcpTransport>>, CoreError> {
+    FleetSpec::new(addrs.len(), threshold)?;
+    let ring = RingCtx::new(map.p(), map.e())?;
+    let packer = Packer::new(&ring);
+    let alpha = fleet_mac_key(seed, &ring);
+    let mut probes: Vec<Probe<TcpTransport>> = addrs
+        .iter()
+        .map(|addr| match TcpTransport::connect(addr.as_str()) {
+            Ok(mut t) => match probe_shard_count(&mut t) {
+                Ok(c) => Probe {
+                    transport: Some(t),
+                    host_shards: Some(c),
+                    fault: None,
+                },
+                Err(f) => Probe {
+                    transport: None,
+                    host_shards: None,
+                    fault: Some(f),
+                },
+            },
+            Err(e) => Probe {
+                transport: None,
+                host_shards: None,
+                fault: Some(e.to_string()),
+            },
+        })
+        .collect();
+    let total = fleet_consensus(&mut probes, threshold)?;
+    let data_shards = total / 2;
+    let sspec = ShardSpec::new(data_shards);
+    let pipes = (0..sspec.shards())
+        .map(|k| {
+            let legs = probes
+                .iter_mut()
+                .enumerate()
+                .map(|(j, probe)| {
+                    let party = j + 1;
+                    match &probe.fault {
+                        Some(f) => FleetLeg::down(party, f.clone()),
+                        None => {
+                            // Reuse the probe connection for pipe 0; open a
+                            // fresh one per further pipe.
+                            let conn = if k == 0 {
+                                probe.transport.take().ok_or_else(|| {
+                                    CoreError::Transport("probe connection missing".into())
+                                })
+                            } else {
+                                TcpTransport::connect(addrs[j].as_str())
+                            };
+                            match conn {
+                                Ok(t) => FleetLeg::up(party, t),
+                                Err(e) => FleetLeg::down(party, e.to_string()),
+                            }
+                        }
+                    }
+                })
+                .collect();
+            FleetTransport::new(
+                legs,
+                threshold,
+                sspec.shards(),
+                k,
+                ring.clone(),
+                packer.clone(),
+                alpha,
+                true,
+            )
+        })
+        .collect();
+    Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, true))
+}
+
+/// Connects to an `n`-party fleet of multiplexed hosts
+/// ([`crate::transport::serve_tcp_mux`]): one [`MuxPool`] per party, the
+/// data-shard connections of which become the fleet legs. Parties dead at
+/// connect are tolerated down to `threshold` live legs.
+pub fn connect_fleet_mux(
+    addrs: &[String],
+    threshold: usize,
+    map: &MapFile,
+    seed: &Seed,
+) -> Result<ShardRouter<FleetTransport<MuxTransport>>, CoreError> {
+    FleetSpec::new(addrs.len(), threshold)?;
+    let ring = RingCtx::new(map.p(), map.e())?;
+    let packer = Packer::new(&ring);
+    let alpha = fleet_mac_key(seed, &ring);
+    // A mux host still answers the legacy-framed handshake, so probe with a
+    // plain connection before opening the pool with the right shard count.
+    let mut probes: Vec<Probe<MuxPool>> = addrs
+        .iter()
+        .map(|addr| {
+            let probed = TcpTransport::connect(addr.as_str())
+                .map_err(|e| e.to_string())
+                .and_then(|mut t| probe_shard_count(&mut t));
+            match probed {
+                Ok(c) => Probe {
+                    // Pool is opened after consensus; hold the count only.
+                    transport: None,
+                    host_shards: Some(c),
+                    fault: None,
+                },
+                Err(f) => Probe {
+                    transport: None,
+                    host_shards: None,
+                    fault: Some(f),
+                },
+            }
+        })
+        .collect();
+    // `fleet_consensus` counts live probes by `transport`; for the mux path
+    // liveness is carried by `host_shards` instead, so check it directly.
+    let mut agreed: Option<u32> = None;
+    for p in probes.iter_mut() {
+        if let Some(c) = p.host_shards {
+            match agreed {
+                None => agreed = Some(c),
+                Some(a) if a != c => {
+                    p.fault = Some(format!("shard count mismatch: {c} vs fleet's {a}"));
+                    p.host_shards = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    let live = probes.iter().filter(|p| p.host_shards.is_some()).count();
+    let Some(total) = agreed else {
+        let faults: Vec<String> = probes
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| p.fault.as_ref().map(|f| format!("party {}: {f}", j + 1)))
+            .collect();
+        return Err(CoreError::Transport(format!(
+            "no fleet party reachable ({})",
+            faults.join("; ")
+        )));
+    };
+    if live < threshold {
+        return Err(CoreError::Transport(format!(
+            "fleet quorum unreachable at connect: {live} live, threshold {threshold}"
+        )));
+    }
+    let data_shards = total / 2;
+    let pools: Vec<Result<MuxPool, String>> = addrs
+        .iter()
+        .zip(&probes)
+        .map(|(addr, p)| match (&p.fault, p.host_shards) {
+            (None, Some(_)) => MuxPool::connect(addr.as_str(), total).map_err(|e| e.to_string()),
+            (fault, _) => Err(fault.clone().unwrap_or_else(|| "unreachable".into())),
+        })
+        .collect();
+    let live = pools.iter().filter(|p| p.is_ok()).count();
+    if live < threshold {
+        let faults: Vec<String> = pools
+            .iter()
+            .enumerate()
+            .filter_map(|(j, p)| p.as_ref().err().map(|f| format!("party {}: {f}", j + 1)))
+            .collect();
+        return Err(CoreError::Transport(format!(
+            "fleet quorum unreachable at connect: {live} live, threshold {threshold} ({})",
+            faults.join("; ")
+        )));
+    }
+    let sspec = ShardSpec::new(data_shards);
+    let pipes = (0..sspec.shards())
+        .map(|k| {
+            let legs = pools
+                .iter()
+                .enumerate()
+                .map(|(j, pool)| match pool {
+                    Ok(pool) => FleetLeg::up(j + 1, pool.transport(k)),
+                    Err(f) => FleetLeg::down(j + 1, f.clone()),
+                })
+                .collect();
+            FleetTransport::new(
+                legs,
+                threshold,
+                sspec.shards(),
+                k,
+                ring.clone(),
+                packer.clone(),
+                alpha,
+                true,
+            )
+        })
+        .collect();
+    Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_document_fleet, split_fleet};
+    use crate::engine::{EngineKind, MatchRule};
+    use crate::facade::{EncryptedDb, FleetDb};
+    use ssx_store::Row;
+
+    const XML: &str = "<site><a><b/><b/></a><c><a><b/></a></c></site>";
+
+    fn setup() -> (MapFile, Seed) {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(21);
+        (map, seed)
+    }
+
+    fn fleet_db(n: usize, t: usize, shards: u32) -> FleetDb {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(n, t).unwrap();
+        EncryptedDb::encode_fleet_sharded(XML, map, seed, spec, shards).unwrap()
+    }
+
+    #[test]
+    fn fleet_results_match_single_party_bit_for_bit() {
+        let (map, seed) = setup();
+        let queries = [
+            ("//b", EngineKind::Simple, MatchRule::Containment),
+            ("/site/a/b", EngineKind::Advanced, MatchRule::Containment),
+            ("//a/b", EngineKind::Advanced, MatchRule::Equality),
+        ];
+        for (n, t, shards) in [(1usize, 1usize, 1u32), (3, 1, 1), (3, 2, 1), (3, 2, 2)] {
+            let mut single =
+                EncryptedDb::encode_sharded(XML, map.clone(), seed.clone(), shards).unwrap();
+            let mut fleet = fleet_db(n, t, shards);
+            for (q, kind, rule) in queries {
+                let a = single.query(q, kind, rule).unwrap();
+                let b = fleet.query(q, kind, rule).unwrap();
+                assert_eq!(a.result, b.result, "{q} n={n} t={t} S={shards}");
+                assert_eq!(
+                    a.stats.round_trips, b.stats.round_trips,
+                    "waves differ for {q} n={n} t={t} S={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_speculation_counters_match_single_party() {
+        let (map, seed) = setup();
+        let mut single = EncryptedDb::encode(XML, map.clone(), seed.clone()).unwrap();
+        let mut fleet = fleet_db(3, 2, 1);
+        single.set_speculation(true);
+        fleet.set_speculation(true);
+        let q = ("//a/b", EngineKind::Advanced, MatchRule::Containment);
+        let a = single.query(q.0, q.1, q.2).unwrap();
+        let b = fleet.query(q.0, q.1, q.2).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats.round_trips, b.stats.round_trips);
+        assert_eq!(a.stats.speculative_hits, b.stats.speculative_hits);
+        assert_eq!(a.stats.speculative_wasted, b.stats.speculative_wasted);
+    }
+
+    /// Flips one bit in every polynomial of a party's table.
+    fn corrupt_table(table: Table) -> Table {
+        let mut out = Table::new(table.poly_len());
+        for row in table.into_rows() {
+            let mut poly = row.poly.into_vec();
+            poly[0] ^= 0x01;
+            out.insert(Row {
+                loc: row.loc,
+                poly: poly.into_boxed_slice(),
+            })
+            .unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn byzantine_party_is_detected_and_named() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let mut fleet = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        fleet.parties[1].data =
+            corrupt_table(std::mem::replace(&mut fleet.parties[1].data, Table::new(0)));
+        let mut db = FleetDb::from_fleet_output(fleet, map, seed, 1).unwrap();
+        let err = db
+            .query("//b", EngineKind::Simple, MatchRule::Containment)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("integrity") && msg.contains("party 2"),
+            "expected an integrity error naming party 2, got: {msg}"
+        );
+        // The culprit is quarantined: the same query now succeeds on the
+        // remaining quorum with correct results.
+        let (map2, seed2) = setup();
+        let mut single = EncryptedDb::encode(XML, map2, seed2).unwrap();
+        let want = single
+            .query("//b", EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
+        let got = db
+            .query("//b", EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
+        assert_eq!(got.result, want.result);
+    }
+
+    #[test]
+    fn byzantine_mac_plane_is_detected_too() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let mut fleet = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        fleet.parties[2].mac =
+            corrupt_table(std::mem::replace(&mut fleet.parties[2].mac, Table::new(0)));
+        let mut db = FleetDb::from_fleet_output(fleet, map, seed, 1).unwrap();
+        let err = db
+            .query("//b", EngineKind::Simple, MatchRule::Containment)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("integrity") && msg.contains("party 3"),
+            "expected an integrity error naming party 3, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn corruption_with_exactly_t_responders_is_detected_not_attributed() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(2, 2).unwrap();
+        let mut fleet = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        fleet.parties[0].data =
+            corrupt_table(std::mem::replace(&mut fleet.parties[0].data, Table::new(0)));
+        let mut db = FleetDb::from_fleet_output(fleet, map, seed, 1).unwrap();
+        let err = db
+            .query("//b", EngineKind::Simple, MatchRule::Containment)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("attribute"), "{err}");
+    }
+
+    #[test]
+    fn split_then_reconstruct_via_any_two_parties_serves_queries() {
+        // Drop each party in turn from a 3-of-2 fleet at build time; every
+        // 2-party remnant must answer correctly.
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let mut single = EncryptedDb::encode(XML, map.clone(), seed.clone()).unwrap();
+        let want = single
+            .query("//a/b", EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
+        for dead in 1..=3usize {
+            let out = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+            let ring = out.ring.clone();
+            let packer = out.packer.clone();
+            let alpha = fleet_mac_key(&seed, &ring);
+            let legs = out
+                .parties
+                .into_iter()
+                .map(|p| {
+                    if p.party == dead {
+                        FleetLeg::down(p.party, "dead at connect (test)".into())
+                    } else {
+                        let host = party_server(p.data, p.mac, &ring, 1)
+                            .map(Mutex::new)
+                            .map(Arc::new)
+                            .unwrap();
+                        FleetLeg::up(p.party, LocalPartyTransport::new(host))
+                    }
+                })
+                .collect();
+            let pipe = FleetTransport::new(legs, 2, 1, 0, ring.clone(), packer, alpha, false);
+            let router = ShardRouter::new(ShardSpec::new(1), vec![pipe], false, false);
+            let mut client =
+                crate::client::ClientFilter::new(router, map.clone(), seed.clone()).unwrap();
+            let got = crate::engine::Engine::run(
+                EngineKind::Advanced,
+                MatchRule::Equality,
+                &ssx_xpath::parse_query("//a/b").unwrap(),
+                &mut client,
+            )
+            .unwrap();
+            assert_eq!(got.result, want.result, "party {dead} dead");
+        }
+    }
+
+    #[test]
+    fn quorum_loss_is_a_transport_error() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 3).unwrap();
+        let out = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        let ring = out.ring.clone();
+        let packer = out.packer.clone();
+        let alpha = fleet_mac_key(&seed, &ring);
+        let legs = out
+            .parties
+            .into_iter()
+            .map(|p| {
+                if p.party == 1 {
+                    FleetLeg::down(1, "dead (test)".into())
+                } else {
+                    let host = party_server(p.data, p.mac, &ring, 1)
+                        .map(Mutex::new)
+                        .map(Arc::new)
+                        .unwrap();
+                    FleetLeg::up(p.party, LocalPartyTransport::new(host))
+                }
+            })
+            .collect();
+        let mut pipe = FleetTransport::new(legs, 3, 1, 0, ring, packer, alpha, false);
+        let err = pipe.call(&Request::Count).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("quorum") && msg.contains("party 1"),
+            "expected a quorum error naming party 1, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn t1_fleet_replicas_majority_vote() {
+        // n = 3, t = 1: pure replication. All answers agree, queries work and
+        // match the single-party deployment exactly.
+        let (map, seed) = setup();
+        let mut single = EncryptedDb::encode_sharded(XML, map, seed, 2).unwrap();
+        let mut db = fleet_db(3, 1, 2);
+        let q = ("//b", EngineKind::Simple, MatchRule::Containment);
+        let out = db.query(q.0, q.1, q.2).unwrap();
+        let reference = single.query(q.0, q.1, q.2).unwrap();
+        assert_eq!(out.result, reference.result);
+        assert!(!out.result.is_empty());
+    }
+
+    #[test]
+    fn party_store_split_is_deterministic() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let a = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        let b = split_fleet(
+            crate::encode::encode_document(XML, &map, &seed).unwrap(),
+            &seed,
+            spec,
+        )
+        .unwrap();
+        for (pa, pb) in a.parties.iter().zip(&b.parties) {
+            for row in pa.data.rows() {
+                assert_eq!(pb.data.by_pre(row.loc.pre).unwrap().poly, row.poly);
+            }
+            for row in pa.mac.rows() {
+                assert_eq!(pb.mac.by_pre(row.loc.pre).unwrap().poly, row.poly);
+            }
+        }
+    }
+}

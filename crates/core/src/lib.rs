@@ -17,6 +17,7 @@
 //! | `SimpleQuery`    | [`engine::SimpleEngine`] |
 //! | `AdvancedQuery`  | [`engine::AdvancedEngine`] |
 //! | —                | [`mod@reference`] — plaintext XPath oracle (ground truth for Fig 7 accuracy) |
+//! | —                | [`fleet`] — t-of-n multi-party deployment: per-party share stores, fan-out transport, verified reconstruction |
 //! | —                | [`facade::EncryptedDb`] — one-stop construction for examples and tests |
 //!
 //! The two *matching rules* (§6.3 "strictness") are [`engine::MatchRule`]:
@@ -29,6 +30,7 @@ pub mod encode;
 pub mod engine;
 pub mod error;
 pub mod facade;
+pub mod fleet;
 pub mod map;
 pub mod protocol;
 pub mod reference;
@@ -39,19 +41,26 @@ pub mod transport;
 
 pub use accuracy::accuracy_percent;
 pub use client::{ClientFilter, ClientStats};
-pub use encode::{encode_document, encode_dom, encode_events, EncodeOutput, EncodeStats};
+pub use encode::{
+    encode_document, encode_document_fleet, encode_dom, encode_events, fleet_mac_key, split_fleet,
+    EncodeOutput, EncodeStats, FleetEncodeOutput, FleetSpec, PartyStore,
+};
 pub use engine::{
     AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats,
     SimpleEngine,
 };
 pub use error::CoreError;
-pub use facade::{EncryptedDb, RemoteDb, RemoteMuxDb};
+pub use facade::{EncryptedDb, FleetDb, RemoteDb, RemoteFleetDb, RemoteMuxDb, RemoteMuxFleetDb};
+pub use fleet::{
+    connect_fleet, connect_fleet_mux, local_fleet_router, party_server, FleetLeg, FleetTransport,
+    LocalPartyTransport,
+};
 pub use map::MapFile;
 pub use reference::reference_eval;
 pub use router::ShardRouter;
 pub use server::{ServerFilter, ServerStats};
 pub use shard::{partition_table, ShardSpec, ShardedServer};
 pub use transport::{
-    serve_tcp, serve_tcp_mux, serve_tcp_sharded, LocalTransport, MuxPool, MuxTransport,
-    PendingCall, TcpTransport, Transport,
+    serve_tcp, serve_tcp_mux, serve_tcp_mux_auto, serve_tcp_sharded, serve_tcp_sharded_auto,
+    LocalTransport, MuxPool, MuxTransport, PendingCall, TcpTransport, Transport,
 };

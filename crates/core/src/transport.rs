@@ -130,6 +130,10 @@ pub trait Transport {
 /// multiplexed transports construct these.
 pub struct PendingCall {
     rx: mpsc::Receiver<SlotResult>,
+    /// Mux transports park the request and the connection it went out on so
+    /// [`Transport::finish_pipelined`] can heal a reshard fence: re-pool the
+    /// slot's connection and replay the request once (see [`MuxPool`]).
+    retry: Option<(Request, Arc<MuxClientConn>)>,
 }
 
 /// The shared `call_batch` body of the concrete frame transports: empty and
@@ -355,6 +359,11 @@ pub fn serve_tcp(
     Ok(server)
 }
 
+/// The exact error a generation-fenced connection is answered with after an
+/// online reshard. [`MuxPool`] transports match it verbatim to re-pool the
+/// slot's connection and replay the fenced request once.
+const RESHARD_FENCE: &str = "shard layout changed (reshard); reconnect";
+
 /// Shared state of a concurrent sharded host: one independently lockable
 /// filter per shard, so connections bound to different shards execute in
 /// parallel. The fleet vector itself sits behind an `RwLock` so an online
@@ -425,6 +434,21 @@ pub fn serve_tcp_sharded(
     listener: TcpListener,
     server: ShardedServer,
 ) -> Result<ShardedServer, CoreError> {
+    serve_tcp_sharded_auto(listener, server, None)
+}
+
+/// [`serve_tcp_sharded`] with host-side auto-resharding: when
+/// `auto_target` is `Some(bytes)`, a tick thread sizes the fleet from the
+/// *stored* per-shard data (see [`auto_reshard_loop`]) and repartitions
+/// online whenever the suggestion differs from the current count. Results
+/// are invariant — a reshard moves rows bit-identically — but clients
+/// connected across a repartition see the generation fence and must
+/// reconnect ([`MuxPool`] heals same-count fences transparently).
+pub fn serve_tcp_sharded_auto(
+    listener: TcpListener,
+    server: ShardedServer,
+    auto_target: Option<u64>,
+) -> Result<ShardedServer, CoreError> {
     let addr = listener
         .local_addr()
         .map_err(|e| CoreError::Transport(format!("local_addr: {e}")))?;
@@ -434,6 +458,10 @@ pub fn serve_tcp_sharded(
         stop: AtomicBool::new(false),
     });
     std::thread::scope(|scope| -> Result<(), CoreError> {
+        if let Some(target) = auto_target {
+            let host = Arc::clone(&host);
+            scope.spawn(move || auto_reshard_loop(&host, target));
+        }
         loop {
             let (stream, _) = listener
                 .accept()
@@ -458,6 +486,52 @@ pub fn serve_tcp_sharded(
         .collect();
     let spec = crate::shard::ShardSpec::new(filters.len() as u32);
     Ok(ShardedServer::from_filters(spec, filters))
+}
+
+/// How often the auto-reshard ticker re-evaluates the stored-size
+/// suggestion. Short enough that tests converge quickly; the computation
+/// is a sum of per-shard size reports, not a scan.
+const AUTO_RESHARD_TICK: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// The host-side shard suggestion: sizes the fleet so each shard *stores*
+/// at most `target` data bytes under the balanced partition —
+/// `⌈total / target⌉`, clamped to `[1, MAX_SUGGESTED_SHARDS]`. The
+/// client-side [`crate::router::ShardRouter::suggest_shards`] works from
+/// observed traffic, which the host cannot use for auto-tuning: cumulative
+/// counters grow forever, so a traffic-based host would reshard without
+/// bound. Stored size is stationary — it is invariant under repartition —
+/// so this suggestion is a fixed point: one reshard reaches it and every
+/// later tick agrees.
+fn stored_suggestion(host: &ShardHost, target: u64) -> (u32, u32) {
+    let filters = host.filters.read().unwrap_or_else(|p| p.into_inner());
+    let current = filters.len() as u32;
+    let total: u64 = filters
+        .iter()
+        .map(|m| {
+            let f = m.lock().unwrap_or_else(|p| p.into_inner());
+            f.table().size_report().data_bytes() as u64
+        })
+        .sum();
+    let suggested = total
+        .div_ceil(target.max(1))
+        .clamp(1, crate::router::MAX_SUGGESTED_SHARDS as u64) as u32;
+    (current, suggested)
+}
+
+/// The auto-reshard ticker (`serve --auto-reshard-target N`): every tick,
+/// compare the stored-size suggestion against the live count and
+/// repartition online when they differ. A refused reshard (rows that
+/// cannot coexist — e.g. a fleet party host, whose data and MAC planes
+/// duplicate `pre`s) leaves the fleet untouched, so the ticker is safe to
+/// run against any host: it converges or it no-ops.
+fn auto_reshard_loop(host: &ShardHost, target: u64) {
+    while !host.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(AUTO_RESHARD_TICK);
+        let (current, suggested) = stored_suggestion(host, target);
+        if suggested != current {
+            let _ = host.reshard(suggested);
+        }
+    }
 }
 
 /// Handles one decoded request against the fleet, shared by the
@@ -501,10 +575,7 @@ fn host_handle_request(host: &ShardHost, born: u64, req: &Request) -> (Response,
         // error and must reconnect. Shutdown stays honoured (fleet-level,
         // partition-independent).
         if host.generation.load(Ordering::SeqCst) != born && !shutdown {
-            return (
-                Response::Err("shard layout changed (reshard); reconnect".into()),
-                false,
-            );
+            return (Response::Err(RESHARD_FENCE.into()), false);
         }
         match filters.get(shard as usize) {
             Some(m) => m.lock().unwrap_or_else(|p| p.into_inner()).handle(inner),
@@ -657,6 +728,19 @@ pub fn serve_tcp_mux(
     server: ShardedServer,
     workers: usize,
 ) -> Result<ShardedServer, CoreError> {
+    serve_tcp_mux_auto(listener, server, workers, None)
+}
+
+/// [`serve_tcp_mux`] with host-side auto-resharding (see
+/// [`serve_tcp_sharded_auto`]): same ticker, same stored-size suggestion,
+/// over the multiplexed host. [`MuxPool`] clients ride a same-count fence
+/// transparently; count-changing repartitions still require a reconnect.
+pub fn serve_tcp_mux_auto(
+    listener: TcpListener,
+    server: ShardedServer,
+    workers: usize,
+    auto_target: Option<u64>,
+) -> Result<ShardedServer, CoreError> {
     let workers = if workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -678,6 +762,10 @@ pub fn serve_tcp_mux(
     let job_rx = Mutex::new(job_rx);
 
     let result = std::thread::scope(|scope| -> Result<(), CoreError> {
+        if let Some(target) = auto_target {
+            let host = Arc::clone(&host);
+            scope.spawn(move || auto_reshard_loop(&host, target));
+        }
         {
             let host = Arc::clone(&host);
             scope.spawn(move || mux_reader_loop(conn_rx, job_tx, &host));
@@ -942,6 +1030,16 @@ impl Drop for MuxClientConn {
     }
 }
 
+/// One shard's pooled connection plus everything needed to open it again:
+/// after an online reshard fences the socket, any transport on the slot can
+/// swap in a fresh connection (same address, same shard count) and every
+/// other rider picks it up on its next call.
+struct MuxSlot {
+    addr: SocketAddr,
+    shards: u32,
+    conn: RwLock<Arc<MuxClientConn>>,
+}
+
 /// A shared pool of multiplexed connections to a [`serve_tcp_mux`] host —
 /// **one socket per shard**, however many clients ride it. Cloning the pool
 /// (or calling [`MuxPool::transport`] repeatedly) hands out any number of
@@ -950,9 +1048,16 @@ impl Drop for MuxClientConn {
 /// (and the [`crate::client::ClientFilter`]s above them) overlap on the
 /// wire instead of opening a connection — and costing a server thread —
 /// each.
+///
+/// An online reshard that keeps the shard count fences the pooled sockets
+/// (see [`ShardHost`]); the pool heals transparently — the first transport
+/// to see the fence reconnects the slot, replays its request once, and
+/// every other rider follows onto the fresh socket. A reshard that
+/// *changes* the count still surfaces an error: the pool's routing
+/// topology is wrong and the caller must reconnect with the new count.
 #[derive(Clone)]
 pub struct MuxPool {
-    conns: Vec<Arc<MuxClientConn>>,
+    slots: Vec<Arc<MuxSlot>>,
     shards: u32,
 }
 
@@ -965,11 +1070,24 @@ impl MuxPool {
     /// handshake with a descriptive error.
     pub fn connect<A: ToSocketAddrs + Copy>(addr: A, shards: u32) -> Result<Self, CoreError> {
         let spec = ShardSpec::new(shards);
-        let conns = (0..spec.shards())
-            .map(|_| Self::open_conn(addr, spec.shards()))
-            .collect::<Result<Vec<_>, _>>()?;
+        // Resolve once so the slots can reconnect after a reshard fence
+        // without carrying the caller's generic address type around.
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| CoreError::Transport(format!("resolve: {e}")))?
+            .next()
+            .ok_or_else(|| CoreError::Transport("address resolved to nothing".into()))?;
+        let slots = (0..spec.shards())
+            .map(|_| {
+                Ok(Arc::new(MuxSlot {
+                    addr,
+                    shards: spec.shards(),
+                    conn: RwLock::new(Self::open_conn(addr, spec.shards())?),
+                }))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
         Ok(MuxPool {
-            conns,
+            slots,
             shards: spec.shards(),
         })
     }
@@ -1045,7 +1163,7 @@ impl MuxPool {
     /// all of them share the shard's one socket.
     pub fn transport(&self, shard: u32) -> MuxTransport {
         MuxTransport {
-            conn: Arc::clone(&self.conns[shard as usize]),
+            slot: Arc::clone(&self.slots[shard as usize]),
             stats: TransportStats::default(),
         }
     }
@@ -1054,9 +1172,15 @@ impl MuxPool {
     /// summed over the pool. Always 0 against a correct host — the
     /// slot-confusion integration tests pin it.
     pub fn stray_responses(&self) -> u64 {
-        self.conns
+        self.slots
             .iter()
-            .map(|c| c.stray.load(Ordering::SeqCst))
+            .map(|s| {
+                s.conn
+                    .read()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .stray
+                    .load(Ordering::SeqCst)
+            })
             .sum()
     }
 }
@@ -1107,7 +1231,7 @@ fn mux_client_reader(mut stream: TcpStream, conn: Weak<MuxClientConn>) {
 /// transports on the same socket overlap freely, and responses may complete
 /// in any order.
 pub struct MuxTransport {
-    conn: Arc<MuxClientConn>,
+    slot: Arc<MuxSlot>,
     stats: TransportStats,
 }
 
@@ -1117,27 +1241,36 @@ impl HasStats for MuxTransport {
     }
 }
 
+/// Whether a response is the verbatim reshard fence (see [`RESHARD_FENCE`]).
+fn is_reshard_fence(resp: &Response) -> bool {
+    matches!(resp, Response::Err(e) if e == RESHARD_FENCE)
+}
+
 impl MuxTransport {
     /// Registers a completion slot and puts the frame on the wire; the
-    /// caller decides when to park on the returned receiver.
-    fn begin(&mut self, req: &Request) -> Result<mpsc::Receiver<SlotResult>, CoreError> {
+    /// caller decides when to park on the returned receiver. Also returns
+    /// the connection the frame went out on, so a fence response can be
+    /// attributed to exactly that socket when healing.
+    fn begin(
+        &mut self,
+        req: &Request,
+    ) -> Result<(mpsc::Receiver<SlotResult>, Arc<MuxClientConn>), CoreError> {
+        let conn = Arc::clone(&self.slot.conn.read().unwrap_or_else(|p| p.into_inner()));
         let lost = || CoreError::Transport("mux connection lost".into());
-        if self.conn.dead.load(Ordering::SeqCst) {
+        if conn.dead.load(Ordering::SeqCst) {
             return Err(lost());
         }
-        let corr = self.conn.next_corr.fetch_add(1, Ordering::SeqCst);
+        let corr = conn.next_corr.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = mpsc::channel();
-        self.conn
-            .pending
+        conn.pending
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(corr, tx);
         // The reader drains the slots *after* setting `dead`, so a slot
         // registered before this check is either drained (rx holds the
         // error) or removed here; either way the wave fails explicitly.
-        if self.conn.dead.load(Ordering::SeqCst) {
-            self.conn
-                .pending
+        if conn.dead.load(Ordering::SeqCst) {
+            conn.pending
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
                 .remove(&corr);
@@ -1145,11 +1278,10 @@ impl MuxTransport {
         }
         let payload = encode_corr_payload(corr, &encode_request(req));
         {
-            let mut write = self.conn.write.lock().unwrap_or_else(|p| p.into_inner());
+            let mut write = conn.write.lock().unwrap_or_else(|p| p.into_inner());
             if let Err(e) = write_frame(&mut write, &payload) {
                 drop(write);
-                self.conn
-                    .pending
+                conn.pending
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .remove(&corr);
@@ -1157,7 +1289,21 @@ impl MuxTransport {
             }
         }
         self.stats.bytes_sent += payload.len() as u64;
-        Ok(rx)
+        Ok((rx, conn))
+    }
+
+    /// Swaps a fenced connection out of the slot for a fresh one — exactly
+    /// once per fence, however many transports observe it: only the caller
+    /// still holding the *stale* connection reconnects (pointer identity
+    /// under the write lock); everyone else finds the slot already healed
+    /// and just replays. A host resharded to a *different* count refuses
+    /// the new handshake, so the error keeps surfacing as it should.
+    fn repool(&self, stale: &Arc<MuxClientConn>) -> Result<(), CoreError> {
+        let mut conn = self.slot.conn.write().unwrap_or_else(|p| p.into_inner());
+        if Arc::ptr_eq(&conn, stale) {
+            *conn = MuxPool::open_conn(self.slot.addr, self.slot.shards)?;
+        }
+        Ok(())
     }
 
     /// Parks on a slot registered by [`MuxTransport::begin`] and accounts
@@ -1174,7 +1320,15 @@ impl MuxTransport {
 
 impl Transport for MuxTransport {
     fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
-        let rx = self.begin(req)?;
+        let (rx, conn) = self.begin(req)?;
+        let resp = self.wait(rx)?;
+        if !is_reshard_fence(&resp) {
+            return Ok(resp);
+        }
+        // Same-count reshard: heal the slot and replay exactly once. A
+        // second fence (another reshard racing the replay) surfaces.
+        self.repool(&conn)?;
+        let (rx, _) = self.begin(req)?;
         self.wait(rx)
     }
 
@@ -1187,13 +1341,24 @@ impl Transport for MuxTransport {
     }
 
     fn call_pipelined(&mut self, req: &Request) -> Result<PendingCall, CoreError> {
+        let (rx, conn) = self.begin(req)?;
         Ok(PendingCall {
-            rx: self.begin(req)?,
+            rx,
+            retry: Some((req.clone(), conn)),
         })
     }
 
     fn finish_pipelined(&mut self, call: PendingCall) -> Result<Response, CoreError> {
-        self.wait(call.rx)
+        let resp = self.wait(call.rx)?;
+        if !is_reshard_fence(&resp) {
+            return Ok(resp);
+        }
+        let Some((req, conn)) = call.retry else {
+            return Ok(resp);
+        };
+        self.repool(&conn)?;
+        let (rx, _) = self.begin(&req)?;
+        self.wait(rx)
     }
 
     fn stats(&self) -> TransportStats {

@@ -37,4 +37,7 @@ pub use evaldom::EvalPoly;
 pub use packing::{radix_len, PackError, Packer};
 pub use ring::{RingCtx, RingError, RingPoly};
 pub use root::{extract_root, extract_root_evals, RootOutcome};
-pub use share::{random_poly, random_poly_into, reconstruct, split_with_prg};
+pub use share::{
+    combine_values, lagrange_at_zero, random_poly, random_poly_into, reconstruct, reconstruct_t,
+    scale_poly, split_n, split_with_prg,
+};

@@ -1,10 +1,23 @@
-//! Additive secret sharing of ring polynomials (paper §3, step 3).
+//! Additive secret sharing of ring polynomials (paper §3, step 3), plus the
+//! t-of-n Shamir split used by the multi-party fleet.
 //!
 //! The client share is drawn from a PRG stream; the server share is chosen
 //! so the two sum to the plaintext polynomial. Either share alone is
 //! uniformly distributed, hence carries no information about the tree.
+//!
+//! For an n-server deployment the *server* share is further split
+//! coefficient-wise with a degree-`t−1` Shamir polynomial over `F_q`
+//! ([`split_n`]): party `j` (1-based) holds the evaluations at `x = j`, and
+//! any `t` parties reconstruct via Lagrange interpolation at zero
+//! ([`reconstruct_t`] / [`combine_values`]). Because the split is linear,
+//! a party evaluating its share polynomial at a point `v` produces a Shamir
+//! share of the true evaluation — the eval-domain fast path survives the
+//! fleet unchanged. `t = 1` degenerates to replication (every party holds
+//! the plain share), so an `n = 1, t = 1` store is bit-identical to the
+//! single-party layout.
 
 use crate::ring::{RingCtx, RingPoly};
+use ssx_field::FieldCtx;
 use ssx_prg::Prg;
 
 /// Draws a uniformly pseudorandom ring element from `prg` — the client share
@@ -38,6 +51,106 @@ pub fn split_with_prg(ring: &RingCtx, f: &RingPoly, prg: &mut Prg) -> (RingPoly,
 /// Recombines shares: `client + server`.
 pub fn reconstruct(ring: &RingCtx, client: &RingPoly, server: &RingPoly) -> RingPoly {
     ring.add(client, server)
+}
+
+/// Splits `f` coefficient-wise into `n` Shamir shares with threshold `t`:
+/// any `t` of the returned polynomials reconstruct `f`, any `t − 1` are
+/// jointly uniform. Party `j` (1-based) receives element `j − 1`; its
+/// x-coordinate is the field code `j`, so `n < q` is required (and `n ≥ t ≥
+/// 1`). Draw count is exactly `(t − 1)·(q − 1)` bounded draws, so the PRG
+/// stream position after a call is deterministic.
+///
+/// With `t = 1` there is no masking polynomial and every party holds `f`
+/// verbatim — the single-party store is the `n = 1, t = 1` degenerate case.
+pub fn split_n(ring: &RingCtx, f: &RingPoly, n: usize, t: usize, prg: &mut Prg) -> Vec<RingPoly> {
+    let q = ring.field().order();
+    assert!(t >= 1 && t <= n, "need 1 <= t <= n, got t={t} n={n}");
+    assert!((n as u64) < q, "need n < q to give each party a nonzero x");
+    let mut shares: Vec<RingPoly> = (0..n).map(|_| f.clone()).collect();
+    // Degree-(t-1) masking polynomial per coefficient:
+    //   share_j[i] = f[i] + sum_{d=1..t-1} r_d · j^d.
+    let mut r = vec![0u64; t.saturating_sub(1)];
+    for i in 0..ring.len() {
+        for rd in r.iter_mut() {
+            *rd = prg.next_below(q);
+        }
+        for (j, share) in shares.iter_mut().enumerate() {
+            let x = (j + 1) as u64;
+            // Horner on the masking terms alone: r_1·x + r_2·x² + …
+            let mut acc = 0u64;
+            for &rd in r.iter().rev() {
+                acc = ring.field().mul(ring.field().add(acc, rd), x);
+            }
+            let c = &mut share.coeffs_mut()[i];
+            *c = ring.field().add(*c, acc);
+        }
+    }
+    shares
+}
+
+/// Lagrange basis coefficients at zero for the x-coordinates `xs`: returns
+/// `λ` with `f(0) = Σ λ_k · f(xs[k])` for any polynomial of degree `< xs.len()`.
+/// `None` if any coordinate is zero, invalid, or duplicated.
+pub fn lagrange_at_zero(field: &FieldCtx, xs: &[u64]) -> Option<Vec<u64>> {
+    for (k, &x) in xs.iter().enumerate() {
+        if x == 0 || !field.is_valid(x) || xs[..k].contains(&x) {
+            return None;
+        }
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    for (k, &xk) in xs.iter().enumerate() {
+        let mut num = field.one();
+        let mut den = field.one();
+        for (m, &xm) in xs.iter().enumerate() {
+            if m != k {
+                num = field.mul(num, field.neg(xm)); // (0 − x_m)
+                den = field.mul(den, field.sub(xk, xm));
+            }
+        }
+        out.push(field.div(num, den)?);
+    }
+    Some(out)
+}
+
+/// Reconstructs the secret polynomial from `t` (or more) Shamir shares,
+/// given as `(x, share)` pairs. Inverse of [`split_n`] for any subset of
+/// at least `t` distinct parties. `None` on bad/duplicate x-coordinates.
+pub fn reconstruct_t(ring: &RingCtx, shares: &[(u64, &RingPoly)]) -> Option<RingPoly> {
+    let xs: Vec<u64> = shares.iter().map(|&(x, _)| x).collect();
+    let lambda = lagrange_at_zero(ring.field(), &xs)?;
+    let mut out = ring.zero();
+    for (&(_, share), &l) in shares.iter().zip(&lambda) {
+        debug_assert_eq!(share.len(), ring.len());
+        for (o, &c) in out.coeffs_mut().iter_mut().zip(share.coeffs()) {
+            *o = ring.field().add(*o, ring.field().mul(l, c));
+        }
+    }
+    Some(out)
+}
+
+/// Combines scalar Shamir shares `(x, value)` into the secret value —
+/// the eval-domain counterpart of [`reconstruct_t`]: party evaluations of
+/// their share polynomials at a common point are themselves Shamir shares
+/// of the true evaluation.
+pub fn combine_values(field: &FieldCtx, points: &[(u64, u64)]) -> Option<u64> {
+    let xs: Vec<u64> = points.iter().map(|&(x, _)| x).collect();
+    let lambda = lagrange_at_zero(field, &xs)?;
+    let mut acc = field.zero();
+    for (&(_, v), &l) in points.iter().zip(&lambda) {
+        acc = field.add(acc, field.mul(l, v));
+    }
+    Some(acc)
+}
+
+/// Coefficient-wise scalar multiple `α ⊙ f` — the MAC companion share.
+/// Scaling commutes with both evaluation and Lagrange combination, so the
+/// client can verify `α · s(v) = m(v)` after reconstruction.
+pub fn scale_poly(ring: &RingCtx, alpha: u64, f: &RingPoly) -> RingPoly {
+    let mut out = f.clone();
+    for c in out.coeffs_mut() {
+        *c = ring.field().mul(alpha, *c);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -111,6 +224,111 @@ mod tests {
             chi2 < 20.0,
             "server share coefficient biased: chi2 = {chi2}"
         );
+    }
+
+    #[test]
+    fn split_n_any_t_subset_reconstructs() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let f = {
+            let mut acc = ring.one();
+            for t in [3u64, 17, 55] {
+                acc = ring.mul_linear(&acc, t);
+            }
+            acc
+        };
+        for (n, t) in [(1usize, 1usize), (3, 1), (3, 2), (5, 3), (4, 4)] {
+            let shares = split_n(&ring, &f, n, t, &mut Prg::from_u64(42));
+            assert_eq!(shares.len(), n);
+            // Every contiguous window of t parties reconstructs f.
+            for start in 0..=(n - t) {
+                let pts: Vec<(u64, &RingPoly)> = (start..start + t)
+                    .map(|j| ((j + 1) as u64, &shares[j]))
+                    .collect();
+                assert_eq!(
+                    reconstruct_t(&ring, &pts).unwrap(),
+                    f,
+                    "n={n} t={t} window {start}"
+                );
+            }
+            // Oversampling (more than t shares) also works.
+            if n > t {
+                let pts: Vec<(u64, &RingPoly)> =
+                    (0..n).map(|j| ((j + 1) as u64, &shares[j])).collect();
+                assert_eq!(reconstruct_t(&ring, &pts).unwrap(), f);
+            }
+        }
+    }
+
+    #[test]
+    fn split_n_t1_is_replication() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let f = ring.mul_linear(&ring.linear(7), 19);
+        let shares = split_n(&ring, &f, 3, 1, &mut Prg::from_u64(9));
+        for s in &shares {
+            assert_eq!(*s, f);
+        }
+    }
+
+    #[test]
+    fn split_n_below_threshold_is_masked() {
+        // With t = 2, a single share must differ from the secret (whp) and
+        // the split must consume a deterministic number of PRG draws.
+        let ring = RingCtx::new(83, 1).unwrap();
+        let f = ring.mul_linear(&ring.linear(3), 11);
+        let mut prg = Prg::from_u64(77);
+        let shares = split_n(&ring, &f, 3, 2, &mut prg);
+        assert_ne!(shares[0], f);
+        // Stream position: (t-1)*(q-1) draws consumed; same split again from
+        // the same seed reproduces identical shares.
+        let again = split_n(&ring, &f, 3, 2, &mut Prg::from_u64(77));
+        assert_eq!(shares, again);
+    }
+
+    #[test]
+    fn share_evaluations_combine_like_polys() {
+        // Linearity: party evaluations are Shamir shares of the evaluation.
+        let ring = RingCtx::new(83, 1).unwrap();
+        let f = ring.mul_linear(&ring.mul_linear(&ring.linear(5), 40), 61);
+        let shares = split_n(&ring, &f, 3, 2, &mut Prg::from_u64(5));
+        for v in [1u64, 2, 44, 82] {
+            let pts: Vec<(u64, u64)> = [(1u64, 0usize), (3, 2)]
+                .iter()
+                .map(|&(x, j)| (x, ring.eval(&shares[j], v)))
+                .collect();
+            assert_eq!(
+                combine_values(ring.field(), &pts).unwrap(),
+                ring.eval(&f, v)
+            );
+        }
+    }
+
+    #[test]
+    fn lagrange_rejects_bad_points() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let field = ring.field();
+        assert!(
+            lagrange_at_zero(field, &[0]).is_none(),
+            "x = 0 leaks secret"
+        );
+        assert!(lagrange_at_zero(field, &[1, 1]).is_none(), "duplicate x");
+        assert!(lagrange_at_zero(field, &[1, 83]).is_none(), "invalid code");
+        assert!(lagrange_at_zero(field, &[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn scale_poly_commutes_with_eval_and_combination() {
+        let ring = RingCtx::new(83, 1).unwrap();
+        let f = ring.mul_linear(&ring.linear(21), 60);
+        let alpha = 37u64;
+        let m = scale_poly(&ring, alpha, &f);
+        for v in ring.field().nonzero_elements() {
+            assert_eq!(ring.eval(&m, v), ring.field().mul(alpha, ring.eval(&f, v)));
+        }
+        // α⊙(split shares) are valid shares of α⊙f.
+        let shares = split_n(&ring, &f, 3, 2, &mut Prg::from_u64(8));
+        let scaled: Vec<RingPoly> = shares.iter().map(|s| scale_poly(&ring, alpha, s)).collect();
+        let pts: Vec<(u64, &RingPoly)> = vec![(2, &scaled[1]), (3, &scaled[2])];
+        assert_eq!(reconstruct_t(&ring, &pts).unwrap(), m);
     }
 
     #[test]

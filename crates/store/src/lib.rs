@@ -24,5 +24,5 @@ pub mod persist;
 pub mod table;
 
 pub use btree::BTree;
-pub use persist::{load_table, save_table};
+pub use persist::{load_party, load_table, save_party, save_table, PartyHeader};
 pub use table::{Loc, Row, SizeReport, StoreError, Table};

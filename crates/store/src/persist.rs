@@ -1,6 +1,7 @@
-//! Checksummed single-file persistence for [`Table`].
+//! Checksummed single-file persistence for [`Table`], plus the per-party
+//! fleet file that stores one party's data + MAC share tables together.
 //!
-//! Layout (all integers little-endian):
+//! Single-table layout (all integers little-endian):
 //!
 //! ```text
 //! magic    8  b"SSXDB\x01\0\0"
@@ -10,15 +11,32 @@
 //! checksum 8  FNV-1a over everything before it
 //! ```
 //!
+//! Per-party fleet layout:
+//!
+//! ```text
+//! magic     8  b"SSXFL\x01\0\0"
+//! party     4  (1-based Shamir x-coordinate)
+//! servers   4  (fleet size n)
+//! threshold 4  (reconstruction threshold t)
+//! poly_len  4
+//! data_rows 8
+//! mac_rows  8
+//! data rows … mac rows … (same row format as above)
+//! checksum  8  FNV-1a over everything before it
+//! ```
+//!
 //! Loading verifies the checksum, rebuilds the three indices and runs the
 //! structural integrity check, so a truncated or bit-flipped file is
-//! reported as [`StoreError::Persist`] instead of corrupting queries.
+//! reported as [`StoreError::Persist`] instead of corrupting queries. A
+//! party file holds only Shamir shares: no single file (nor any `t − 1`
+//! of them) reconstructs the encoded document.
 
 use crate::table::{Loc, Row, StoreError, Table};
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"SSXDB\x01\0\0";
+const FLEET_MAGIC: &[u8; 8] = b"SSXFL\x01\0\0";
 
 /// FNV-1a, 64-bit.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -30,28 +48,59 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialises `table` to `path` atomically (write temp + rename).
-pub fn save_table(table: &Table, path: &Path) -> Result<(), StoreError> {
-    let mut buf = Vec::with_capacity(MAGIC.len() + 12 + table.len() * (12 + table.poly_len()) + 8);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&(table.poly_len() as u32).to_le_bytes());
-    buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
+/// Appends the row payloads of `table` to `buf` (shared row format).
+fn write_rows(buf: &mut Vec<u8>, table: &Table) {
     for row in table.rows() {
         buf.extend_from_slice(&row.loc.pre.to_le_bytes());
         buf.extend_from_slice(&row.loc.post.to_le_bytes());
         buf.extend_from_slice(&row.loc.parent.to_le_bytes());
         buf.extend_from_slice(&row.poly);
     }
-    let checksum = fnv1a(&buf);
-    buf.extend_from_slice(&checksum.to_le_bytes());
+}
 
+/// Parses `rows` rows of `poly_len`-byte polynomials starting at
+/// `body[off..]` into a fresh, integrity-checked [`Table`].
+fn read_rows(body: &[u8], off: usize, rows: usize, poly_len: usize) -> Result<Table, StoreError> {
+    let row_size = 12 + poly_len;
+    let mut table = Table::new(poly_len);
+    for i in 0..rows {
+        let at = off + i * row_size;
+        let pre = u32::from_le_bytes(body[at..at + 4].try_into().unwrap());
+        let post = u32::from_le_bytes(body[at + 4..at + 8].try_into().unwrap());
+        let parent = u32::from_le_bytes(body[at + 8..at + 12].try_into().unwrap());
+        let poly = body[at + 12..at + row_size].to_vec().into_boxed_slice();
+        table
+            .insert(Row {
+                loc: Loc { pre, post, parent },
+                poly,
+            })
+            .map_err(|e| StoreError::Persist(format!("row {i}: {e}")))?;
+    }
+    table.check_integrity()?;
+    Ok(table)
+}
+
+/// Writes `buf` to `path` atomically (write temp + rename).
+fn write_atomic(buf: &[u8], path: &Path) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
     let io = |e: std::io::Error| StoreError::Persist(e.to_string());
     let mut f = std::fs::File::create(&tmp).map_err(io)?;
-    f.write_all(&buf).map_err(io)?;
+    f.write_all(buf).map_err(io)?;
     f.sync_all().map_err(io)?;
     std::fs::rename(&tmp, path).map_err(io)?;
     Ok(())
+}
+
+/// Serialises `table` to `path` atomically (write temp + rename).
+pub fn save_table(table: &Table, path: &Path) -> Result<(), StoreError> {
+    let mut buf = Vec::with_capacity(MAGIC.len() + 12 + table.len() * (12 + table.poly_len()) + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(table.poly_len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(table.len() as u64).to_le_bytes());
+    write_rows(&mut buf, table);
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    write_atomic(&buf, path)
 }
 
 /// Loads a table previously written by [`save_table`], rebuilding indices
@@ -84,22 +133,107 @@ pub fn load_table(path: &Path) -> Result<Table, StoreError> {
             body.len()
         )));
     }
-    let mut table = Table::new(poly_len);
-    for i in 0..rows {
-        let off = 20 + i * row_size;
-        let pre = u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
-        let post = u32::from_le_bytes(body[off + 4..off + 8].try_into().unwrap());
-        let parent = u32::from_le_bytes(body[off + 8..off + 12].try_into().unwrap());
-        let poly = body[off + 12..off + row_size].to_vec().into_boxed_slice();
-        table
-            .insert(Row {
-                loc: Loc { pre, post, parent },
-                poly,
-            })
-            .map_err(|e| StoreError::Persist(format!("row {i}: {e}")))?;
+    read_rows(body, 20, rows, poly_len)
+}
+
+/// Identity of one fleet party file: which party, out of what deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartyHeader {
+    /// 1-based party id (the Shamir x-coordinate).
+    pub party: u32,
+    /// Fleet size `n`.
+    pub servers: u32,
+    /// Reconstruction threshold `t`.
+    pub threshold: u32,
+}
+
+/// Serialises one party's `data` + `mac` share tables to `path` atomically.
+/// The file carries the deployment shape so `serve --party i` can refuse a
+/// store from a different fleet.
+pub fn save_party(
+    header: PartyHeader,
+    data: &Table,
+    mac: &Table,
+    path: &Path,
+) -> Result<(), StoreError> {
+    if data.poly_len() != mac.poly_len() {
+        return Err(StoreError::Persist(format!(
+            "data poly_len {} != mac poly_len {}",
+            data.poly_len(),
+            mac.poly_len()
+        )));
     }
-    table.check_integrity()?;
-    Ok(table)
+    let row_size = 12 + data.poly_len();
+    let mut buf =
+        Vec::with_capacity(FLEET_MAGIC.len() + 32 + (data.len() + mac.len()) * row_size + 8);
+    buf.extend_from_slice(FLEET_MAGIC);
+    buf.extend_from_slice(&header.party.to_le_bytes());
+    buf.extend_from_slice(&header.servers.to_le_bytes());
+    buf.extend_from_slice(&header.threshold.to_le_bytes());
+    buf.extend_from_slice(&(data.poly_len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(mac.len() as u64).to_le_bytes());
+    write_rows(&mut buf, data);
+    write_rows(&mut buf, mac);
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    write_atomic(&buf, path)
+}
+
+/// Loads a party file previously written by [`save_party`], verifying the
+/// checksum and both tables' structural integrity.
+pub fn load_party(path: &Path) -> Result<(PartyHeader, Table, Table), StoreError> {
+    let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+    let mut buf = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io)?
+        .read_to_end(&mut buf)
+        .map_err(io)?;
+    const HDR: usize = 8 + 12 + 4 + 16; // magic + party/servers/threshold + poly_len + two row counts
+    if buf.len() < HDR + 8 {
+        return Err(StoreError::Persist("file too short".into()));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let stored_sum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored_sum {
+        return Err(StoreError::Persist("checksum mismatch".into()));
+    }
+    if &body[..8] != FLEET_MAGIC {
+        return Err(StoreError::Persist(
+            "bad magic (not a fleet party file)".into(),
+        ));
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(body[off..off + 4].try_into().unwrap());
+    let header = PartyHeader {
+        party: u32_at(8),
+        servers: u32_at(12),
+        threshold: u32_at(16),
+    };
+    if header.party == 0
+        || header.servers == 0
+        || header.party > header.servers
+        || header.threshold == 0
+        || header.threshold > header.servers
+    {
+        return Err(StoreError::Persist(format!(
+            "inconsistent fleet header: party {} of {}, threshold {}",
+            header.party, header.servers, header.threshold
+        )));
+    }
+    let poly_len = u32_at(20) as usize;
+    let data_rows = u64::from_le_bytes(body[24..32].try_into().unwrap()) as usize;
+    let mac_rows = u64::from_le_bytes(body[32..40].try_into().unwrap()) as usize;
+    let row_size = 12 + poly_len;
+    let expected = HDR + (data_rows + mac_rows) * row_size;
+    if body.len() != expected {
+        return Err(StoreError::Persist(format!(
+            "expected {expected} body bytes, found {}",
+            body.len()
+        )));
+    }
+    let data = read_rows(body, HDR, data_rows, poly_len)?;
+    let mac = read_rows(body, HDR + data_rows * row_size, mac_rows, poly_len)?;
+    Ok((header, data, mac))
 }
 
 #[cfg(test)]
@@ -204,6 +338,103 @@ mod tests {
         let back = load_table(&path).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.poly_len(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn party_round_trip() {
+        let data = sample();
+        let mac = sample();
+        let hdr = PartyHeader {
+            party: 2,
+            servers: 3,
+            threshold: 2,
+        };
+        let path = tmp("party.ssxfleet");
+        save_party(hdr, &data, &mac, &path).unwrap();
+        let (back_hdr, back_data, back_mac) = load_party(&path).unwrap();
+        assert_eq!(back_hdr, hdr);
+        for row in data.rows() {
+            assert_eq!(back_data.by_pre(row.loc.pre).unwrap(), row);
+            assert_eq!(back_mac.by_pre(row.loc.pre).unwrap(), row);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn party_file_rejects_table_magic_and_vice_versa() {
+        let t = sample();
+        let table_path = tmp("plain_for_party.ssxdb");
+        save_table(&t, &table_path).unwrap();
+        let err = load_party(&table_path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Persist(ref m) if m.contains("magic")),
+            "{err}"
+        );
+        let party_path = tmp("party_for_plain.ssxfleet");
+        save_party(
+            PartyHeader {
+                party: 1,
+                servers: 1,
+                threshold: 1,
+            },
+            &t,
+            &t,
+            &party_path,
+        )
+        .unwrap();
+        assert!(load_table(&party_path).is_err());
+        std::fs::remove_file(&table_path).ok();
+        std::fs::remove_file(&party_path).ok();
+    }
+
+    #[test]
+    fn party_bit_flip_detected() {
+        let t = sample();
+        let path = tmp("party_bitflip.ssxfleet");
+        save_party(
+            PartyHeader {
+                party: 1,
+                servers: 3,
+                threshold: 2,
+            },
+            &t,
+            &t,
+            &path,
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_party(&path).unwrap_err(),
+            StoreError::Persist(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn party_header_consistency_enforced() {
+        let t = sample();
+        let path = tmp("party_badhdr.ssxfleet");
+        // party id outside the fleet: save permits it (caller bug), load rejects.
+        save_party(
+            PartyHeader {
+                party: 5,
+                servers: 3,
+                threshold: 2,
+            },
+            &t,
+            &t,
+            &path,
+        )
+        .unwrap();
+        let err = load_party(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Persist(ref m) if m.contains("inconsistent")),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

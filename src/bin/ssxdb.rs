@@ -4,12 +4,16 @@
 //! ssxdb keygen  <seed-file>
 //! ssxdb genmap  [--p 83] [--e 1] (--doc <xml> | --dtd | --names a,b,c) [--trie-alphabet] <map-file>
 //! ssxdb xmark   [--bytes N] [--seed K] <out.xml>
-//! ssxdb encode  --map <map> --seed <seed> [--trie compressed|uncompressed] <in.xml> <out.ssxdb>
+//! ssxdb encode  --map <map> --seed <seed> [--trie compressed|uncompressed]
+//!               [--servers n --threshold t] <in.xml> <out.ssxdb>
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
-//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] [--mux [--workers W]] <db.ssxdb>
+//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] [--mux [--workers W]]
+//!               [--party i] [--auto-reshard-target BYTES] <db.ssxdb | party-store>
 //! ssxdb remote  --map <map> --seed <seed> --addr <host:port> [--shards S]
+//!               [--engine …] [--rule …] [--speculate] [--mux] [--stats] <query>
+//! ssxdb remote  --map <map> --seed <seed> --fleet a1,a2,… --threshold t
 //!               [--engine …] [--rule …] [--speculate] [--mux] [--stats] <query>
 //! ssxdb reshard --addr <host:port> --shards <S'>
 //! ```
@@ -30,17 +34,28 @@
 //! `remote --mux` connects through the correlation envelope — one
 //! multiplexed socket per shard.
 //!
+//! `encode --servers n --threshold t` splits the database into `n`
+//! per-party share stores (`out.party1.ssxdb` … `out.partyN.ssxdb`), any
+//! `t` of which reconstruct; fewer reveal nothing beyond table shape.
+//! `serve --party i` hosts one party's store (data + MAC planes behind
+//! `2·S` shard ids); `remote --fleet a1,a2,… --threshold t` fans every
+//! wave out to all live parties and reconstructs client-side with MAC
+//! verification — a corrupted share is detected and attributed, a dead
+//! party is tolerated down to `t` responders.
+//!
 //! The map and seed files are the client secrets; `info`, `serve` and
 //! `reshard` work without them (they only touch what the untrusted server
 //! would hold).
 
 use ssxdb::core::{
-    encode_document, encode_dom, serve_tcp, serve_tcp_mux, serve_tcp_sharded, ClientFilter, Engine,
-    EngineKind, MapFile, MatchRule, MuxPool, ServerFilter, ShardRouter, ShardedServer,
+    encode_document, encode_dom, party_server, serve_tcp, serve_tcp_mux, serve_tcp_mux_auto,
+    serve_tcp_sharded, serve_tcp_sharded_auto, split_fleet, ClientFilter, Engine, EngineKind,
+    FleetSpec, MapFile, MatchRule, MuxPool, RemoteFleetDb, RemoteMuxFleetDb, ServerFilter,
+    ShardRouter, ShardedServer,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
-use ssxdb::store::{load_table, save_table};
+use ssxdb::store::{load_party, load_table, save_party, save_table, PartyHeader};
 use ssxdb::trie::{transform_document, trie_alphabet, TrieMode};
 use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
 use ssxdb::xml::Document;
@@ -89,13 +104,17 @@ commands:
   genmap  [--p 83] [--e 1] (--doc <xml> | --dtd | --names a,b,c)
           [--trie-alphabet] <map-file>        create the secret tag map
   xmark   [--bytes N] [--seed K] <out.xml>    generate an auction document
-  encode  --map M --seed S [--trie MODE] <in.xml> <out.ssxdb>
+  encode  --map M --seed S [--trie MODE]
+          [--servers n --threshold t] <in.xml> <out.ssxdb>
   info    <db.ssxdb>                          sizes & structure (no secrets)
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
   serve   --p P --e E --addr HOST:PORT [--shards S]
-          [--mux [--workers W]] <db.ssxdb>
+          [--mux [--workers W]] [--party i]
+          [--auto-reshard-target BYTES] <db.ssxdb | party store>
   remote  --map M --seed S --addr HOST:PORT [--shards S]
+          [--engine ..] [--rule ..] [--speculate] [--mux] <query>
+  remote  --map M --seed S --fleet A1,A2,.. --threshold t
           [--engine ..] [--rule ..] [--speculate] [--mux] <query>
   reshard --addr HOST:PORT --shards S'            repartition a live host
 ";
@@ -315,12 +334,42 @@ fn encode(mut args: Args) -> Result<(), String> {
             encode_dom(&trie_doc, &map, &seed).map_err(|e| e.to_string())?
         }
     };
-    save_table(&out.table, &output).map_err(|e| e.to_string())?;
-    let report = out.table.size_report();
     println!(
         "encoded {} elements ({} input bytes) in {:?}",
         out.stats.elements, out.stats.input_bytes, out.stats.elapsed
     );
+    if let Some(n) = args.flag("servers") {
+        let servers: usize = n.parse().map_err(|_| "bad --servers")?;
+        let threshold: usize = args
+            .required("threshold")?
+            .parse()
+            .map_err(|_| "bad --threshold")?;
+        let spec = FleetSpec::new(servers, threshold).map_err(|e| e.to_string())?;
+        let fleet = split_fleet(out, &seed, spec).map_err(|e| e.to_string())?;
+        for party in &fleet.parties {
+            let path = party_path(&output, party.party as u32);
+            let header = PartyHeader {
+                party: party.party as u32,
+                servers: servers as u32,
+                threshold: threshold as u32,
+            };
+            save_party(header, &party.data, &party.mac, &path).map_err(|e| e.to_string())?;
+            let report = party.data.size_report();
+            println!(
+                "party {}: {} bytes data + {} bytes mac shares, {}",
+                party.party,
+                report.data_bytes(),
+                party.mac.size_report().data_bytes(),
+                path.display()
+            );
+        }
+        println!(
+            "split across {servers} server(s); any {threshold} reconstruct, fewer learn nothing"
+        );
+        return Ok(());
+    }
+    save_table(&out.table, &output).map_err(|e| e.to_string())?;
+    let report = out.table.size_report();
     println!(
         "server database: {} bytes data ({} poly + {} structure), {}",
         report.data_bytes(),
@@ -329,6 +378,16 @@ fn encode(mut args: Args) -> Result<(), String> {
         output.display()
     );
     Ok(())
+}
+
+/// `out.ssxdb` → `out.party3.ssxdb` (extension preserved, stem suffixed).
+fn party_path(base: &Path, party: u32) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("fleet");
+    let name = match base.extension().and_then(|s| s.to_str()) {
+        Some(ext) => format!("{stem}.party{party}.{ext}"),
+        None => format!("{stem}.party{party}"),
+    };
+    base.with_file_name(name)
 }
 
 fn info(mut args: Args) -> Result<(), String> {
@@ -398,8 +457,59 @@ fn serve(mut args: Args) -> Result<(), String> {
         .map_err(|_| "bad --shards")?;
     let addr = args.required("addr")?.to_string();
     let db_path = PathBuf::from(args.positional("db.ssxdb")?);
-    let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let ring = RingCtx::new(p, e).map_err(|err| err.to_string())?;
+    let auto_target: Option<u64> = match args.flag("auto-reshard-target") {
+        Some(v) => Some(v.parse().map_err(|_| "bad --auto-reshard-target")?),
+        None => None,
+    };
+    if let Some(i) = args.flag("party") {
+        if auto_target.is_some() {
+            return Err(
+                "--auto-reshard-target cannot run on a fleet party host: repartitioning \
+                 would merge its data and MAC planes"
+                    .into(),
+            );
+        }
+        let party: u32 = i.parse().map_err(|_| "bad --party")?;
+        let (header, data, mac) = load_party(&db_path).map_err(|err| err.to_string())?;
+        if header.party != party {
+            return Err(format!(
+                "{} holds party {}'s shares, not party {party}'s",
+                db_path.display(),
+                header.party
+            ));
+        }
+        let server = party_server(data, mac, &ring, shards).map_err(|err| err.to_string())?;
+        let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
+        println!(
+            "serving party {party} of {} (threshold {}) on {addr}: {shards} data shard(s) \
+             + MAC mirror (Ctrl-C or a Shutdown request stops it)",
+            header.servers, header.threshold
+        );
+        let server = if args.bool("mux") {
+            let workers: usize = args
+                .flag("workers")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| "bad --workers")?;
+            serve_tcp_mux(listener, server, workers).map_err(|err| err.to_string())?
+        } else {
+            serve_tcp_sharded(listener, server).map_err(|err| err.to_string())?
+        };
+        for (i, f) in server.filters().iter().enumerate() {
+            let s = f.stats();
+            let plane = if (i as u32) < shards { "data" } else { "mac" };
+            println!(
+                "{plane} shard {}: {} rows, {} requests, {} evaluations",
+                i as u32 % shards,
+                f.table().len(),
+                s.requests,
+                s.evaluations
+            );
+        }
+        return Ok(());
+    }
+    let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
     if args.bool("mux") {
         let workers: usize = args
@@ -414,7 +524,8 @@ fn serve(mut args: Args) -> Result<(), String> {
              (fixed thread pool; Ctrl-C or a Shutdown request stops it)",
             db_path.display()
         );
-        let server = serve_tcp_mux(listener, server, workers).map_err(|err| err.to_string())?;
+        let server = serve_tcp_mux_auto(listener, server, workers, auto_target)
+            .map_err(|err| err.to_string())?;
         for (i, f) in server.filters().iter().enumerate() {
             let s = f.stats();
             println!(
@@ -427,7 +538,7 @@ fn serve(mut args: Args) -> Result<(), String> {
         }
         return Ok(());
     }
-    if shards <= 1 {
+    if shards <= 1 && auto_target.is_none() {
         let server = ServerFilter::new(table, ring);
         println!(
             "serving {} on {addr} (Ctrl-C or a Shutdown request stops it)",
@@ -440,14 +551,17 @@ fn serve(mut args: Args) -> Result<(), String> {
             stats.requests, stats.evaluations, stats.polys_served
         );
     } else {
+        // --auto-reshard-target always goes through the sharded host, even
+        // at --shards 1: the ticker needs a repartitionable fleet to grow.
         let server =
             ShardedServer::from_table(table, ring, shards).map_err(|err| err.to_string())?;
         println!(
-            "serving {} on {addr} across {shards} shards, one thread per connection \
+            "serving {} on {addr} across {shards} shard(s), one thread per connection \
              (Ctrl-C or a Shutdown request stops it)",
             db_path.display()
         );
-        let server = serve_tcp_sharded(listener, server).map_err(|err| err.to_string())?;
+        let server =
+            serve_tcp_sharded_auto(listener, server, auto_target).map_err(|err| err.to_string())?;
         for (i, f) in server.filters().iter().enumerate() {
             let s = f.stats();
             println!(
@@ -464,6 +578,35 @@ fn serve(mut args: Args) -> Result<(), String> {
 
 fn remote(mut args: Args) -> Result<(), String> {
     let (map, seed) = load_secrets(&args)?;
+    if let Some(list) = args.flag("fleet") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let threshold: usize = args
+            .required("threshold")?
+            .parse()
+            .map_err(|_| "bad --threshold")?;
+        let query_text = args.positional("query")?;
+        let engine = parse_engine(&args)?;
+        let rule = parse_rule(&args)?;
+        let out = if args.bool("mux") {
+            let mut db = RemoteMuxFleetDb::connect_fleet_mux(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_speculation(args.bool("speculate"));
+            db.query(&query_text, engine, rule)
+                .map_err(|e| e.to_string())?
+        } else {
+            let mut db = RemoteFleetDb::connect_fleet(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_speculation(args.bool("speculate"));
+            db.query(&query_text, engine, rule)
+                .map_err(|e| e.to_string())?
+        };
+        print_outcome(&query_text, &out, args.bool("stats"));
+        return Ok(());
+    }
     let addr = args.required("addr")?.to_string();
     let shards: u32 = args
         .flag("shards")

@@ -227,6 +227,79 @@ fn waves_and_speculation_counters_invariant_across_transports() {
     }
 }
 
+/// A reshard that keeps the shard count fences the pooled sockets — and
+/// the pool must heal *transparently*: the fenced request is replayed on a
+/// fresh connection, results stay exactly correct, and no error reaches
+/// the caller. A reshard to a different count must still surface (the
+/// pool's routing topology is wrong).
+#[test]
+fn mux_pool_heals_a_same_count_reshard_transparently() {
+    let xml = generate(&XmarkConfig {
+        seed: 23,
+        target_bytes: 4 * 1024,
+    });
+    let (map, seed) = secrets();
+    let (addr, handle) = spawn_mux_host(&xml, &map, &seed, 2);
+    let query = parse_query("//bidder/date")
+        .unwrap()
+        .expand_text_predicates();
+
+    let pool = MuxPool::connect(addr, 2).unwrap();
+    let mut db = RemoteMuxDb::connect_mux(&pool, map.clone(), seed.clone()).unwrap();
+    let expected = db
+        .run(&query, EngineKind::Simple, MatchRule::Containment)
+        .unwrap()
+        .pres();
+
+    // Reshard 2 → 2 over a legacy admin connection: rows repartition in
+    // place, the generation bumps, and every pooled socket is fenced.
+    let mut admin = TcpTransport::connect(addr).unwrap();
+    assert_eq!(
+        admin.call(&Request::Reshard { shards: 2 }).unwrap(),
+        Response::Ok
+    );
+
+    // The same pool keeps answering — the first fenced frame heals the
+    // slot, the wave replays, and the results are bit-identical. Repeat a
+    // few times (and once through a *new* transport on the same pool) to
+    // cover both the healing path and the already-healed fast path.
+    for _ in 0..3 {
+        let out = db
+            .run(&query, EngineKind::Simple, MatchRule::Containment)
+            .unwrap();
+        assert_eq!(out.pres(), expected);
+    }
+    let mut fresh = RemoteMuxDb::connect_mux(&pool, map.clone(), seed.clone()).unwrap();
+    assert_eq!(
+        fresh
+            .run(&query, EngineKind::Advanced, MatchRule::Equality)
+            .unwrap()
+            .pres(),
+        {
+            let doc = Document::parse(&xml).unwrap();
+            reference_eval(&doc, &query, MatchRule::Equality).unwrap()
+        }
+    );
+
+    // A count-changing reshard is *not* healable: the replay handshake is
+    // refused (count mismatch) and the error surfaces.
+    assert_eq!(
+        admin.call(&Request::Reshard { shards: 3 }).unwrap(),
+        Response::Ok
+    );
+    let err = db
+        .run(&query, EngineKind::Simple, MatchRule::Containment)
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("3 shard(s)") || err.contains("reconnect"),
+        "expected a shard-count error after 2→3 reshard, got: {err}"
+    );
+
+    shutdown_mux(addr);
+    handle.join().unwrap();
+}
+
 /// Online reshards racing a shared mux pool: a query that completes is
 /// exactly correct; a query interrupted by the fence errors explicitly
 /// ("reconnect"), never answers wrong, and a fresh pool under the new

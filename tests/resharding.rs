@@ -6,8 +6,8 @@
 use ssxdb::core::protocol::{Request, Response};
 use ssxdb::core::transport::Transport;
 use ssxdb::core::{
-    encode_document, serve_tcp_sharded, ClientFilter, EncryptedDb, Engine, EngineKind, MapFile,
-    MatchRule, ShardRouter, ShardedServer, TcpTransport,
+    encode_document, serve_tcp_sharded, serve_tcp_sharded_auto, ClientFilter, EncryptedDb, Engine,
+    EngineKind, MapFile, MatchRule, ShardRouter, ShardedServer, TcpTransport,
 };
 use ssxdb::prg::{Prg, Seed};
 use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
@@ -293,6 +293,81 @@ fn tcp_reshard_races_with_live_queries_safely() {
     closer.call(&Request::Shutdown).unwrap();
     let server = handle.join().unwrap();
     assert_eq!(server.spec().shards(), 2);
+}
+
+/// `serve --auto-reshard-target BYTES`: the host's own ticker sizes the
+/// fleet from *stored* bytes. Starting at 1 shard with a target that
+/// argues for several, the count must converge to `⌈total/target⌉`, stay
+/// there (the suggestion is a fixed point of the repartition), and a
+/// client connected under the converged count must see exactly the
+/// single-shard answers.
+#[test]
+fn auto_reshard_converges_and_never_changes_results() {
+    let xml = generate(&XmarkConfig {
+        seed: 17,
+        target_bytes: 4 * 1024,
+    });
+    let (map, seed) = secrets();
+    let out = encode_document(&xml, &map, &seed).unwrap();
+    let total = out.table.size_report().data_bytes() as u64;
+    // A target that asks for a handful of shards; the fixed point is
+    // exactly ⌈total/target⌉ whatever the count the host starts at.
+    let target = total.div_ceil(4);
+    let expected_shards = total.div_ceil(target) as u32;
+    assert!(expected_shards > 1, "test needs a growth-inducing target");
+    let server = ShardedServer::from_table(out.table, out.ring, 1).unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle =
+        std::thread::spawn(move || serve_tcp_sharded_auto(listener, server, Some(target)).unwrap());
+
+    let query = parse_query("//bidder/date").unwrap();
+    let expected = {
+        let mut db = EncryptedDb::encode(&xml, map.clone(), seed.clone()).unwrap();
+        db.run(&query, EngineKind::Simple, MatchRule::Containment)
+            .unwrap()
+            .pres()
+    };
+
+    // Convergence: the live count reaches the fixed point…
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let mut probe = TcpTransport::connect(addr).unwrap();
+        match probe.call(&Request::ShardCount).unwrap() {
+            Response::Count(n) if n as u32 == expected_shards => break,
+            Response::Count(_) => {}
+            other => panic!("unexpected probe response {other:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "auto-reshard did not converge to {expected_shards} shards"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // …and stays there: several tick periods later nothing has moved.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut probe = TcpTransport::connect(addr).unwrap();
+    assert_eq!(
+        probe.call(&Request::ShardCount).unwrap(),
+        Response::Count(expected_shards as u64),
+        "converged count must be a fixed point"
+    );
+    drop(probe);
+
+    // Results under the converged partition are the single-shard answers.
+    let mut c = ClientFilter::new(
+        ShardRouter::connect(addr, expected_shards).unwrap(),
+        map,
+        seed,
+    )
+    .unwrap();
+    let out = Engine::run(EngineKind::Simple, MatchRule::Containment, &query, &mut c).unwrap();
+    assert_eq!(out.pres(), expected, "auto-reshard never changes results");
+
+    c.transport_mut().call(&Request::Shutdown).unwrap();
+    let server = handle.join().unwrap();
+    assert_eq!(server.spec().shards(), expected_shards);
 }
 
 /// A legacy unsharded `serve_tcp` endpoint refuses the new frame cleanly.

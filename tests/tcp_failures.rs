@@ -1,14 +1,20 @@
 //! TCP failure paths must surface as typed `CoreError`s on the client and
 //! must not take servers down: truncated frames, absurd length prefixes,
-//! and mid-query disconnects.
+//! mid-query disconnects — and, since PR 6, the fleet plane's faults: a
+//! party dead at connect, a party dying mid-stream, and a byzantine party
+//! serving bit-flipped shares (detected and *named*, never wrong results).
 
 use ssxdb::core::protocol::{encode_request, Request, Response};
 use ssxdb::core::transport::Transport;
 use ssxdb::core::{
-    encode_document, serve_tcp, serve_tcp_mux, serve_tcp_sharded, CoreError, MapFile, MuxPool,
-    ServerFilter, ShardRouter, ShardedServer, TcpTransport,
+    encode_document, encode_document_fleet, party_server, serve_tcp, serve_tcp_mux,
+    serve_tcp_sharded, CoreError, EncryptedDb, EngineKind, FleetSpec, MapFile, MatchRule, MuxPool,
+    PartyStore, RemoteFleetDb, RemoteMuxFleetDb, ServerFilter, ShardRouter, ShardedServer,
+    TcpTransport,
 };
+use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
+use ssxdb::store::{Row, Table};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 
@@ -294,6 +300,202 @@ fn shutdown_to_a_nonexistent_shard_does_not_stop_the_host() {
     drop(raw);
     router.call(&Request::Shutdown).unwrap();
     handle.join().unwrap();
+}
+
+// ---- fleet fault injection --------------------------------------------------
+
+const FLEET_XML: &str = "<site><a><b/><b/></a><c><a><b/></a></c></site>";
+
+fn fleet_secrets() -> (MapFile, Seed) {
+    let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+    (map, Seed::from_test_key(21))
+}
+
+/// Hosts one party's 2·S-filter server on an ephemeral port; threaded or
+/// multiplexed.
+fn spawn_party(
+    party: PartyStore,
+    ring: &RingCtx,
+    mux: bool,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<ShardedServer>) {
+    let server = party_server(party.data, party.mac, ring, 1).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        if mux {
+            serve_tcp_mux(listener, server, 0).unwrap()
+        } else {
+            serve_tcp_sharded(listener, server).unwrap()
+        }
+    });
+    (addr, handle)
+}
+
+/// An address nobody listens on (bound, resolved, released).
+fn dead_addr() -> std::net::SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+}
+
+fn stop_host(addr: std::net::SocketAddr) {
+    let mut closer = TcpTransport::connect(addr).unwrap();
+    closer.call(&Request::Shutdown).unwrap();
+}
+
+/// One of n parties is dead before the client even connects: `connect_fleet`
+/// tolerates it down to the threshold, and every result matches the
+/// single-party plane exactly.
+#[test]
+fn fleet_tolerates_a_party_dead_at_connect() {
+    let (map, seed) = fleet_secrets();
+    let spec = FleetSpec::new(3, 2).unwrap();
+    let fleet = encode_document_fleet(FLEET_XML, &map, &seed, spec).unwrap();
+    let ring = fleet.ring.clone();
+    let mut parties = fleet.parties.into_iter();
+    let (a1, h1) = spawn_party(parties.next().unwrap(), &ring, false);
+    let _party2_never_started = parties.next().unwrap();
+    let (a3, h3) = spawn_party(parties.next().unwrap(), &ring, false);
+    let addrs = vec![a1.to_string(), dead_addr().to_string(), a3.to_string()];
+
+    let expected = EncryptedDb::encode(FLEET_XML, map.clone(), seed.clone())
+        .unwrap()
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap()
+        .result;
+
+    let mut db = RemoteFleetDb::connect_fleet(&addrs, 2, map, seed).unwrap();
+    let out = db
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert_eq!(out.result, expected);
+
+    drop(db);
+    stop_host(a1);
+    stop_host(a3);
+    h1.join().unwrap();
+    h3.join().unwrap();
+}
+
+/// A party dying *mid-stream* — its host winds down between two queries on
+/// a live fleet connection — degrades the fleet to the surviving quorum:
+/// the next wave retires the dead leg and the results never change.
+#[test]
+fn fleet_party_dying_mid_stream_degrades_without_corruption() {
+    let (map, seed) = fleet_secrets();
+    let spec = FleetSpec::new(3, 2).unwrap();
+    let fleet = encode_document_fleet(FLEET_XML, &map, &seed, spec).unwrap();
+    let ring = fleet.ring.clone();
+    // Mux hosts: winding one down closes its sockets even while clients
+    // hold connections, which is exactly the abrupt-death shape we want.
+    let hosts: Vec<_> = fleet
+        .parties
+        .into_iter()
+        .map(|p| spawn_party(p, &ring, true))
+        .collect();
+    let addrs: Vec<String> = hosts.iter().map(|(a, _)| a.to_string()).collect();
+
+    let expected = EncryptedDb::encode(FLEET_XML, map.clone(), seed.clone())
+        .unwrap()
+        .query("//a/b", EngineKind::Advanced, MatchRule::Equality)
+        .unwrap()
+        .result;
+
+    let mut db = RemoteMuxFleetDb::connect_fleet_mux(&addrs, 2, map, seed).unwrap();
+    let out = db
+        .query("//a/b", EngineKind::Advanced, MatchRule::Equality)
+        .unwrap();
+    assert_eq!(out.result, expected);
+
+    // Kill party 2's host under the live connection.
+    stop_host(hosts[1].0);
+
+    // The same fleet connection keeps answering, bit-identically.
+    for _ in 0..2 {
+        let out = db
+            .query("//a/b", EngineKind::Advanced, MatchRule::Equality)
+            .unwrap();
+        assert_eq!(
+            out.result, expected,
+            "results must survive a mid-stream death"
+        );
+    }
+
+    drop(db);
+    stop_host(hosts[0].0);
+    stop_host(hosts[2].0);
+    for (i, (_, h)) in hosts.into_iter().enumerate() {
+        h.join()
+            .unwrap_or_else(|_| panic!("party {} host panicked", i + 1));
+    }
+}
+
+/// A byzantine party serving bit-flipped shares over TCP: the MAC check
+/// catches it, the error *names the party*, and the query never returns
+/// wrong results. The fleet then quarantines the liar — the very next
+/// query on the same connection succeeds on the honest quorum.
+#[test]
+fn fleet_byzantine_shares_over_tcp_are_detected_and_named() {
+    let (map, seed) = fleet_secrets();
+    let spec = FleetSpec::new(3, 2).unwrap();
+    let mut fleet = encode_document_fleet(FLEET_XML, &map, &seed, spec).unwrap();
+    let ring = fleet.ring.clone();
+    // Flip one bit in every polynomial of party 2's data plane.
+    let clean = std::mem::replace(&mut fleet.parties[1].data, Table::new(1));
+    let mut corrupted = Table::new(clean.poly_len());
+    for row in clean.into_rows() {
+        let mut poly = row.poly.into_vec();
+        poly[0] ^= 0x01;
+        corrupted
+            .insert(Row {
+                loc: row.loc,
+                poly: poly.into_boxed_slice(),
+            })
+            .unwrap();
+    }
+    fleet.parties[1].data = corrupted;
+
+    let hosts: Vec<_> = fleet
+        .parties
+        .into_iter()
+        .map(|p| spawn_party(p, &ring, false))
+        .collect();
+    let addrs: Vec<String> = hosts.iter().map(|(a, _)| a.to_string()).collect();
+
+    let expected = EncryptedDb::encode(FLEET_XML, map.clone(), seed.clone())
+        .unwrap()
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap()
+        .result;
+
+    let mut db = RemoteFleetDb::connect_fleet(&addrs, 2, map.clone(), seed.clone()).unwrap();
+    let err = db
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Corrupt(_)), "{err:?}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("integrity") && msg.contains("party 2"),
+        "expected an integrity error naming party 2, got: {msg}"
+    );
+
+    // Quarantined: the honest quorum answers the retry correctly.
+    let out = db
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert_eq!(
+        out.result, expected,
+        "post-quarantine results must be exact"
+    );
+
+    drop(db);
+    for (a, _) in &hosts {
+        stop_host(*a);
+    }
+    for (_, h) in hosts {
+        h.join().unwrap();
+    }
 }
 
 #[test]
