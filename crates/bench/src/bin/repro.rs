@@ -21,7 +21,7 @@ use ssx_core::{
 };
 use ssx_trie::corpus_stats;
 use ssx_xml::Document;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -35,7 +35,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_6.json".to_string());
+                .unwrap_or_else(|| "BENCH_7.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -375,9 +375,71 @@ fn bench_json(path: &str) {
     }
     let mux_speedup_8 = threaded_8_ms / mux_8_ms.max(0.001);
 
+    // The degraded-mode row (the PR-7 datapoint): a 3-party t=2 fleet in
+    // which party 3 answers every call exactly DEGRADED_DELAY_MS late
+    // (seeded chaos, deterministic). With hedged reconstruction on, each
+    // wave completes from the first t verified shares, so the chain
+    // query's wall-clock tracks the 2nd-fastest party — asserted to stay
+    // under half the laggard-bound (waves × delay) it would cost to wait
+    // for party 3 every wave.
+    const DEGRADED_DELAY_MS: u64 = 50;
+    let degraded_cell = {
+        let spec = ssx_core::FleetSpec::new(3, 2).expect("fleet spec");
+        let fleet =
+            ssx_core::encode_document_fleet(&mux_doc, &map, &seed, spec).expect("fleet encode");
+        let mut router = ssx_core::local_fleet_router_wrapped(fleet, &seed, 1, |party, t| {
+            let cfg = if party == 3 {
+                ssx_core::ChaosConfig::fixed_delay(7, Duration::from_millis(DEGRADED_DELAY_MS))
+            } else {
+                ssx_core::ChaosConfig::quiet(7)
+            };
+            ssx_core::ChaosTransport::new(t, cfg)
+        })
+        .expect("degraded router");
+        for pipe in router.transports_mut() {
+            pipe.set_resilience(ssx_core::ResilienceConfig {
+                hedge: true,
+                ..Default::default()
+            });
+        }
+        let mut client = ClientFilter::new(router, map.clone(), seed.clone()).expect("client");
+        let started = Instant::now();
+        let out = Engine::run(
+            EngineKind::Simple,
+            MatchRule::Containment,
+            &chain_query,
+            &mut client,
+        )
+        .expect("degraded fleet query");
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            &out.pres(),
+            &chain_reference,
+            "degraded hedged fleet must answer exactly like the clean plane"
+        );
+        let waves = out.stats.round_trips;
+        let laggard_bound_ms = (waves * DEGRADED_DELAY_MS) as f64;
+        assert!(
+            out.stats.hedged_wins > 0,
+            "a {DEGRADED_DELAY_MS} ms laggard must trigger t-first hedged completion"
+        );
+        assert!(
+            ms < laggard_bound_ms / 2.0,
+            "hedged wall-clock must track the 2nd-fastest party \
+             ({ms:.1} ms vs {laggard_bound_ms:.1} ms waiting for the laggard every wave)"
+        );
+        format!(
+            "    {{ \"servers\": 3, \"threshold\": 2, \"delayed_party\": 3, \
+             \"delay_ms\": {DEGRADED_DELAY_MS}, \"waves\": {waves}, \
+             \"wall_ms\": {ms:.3}, \"laggard_bound_ms\": {laggard_bound_ms:.1}, \
+             \"hedged_wins\": {}, \"straggler_ms\": {} }}",
+            out.stats.hedged_wins, out.stats.straggler_ms
+        )
+    };
+
     let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/5\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/6\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -399,6 +461,7 @@ fn bench_json(path: &str) {
          \"mux_speedup_8_clients\": {mux_speedup_8:.2},\n  \
          \"shard_batch_matrix\": [\n{}\n  ],\n  \
          \"fleet_matrix\": [\n{}\n  ],\n  \
+         \"fleet_degraded\": [\n{degraded_cell}\n  ],\n  \
          \"mux_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),

@@ -1,0 +1,407 @@
+//! The seeded chaos plane: deterministic fault injection for the transport
+//! and fleet layers.
+//!
+//! Two injectors share one [`ChaosConfig`]:
+//!
+//! * [`ChaosTransport`] wraps any [`Transport`] in-process and injects
+//!   faults *typed as the transport would produce them* — a dropped
+//!   response is a [`CoreError::Timeout`], a reset is a
+//!   [`CoreError::Transport`], a bit flip corrupts the encoded response
+//!   bytes before they are decoded (so it lands wherever a hostile wire
+//!   would land it: codec error or corrupted share caught by the MAC).
+//! * [`ChaosProxy`] sits between a real TCP client and host and mangles
+//!   the length-prefixed frames themselves: delay, drop, reset, reorder,
+//!   bit flip — the full slow-loris/flaky-network repertoire against
+//!   unmodified endpoints.
+//!
+//! Every decision comes from an [`ssx_prg::Prg`] stream keyed by
+//! [`ChaosConfig::seed`], so any failing scenario replays exactly from the
+//! seed (the chaos tests print it; `SSXDB_CHAOS_SEED` pins it in CI).
+//! Injected-fault errors name the seed too.
+
+use crate::error::CoreError;
+use crate::protocol::{decode_response, encode_response, Request, Response};
+use crate::transport::{Transport, TransportStats};
+use ssx_prg::Prg;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault mix of one chaos injector. Rates are per mille (‰) per
+/// opportunity — one opportunity per call on a [`ChaosTransport`], one per
+/// relayed frame on a [`ChaosProxy`]. `0` everywhere (see
+/// [`ChaosConfig::quiet`]) makes the injector a transparent pass-through.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Keys the deterministic fault stream; printed in every injected
+    /// error so a failing scenario replays exactly.
+    pub seed: u64,
+    /// ‰ chance of delaying a call/frame.
+    pub delay_per_mille: u32,
+    /// Upper bound of one injected delay (the actual delay is uniform in
+    /// `1..=delay` milliseconds).
+    pub delay: Duration,
+    /// ‰ chance of dropping a response/frame — the caller sees silence
+    /// (a deadline turns it into a typed timeout).
+    pub drop_per_mille: u32,
+    /// ‰ chance of a connection reset.
+    pub reset_per_mille: u32,
+    /// ‰ chance of flipping one random bit of a response/frame payload.
+    pub flip_per_mille: u32,
+    /// ‰ chance of holding a frame back and releasing it *after* the next
+    /// one (proxy only; a request/response transport has no reorderable
+    /// stream).
+    pub reorder_per_mille: u32,
+}
+
+impl ChaosConfig {
+    /// No faults at all: the injector is a transparent pass-through.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            drop_per_mille: 0,
+            reset_per_mille: 0,
+            flip_per_mille: 0,
+            reorder_per_mille: 0,
+        }
+    }
+
+    /// A moderate all-fault mix for soak tests: mostly clean traffic with
+    /// every fault class exercised over a few hundred frames.
+    pub fn soak(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            delay_per_mille: 30,
+            delay: Duration::from_millis(3),
+            drop_per_mille: 8,
+            reset_per_mille: 4,
+            flip_per_mille: 8,
+            reorder_per_mille: 20,
+        }
+    }
+
+    /// Delays every call by exactly `delay`, no other faults — the
+    /// "one slow party" shape the degraded-mode bench uses.
+    pub fn fixed_delay(seed: u64, delay: Duration) -> Self {
+        ChaosConfig {
+            delay_per_mille: 1000,
+            delay,
+            ..ChaosConfig::quiet(seed)
+        }
+    }
+}
+
+/// One ‰ roll against the deterministic stream.
+fn roll(prg: &mut Prg, per_mille: u32) -> bool {
+    per_mille > 0 && prg.next_below(1000) < per_mille as u64
+}
+
+/// A fault-injecting wrapper around any [`Transport`] (see the module
+/// docs). Faults are decided per call from the seeded stream; traffic
+/// counters come from the wrapped transport, so byte accounting of clean
+/// calls is unchanged.
+pub struct ChaosTransport<T> {
+    inner: T,
+    prg: Prg,
+    cfg: ChaosConfig,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` with the fault mix of `cfg`.
+    pub fn new(inner: T, cfg: ChaosConfig) -> Self {
+        ChaosTransport {
+            inner,
+            prg: Prg::from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    fn injected_delay(&mut self) {
+        if roll(&mut self.prg, self.cfg.delay_per_mille) && !self.cfg.delay.is_zero() {
+            let ms = self.cfg.delay.as_millis().max(1) as u64;
+            let jittered = if self.cfg.delay_per_mille >= 1000 {
+                // A deterministic "always slow" config delays by exactly
+                // the configured amount — the degraded-bench contract.
+                ms
+            } else {
+                1 + self.prg.next_below(ms)
+            };
+            std::thread::sleep(Duration::from_millis(jittered));
+        }
+    }
+
+    /// Rolls the error faults; `Err` is the injected failure.
+    fn injected_error(&mut self) -> Result<(), CoreError> {
+        let seed = self.cfg.seed;
+        if roll(&mut self.prg, self.cfg.reset_per_mille) {
+            return Err(CoreError::Transport(format!(
+                "chaos[seed {seed}]: injected connection reset"
+            )));
+        }
+        if roll(&mut self.prg, self.cfg.drop_per_mille) {
+            return Err(CoreError::Timeout(format!(
+                "chaos[seed {seed}]: response dropped"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Re-encodes `resp`, flips one random bit, decodes again — exactly
+    /// what a flipped bit on the response wire would produce.
+    fn flip_response(&mut self, resp: Response) -> Result<Response, CoreError> {
+        let mut bytes = encode_response(&resp);
+        if bytes.is_empty() {
+            return Ok(resp);
+        }
+        let bit = self.prg.next_below((bytes.len() * 8) as u64) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        decode_response(&bytes).map_err(|e| {
+            CoreError::Transport(format!(
+                "chaos[seed {}]: flipped response no longer decodes: {e}",
+                self.cfg.seed
+            ))
+        })
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        self.injected_delay();
+        self.injected_error()?;
+        let resp = self.inner.call(req)?;
+        if roll(&mut self.prg, self.cfg.flip_per_mille) {
+            return self.flip_response(resp);
+        }
+        Ok(resp)
+    }
+
+    fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
+        // One opportunity per logical wave, like one frame on the wire.
+        self.injected_delay();
+        self.injected_error()?;
+        self.inner.call_batch(reqs)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn set_call_budget(&mut self, budget: Option<Duration>) {
+        self.inner.set_call_budget(budget);
+    }
+}
+
+/// A seeded TCP chaos proxy: accepts connections, opens one upstream
+/// connection per client, and relays length-prefixed frames both ways with
+/// the fault mix of its [`ChaosConfig`] (see the module docs). Spawn one in
+/// front of each fleet party to soak the resilience layer against real
+/// sockets; the `ssxchaos` binary is the CLI face of the same loop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts proxying to `upstream` on a
+    /// background thread.
+    pub fn spawn(upstream: SocketAddr, cfg: ChaosConfig) -> Result<ChaosProxy, CoreError> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| CoreError::Transport(format!("chaos proxy bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CoreError::Transport(format!("chaos proxy local_addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_chaos_proxy(&listener, upstream, cfg, &stop));
+        }
+        Ok(ChaosProxy { addr, stop })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections (established relays drain on their
+    /// own when either side closes).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The proxy's accept loop: one upstream connection and two frame relays
+/// (client→server, server→client) per accepted client, each with its own
+/// deterministic fault stream derived from the seed and the connection
+/// index — connection ordering does not perturb other connections' faults.
+pub fn run_chaos_proxy(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    cfg: ChaosConfig,
+    stop: &AtomicBool,
+) {
+    let conn_index = AtomicU64::new(0);
+    while let Ok((client, _)) = listener.accept() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = conn_index.fetch_add(1, Ordering::SeqCst);
+        let Ok(server) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let (Ok(client_dup), Ok(server_dup)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        // Independent streams per direction: a fault decision on requests
+        // never shifts the fault schedule of responses.
+        let c2s_seed = cfg.seed ^ (2 * id + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let s2c_seed = cfg.seed ^ (2 * id + 2).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        std::thread::spawn(move || relay_frames(client, server, cfg, c2s_seed));
+        std::thread::spawn(move || relay_frames(server_dup, client_dup, cfg, s2c_seed));
+    }
+}
+
+/// Reads one raw length-prefixed frame (`None` on clean EOF/oversize).
+fn read_raw_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > crate::transport::MAX_FRAME_BYTES {
+        return None;
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+fn write_raw_frame(stream: &mut TcpStream, payload: &[u8]) -> bool {
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| stream.write_all(payload))
+        .is_ok()
+}
+
+/// One direction's frame relay with fault injection; exits when either
+/// socket dies (shutting both down so the peer relay exits too).
+fn relay_frames(mut src: TcpStream, mut dst: TcpStream, cfg: ChaosConfig, seed: u64) {
+    let mut prg = Prg::from_u64(seed);
+    let mut held: Option<Vec<u8>> = None;
+    while let Some(mut payload) = read_raw_frame(&mut src) {
+        if roll(&mut prg, cfg.reset_per_mille) {
+            break;
+        }
+        if roll(&mut prg, cfg.delay_per_mille) && !cfg.delay.is_zero() {
+            let ms = cfg.delay.as_millis().max(1) as u64;
+            std::thread::sleep(Duration::from_millis(1 + prg.next_below(ms)));
+        }
+        if roll(&mut prg, cfg.drop_per_mille) {
+            continue;
+        }
+        if roll(&mut prg, cfg.flip_per_mille) && !payload.is_empty() {
+            let bit = prg.next_below((payload.len() * 8) as u64) as usize;
+            payload[bit / 8] ^= 1 << (bit % 8);
+        }
+        if held.is_none() && roll(&mut prg, cfg.reorder_per_mille) {
+            held = Some(payload);
+            continue;
+        }
+        if !write_raw_frame(&mut dst, &payload) {
+            break;
+        }
+        if let Some(h) = held.take() {
+            if !write_raw_frame(&mut dst, &h) {
+                break;
+            }
+        }
+    }
+    if let Some(h) = held.take() {
+        let _ = write_raw_frame(&mut dst, &h);
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::map::MapFile;
+    use crate::server::ServerFilter;
+    use crate::transport::LocalTransport;
+    use ssx_prg::Seed;
+
+    fn demo_transport() -> LocalTransport {
+        let map = MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = Seed::from_test_key(21);
+        let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+        LocalTransport::new(ServerFilter::new(out.table, out.ring))
+    }
+
+    #[test]
+    fn quiet_chaos_is_transparent() {
+        let mut plain = demo_transport();
+        let mut wrapped = ChaosTransport::new(demo_transport(), ChaosConfig::quiet(1));
+        let a = plain.call(&Request::Count).unwrap();
+        let b = wrapped.call(&Request::Count).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), wrapped.stats());
+    }
+
+    #[test]
+    fn chaos_faults_are_deterministic_per_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let cfg = ChaosConfig {
+                drop_per_mille: 200,
+                reset_per_mille: 200,
+                ..ChaosConfig::quiet(seed)
+            };
+            let mut t = ChaosTransport::new(demo_transport(), cfg);
+            (0..50).map(|_| t.call(&Request::Count).is_ok()).collect()
+        };
+        assert_eq!(outcomes(7), outcomes(7));
+        assert_ne!(outcomes(7), outcomes(8), "different seeds, same schedule");
+        assert!(outcomes(7).iter().any(|ok| !ok), "faults were injected");
+        assert!(outcomes(7).iter().any(|ok| *ok), "some calls survive");
+    }
+
+    #[test]
+    fn injected_errors_name_the_seed() {
+        let cfg = ChaosConfig {
+            drop_per_mille: 1000,
+            ..ChaosConfig::quiet(42)
+        };
+        let mut t = ChaosTransport::new(demo_transport(), cfg);
+        let err = t.call(&Request::Count).unwrap_err();
+        assert!(matches!(err, CoreError::Timeout(_)), "{err}");
+        assert!(err.to_string().contains("seed 42"), "{err}");
+    }
+
+    #[test]
+    fn fixed_delay_delays_every_call() {
+        let cfg = ChaosConfig::fixed_delay(3, Duration::from_millis(5));
+        let mut t = ChaosTransport::new(demo_transport(), cfg);
+        let started = std::time::Instant::now();
+        t.call(&Request::Count).unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -84,6 +84,12 @@ pub struct QueryStats {
     /// Speculative prefetches this query issued that went unconsumed
     /// within its window — the mis-speculation cost.
     pub speculative_wasted: u64,
+    /// Fleet waves answered from the first `t` verified responses while
+    /// slower parties were still out (0 unless hedging is on).
+    pub hedged_wins: u64,
+    /// Milliseconds hedged-wave stragglers kept running past their wave's
+    /// cutoff — latency the client did *not* wait for.
+    pub straggler_ms: u64,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -162,8 +168,16 @@ impl StatWindow {
                 share_cache_evictions: c.share_cache_evictions
                     - self.client_before.share_cache_evictions,
                 round_trips: t.round_trips - self.transport_before.round_trips,
-                bytes_sent: t.bytes_sent - self.transport_before.bytes_sent,
-                bytes_received: t.bytes_received - self.transport_before.bytes_received,
+                // Saturating: a fleet leg leased to a hedged wave's
+                // straggler worker is invisible to the aggregate until
+                // harvested, so cumulative byte counts can transiently dip
+                // below the window's opening snapshot.
+                bytes_sent: t
+                    .bytes_sent
+                    .saturating_sub(self.transport_before.bytes_sent),
+                bytes_received: t
+                    .bytes_received
+                    .saturating_sub(self.transport_before.bytes_received),
                 batches: t.batches - self.transport_before.batches,
                 batched_requests: t.batched_requests - self.transport_before.batched_requests,
                 shard_dispatches: t.shard_dispatches - self.transport_before.shard_dispatches,
@@ -174,6 +188,12 @@ impl StatWindow {
                 speculative_wasted: t
                     .speculative_wasted
                     .saturating_sub(self.transport_before.speculative_wasted),
+                hedged_wins: t.hedged_wins - self.transport_before.hedged_wins,
+                // Saturating: stragglers of an earlier hedged wave are
+                // credited when harvested, which may land in this window.
+                straggler_ms: t
+                    .straggler_ms
+                    .saturating_sub(self.transport_before.straggler_ms),
                 elapsed: self.started.elapsed(),
             },
         }

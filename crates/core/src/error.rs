@@ -26,6 +26,9 @@ pub enum CoreError {
     Query(ParseError),
     /// Transport-level failure (socket I/O, codec, protocol mismatch).
     Transport(String),
+    /// A call exceeded its deadline (see `transport::Deadline`): the peer
+    /// is alive enough to hold the connection open but too slow to answer.
+    Timeout(String),
     /// A query construct the engines cannot execute (e.g. `//..`).
     Unsupported(String),
     /// The equality test could not form a quotient (children cover the
@@ -49,6 +52,7 @@ impl fmt::Display for CoreError {
             CoreError::Xml(e) => write!(f, "xml error: {e}"),
             CoreError::Query(e) => write!(f, "{e}"),
             CoreError::Transport(m) => write!(f, "transport error: {m}"),
+            CoreError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             CoreError::Indeterminate { pre } => {
                 write!(f, "equality test indeterminate at node pre={pre}")
@@ -101,6 +105,7 @@ mod tests {
             (CoreError::Map("dup".into()), "dup"),
             (CoreError::Indeterminate { pre: 7 }, "pre=7"),
             (CoreError::Unsupported("//..".into()), "//.."),
+            (CoreError::Timeout("call exceeded 100ms".into()), "deadline"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -25,6 +25,7 @@ use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
 use crate::error::CoreError;
 use crate::fleet::{
     connect_fleet, connect_fleet_mux, local_fleet_router, FleetTransport, LocalPartyTransport,
+    PartyStatus, ResilienceConfig,
 };
 use crate::map::MapFile;
 use crate::router::ShardRouter;
@@ -260,6 +261,13 @@ impl<T: Transport + Send> EncryptedDb<T> {
     pub fn set_batch_limit(&mut self, limit: Option<usize>) {
         self.client.set_batch_limit(limit);
     }
+
+    /// Applies a per-call deadline to every transport under the facade
+    /// (`None` = wait forever). A call that exceeds it fails with
+    /// [`CoreError::Timeout`] instead of hanging the query.
+    pub fn set_deadline(&mut self, budget: Option<std::time::Duration>) {
+        self.client.transport_mut().set_call_budget(budget);
+    }
 }
 
 impl<T: Transport + Send> EncryptedDb<ShardRouter<T>> {
@@ -375,6 +383,29 @@ impl FleetDb {
             client,
             encode_stats: stats,
         })
+    }
+}
+
+impl<T: Transport + Send + 'static> EncryptedDb<ShardRouter<FleetTransport<T>>> {
+    /// Installs the resilience policy (deadline, bounded retry, hedged
+    /// reconstruction, re-admission cooldown) on every fleet pipe. See
+    /// [`crate::fleet::ResilienceConfig`].
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        for pipe in self.client.transport_mut().transports_mut() {
+            pipe.set_resilience(cfg);
+        }
+    }
+
+    /// Health snapshot of every party as seen by the first fleet pipe.
+    /// Pipes track health independently; with a single data shard (the
+    /// default) this is the whole picture.
+    pub fn party_status(&self) -> Vec<PartyStatus> {
+        self.client
+            .transport()
+            .transports()
+            .first()
+            .map(|p| p.party_status())
+            .unwrap_or_default()
     }
 }
 

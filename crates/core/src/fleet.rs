@@ -50,9 +50,10 @@ use crate::server::ServerFilter;
 use crate::shard::{partition_table, ShardSpec, ShardedServer};
 use crate::transport::{MuxPool, MuxTransport, TcpTransport, Transport, TransportStats};
 use ssx_poly::{lagrange_at_zero, Packer, RingCtx};
-use ssx_prg::Seed;
+use ssx_prg::{Prg, Seed};
 use ssx_store::Table;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Builds one party's 2·S-filter server: data partitions `0..S`, MAC
 /// partitions `S..2S`, both split by the same [`ShardSpec`] so a frame
@@ -124,10 +125,129 @@ impl Transport for LocalPartyTransport {
     }
 }
 
+/// How a fleet pipe dials a replacement connection to one party, used for
+/// in-wave retry reconnects and for re-admission probes. The argument is
+/// the pipe's configured per-call deadline so the dial itself can be
+/// bounded.
+pub type Dialer<T> = Arc<dyn Fn(Option<Duration>) -> Result<T, CoreError> + Send + Sync>;
+
+/// Where a party stands in a pipe's health state machine.
+///
+/// Availability faults walk `Live → Suspect → Quarantined`, sit out a
+/// wave-counted cooldown, then re-enter through a probe as `Probation`
+/// and are promoted back to `Live` by their first successful wave.
+/// Integrity faults (a party caught lying) quarantine permanently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartyHealth {
+    /// In rotation, answering waves.
+    Live,
+    /// One recent transient failure; still in rotation, but the next
+    /// strike quarantines it.
+    Suspect,
+    /// Out of rotation, counting down its cooldown (integrity faults
+    /// never count down).
+    Quarantined,
+    /// Passed a re-admission probe; back in rotation, one wave away from
+    /// `Live` and one failure away from re-quarantine.
+    Probation,
+}
+
+/// Snapshot of one party's standing, for operators and tests.
+#[derive(Clone, Debug)]
+pub struct PartyStatus {
+    /// 1-based party id.
+    pub party: usize,
+    /// Where the leg points (`"local"` for in-process legs).
+    pub addr: String,
+    /// Current health state.
+    pub health: PartyHealth,
+    /// Waves this leg has answered successfully.
+    pub waves_ok: u64,
+    /// Most recent recorded fault, if any.
+    pub fault: Option<String>,
+}
+
+/// A failed re-admission probe doubles the cooldown up to this many times
+/// the configured base, so a flapping party backs off but is never written
+/// off for good.
+pub const COOLDOWN_PENALTY_CAP: u64 = 64;
+
+/// Resilience policy for a fleet pipe: deadlines, bounded retry, hedged
+/// reconstruction and quarantine cooldowns. Installed with
+/// [`FleetTransport::set_resilience`].
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceConfig {
+    /// Per-call budget applied to every leg transport (`None` = wait
+    /// forever, the pre-resilience behaviour).
+    pub deadline: Option<Duration>,
+    /// Transient-failure retries per leg per wave (0 = fail fast).
+    pub retries: u32,
+    /// First backoff step; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Answer each wave as soon as `t` verified responses arrive, draining
+    /// stragglers in the background ([`TransportStats::hedged_wins`]).
+    pub hedge: bool,
+    /// Waves a quarantined party sits out before its first re-admission
+    /// probe; doubles per failed probe up to [`COOLDOWN_PENALTY_CAP`]×.
+    pub cooldown_waves: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            deadline: None,
+            retries: 1,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+            hedge: false,
+            cooldown_waves: 4,
+            jitter_seed: 0x5f33_7d1e,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Backoff before retry `attempt` (1-based): `base · 2^(attempt−1)`
+    /// plus deterministic jitter in `[0, base)`, capped at `backoff_cap`.
+    pub fn backoff(&self, attempt: u32, jitter_raw: u64) -> Duration {
+        let base = self.backoff_base.max(Duration::from_micros(100));
+        let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let jitter = Duration::from_micros(jitter_raw % base.as_micros().max(1) as u64);
+        (exp + jitter).min(self.backoff_cap)
+    }
+}
+
+/// `Timeout` and `Transport` failures are worth retrying — the party may
+/// be back (or reachable over a fresh connection) a backoff later.
+/// Integrity and protocol errors are not.
+fn is_transient(e: &CoreError) -> bool {
+    matches!(e, CoreError::Timeout(_) | CoreError::Transport(_))
+}
+
+fn next_penalty(penalty: u64, base: u64) -> u64 {
+    let base = base.max(1);
+    if penalty == 0 {
+        base
+    } else {
+        penalty.saturating_mul(2).min(base * COOLDOWN_PENALTY_CAP)
+    }
+}
+
 /// One party's connection inside a fleet pipe.
 pub struct FleetLeg<T> {
     party: usize,
+    addr: String,
     transport: Option<T>,
+    dial: Option<Dialer<T>>,
+    health: PartyHealth,
+    strikes: u32,
+    cooldown: u64,
+    penalty: u64,
+    waves_ok: u64,
     fault: Option<String>,
 }
 
@@ -136,18 +256,183 @@ impl<T> FleetLeg<T> {
     pub fn up(party: usize, transport: T) -> Self {
         FleetLeg {
             party,
+            addr: "local".into(),
             transport: Some(transport),
+            dial: None,
+            health: PartyHealth::Live,
+            strikes: 0,
+            cooldown: 0,
+            penalty: 0,
+            waves_ok: 0,
             fault: None,
         }
     }
 
     /// A leg that was already down when the pipe was built (e.g. dead at
-    /// connect); the pipe starts degraded but functional.
+    /// connect); the pipe starts degraded but functional. With a
+    /// [`Dialer`] attached the party is probed for re-admission from the
+    /// first wave on.
     pub fn down(party: usize, fault: String) -> Self {
         FleetLeg {
             party,
+            addr: "local".into(),
             transport: None,
+            dial: None,
+            health: PartyHealth::Quarantined,
+            strikes: 0,
+            cooldown: 0,
+            penalty: 0,
+            waves_ok: 0,
             fault: Some(fault),
+        }
+    }
+
+    /// Labels the leg with the party's address; every fault raised for
+    /// this leg names it.
+    pub fn at(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Attaches a dialer for in-wave retry reconnects and re-admission
+    /// probes. Without one, a quarantined leg stays quarantined.
+    pub fn with_dialer(mut self, dial: Dialer<T>) -> Self {
+        self.dial = Some(dial);
+        self
+    }
+
+    /// Records a successful wave: strikes clear, the leg is (back to)
+    /// `Live`, penalties reset.
+    fn note_success(&mut self) {
+        self.strikes = 0;
+        self.waves_ok += 1;
+        self.penalty = 0;
+        self.health = PartyHealth::Live;
+        self.fault = None;
+    }
+}
+
+impl<T: Transport> FleetLeg<T> {
+    /// Folds the leg transport's traffic counters into the pipe carry and
+    /// drops the connection.
+    fn fold_transport(&mut self, carry: &mut TransportStats) {
+        if let Some(t) = self.transport.take() {
+            let s = t.stats();
+            carry.bytes_sent += s.bytes_sent;
+            carry.bytes_received += s.bytes_received;
+        }
+    }
+
+    /// Records a failed wave. The first strike on a `Live` leg demotes it
+    /// to `Suspect` but keeps it in rotation (it may answer the next wave
+    /// over a retried connection); any further failure — or a failure on
+    /// `Probation` — quarantines it for a wave-counted cooldown.
+    fn strike(&mut self, carry: &mut TransportStats, base_cooldown: u64, fault: String) {
+        self.strikes += 1;
+        self.fault = Some(fault);
+        if self.health == PartyHealth::Live && self.strikes < 2 {
+            self.health = PartyHealth::Suspect;
+        } else {
+            self.fold_transport(carry);
+            self.health = PartyHealth::Quarantined;
+            self.penalty = next_penalty(self.penalty, base_cooldown);
+            self.cooldown = self.penalty;
+        }
+    }
+
+    /// Permanent quarantine for integrity faults — a party caught lying
+    /// is never probed for re-admission.
+    fn quarantine_integrity(&mut self, carry: &mut TransportStats, fault: String) {
+        self.fold_transport(carry);
+        self.health = PartyHealth::Quarantined;
+        self.cooldown = u64::MAX;
+        self.penalty = u64::MAX;
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+}
+
+/// What a detached leg worker reports back: the leg's transport (returned
+/// to its slot), the exchange outcome, and the traffic counters of any
+/// connections discarded by in-wave re-dials (folded into the pipe carry
+/// so cumulative stats never regress).
+struct LegReport<T> {
+    transport: T,
+    outcome: Result<(Response, Option<Response>), CoreError>,
+    finished: Instant,
+    lost: TransportStats,
+}
+
+/// A hedged wave's straggler channel: legs still out with detached
+/// workers after the wave was answered from `t` responses. Harvested
+/// without blocking at the start of later waves.
+struct PendingWave<T> {
+    rx: mpsc::Receiver<(usize, LegReport<T>)>,
+    outstanding: Vec<usize>,
+    done: Instant,
+}
+
+/// Sends the data frame (and MAC mirror, when present) down one leg.
+fn exchange<T: Transport>(
+    transport: &mut T,
+    data_frame: &Request,
+    mirror_frame: Option<&Request>,
+) -> Result<(Response, Option<Response>), CoreError> {
+    let data = transport.call(data_frame)?;
+    let mac = match mirror_frame {
+        Some(f) => Some(transport.call(f)?),
+        None => None,
+    };
+    Ok((data, mac))
+}
+
+/// One leg's wave: exchange, and on a transient failure retry up to
+/// `cfg.retries` times with exponential backoff and deterministic jitter,
+/// re-dialing a fresh connection through the leg's [`Dialer`] when one is
+/// available. Always hands the transport back.
+fn exchange_with_retry<T: Transport>(
+    mut transport: T,
+    data_frame: &Request,
+    mirror_frame: Option<&Request>,
+    cfg: &ResilienceConfig,
+    dial: Option<&Dialer<T>>,
+    jitter_seed: u64,
+) -> LegReport<T> {
+    let mut prg = Prg::from_u64(jitter_seed);
+    let mut attempt = 0u32;
+    let mut lost = TransportStats::default();
+    loop {
+        match exchange(&mut transport, data_frame, mirror_frame) {
+            Ok(v) => {
+                return LegReport {
+                    transport,
+                    outcome: Ok(v),
+                    finished: Instant::now(),
+                    lost,
+                }
+            }
+            Err(e) if attempt < cfg.retries && is_transient(&e) => {
+                attempt += 1;
+                std::thread::sleep(cfg.backoff(attempt, prg.next_u64()));
+                if let Some(dial) = dial {
+                    if let Ok(mut fresh) = dial(cfg.deadline) {
+                        fresh.set_call_budget(cfg.deadline);
+                        let s = transport.stats();
+                        lost.bytes_sent += s.bytes_sent;
+                        lost.bytes_received += s.bytes_received;
+                        transport = fresh;
+                    }
+                }
+            }
+            Err(e) => {
+                return LegReport {
+                    transport,
+                    outcome: Err(e),
+                    finished: Instant::now(),
+                    lost,
+                }
+            }
         }
     }
 }
@@ -212,6 +497,8 @@ pub struct FleetTransport<T> {
     packer: Packer,
     alpha: u64,
     concurrent: bool,
+    config: ResilienceConfig,
+    pending: Vec<PendingWave<T>>,
     stats: TransportStats,
 }
 
@@ -240,15 +527,47 @@ impl<T: Transport> FleetTransport<T> {
             packer,
             alpha,
             concurrent,
+            config: ResilienceConfig::default(),
+            pending: Vec::new(),
             stats: TransportStats::default(),
         }
+    }
+
+    /// Installs the resilience policy, applying its deadline to every
+    /// live leg immediately.
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        self.config = cfg;
+        for leg in self.legs.iter_mut() {
+            if let Some(t) = leg.transport.as_mut() {
+                t.set_call_budget(cfg.deadline);
+            }
+        }
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.config
+    }
+
+    /// Health snapshot of every party, in party order.
+    pub fn party_status(&self) -> Vec<PartyStatus> {
+        self.legs
+            .iter()
+            .map(|l| PartyStatus {
+                party: l.party,
+                addr: l.addr.clone(),
+                health: l.health,
+                waves_ok: l.waves_ok,
+                fault: l.fault.clone(),
+            })
+            .collect()
     }
 
     /// 1-based ids of parties still in the wave rotation.
     pub fn live_parties(&self) -> Vec<usize> {
         self.legs
             .iter()
-            .filter(|l| l.transport.is_some())
+            .filter(|l| l.health != PartyHealth::Quarantined)
             .map(|l| l.party)
             .collect()
     }
@@ -261,75 +580,95 @@ impl<T: Transport> FleetTransport<T> {
             .collect()
     }
 
-    /// Retires a leg, folding its traffic counters into the pipe's carry
-    /// so byte accounting survives the drop.
-    fn retire(leg: &mut FleetLeg<T>, carry: &mut TransportStats, fault: String) {
-        if let Some(t) = leg.transport.take() {
-            let s = t.stats();
-            carry.bytes_sent += s.bytes_sent;
-            carry.bytes_received += s.bytes_received;
+    /// Collects answers from hedged-wave stragglers without blocking,
+    /// returning their transports to the rotation and crediting
+    /// [`TransportStats::straggler_ms`] with how long each ran past its
+    /// wave's cutoff.
+    fn harvest_stragglers(&mut self) {
+        if self.pending.is_empty() {
+            return;
         }
-        if leg.fault.is_none() {
-            leg.fault = Some(fault);
+        let base = self.config.cooldown_waves;
+        let mut pending = std::mem::take(&mut self.pending);
+        for wave in &mut pending {
+            loop {
+                match wave.rx.try_recv() {
+                    Ok((idx, report)) => {
+                        wave.outstanding.retain(|&i| i != idx);
+                        let lag = report.finished.saturating_duration_since(wave.done);
+                        self.stats.straggler_ms += lag.as_millis() as u64;
+                        self.stats.bytes_sent += report.lost.bytes_sent;
+                        self.stats.bytes_received += report.lost.bytes_received;
+                        let leg = &mut self.legs[idx];
+                        leg.transport = Some(report.transport);
+                        match report.outcome {
+                            Ok(_) => leg.note_success(),
+                            Err(e) => leg.strike(&mut self.stats, base, e.to_string()),
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        // The workers are gone; a leg still listed lost its
+                        // transport with its worker.
+                        for idx in wave.outstanding.drain(..) {
+                            self.legs[idx].strike(
+                                &mut self.stats,
+                                base,
+                                "fleet leg worker lost".into(),
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
         }
+        pending.retain(|w| !w.outstanding.is_empty());
+        self.pending = pending;
     }
 
-    /// Sends the data frame (and MAC mirror, when present) down every live
-    /// leg, returning per-leg outcomes in leg order (`None` = already dead).
-    #[allow(clippy::type_complexity)]
-    fn fan_out(
-        &mut self,
-        data_frame: &Request,
-        mirror_frame: Option<&Request>,
-    ) -> Vec<Option<Result<(Response, Option<Response>), CoreError>>>
-    where
-        T: Send,
-    {
-        fn exchange<T: Transport>(
-            transport: &mut T,
-            data_frame: &Request,
-            mirror_frame: Option<&Request>,
-        ) -> Result<(Response, Option<Response>), CoreError> {
-            let data = transport.call(data_frame)?;
-            let mac = match mirror_frame {
-                Some(f) => Some(transport.call(f)?),
-                None => None,
+    /// Walks quarantined legs: counts each cooldown down one wave and, at
+    /// zero, re-dials and probes the party (a `ShardCount` round trip that
+    /// must report the fleet's own layout). A passed probe re-admits the
+    /// party on [`PartyHealth::Probation`]; a failed one doubles the
+    /// cooldown. Integrity quarantines (`cooldown == u64::MAX`) and legs
+    /// without a dialer are skipped.
+    fn tick_readmission(&mut self) {
+        let deadline = self.config.deadline;
+        let expect = 2 * self.data_shards as u64;
+        let base = self.config.cooldown_waves;
+        for leg in self.legs.iter_mut() {
+            if leg.health != PartyHealth::Quarantined || leg.cooldown == u64::MAX {
+                continue;
+            }
+            let Some(dial) = leg.dial.as_ref() else {
+                continue;
             };
-            Ok((data, mac))
-        }
-
-        let live = self.legs.iter().filter(|l| l.transport.is_some()).count();
-        if self.concurrent && live > 1 {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .legs
-                    .iter_mut()
-                    .map(|leg| {
-                        leg.transport
-                            .as_mut()
-                            .map(|t| s.spawn(move || exchange(t, data_frame, mirror_frame)))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.map(|h| {
-                            h.join().unwrap_or_else(|_| {
-                                Err(CoreError::Transport("fleet leg panicked".into()))
-                            })
-                        })
-                    })
-                    .collect()
-            })
-        } else {
-            self.legs
-                .iter_mut()
-                .map(|leg| {
-                    leg.transport
-                        .as_mut()
-                        .map(|t| exchange(t, data_frame, mirror_frame))
-                })
-                .collect()
+            if leg.cooldown > 0 {
+                leg.cooldown -= 1;
+                continue;
+            }
+            let outcome = dial(deadline).and_then(|mut t| {
+                t.set_call_budget(deadline);
+                match t.call(&Request::ShardCount)? {
+                    Response::Count(c) if c == expect => Ok(t),
+                    other => Err(CoreError::Transport(format!(
+                        "probe expected Count({expect}), got {other:?}"
+                    ))),
+                }
+            });
+            match outcome {
+                Ok(t) => {
+                    leg.transport = Some(t);
+                    leg.health = PartyHealth::Probation;
+                    leg.strikes = 0;
+                    // The fault stays on record until a successful wave.
+                }
+                Err(e) => {
+                    leg.penalty = next_penalty(leg.penalty, base);
+                    leg.cooldown = leg.penalty;
+                    leg.fault = Some(format!("re-admission probe failed: {e}"));
+                }
+            }
         }
     }
 
@@ -625,9 +964,11 @@ impl<T: Transport> FleetTransport<T> {
     }
 }
 
-impl<T: Transport + Send> Transport for FleetTransport<T> {
+impl<T: Transport + Send + 'static> Transport for FleetTransport<T> {
     fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
         self.stats.round_trips += 1;
+        self.harvest_stragglers();
+        self.tick_readmission();
         let dshard = match req {
             Request::ToShard { shard, .. } => *shard,
             _ => self.shard,
@@ -642,21 +983,140 @@ impl<T: Transport + Send> Transport for FleetTransport<T> {
             req: Box::new(m),
         });
 
-        let results = self.fan_out(req, mirror_frame.as_ref());
+        let avail: Vec<usize> = self
+            .legs
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.transport.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let cfg = self.config;
+        let base = cfg.cooldown_waves;
+        let wave = self.stats.round_trips;
+        let leg_seed = |party: usize| cfg.jitter_seed ^ ((party as u64) << 32) ^ wave;
 
+        // `live` holds (party, data, mac) for combine_wave; `ok_legs` the
+        // matching leg indices so health can be credited afterwards.
         let mut live: Vec<(usize, Response, Option<Response>)> = Vec::new();
-        for (leg, res) in self.legs.iter_mut().zip(results) {
-            match res {
-                None => {}
-                Some(Ok((data, mac))) => live.push((leg.party, data, mac)),
-                Some(Err(e)) => Self::retire(leg, &mut self.stats, e.to_string()),
+        let mut ok_legs: Vec<usize> = Vec::new();
+        let mut failed: Vec<(usize, CoreError)> = Vec::new();
+
+        if (self.concurrent || cfg.hedge) && avail.len() > 1 {
+            // One detached worker per leg; transports travel to the worker
+            // and come back through the channel, so a hedged wave can
+            // return while stragglers are still out.
+            let (tx, rx) = mpsc::channel::<(usize, LegReport<T>)>();
+            let data = Arc::new(req.clone());
+            let mirror = mirror_frame.map(Arc::new);
+            for &idx in &avail {
+                let leg = &mut self.legs[idx];
+                let transport = leg.transport.take().expect("leg checked live");
+                let dial = leg.dial.clone();
+                let seed = leg_seed(leg.party);
+                let tx = tx.clone();
+                let data = Arc::clone(&data);
+                let mirror = mirror.clone();
+                std::thread::spawn(move || {
+                    let report = exchange_with_retry(
+                        transport,
+                        &data,
+                        mirror.as_deref(),
+                        &cfg,
+                        dial.as_ref(),
+                        seed,
+                    );
+                    let _ = tx.send((idx, report));
+                });
             }
+            drop(tx);
+            let mut outstanding = avail.clone();
+            let mut hedged: Option<Response> = None;
+            while !outstanding.is_empty() {
+                let Ok((idx, report)) = rx.recv() else { break };
+                outstanding.retain(|&i| i != idx);
+                self.stats.bytes_sent += report.lost.bytes_sent;
+                self.stats.bytes_received += report.lost.bytes_received;
+                let leg = &mut self.legs[idx];
+                let party = leg.party;
+                leg.transport = Some(report.transport);
+                match report.outcome {
+                    Ok((d, m)) => {
+                        live.push((party, d, m));
+                        ok_legs.push(idx);
+                    }
+                    Err(e) => failed.push((idx, e)),
+                }
+                // t-first: with hedging on, try to answer the wave as soon
+                // as a verifiable t-quorum is in. A combination that does
+                // not yet verify (e.g. a corrupt share among the first t)
+                // simply keeps waiting for more responders.
+                if cfg.hedge && !outstanding.is_empty() && live.len() >= self.threshold {
+                    if let Ok(resp) = self.combine_wave(&live, &plan) {
+                        hedged = Some(resp);
+                        break;
+                    }
+                }
+            }
+            if let Some(resp) = hedged {
+                self.stats.hedged_wins += 1;
+                self.pending.push(PendingWave {
+                    rx,
+                    outstanding,
+                    done: Instant::now(),
+                });
+                for (idx, e) in failed {
+                    self.legs[idx].strike(&mut self.stats, base, e.to_string());
+                }
+                for idx in ok_legs {
+                    self.legs[idx].note_success();
+                }
+                return Ok(resp);
+            }
+            // The channel disconnected early only if workers panicked.
+            for idx in outstanding {
+                self.legs[idx].strike(&mut self.stats, base, "fleet leg panicked".into());
+            }
+        } else {
+            for &idx in &avail {
+                let leg = &mut self.legs[idx];
+                let transport = leg.transport.take().expect("leg checked live");
+                let dial = leg.dial.clone();
+                let seed = leg_seed(leg.party);
+                let report = exchange_with_retry(
+                    transport,
+                    req,
+                    mirror_frame.as_ref(),
+                    &cfg,
+                    dial.as_ref(),
+                    seed,
+                );
+                self.stats.bytes_sent += report.lost.bytes_sent;
+                self.stats.bytes_received += report.lost.bytes_received;
+                let leg = &mut self.legs[idx];
+                let party = leg.party;
+                leg.transport = Some(report.transport);
+                match report.outcome {
+                    Ok((d, m)) => {
+                        live.push((party, d, m));
+                        ok_legs.push(idx);
+                    }
+                    Err(e) => failed.push((idx, e)),
+                }
+            }
+        }
+
+        for (idx, e) in failed {
+            self.legs[idx].strike(&mut self.stats, base, e.to_string());
         }
         if live.len() < self.threshold {
             let faults: Vec<String> = self
                 .legs
                 .iter()
-                .filter_map(|l| l.fault.as_ref().map(|f| format!("party {}: {f}", l.party)))
+                .filter_map(|l| {
+                    l.fault
+                        .as_ref()
+                        .map(|f| format!("party {} at {}: {f}", l.party, l.addr))
+                })
                 .collect();
             return Err(CoreError::Transport(format!(
                 "fleet quorum lost: {} of {} parties answering, threshold {} ({})",
@@ -667,11 +1127,16 @@ impl<T: Transport + Send> Transport for FleetTransport<T> {
             )));
         }
         match self.combine_wave(&live, &plan) {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                for idx in ok_legs {
+                    self.legs[idx].note_success();
+                }
+                Ok(resp)
+            }
             Err(FleetError::Blamed { parties, detail }) => {
                 for leg in self.legs.iter_mut() {
                     if parties.contains(&leg.party) {
-                        Self::retire(leg, &mut self.stats, format!("quarantined: {detail}"));
+                        leg.quarantine_integrity(&mut self.stats, format!("quarantined: {detail}"));
                     }
                 }
                 Err(CoreError::Corrupt(format!(
@@ -695,6 +1160,15 @@ impl<T: Transport + Send> Transport for FleetTransport<T> {
         }
         s
     }
+
+    fn set_call_budget(&mut self, budget: Option<Duration>) {
+        self.config.deadline = budget;
+        for leg in self.legs.iter_mut() {
+            if let Some(t) = leg.transport.as_mut() {
+                t.set_call_budget(budget);
+            }
+        }
+    }
 }
 
 /// Builds the full in-process fleet stack from a fleet encoding: one
@@ -706,6 +1180,23 @@ pub fn local_fleet_router(
     seed: &Seed,
     data_shards: u32,
 ) -> Result<ShardRouter<FleetTransport<LocalPartyTransport>>, CoreError> {
+    local_fleet_router_wrapped(fleet, seed, data_shards, |_, t| t)
+}
+
+/// Like [`local_fleet_router`] but passes every leg transport through
+/// `wrap(party, transport)` first — the hook the chaos plane and the
+/// degraded-mode bench use to interpose [`crate::chaos::ChaosTransport`]
+/// on individual parties.
+pub fn local_fleet_router_wrapped<T, F>(
+    fleet: FleetEncodeOutput,
+    seed: &Seed,
+    data_shards: u32,
+    mut wrap: F,
+) -> Result<ShardRouter<FleetTransport<T>>, CoreError>
+where
+    T: Transport + Send + 'static,
+    F: FnMut(usize, LocalPartyTransport) -> T,
+{
     let FleetEncodeOutput {
         parties,
         spec,
@@ -723,12 +1214,14 @@ pub fn local_fleet_router(
         })
         .collect::<Result<Vec<_>, _>>()?;
     let sspec = ShardSpec::new(data_shards);
-    let pipes: Vec<FleetTransport<LocalPartyTransport>> = (0..sspec.shards())
+    let pipes: Vec<FleetTransport<T>> = (0..sspec.shards())
         .map(|k| {
             let legs = hosts
                 .iter()
                 .enumerate()
-                .map(|(j, h)| FleetLeg::up(j + 1, LocalPartyTransport::new(Arc::clone(h))))
+                .map(|(j, h)| {
+                    FleetLeg::up(j + 1, wrap(j + 1, LocalPartyTransport::new(Arc::clone(h))))
+                })
                 .collect();
             FleetTransport::new(
                 legs,
@@ -854,7 +1347,12 @@ pub fn connect_fleet(
                 .enumerate()
                 .map(|(j, probe)| {
                     let party = j + 1;
-                    match &probe.fault {
+                    let addr = addrs[j].clone();
+                    let dial: Dialer<TcpTransport> = {
+                        let addr = addr.clone();
+                        Arc::new(move |budget| TcpTransport::connect_within(addr.as_str(), budget))
+                    };
+                    let leg = match &probe.fault {
                         Some(f) => FleetLeg::down(party, f.clone()),
                         None => {
                             // Reuse the probe connection for pipe 0; open a
@@ -871,7 +1369,8 @@ pub fn connect_fleet(
                                 Err(e) => FleetLeg::down(party, e.to_string()),
                             }
                         }
-                    }
+                    };
+                    leg.at(&addr).with_dialer(dial)
                 })
                 .collect();
             FleetTransport::new(
@@ -986,8 +1485,24 @@ pub fn connect_fleet_mux(
                 .iter()
                 .enumerate()
                 .map(|(j, pool)| match pool {
-                    Ok(pool) => FleetLeg::up(j + 1, pool.transport(k)),
-                    Err(f) => FleetLeg::down(j + 1, f.clone()),
+                    Ok(pool) => {
+                        // The dialer revives the party's pooled socket for
+                        // this shard (a no-op while it is healthy), so a
+                        // retry or re-admission probe re-dials at most one
+                        // connection shared by every rider.
+                        let dial: Dialer<MuxTransport> = {
+                            let pool = pool.clone();
+                            Arc::new(move |_budget| {
+                                let t = pool.transport(k);
+                                t.revive()?;
+                                Ok(t)
+                            })
+                        };
+                        FleetLeg::up(j + 1, pool.transport(k))
+                            .at(&addrs[j])
+                            .with_dialer(dial)
+                    }
+                    Err(f) => FleetLeg::down(j + 1, f.clone()).at(&addrs[j]),
                 })
                 .collect();
             FleetTransport::new(

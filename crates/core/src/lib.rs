@@ -25,6 +25,7 @@
 //! polynomial reconstruction + division).
 
 pub mod accuracy;
+pub mod chaos;
 pub mod client;
 pub mod encode;
 pub mod engine;
@@ -40,6 +41,7 @@ pub mod shard;
 pub mod transport;
 
 pub use accuracy::accuracy_percent;
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosTransport};
 pub use client::{ClientFilter, ClientStats};
 pub use encode::{
     encode_document, encode_document_fleet, encode_dom, encode_events, fleet_mac_key, split_fleet,
@@ -52,8 +54,9 @@ pub use engine::{
 pub use error::CoreError;
 pub use facade::{EncryptedDb, FleetDb, RemoteDb, RemoteFleetDb, RemoteMuxDb, RemoteMuxFleetDb};
 pub use fleet::{
-    connect_fleet, connect_fleet_mux, local_fleet_router, party_server, FleetLeg, FleetTransport,
-    LocalPartyTransport,
+    connect_fleet, connect_fleet_mux, local_fleet_router, local_fleet_router_wrapped, party_server,
+    Dialer, FleetLeg, FleetTransport, LocalPartyTransport, PartyHealth, PartyStatus,
+    ResilienceConfig,
 };
 pub use map::MapFile;
 pub use reference::reference_eval;
@@ -61,6 +64,7 @@ pub use router::ShardRouter;
 pub use server::{ServerFilter, ServerStats};
 pub use shard::{partition_table, ShardSpec, ShardedServer};
 pub use transport::{
-    serve_tcp, serve_tcp_mux, serve_tcp_mux_auto, serve_tcp_sharded, serve_tcp_sharded_auto,
-    LocalTransport, MuxPool, MuxTransport, PendingCall, TcpTransport, Transport,
+    serve_tcp, serve_tcp_mux, serve_tcp_mux_auto, serve_tcp_mux_opts, serve_tcp_sharded,
+    serve_tcp_sharded_auto, Deadline, LocalTransport, MuxHostOptions, MuxPool, MuxTransport,
+    PendingCall, TcpTransport, Transport, DEFAULT_MUX_WRITE_STALL,
 };

@@ -983,8 +983,16 @@ impl<T: Transport + Send> Transport for ShardRouter<T> {
             s.bytes_sent += u.bytes_sent;
             s.bytes_received += u.bytes_received;
             s.shard_dispatches += u.round_trips;
+            s.hedged_wins += u.hedged_wins;
+            s.straggler_ms += u.straggler_ms;
         }
         s
+    }
+
+    fn set_call_budget(&mut self, budget: Option<std::time::Duration>) {
+        for t in self.transports.iter_mut() {
+            t.set_call_budget(budget);
+        }
     }
 }
 

@@ -46,7 +46,43 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The completion deadline of one call: an absolute instant, computed when
+/// the call starts from the transport's configured budget
+/// ([`Transport::set_call_budget`]). Threaded through every blocking wait of
+/// a call — socket reads on [`TcpTransport`], completion-slot parks on
+/// [`MuxTransport`] — so a peer that *hangs* (accepts the connection, then
+/// never answers) turns into a typed [`CoreError::Timeout`] instead of a
+/// wedge. `Deadline::NONE` means "wait forever", the pre-deadline behavior.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: every wait blocks indefinitely.
+    pub const NONE: Deadline = Deadline { at: None };
+
+    /// A deadline `budget` from now, or [`Deadline::NONE`].
+    pub fn of(budget: Option<Duration>) -> Self {
+        Deadline {
+            at: budget.map(|b| Instant::now() + b),
+        }
+    }
+
+    /// Time left before the deadline (zero once passed); `None` when
+    /// unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Some(Duration::ZERO)
+    }
+}
 
 /// Traffic counters shared by all transports.
 ///
@@ -77,6 +113,14 @@ pub struct TransportStats {
     /// consumed — the cost of mis-speculation. Not monotonic: an entry
     /// counted wasted now may still be consumed by a later wave.
     pub speculative_wasted: u64,
+    /// Fleet waves answered from the first `t` verified responses while at
+    /// least one slower party was still in flight (0 unless hedged
+    /// reconstruction is enabled on a fleet transport).
+    pub hedged_wins: u64,
+    /// Milliseconds of straggler tail hidden by hedging: for every drained
+    /// straggler, how long it kept running *after* its wave had already
+    /// been answered.
+    pub straggler_ms: u64,
 }
 
 /// A synchronous request/response channel to a `ServerFilter`.
@@ -123,6 +167,16 @@ pub trait Transport {
 
     /// Counter snapshot.
     fn stats(&self) -> TransportStats;
+
+    /// Sets the per-call completion budget: each subsequent call gets a
+    /// fresh [`Deadline`] this far in the future and fails with
+    /// [`CoreError::Timeout`] when it passes. `None` (the default) waits
+    /// forever. Transports that cannot block — the in-process ones — ignore
+    /// it, which is what the default does; composite transports (routers,
+    /// fleets) forward it to every constituent.
+    fn set_call_budget(&mut self, budget: Option<Duration>) {
+        let _ = budget;
+    }
 }
 
 /// An in-flight call parked by [`Transport::call_pipelined`]: the frame is
@@ -130,10 +184,18 @@ pub trait Transport {
 /// multiplexed transports construct these.
 pub struct PendingCall {
     rx: mpsc::Receiver<SlotResult>,
-    /// Mux transports park the request and the connection it went out on so
-    /// [`Transport::finish_pipelined`] can heal a reshard fence: re-pool the
-    /// slot's connection and replay the request once (see [`MuxPool`]).
-    retry: Option<(Request, Arc<MuxClientConn>)>,
+    /// Correlation id and connection of the in-flight wave, so a timed-out
+    /// wait can unregister its completion slot (a late response then counts
+    /// as stray instead of leaking the slot).
+    corr: u64,
+    conn: Arc<MuxClientConn>,
+    /// Captured when the frame hit the wire: pipelined calls time out
+    /// relative to their *send*, not to when the caller parks on them.
+    deadline: Deadline,
+    /// Mux transports park the request so [`Transport::finish_pipelined`]
+    /// can heal a reshard fence: re-pool the slot's connection and replay
+    /// the request once (see [`MuxPool`]).
+    retry: Option<Request>,
 }
 
 /// The shared `call_batch` body of the concrete frame transports: empty and
@@ -241,6 +303,13 @@ impl HasStats for LocalTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     stats: TransportStats,
+    /// Per-call budget ([`Transport::set_call_budget`]); `None` blocks.
+    budget: Option<Duration>,
+    /// Set by the first timed-out call. The request/response framing has no
+    /// correlation ids, so a late answer to the abandoned call would be
+    /// misread as the answer to the *next* one — after a timeout the socket
+    /// is shut down and every later call fails fast with this reason.
+    poisoned: Option<String>,
 }
 
 impl HasStats for TcpTransport {
@@ -252,21 +321,49 @@ impl HasStats for TcpTransport {
 impl TcpTransport {
     /// Connects to a [`serve_tcp`] endpoint.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, CoreError> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| CoreError::Transport(format!("connect: {e}")))?;
+        Self::connect_within(addr, None)
+    }
+
+    /// [`TcpTransport::connect`] bounded by `timeout`: the TCP connect
+    /// itself must complete within it (`None` = the OS default). The bound
+    /// covers the *connect* only; set a per-call budget for the calls.
+    pub fn connect_within<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> Result<Self, CoreError> {
+        let stream = match timeout {
+            None => TcpStream::connect(addr)
+                .map_err(|e| CoreError::Transport(format!("connect: {e}")))?,
+            Some(limit) => {
+                let addr = addr
+                    .to_socket_addrs()
+                    .map_err(|e| CoreError::Transport(format!("resolve: {e}")))?
+                    .next()
+                    .ok_or_else(|| CoreError::Transport("address resolved to nothing".into()))?;
+                TcpStream::connect_timeout(&addr, limit).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::TimedOut {
+                        CoreError::Timeout(format!("connect to {addr} exceeded {limit:?}"))
+                    } else {
+                        CoreError::Transport(format!("connect: {e}"))
+                    }
+                })?
+            }
+        };
         stream
             .set_nodelay(true)
             .map_err(|e| CoreError::Transport(format!("nodelay: {e}")))?;
         Ok(TcpTransport {
             stream,
             stats: TransportStats::default(),
+            budget: None,
+            poisoned: None,
         })
     }
 }
 
 /// Largest frame any transport will read or buffer — a hostile length
 /// prefix beyond it is refused before allocation.
-const MAX_FRAME_BYTES: usize = 64 << 20;
+pub(crate) const MAX_FRAME_BYTES: usize = 64 << 20;
 
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), CoreError> {
     let io = |e: std::io::Error| CoreError::Transport(format!("write: {e}"));
@@ -297,13 +394,122 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, CoreError> {
     Ok(Some(payload))
 }
 
+/// Whether an I/O error is a socket timeout — `WouldBlock` on Unix,
+/// `TimedOut` on other platforms (`set_read_timeout`'s contract).
+fn is_timeout_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Arms the socket's read or write timeout with what remains of `deadline`
+/// (clears it when unbounded); an already-expired deadline fails without
+/// touching the socket.
+fn arm_socket_timeout(
+    stream: &TcpStream,
+    deadline: &Deadline,
+    read: bool,
+    what: &str,
+) -> Result<(), CoreError> {
+    let limit = match deadline.remaining() {
+        None => None,
+        Some(rem) if rem.is_zero() => {
+            return Err(CoreError::Timeout(format!("{what}: call budget exhausted")))
+        }
+        Some(rem) => Some(rem),
+    };
+    let armed = if read {
+        stream.set_read_timeout(limit)
+    } else {
+        stream.set_write_timeout(limit)
+    };
+    armed.map_err(|e| CoreError::Transport(format!("{what}: arming timeout: {e}")))
+}
+
+/// [`write_frame`] bounded by a [`Deadline`]: a send that stalls past it
+/// (peer stopped reading, kernel buffer full) fails with
+/// [`CoreError::Timeout`] instead of blocking forever.
+fn write_frame_within(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    deadline: &Deadline,
+) -> Result<(), CoreError> {
+    arm_socket_timeout(stream, deadline, false, "write")?;
+    let io = |e: std::io::Error| {
+        if is_timeout_io(&e) {
+            CoreError::Timeout("write stalled past the call budget".into())
+        } else {
+            CoreError::Transport(format!("write: {e}"))
+        }
+    };
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(io)?;
+    stream.write_all(payload).map_err(io)?;
+    Ok(())
+}
+
+/// [`read_frame`] bounded by a [`Deadline`]: re-arms the socket timeout
+/// before each blocking read so the *whole* frame must arrive within the
+/// budget, and maps a stalled read to [`CoreError::Timeout`].
+fn read_frame_within(
+    stream: &mut TcpStream,
+    deadline: &Deadline,
+) -> Result<Option<Vec<u8>>, CoreError> {
+    let io = |e: std::io::Error| {
+        if is_timeout_io(&e) {
+            CoreError::Timeout("no response within the call budget".into())
+        } else {
+            CoreError::Transport(format!("read: {e}"))
+        }
+    };
+    arm_socket_timeout(stream, deadline, true, "read")?;
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(io(e)),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(CoreError::Transport(format!(
+            "frame of {len} bytes refused"
+        )));
+    }
+    arm_socket_timeout(stream, deadline, true, "read")?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(io)?;
+    Ok(Some(payload))
+}
+
 impl Transport for TcpTransport {
     fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        if let Some(why) = &self.poisoned {
+            return Err(CoreError::Transport(format!(
+                "connection unusable after an earlier timeout ({why})"
+            )));
+        }
+        let deadline = Deadline::of(self.budget);
         let frame = encode_request(req);
         self.stats.bytes_sent += frame.len() as u64;
-        write_frame(&mut self.stream, &frame)?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| CoreError::Transport("server closed connection".into()))?;
+        let exchanged = write_frame_within(&mut self.stream, &frame, &deadline)
+            .and_then(|()| read_frame_within(&mut self.stream, &deadline));
+        let payload = match exchanged {
+            Ok(Some(p)) => p,
+            Ok(None) => return Err(CoreError::Transport("server closed connection".into())),
+            Err(e) => {
+                if matches!(e, CoreError::Timeout(_)) {
+                    // The legacy framing has no correlation ids: a late
+                    // answer to this abandoned call would be misread as the
+                    // answer to the next one, so the socket must die with
+                    // the call.
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    self.poisoned = Some(e.to_string());
+                }
+                return Err(e);
+            }
+        };
         self.stats.bytes_received += payload.len() as u64;
         self.stats.round_trips += 1;
         decode_response(&payload)
@@ -315,6 +521,14 @@ impl Transport for TcpTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn set_call_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+        if budget.is_none() {
+            let _ = self.stream.set_read_timeout(None);
+            let _ = self.stream.set_write_timeout(None);
+        }
     }
 }
 
@@ -637,6 +851,9 @@ struct MuxHostConn {
     /// A failed read or write poisons the connection; every pool thread
     /// skips it from then on — one broken client never stalls the pool.
     dead: AtomicBool,
+    /// How long one response send may stall before the connection is
+    /// declared dead ([`MuxHostOptions::write_stall`]).
+    write_stall: Duration,
 }
 
 impl MuxHostConn {
@@ -652,8 +869,8 @@ impl MuxHostConn {
         }
         let _guard = self.send.lock().unwrap_or_else(|p| p.into_inner());
         let len = (payload.len() as u32).to_le_bytes();
-        if write_all_nonblocking(&self.stream, &len).is_err()
-            || write_all_nonblocking(&self.stream, payload).is_err()
+        if write_all_nonblocking(&self.stream, &len, self.write_stall).is_err()
+            || write_all_nonblocking(&self.stream, payload, self.write_stall).is_err()
         {
             self.kill();
         }
@@ -669,20 +886,49 @@ struct MuxJob {
     frame: Vec<u8>,
 }
 
-/// How long one response send may stall on a full kernel buffer before the
-/// connection is declared dead. A client that stops *reading* would
-/// otherwise wedge the executor spinning in `send_payload` while it holds
-/// the per-connection send lock — with a fixed pool, a handful of such
-/// clients could halt the host. Past the deadline the send fails, the
-/// connection is poisoned, and the executor moves on.
-const MUX_WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default for [`MuxHostOptions::write_stall`]: how long one response send
+/// may stall on a full kernel buffer before the connection is declared
+/// dead. A client that stops *reading* would otherwise wedge the executor
+/// spinning in `send_payload` while it holds the per-connection send lock —
+/// with a fixed pool, a handful of such clients could halt the host. Past
+/// the deadline the send fails, the connection is poisoned, and the
+/// executor moves on.
+pub const DEFAULT_MUX_WRITE_STALL: Duration = Duration::from_secs(5);
+
+/// Tuning knobs of the multiplexed host ([`serve_tcp_mux_opts`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MuxHostOptions {
+    /// Executor threads; `0` sizes the pool to the machine (see
+    /// [`DEFAULT_MUX_WORKERS`]).
+    pub workers: usize,
+    /// Host-side auto-resharding byte budget (see
+    /// [`serve_tcp_sharded_auto`]); `None` disables the ticker.
+    pub auto_target: Option<u64>,
+    /// How long one response send may stall before the connection is
+    /// poisoned (see [`DEFAULT_MUX_WRITE_STALL`]). Exposed on the CLI as
+    /// `serve --write-stall-ms`.
+    pub write_stall: Duration,
+}
+
+impl Default for MuxHostOptions {
+    fn default() -> Self {
+        MuxHostOptions {
+            workers: 0,
+            auto_target: None,
+            write_stall: DEFAULT_MUX_WRITE_STALL,
+        }
+    }
+}
 
 /// `write_all` against a nonblocking socket: retries `WouldBlock` with a
-/// short sleep (sends must be atomic per frame) up to
-/// [`MUX_WRITE_STALL_TIMEOUT`] of continuous stall, then gives up with
-/// `TimedOut` so the caller can poison the connection instead of spinning
-/// forever.
-fn write_all_nonblocking(mut stream: &TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+/// short sleep (sends must be atomic per frame) up to `stall` of
+/// continuous stall, then gives up with `TimedOut` so the caller can
+/// poison the connection instead of spinning forever.
+fn write_all_nonblocking(
+    mut stream: &TcpStream,
+    bytes: &[u8],
+    stall: Duration,
+) -> std::io::Result<()> {
     let mut written = 0;
     let mut stalled_since: Option<std::time::Instant> = None;
     while written < bytes.len() {
@@ -694,7 +940,7 @@ fn write_all_nonblocking(mut stream: &TcpStream, bytes: &[u8]) -> std::io::Resul
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 let since = *stalled_since.get_or_insert_with(std::time::Instant::now);
-                if since.elapsed() > MUX_WRITE_STALL_TIMEOUT {
+                if since.elapsed() > stall {
                     return Err(std::io::ErrorKind::TimedOut.into());
                 }
                 std::thread::sleep(Duration::from_micros(50));
@@ -728,7 +974,14 @@ pub fn serve_tcp_mux(
     server: ShardedServer,
     workers: usize,
 ) -> Result<ShardedServer, CoreError> {
-    serve_tcp_mux_auto(listener, server, workers, None)
+    serve_tcp_mux_opts(
+        listener,
+        server,
+        MuxHostOptions {
+            workers,
+            ..MuxHostOptions::default()
+        },
+    )
 }
 
 /// [`serve_tcp_mux`] with host-side auto-resharding (see
@@ -741,6 +994,28 @@ pub fn serve_tcp_mux_auto(
     workers: usize,
     auto_target: Option<u64>,
 ) -> Result<ShardedServer, CoreError> {
+    serve_tcp_mux_opts(
+        listener,
+        server,
+        MuxHostOptions {
+            workers,
+            auto_target,
+            ..MuxHostOptions::default()
+        },
+    )
+}
+
+/// [`serve_tcp_mux`] with every knob exposed (see [`MuxHostOptions`]).
+pub fn serve_tcp_mux_opts(
+    listener: TcpListener,
+    server: ShardedServer,
+    opts: MuxHostOptions,
+) -> Result<ShardedServer, CoreError> {
+    let MuxHostOptions {
+        workers,
+        auto_target,
+        write_stall,
+    } = opts;
     let workers = if workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -801,6 +1076,7 @@ pub fn serve_tcp_mux_auto(
                 mux: AtomicBool::new(false),
                 born: host.generation.load(Ordering::SeqCst),
                 dead: AtomicBool::new(false),
+                write_stall,
             });
             if conn_tx.send(conn).is_err() {
                 return Ok(());
@@ -820,12 +1096,23 @@ pub fn serve_tcp_mux_auto(
     Ok(ShardedServer::from_filters(spec, filters))
 }
 
+/// How long the stopping mux host keeps sweeping for frames that are
+/// already in flight. A [`Request::Shutdown`] fanned across `S` shard
+/// sockets is `S` frames written back-to-back: the first one processed
+/// stops the host, and without this grace the sweep would exit with the
+/// others still unread in the kernel buffer — closing a socket with
+/// unread data sends RST, which discards the buffered acks client-side
+/// and fails waves that were answered perfectly well.
+const MUX_SHUTDOWN_GRACE: Duration = Duration::from_millis(50);
+
 /// The mux host's reader/dispatcher: sweeps every live connection's
 /// nonblocking socket, reassembles length-prefixed frames, performs the
 /// [`Request::Hello`] upgrade synchronously with the byte stream (so a
 /// frame after the upgrade is never misparsed), and hands complete frames
-/// to the executor pool. Exits when the host stops, dropping the job
-/// sender — which winds down the workers.
+/// to the executor pool. When the host stops it lingers for
+/// [`MUX_SHUTDOWN_GRACE`], still sweeping — so sibling frames of a fanned
+/// shutdown are answered, not RST — then exits, dropping the job sender,
+/// which winds down the workers.
 fn mux_reader_loop(
     conn_rx: mpsc::Receiver<Arc<MuxHostConn>>,
     job_tx: mpsc::Sender<MuxJob>,
@@ -842,6 +1129,7 @@ fn mux_reader_loop(
     // run of empty sweeps it yields, and only a genuinely idle plane backs
     // off to a bounded sleep.
     let mut idle_sweeps = 0u32;
+    let mut stop_at: Option<Instant> = None;
     loop {
         while let Ok(conn) = conn_rx.try_recv() {
             conns.push(ReaderConn {
@@ -850,7 +1138,10 @@ fn mux_reader_loop(
             });
         }
         if host.stop.load(Ordering::SeqCst) {
-            return;
+            let deadline = *stop_at.get_or_insert_with(|| Instant::now() + MUX_SHUTDOWN_GRACE);
+            if Instant::now() >= deadline {
+                return;
+            }
         }
         let mut progress = false;
         conns.retain_mut(|rc| {
@@ -1165,6 +1456,7 @@ impl MuxPool {
         MuxTransport {
             slot: Arc::clone(&self.slots[shard as usize]),
             stats: TransportStats::default(),
+            budget: None,
         }
     }
 
@@ -1233,6 +1525,8 @@ fn mux_client_reader(mut stream: TcpStream, conn: Weak<MuxClientConn>) {
 pub struct MuxTransport {
     slot: Arc<MuxSlot>,
     stats: TransportStats,
+    /// Per-call budget ([`Transport::set_call_budget`]); `None` blocks.
+    budget: Option<Duration>,
 }
 
 impl HasStats for MuxTransport {
@@ -1254,7 +1548,7 @@ impl MuxTransport {
     fn begin(
         &mut self,
         req: &Request,
-    ) -> Result<(mpsc::Receiver<SlotResult>, Arc<MuxClientConn>), CoreError> {
+    ) -> Result<(mpsc::Receiver<SlotResult>, u64, Arc<MuxClientConn>), CoreError> {
         let conn = Arc::clone(&self.slot.conn.read().unwrap_or_else(|p| p.into_inner()));
         let lost = || CoreError::Transport("mux connection lost".into());
         if conn.dead.load(Ordering::SeqCst) {
@@ -1289,7 +1583,22 @@ impl MuxTransport {
             }
         }
         self.stats.bytes_sent += payload.len() as u64;
-        Ok((rx, conn))
+        Ok((rx, corr, conn))
+    }
+
+    /// Reopens the slot's pooled connection if the current one is dead, so
+    /// a quarantined party that came back can be dialed again through the
+    /// same pool (fleet re-admission). A live connection is left untouched
+    /// — every rider keeps overlapping on it.
+    pub fn revive(&self) -> Result<(), CoreError> {
+        let stale = {
+            let conn = self.slot.conn.read().unwrap_or_else(|p| p.into_inner());
+            if !conn.dead.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            Arc::clone(&conn)
+        };
+        self.repool(&stale)
     }
 
     /// Swaps a fenced connection out of the slot for a fresh one — exactly
@@ -1307,11 +1616,44 @@ impl MuxTransport {
     }
 
     /// Parks on a slot registered by [`MuxTransport::begin`] and accounts
-    /// the completed round trip.
-    fn wait(&mut self, rx: mpsc::Receiver<SlotResult>) -> Result<Response, CoreError> {
-        let (resp, bytes) = rx
-            .recv()
-            .map_err(|_| CoreError::Transport("mux connection lost".into()))??;
+    /// the completed round trip. A bounded wait that expires unregisters
+    /// the completion slot (a late answer then counts as stray) and fails
+    /// with [`CoreError::Timeout`]; the shared connection stays healthy —
+    /// correlation ids keep every other rider's waves unambiguous, so
+    /// nothing needs poisoning.
+    fn wait(
+        &mut self,
+        rx: mpsc::Receiver<SlotResult>,
+        corr: u64,
+        conn: &Arc<MuxClientConn>,
+        deadline: Deadline,
+    ) -> Result<Response, CoreError> {
+        let lost = || CoreError::Transport("mux connection lost".into());
+        let slot = match deadline.remaining() {
+            None => rx.recv().map_err(|_| lost())?,
+            Some(rem) => match rx.recv_timeout(rem) {
+                Ok(r) => r,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(lost()),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    conn.pending
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&corr);
+                    // The reader may have resolved the slot between the
+                    // timeout and the removal — take the answer if it made
+                    // it under the wire.
+                    match rx.try_recv() {
+                        Ok(r) => r,
+                        Err(_) => {
+                            return Err(CoreError::Timeout(
+                                "no mux response within the call budget".into(),
+                            ))
+                        }
+                    }
+                }
+            },
+        };
+        let (resp, bytes) = slot?;
         self.stats.bytes_received += bytes;
         self.stats.round_trips += 1;
         Ok(resp)
@@ -1320,16 +1662,18 @@ impl MuxTransport {
 
 impl Transport for MuxTransport {
     fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
-        let (rx, conn) = self.begin(req)?;
-        let resp = self.wait(rx)?;
+        let deadline = Deadline::of(self.budget);
+        let (rx, corr, conn) = self.begin(req)?;
+        let resp = self.wait(rx, corr, &conn, deadline)?;
         if !is_reshard_fence(&resp) {
             return Ok(resp);
         }
-        // Same-count reshard: heal the slot and replay exactly once. A
-        // second fence (another reshard racing the replay) surfaces.
+        // Same-count reshard: heal the slot and replay exactly once (under
+        // the original call's deadline). A second fence (another reshard
+        // racing the replay) surfaces.
         self.repool(&conn)?;
-        let (rx, _) = self.begin(req)?;
-        self.wait(rx)
+        let (rx, corr, conn) = self.begin(req)?;
+        self.wait(rx, corr, &conn, deadline)
     }
 
     fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
@@ -1341,28 +1685,36 @@ impl Transport for MuxTransport {
     }
 
     fn call_pipelined(&mut self, req: &Request) -> Result<PendingCall, CoreError> {
-        let (rx, conn) = self.begin(req)?;
+        let deadline = Deadline::of(self.budget);
+        let (rx, corr, conn) = self.begin(req)?;
         Ok(PendingCall {
             rx,
-            retry: Some((req.clone(), conn)),
+            corr,
+            conn,
+            deadline,
+            retry: Some(req.clone()),
         })
     }
 
     fn finish_pipelined(&mut self, call: PendingCall) -> Result<Response, CoreError> {
-        let resp = self.wait(call.rx)?;
+        let resp = self.wait(call.rx, call.corr, &call.conn, call.deadline)?;
         if !is_reshard_fence(&resp) {
             return Ok(resp);
         }
-        let Some((req, conn)) = call.retry else {
+        let Some(req) = call.retry else {
             return Ok(resp);
         };
-        self.repool(&conn)?;
-        let (rx, _) = self.begin(&req)?;
-        self.wait(rx)
+        self.repool(&call.conn)?;
+        let (rx, corr, conn) = self.begin(&req)?;
+        self.wait(rx, corr, &conn, call.deadline)
     }
 
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn set_call_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
     }
 }
 

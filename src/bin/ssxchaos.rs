@@ -1,0 +1,115 @@
+//! `ssxchaos` — a seeded TCP chaos proxy for soaking `ssxdb` deployments.
+//!
+//! ```text
+//! ssxchaos --listen <host:port> --upstream <host:port> [--seed N]
+//!          [--profile quiet|soak] [--delay-permille N --delay-ms MS]
+//!          [--drop-permille N] [--reset-permille N] [--flip-permille N]
+//!          [--reorder-permille N]
+//! ```
+//!
+//! Sits between an unmodified client and host and mangles the
+//! length-prefixed frames with a deterministic, seed-keyed fault stream:
+//! delay, drop, reset, reorder, bit flip. The same seed replays the same
+//! fault schedule, so a failure found behind the proxy reproduces exactly.
+//! Put one in front of each fleet party and point `ssxdb remote --fleet`
+//! at the proxy addresses.
+
+use ssxdb::core::chaos::run_chaos_proxy;
+use ssxdb::core::ChaosConfig;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut listen = None;
+    let mut upstream = None;
+    let mut seed = 7u64;
+    let mut cfg_template: Option<fn(u64) -> ChaosConfig> = None;
+    let mut overrides: Vec<(String, u64)> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{a}'; try --help"));
+        };
+        if name == "help" || name == "h" {
+            print!("{USAGE}");
+            return Ok(());
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        match name {
+            "listen" => listen = Some(value),
+            "upstream" => upstream = Some(value),
+            "seed" => seed = value.parse().map_err(|_| "bad --seed")?,
+            "profile" => {
+                cfg_template = Some(match value.as_str() {
+                    "quiet" => ChaosConfig::quiet,
+                    "soak" => ChaosConfig::soak,
+                    other => return Err(format!("unknown profile '{other}' (quiet|soak)")),
+                })
+            }
+            "delay-permille" | "delay-ms" | "drop-permille" | "reset-permille"
+            | "flip-permille" | "reorder-permille" => {
+                let n: u64 = value.parse().map_err(|_| format!("bad --{name}"))?;
+                overrides.push((name.to_string(), n));
+            }
+            other => return Err(format!("unknown flag --{other}; try --help")),
+        }
+    }
+    let listen = listen.ok_or("missing --listen")?;
+    let upstream = upstream.ok_or("missing --upstream")?;
+    let upstream = upstream
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve --upstream: {e}"))?
+        .next()
+        .ok_or("upstream resolved to nothing")?;
+    let mut cfg = cfg_template.unwrap_or(ChaosConfig::soak)(seed);
+    for (name, n) in overrides {
+        match name.as_str() {
+            "delay-permille" => cfg.delay_per_mille = n as u32,
+            "delay-ms" => cfg.delay = std::time::Duration::from_millis(n),
+            "drop-permille" => cfg.drop_per_mille = n as u32,
+            "reset-permille" => cfg.reset_per_mille = n as u32,
+            "flip-permille" => cfg.flip_per_mille = n as u32,
+            "reorder-permille" => cfg.reorder_per_mille = n as u32,
+            _ => unreachable!(),
+        }
+    }
+    let listener = TcpListener::bind(&listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    println!(
+        "chaos proxy on {listen} -> {upstream} (seed {seed}): \
+         delay {}‰/{:?}, drop {}‰, reset {}‰, flip {}‰, reorder {}‰",
+        cfg.delay_per_mille,
+        cfg.delay,
+        cfg.drop_per_mille,
+        cfg.reset_per_mille,
+        cfg.flip_per_mille,
+        cfg.reorder_per_mille
+    );
+    println!("replay any failure with --seed {seed}; Ctrl-C stops the proxy");
+    run_chaos_proxy(&listener, upstream, cfg, &AtomicBool::new(false));
+    Ok(())
+}
+
+const USAGE: &str = "\
+ssxchaos — seeded TCP chaos proxy for ssxdb hosts
+
+  ssxchaos --listen HOST:PORT --upstream HOST:PORT [--seed N]
+           [--profile quiet|soak] [--delay-permille N] [--delay-ms MS]
+           [--drop-permille N] [--reset-permille N] [--flip-permille N]
+           [--reorder-permille N]
+
+The fault stream is keyed by --seed: the same seed replays the same
+schedule. Defaults to the soak profile (a moderate all-fault mix).
+";

@@ -9,12 +9,15 @@
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
-//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S] [--mux [--workers W]]
+//! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S]
+//!               [--mux [--workers W] [--write-stall-ms MS]]
 //!               [--party i] [--auto-reshard-target BYTES] <db.ssxdb | party-store>
 //! ssxdb remote  --map <map> --seed <seed> --addr <host:port> [--shards S]
-//!               [--engine …] [--rule …] [--speculate] [--mux] [--stats] <query>
+//!               [--engine …] [--rule …] [--speculate] [--mux] [--deadline-ms MS]
+//!               [--stats] <query>
 //! ssxdb remote  --map <map> --seed <seed> --fleet a1,a2,… --threshold t
-//!               [--engine …] [--rule …] [--speculate] [--mux] [--stats] <query>
+//!               [--engine …] [--rule …] [--speculate] [--mux] [--deadline-ms MS]
+//!               [--retries N] [--hedge] [--stats] <query>
 //! ssxdb reshard --addr <host:port> --shards <S'>
 //! ```
 //!
@@ -43,15 +46,23 @@
 //! verification — a corrupted share is detected and attributed, a dead
 //! party is tolerated down to `t` responders.
 //!
+//! The resilience knobs: `--deadline-ms MS` bounds every call (a hung
+//! party fails with a typed timeout instead of hanging the query),
+//! `--retries N` retries transient failures with exponential backoff over
+//! a fresh connection, and `--hedge` answers each fleet wave from the
+//! first `t` verified responses while stragglers drain in the background.
+//! On the host side, `serve --mux --write-stall-ms MS` bounds how long a
+//! non-reading client may stall a writer before its connection is shed.
+//!
 //! The map and seed files are the client secrets; `info`, `serve` and
 //! `reshard` work without them (they only touch what the untrusted server
 //! would hold).
 
 use ssxdb::core::{
-    encode_document, encode_dom, party_server, serve_tcp, serve_tcp_mux, serve_tcp_mux_auto,
-    serve_tcp_sharded, serve_tcp_sharded_auto, split_fleet, ClientFilter, Engine, EngineKind,
-    FleetSpec, MapFile, MatchRule, MuxPool, RemoteFleetDb, RemoteMuxFleetDb, ServerFilter,
-    ShardRouter, ShardedServer,
+    encode_document, encode_dom, party_server, serve_tcp, serve_tcp_mux_opts, serve_tcp_sharded,
+    serve_tcp_sharded_auto, split_fleet, ClientFilter, Engine, EngineKind, FleetSpec, MapFile,
+    MatchRule, MuxHostOptions, MuxPool, RemoteFleetDb, RemoteMuxFleetDb, ResilienceConfig,
+    ServerFilter, ShardRouter, ShardedServer, Transport,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
@@ -110,12 +121,14 @@ commands:
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
   serve   --p P --e E --addr HOST:PORT [--shards S]
-          [--mux [--workers W]] [--party i]
+          [--mux [--workers W] [--write-stall-ms MS]] [--party i]
           [--auto-reshard-target BYTES] <db.ssxdb | party store>
   remote  --map M --seed S --addr HOST:PORT [--shards S]
-          [--engine ..] [--rule ..] [--speculate] [--mux] <query>
+          [--engine ..] [--rule ..] [--speculate] [--mux]
+          [--deadline-ms MS] <query>
   remote  --map M --seed S --fleet A1,A2,.. --threshold t
-          [--engine ..] [--rule ..] [--speculate] [--mux] <query>
+          [--engine ..] [--rule ..] [--speculate] [--mux]
+          [--deadline-ms MS] [--retries N] [--hedge] <query>
   reshard --addr HOST:PORT --shards S'            repartition a live host
 ";
 
@@ -139,6 +152,7 @@ impl Args {
                     || name == "trie-alphabet"
                     || name == "speculate"
                     || name == "mux"
+                    || name == "hedge"
                 {
                     // boolean flags
                     flags.push((name.to_string(), "true".to_string()));
@@ -197,6 +211,39 @@ fn parse_rule(args: &Args) -> Result<MatchRule, String> {
         "equality" | "strict" => Ok(MatchRule::Equality),
         other => Err(format!("unknown rule '{other}' (containment|equality)")),
     }
+}
+
+/// Builds the mux host options from `--workers` and `--write-stall-ms`.
+fn mux_host_options(args: &Args, auto_target: Option<u64>) -> Result<MuxHostOptions, String> {
+    let mut opts = MuxHostOptions {
+        auto_target,
+        ..MuxHostOptions::default()
+    };
+    opts.workers = args
+        .flag("workers")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --workers")?;
+    if let Some(ms) = args.flag("write-stall-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --write-stall-ms")?;
+        opts.write_stall = std::time::Duration::from_millis(ms.max(1));
+    }
+    Ok(opts)
+}
+
+/// Builds the fleet resilience policy from `--deadline-ms`, `--retries`
+/// and `--hedge`.
+fn resilience_options(args: &Args) -> Result<ResilienceConfig, String> {
+    let mut cfg = ResilienceConfig::default();
+    if let Some(ms) = args.flag("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline-ms")?;
+        cfg.deadline = Some(std::time::Duration::from_millis(ms.max(1)));
+    }
+    if let Some(n) = args.flag("retries") {
+        cfg.retries = n.parse().map_err(|_| "bad --retries")?;
+    }
+    cfg.hedge = args.bool("hedge");
+    Ok(cfg)
 }
 
 fn load_secrets(args: &Args) -> Result<(MapFile, Seed), String> {
@@ -487,12 +534,8 @@ fn serve(mut args: Args) -> Result<(), String> {
             header.servers, header.threshold
         );
         let server = if args.bool("mux") {
-            let workers: usize = args
-                .flag("workers")
-                .unwrap_or("0")
-                .parse()
-                .map_err(|_| "bad --workers")?;
-            serve_tcp_mux(listener, server, workers).map_err(|err| err.to_string())?
+            let opts = mux_host_options(&args, None)?;
+            serve_tcp_mux_opts(listener, server, opts).map_err(|err| err.to_string())?
         } else {
             serve_tcp_sharded(listener, server).map_err(|err| err.to_string())?
         };
@@ -512,11 +555,7 @@ fn serve(mut args: Args) -> Result<(), String> {
     let table = load_table(&db_path).map_err(|err| err.to_string())?;
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
     if args.bool("mux") {
-        let workers: usize = args
-            .flag("workers")
-            .unwrap_or("0")
-            .parse()
-            .map_err(|_| "bad --workers")?;
+        let opts = mux_host_options(&args, auto_target)?;
         let server =
             ShardedServer::from_table(table, ring, shards).map_err(|err| err.to_string())?;
         println!(
@@ -524,8 +563,7 @@ fn serve(mut args: Args) -> Result<(), String> {
              (fixed thread pool; Ctrl-C or a Shutdown request stops it)",
             db_path.display()
         );
-        let server = serve_tcp_mux_auto(listener, server, workers, auto_target)
-            .map_err(|err| err.to_string())?;
+        let server = serve_tcp_mux_opts(listener, server, opts).map_err(|err| err.to_string())?;
         for (i, f) in server.filters().iter().enumerate() {
             let s = f.stats();
             println!(
@@ -591,16 +629,19 @@ fn remote(mut args: Args) -> Result<(), String> {
         let query_text = args.positional("query")?;
         let engine = parse_engine(&args)?;
         let rule = parse_rule(&args)?;
+        let resilience = resilience_options(&args)?;
         let out = if args.bool("mux") {
             let mut db = RemoteMuxFleetDb::connect_fleet_mux(&addrs, threshold, map, seed)
                 .map_err(|e| e.to_string())?;
             db.set_speculation(args.bool("speculate"));
+            db.set_resilience(resilience);
             db.query(&query_text, engine, rule)
                 .map_err(|e| e.to_string())?
         } else {
             let mut db = RemoteFleetDb::connect_fleet(&addrs, threshold, map, seed)
                 .map_err(|e| e.to_string())?;
             db.set_speculation(args.bool("speculate"));
+            db.set_resilience(resilience);
             db.query(&query_text, engine, rule)
                 .map_err(|e| e.to_string())?
         };
@@ -624,15 +665,18 @@ fn remote(mut args: Args) -> Result<(), String> {
     // partitions), and with `--shards 1` it speaks the untagged legacy
     // protocol. `--mux` rides the correlation envelope instead — one
     // multiplexed socket per shard.
+    let deadline = resilience_options(&args)?.deadline;
     let out = if args.bool("mux") {
         let pool = MuxPool::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
         let mut router = ShardRouter::mux(&pool);
         router.set_speculation(args.bool("speculate"));
+        router.set_call_budget(deadline);
         let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
         Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?
     } else {
         let mut router = ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
         router.set_speculation(args.bool("speculate"));
+        router.set_call_budget(deadline);
         let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
         Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?
     };
@@ -694,6 +738,12 @@ fn print_outcome(query_text: &str, out: &ssxdb::core::QueryOutcome, stats: bool)
             println!(
                 "  speculation:       {} hits / {} wasted",
                 s.speculative_hits, s.speculative_wasted
+            );
+        }
+        if s.hedged_wins > 0 || s.straggler_ms > 0 {
+            println!(
+                "  hedging:           {} waves answered early ({} straggler ms not waited for)",
+                s.hedged_wins, s.straggler_ms
             );
         }
         println!(

@@ -4,19 +4,22 @@
 //! party dead at connect, a party dying mid-stream, and a byzantine party
 //! serving bit-flipped shares (detected and *named*, never wrong results).
 
-use ssxdb::core::protocol::{encode_request, Request, Response};
+use ssxdb::core::protocol::{encode_request, encode_response, Request, Response};
 use ssxdb::core::transport::Transport;
 use ssxdb::core::{
     encode_document, encode_document_fleet, party_server, serve_tcp, serve_tcp_mux,
-    serve_tcp_sharded, CoreError, EncryptedDb, EngineKind, FleetSpec, MapFile, MatchRule, MuxPool,
-    PartyStore, RemoteFleetDb, RemoteMuxFleetDb, ServerFilter, ShardRouter, ShardedServer,
-    TcpTransport,
+    serve_tcp_mux_opts, serve_tcp_sharded, CoreError, EncryptedDb, EngineKind, FleetSpec, MapFile,
+    MatchRule, MuxHostOptions, MuxPool, PartyHealth, PartyStore, RemoteFleetDb, RemoteMuxFleetDb,
+    ResilienceConfig, ServerFilter, ShardRouter, ShardedServer, TcpTransport,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
 use ssxdb::store::{Row, Table};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn demo_server() -> ServerFilter {
     let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
@@ -522,5 +525,185 @@ fn malformed_frames_only_drop_their_connection_on_sharded_host() {
         other => panic!("{other:?}"),
     }
     router.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+// ---- resilience: deadlines and write stalls ---------------------------------
+
+fn read_frame_raw(s: &mut TcpStream) -> Option<Vec<u8>> {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    s.read_exact(&mut len).ok()?;
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    s.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+/// A slow-loris party: every connection gets its first frame answered (the
+/// `ShardCount` probe, reported as the fleet layout `Count(2)`), after
+/// which the socket swallows frames forever without responding.
+fn slow_loris_party() -> (std::net::SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(mut s) = stream else { return };
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                use std::io::Read;
+                if read_frame_raw(&mut s).is_none() {
+                    return;
+                }
+                let payload = encode_response(&Response::Count(2));
+                let _ = s.write_all(&(payload.len() as u32).to_le_bytes());
+                let _ = s.write_all(&payload);
+                // Now go silent: read everything, answer nothing.
+                let mut buf = [0u8; 4096];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {
+                            if flag.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    (addr, stop)
+}
+
+/// A slow-loris party — answers the connect probe, then never responds to
+/// another frame. With a per-call deadline the wave times that leg out,
+/// completes bit-identically from the two honest parties, and the fault on
+/// record names the party, its address, and the exceeded deadline.
+#[test]
+fn fleet_slow_loris_party_is_timed_out_not_waited_for() {
+    let (map, seed) = fleet_secrets();
+    let spec = FleetSpec::new(3, 2).unwrap();
+    let fleet = encode_document_fleet(FLEET_XML, &map, &seed, spec).unwrap();
+    let ring = fleet.ring.clone();
+    let mut parties = fleet.parties.into_iter();
+    let (a1, h1) = spawn_party(parties.next().unwrap(), &ring, false);
+    let _party2_shares_stay_offline = parties.next().unwrap();
+    let (a3, h3) = spawn_party(parties.next().unwrap(), &ring, false);
+    let (loris, stop) = slow_loris_party();
+    let addrs = vec![a1.to_string(), loris.to_string(), a3.to_string()];
+
+    let expected = EncryptedDb::encode(FLEET_XML, map.clone(), seed.clone())
+        .unwrap()
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap()
+        .result;
+
+    let mut db = RemoteFleetDb::connect_fleet(&addrs, 2, map, seed).unwrap();
+    db.set_resilience(ResilienceConfig {
+        deadline: Some(Duration::from_millis(200)),
+        retries: 0,
+        ..Default::default()
+    });
+    let t0 = std::time::Instant::now();
+    let out = db
+        .query("//b", EngineKind::Simple, MatchRule::Equality)
+        .unwrap();
+    assert_eq!(
+        out.result, expected,
+        "the honest quorum must answer exactly"
+    );
+    // Timeouts are bounded: the hung leg costs at most a few deadlines
+    // before quarantine, never a multi-second wait per wave.
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "query stalled on the slow-loris party: {:?}",
+        t0.elapsed()
+    );
+    let status = db.party_status();
+    let p2 = &status[1];
+    assert_eq!(p2.addr, loris.to_string(), "fault must carry the address");
+    assert_ne!(p2.health, PartyHealth::Live);
+    let fault = p2
+        .fault
+        .clone()
+        .expect("the hung party must have a fault on record");
+    assert!(
+        fault.contains("deadline exceeded"),
+        "fault must name the deadline: {fault}"
+    );
+
+    drop(db);
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(loris);
+    stop_host(a1);
+    stop_host(a3);
+    h1.join().unwrap();
+    h3.join().unwrap();
+}
+
+/// The mux host's write-stall knob (`serve --write-stall-ms`): a client
+/// that requests megabytes and never reads a byte is cut off after the
+/// configured stall, freeing the (deliberately single) executor for
+/// well-behaved clients long before the 5 s default would.
+#[test]
+fn mux_write_stall_knob_cuts_off_a_non_reading_client() {
+    let map = MapFile::sequential(29, 1, &["site", "a", "b"]).unwrap();
+    let seed = Seed::from_test_key(9);
+    let out = encode_document("<site><a><b/></a></site>", &map, &seed).unwrap();
+    let server = ShardedServer::from_table(out.table, out.ring, 1).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = MuxHostOptions {
+        workers: 1,
+        auto_target: None,
+        write_stall: Duration::from_millis(150),
+    };
+    let handle = std::thread::spawn(move || serve_tcp_mux_opts(listener, server, opts).unwrap());
+
+    // The stalled client: mux handshake, then ~40 MB of polynomial fetches
+    // it will never read. Writes are best-effort — the host is expected to
+    // kill this connection under us.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    let hello = encode_request(&Request::Hello { version: 1 });
+    stalled
+        .write_all(&(hello.len() as u32).to_le_bytes())
+        .unwrap();
+    stalled.write_all(&hello).unwrap();
+    let mut ack = [0u8; 64];
+    use std::io::Read;
+    let _ = stalled.read(&mut ack);
+    let req = encode_request(&Request::GetPolys {
+        pres: vec![1; 40_000],
+    });
+    for corr in 0..2u64 {
+        let mut framed = corr.to_le_bytes().to_vec();
+        framed.extend_from_slice(&req);
+        let _ = stalled.write_all(&(framed.len() as u32).to_le_bytes());
+        let _ = stalled.write_all(&framed);
+    }
+
+    // The well-behaved client is served well under the 5 s default: the
+    // stalled connection is poisoned after ~150 ms and the executor moves on.
+    let t0 = std::time::Instant::now();
+    let pool = MuxPool::connect(addr, 1).unwrap();
+    let mut good = pool.transport(0);
+    assert_eq!(good.call(&Request::Count).unwrap(), Response::Count(3));
+    assert!(
+        t0.elapsed() < Duration::from_millis(2500),
+        "good client waited {:?}; the write-stall knob did not take effect",
+        t0.elapsed()
+    );
+
+    drop(good);
+    drop(pool);
+    drop(stalled);
+    let mut closer = TcpTransport::connect(addr).unwrap();
+    closer.call(&Request::Shutdown).unwrap();
+    drop(closer);
     handle.join().unwrap();
 }
