@@ -1,7 +1,7 @@
 //! Microbenchmarks of the cryptographic and storage primitives the
 //! experiments are built from — the cost model behind Figs 4–6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ssx_field::FieldCtx;
 use ssx_poly::{extract_root, random_poly, reconstruct, split_with_prg, Packer, RingCtx};
 use ssx_prg::{node_prg, Prg, Seed};
@@ -60,6 +60,9 @@ fn eval_domain_ops(c: &mut Criterion) {
     let ea = ring.to_evals(&a);
     let eb = ring.to_evals(&b2);
     let mut group = c.benchmark_group("evaldom_f83");
+    // Every operation below touches all n = q − 1 components of a ring
+    // element; report per-element rates, not per-row times.
+    group.throughput(Throughput::Elements(ring.len() as u64));
     group.bench_function("mul_pointwise", |b| {
         let mut acc = ea.clone();
         b.iter(|| {
@@ -132,6 +135,9 @@ fn packing_ops(c: &mut Criterion) {
     let radix = packer.pack_radix(&poly);
     let bits = packer.pack_bits(&poly);
     let mut group = c.benchmark_group("packing");
+    // A pack/unpack processes one coefficient per ring slot; per-element
+    // rates make the radix and bit paths comparable across field sizes.
+    group.throughput(Throughput::Elements(ring.len() as u64));
     group.bench_function("pack_radix", |b| {
         b.iter(|| packer.pack_radix(black_box(&poly)))
     });

@@ -10,7 +10,7 @@
 
 use crate::error::CoreError;
 use crate::map::MapFile;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, ResponseView};
 use crate::transport::{Transport, TransportStats};
 use ssx_poly::{extract_root_evals, random_poly, EvalPoly, Packer, RingCtx, RingPoly, RootOutcome};
 use ssx_prg::{node_prg, Seed};
@@ -349,14 +349,21 @@ impl<T: Transport> ClientFilter<T> {
         let mut server_vals = Vec::with_capacity(locs.len());
         for chunk in locs.chunks(limit) {
             let pres: Vec<u32> = chunk.iter().map(|l| l.pre).collect();
-            match self
-                .transport
-                .call(&Request::EvalMany { pres, point: value })?
-            {
-                Response::Values(vs) => server_vals.extend(vs),
-                Response::Err(e) => return Err(CoreError::Transport(e)),
-                other => return Err(unexpected(other)),
-            }
+            // Borrowed first-touch decode: the bulk Values payload is read
+            // straight out of the transport's receive buffer (when aligned)
+            // into our accumulator — no intermediate Vec per chunk.
+            self.transport
+                .call_with(
+                    &Request::EvalMany { pres, point: value },
+                    &mut |view| match view {
+                        ResponseView::Values(vs) => {
+                            server_vals.extend_from_slice(vs.as_slice());
+                            Ok(())
+                        }
+                        ResponseView::Other(Response::Err(e)) => Err(CoreError::Transport(e)),
+                        other => Err(unexpected(other.into_owned())),
+                    },
+                )?;
         }
         if server_vals.len() != locs.len() {
             return Err(CoreError::Transport("EvalMany length mismatch".into()));

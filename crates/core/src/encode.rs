@@ -17,7 +17,7 @@
 use crate::error::CoreError;
 use crate::map::MapFile;
 use ssx_poly::{random_poly_into, EvalPoly, Packer, RingCtx, RingPoly};
-use ssx_prg::{node_prg, Seed};
+use ssx_prg::{node_prg, node_prg_from_digest, seed_digest, Seed};
 use ssx_store::{Loc, Row, Table};
 use ssx_xml::{Document, NodeKind, PullParser, XmlEvent};
 use std::time::{Duration, Instant};
@@ -49,13 +49,33 @@ pub struct EncodeOutput {
     pub stats: EncodeStats,
 }
 
+/// Deferred per-node storage-boundary work captured by the parallel
+/// encoder's serial fold phase: everything `Encoder::end` needs to finish a
+/// row *except* the tree context. Jobs are independent — the client-share
+/// PRG stream is keyed by `(seed, pre)` alone — so workers may process them
+/// in any order and still produce bytes bit-identical to the serial path.
+enum BoundaryJob {
+    /// A childless element: its polynomial is the single factor `x − tag`,
+    /// whose coefficient form is known outright.
+    Leaf { loc: Loc, tag: u64 },
+    /// An element with children: the folded product, still in the
+    /// evaluation domain.
+    Internal {
+        loc: Loc,
+        evals: EvalPoly,
+        factors: usize,
+    },
+}
+
 struct Frame {
     pre: u32,
     parent_pre: u32,
     tag_value: u64,
     /// Product of the finished children, kept in the evaluation domain so
-    /// each fold is `O(q)` pointwise.
-    acc: EvalPoly,
+    /// each fold is `O(q)` pointwise. `None` until the first child closes —
+    /// a frame that ends with `None` is a leaf and skips the eval-domain
+    /// detour entirely.
+    acc: Option<EvalPoly>,
     /// Elements already folded into `acc` (children subtree sizes). With
     /// `d` linear factors the node polynomial has exact degree
     /// `min(d, n−1)`, which bounds the inverse-transform work at the
@@ -63,14 +83,67 @@ struct Frame {
     subtree_elems: usize,
 }
 
+/// Encoder-local tag lookup: an open-addressed FNV-1a table over the map's
+/// entries. The map itself is an ordered tree keyed by `String` — fine for
+/// config-time lookups, but the encoder resolves one tag per element on the
+/// hot path, so it flattens the map into this probe table once per run.
+struct TagCache {
+    slots: Vec<Option<(Box<str>, u64)>>,
+    mask: usize,
+}
+
+impl TagCache {
+    fn new(map: &MapFile) -> Self {
+        let cap = (map.len().max(1) * 2).next_power_of_two();
+        let mut slots = vec![None; cap];
+        let mask = cap - 1;
+        for (name, value) in map.iter() {
+            let mut i = fnv1a(name.as_bytes()) as usize & mask;
+            while slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            slots[i] = Some((name.into(), value));
+        }
+        TagCache { slots, mask }
+    }
+
+    #[inline]
+    fn get(&self, name: &str) -> Option<u64> {
+        let mut i = fnv1a(name.as_bytes()) as usize & self.mask;
+        loop {
+            match &self.slots[i] {
+                Some((n, v)) if &**n == name => return Some(*v),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
 /// Incremental encoder; drive it with [`Encoder::start`]/[`Encoder::end`].
 struct Encoder<'a> {
     ring: RingCtx,
     packer: Packer,
     table: Table,
-    map: &'a MapFile,
+    tags: TagCache,
     seed: &'a Seed,
+    /// `seed_digest(seed)`, hoisted out of the per-node share derivation.
+    digest: u64,
     stack: Vec<Frame>,
+    /// Recycled eval-domain buffers: finished accumulators return here and
+    /// new first-child accumulators are drawn from here, so the steady-state
+    /// encode loop allocates only each row's boxed byte payload.
+    pool: Vec<EvalPoly>,
     pre: u32,
     post: u32,
     max_depth: usize,
@@ -80,6 +153,10 @@ struct Encoder<'a> {
     scratch_client: RingPoly,
     scratch_pack_work: Vec<u64>,
     scratch_pack_out: Vec<u8>,
+    /// `Some` puts the encoder in job-collecting mode: `end` defers the
+    /// storage boundary (inverse transform, share split, pack) into this
+    /// queue instead of running it inline. Used by the parallel encoder.
+    jobs: Option<Vec<BoundaryJob>>,
 }
 
 impl<'a> Encoder<'a> {
@@ -93,9 +170,11 @@ impl<'a> Encoder<'a> {
             ring,
             packer,
             table,
-            map,
+            tags: TagCache::new(map),
             seed,
+            digest: seed_digest(seed),
             stack: Vec::new(),
+            pool: Vec::new(),
             pre: 0,
             post: 0,
             max_depth: 0,
@@ -103,18 +182,28 @@ impl<'a> Encoder<'a> {
             scratch_client,
             scratch_pack_work: Vec::new(),
             scratch_pack_out: Vec::new(),
+            jobs: None,
         })
     }
 
+    fn new_collecting(map: &'a MapFile, seed: &'a Seed) -> Result<Self, CoreError> {
+        let mut enc = Self::new(map, seed)?;
+        enc.jobs = Some(Vec::new());
+        Ok(enc)
+    }
+
     fn start(&mut self, name: &str) -> Result<(), CoreError> {
-        let tag_value = self.map.value(name)?;
+        let tag_value = match self.tags.get(name) {
+            Some(v) => v,
+            None => return Err(CoreError::UnknownTag(name.to_string())),
+        };
         self.pre += 1;
         let parent_pre = self.stack.last().map_or(0, |f| f.pre);
         self.stack.push(Frame {
             pre: self.pre,
             parent_pre,
             tag_value,
-            acc: self.ring.evals_one(),
+            acc: None,
             subtree_elems: 0,
         });
         self.max_depth = self.max_depth.max(self.stack.len());
@@ -124,40 +213,107 @@ impl<'a> Encoder<'a> {
     fn end(&mut self) -> Result<(), CoreError> {
         let frame = self.stack.pop().expect("end without start");
         self.post += 1;
-        // f = (x - map(tag)) * product(children), pointwise in the
-        // evaluation domain.
-        let mut f = frame.acc;
-        self.ring.eval_mul_linear_assign(&mut f, frame.tag_value);
         let factors = frame.subtree_elems + 1;
-        // Wire/storage boundary: back to coefficient form — bounded by the
-        // node's exact degree — then split: client share from
-        // PRG(seed, pre), server share = f - client.
-        self.ring
-            .from_evals_bounded_into(&f, factors, &mut self.scratch_node);
-        let mut prg = node_prg(self.seed, frame.pre as u64);
+        let loc = Loc {
+            pre: frame.pre,
+            post: self.post,
+            parent: frame.parent_pre,
+        };
+        match frame.acc {
+            // Leaf: f = x − tag. The coefficient form is known outright, so
+            // the boundary skips the eval-domain round trip, and the fold
+            // into the parent is the fused linear pass.
+            None => {
+                debug_assert_eq!(factors, 1);
+                if let Some(jobs) = &mut self.jobs {
+                    jobs.push(BoundaryJob::Leaf {
+                        loc,
+                        tag: frame.tag_value,
+                    });
+                } else {
+                    self.ring
+                        .linear_into(frame.tag_value, &mut self.scratch_node);
+                    self.split_pack_insert(loc)?;
+                }
+                if let Some(parent) = self.stack.last_mut() {
+                    match &mut parent.acc {
+                        Some(acc) => self.ring.eval_mul_linear_assign(acc, frame.tag_value),
+                        None => {
+                            let mut buf = self.pool.pop().unwrap_or_else(|| self.ring.evals_zero());
+                            self.ring.evals_linear_into(frame.tag_value, &mut buf);
+                            parent.acc = Some(buf);
+                        }
+                    }
+                    parent.subtree_elems += 1;
+                }
+            }
+            // Internal node: f = (x − tag) · product(children), pointwise in
+            // the evaluation domain.
+            Some(mut f) => {
+                self.ring.eval_mul_linear_assign(&mut f, frame.tag_value);
+                if let Some(mut jobs) = self.jobs.take() {
+                    // Parallel mode: the job takes ownership of `f`; a
+                    // parent still lacking an accumulator gets a clone (the
+                    // first-child case). The fold itself stays serial — it
+                    // is the only tree-ordered dependency.
+                    if let Some(parent) = self.stack.last_mut() {
+                        match &mut parent.acc {
+                            Some(acc) => self.ring.eval_mul_assign(acc, &f),
+                            None => parent.acc = Some(f.clone()),
+                        }
+                        parent.subtree_elems += factors;
+                    }
+                    jobs.push(BoundaryJob::Internal {
+                        loc,
+                        evals: f,
+                        factors,
+                    });
+                    self.jobs = Some(jobs);
+                } else {
+                    // Wire/storage boundary: back to coefficient form —
+                    // bounded by the node's exact degree — then split.
+                    self.ring
+                        .from_evals_bounded_into(&f, factors, &mut self.scratch_node);
+                    self.split_pack_insert(loc)?;
+                    // Fold into the parent; a parent with no accumulator yet
+                    // adopts `f` wholesale, otherwise `f`'s buffer recycles.
+                    match self.stack.last_mut() {
+                        Some(parent) => {
+                            match &mut parent.acc {
+                                Some(acc) => {
+                                    self.ring.eval_mul_assign(acc, &f);
+                                    self.pool.push(f);
+                                }
+                                None => parent.acc = Some(f),
+                            }
+                            parent.subtree_elems += factors;
+                        }
+                        None => self.pool.push(f),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared tail of the serial storage boundary: `scratch_node` holds the
+    /// plaintext coefficients; subtract the PRG client share, pack, insert.
+    /// The client share comes from `PRG(seed, pre)`, so it is regenerable at
+    /// query time and independent of encode order.
+    fn split_pack_insert(&mut self, loc: Loc) -> Result<(), CoreError> {
+        let mut prg = node_prg_from_digest(self.digest, loc.pre as u64);
         random_poly_into(&self.ring, &mut prg, &mut self.scratch_client);
         self.ring
             .sub_assign(&mut self.scratch_node, &self.scratch_client);
-        // Pack through the reusable scratch buffers (the conversion itself
-        // now dominates the encode boundary; see ssx_poly::packing).
         self.packer.pack_radix_into(
             &self.scratch_node,
             &mut self.scratch_pack_work,
             &mut self.scratch_pack_out,
         );
         self.table.insert(Row {
-            loc: Loc {
-                pre: frame.pre,
-                post: self.post,
-                parent: frame.parent_pre,
-            },
+            loc,
             poly: self.scratch_pack_out.as_slice().into(),
         })?;
-        // Fold the finished polynomial into the parent's accumulator.
-        if let Some(parent) = self.stack.last_mut() {
-            self.ring.eval_mul_assign(&mut parent.acc, &f);
-            parent.subtree_elems += factors;
-        }
         Ok(())
     }
 
@@ -175,6 +331,81 @@ impl<'a> Encoder<'a> {
             packer: self.packer,
         }
     }
+
+    /// Drains the collected boundary jobs across `threads` scoped workers
+    /// and inserts the rows in the original post-order. Each worker carries
+    /// its own scratch buffers; because client-share streams are keyed by
+    /// `(seed, pre)` and packing is deterministic, the stored bytes are
+    /// bit-identical to the serial path for every thread count.
+    fn finish_parallel(
+        mut self,
+        threads: usize,
+        input_bytes: usize,
+        started: Instant,
+    ) -> Result<EncodeOutput, CoreError> {
+        let jobs = self.jobs.take().expect("finish_parallel without jobs");
+        let threads = threads.clamp(1, jobs.len().max(1));
+        let ring = &self.ring;
+        let packer = &self.packer;
+        let seed = self.seed;
+        let chunk_len = jobs.len().div_ceil(threads);
+        let mut rows: Vec<Vec<Row>> = Vec::with_capacity(threads);
+        if threads == 1 || chunk_len == 0 {
+            rows.push(boundary_chunk(ring, packer, seed, &jobs));
+        } else {
+            let chunks: Vec<&[BoundaryJob]> = jobs.chunks(chunk_len).collect();
+            rows = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| scope.spawn(move || boundary_chunk(ring, packer, seed, chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("encoder worker panicked"))
+                    .collect()
+            });
+        }
+        for row in rows.into_iter().flatten() {
+            self.table.insert(row)?;
+        }
+        Ok(self.finish(input_bytes, started))
+    }
+}
+
+/// Runs the storage boundary for a contiguous slice of jobs with
+/// worker-local scratch buffers; order within the slice is preserved.
+fn boundary_chunk(ring: &RingCtx, packer: &Packer, seed: &Seed, jobs: &[BoundaryJob]) -> Vec<Row> {
+    let digest = seed_digest(seed);
+    let mut node = ring.zero();
+    let mut client = ring.zero();
+    let mut work = Vec::new();
+    let mut out = Vec::new();
+    jobs.iter()
+        .map(|job| {
+            let loc = match job {
+                BoundaryJob::Leaf { loc, tag } => {
+                    ring.linear_into(*tag, &mut node);
+                    *loc
+                }
+                BoundaryJob::Internal {
+                    loc,
+                    evals,
+                    factors,
+                } => {
+                    ring.from_evals_bounded_into(evals, *factors, &mut node);
+                    *loc
+                }
+            };
+            let mut prg = node_prg_from_digest(digest, loc.pre as u64);
+            random_poly_into(ring, &mut prg, &mut client);
+            ring.sub_assign(&mut node, &client);
+            packer.pack_radix_into(&node, &mut work, &mut out);
+            Row {
+                loc,
+                poly: out.as_slice().into(),
+            }
+        })
+        .collect()
 }
 
 /// Encodes an XML document string. Text nodes are ignored: the base scheme
@@ -184,14 +415,75 @@ pub fn encode_document(xml: &str, map: &MapFile, seed: &Seed) -> Result<EncodeOu
     let started = Instant::now();
     let mut enc = Encoder::new(map, seed)?;
     let mut parser = PullParser::new(xml);
-    while let Some(ev) = parser.next()? {
+    while let Some((name, is_start)) = parser.next_element()? {
+        if is_start {
+            enc.start(name)?;
+        } else {
+            enc.end()?;
+        }
+    }
+    Ok(enc.finish(xml.len(), started))
+}
+
+/// Encodes an XML document with the storage boundary (inverse transform,
+/// share split, radix pack) fanned out over `threads` scoped workers. The
+/// tree fold itself stays serial — it is the only tree-ordered dependency —
+/// so the stored table is bit-identical to [`encode_document`] for every
+/// thread count. `threads == 0` is treated as 1.
+pub fn encode_document_parallel_with(
+    xml: &str,
+    map: &MapFile,
+    seed: &Seed,
+    threads: usize,
+) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new_collecting(map, seed)?;
+    let mut parser = PullParser::new(xml);
+    while let Some((name, is_start)) = parser.next_element()? {
+        if is_start {
+            enc.start(name)?;
+        } else {
+            enc.end()?;
+        }
+    }
+    enc.finish_parallel(threads, xml.len(), started)
+}
+
+/// [`encode_document_parallel_with`] keyed by the host's available
+/// parallelism (1 if it cannot be determined).
+pub fn encode_document_parallel(
+    xml: &str,
+    map: &MapFile,
+    seed: &Seed,
+) -> Result<EncodeOutput, CoreError> {
+    encode_document_parallel_with(xml, map, seed, default_threads())
+}
+
+/// Parallel-boundary variant of [`encode_events`]; same bit-identity
+/// guarantee as [`encode_document_parallel_with`].
+pub fn encode_events_parallel_with(
+    events: &[XmlEvent],
+    input_bytes: usize,
+    map: &MapFile,
+    seed: &Seed,
+    threads: usize,
+) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new_collecting(map, seed)?;
+    for ev in events {
         match ev {
-            XmlEvent::StartElement { name, .. } => enc.start(&name)?,
+            XmlEvent::StartElement { name, .. } => enc.start(name)?,
             XmlEvent::EndElement { .. } => enc.end()?,
             XmlEvent::Text(_) => {}
         }
     }
-    Ok(enc.finish(xml.len(), started))
+    enc.finish_parallel(threads, input_bytes, started)
+}
+
+/// Worker count used by the `_parallel` entry points: the host's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Encodes a pre-parsed event stream (element events only are honoured).
@@ -526,6 +818,53 @@ mod tests {
         assert_eq!(ring.eval(&f, map.value("a").unwrap()), 0);
         assert_eq!(ring.eval(&f, map.value("site").unwrap()), 0);
         assert_ne!(ring.eval(&f, map.value("b").unwrap()), 0);
+    }
+
+    #[test]
+    fn parallel_encoder_is_bit_identical_for_any_thread_count() {
+        let (map, seed) = setup();
+        // Deep-and-wide enough that every worker gets several jobs at
+        // threads = 8, plus a degenerate single-element document.
+        for xml in [
+            "<site/>",
+            "<site><a><b/><b/></a><c/><a><b/></a><c/><b/><a/><c/></site>",
+        ] {
+            let serial = encode_document(xml, &map, &seed).unwrap();
+            for threads in [0usize, 1, 2, 8] {
+                let par = encode_document_parallel_with(xml, &map, &seed, threads).unwrap();
+                assert_eq!(par.table.len(), serial.table.len(), "threads={threads}");
+                assert_eq!(
+                    par.table.rows(),
+                    serial.table.rows(),
+                    "threads={threads} xml={xml}"
+                );
+            }
+        }
+        // Host-keyed entry point agrees too.
+        let xml = "<site><a><b/></a><c/></site>";
+        let serial = encode_document(xml, &map, &seed).unwrap();
+        let auto = encode_document_parallel(xml, &map, &seed).unwrap();
+        assert_eq!(auto.table.rows(), serial.table.rows());
+    }
+
+    #[test]
+    fn parallel_event_encoder_matches_document_path() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/></a><c/><a/></site>";
+        let events: Vec<XmlEvent> = {
+            let mut parser = PullParser::new(xml);
+            let mut evs = Vec::new();
+            while let Some(ev) = parser.next().unwrap() {
+                evs.push(ev);
+            }
+            evs
+        };
+        let serial = encode_events(&events, xml.len(), &map, &seed).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par =
+                encode_events_parallel_with(&events, xml.len(), &map, &seed, threads).unwrap();
+            assert_eq!(par.table.rows(), serial.table.rows(), "threads={threads}");
+        }
     }
 
     #[test]

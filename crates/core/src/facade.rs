@@ -91,7 +91,11 @@ impl EncryptedDb {
         Self::from_encode_output(out, map, seed, shards)
     }
 
-    fn from_encode_output(
+    /// Builds a database around an already-finished encode — e.g. one
+    /// produced by [`crate::encode_document_parallel`] — partitioned across
+    /// `shards` server filters. The `map` and `seed` must be the ones the
+    /// encode ran under (the client regenerates its shares from them).
+    pub fn from_encode_output(
         out: EncodeOutput,
         map: MapFile,
         seed: Seed,

@@ -44,8 +44,10 @@ pub use accuracy::accuracy_percent;
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosTransport};
 pub use client::{ClientFilter, ClientStats};
 pub use encode::{
-    encode_document, encode_document_fleet, encode_dom, encode_events, fleet_mac_key, split_fleet,
-    EncodeOutput, EncodeStats, FleetEncodeOutput, FleetSpec, PartyStore,
+    default_threads, encode_document, encode_document_fleet, encode_document_parallel,
+    encode_document_parallel_with, encode_dom, encode_events, encode_events_parallel_with,
+    fleet_mac_key, split_fleet, EncodeOutput, EncodeStats, FleetEncodeOutput, FleetSpec,
+    PartyStore,
 };
 pub use engine::{
     AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats,

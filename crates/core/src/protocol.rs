@@ -269,11 +269,19 @@ impl<'a> Reader<'a> {
         })
     }
     fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+    /// Length-prefixed byte run, borrowed from the frame.
+    fn bytes_ref(&mut self) -> Result<&'a [u8], CoreError> {
         let len = self.u32()? as usize;
+        self.take(len)
+    }
+    /// Borrows the next `len` raw bytes of the frame.
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CoreError> {
         let end = self.pos.checked_add(len).ok_or_else(short)?;
         let s = self.buf.get(self.pos..end).ok_or_else(short)?;
         self.pos = end;
-        Ok(s.to_vec())
+        Ok(s)
     }
     /// Validates a wire-declared element count against the bytes actually
     /// left in the frame: `n` elements of at least `elem_min` bytes each
@@ -622,6 +630,165 @@ fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, Cor
     Ok(resp)
 }
 
+// ---- zero-copy response views ----------------------------------------------
+
+/// The element array of a `Values` frame, viewed in place when possible.
+///
+/// A `Values` payload is `count` little-endian `u64`s starting 5 bytes into
+/// the frame (tag + count prefix), so its natural alignment is an accident
+/// of the receive buffer. When the payload happens to be 8-byte aligned on a
+/// little-endian host the slice is reinterpreted in place; otherwise the
+/// elements are copied out once. Both arms present the same `&[u64]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValuesView<'a> {
+    /// Payload bytes reinterpreted in place — no allocation, no copy.
+    Borrowed(&'a [u64]),
+    /// Copy fallback: misaligned payload or big-endian host.
+    Owned(Vec<u64>),
+}
+
+impl ValuesView<'_> {
+    /// The elements, wherever they live.
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            ValuesView::Borrowed(s) => s,
+            ValuesView::Owned(v) => v,
+        }
+    }
+
+    /// Detaches the view from the frame.
+    pub fn into_vec(self) -> Vec<u64> {
+        match self {
+            ValuesView::Borrowed(s) => s.to_vec(),
+            ValuesView::Owned(v) => v,
+        }
+    }
+}
+
+/// Interprets `bytes` (exactly `n` little-endian u64s) as a [`ValuesView`],
+/// borrowing in place when alignment and endianness allow.
+fn values_view(bytes: &[u8], n: usize) -> ValuesView<'_> {
+    debug_assert_eq!(bytes.len(), n * 8);
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `align_to` only yields a non-empty prefix-free middle when
+        // the pointer is 8-byte aligned and the length covers whole u64s;
+        // every u64 bit pattern is valid, and on a little-endian host the
+        // in-memory bytes of a u64 are exactly the wire encoding.
+        let (head, mid, tail) = unsafe { bytes.align_to::<u64>() };
+        if head.is_empty() && tail.is_empty() && mid.len() == n {
+            return ValuesView::Borrowed(mid);
+        }
+    }
+    ValuesView::Owned(
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect(),
+    )
+}
+
+/// A response decoded without copying its bulk payloads out of the frame.
+///
+/// Accepts exactly the frames [`decode_response`] accepts and rejects
+/// exactly the frames it rejects — the two decoders share the `Reader`
+/// validation path, so `decode_response_view(buf).map(ResponseView::into_owned)`
+/// is observationally identical to `decode_response(buf)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseView<'a> {
+    /// `Values` with the element array viewed in place when aligned.
+    Values(ValuesView<'a>),
+    /// `Polys` with each packed polynomial borrowed from the frame.
+    Polys(Vec<&'a [u8]>),
+    /// `Batch` of borrowed sub-views.
+    Batch(Vec<ResponseView<'a>>),
+    /// Every other variant carries no bulk payload; decoded eagerly.
+    Other(Response),
+}
+
+impl<'a> ResponseView<'a> {
+    /// A view lending the bulk payloads of an already-decoded response —
+    /// what [`crate::transport::Transport::call_with`]'s default
+    /// implementation hands to the sink when a transport has no wire buffer
+    /// to borrow from. Non-bulk variants are cloned (they are a few words).
+    pub fn of(resp: &'a Response) -> ResponseView<'a> {
+        match resp {
+            Response::Values(vs) => ResponseView::Values(ValuesView::Borrowed(vs)),
+            Response::Polys(ps) => ResponseView::Polys(ps.iter().map(|p| p.as_slice()).collect()),
+            Response::Batch(subs) => {
+                ResponseView::Batch(subs.iter().map(ResponseView::of).collect())
+            }
+            other => ResponseView::Other(other.clone()),
+        }
+    }
+
+    /// Converts to the owned [`Response`], copying any still-borrowed data.
+    pub fn into_owned(self) -> Response {
+        match self {
+            ResponseView::Values(v) => Response::Values(v.into_vec()),
+            ResponseView::Polys(ps) => {
+                Response::Polys(ps.into_iter().map(|p| p.to_vec()).collect())
+            }
+            ResponseView::Batch(subs) => {
+                Response::Batch(subs.into_iter().map(|s| s.into_owned()).collect())
+            }
+            ResponseView::Other(r) => r,
+        }
+    }
+}
+
+/// Zero-copy counterpart of [`decode_response`]: bulk payloads (`Values`
+/// elements, `Polys` bytes) stay borrowed from `buf`; everything else is
+/// decoded as usual. Same validation, same errors.
+pub fn decode_response_view(buf: &[u8]) -> Result<ResponseView<'_>, CoreError> {
+    decode_response_view_nested(buf, true)
+}
+
+fn decode_response_view_nested(
+    buf: &[u8],
+    allow_batch: bool,
+) -> Result<ResponseView<'_>, CoreError> {
+    let mut r = Reader::new(buf);
+    let tag = r.u8()?;
+    let view = match tag {
+        3 => {
+            let n = r.u32()? as usize;
+            let n = r.items(n, 8)?;
+            ResponseView::Values(values_view(r.take(n * 8)?, n))
+        }
+        4 => {
+            let n = r.u32()? as usize;
+            let n = r.items(n, 4)?;
+            ResponseView::Polys(
+                (0..n)
+                    .map(|_| r.bytes_ref())
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        }
+        9 => {
+            if !allow_batch {
+                return Err(CoreError::Transport("nested batch refused".into()));
+            }
+            let n = r.u32()? as usize;
+            let n = r.items(n, 5)?;
+            let subs = (0..n)
+                .map(|_| {
+                    let frame = r.bytes_ref()?;
+                    decode_response_view_nested(frame, false)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            ResponseView::Batch(subs)
+        }
+        _ => {
+            // No bulk payload behind this tag: the owned decoder is already
+            // copy-free for it. `allow_batch` was only consumed above.
+            return decode_response_nested(buf, allow_batch).map(ResponseView::Other);
+        }
+    };
+    r.finish()?;
+    Ok(view)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -828,6 +995,126 @@ mod tests {
             v
         });
         assert_eq!(encode_response(&Response::Ok), vec![7]);
+    }
+
+    /// The view decoder must accept exactly what the owned decoder accepts
+    /// and produce the same value, for every variant and at every buffer
+    /// alignment — the borrow is an optimisation, never a semantic change.
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let cases = vec![
+            Response::MaybeLoc(Some(loc(4))),
+            Response::Locs(vec![loc(1), loc(2)]),
+            Response::Value(81),
+            Response::Values(vec![]),
+            Response::Values(vec![0, 1, 82, u64::MAX]),
+            Response::Values((0..100).collect()),
+            Response::Polys(vec![vec![1, 2, 3], vec![]]),
+            Response::Cursor(9),
+            Response::Count(1234),
+            Response::Ok,
+            Response::Err("boom".into()),
+            Response::Batch(vec![
+                Response::Ok,
+                Response::Values(vec![7, 0]),
+                Response::Polys(vec![vec![9]]),
+                Response::Err("one bad slot".into()),
+            ]),
+            Response::Hello {
+                version: 1,
+                shards: 4,
+            },
+        ];
+        for resp in cases {
+            let bytes = encode_response(&resp);
+            // Decode the same frame at 8 different alignments: copy it into
+            // a padded buffer so the Values payload lands aligned for some
+            // shifts and misaligned for others. Results must not differ.
+            let mut padded = vec![0u8; bytes.len() + 16];
+            for shift in 0..8 {
+                padded[shift..shift + bytes.len()].copy_from_slice(&bytes);
+                let view = decode_response_view(&padded[shift..shift + bytes.len()]).unwrap();
+                assert_eq!(view.into_owned(), resp, "{resp:?} shift={shift}");
+            }
+        }
+    }
+
+    /// When the `Values` payload happens to be 8-byte aligned the view must
+    /// actually borrow (that is the perf point), and the copy fallback must
+    /// fire on the other alignments.
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn values_view_borrows_when_aligned() {
+        let resp = Response::Values(vec![5, 6, 7]);
+        let bytes = encode_response(&resp);
+        let mut padded = vec![0u8; bytes.len() + 16];
+        let mut borrowed = 0;
+        let mut owned = 0;
+        for shift in 0..8 {
+            padded[shift..shift + bytes.len()].copy_from_slice(&bytes);
+            match decode_response_view(&padded[shift..shift + bytes.len()]).unwrap() {
+                ResponseView::Values(ValuesView::Borrowed(s)) => {
+                    assert_eq!(s, &[5, 6, 7]);
+                    borrowed += 1;
+                }
+                ResponseView::Values(ValuesView::Owned(v)) => {
+                    assert_eq!(v, vec![5, 6, 7]);
+                    owned += 1;
+                }
+                other => panic!("unexpected view {other:?}"),
+            }
+        }
+        // The payload starts 5 bytes into the frame, so exactly one of the
+        // 8 shifts puts it on an 8-byte boundary.
+        assert_eq!(borrowed, 1, "exactly one shift should align the payload");
+        assert_eq!(owned, 7);
+    }
+
+    /// Corrupt frames must be rejected by both decoders alike.
+    #[test]
+    fn view_decode_rejects_what_owned_rejects() {
+        let corrupt: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![99],
+            {
+                // Values claiming more elements than the frame holds.
+                let mut w = vec![3u8];
+                w.extend_from_slice(&10u32.to_le_bytes());
+                w.extend_from_slice(&[0u8; 16]);
+                w
+            },
+            {
+                // Polys with a hostile count.
+                let mut w = vec![4u8];
+                w.extend_from_slice(&(1u32 << 30).to_le_bytes());
+                w
+            },
+            {
+                // Nested batch.
+                let inner = encode_response(&Response::Batch(vec![Response::Ok]));
+                let mut w = vec![9u8];
+                w.extend_from_slice(&1u32.to_le_bytes());
+                w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                w.extend_from_slice(&inner);
+                w
+            },
+            {
+                // Trailing garbage after a valid Values frame.
+                let mut w = encode_response(&Response::Values(vec![1]));
+                w.push(0);
+                w
+            },
+        ];
+        for frame in corrupt {
+            assert!(
+                decode_response(&frame).is_err(),
+                "owned should reject {frame:?}"
+            );
+            assert!(
+                decode_response_view(&frame).is_err(),
+                "view should reject {frame:?}"
+            );
+        }
     }
 
     /// The correlation envelope is the legacy frame with 8 id bytes in

@@ -36,8 +36,9 @@
 
 use crate::error::CoreError;
 use crate::protocol::{
-    decode_corr_payload, decode_request, decode_response, encode_corr_payload, encode_request,
-    encode_response, Request, Response, MUX_PROTOCOL_VERSION, REQ_HELLO_TAG,
+    decode_corr_payload, decode_request, decode_response, decode_response_view,
+    encode_corr_payload, encode_request, encode_response, Request, Response, ResponseView,
+    MUX_PROTOCOL_VERSION, REQ_HELLO_TAG,
 };
 use crate::server::ServerFilter;
 use crate::shard::{ShardSpec, ShardedServer};
@@ -135,6 +136,23 @@ pub trait Transport {
     /// transport overrides it with a single [`Request::Batch`] frame.
     fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
         reqs.iter().map(|r| self.call(r)).collect()
+    }
+
+    /// Sends one request and lends the response to `sink` as a borrowed
+    /// [`ResponseView`] while the receive buffer is still alive — the
+    /// first-touch decode path. Transports that own a wire frame override
+    /// this to decode it in place ([`crate::protocol::decode_response_view`]),
+    /// so a bulk `Values` payload reaches the sink without ever being copied
+    /// out of the receive buffer; the default lends a view of the owned
+    /// response, which is correct everywhere and costs one extra copy at
+    /// most. Accepts exactly what [`Transport::call`] accepts.
+    fn call_with(
+        &mut self,
+        req: &Request,
+        sink: &mut dyn FnMut(ResponseView<'_>) -> Result<(), CoreError>,
+    ) -> Result<(), CoreError> {
+        let resp = self.call(req)?;
+        sink(ResponseView::of(&resp))
     }
 
     /// Whether this transport can park an in-flight call and overlap
@@ -269,11 +287,12 @@ impl LocalTransport {
     pub fn into_server(self) -> ServerFilter {
         self.server
     }
-}
 
-impl Transport for LocalTransport {
-    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
-        // Encode/decode both directions so counted bytes match TCP exactly.
+    /// One round trip, returning the raw response frame: the shared body of
+    /// [`Transport::call`] (owned decode) and [`Transport::call_with`]
+    /// (in-place view decode). Encode/decode both directions so counted
+    /// bytes match TCP exactly.
+    fn exchange(&mut self, req: &Request) -> Result<Vec<u8>, CoreError> {
         let frame = encode_request(req);
         self.stats.bytes_sent += frame.len() as u64;
         let decoded = decode_request(&frame)?;
@@ -281,7 +300,23 @@ impl Transport for LocalTransport {
         let resp_frame = encode_response(&resp);
         self.stats.bytes_received += resp_frame.len() as u64;
         self.stats.round_trips += 1;
+        Ok(resp_frame)
+    }
+}
+
+impl Transport for LocalTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let resp_frame = self.exchange(req)?;
         decode_response(&resp_frame)
+    }
+
+    fn call_with(
+        &mut self,
+        req: &Request,
+        sink: &mut dyn FnMut(ResponseView<'_>) -> Result<(), CoreError>,
+    ) -> Result<(), CoreError> {
+        let resp_frame = self.exchange(req)?;
+        sink(decode_response_view(&resp_frame)?)
     }
 
     fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {
@@ -483,8 +518,11 @@ fn read_frame_within(
     Ok(Some(payload))
 }
 
-impl Transport for TcpTransport {
-    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+impl TcpTransport {
+    /// One round trip, returning the raw response payload: the shared body
+    /// of [`Transport::call`] (owned decode) and [`Transport::call_with`]
+    /// (in-place view decode).
+    fn exchange(&mut self, req: &Request) -> Result<Vec<u8>, CoreError> {
         if let Some(why) = &self.poisoned {
             return Err(CoreError::Transport(format!(
                 "connection unusable after an earlier timeout ({why})"
@@ -512,7 +550,23 @@ impl Transport for TcpTransport {
         };
         self.stats.bytes_received += payload.len() as u64;
         self.stats.round_trips += 1;
+        Ok(payload)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let payload = self.exchange(req)?;
         decode_response(&payload)
+    }
+
+    fn call_with(
+        &mut self,
+        req: &Request,
+        sink: &mut dyn FnMut(ResponseView<'_>) -> Result<(), CoreError>,
+    ) -> Result<(), CoreError> {
+        let payload = self.exchange(req)?;
+        sink(decode_response_view(&payload)?)
     }
 
     fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, CoreError> {

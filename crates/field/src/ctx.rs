@@ -10,6 +10,63 @@ use crate::fp_poly::{find_irreducible, is_irreducible, FpPoly};
 use crate::primality::{is_prime_u64, mul_mod};
 use std::fmt;
 
+/// Lane width of the batched kernels: slices are processed in explicit
+/// 8-element chunks (branch-free, bounds-check-free straight-line bodies the
+/// compiler can unroll or vectorize) with a scalar tail.
+pub const BATCH_LANES: usize = 8;
+
+/// Barrett reducer for a prime `p ≤ 2^24`: `reduce(r) = r mod p` for any
+/// `u64` input using one widening multiply, one truncating multiply and one
+/// conditional subtract — no hardware division.
+///
+/// With `recip = ⌊(2^64 − 1)/p⌋` the quotient estimate
+/// `q̂ = ⌊r·recip/2^64⌋` satisfies `⌊r/p⌋ − 1 ≤ q̂ ≤ ⌊r/p⌋` for every
+/// `r < 2^64`: the estimate undershoots `r/p` by at most `r/2^64 < 1` plus
+/// the floor's sub-1 loss, and never overshoots because
+/// `recip ≤ (2^64 − 1)/p`. Hence `r − q̂·p ∈ [0, 2p)` and a single
+/// conditional subtract canonicalises.
+#[derive(Clone, Copy, Debug)]
+pub struct Barrett {
+    p: u64,
+    recip: u64,
+}
+
+impl Barrett {
+    /// Builds the reducer for modulus `p` (`2 ≤ p ≤ 2^24`).
+    #[inline]
+    pub fn new(p: u64) -> Self {
+        debug_assert!((2..=MAX_ORDER).contains(&p));
+        Barrett {
+            p,
+            recip: u64::MAX / p,
+        }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// `r mod p`, division-free.
+    #[inline]
+    pub fn reduce(&self, r: u64) -> u64 {
+        let q = ((r as u128 * self.recip as u128) >> 64) as u64;
+        let rem = r - q * self.p;
+        if rem >= self.p {
+            rem - self.p
+        } else {
+            rem
+        }
+    }
+
+    /// `(a · b) mod p` for reduced operands.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce(a * b)
+    }
+}
+
 /// Distinct prime factors of `n` by trial division (`n ≤ 2^24`, so the scan
 /// is at most 4096 candidates).
 fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
@@ -107,6 +164,9 @@ pub struct FieldCtx {
     modulus: Vec<u64>,
     /// `p^i` for `i in 0..e` (code packing radix powers).
     p_pows: Vec<u64>,
+    /// Barrett reducer mod `p` — the division-free reduction behind the
+    /// batched kernels (prime fields reduce mod `p = q` directly).
+    barrett: Barrett,
     /// Shared exp/log tables (cheap to clone).
     tables: std::sync::Arc<MulTables>,
 }
@@ -198,6 +258,7 @@ impl FieldCtx {
             q,
             modulus,
             p_pows,
+            barrett: Barrett::new(p),
             tables: std::sync::Arc::new(MulTables {
                 generator: 1,
                 exp: Vec::new(),
@@ -475,6 +536,200 @@ impl FieldCtx {
     pub fn generator_pow(&self, k: u64) -> u64 {
         debug_assert!(k < self.q - 1);
         self.tables.exp[k as usize] as u64
+    }
+
+    /// The Barrett reducer mod `p`. For prime fields (`e = 1`) this reduces
+    /// full element products; callers holding raw `u64` accumulators (packed
+    /// radix conversion, DFT matrix-vector rows) reduce through it instead
+    /// of dividing.
+    #[inline]
+    pub fn barrett(&self) -> Barrett {
+        self.barrett
+    }
+
+    /// The full generator-power table `[g^0, g^1, …, g^{q−2}]` as `u32`
+    /// element codes — the evaluation-point basis read sequentially by the
+    /// batched evaluation-domain kernels.
+    #[inline]
+    pub fn generator_powers(&self) -> &[u32] {
+        &self.tables.exp
+    }
+
+    // ------------------------------------------------------------------
+    // Batched kernels.
+    //
+    // Each kernel walks its slices in explicit BATCH_LANES-wide chunks with
+    // a scalar tail. The chunk bodies are branch-free and bounds-check-free
+    // (fixed-size array patterns), so the compiler can unroll and, where the
+    // ISA offers 64-bit lane products, vectorize them. Prime fields (e = 1)
+    // take the Barrett path; extension fields fall back to the scalar ops
+    // element by element — identical results either way, which the
+    // proptests pin.
+    // ------------------------------------------------------------------
+
+    /// Elementwise `acc[i] ← acc[i] + rhs[i]`. Slices must be equal length.
+    pub fn add_mod_batch(&self, acc: &mut [u64], rhs: &[u64]) {
+        assert_eq!(acc.len(), rhs.len(), "batch length mismatch");
+        if self.e != 1 {
+            for (a, &b) in acc.iter_mut().zip(rhs) {
+                *a = self.add(*a, b);
+            }
+            return;
+        }
+        let p = self.p;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        let mut rt = rhs.chunks_exact(BATCH_LANES);
+        for (ca, cb) in it.by_ref().zip(rt.by_ref()) {
+            for (a, &b) in ca.iter_mut().zip(cb) {
+                let s = *a + b;
+                *a = if s >= p { s - p } else { s };
+            }
+        }
+        for (a, &b) in it.into_remainder().iter_mut().zip(rt.remainder()) {
+            let s = *a + b;
+            *a = if s >= p { s - p } else { s };
+        }
+    }
+
+    /// Elementwise `acc[i] ← acc[i] − rhs[i]`. Slices must be equal length.
+    pub fn sub_mod_batch(&self, acc: &mut [u64], rhs: &[u64]) {
+        assert_eq!(acc.len(), rhs.len(), "batch length mismatch");
+        if self.e != 1 {
+            for (a, &b) in acc.iter_mut().zip(rhs) {
+                *a = self.sub(*a, b);
+            }
+            return;
+        }
+        let p = self.p;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        let mut rt = rhs.chunks_exact(BATCH_LANES);
+        for (ca, cb) in it.by_ref().zip(rt.by_ref()) {
+            for (a, &b) in ca.iter_mut().zip(cb) {
+                let d = *a + p - b;
+                *a = if d >= p { d - p } else { d };
+            }
+        }
+        for (a, &b) in it.into_remainder().iter_mut().zip(rt.remainder()) {
+            let d = *a + p - b;
+            *a = if d >= p { d - p } else { d };
+        }
+    }
+
+    /// Elementwise `acc[i] ← acc[i] · rhs[i]`. Slices must be equal length.
+    pub fn mul_mod_batch(&self, acc: &mut [u64], rhs: &[u64]) {
+        assert_eq!(acc.len(), rhs.len(), "batch length mismatch");
+        if self.e != 1 {
+            for (a, &b) in acc.iter_mut().zip(rhs) {
+                *a = self.mul(*a, b);
+            }
+            return;
+        }
+        let br = self.barrett;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        let mut rt = rhs.chunks_exact(BATCH_LANES);
+        for (ca, cb) in it.by_ref().zip(rt.by_ref()) {
+            for (a, &b) in ca.iter_mut().zip(cb) {
+                *a = br.reduce(*a * b);
+            }
+        }
+        for (a, &b) in it.into_remainder().iter_mut().zip(rt.remainder()) {
+            *a = br.reduce(*a * b);
+        }
+    }
+
+    /// Elementwise `acc[i] ← acc[i] · s` for a fixed scalar `s`.
+    pub fn mul_scalar_batch(&self, acc: &mut [u64], s: u64) {
+        debug_assert!(self.is_valid(s));
+        if self.e != 1 {
+            for a in acc.iter_mut() {
+                *a = self.mul(*a, s);
+            }
+            return;
+        }
+        let br = self.barrett;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        for ca in it.by_ref() {
+            for a in ca.iter_mut() {
+                *a = br.reduce(*a * s);
+            }
+        }
+        for a in it.into_remainder() {
+            *a = br.reduce(*a * s);
+        }
+    }
+
+    /// Elementwise fused multiply-add `acc[i] ← acc[i] + src[i] · s` — the
+    /// inner step of the Lagrange combine. Slices must be equal length.
+    pub fn mul_scalar_add_batch(&self, acc: &mut [u64], src: &[u64], s: u64) {
+        assert_eq!(acc.len(), src.len(), "batch length mismatch");
+        debug_assert!(self.is_valid(s));
+        if self.e != 1 {
+            for (a, &b) in acc.iter_mut().zip(src) {
+                *a = self.add(*a, self.mul(b, s));
+            }
+            return;
+        }
+        let br = self.barrett;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        let mut rt = src.chunks_exact(BATCH_LANES);
+        for (ca, cb) in it.by_ref().zip(rt.by_ref()) {
+            for (a, &b) in ca.iter_mut().zip(cb) {
+                *a = br.reduce(*a + b * s);
+            }
+        }
+        for (a, &b) in it.into_remainder().iter_mut().zip(rt.remainder()) {
+            *a = br.reduce(*a + b * s);
+        }
+    }
+
+    /// Elementwise Horner step `acc[i] ← acc[i] · x + addend[i]` — the inner
+    /// step of batched share splitting. Slices must be equal length.
+    pub fn horner_scalar_batch(&self, acc: &mut [u64], addend: &[u64], x: u64) {
+        assert_eq!(acc.len(), addend.len(), "batch length mismatch");
+        debug_assert!(self.is_valid(x));
+        if self.e != 1 {
+            for (a, &b) in acc.iter_mut().zip(addend) {
+                *a = self.add(self.mul(*a, x), b);
+            }
+            return;
+        }
+        let br = self.barrett;
+        let mut it = acc.chunks_exact_mut(BATCH_LANES);
+        let mut rt = addend.chunks_exact(BATCH_LANES);
+        for (ca, cb) in it.by_ref().zip(rt.by_ref()) {
+            for (a, &b) in ca.iter_mut().zip(cb) {
+                *a = br.reduce(*a * x + b);
+            }
+        }
+        for (a, &b) in it.into_remainder().iter_mut().zip(rt.remainder()) {
+            *a = br.reduce(*a * x + b);
+        }
+    }
+
+    /// Batched exp-table gather: `out[i] ← g^{ks[i]}` with every
+    /// `ks[i] < q − 1`. Slices must be equal length.
+    pub fn generator_pow_batch(&self, ks: &[u64], out: &mut [u64]) {
+        assert_eq!(ks.len(), out.len(), "batch length mismatch");
+        let exp = &self.tables.exp;
+        for (o, &k) in out.iter_mut().zip(ks) {
+            *o = exp[k as usize] as u64;
+        }
+    }
+
+    /// Batched log-table gather: `out[i] ← dlog(src[i])` for nonzero inputs;
+    /// zero (outside the multiplicative group) gathers the sentinel
+    /// `u64::MAX`. Slices must be equal length.
+    pub fn dlog_batch(&self, src: &[u64], out: &mut [u64]) {
+        assert_eq!(src.len(), out.len(), "batch length mismatch");
+        let log = &self.tables.log;
+        for (o, &a) in out.iter_mut().zip(src) {
+            debug_assert!(self.is_valid(a));
+            *o = if a == 0 {
+                u64::MAX
+            } else {
+                log[a as usize] as u64
+            };
+        }
     }
 
     #[inline]

@@ -45,7 +45,7 @@ pub mod ctx;
 pub mod fp_poly;
 pub mod primality;
 
-pub use ctx::{FieldCtx, FieldError};
+pub use ctx::{Barrett, FieldCtx, FieldError, BATCH_LANES};
 pub use primality::is_prime_u64;
 
 #[cfg(test)]

@@ -77,3 +77,122 @@ proptest! {
         prop_assert_eq!(f.element_from_digits(&f.digits_of(a)), a);
     }
 }
+
+/// A random prime `q ≤ 2^24` (the full supported order range): sample a bit
+/// width, then scan upward from a random candidate to the next prime,
+/// wrapping to the bottom of the width class if the scan leaves it.
+fn arb_prime_q() -> impl Strategy<Value = u64> {
+    (2u32..=24, any::<u64>()).prop_map(|(bits, raw)| {
+        let lo = 1u64 << (bits - 1);
+        let hi = 1u64 << bits;
+        let mut cand = lo + raw % (hi - lo);
+        loop {
+            if cand >= hi {
+                cand = lo;
+            }
+            if ssx_field::is_prime_u64(cand) {
+                return cand;
+            }
+            cand += 1;
+        }
+    })
+}
+
+proptest! {
+    /// The batched kernels must be element-for-element identical to the
+    /// scalar ops for random primes across the whole supported order range
+    /// and for every lane-tail length 0..=17 (BATCH_LANES = 8, so this
+    /// covers empty, sub-lane, exactly-one-lane, lane+tail and two-lane+tail
+    /// shapes).
+    #[test]
+    fn batched_kernels_match_scalar_random_prime(
+        p in arb_prime_q(),
+        raw_a in proptest::collection::vec(any::<u64>(), 17),
+        raw_b in proptest::collection::vec(any::<u64>(), 17),
+        raw_s in any::<u64>(),
+        raw_x in any::<u64>(),
+    ) {
+        let f = FieldCtx::new(p, 1).unwrap();
+        let q = f.order();
+        let s = raw_s % q;
+        let x = raw_x % q;
+        for len in 0..=17usize {
+            let a: Vec<u64> = raw_a[..len].iter().map(|&v| v % q).collect();
+            let b: Vec<u64> = raw_b[..len].iter().map(|&v| v % q).collect();
+
+            let mut got = a.clone();
+            f.add_mod_batch(&mut got, &b);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.add(a[i], b[i]), "add p={} len={}", p, len);
+            }
+
+            let mut got = a.clone();
+            f.sub_mod_batch(&mut got, &b);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.sub(a[i], b[i]), "sub p={} len={}", p, len);
+            }
+
+            let mut got = a.clone();
+            f.mul_mod_batch(&mut got, &b);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.mul(a[i], b[i]), "mul p={} len={}", p, len);
+            }
+
+            let mut got = a.clone();
+            f.mul_scalar_batch(&mut got, s);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.mul(a[i], s), "mul_scalar p={} len={}", p, len);
+            }
+
+            let mut got = a.clone();
+            f.mul_scalar_add_batch(&mut got, &b, s);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.add(a[i], f.mul(b[i], s)), "fma p={} len={}", p, len);
+            }
+
+            let mut got = a.clone();
+            f.horner_scalar_batch(&mut got, &b, x);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.add(f.mul(a[i], x), b[i]), "horner p={} len={}", p, len);
+            }
+
+            let ks: Vec<u64> = raw_a[..len].iter().map(|&v| v % (q - 1)).collect();
+            let mut got = vec![0u64; len];
+            f.generator_pow_batch(&ks, &mut got);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.generator_pow(ks[i]), "exp gather p={} len={}", p, len);
+            }
+
+            let mut got = vec![0u64; len];
+            f.dlog_batch(&a, &mut got);
+            for i in 0..len {
+                prop_assert_eq!(got[i], f.dlog(a[i]).unwrap_or(u64::MAX), "log gather p={} len={}", p, len);
+            }
+        }
+    }
+
+    /// Same identity over the shared field menu — this is what exercises the
+    /// extension-field (`e > 1`) fallback arm of every batched kernel.
+    #[test]
+    fn batched_kernels_match_scalar_all_fields(
+        (f, v) in field_and_elems(34),
+        raw_s in any::<u64>(),
+    ) {
+        let (a, b) = v.split_at(17);
+        let s = raw_s % f.order();
+        let mut add = a.to_vec();
+        f.add_mod_batch(&mut add, b);
+        let mut sub = a.to_vec();
+        f.sub_mod_batch(&mut sub, b);
+        let mut mul = a.to_vec();
+        f.mul_mod_batch(&mut mul, b);
+        let mut fma = a.to_vec();
+        f.mul_scalar_add_batch(&mut fma, b, s);
+        for i in 0..17 {
+            prop_assert_eq!(add[i], f.add(a[i], b[i]));
+            prop_assert_eq!(sub[i], f.sub(a[i], b[i]));
+            prop_assert_eq!(mul[i], f.mul(a[i], b[i]));
+            prop_assert_eq!(fma[i], f.add(a[i], f.mul(b[i], s)));
+        }
+    }
+}

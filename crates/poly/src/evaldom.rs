@@ -87,16 +87,33 @@ impl RingCtx {
 
     /// Allocation-free forward transform into an existing buffer.
     ///
-    /// Transposed accumulation: for each nonzero coefficient `a_i = g^{l_i}`
-    /// the contribution to component `k` is `g^{l_i + ik}`, whose exponent
-    /// steps by `i` per component — so the inner loop is one `exp`-table
-    /// read, one field add and one wrap, with zero coefficients skipped
-    /// outright.
+    /// Table path (prime fields, `n ≤ 256`): each output component is one
+    /// row of the precomputed `g^{ik}` matrix dotted with the coefficient
+    /// vector — raw `u64` multiply-accumulates (products fit in 17 bits, the
+    /// row sum in 26) with a single Barrett reduction per component.
+    ///
+    /// Fallback (extension fields / oversized rings): transposed
+    /// accumulation — for each nonzero coefficient `a_i = g^{l_i}` the
+    /// contribution to component `k` is `g^{l_i + ik}`, whose exponent steps
+    /// by `i` per component, so the inner loop is one `exp`-table read, one
+    /// field add and one wrap, with zero coefficients skipped outright.
     pub fn to_evals_into(&self, a: &RingPoly, out: &mut EvalPoly) {
         debug_assert_eq!(a.coeffs().len(), self.len());
         debug_assert_eq!(out.evals.len(), self.len());
         let n = self.len();
         let field = self.field();
+        if let Some(dft) = &self.dft {
+            let br = field.barrett();
+            let coeffs = a.coeffs();
+            for (row, slot) in dft.fwd.chunks_exact(n).zip(out.evals.iter_mut()) {
+                let mut acc = 0u64;
+                for (&w, &c) in row.iter().zip(coeffs) {
+                    acc += w as u64 * c;
+                }
+                *slot = br.reduce(acc);
+            }
+            return;
+        }
         out.evals.fill(0);
         for (i, &c) in a.coeffs().iter().enumerate() {
             if c == 0 {
@@ -144,6 +161,22 @@ impl RingCtx {
         let n = self.len();
         let lim = max_degree.min(n - 1) + 1;
         let field = self.field();
+        if let Some(dft) = &self.dft {
+            // Matrix rows already carry the n^{-1} factor: coefficient i is
+            // one raw multiply-accumulate row dotted with the evaluations,
+            // reduced once.
+            let br = field.barrett();
+            let coeffs = out.coeffs_mut();
+            coeffs[lim..].fill(0);
+            for (row, slot) in dft.inv.chunks_exact(n).zip(coeffs[..lim].iter_mut()) {
+                let mut acc = 0u64;
+                for (&w, &v) in row.iter().zip(a.evals.iter()) {
+                    acc += w as u64 * v;
+                }
+                *slot = br.reduce(acc);
+            }
+            return;
+        }
         out.coeffs_mut().fill(0);
         for (k, &c) in a.evals.iter().enumerate() {
             if c == 0 {
@@ -189,15 +222,20 @@ impl RingCtx {
     /// The leaf monomial `x − t` in the evaluation domain: component `k` is
     /// `g^k − t`. `O(n)` — no coefficient-domain detour.
     pub fn evals_linear(&self, t: u64) -> EvalPoly {
+        let mut out = self.evals_zero();
+        self.evals_linear_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RingCtx::evals_linear`]: overwrites
+    /// `out` with the evaluations of `x − t`.
+    pub fn evals_linear_into(&self, t: u64, out: &mut EvalPoly) {
         debug_assert!(self.field().is_valid(t));
+        debug_assert_eq!(out.evals.len(), self.len());
         let field = self.field();
-        let evals = self
-            .points
-            .iter()
-            .map(|&p| field.sub(p, t))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        EvalPoly { evals }
+        for (slot, &p) in out.evals.iter_mut().zip(self.points.iter()) {
+            *slot = field.sub(p, t);
+        }
     }
 
     /// Validates an externally supplied evaluation vector.
@@ -216,29 +254,21 @@ impl RingCtx {
         })
     }
 
-    /// Pointwise addition `a += b` — `O(n)`, no allocation.
+    /// Pointwise addition `a += b` — `O(n)`, no allocation, batched kernel.
     pub fn eval_add_assign(&self, a: &mut EvalPoly, b: &EvalPoly) {
-        let field = self.field();
-        for (x, &y) in a.evals.iter_mut().zip(b.evals.iter()) {
-            *x = field.add(*x, y);
-        }
+        self.field().add_mod_batch(&mut a.evals, &b.evals);
     }
 
-    /// Pointwise subtraction `a -= b` — `O(n)`, no allocation.
+    /// Pointwise subtraction `a -= b` — `O(n)`, no allocation, batched
+    /// kernel.
     pub fn eval_sub_assign(&self, a: &mut EvalPoly, b: &EvalPoly) {
-        let field = self.field();
-        for (x, &y) in a.evals.iter_mut().zip(b.evals.iter()) {
-            *x = field.sub(*x, y);
-        }
+        self.field().sub_mod_batch(&mut a.evals, &b.evals);
     }
 
     /// Pointwise ring product `a *= b` — `O(n)` instead of the `O(n²)`
-    /// coefficient-domain convolution.
+    /// coefficient-domain convolution; batched Barrett kernel.
     pub fn eval_mul_assign(&self, a: &mut EvalPoly, b: &EvalPoly) {
-        let field = self.field();
-        for (x, &y) in a.evals.iter_mut().zip(b.evals.iter()) {
-            *x = field.mul(*x, y);
-        }
+        self.field().mul_mod_batch(&mut a.evals, &b.evals);
     }
 
     /// Pointwise ring product, allocating — convenience over
@@ -251,9 +281,21 @@ impl RingCtx {
 
     /// Multiplies by the linear factor `(x − t)` in place: component `k`
     /// scales by `g^k − t`. `O(n)`, no allocation — the encoder's hot loop.
+    /// Prime fields run a fused branch-free subtract + Barrett multiply over
+    /// the sequential generator-power points.
     pub fn eval_mul_linear_assign(&self, a: &mut EvalPoly, t: u64) {
         debug_assert!(self.field().is_valid(t));
         let field = self.field();
+        if field.e() == 1 {
+            let p = field.order();
+            let br = field.barrett();
+            for (x, &pt) in a.evals.iter_mut().zip(self.points.iter()) {
+                let d = pt + p - t;
+                let f = if d >= p { d - p } else { d };
+                *x = br.reduce(*x * f);
+            }
+            return;
+        }
         for (x, &p) in a.evals.iter_mut().zip(self.points.iter()) {
             *x = field.mul(*x, field.sub(p, t));
         }

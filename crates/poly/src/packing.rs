@@ -40,6 +40,14 @@ impl fmt::Display for PackError {
 impl std::error::Error for PackError {}
 
 /// Precomputed packing parameters for one ring.
+///
+/// The radix conversion works on *superdigits*: groups of `group` base-`q`
+/// coefficients are first folded into one value below
+/// `super_radix = q^group ≤ 2^32` (a short Horner pass), and the bignum
+/// arithmetic then runs over base-2^32 limbs with one multiply-accumulate —
+/// or one reciprocal divmod — per limb per group, instead of one hardware
+/// division per coefficient per 32-bit pass. All divisions by `q` and by
+/// `super_radix` are strength-reduced to reciprocal multiplies.
 #[derive(Clone, Debug)]
 pub struct Packer {
     q: u64,
@@ -47,7 +55,32 @@ pub struct Packer {
     radix_len: usize,
     bits_per_coeff: u32,
     bit_len: usize,
+    /// Coefficients per superdigit: the largest `k ≤ n` with `q^k ≤ 2^32`.
+    group: usize,
+    /// `q^group` (may equal `2^32` exactly for power-of-two `q`).
+    super_radix: u64,
+    /// `⌊(2^64 − 1)/super_radix⌋`: estimates `x / super_radix` for
+    /// `x < 2^64` within 1 via a high multiply (one conditional correction).
+    recip_super: u64,
+    /// `⌊2^32/q⌋`: estimates `s / q` for `s < 2^32` within 1 via a shifted
+    /// multiply (one conditional correction).
+    recip_q: u64,
+    /// Base-2^32 limbs in one packed polynomial: `ceil(radix_len / 4)`.
+    limb_len: usize,
+    /// Coefficients per *wide* superdigit on the pack path: the largest
+    /// `k ≤ n` with `q^k ≤ 2^64 − 1` (pack accumulates over base-2^64 limbs
+    /// with `u128` multiply-accumulates; unpack keeps the 32-bit layout its
+    /// reciprocal bounds were proved for).
+    wide_group: usize,
+    /// `q^wide_group`.
+    wide_radix: u64,
+    /// Base-2^64 limbs in one packed polynomial: `ceil(radix_len / 8)`.
+    wide_limb_len: usize,
 }
+
+/// Limb scratch above this size falls back to a heap allocation; below it
+/// the unpack path borrows a stack array (`q = 83` needs 17 limbs).
+const STACK_LIMBS: usize = 32;
 
 impl Packer {
     /// Builds a packer for `ring`.
@@ -56,13 +89,61 @@ impl Packer {
         let n = ring.len();
         let bits_per_coeff = ring.field().bits_per_element();
         let bit_len = (n * bits_per_coeff as usize).div_ceil(8);
+        let radix_len = radix_len(q, n);
+        let mut group = 1usize;
+        let mut super_radix = q;
+        while group < n && super_radix.saturating_mul(q) <= 1 << 32 {
+            group += 1;
+            super_radix *= q;
+        }
+        let mut wide_group = 1usize;
+        let mut wide_radix = q;
+        while wide_group < n && wide_radix <= u64::MAX / q {
+            wide_group += 1;
+            wide_radix *= q;
+        }
         Packer {
             q,
             n,
-            radix_len: radix_len(q, n),
+            radix_len,
             bits_per_coeff,
             bit_len,
+            group,
+            super_radix,
+            recip_super: u64::MAX / super_radix,
+            recip_q: (1u64 << 32) / q,
+            limb_len: radix_len.div_ceil(4),
+            wide_group,
+            wide_radix,
+            wide_limb_len: radix_len.div_ceil(8),
         }
+    }
+
+    /// `x / super_radix` and `x % super_radix` for any `x < 2^64` without a
+    /// hardware division: the reciprocal estimate undershoots the true
+    /// quotient by at most 1, so one conditional correction canonicalises.
+    #[inline]
+    fn divmod_super(&self, x: u64) -> (u64, u64) {
+        let mut quot = ((x as u128 * self.recip_super as u128) >> 64) as u64;
+        let mut rem = x - quot * self.super_radix;
+        if rem >= self.super_radix {
+            rem -= self.super_radix;
+            quot += 1;
+        }
+        (quot, rem)
+    }
+
+    /// `s / q` and `s % q` for `s < 2^32`, reciprocal-multiply form.
+    #[inline]
+    fn divmod_q(&self, s: u64) -> (u64, u64) {
+        debug_assert!(s < 1 << 32);
+        let mut quot = (s * self.recip_q) >> 32;
+        let mut rem = s - quot * self.q;
+        if rem >= self.q {
+            rem -= self.q;
+            quot += 1;
+        }
+        (quot, rem)
     }
 
     /// Bytes per polynomial under radix packing — the paper's
@@ -94,37 +175,57 @@ impl Packer {
     }
 
     /// Scratch-buffer variant of [`Packer::pack_radix`]: `work` is a reusable
-    /// digit buffer and the packed bytes replace the contents of `out` — no
+    /// limb buffer and the packed bytes replace the contents of `out` — no
     /// allocation once both buffers have warmed up. The emitted bytes are
     /// bit-identical to [`Packer::pack_radix`] (the base-256 digits of an
-    /// integer are unique); the conversion extracts 32 bits per division
-    /// pass instead of 8, ~4× fewer passes over the digit vector.
+    /// integer are unique).
+    ///
+    /// Chunked-Horner conversion over *wide* superdigits: blocks of
+    /// `wide_group` coefficients fold into one value below
+    /// `q^wide_group ≤ 2^64 − 1` (short Horner per block), and the bignum
+    /// grows by `acc ← acc·q^block + superdigit` over base-2^64 limbs with
+    /// `u128` multiply-accumulates — for `q = 83` that is 9 limbs × 9 blocks
+    /// instead of 17 × 17 on the 32-bit layout the unpack path keeps.
     pub fn pack_radix_into(&self, poly: &RingPoly, work: &mut Vec<u64>, out: &mut Vec<u8>) {
         debug_assert_eq!(poly.len(), self.n);
+        let coeffs = poly.coeffs();
         work.clear();
-        work.extend_from_slice(poly.coeffs());
+        work.resize(self.wide_limb_len, 0);
+        let blocks = self.n.div_ceil(self.wide_group);
+        // Most-significant block first: acc = acc · q^len(block) + S_j. The
+        // leading block may be short when n is not a multiple of wide_group.
+        for j in (0..blocks).rev() {
+            let start = j * self.wide_group;
+            let end = (start + self.wide_group).min(self.n);
+            let mut s = 0u64;
+            for &c in coeffs[start..end].iter().rev() {
+                s = s * self.q + c;
+            }
+            let mult = if end - start == self.wide_group {
+                self.wide_radix
+            } else {
+                self.q.pow((end - start) as u32)
+            };
+            let mut carry = s as u128;
+            for l in work.iter_mut() {
+                let t = *l as u128 * mult as u128 + carry;
+                *l = t as u64;
+                carry = t >> 64;
+            }
+            debug_assert_eq!(carry, 0, "value exceeded q^n");
+        }
         out.clear();
         out.reserve(self.radix_len);
-        debug_assert!(
-            self.q <= u32::MAX as u64 + 1,
-            "chunked packing needs q ≤ 2^32"
-        );
-        let mut remaining = self.radix_len;
-        while remaining > 0 {
-            // Divide the base-q bignum by 2^32, pushing up to four remainder
-            // bytes (fewer in the final, most-significant chunk).
-            let mut rem: u64 = 0;
-            for d in work.iter_mut().rev() {
-                let cur = rem * self.q + *d;
-                *d = cur >> 32;
-                rem = cur & 0xffff_ffff;
-            }
-            let take = remaining.min(4);
-            out.extend_from_slice(&(rem as u32).to_le_bytes()[..take]);
-            debug_assert!(rem >> (8 * take) == 0, "value exceeded q^n");
-            remaining -= take;
+        let (full, last) = work.split_at(self.wide_limb_len - 1);
+        for &l in full {
+            out.extend_from_slice(&l.to_le_bytes());
         }
-        debug_assert!(work.iter().all(|&d| d == 0), "value exceeded q^n");
+        let take = self.radix_len - 8 * full.len();
+        out.extend_from_slice(&last[0].to_le_bytes()[..take]);
+        debug_assert!(
+            take == 8 || last[0] >> (8 * take) == 0,
+            "value exceeded q^n"
+        );
     }
 
     /// Inverse of [`Packer::pack_radix`].
@@ -136,7 +237,15 @@ impl Packer {
 
     /// Scratch-buffer variant of [`Packer::unpack_radix`]: decodes into an
     /// existing polynomial (typically a reused [`RingCtx::zero`]) without
-    /// allocating. Consumes 32 bits per multiply-accumulate pass.
+    /// heap allocation for the paper-scale rings (limb scratch lives on the
+    /// stack up to `STACK_LIMBS` limbs).
+    ///
+    /// The inverse chunked-Horner conversion: the base-2^32 limb bignum is
+    /// repeatedly divided by `q^group` (reciprocal-multiply divmod, one per
+    /// limb per group), and each superdigit remainder splits into `group`
+    /// coefficients with reciprocal divmods by `q` — strength-reduced
+    /// division throughout, where the previous code ran a full hardware
+    /// divmod chain over all `n` digits for every 32 bits of input.
     pub fn unpack_radix_into(&self, bytes: &[u8], out: &mut RingPoly) -> Result<(), PackError> {
         if bytes.len() != self.radix_len {
             return Err(PackError::WrongLength {
@@ -146,36 +255,58 @@ impl Packer {
         }
         debug_assert_eq!(out.len(), self.n, "output polynomial from the wrong ring");
         let digits = out.coeffs_mut();
-        digits.fill(0);
-        // Chunks of four bytes, most-significant (tail, possibly short)
-        // chunk first: digits = digits * 2^(8·len) + chunk, in base q.
-        let q = self.q;
-        let mut absorb = |chunk: u64, shift: u32| -> Result<(), PackError> {
-            let mut carry = chunk;
-            for d in digits.iter_mut() {
-                let cur = (*d << shift) + carry;
-                *d = cur % q;
-                carry = cur / q;
-            }
-            if carry != 0 {
-                return Err(PackError::Corrupt);
-            }
-            Ok(())
+        let mut stack = [0u64; STACK_LIMBS];
+        let mut heap: Vec<u64>;
+        let limbs: &mut [u64] = if self.limb_len <= STACK_LIMBS {
+            &mut stack[..self.limb_len]
+        } else {
+            heap = vec![0u64; self.limb_len];
+            &mut heap
         };
-        let head = self.radix_len % 4;
-        if head != 0 {
-            let tail = &bytes[self.radix_len - head..];
+        let mut chunks = bytes.chunks_exact(4);
+        for (l, c) in limbs.iter_mut().zip(chunks.by_ref()) {
+            *l = u32::from_le_bytes(c.try_into().expect("4 bytes")) as u64;
+        }
+        let rem_bytes = chunks.remainder();
+        if !rem_bytes.is_empty() {
             let mut v = 0u64;
-            for (k, &b) in tail.iter().enumerate() {
+            for (k, &b) in rem_bytes.iter().enumerate() {
                 v |= (b as u64) << (8 * k);
             }
-            absorb(v, 8 * head as u32)?;
+            limbs[self.limb_len - 1] = v;
         }
-        for c in bytes[..self.radix_len - head].chunks_exact(4).rev() {
-            absorb(
-                u32::from_le_bytes(c.try_into().expect("4 bytes")) as u64,
-                32,
-            )?;
+        // Peel superdigits least-significant first; `top` tracks the live
+        // (possibly nonzero) limb prefix, which shrinks as the value does.
+        let mut top = self.limb_len;
+        let groups = self.n.div_ceil(self.group);
+        for j in 0..groups {
+            let start = j * self.group;
+            let end = (start + self.group).min(self.n);
+            let mut rem = 0u64;
+            for l in limbs[..top].iter_mut().rev() {
+                let x = (rem << 32) | *l;
+                let (quot, r) = self.divmod_super(x);
+                *l = quot;
+                rem = r;
+            }
+            while top > 0 && limbs[top - 1] == 0 {
+                top -= 1;
+            }
+            // Split the superdigit into its base-q coefficients.
+            for d in digits[start..end].iter_mut() {
+                let (quot, r) = self.divmod_q(rem);
+                *d = r;
+                rem = quot;
+            }
+            // A full group consumes the whole superdigit (S < q^group); the
+            // final short group must too, or the value exceeds q^n.
+            if rem != 0 {
+                return Err(PackError::Corrupt);
+            }
+        }
+        // Anything left above the peeled groups means the value was ≥ q^n.
+        if top != 0 {
+            return Err(PackError::Corrupt);
         }
         Ok(())
     }

@@ -14,6 +14,25 @@ use std::sync::Arc;
 /// uses `q = 83` (`n = 82`).
 pub const MAX_RING_LEN: u64 = 1 << 16;
 
+/// Rings up to this length precompute dense DFT matrices for the boundary
+/// transforms (`2·4·n²` bytes — ≤ 512 KiB at the cap, ~53 KiB for the
+/// paper's `n = 82`). Prime fields only: extension-field element codes are
+/// not integers mod `q`, so the raw multiply-accumulate rows don't apply.
+pub(crate) const DFT_TABLE_MAX_LEN: usize = 256;
+
+/// Precomputed transform matrices over `u32` element codes. Because a table
+/// is only built when `n ≤ 256` (so `q = n + 1 ≤ 257`), every product in a
+/// row fits in 17 bits and a whole row's sum in a `u64` with room to spare —
+/// one Barrett reduction per output element.
+#[derive(Debug)]
+pub(crate) struct DftTables {
+    /// `fwd[k·n + i] = g^{ik}`: row `k` evaluates at the point `g^k`.
+    pub(crate) fwd: Vec<u32>,
+    /// `inv[i·n + k] = n^{-1}·g^{-ik}`: row `i` yields coefficient `i`
+    /// (the `n^{-1}` scaling is folded into the table).
+    pub(crate) inv: Vec<u32>,
+}
+
 /// Errors from ring construction or element validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RingError {
@@ -68,6 +87,10 @@ pub struct RingCtx {
     /// `(q − 1)^{-1}` as a field element (always `p − 1`, since
     /// `q − 1 ≡ −1 (mod p)`); scales the inverse transform.
     pub(crate) n_inv: u64,
+    /// Blocked matrix-vector transform tables (prime fields with
+    /// `n ≤ DFT_TABLE_MAX_LEN`; `None` otherwise — the exponent-stepping
+    /// fallback path then applies).
+    pub(crate) dft: Option<Arc<DftTables>>,
 }
 
 impl RingCtx {
@@ -87,11 +110,28 @@ impl RingCtx {
         let n_inv = field
             .inv(n % field.p())
             .expect("q - 1 ≡ -1 (mod p) is invertible");
+        let n = n as usize;
+        let dft = if field.e() == 1 && n <= DFT_TABLE_MAX_LEN {
+            let mut fwd = vec![0u32; n * n];
+            let mut inv = vec![0u32; n * n];
+            for i in 0..n {
+                for k in 0..n {
+                    let e = (i * k) % n;
+                    fwd[k * n + i] = field.generator_pow(e as u64) as u32;
+                    let conj = field.generator_pow(((n - e) % n) as u64);
+                    inv[i * n + k] = field.mul(n_inv, conj) as u32;
+                }
+            }
+            Some(Arc::new(DftTables { fwd, inv }))
+        } else {
+            None
+        };
         Ok(RingCtx {
             field: Arc::new(field),
-            n: n as usize,
+            n,
             points,
             n_inv,
+            dft,
         })
     }
 
@@ -144,16 +184,23 @@ impl RingCtx {
     /// For the degenerate ring `n = 1` (`q = 2`) this is `1 − t` because
     /// `x ≡ 1`; all larger rings store it as a proper linear polynomial.
     pub fn linear(&self, t: u64) -> RingPoly {
+        let mut out = self.zero();
+        self.linear_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RingCtx::linear`]: overwrites `out` with
+    /// the coefficients of `x − t`.
+    pub fn linear_into(&self, t: u64, out: &mut RingPoly) {
         debug_assert!(self.field.is_valid(t));
-        let mut c = vec![0; self.n];
+        debug_assert_eq!(out.coeffs.len(), self.n);
+        let c = out.coeffs_mut();
+        c.fill(0);
         c[0] = self.field.neg(t);
         if self.n == 1 {
             c[0] = self.field.add(c[0], 1);
         } else {
             c[1] = 1;
-        }
-        RingPoly {
-            coeffs: c.into_boxed_slice(),
         }
     }
 
@@ -186,13 +233,11 @@ impl RingCtx {
         RingPoly { coeffs }
     }
 
-    /// In-place addition `a += b` — no allocation.
+    /// In-place addition `a += b` — no allocation, batched kernel.
     pub fn add_assign(&self, a: &mut RingPoly, b: &RingPoly) {
         self.check(a);
         self.check(b);
-        for (x, &y) in a.coeffs.iter_mut().zip(b.coeffs.iter()) {
-            *x = self.field.add(*x, y);
-        }
+        self.field.add_mod_batch(&mut a.coeffs, &b.coeffs);
     }
 
     /// Subtraction.
@@ -208,13 +253,11 @@ impl RingCtx {
         RingPoly { coeffs }
     }
 
-    /// In-place subtraction `a -= b` — no allocation.
+    /// In-place subtraction `a -= b` — no allocation, batched kernel.
     pub fn sub_assign(&self, a: &mut RingPoly, b: &RingPoly) {
         self.check(a);
         self.check(b);
-        for (x, &y) in a.coeffs.iter_mut().zip(b.coeffs.iter()) {
-            *x = self.field.sub(*x, y);
-        }
+        self.field.sub_mod_batch(&mut a.coeffs, &b.coeffs);
     }
 
     /// Additive inverse.
@@ -291,6 +334,15 @@ impl RingCtx {
     #[inline]
     pub(crate) fn horner(&self, coeffs: &[u64], v: u64) -> u64 {
         debug_assert!(self.field.is_valid(v));
+        if self.field.e() == 1 {
+            // Barrett-fused step: acc·v + c < 2^48 + 2^24 reduces exactly.
+            let br = self.field.barrett();
+            let mut acc = 0u64;
+            for &c in coeffs.iter().rev() {
+                acc = br.reduce(acc * v + c);
+            }
+            return acc;
+        }
         let mut acc = 0u64;
         for &c in coeffs.iter().rev() {
             acc = self.field.add(self.field.mul(acc, v), c);

@@ -21,8 +21,8 @@ use ssx_field::FieldCtx;
 use ssx_prg::Prg;
 
 /// Draws a uniformly pseudorandom ring element from `prg` — the client share
-/// of a node. Exactly `q − 1` bounded draws, so the stream position after a
-/// call is deterministic.
+/// of a node. One bulk `fill_below` pass of `q − 1` values, so the stream
+/// position after a call is deterministic.
 pub fn random_poly(ring: &RingCtx, prg: &mut Prg) -> RingPoly {
     let mut out = ring.zero();
     random_poly_into(ring, prg, &mut out);
@@ -35,9 +35,7 @@ pub fn random_poly(ring: &RingCtx, prg: &mut Prg) -> RingPoly {
 pub fn random_poly_into(ring: &RingCtx, prg: &mut Prg, out: &mut RingPoly) {
     debug_assert_eq!(out.len(), ring.len());
     let q = ring.field().order();
-    for c in out.coeffs_mut() {
-        *c = prg.next_below(q);
-    }
+    prg.fill_below(q, out.coeffs_mut());
 }
 
 /// Splits `f` into `(client, server)` with `client + server = f`, the client
@@ -57,8 +55,9 @@ pub fn reconstruct(ring: &RingCtx, client: &RingPoly, server: &RingPoly) -> Ring
 /// any `t` of the returned polynomials reconstruct `f`, any `t − 1` are
 /// jointly uniform. Party `j` (1-based) receives element `j − 1`; its
 /// x-coordinate is the field code `j`, so `n < q` is required (and `n ≥ t ≥
-/// 1`). Draw count is exactly `(t − 1)·(q − 1)` bounded draws, so the PRG
-/// stream position after a call is deterministic.
+/// 1`). The masking randomness is one bulk `fill_below` pass of
+/// `(t − 1)·(q − 1)` values, so the PRG stream position after a call is
+/// deterministic.
 ///
 /// With `t = 1` there is no masking polynomial and every party holds `f`
 /// verbatim — the single-party store is the `n = 1, t = 1` degenerate case.
@@ -67,23 +66,39 @@ pub fn split_n(ring: &RingCtx, f: &RingPoly, n: usize, t: usize, prg: &mut Prg) 
     assert!(t >= 1 && t <= n, "need 1 <= t <= n, got t={t} n={n}");
     assert!((n as u64) < q, "need n < q to give each party a nonzero x");
     let mut shares: Vec<RingPoly> = (0..n).map(|_| f.clone()).collect();
+    let deg = t - 1;
+    if deg == 0 {
+        return shares; // replication: no masking terms, no PRG draws
+    }
     // Degree-(t-1) masking polynomial per coefficient:
     //   share_j[i] = f[i] + sum_{d=1..t-1} r_d · j^d.
-    let mut r = vec![0u64; t.saturating_sub(1)];
-    for i in 0..ring.len() {
-        for rd in r.iter_mut() {
-            *rd = prg.next_below(q);
+    //
+    // All masking randoms come from one bulk `fill_below` pass (the pinned
+    // lane-packed protocol), laid out coefficient-major (`r_all[i·deg + d]`)
+    // so the draw-to-coefficient assignment is independent of `n` and `t`
+    // layout choices below.
+    let len = ring.len();
+    let mut r_all = vec![0u64; len * deg];
+    prg.fill_below(q, &mut r_all);
+    // Transpose to degree-major columns so the per-party Horner pass can run
+    // over contiguous slices with the batched field kernels.
+    let mut cols = vec![0u64; len * deg];
+    for i in 0..len {
+        for d in 0..deg {
+            cols[d * len + i] = r_all[i * deg + d];
         }
-        for (j, share) in shares.iter_mut().enumerate() {
-            let x = (j + 1) as u64;
-            // Horner on the masking terms alone: r_1·x + r_2·x² + …
-            let mut acc = 0u64;
-            for &rd in r.iter().rev() {
-                acc = ring.field().mul(ring.field().add(acc, rd), x);
-            }
-            let c = &mut share.coeffs_mut()[i];
-            *c = ring.field().add(*c, acc);
+    }
+    let field = ring.field();
+    let mut mask = vec![0u64; len];
+    for (j, share) in shares.iter_mut().enumerate() {
+        let x = (j + 1) as u64;
+        // Horner on the masking terms alone: r_1·x + r_2·x² + …
+        mask.fill(0);
+        for d in (0..deg).rev() {
+            field.horner_scalar_batch(&mut mask, &cols[d * len..(d + 1) * len], x);
         }
+        field.mul_scalar_batch(&mut mask, x);
+        field.add_mod_batch(share.coeffs_mut(), &mask);
     }
     shares
 }
@@ -121,9 +136,8 @@ pub fn reconstruct_t(ring: &RingCtx, shares: &[(u64, &RingPoly)]) -> Option<Ring
     let mut out = ring.zero();
     for (&(_, share), &l) in shares.iter().zip(&lambda) {
         debug_assert_eq!(share.len(), ring.len());
-        for (o, &c) in out.coeffs_mut().iter_mut().zip(share.coeffs()) {
-            *o = ring.field().add(*o, ring.field().mul(l, c));
-        }
+        ring.field()
+            .mul_scalar_add_batch(out.coeffs_mut(), share.coeffs(), l);
     }
     Some(out)
 }
@@ -147,9 +161,7 @@ pub fn combine_values(field: &FieldCtx, points: &[(u64, u64)]) -> Option<u64> {
 /// client can verify `α · s(v) = m(v)` after reconstruction.
 pub fn scale_poly(ring: &RingCtx, alpha: u64, f: &RingPoly) -> RingPoly {
     let mut out = f.clone();
-    for c in out.coeffs_mut() {
-        *c = ring.field().mul(alpha, *c);
-    }
+    ring.field().mul_scalar_batch(out.coeffs_mut(), alpha);
     out
 }
 
@@ -278,8 +290,8 @@ mod tests {
         let mut prg = Prg::from_u64(77);
         let shares = split_n(&ring, &f, 3, 2, &mut prg);
         assert_ne!(shares[0], f);
-        // Stream position: (t-1)*(q-1) draws consumed; same split again from
-        // the same seed reproduces identical shares.
+        // Same split again from the same seed reproduces identical shares
+        // (the bulk draw leaves the PRG at a deterministic position).
         let again = split_n(&ring, &f, 3, 2, &mut Prg::from_u64(77));
         assert_eq!(shares, again);
     }

@@ -28,4 +28,4 @@ mod seed;
 mod stream;
 
 pub use seed::{Seed, SeedError, SEED_BYTES};
-pub use stream::{node_prg, Prg};
+pub use stream::{node_prg, node_prg_from_digest, seed_digest, Prg};

@@ -91,6 +91,52 @@ impl BTree {
         None
     }
 
+    /// Inserts `key → val` only if `key` is absent; returns `true` on
+    /// insertion and `false` (leaving the stored entries unchanged) when the
+    /// key is already present. One root-to-leaf descent with preemptive
+    /// splitting — the fast path for callers that would otherwise pair
+    /// [`BTree::contains`] with [`BTree::insert`]. A duplicate discovered
+    /// mid-descent may leave nodes split differently, which changes the
+    /// arena shape but never the stored map.
+    pub fn insert_new(&mut self, key: u64, val: u64) -> bool {
+        if self.nodes[self.root as usize].is_full() {
+            let old_root = self.root;
+            let mut new_root = Node::leaf();
+            new_root.children.push(old_root);
+            self.nodes.push(new_root);
+            self.root = (self.nodes.len() - 1) as u32;
+            self.split_child(self.root, 0);
+        }
+        let mut node = self.root;
+        loop {
+            let n = &self.nodes[node as usize];
+            let i = match n.keys.binary_search(&key) {
+                Ok(_) => return false,
+                Err(i) => i,
+            };
+            if n.is_leaf() {
+                let n = &mut self.nodes[node as usize];
+                n.keys.insert(i, key);
+                n.vals.insert(i, val);
+                self.len += 1;
+                return true;
+            }
+            let child = n.children[i];
+            if self.nodes[child as usize].is_full() {
+                self.split_child(node, i);
+                // The split may have moved the target range — and the median
+                // that rose into this node may itself be the key.
+                let n = &self.nodes[node as usize];
+                match n.keys.binary_search(&key) {
+                    Ok(_) => return false,
+                    Err(i) => node = n.children[i],
+                }
+            } else {
+                node = child;
+            }
+        }
+    }
+
     /// Point lookup.
     pub fn get(&self, key: u64) -> Option<u64> {
         let mut node = self.root;
@@ -378,6 +424,29 @@ mod tests {
         assert_eq!(t.get(4), None);
         assert!(t.contains(9));
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_new_rejects_duplicates_without_mutation() {
+        // Differential check against a model map across orders that force
+        // splits: insert_new must insert exactly the absent keys and leave
+        // present keys' values untouched, including the median-promotion
+        // duplicate case mid-descent.
+        let mut t = BTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let keys: Vec<u64> = (0..4000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1500)
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            let fresh = t.insert_new(k, i as u64);
+            assert_eq!(fresh, !model.contains_key(&k), "key {k}");
+            model.entry(k).or_insert(i as u64);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), model.len());
+        for (&k, &v) in &model {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct Table {
     post_idx: BTree,
     /// (parent << 32 | pre) → row position; enables ordered children scans.
     parent_idx: BTree,
+    /// Largest `post` inserted so far; a new `post` above it is fresh
+    /// without probing the index. The usual producer (the encoder) emits
+    /// `post = 1, 2, 3, …`, so its duplicate probe is one comparison.
+    max_post: u64,
 }
 
 impl Table {
@@ -109,6 +113,7 @@ impl Table {
             pre_idx: BTree::new(),
             post_idx: BTree::new(),
             parent_idx: BTree::new(),
+            max_post: 0,
         }
     }
 
@@ -145,17 +150,25 @@ impl Table {
                 "parent {parent} not before pre {pre}"
             )));
         }
-        if self.pre_idx.contains(pre as u64) {
-            return Err(StoreError::BadRow(format!("duplicate pre {pre}")));
-        }
-        if self.post_idx.contains(post as u64) {
+        let pos = self.rows.len() as u64;
+        // `post` is probed before any index mutates so a duplicate leaves
+        // the table untouched; `pre` uniqueness rides on the combined
+        // probe-and-insert descent, and the parent key embeds `pre` so its
+        // uniqueness follows. Monotone producers skip the probe descent via
+        // the `max_post` high-water mark.
+        if post as u64 <= self.max_post && self.post_idx.contains(post as u64) {
             return Err(StoreError::BadRow(format!("duplicate post {post}")));
         }
-        let pos = self.rows.len() as u64;
-        self.pre_idx.insert(pre as u64, pos);
-        self.post_idx.insert(post as u64, pos);
-        self.parent_idx
-            .insert(((parent as u64) << 32) | pre as u64, pos);
+        if !self.pre_idx.insert_new(pre as u64, pos) {
+            return Err(StoreError::BadRow(format!("duplicate pre {pre}")));
+        }
+        let fresh_post = self.post_idx.insert_new(post as u64, pos);
+        debug_assert!(fresh_post, "post checked above");
+        let fresh_parent = self
+            .parent_idx
+            .insert_new(((parent as u64) << 32) | pre as u64, pos);
+        debug_assert!(fresh_parent, "parent key embeds the unique pre");
+        self.max_post = self.max_post.max(post as u64);
         self.rows.push(row);
         Ok(())
     }

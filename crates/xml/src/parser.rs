@@ -85,13 +85,17 @@ impl fmt::Display for XmlError {
 impl std::error::Error for XmlError {}
 
 /// A pull parser over an in-memory document.
+///
+/// All names are handled as slices of the input; the owned [`XmlEvent`]s
+/// from [`PullParser::next`] copy at the API boundary only, and the
+/// allocation-free [`PullParser::next_element`] never copies at all.
 pub struct PullParser<'a> {
     input: &'a [u8],
     text: &'a str,
     pos: usize,
-    stack: Vec<String>,
+    stack: Vec<&'a str>,
     /// Queued end event for self-closing tags.
-    pending_end: Option<String>,
+    pending_end: Option<&'a str>,
 }
 
 impl<'a> PullParser<'a> {
@@ -116,7 +120,9 @@ impl<'a> PullParser<'a> {
     pub fn next(&mut self) -> Result<Option<XmlEvent>, XmlError> {
         if let Some(name) = self.pending_end.take() {
             self.stack.pop();
-            return Ok(Some(XmlEvent::EndElement { name }));
+            return Ok(Some(XmlEvent::EndElement {
+                name: name.to_string(),
+            }));
         }
         loop {
             if self.pos >= self.input.len() {
@@ -130,25 +136,81 @@ impl<'a> PullParser<'a> {
                     Markup::Comment => self.skip_until(b"-->")?,
                     Markup::Pi => self.skip_until(b"?>")?,
                     Markup::Doctype => self.skip_doctype()?,
-                    Markup::Cdata => return self.parse_cdata().map(Some),
-                    Markup::Close => return self.parse_close().map(Some),
-                    Markup::Open => return self.parse_open().map(Some),
-                }
-            } else {
-                let ev = self.parse_text()?;
-                // Outside the root, only whitespace is allowed.
-                if self.stack.is_empty() {
-                    if let XmlEvent::Text(ref t) = ev {
-                        if t.trim().is_empty() {
-                            continue;
-                        }
-                        return Err(XmlError::Syntax {
-                            pos: self.pos,
-                            msg: "character data outside root element".into(),
-                        });
+                    Markup::Cdata => {
+                        let raw = self.parse_cdata()?;
+                        return Ok(Some(XmlEvent::Text(raw.to_string())));
+                    }
+                    Markup::Close => {
+                        let name = self.parse_close()?;
+                        return Ok(Some(XmlEvent::EndElement {
+                            name: name.to_string(),
+                        }));
+                    }
+                    Markup::Open => {
+                        let (name, attributes, _) = self.parse_open(true)?;
+                        return Ok(Some(XmlEvent::StartElement {
+                            name: name.to_string(),
+                            attributes,
+                        }));
                     }
                 }
-                return Ok(Some(ev));
+            } else {
+                let raw = self.parse_text()?;
+                // Outside the root, only whitespace is allowed.
+                if self.stack.is_empty() {
+                    if raw.trim().is_empty() {
+                        continue;
+                    }
+                    return Err(XmlError::Syntax {
+                        pos: self.pos,
+                        msg: "character data outside root element".into(),
+                    });
+                }
+                return Ok(Some(XmlEvent::Text(unescape(raw).into_owned())));
+            }
+        }
+    }
+
+    /// Pulls the next *element* event without allocating: `(name, true)`
+    /// for a start tag, `(name, false)` for an end tag, the name borrowed
+    /// from the input. Character data, CDATA, comments, PIs and doctypes
+    /// are validated and skipped; attributes are validated and discarded.
+    /// This is the encoder's hot path — the base scheme stores tag
+    /// structure only.
+    pub fn next_element(&mut self) -> Result<Option<(&'a str, bool)>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Some((name, false)));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return Err(XmlError::UnexpectedEof);
+                }
+                return Ok(None);
+            }
+            if self.input[self.pos] == b'<' {
+                match self.peek_markup() {
+                    Markup::Comment => self.skip_until(b"-->")?,
+                    Markup::Pi => self.skip_until(b"?>")?,
+                    Markup::Doctype => self.skip_doctype()?,
+                    Markup::Cdata => {
+                        self.parse_cdata()?;
+                    }
+                    Markup::Close => return self.parse_close().map(|name| Some((name, false))),
+                    Markup::Open => {
+                        let (name, _, _) = self.parse_open(false)?;
+                        return Ok(Some((name, true)));
+                    }
+                }
+            } else {
+                let raw = self.parse_text()?;
+                if self.stack.is_empty() && !raw.trim().is_empty() {
+                    return Err(XmlError::Syntax {
+                        pos: self.pos,
+                        msg: "character data outside root element".into(),
+                    });
+                }
             }
         }
     }
@@ -233,13 +295,15 @@ impl<'a> PullParser<'a> {
         })
     }
 
-    fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
+    /// Parses a CDATA section, returning the raw content slice. Errors when
+    /// outside the root element.
+    fn parse_cdata(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         self.pos += "<![CDATA[".len();
         let content_start = self.pos;
         while self.pos + 3 <= self.input.len() {
             if &self.input[self.pos..self.pos + 3] == b"]]>" {
-                let content = self.text[content_start..self.pos].to_string();
+                let content = &self.text[content_start..self.pos];
                 self.pos += 3;
                 if self.stack.is_empty() {
                     return Err(XmlError::Syntax {
@@ -247,7 +311,7 @@ impl<'a> PullParser<'a> {
                         msg: "CDATA outside root element".into(),
                     });
                 }
-                return Ok(XmlEvent::Text(content));
+                return Ok(content);
             }
             self.pos += 1;
         }
@@ -257,16 +321,16 @@ impl<'a> PullParser<'a> {
         })
     }
 
-    fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
+    /// Scans a character-data run, returning the raw (still escaped) slice.
+    fn parse_text(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         while self.pos < self.input.len() && self.input[self.pos] != b'<' {
             self.pos += 1;
         }
-        let raw = &self.text[start..self.pos];
-        Ok(XmlEvent::Text(unescape(raw).into_owned()))
+        Ok(&self.text[start..self.pos])
     }
 
-    fn parse_close(&mut self) -> Result<XmlEvent, XmlError> {
+    fn parse_close(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         self.pos += 2; // "</"
         let name = self.read_name()?;
@@ -279,11 +343,11 @@ impl<'a> PullParser<'a> {
         }
         self.pos += 1;
         match self.stack.pop() {
-            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) if open == name => Ok(name),
             Some(open) => Err(XmlError::MismatchedTag {
                 pos: start,
-                expected: open,
-                found: name,
+                expected: open.to_string(),
+                found: name.to_string(),
             }),
             None => Err(XmlError::Syntax {
                 pos: start,
@@ -292,7 +356,13 @@ impl<'a> PullParser<'a> {
         }
     }
 
-    fn parse_open(&mut self) -> Result<XmlEvent, XmlError> {
+    /// Parses a start tag. With `collect_attrs` the attributes are unescaped
+    /// into owned values; without, they are validated and discarded. The
+    /// bool is true for a self-closing tag (whose end event is queued).
+    fn parse_open(
+        &mut self,
+        collect_attrs: bool,
+    ) -> Result<(&'a str, Vec<Attribute>, bool), XmlError> {
         self.pos += 1; // '<'
         let name = self.read_name()?;
         let mut attributes = Vec::new();
@@ -304,8 +374,8 @@ impl<'a> PullParser<'a> {
             match self.input[self.pos] {
                 b'>' => {
                     self.pos += 1;
-                    self.stack.push(name.clone());
-                    return Ok(XmlEvent::StartElement { name, attributes });
+                    self.stack.push(name);
+                    return Ok((name, attributes, false));
                 }
                 b'/' => {
                     if self.input.get(self.pos + 1) != Some(&b'>') {
@@ -315,9 +385,9 @@ impl<'a> PullParser<'a> {
                         });
                     }
                     self.pos += 2;
-                    self.stack.push(name.clone());
-                    self.pending_end = Some(name.clone());
-                    return Ok(XmlEvent::StartElement { name, attributes });
+                    self.stack.push(name);
+                    self.pending_end = Some(name);
+                    return Ok((name, attributes, true));
                 }
                 _ => {
                     let attr_name = self.read_name()?;
@@ -331,16 +401,18 @@ impl<'a> PullParser<'a> {
                     self.pos += 1;
                     self.skip_ws();
                     let value = self.read_quoted()?;
-                    attributes.push(Attribute {
-                        name: attr_name,
-                        value,
-                    });
+                    if collect_attrs {
+                        attributes.push(Attribute {
+                            name: attr_name.to_string(),
+                            value: unescape(value).into_owned(),
+                        });
+                    }
                 }
             }
         }
     }
 
-    fn read_name(&mut self) -> Result<String, XmlError> {
+    fn read_name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         while self.pos < self.input.len() && is_name_byte(self.input[self.pos]) {
             self.pos += 1;
@@ -351,10 +423,12 @@ impl<'a> PullParser<'a> {
                 msg: "expected a name".into(),
             });
         }
-        Ok(self.text[start..self.pos].to_string())
+        Ok(&self.text[start..self.pos])
     }
 
-    fn read_quoted(&mut self) -> Result<String, XmlError> {
+    /// Reads a quoted attribute value, returning the raw (still escaped)
+    /// slice.
+    fn read_quoted(&mut self) -> Result<&'a str, XmlError> {
         let quote = *self.input.get(self.pos).ok_or(XmlError::UnexpectedEof)?;
         if quote != b'"' && quote != b'\'' {
             return Err(XmlError::Syntax {
@@ -375,7 +449,7 @@ impl<'a> PullParser<'a> {
         }
         let raw = &self.text[start..self.pos];
         self.pos += 1;
-        Ok(unescape(raw).into_owned())
+        Ok(raw)
     }
 
     fn skip_ws(&mut self) {
