@@ -35,7 +35,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_8.json".to_string());
+                .unwrap_or_else(|| "BENCH_9.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -75,7 +75,7 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_8.json`; the committed file is the PR-8 baseline
+/// `path`, default `BENCH_9.json`; the committed file is the PR-9 baseline
 /// and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
@@ -85,10 +85,15 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 /// query plane, the **clients × transport matrix** (N concurrent clients
 /// running the chain over a real TCP host, thread-per-connection vs
 /// multiplexed; the run asserts the mux plane serves 8 concurrent clients
-/// in no more wall-clock than the threaded one), and (new in schema 5) the
-/// **fleet n × t matrix**: the chain on a t-of-n multi-party deployment,
-/// asserting results and wave count identical to the single-party plane in
-/// every cell.
+/// in no more wall-clock than the threaded one), the (schema 5) **fleet
+/// n × t matrix**: the chain on a t-of-n multi-party deployment, asserting
+/// results and wave count identical to the single-party plane in every
+/// cell, and (new in schema 8) the **sustained-ingest row**: one writer
+/// client streams whole-document inserts and deletes into a live sharded
+/// TCP host while a query mix runs concurrently — rows/s acked, with the
+/// baseline document's matches asserted present in every concurrent
+/// answer and the baseline answer asserted restored bit-exactly once the
+/// writer removes everything it inserted.
 fn bench_json(path: &str) {
     use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
@@ -522,9 +527,139 @@ fn bench_json(path: &str) {
         )
     };
 
+    // Sustained ingest under concurrent query load (the PR-9 datapoint):
+    // a live S=2 thread-per-connection TCP host; one writer client streams
+    // whole-document inserts (deleting every 4th inserted document to mix
+    // the load) for a bounded window while query clients run the chain
+    // continuously. Invariants asserted live: the baseline document's
+    // matches appear in every concurrent answer (writes only add or remove
+    // whole *inserted* documents — baseline `pre`s are never reused), and
+    // once the writer deletes everything it inserted, the chain answers
+    // exactly like the untouched baseline.
+    const INGEST_SHARDS: u32 = 2;
+    const INGEST_QUERY_THREADS: usize = 2;
+    const INGEST_WINDOW_MS: u64 = 1200;
+    let (ingest_rows_per_s, ingest_cell) = {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let out = encode_document(&mux_doc, &map, &seed).expect("encode");
+        let server = ShardedServer::from_table(out.table, out.ring, INGEST_SHARDS).expect("shard");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let host = std::thread::spawn(move || serve_tcp_sharded(listener, server).expect("host"));
+        let ingest_doc = document(2 * 1024);
+        let stop = AtomicBool::new(false);
+        let queries_done = AtomicU64::new(0);
+        let conflicts = AtomicU64::new(0);
+        let (rows, docs_in, docs_del, wall_ms) = std::thread::scope(|scope| {
+            for _ in 0..INGEST_QUERY_THREADS {
+                let (map, seed) = (map.clone(), seed.clone());
+                let query = chain_query.clone();
+                let (expect, stop) = (&chain_reference, &stop);
+                let (queries_done, conflicts) = (&queries_done, &conflicts);
+                scope.spawn(move || {
+                    let router = ShardRouter::connect(addr, INGEST_SHARDS).expect("connect");
+                    let mut c = ClientFilter::new(router, map, seed).expect("client");
+                    while !stop.load(Ordering::Relaxed) {
+                        // A multi-wave query races the writer without
+                        // snapshot isolation: a frontier node can vanish
+                        // between waves, surfacing as a *typed* conflict the
+                        // client retries — never as a silently wrong merge.
+                        match Engine::run(
+                            EngineKind::Simple,
+                            MatchRule::Containment,
+                            &query,
+                            &mut c,
+                        ) {
+                            Ok(out) => {
+                                let pres = out.pres();
+                                for p in expect {
+                                    assert!(
+                                        pres.contains(p),
+                                        "a concurrent write dropped baseline match pre={p}"
+                                    );
+                                }
+                                queries_done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                let msg = e.to_string();
+                                assert!(
+                                    msg.contains("no node") || msg.contains("epoch"),
+                                    "concurrent query failed outside the conflict \
+                                     contract: {msg}"
+                                );
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            let mut db =
+                ssx_core::RemoteDb::connect(addr, INGEST_SHARDS, map.clone(), seed.clone())
+                    .expect("writer");
+            let (mut rows, mut docs_in, mut docs_del) = (0u64, 0u64, 0u64);
+            let mut live: Vec<u32> = Vec::new();
+            let started = Instant::now();
+            while started.elapsed() < Duration::from_millis(INGEST_WINDOW_MS) {
+                let ins = db.insert_document(&ingest_doc).expect("insert");
+                rows += ins.rows;
+                docs_in += 1;
+                live.push(ins.root_pre);
+                if docs_in % 4 == 0 {
+                    let pre = live.remove(0);
+                    db.delete_document(pre).expect("delete");
+                    docs_del += 1;
+                }
+            }
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            for pre in live {
+                db.delete_document(pre).expect("restore delete");
+            }
+            stop.store(true, Ordering::Relaxed);
+            (rows, docs_in, docs_del, wall_ms)
+        });
+        let router = ShardRouter::connect(addr, INGEST_SHARDS).expect("connect");
+        let mut c = ClientFilter::new(router, map.clone(), seed.clone()).expect("client");
+        let fin = Engine::run(
+            EngineKind::Simple,
+            MatchRule::Containment,
+            &chain_query,
+            &mut c,
+        )
+        .expect("final query");
+        assert_eq!(
+            &fin.pres(),
+            &chain_reference,
+            "deleting every inserted document must restore the baseline answer"
+        );
+        drop(c);
+        let mut closer = ssx_core::TcpTransport::connect(addr).expect("closer");
+        use ssx_core::Transport as _;
+        closer
+            .call(&ssx_core::protocol::Request::Shutdown)
+            .expect("shutdown");
+        drop(closer);
+        host.join().expect("host join");
+        let queries = queries_done.load(Ordering::Relaxed);
+        let conflicts = conflicts.load(Ordering::Relaxed);
+        assert!(
+            queries > 0,
+            "the query mix must make progress during ingest"
+        );
+        let rows_per_s = rows as f64 / (wall_ms / 1e3);
+        let qps = queries as f64 / (wall_ms / 1e3);
+        let cell = format!(
+            "    {{ \"shards\": {INGEST_SHARDS}, \"query_threads\": {INGEST_QUERY_THREADS}, \
+             \"rows_inserted\": {rows}, \"docs_inserted\": {docs_in}, \
+             \"docs_deleted\": {docs_del}, \"wall_ms\": {wall_ms:.1}, \
+             \"rows_per_s\": {rows_per_s:.0}, \"concurrent_queries\": {queries}, \
+             \"concurrent_qps\": {qps:.1}, \"conflict_retries\": {conflicts} }}"
+        );
+        (rows_per_s, cell)
+    };
+
     let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/7\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/8\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -551,9 +686,11 @@ fn bench_json(path: &str) {
          \"speculative_wasted\": {spec_wasted_s1},\n  \
          \"speculative_hit_rate\": {spec_hit_rate:.3},\n  \
          \"mux_speedup_8_clients\": {mux_speedup_8:.2},\n  \
+         \"ingest_rows_per_s\": {ingest_rows_per_s:.0},\n  \
          \"shard_batch_matrix\": [\n{}\n  ],\n  \
          \"fleet_matrix\": [\n{}\n  ],\n  \
          \"fleet_degraded\": [\n{degraded_cell}\n  ],\n  \
+         \"ingest\": [\n{ingest_cell}\n  ],\n  \
          \"mux_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),
@@ -570,28 +707,39 @@ fn bench_json(path: &str) {
         "mux must serve 8 concurrent clients in no more wall-clock than \
          thread-per-connection ({mux_8_ms:.3} ms vs {threaded_8_ms:.3} ms)"
     );
-    // PR-8 perf gates against the committed BENCH_7.json baselines
-    // (node_encode_ns 4906.7, unpack_radix_ns 5637.7, ring_mul_eval_ns
-    // 210.6): the batched field plane must hold a ≥5× speedup on the encode
-    // and first-touch decode paths without regressing the pointwise ring
-    // product it is built from.
-    const BENCH7_NODE_ENCODE_NS: f64 = 4906.7;
-    const BENCH7_UNPACK_RADIX_NS: f64 = 5637.7;
-    const BENCH7_RING_MUL_EVAL_NS: f64 = 210.6;
+    // PR-9 no-regression pins against the committed BENCH_8.json baselines
+    // (node_encode_ns 847.6, unpack_radix_ns 644.4, ring_mul_eval_ns 80.8).
+    // These numbers are host-sensitive — the PR-8 seed itself measures ~40%
+    // above its committed pin on a slower machine — so the tolerance is 2×:
+    // wide enough to absorb host variance, tight enough that losing the
+    // batched field plane (a 5-7× cliff) or an accidental O(n) in the
+    // insert path still trips it.
+    const BENCH8_NODE_ENCODE_NS: f64 = 847.6;
+    const BENCH8_UNPACK_RADIX_NS: f64 = 644.4;
+    const BENCH8_RING_MUL_EVAL_NS: f64 = 80.8;
     assert!(
-        node_encode_ns * 5.0 <= BENCH7_NODE_ENCODE_NS,
-        "encode gate: node_encode_ns {node_encode_ns:.1} must be ≥5× below \
-         the PR-7 baseline {BENCH7_NODE_ENCODE_NS}"
+        node_encode_ns <= BENCH8_NODE_ENCODE_NS * 2.0,
+        "encode pin: node_encode_ns {node_encode_ns:.1} regressed past the \
+         PR-8 baseline {BENCH8_NODE_ENCODE_NS} (2× host tolerance)"
     );
     assert!(
-        unpack_ns * 5.0 <= BENCH7_UNPACK_RADIX_NS,
-        "decode gate: unpack_radix_ns {unpack_ns:.1} must be ≥5× below \
-         the PR-7 baseline {BENCH7_UNPACK_RADIX_NS}"
+        unpack_ns <= BENCH8_UNPACK_RADIX_NS * 2.0,
+        "decode pin: unpack_radix_ns {unpack_ns:.1} regressed past the \
+         PR-8 baseline {BENCH8_UNPACK_RADIX_NS} (2× host tolerance)"
     );
     assert!(
-        ring_mul_eval_ns <= BENCH7_RING_MUL_EVAL_NS * 1.5,
-        "ring_mul_eval_ns {ring_mul_eval_ns:.1} regressed past the PR-7 \
-         baseline {BENCH7_RING_MUL_EVAL_NS} (50% tolerance)"
+        ring_mul_eval_ns <= BENCH8_RING_MUL_EVAL_NS * 2.0,
+        "ring_mul_eval_ns {ring_mul_eval_ns:.1} regressed past the PR-8 \
+         baseline {BENCH8_RING_MUL_EVAL_NS} (2× host tolerance)"
+    );
+    // PR-9 ingest gate, relative so it holds on any host: a wire insert is
+    // an encode plus transport, fan-out and index maintenance, but it must
+    // not cost more than 50× the pure serial encode path per row even with
+    // a query mix running against the same store.
+    assert!(
+        ingest_rows_per_s * 50.0 >= encode_rows_per_s_serial,
+        "ingest gate: {ingest_rows_per_s:.0} rows/s under query load is more \
+         than 50× below the serial encode rate {encode_rows_per_s_serial:.0}"
     );
 }
 

@@ -210,6 +210,12 @@ impl<T: Transport> ClientFilter<T> {
         &self.map
     }
 
+    /// The PRG seed (client secret) — the write plane re-encodes new
+    /// documents under it so their shares extend the same keyspace.
+    pub fn seed(&self) -> &Seed {
+        &self.seed
+    }
+
     /// The ring.
     pub fn ring(&self) -> &RingCtx {
         &self.ring
@@ -246,6 +252,16 @@ impl<T: Transport> ClientFilter<T> {
     pub fn root(&mut self) -> Result<Option<Loc>, CoreError> {
         match self.transport.call(&Request::Root)? {
             Response::MaybeLoc(l) => Ok(l),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// All document roots in document order. A freshly encoded store has
+    /// one; the write plane grows a forest, and queries start from every
+    /// root.
+    pub fn roots(&mut self) -> Result<Vec<Loc>, CoreError> {
+        match self.transport.call(&Request::Roots)? {
+            Response::Locs(ls) => Ok(ls),
             other => Err(unexpected(other)),
         }
     }
@@ -505,6 +521,54 @@ impl<T: Transport> ClientFilter<T> {
             }
         }
         share
+    }
+
+    // ---- writes -----------------------------------------------------------
+
+    /// Inserts pre-split server-share rows (the write plane's wire unit).
+    /// Over a sharded router the rows fan to their owning shards; over a
+    /// fleet each row is re-split per party. Returns how many rows were
+    /// applied.
+    pub fn insert_rows(&mut self, rows: Vec<(Loc, Vec<u8>)>) -> Result<u64, CoreError> {
+        let n = match self.transport.call(&Request::Insert { rows })? {
+            Response::Count(n) => n,
+            other => return Err(unexpected(other)),
+        };
+        self.invalidate_shares();
+        Ok(n)
+    }
+
+    /// Deletes rows by `pre` (idempotent: missing `pre`s are skipped).
+    /// Returns how many rows were removed.
+    pub fn delete_pres(&mut self, pres: Vec<u32>) -> Result<u64, CoreError> {
+        let n = match self.transport.call(&Request::Delete { pres })? {
+            Response::Count(n) => n,
+            other => return Err(unexpected(other)),
+        };
+        self.invalidate_shares();
+        Ok(n)
+    }
+
+    /// The highest `pre` the store holds (0 when empty) — the write
+    /// plane's offset-allocation handshake: new documents are encoded at
+    /// `offset = max_pre` so their numbering extends the forest.
+    pub fn max_pre(&mut self) -> Result<u32, CoreError> {
+        match self.transport.call(&Request::MaxPre)? {
+            Response::Count(n) => Ok(n as u32),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drops every cached client share. Shares derive from `(seed, pre)`
+    /// alone, so cached entries never become *incorrect* — but after a
+    /// delete the memo would keep paying capacity for nodes that no longer
+    /// exist, and a cursor-fenced caller re-walking the store should start
+    /// from the PRG, not a working set shaped by the pre-write tree.
+    /// Called automatically by the write passthroughs.
+    pub fn invalidate_shares(&mut self) {
+        if let Some(cache) = &mut self.share_cache {
+            *cache = ShareCache::new(cache.cap);
+        }
     }
 
     // ---- pipelined access (the nextNode() protocol) -----------------------
@@ -803,6 +867,50 @@ mod tests {
         // Same protocol work per candidate, fewer round trips.
         assert_eq!(c.stats().equality_tests, all.len() as u64);
         assert_eq!(c.stats().polys_fetched, fresh.stats().polys_fetched);
+    }
+
+    #[test]
+    fn writes_pass_through_and_fence_cursors() {
+        let mut c = client();
+        c.set_share_cache(true);
+        let root = c.root().unwrap().unwrap();
+        let vb = c.value_of("b").unwrap();
+        c.containment(root, vb).unwrap();
+        assert!(c.cached_shares() > 0);
+        let n0 = c.count().unwrap();
+        let cursor = c.open_children_cursor(vec![1]).unwrap();
+
+        // A decodable packed polynomial for the new row.
+        let poly = {
+            let ring = c.ring().clone();
+            let q = ring.field().order();
+            let mut x = 0xD00Du64;
+            let coeffs = (0..ring.len())
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % q
+                })
+                .collect();
+            Packer::new(&ring).pack_radix(&ring.poly_from_coeffs(coeffs).unwrap())
+        };
+        let loc = Loc {
+            pre: 40,
+            post: 40,
+            parent: 0,
+        };
+        assert_eq!(c.insert_rows(vec![(loc, poly)]).unwrap(), 1);
+        assert_eq!(c.count().unwrap(), n0 + 1);
+        assert_eq!(c.max_pre().unwrap(), 40);
+        assert_eq!(c.cached_shares(), 0, "a write clears the share memo");
+
+        // The pre-write cursor is fenced, not silently wrong.
+        let err = c.next_node(cursor).unwrap_err();
+        assert!(err.to_string().contains("epoch"), "{err}");
+
+        assert_eq!(c.delete_pres(vec![40, 77]).unwrap(), 1);
+        assert_eq!(c.count().unwrap(), n0);
     }
 
     #[test]

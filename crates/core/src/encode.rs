@@ -425,6 +425,35 @@ pub fn encode_document(xml: &str, map: &MapFile, seed: &Seed) -> Result<EncodeOu
     Ok(enc.finish(xml.len(), started))
 }
 
+/// Encodes an XML document as a block starting at `offset`: pre and post
+/// numbers run `offset+1 ..= offset+n`, the document root keeps `parent = 0`,
+/// and every client-share PRG stream is keyed by the *absolute* `pre` — so a
+/// document inserted at `offset` into a live store carries rows bit-identical
+/// to a fresh forest encode that placed it there. `offset = 0` is exactly
+/// [`encode_document`]. This is the write plane's encoder: allocate an offset
+/// past every `pre` ever stored (`MaxPre`) and the new block can never
+/// collide with live or deleted rows.
+pub fn encode_document_at(
+    xml: &str,
+    map: &MapFile,
+    seed: &Seed,
+    offset: u32,
+) -> Result<EncodeOutput, CoreError> {
+    let started = Instant::now();
+    let mut enc = Encoder::new(map, seed)?;
+    enc.pre = offset;
+    enc.post = offset;
+    let mut parser = PullParser::new(xml);
+    while let Some((name, is_start)) = parser.next_element()? {
+        if is_start {
+            enc.start(name)?;
+        } else {
+            enc.end()?;
+        }
+    }
+    Ok(enc.finish(xml.len(), started))
+}
+
 /// Encodes an XML document with the storage boundary (inverse transform,
 /// share split, radix pack) fanned out over `threads` scoped workers. The
 /// tree fold itself stays serial — it is the only tree-ordered dependency —
@@ -641,7 +670,6 @@ pub fn split_fleet(
             spec.servers
         )));
     }
-    let alpha = fleet_mac_key(seed, &ring);
     let mut parties: Vec<PartyStore> = (1..=spec.servers)
         .map(|party| PartyStore {
             party,
@@ -650,25 +678,18 @@ pub fn split_fleet(
         })
         .collect();
     for row in table.rows() {
-        let s = packer.unpack_radix(&ring, &row.poly)?;
-        let m = ssx_poly::scale_poly(&ring, alpha, &s);
-        let mut prg = node_prg(seed, FLEET_SPLIT_DOMAIN | row.loc.pre as u64);
-        let data_shares = ssx_poly::split_n(&ring, &s, spec.servers, spec.threshold, &mut prg);
-        let mac_shares = ssx_poly::split_n(&ring, &m, spec.servers, spec.threshold, &mut prg);
-        for (party, (ds, ms)) in parties
-            .iter_mut()
-            .zip(data_shares.into_iter().zip(mac_shares))
-        {
-            let insert = |table: &mut Table, poly: &RingPoly| {
+        let shares = split_fleet_row(&ring, &packer, seed, spec, row.loc.pre, &row.poly)?;
+        for (party, (ds, ms)) in parties.iter_mut().zip(shares) {
+            let insert = |table: &mut Table, poly: Vec<u8>| {
                 table
                     .insert(Row {
                         loc: row.loc,
-                        poly: packer.pack_radix(poly).into_boxed_slice(),
+                        poly: poly.into_boxed_slice(),
                     })
                     .map_err(CoreError::from)
             };
-            insert(&mut party.data, &ds)?;
-            insert(&mut party.mac, &ms)?;
+            insert(&mut party.data, ds)?;
+            insert(&mut party.mac, ms)?;
         }
     }
     Ok(FleetEncodeOutput {
@@ -678,6 +699,37 @@ pub fn split_fleet(
         packer,
         stats,
     })
+}
+
+/// One party's packed `(data, mac)` payload pair for a re-split row.
+pub type PartyRow = (Vec<u8>, Vec<u8>);
+
+/// Splits one stored server-share row into its `n` per-party
+/// `(data, mac)` packed payloads, drawing the masking randomness from
+/// exactly the PRG stream [`split_fleet`] uses for that `pre` — a row
+/// inserted into a live fleet is bit-identical to the row a fresh
+/// `split_fleet` of the same table would hand the same party. This is the
+/// write plane's splitter: a fleet transport re-splits each incoming row
+/// per leg so no single party ever sees the un-split server share.
+pub fn split_fleet_row(
+    ring: &RingCtx,
+    packer: &Packer,
+    seed: &Seed,
+    spec: FleetSpec,
+    pre: u32,
+    poly: &[u8],
+) -> Result<Vec<PartyRow>, CoreError> {
+    let alpha = fleet_mac_key(seed, ring);
+    let s = packer.unpack_radix(ring, poly)?;
+    let m = ssx_poly::scale_poly(ring, alpha, &s);
+    let mut prg = node_prg(seed, FLEET_SPLIT_DOMAIN | pre as u64);
+    let data_shares = ssx_poly::split_n(ring, &s, spec.servers, spec.threshold, &mut prg);
+    let mac_shares = ssx_poly::split_n(ring, &m, spec.servers, spec.threshold, &mut prg);
+    Ok(data_shares
+        .into_iter()
+        .zip(mac_shares)
+        .map(|(d, m)| (packer.pack_radix(&d), packer.pack_radix(&m)))
+        .collect())
 }
 
 /// Encodes `xml` and splits the result into an `n`-party fleet.
@@ -864,6 +916,94 @@ mod tests {
             let par =
                 encode_events_parallel_with(&events, xml.len(), &map, &seed, threads).unwrap();
             assert_eq!(par.table.rows(), serial.table.rows(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn offset_zero_encode_is_bit_identical() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/><b/></a><c/></site>";
+        let plain = encode_document(xml, &map, &seed).unwrap();
+        let at0 = encode_document_at(xml, &map, &seed, 0).unwrap();
+        assert_eq!(plain.table.rows(), at0.table.rows());
+    }
+
+    /// An offset encode is the same forest block a fresh two-document encode
+    /// would produce: locations shift rigidly and every row's share bytes
+    /// match, because client-share streams are keyed by absolute pre.
+    #[test]
+    fn offset_encode_matches_fresh_forest_block() {
+        let (map, seed) = setup();
+        let first = "<site><a><b/></a><c/></site>"; // 5 nodes: offsets 1..=5
+        let second = "<site><a/><c/></site>"; // 3 nodes at offset 5
+        let block = encode_document_at(second, &map, &seed, 5).unwrap();
+        assert_eq!(
+            block
+                .table
+                .all_locs()
+                .iter()
+                .map(|l| (l.pre, l.post, l.parent))
+                .collect::<Vec<_>>(),
+            vec![(6, 8, 0), (7, 6, 6), (8, 7, 6)],
+            "locations shift rigidly, root keeps parent 0"
+        );
+        // Splice both blocks into one table; it must be a valid forest whose
+        // per-document scans are independent.
+        let mut forest = Table::new(block.table.poly_len());
+        let base = encode_document_at(first, &map, &seed, 0).unwrap();
+        for row in base.table.rows().iter().chain(block.table.rows()) {
+            forest.insert(row.clone()).unwrap();
+        }
+        forest.check_integrity().unwrap();
+        assert_eq!(forest.roots().len(), 2);
+        // The spliced block's shares reconstruct to the right polynomials
+        // through the absolute-pre client streams.
+        let ring = &block.ring;
+        let v = |n: &str| map.value(n).unwrap();
+        let froot = ring.mul_linear(
+            &ring.mul(&ring.linear(v("a")), &ring.linear(v("c"))),
+            v("site"),
+        );
+        let row = forest.by_pre(6).unwrap();
+        let server = block.packer.unpack_radix(ring, &row.poly).unwrap();
+        let client = random_poly(ring, &mut node_prg(&seed, 6));
+        assert_eq!(reconstruct(ring, &client, &server), froot);
+    }
+
+    /// The per-row splitter hands out exactly the bytes `split_fleet` stores
+    /// for that row — the write plane's bit-identity guarantee.
+    #[test]
+    fn split_fleet_row_matches_whole_table_split() {
+        let (map, seed) = setup();
+        let xml = "<site><a><b/></a><c/></site>";
+        let single = encode_document(xml, &map, &seed).unwrap();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let fleet = split_fleet(encode_document(xml, &map, &seed).unwrap(), &seed, spec).unwrap();
+        for row in single.table.rows() {
+            let shares = split_fleet_row(
+                &fleet.ring,
+                &fleet.packer,
+                &seed,
+                spec,
+                row.loc.pre,
+                &row.poly,
+            )
+            .unwrap();
+            for (j, (data, mac)) in shares.iter().enumerate() {
+                let party = &fleet.parties[j];
+                assert_eq!(
+                    data.as_slice(),
+                    &*party.data.by_pre(row.loc.pre).unwrap().poly,
+                    "data party {j} pre {}",
+                    row.loc.pre
+                );
+                assert_eq!(
+                    mac.as_slice(),
+                    &*party.mac.by_pre(row.loc.pre).unwrap().poly,
+                    "mac party {j} pre {}",
+                    row.loc.pre
+                );
+            }
         }
     }
 

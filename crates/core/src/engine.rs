@@ -339,11 +339,12 @@ impl SimpleEngine {
     ) -> Result<QueryOutcome, CoreError> {
         check_expanded(query)?;
         let window = StatWindow::open(filter);
-        let root = match filter.root()? {
-            Some(r) => r,
-            None => return Ok(window.close(filter, Vec::new())),
-        };
-        let mut frontier = vec![root];
+        // Every document root: the write plane grows a forest, and an
+        // absolute query addresses all of it.
+        let mut frontier = filter.roots()?;
+        if frontier.is_empty() {
+            return Ok(window.close(filter, Vec::new()));
+        }
         for (i, step) in query.steps.iter().enumerate() {
             if frontier.is_empty() {
                 break;
@@ -457,13 +458,14 @@ impl AdvancedEngine {
     ) -> Result<QueryOutcome, CoreError> {
         check_expanded(query)?;
         let window = StatWindow::open(filter);
-        let root = match filter.root()? {
-            Some(r) => r,
-            None => return Ok(window.close(filter, Vec::new())),
-        };
+        // Every document root: the write plane grows a forest, and an
+        // absolute query addresses all of it.
+        let mut frontier = filter.roots()?;
+        if frontier.is_empty() {
+            return Ok(window.close(filter, Vec::new()));
+        }
         // Distinct tag values tested by steps[i..] — the look-ahead sets.
         let suffix_values = Self::suffix_values(query, filter)?;
-        let mut frontier = vec![root];
         // Initial look-ahead: the root must contain every name the query
         // will ever test beyond step 0 (step 0's own test happens below, so
         // at the root the engine performs exactly |names| evaluations —

@@ -18,8 +18,8 @@
 
 use crate::client::ClientFilter;
 use crate::encode::{
-    encode_document, encode_document_fleet, encode_dom, EncodeOutput, EncodeStats,
-    FleetEncodeOutput, FleetSpec,
+    encode_document, encode_document_at, encode_document_fleet, encode_dom, EncodeOutput,
+    EncodeStats, FleetEncodeOutput, FleetSpec,
 };
 use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
 use crate::error::CoreError;
@@ -33,7 +33,7 @@ use crate::shard::ShardedServer;
 use crate::transport::{LocalTransport, MuxPool, MuxTransport, TcpTransport, Transport};
 use ssx_poly::RingCtx;
 use ssx_prg::Seed;
-use ssx_store::{Row, SizeReport, Table};
+use ssx_store::{Loc, Row, SizeReport, Table, Wal, WalReplay};
 use ssx_xml::Document;
 use ssx_xpath::parse_query;
 use std::net::ToSocketAddrs;
@@ -46,6 +46,22 @@ use std::path::Path;
 pub struct EncryptedDb<T: Transport + Send = ShardRouter<LocalTransport>> {
     client: ClientFilter<T>,
     encode_stats: EncodeStats,
+    /// Optional write-ahead log: document mutations are appended (and
+    /// fsynced) as they are applied, so a crash between mutations and the
+    /// next [`EncryptedDb::checkpoint`] loses nothing.
+    wal: Option<Wal>,
+}
+
+/// What [`EncryptedDb::insert_document`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// `pre` of the new document's root (the handle for
+    /// [`EncryptedDb::delete_document`] / [`EncryptedDb::update_document`]).
+    pub root_pre: u32,
+    /// Rows (elements) the store accepted.
+    pub rows: u64,
+    /// Numbering offset the document was encoded at (`root_pre - 1`).
+    pub offset: u32,
 }
 
 /// An [`EncryptedDb`] over a remote thread-per-connection TCP host.
@@ -106,6 +122,7 @@ impl EncryptedDb {
         Ok(EncryptedDb {
             client,
             encode_stats: out.stats,
+            wal: None,
         })
     }
 
@@ -150,6 +167,12 @@ impl EncryptedDb {
     /// the shard count (and bit-identical per row). The map and seed are
     /// *not* written — they are the client's secrets and travel separately.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        ssx_store::save_table(&self.merged_table()?, path)?;
+        Ok(())
+    }
+
+    /// Shard partitions merged back into one document-ordered table.
+    fn merged_table(&self) -> Result<Table, CoreError> {
         let mut rows: Vec<Row> = self
             .client
             .transport()
@@ -167,7 +190,63 @@ impl EncryptedDb {
         for row in rows {
             merged.insert(row)?;
         }
-        ssx_store::save_table(&merged, path)?;
+        Ok(merged)
+    }
+
+    /// Opens (or bootstraps) a durable store: loads the snapshot at
+    /// `snapshot` when present (an empty store otherwise), replays the log
+    /// at `wal` over it — recovering every mutation acked since the last
+    /// [`EncryptedDb::checkpoint`], truncating any torn tail — and
+    /// attaches the log so later mutations append to it.
+    pub fn open_durable(
+        snapshot: &Path,
+        wal: &Path,
+        map: MapFile,
+        seed: Seed,
+        shards: u32,
+    ) -> Result<(Self, WalReplay), CoreError> {
+        let ring = RingCtx::new(map.p(), map.e())?;
+        let expected = ssx_poly::Packer::new(&ring).radix_len();
+        let (table, replay) = if snapshot.exists() {
+            let (table, replay) = ssx_store::load_table_with_wal(snapshot, wal)?;
+            if expected != table.poly_len() {
+                return Err(CoreError::Map(format!(
+                    "map is for F_{}^{} ({} B/polynomial) but the table stores {} B/polynomial",
+                    map.p(),
+                    map.e(),
+                    expected,
+                    table.poly_len()
+                )));
+            }
+            (table, replay)
+        } else {
+            let mut table = Table::new(expected);
+            let replay = ssx_store::replay_wal(wal, &mut table)?;
+            (table, replay)
+        };
+        let server = ShardedServer::from_table(table, ring, shards)?;
+        let client = ClientFilter::new(ShardRouter::local(server), map, seed)?;
+        let mut db = EncryptedDb {
+            client,
+            encode_stats: EncodeStats::default(),
+            wal: None,
+        };
+        db.attach_wal(wal)?;
+        Ok((db, replay))
+    }
+
+    /// Snapshots the merged table to `snapshot` atomically, then truncates
+    /// the attached log ([`ssx_store::checkpoint`]): a crash between the
+    /// two steps merely replays records the snapshot already contains,
+    /// which replay skips idempotently.
+    pub fn checkpoint(&mut self, snapshot: &Path) -> Result<(), CoreError> {
+        let merged = self.merged_table()?;
+        let wal = self.wal.as_mut().ok_or_else(|| {
+            CoreError::Unsupported(
+                "checkpoint requires an attached WAL (attach_wal or open_durable)".into(),
+            )
+        })?;
+        ssx_store::checkpoint(&merged, snapshot, wal)?;
         Ok(())
     }
 
@@ -203,6 +282,7 @@ impl EncryptedDb {
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
+            wal: None,
         })
     }
 }
@@ -272,6 +352,100 @@ impl<T: Transport + Send> EncryptedDb<T> {
     pub fn set_deadline(&mut self, budget: Option<std::time::Duration>) {
         self.client.transport_mut().set_call_budget(budget);
     }
+
+    // ---- the write plane --------------------------------------------------
+
+    /// Attaches a write-ahead log at `path`: every later document mutation
+    /// is appended (and fsynced) after the store applies it, so the log
+    /// holds exactly the acked mutations since the last
+    /// [`EncryptedDb::checkpoint`]. An existing log is appended to, not
+    /// replayed — replay happens in [`EncryptedDb::open_durable`].
+    pub fn attach_wal(&mut self, path: &Path) -> Result<(), CoreError> {
+        let poly_len = ssx_poly::Packer::new(self.client.ring()).radix_len();
+        self.wal = Some(Wal::open(path, poly_len)?);
+        Ok(())
+    }
+
+    /// The attached log, if any (tuning — e.g. [`Wal::set_sync`]).
+    pub fn wal_mut(&mut self) -> Option<&mut Wal> {
+        self.wal.as_mut()
+    }
+
+    /// Encodes `xml` as a new document and inserts it into the live store.
+    ///
+    /// The document is numbered from `offset = max_pre` (a `MaxPre`
+    /// handshake, max-merged across shards and agreed across fleet
+    /// parties), so its rows extend the forest exactly as
+    /// [`crate::encode::encode_document_at`] would have at build time —
+    /// including the client-share PRG keys, which is what keeps the
+    /// store bit-identical to a fresh encode of the same document set.
+    /// Over a fleet, each row is re-split per party in the transport.
+    /// Applied atomically: on any shard failure, already-applied shards
+    /// are compensated and the store is unchanged.
+    pub fn insert_document(&mut self, xml: &str) -> Result<InsertOutcome, CoreError> {
+        let offset = self.client.max_pre()?;
+        let map = self.client.map().clone();
+        let seed = self.client.seed().clone();
+        let out = encode_document_at(xml, &map, &seed, offset)?;
+        let rows = out.table.into_rows();
+        let wire: Vec<(Loc, Vec<u8>)> = rows.iter().map(|r| (r.loc, r.poly.to_vec())).collect();
+        let n = self.client.insert_rows(wire)?;
+        if n != rows.len() as u64 {
+            return Err(CoreError::Transport(format!(
+                "store accepted {n} of {} rows",
+                rows.len()
+            )));
+        }
+        // Log after the store acks: the in-process table dies with the
+        // process anyway, so the durable truth is snapshot + log, and
+        // logging only acked mutations means replay never redoes a
+        // mutation the caller was told failed.
+        if let Some(wal) = &mut self.wal {
+            wal.append_insert(&rows)?;
+        }
+        Ok(InsertOutcome {
+            root_pre: offset + 1,
+            rows: n,
+            offset,
+        })
+    }
+
+    /// Deletes a whole document by its root `pre` (as returned in
+    /// [`InsertOutcome::root_pre`]): the root plus every descendant row is
+    /// removed from every shard (and, over a fleet, from both planes of
+    /// every party). Returns how many rows were removed.
+    pub fn delete_document(&mut self, root_pre: u32) -> Result<u64, CoreError> {
+        let loc = self
+            .client
+            .loc_of(root_pre)?
+            .ok_or_else(|| CoreError::Transport(format!("no node with pre={root_pre}")))?;
+        if loc.parent != 0 {
+            return Err(CoreError::Unsupported(format!(
+                "pre={root_pre} is not a document root (parent={}); deletes are whole-document",
+                loc.parent
+            )));
+        }
+        let mut pres = vec![root_pre];
+        pres.extend(self.client.descendants(loc)?.into_iter().map(|l| l.pre));
+        let n = self.client.delete_pres(pres.clone())?;
+        if let Some(wal) = &mut self.wal {
+            wal.append_remove(&pres)?;
+        }
+        Ok(n)
+    }
+
+    /// Replaces the document rooted at `root_pre` with a fresh encode of
+    /// `xml` (delete + insert). The replacement gets new `pre` numbers:
+    /// `max_pre` is a high-water mark, so `pre`s are never reused and an
+    /// open cursor can never see a reborn node under a stale number.
+    pub fn update_document(
+        &mut self,
+        root_pre: u32,
+        xml: &str,
+    ) -> Result<InsertOutcome, CoreError> {
+        self.delete_document(root_pre)?;
+        self.insert_document(xml)
+    }
 }
 
 impl<T: Transport + Send> EncryptedDb<ShardRouter<T>> {
@@ -315,6 +489,7 @@ impl RemoteDb {
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
+            wal: None,
         })
     }
 }
@@ -330,6 +505,7 @@ impl RemoteMuxDb {
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
+            wal: None,
         })
     }
 }
@@ -386,6 +562,7 @@ impl FleetDb {
         Ok(EncryptedDb {
             client,
             encode_stats: stats,
+            wal: None,
         })
     }
 }
@@ -429,6 +606,7 @@ impl RemoteFleetDb {
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
+            wal: None,
         })
     }
 }
@@ -447,6 +625,7 @@ impl RemoteMuxFleetDb {
         Ok(EncryptedDb {
             client,
             encode_stats: EncodeStats::default(),
+            wal: None,
         })
     }
 }
@@ -674,6 +853,181 @@ mod tests {
             .call(&Request::Shutdown)
             .unwrap();
         mux_handle.join().unwrap();
+    }
+
+    #[test]
+    fn write_plane_matches_fresh_encode_of_final_document_set() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = || Seed::from_test_key(33);
+        let doc_a = "<site><a><b/></a><c/></site>";
+        let doc_b = "<site><a><b/><b/></a></site>";
+        let mut db = EncryptedDb::encode(doc_a, map(), seed()).unwrap();
+        let ins = db.insert_document(doc_b).unwrap();
+        assert_eq!(
+            ins,
+            InsertOutcome {
+                root_pre: 5,
+                rows: 4,
+                offset: 4
+            }
+        );
+        assert_eq!(db.node_count(), 8);
+        // Drop the original document; only doc B remains, at its offset.
+        assert_eq!(db.delete_document(1).unwrap(), 4);
+        assert_eq!(db.node_count(), 4);
+
+        // Reference: the same final document set, freshly encoded at the
+        // same offset. The mutated store must be bit-identical to it.
+        let out = crate::encode::encode_document_at(doc_b, &map(), &seed(), 4).unwrap();
+        let mut fresh = EncryptedDb::from_encode_output(out, map(), seed(), 1).unwrap();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mutated_path = dir.join("write_mutated.ssxdb");
+        let fresh_path = dir.join("write_fresh.ssxdb");
+        db.save(&mutated_path).unwrap();
+        fresh.save(&fresh_path).unwrap();
+        assert_eq!(
+            std::fs::read(&mutated_path).unwrap(),
+            std::fs::read(&fresh_path).unwrap(),
+            "mutated store must equal a fresh encode of the final document set"
+        );
+        for q in ["//b", "/site/a/b", "//a"] {
+            for rule in [MatchRule::Containment, MatchRule::Equality] {
+                let a = db.query(q, EngineKind::Advanced, rule).unwrap();
+                let b = fresh.query(q, EngineKind::Advanced, rule).unwrap();
+                assert_eq!(a.pres(), b.pres(), "{q} {rule:?}");
+            }
+        }
+        std::fs::remove_file(&mutated_path).ok();
+        std::fs::remove_file(&fresh_path).ok();
+    }
+
+    #[test]
+    fn queries_span_every_document_in_the_forest() {
+        // A store holding two documents (the shape the write plane builds):
+        // absolute queries must answer from both, not just the first root.
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = || Seed::from_test_key(33);
+        let mut db = EncryptedDb::encode("<site><a><b/></a><c/></site>", map(), seed()).unwrap();
+        db.insert_document("<site><a><b/><b/></a></site>").unwrap();
+        for kind in [EngineKind::Simple, EngineKind::Advanced] {
+            for rule in [MatchRule::Containment, MatchRule::Equality] {
+                let site = db.query("/site", kind, rule).unwrap();
+                assert_eq!(site.pres(), vec![1, 5], "{kind:?} {rule:?}");
+            }
+            let b = db.query("//b", kind, MatchRule::Equality).unwrap();
+            assert_eq!(b.pres(), vec![3, 7, 8], "{kind:?}");
+            let c = db.query("//c", kind, MatchRule::Equality).unwrap();
+            assert_eq!(c.pres(), vec![4], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn update_document_never_reuses_numbering() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = || Seed::from_test_key(33);
+        let doc_a = "<site><a><b/></a><c/></site>";
+        let doc_b = "<site><a><b/><b/></a></site>";
+        let mut db = EncryptedDb::encode(doc_a, map(), seed()).unwrap();
+        // max_pre is a high-water mark: even though the delete empties the
+        // store, the replacement starts past the old block — a stale
+        // cursor can never see a reborn node under an old number.
+        let ins = db.update_document(1, doc_b).unwrap();
+        assert_eq!(ins.root_pre, 5);
+        let out = crate::encode::encode_document_at(doc_b, &map(), &seed(), 4).unwrap();
+        let mut fresh = EncryptedDb::from_encode_output(out, map(), seed(), 1).unwrap();
+        let a = db
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        let b = fresh
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        assert_eq!(a.pres(), b.pres());
+        // Non-roots are refused as delete handles.
+        let err = db.delete_document(6).unwrap_err();
+        assert!(err.to_string().contains("not a document root"), "{err}");
+        // Unknown handles are refused.
+        assert!(db.delete_document(99).is_err());
+    }
+
+    #[test]
+    fn durable_store_recovers_acked_mutations_and_checkpoints() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = || Seed::from_test_key(33);
+        let doc_a = "<site><a><b/></a><c/></site>";
+        let doc_b = "<site><a><b/><b/></a></site>";
+        let dir = std::env::temp_dir().join("ssx_core_facade_wal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("db.ssxdb");
+        let walp = dir.join("db.wal");
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&walp).ok();
+
+        {
+            // Bootstrap an empty durable store and mutate it, then drop it
+            // without checkpointing — the moral equivalent of kill -9: the
+            // in-memory table is gone, only snapshot + log survive.
+            let (mut db, replay) =
+                EncryptedDb::open_durable(&snap, &walp, map(), seed(), 1).unwrap();
+            assert_eq!(replay.records, 0);
+            assert_eq!(db.node_count(), 0);
+            db.insert_document(doc_a).unwrap();
+            let b = db.insert_document(doc_b).unwrap();
+            db.delete_document(b.root_pre).unwrap();
+        }
+        assert!(!snap.exists(), "no checkpoint ran");
+
+        let (mut db, replay) = EncryptedDb::open_durable(&snap, &walp, map(), seed(), 1).unwrap();
+        assert_eq!(replay.records, 3, "two inserts and a remove replayed");
+        assert_eq!(db.node_count(), 4);
+        let out = db
+            .query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap();
+        assert_eq!(out.pres(), vec![3]);
+
+        // Checkpoint truncates the log to its header; reopening (at any
+        // shard count) loads the snapshot with nothing to replay.
+        db.checkpoint(&snap).unwrap();
+        assert_eq!(db.wal_mut().unwrap().len_bytes(), 12);
+        drop(db);
+        let (mut db, replay) = EncryptedDb::open_durable(&snap, &walp, map(), seed(), 2).unwrap();
+        assert_eq!(replay.records, 0);
+        assert_eq!(
+            db.query("//b", EngineKind::Simple, MatchRule::Equality)
+                .unwrap()
+                .pres(),
+            vec![3]
+        );
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&walp).ok();
+    }
+
+    #[test]
+    fn fleet_facade_write_plane_matches_fresh_fleet() {
+        let map = || MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap();
+        let seed = || Seed::from_test_key(33);
+        let doc_a = "<site><a><b/></a><c/></site>";
+        let doc_b = "<site><a><b/><b/></a></site>";
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let mut fleet = FleetDb::encode_fleet(doc_a, map(), seed(), spec).unwrap();
+        let ins = fleet.insert_document(doc_b).unwrap();
+        assert_eq!(ins.root_pre, 5);
+        assert_eq!(fleet.delete_document(1).unwrap(), 4);
+        // A plain store mutated the same way answers identically — the
+        // fleet's per-party re-split is invisible to the query plane.
+        let mut single = EncryptedDb::encode(doc_a, map(), seed()).unwrap();
+        single.insert_document(doc_b).unwrap();
+        single.delete_document(1).unwrap();
+        for q in ["//b", "/site/a/b"] {
+            let a = single
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            let b = fleet
+                .query(q, EngineKind::Advanced, MatchRule::Equality)
+                .unwrap();
+            assert_eq!(a.pres(), b.pres(), "{q}");
+            assert_eq!(a.stats.round_trips, b.stats.round_trips, "{q}");
+        }
     }
 
     #[test]

@@ -38,8 +38,22 @@
 //!   mid-wave disconnect) is retired from the pipe; as long as `≥ t`
 //!   parties answer, the wave completes with the correct result —
 //!   dropout degrades latency, never correctness.
+//!
+//! # Writes
+//!
+//! `Insert` frames carry whole server-share rows, so a fleet pipe cannot
+//! simply mirror them: each party must receive its *own* Shamir share of
+//! every row. The pipe re-splits each row on the client side
+//! ([`crate::encode::split_fleet_row`], bit-identical to the build-time
+//! split) and sends per-party frame pairs — share rows to the data shard,
+//! MAC rows to its mirror. Writes are never hedged and never answered
+//! early: every participating leg must acknowledge, both planes of a
+//! party must agree, and the acks must form a `≥ t` structural quorum.
+//! A party that misses a write — absent from the wave, or failing
+//! mid-application — has permanently diverged from the fleet's state and
+//! is retired exactly like a party caught lying.
 
-use crate::encode::{fleet_mac_key, FleetEncodeOutput, FleetSpec};
+use crate::encode::{fleet_mac_key, split_fleet_row, FleetEncodeOutput, FleetSpec};
 use crate::error::CoreError;
 use crate::map::MapFile;
 use crate::protocol::{
@@ -51,7 +65,7 @@ use crate::shard::{partition_table, ShardSpec, ShardedServer};
 use crate::transport::{MuxPool, MuxTransport, TcpTransport, Transport, TransportStats};
 use ssx_poly::{lagrange_at_zero, Packer, RingCtx};
 use ssx_prg::{Prg, Seed};
-use ssx_store::Table;
+use ssx_store::{Loc, Table};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -500,6 +514,7 @@ pub struct FleetTransport<T> {
     config: ResilienceConfig,
     pending: Vec<PendingWave<T>>,
     stats: TransportStats,
+    write_seed: Option<Seed>,
 }
 
 impl<T: Transport> FleetTransport<T> {
@@ -530,7 +545,16 @@ impl<T: Transport> FleetTransport<T> {
             config: ResilienceConfig::default(),
             pending: Vec::new(),
             stats: TransportStats::default(),
+            write_seed: None,
         }
+    }
+
+    /// Arms the pipe's write path. Incoming `Insert` rows are re-split
+    /// per party with this seed ([`crate::encode::split_fleet_row`]),
+    /// bit-identical to the build-time [`crate::encode::split_fleet`];
+    /// without a seed, write frames error instead of fanning.
+    pub fn set_split_seed(&mut self, seed: Seed) {
+        self.write_seed = Some(seed);
     }
 
     /// Installs the resilience policy, applying its deadline to every
@@ -580,11 +604,13 @@ impl<T: Transport> FleetTransport<T> {
             .collect()
     }
 
-    /// Collects answers from hedged-wave stragglers without blocking,
-    /// returning their transports to the rotation and crediting
+    /// Collects answers from hedged-wave stragglers, returning their
+    /// transports to the rotation and crediting
     /// [`TransportStats::straggler_ms`] with how long each ran past its
-    /// wave's cutoff.
-    fn harvest_stragglers(&mut self) {
+    /// wave's cutoff. Read waves harvest without blocking; a write wave
+    /// passes `block` to wait every straggler home first, so no leg's
+    /// transport is out with an old read when the write fans out.
+    fn harvest_stragglers(&mut self, block: bool) {
         if self.pending.is_empty() {
             return;
         }
@@ -592,7 +618,15 @@ impl<T: Transport> FleetTransport<T> {
         let mut pending = std::mem::take(&mut self.pending);
         for wave in &mut pending {
             loop {
-                match wave.rx.try_recv() {
+                if block && wave.outstanding.is_empty() {
+                    break;
+                }
+                let received = if block {
+                    wave.rx.recv().map_err(|_| mpsc::TryRecvError::Disconnected)
+                } else {
+                    wave.rx.try_recv()
+                };
+                match received {
                     Ok((idx, report)) => {
                         wave.outstanding.retain(|&i| i != idx);
                         let lag = report.finished.saturating_duration_since(wave.done);
@@ -964,10 +998,230 @@ impl<T: Transport> FleetTransport<T> {
     }
 }
 
+impl<T: Transport + Send + 'static> FleetTransport<T> {
+    /// One write wave. Inserts are re-split per party so each leg gets
+    /// its own `(data, MAC)` frame pair; deletes fan the same pair to
+    /// every leg. Never hedged: the wave waits for every participating
+    /// leg, requires both planes of a party to acknowledge identically,
+    /// and answers from a `≥ t` structural quorum. Any party that misses
+    /// the write — absent, failed mid-application, or deviant — is
+    /// quarantined permanently, because its state has diverged and a
+    /// re-admission probe cannot detect that.
+    fn write_wave(&mut self, dshard: u32, inner: &Request) -> Result<Response, CoreError> {
+        let n = self.legs.len();
+        // Per-leg frame pairs (data plane, MAC plane), indexed like `legs`.
+        let frames: Vec<(Request, Request)> = match inner {
+            Request::Insert { rows } => {
+                let seed = self.write_seed.clone().ok_or_else(|| {
+                    CoreError::Transport("fleet pipe has no split seed; writes are disabled".into())
+                })?;
+                let spec = FleetSpec::new(n, self.threshold)?;
+                let mut data: Vec<Vec<(Loc, Vec<u8>)>> =
+                    (0..n).map(|_| Vec::with_capacity(rows.len())).collect();
+                let mut mac: Vec<Vec<(Loc, Vec<u8>)>> =
+                    (0..n).map(|_| Vec::with_capacity(rows.len())).collect();
+                for (loc, poly) in rows {
+                    let shares =
+                        split_fleet_row(&self.ring, &self.packer, &seed, spec, loc.pre, poly)?;
+                    for (j, (d, m)) in shares.into_iter().enumerate() {
+                        data[j].push((*loc, d));
+                        mac[j].push((*loc, m));
+                    }
+                }
+                data.into_iter()
+                    .zip(mac)
+                    .map(|(d, m)| {
+                        (
+                            Request::ToShard {
+                                shard: dshard,
+                                req: Box::new(Request::Insert { rows: d }),
+                            },
+                            Request::ToShard {
+                                shard: self.data_shards + dshard,
+                                req: Box::new(Request::Insert { rows: m }),
+                            },
+                        )
+                    })
+                    .collect()
+            }
+            Request::Delete { pres } => (0..n)
+                .map(|_| {
+                    (
+                        Request::ToShard {
+                            shard: dshard,
+                            req: Box::new(Request::Delete { pres: pres.clone() }),
+                        },
+                        Request::ToShard {
+                            shard: self.data_shards + dshard,
+                            req: Box::new(Request::Delete { pres: pres.clone() }),
+                        },
+                    )
+                })
+                .collect(),
+            other => unreachable!("write_wave on non-write frame {other:?}"),
+        };
+
+        // A party that cannot take this write diverges from the fleet's
+        // state for good; re-admitting it later would serve stale shares.
+        for leg in self.legs.iter_mut() {
+            if leg.transport.is_none() && leg.cooldown != u64::MAX {
+                leg.quarantine_integrity(
+                    &mut self.stats,
+                    "missed a write; party state diverged".into(),
+                );
+            }
+        }
+
+        let avail: Vec<usize> = self
+            .legs
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.transport.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let cfg = self.config;
+        let wave = self.stats.round_trips;
+        let leg_seed = |party: usize| cfg.jitter_seed ^ ((party as u64) << 32) ^ wave;
+
+        let mut live: Vec<(usize, Response, Option<Response>)> = Vec::new();
+        let mut ok_legs: Vec<usize> = Vec::new();
+        let mut failed: Vec<(usize, CoreError)> = Vec::new();
+        if self.concurrent && avail.len() > 1 {
+            let (tx, rx) = mpsc::channel::<(usize, LegReport<T>)>();
+            for &idx in &avail {
+                let leg = &mut self.legs[idx];
+                let transport = leg.transport.take().expect("leg checked live");
+                let dial = leg.dial.clone();
+                let seed = leg_seed(leg.party);
+                let tx = tx.clone();
+                let (df, mf) = frames[idx].clone();
+                std::thread::spawn(move || {
+                    let report =
+                        exchange_with_retry(transport, &df, Some(&mf), &cfg, dial.as_ref(), seed);
+                    let _ = tx.send((idx, report));
+                });
+            }
+            drop(tx);
+            let mut outstanding = avail.clone();
+            while !outstanding.is_empty() {
+                let Ok((idx, report)) = rx.recv() else { break };
+                outstanding.retain(|&i| i != idx);
+                self.stats.bytes_sent += report.lost.bytes_sent;
+                self.stats.bytes_received += report.lost.bytes_received;
+                let leg = &mut self.legs[idx];
+                let party = leg.party;
+                leg.transport = Some(report.transport);
+                match report.outcome {
+                    Ok((d, m)) => {
+                        live.push((party, d, m));
+                        ok_legs.push(idx);
+                    }
+                    Err(e) => failed.push((idx, e)),
+                }
+            }
+            for idx in outstanding {
+                self.legs[idx].quarantine_integrity(
+                    &mut self.stats,
+                    "fleet leg panicked during a write".into(),
+                );
+            }
+        } else {
+            for &idx in &avail {
+                let leg = &mut self.legs[idx];
+                let transport = leg.transport.take().expect("leg checked live");
+                let dial = leg.dial.clone();
+                let seed = leg_seed(leg.party);
+                let (df, mf) = &frames[idx];
+                let report =
+                    exchange_with_retry(transport, df, Some(mf), &cfg, dial.as_ref(), seed);
+                self.stats.bytes_sent += report.lost.bytes_sent;
+                self.stats.bytes_received += report.lost.bytes_received;
+                let leg = &mut self.legs[idx];
+                let party = leg.party;
+                leg.transport = Some(report.transport);
+                match report.outcome {
+                    Ok((d, m)) => {
+                        live.push((party, d, m));
+                        ok_legs.push(idx);
+                    }
+                    Err(e) => failed.push((idx, e)),
+                }
+            }
+        }
+
+        // A leg that failed a write frame may have applied half of it;
+        // like an absent party, it is divergent and retired for good.
+        for (idx, e) in failed {
+            self.legs[idx].quarantine_integrity(&mut self.stats, format!("write failed: {e}"));
+        }
+        // Both planes of one party must acknowledge identically.
+        let mut parts: Vec<(usize, &Response)> = Vec::new();
+        for (party, d, m) in &live {
+            match m {
+                Some(m) if m == d => parts.push((*party, d)),
+                _ => {
+                    let detail = format!(
+                        "party {party} acknowledged a write differently on its data and MAC planes"
+                    );
+                    for leg in self.legs.iter_mut() {
+                        if leg.party == *party {
+                            leg.quarantine_integrity(
+                                &mut self.stats,
+                                format!("quarantined: {detail}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if parts.len() < self.threshold {
+            let faults: Vec<String> = self
+                .legs
+                .iter()
+                .filter_map(|l| {
+                    l.fault
+                        .as_ref()
+                        .map(|f| format!("party {} at {}: {f}", l.party, l.addr))
+                })
+                .collect();
+            return Err(CoreError::Transport(format!(
+                "fleet quorum lost on a write: {} of {} parties applied it, threshold {} ({})",
+                parts.len(),
+                self.legs.len(),
+                self.threshold,
+                faults.join("; ")
+            )));
+        }
+        match self.structural_majority(&parts) {
+            Ok(resp) => {
+                for idx in ok_legs {
+                    if self.legs[idx].health != PartyHealth::Quarantined {
+                        self.legs[idx].note_success();
+                    }
+                }
+                Ok(resp)
+            }
+            Err(FleetError::Blamed { parties, detail }) => {
+                for leg in self.legs.iter_mut() {
+                    if parties.contains(&leg.party) {
+                        leg.quarantine_integrity(&mut self.stats, format!("quarantined: {detail}"));
+                    }
+                }
+                Err(CoreError::Corrupt(format!(
+                    "fleet integrity failure: {detail}"
+                )))
+            }
+            Err(FleetError::Fatal(detail)) => Err(CoreError::Corrupt(format!(
+                "fleet integrity failure: {detail}"
+            ))),
+        }
+    }
+}
+
 impl<T: Transport + Send + 'static> Transport for FleetTransport<T> {
     fn call(&mut self, req: &Request) -> Result<Response, CoreError> {
         self.stats.round_trips += 1;
-        self.harvest_stragglers();
+        self.harvest_stragglers(false);
         self.tick_readmission();
         let dshard = match req {
             Request::ToShard { shard, .. } => *shard,
@@ -977,6 +1231,13 @@ impl<T: Transport + Send + 'static> Transport for FleetTransport<T> {
             Request::ToShard { req, .. } => req,
             other => other,
         };
+        if matches!(inner, Request::Insert { .. } | Request::Delete { .. }) {
+            // Writes wait for every hedged straggler first: a leg whose
+            // transport is still out with an old read must take the write
+            // too, or its party silently misses it.
+            self.harvest_stragglers(true);
+            return self.write_wave(dshard, inner);
+        }
         let (mirror, plan) = mirror_of(inner);
         let mirror_frame = mirror.map(|m| Request::ToShard {
             shard: self.data_shards + dshard,
@@ -1223,7 +1484,7 @@ where
                     FleetLeg::up(j + 1, wrap(j + 1, LocalPartyTransport::new(Arc::clone(h))))
                 })
                 .collect();
-            FleetTransport::new(
+            let mut pipe = FleetTransport::new(
                 legs,
                 spec.threshold,
                 sspec.shards(),
@@ -1232,7 +1493,9 @@ where
                 packer.clone(),
                 alpha,
                 false,
-            )
+            );
+            pipe.set_split_seed(seed.clone());
+            pipe
         })
         .collect();
     Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, false))
@@ -1373,7 +1636,7 @@ pub fn connect_fleet(
                     leg.at(&addr).with_dialer(dial)
                 })
                 .collect();
-            FleetTransport::new(
+            let mut pipe = FleetTransport::new(
                 legs,
                 threshold,
                 sspec.shards(),
@@ -1382,7 +1645,9 @@ pub fn connect_fleet(
                 packer.clone(),
                 alpha,
                 true,
-            )
+            );
+            pipe.set_split_seed(seed.clone());
+            pipe
         })
         .collect();
     Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, true))
@@ -1505,7 +1770,7 @@ pub fn connect_fleet_mux(
                     Err(f) => FleetLeg::down(j + 1, f.clone()).at(&addrs[j]),
                 })
                 .collect();
-            FleetTransport::new(
+            let mut pipe = FleetTransport::new(
                 legs,
                 threshold,
                 sspec.shards(),
@@ -1514,7 +1779,9 @@ pub fn connect_fleet_mux(
                 packer.clone(),
                 alpha,
                 true,
-            )
+            );
+            pipe.set_split_seed(seed.clone());
+            pipe
         })
         .collect();
     Ok(ShardRouter::new(sspec, pipes, sspec.shards() > 1, true))
@@ -1748,6 +2015,128 @@ mod tests {
         let reference = single.query(q.0, q.1, q.2).unwrap();
         assert_eq!(out.result, reference.result);
         assert!(!out.result.is_empty());
+    }
+
+    /// A pseudo-random but decodable packed polynomial, as a client
+    /// would hand the write plane.
+    fn poly_bytes(ring: &RingCtx, fill: u64) -> Vec<u8> {
+        let q = ring.field().order();
+        let mut x = fill | 1;
+        let coeffs = (0..ring.len())
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect();
+        Packer::new(ring).pack_radix(&ring.poly_from_coeffs(coeffs).unwrap())
+    }
+
+    fn root_loc(pre: u32) -> ssx_store::Loc {
+        ssx_store::Loc {
+            pre,
+            post: pre,
+            parent: 0,
+        }
+    }
+
+    fn count_of(resp: Response) -> u64 {
+        match resp {
+            Response::Count(c) => c,
+            other => panic!("expected Count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_insert_reconstructs_bit_identical_and_delete_removes() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let fleet = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        let ring = fleet.ring.clone();
+        let mut router = local_fleet_router(fleet, &seed, 1).unwrap();
+        let base = count_of(router.call(&Request::Count).unwrap());
+        let poly = poly_bytes(&ring, 0xFEED);
+
+        let applied = router
+            .call(&Request::Insert {
+                rows: vec![(root_loc(100), poly.clone())],
+            })
+            .unwrap();
+        assert_eq!(count_of(applied), 1);
+        assert_eq!(count_of(router.call(&Request::Count).unwrap()), base + 1);
+
+        // The fleet re-split the row into per-party shares; reading it
+        // back Lagrange-combines them under the MAC check and must
+        // reproduce the client's exact bytes.
+        match router.call(&Request::GetPolys { pres: vec![100] }).unwrap() {
+            Response::Polys(polys) => assert_eq!(polys, vec![poly]),
+            other => panic!("expected Polys, got {other:?}"),
+        }
+
+        // Delete is idempotent: the missing pre is skipped, the real one
+        // removed from both planes of every party.
+        let removed = router
+            .call(&Request::Delete {
+                pres: vec![100, 999],
+            })
+            .unwrap();
+        assert_eq!(count_of(removed), 1);
+        assert_eq!(count_of(router.call(&Request::Count).unwrap()), base);
+    }
+
+    #[test]
+    fn fleet_write_retires_absent_party_permanently() {
+        let (map, seed) = setup();
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let out = encode_document_fleet(XML, &map, &seed, spec).unwrap();
+        let ring = out.ring.clone();
+        let packer = out.packer.clone();
+        let alpha = fleet_mac_key(&seed, &ring);
+        let legs = out
+            .parties
+            .into_iter()
+            .map(|p| {
+                if p.party == 2 {
+                    FleetLeg::down(2, "dead at connect (test)".into())
+                } else {
+                    let host = party_server(p.data, p.mac, &ring, 1)
+                        .map(Mutex::new)
+                        .map(Arc::new)
+                        .unwrap();
+                    FleetLeg::up(p.party, LocalPartyTransport::new(host))
+                }
+            })
+            .collect();
+        let mut pipe = FleetTransport::new(legs, 2, 1, 0, ring.clone(), packer, alpha, false);
+        pipe.set_split_seed(seed.clone());
+
+        let poly = poly_bytes(&ring, 0xBEEF);
+        let applied = pipe
+            .call(&Request::Insert {
+                rows: vec![(root_loc(50), poly.clone())],
+            })
+            .unwrap();
+        assert_eq!(count_of(applied), 1);
+
+        // The absent party missed the write: its state has diverged, so it
+        // is retired like a lying party — cooldown never expires.
+        let status = pipe.party_status();
+        let p2 = status.iter().find(|s| s.party == 2).unwrap();
+        assert_eq!(p2.health, PartyHealth::Quarantined);
+        assert!(
+            p2.fault
+                .as_deref()
+                .is_some_and(|f| f.contains("missed a write") || f.contains("dead at connect")),
+            "unexpected fault: {:?}",
+            p2.fault
+        );
+
+        // The surviving 2-of-2 quorum still reconstructs the new row.
+        match pipe.call(&Request::GetPolys { pres: vec![50] }).unwrap() {
+            Response::Polys(polys) => assert_eq!(polys, vec![poly]),
+            other => panic!("expected Polys, got {other:?}"),
+        }
     }
 
     #[test]

@@ -44,17 +44,19 @@ pub use accuracy::accuracy_percent;
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosTransport};
 pub use client::{ClientFilter, ClientStats};
 pub use encode::{
-    default_threads, encode_document, encode_document_fleet, encode_document_parallel,
-    encode_document_parallel_with, encode_dom, encode_events, encode_events_parallel_with,
-    fleet_mac_key, split_fleet, EncodeOutput, EncodeStats, FleetEncodeOutput, FleetSpec,
-    PartyStore,
+    default_threads, encode_document, encode_document_at, encode_document_fleet,
+    encode_document_parallel, encode_document_parallel_with, encode_dom, encode_events,
+    encode_events_parallel_with, fleet_mac_key, split_fleet, EncodeOutput, EncodeStats,
+    FleetEncodeOutput, FleetSpec, PartyStore,
 };
 pub use engine::{
     AdvancedEngine, Engine, EngineKind, FetchMode, MatchRule, QueryOutcome, QueryStats,
     SimpleEngine,
 };
 pub use error::CoreError;
-pub use facade::{EncryptedDb, FleetDb, RemoteDb, RemoteFleetDb, RemoteMuxDb, RemoteMuxFleetDb};
+pub use facade::{
+    EncryptedDb, FleetDb, InsertOutcome, RemoteDb, RemoteFleetDb, RemoteMuxDb, RemoteMuxFleetDb,
+};
 pub use fleet::{
     connect_fleet, connect_fleet_mux, local_fleet_router, local_fleet_router_wrapped, party_server,
     Dialer, FleetLeg, FleetTransport, LocalPartyTransport, PartyHealth, PartyStatus,

@@ -115,6 +115,37 @@ pub enum Request {
         /// Highest envelope version the client understands (≥ 1).
         version: u32,
     },
+    /// Insert pre-split share rows into the store (the write plane). The
+    /// client splits a freshly encoded document into per-shard (and, in a
+    /// fleet, per-party) rows and fans one `Insert` per destination — the
+    /// server never sees anything but uniformly random share bytes plus the
+    /// public `Loc` triples. Answered with [`Response::Count`] (rows
+    /// applied); a failed row rolls the whole frame back before the error
+    /// returns. Every applied insert bumps the store epoch, fencing off
+    /// cursors opened before it. Allowed bare or inside `ToShard`, never
+    /// inside a `Batch` (writes are not reorderable against reads).
+    Insert {
+        /// Rows to insert: location plus packed share polynomial.
+        rows: Vec<(Loc, Vec<u8>)>,
+    },
+    /// Remove the rows with these `pre` numbers (a whole document block per
+    /// frame on the facade path). Answered with [`Response::Count`] (rows
+    /// removed; missing `pre`s are counted out but not an error, so delete
+    /// is idempotent). Bumps the store epoch like [`Request::Insert`].
+    Delete {
+        /// `pre` numbers to remove.
+        pres: Vec<u32>,
+    },
+    /// Largest `pre` ever stored on this endpoint (0 when empty) — the
+    /// write plane's offset-allocation handshake. Fanned to every shard and
+    /// max-merged by the router. Answered with [`Response::Count`].
+    MaxPre,
+    /// All document roots (`parent == 0`) in document order — the query
+    /// engines' initial frontier. A store that has only ever held one
+    /// document answers `[root]`, but the write plane grows a *forest*, so
+    /// queries must start from every root. Fanned to every shard and
+    /// merge-sorted by the router. Answered with [`Response::Locs`].
+    Roots,
     /// Many sub-requests in one round trip; answered by a parallel
     /// [`Response::Batch`]. Sub-requests may not themselves be `Batch` or
     /// `ToShard` frames (enforced by the codec).
@@ -385,6 +416,22 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u32(*version);
             w.buf
         }
+        Request::Insert { rows } => {
+            let mut w = Writer::new(18);
+            w.u32(rows.len() as u32);
+            for (loc, poly) in rows {
+                w.loc(*loc);
+                w.bytes(poly);
+            }
+            w.buf
+        }
+        Request::Delete { pres } => {
+            let mut w = Writer::new(19);
+            w.u32s(pres);
+            w.buf
+        }
+        Request::MaxPre => Writer::new(20).buf,
+        Request::Roots => Writer::new(21).buf,
         Request::Batch(subs) => {
             let mut w = Writer::new(13);
             w.u32(subs.len() as u32);
@@ -458,6 +505,26 @@ fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreEr
         15 => Request::ShardCount,
         16 => Request::Reshard { shards: r.u32()? },
         REQ_HELLO_TAG => Request::Hello { version: r.u32()? },
+        18 => {
+            if nesting == Nesting::InBatch {
+                return Err(CoreError::Transport("write frame refused in batch".into()));
+            }
+            let n = r.u32()? as usize;
+            // Each row costs at least its 12 Loc bytes plus a length prefix.
+            let n = r.items(n, 16)?;
+            let rows = (0..n)
+                .map(|_| Ok((r.loc()?, r.bytes()?)))
+                .collect::<Result<Vec<_>, CoreError>>()?;
+            Request::Insert { rows }
+        }
+        19 => {
+            if nesting == Nesting::InBatch {
+                return Err(CoreError::Transport("write frame refused in batch".into()));
+            }
+            Request::Delete { pres: r.u32s()? }
+        }
+        20 => Request::MaxPre,
+        21 => Request::Roots,
         13 => {
             if nesting != Nesting::Top && nesting != Nesting::InShard {
                 return Err(CoreError::Transport("nested batch refused".into()));
@@ -831,6 +898,24 @@ mod tests {
             Request::Hello {
                 version: MUX_PROTOCOL_VERSION,
             },
+            Request::Insert { rows: vec![] },
+            Request::Insert {
+                rows: vec![(loc(1), vec![1, 2, 3]), (loc(2), vec![])],
+            },
+            Request::Delete { pres: vec![] },
+            Request::Delete { pres: vec![4, 5] },
+            Request::MaxPre,
+            Request::Roots,
+            Request::ToShard {
+                shard: 1,
+                req: Box::new(Request::Insert {
+                    rows: vec![(loc(9), vec![0xAB; 17])],
+                }),
+            },
+            Request::ToShard {
+                shard: 3,
+                req: Box::new(Request::Delete { pres: vec![7] }),
+            },
             Request::Batch(vec![]),
             Request::Batch(vec![
                 Request::Root,
@@ -925,6 +1010,11 @@ mod tests {
         w.extend_from_slice(&1000u32.to_le_bytes());
         w.extend_from_slice(&[0u8; 12]);
         assert!(decode_request(&w).is_err());
+        // Insert claiming more rows than 16 bytes each allow.
+        let mut w = vec![18u8];
+        w.extend_from_slice(&100u32.to_le_bytes());
+        w.extend_from_slice(&[0u8; 32]); // room for 2, not 100
+        assert!(decode_request(&w).is_err());
     }
 
     #[test]
@@ -959,6 +1049,22 @@ mod tests {
         w.extend_from_slice(&inner);
         assert!(decode_request(&w).is_err(), "shard tag inside batch");
 
+        // Write frames inside a Batch are refused (writes must not be
+        // reorderable against the reads sharing the round trip).
+        for write in [
+            Request::Insert {
+                rows: vec![(loc(1), vec![1])],
+            },
+            Request::Delete { pres: vec![1] },
+        ] {
+            let inner = encode_request(&write);
+            let mut w = vec![13u8];
+            w.extend_from_slice(&1u32.to_le_bytes());
+            w.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+            w.extend_from_slice(&inner);
+            assert!(decode_request(&w).is_err(), "write frame inside batch");
+        }
+
         // Batch-in-Batch on the response side.
         let inner = encode_response(&Response::Batch(vec![Response::Ok]));
         let mut w = vec![9u8];
@@ -989,6 +1095,27 @@ mod tests {
             vec![17, 1, 0, 0, 0],
             "the PR-5 handshake claims a fresh tag"
         );
+        assert_eq!(
+            encode_request(&Request::Insert {
+                rows: vec![(
+                    Loc {
+                        pre: 1,
+                        post: 2,
+                        parent: 0
+                    },
+                    vec![0xAA]
+                )]
+            }),
+            vec![18, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0xAA],
+            "the PR-9 insert frame claims a fresh tag"
+        );
+        assert_eq!(
+            encode_request(&Request::Delete { pres: vec![3] }),
+            vec![19, 1, 0, 0, 0, 3, 0, 0, 0],
+            "the PR-9 delete frame claims a fresh tag"
+        );
+        assert_eq!(encode_request(&Request::MaxPre), vec![20]);
+        assert_eq!(encode_request(&Request::Roots), vec![21]);
         assert_eq!(encode_response(&Response::Value(81)), {
             let mut v = vec![2u8];
             v.extend_from_slice(&81u64.to_le_bytes());

@@ -89,6 +89,8 @@ enum FanKind {
     Locs,
     /// `Count`: summed.
     Count,
+    /// `MaxPre`: the maximum across shards.
+    Max,
     /// `Shutdown` and friends: every shard must ack.
     Ok,
 }
@@ -476,6 +478,8 @@ impl<T: Transport + Send> ShardRouter<T> {
                     | Request::OpenDescendantsCursor { .. }
                     | Request::Next { .. }
                     | Request::CloseCursor { .. }
+                    | Request::Insert { .. }
+                    | Request::Delete { .. }
             )
         }) {
             return reqs.iter().map(|r| self.route_one(r)).collect();
@@ -620,7 +624,10 @@ impl<T: Transport + Send> ShardRouter<T> {
                 self.fan(req, FanKind::Locs, per_shard)
             }
             Request::Descendants { .. } => self.fan(req, FanKind::Locs, per_shard),
+            // Locs-merging the fan gives exactly the document-order forest.
+            Request::Roots => self.fan(req, FanKind::Locs, per_shard),
             Request::Count => self.fan(req, FanKind::Count, per_shard),
+            Request::MaxPre => self.fan(req, FanKind::Max, per_shard),
             Request::Shutdown => self.fan(req, FanKind::Ok, per_shard),
             // The router *is* the sharded endpoint from its client's view.
             Request::ShardCount => Slot::Ready(Response::Count(self.spec.shards() as u64)),
@@ -644,6 +651,9 @@ impl<T: Transport + Send> ShardRouter<T> {
             | Request::Next { .. }
             | Request::CloseCursor { .. } => {
                 unreachable!("cursor requests are answered by the merge-cursor path")
+            }
+            Request::Insert { .. } | Request::Delete { .. } => {
+                unreachable!("write frames are answered by the write path")
             }
         }
     }
@@ -693,11 +703,117 @@ impl<T: Transport + Send> ShardRouter<T> {
             }
             Request::Next { cursor } => self.next_merged(*cursor),
             Request::CloseCursor { cursor } => self.close_merged(*cursor),
+            Request::Insert { rows } => self.route_insert(rows),
+            Request::Delete { pres } => self.route_delete(pres),
             _ => {
                 let mut responses = self.route_batch_core(std::slice::from_ref(req))?;
                 Ok(responses.pop().expect("one response per request"))
             }
         }
+    }
+
+    // ---- the write plane --------------------------------------------------
+
+    /// Every derived answer the router holds was computed against the
+    /// pre-write table: prefetched children lists and merged cursor state
+    /// both die with the write (open cursors surface "no cursor" on their
+    /// next pull — the router-side face of the server's epoch fence).
+    fn invalidate_for_write(&mut self) {
+        self.spec_cache.clear();
+        self.cursors.clear();
+    }
+
+    /// Splits `rows` by owning shard and dispatches one `Insert` per shard
+    /// with work, one wave. If any shard refuses, the rows the *other*
+    /// shards already applied are deleted again (compensation) so a
+    /// multi-shard document never survives half-inserted; the error then
+    /// surfaces as the answer.
+    fn route_insert(&mut self, rows: &[(Loc, Vec<u8>)]) -> Result<Response, CoreError> {
+        self.invalidate_for_write();
+        let shards = self.transports.len();
+        let mut grouped: Vec<Vec<(Loc, Vec<u8>)>> = vec![Vec::new(); shards];
+        for (loc, poly) in rows {
+            grouped[self.shard_of(loc.pre)].push((*loc, poly.clone()));
+        }
+        let pres_by_shard: Vec<Vec<u32>> = grouped
+            .iter()
+            .map(|g| g.iter().map(|(l, _)| l.pre).collect())
+            .collect();
+        let mut sent = Vec::new();
+        let mut per_shard: Vec<Vec<Request>> = Vec::with_capacity(shards);
+        for (shard, group) in grouped.into_iter().enumerate() {
+            if group.is_empty() {
+                per_shard.push(Vec::new());
+            } else {
+                sent.push(shard);
+                per_shard.push(vec![Request::Insert { rows: group }]);
+            }
+        }
+        let mut responses = self.dispatch(per_shard)?;
+        let mut total = 0u64;
+        let mut failed = None;
+        let mut applied = Vec::new();
+        for &shard in &sent {
+            match take_response(&mut responses, shard, 0) {
+                Response::Count(n) => {
+                    total += n;
+                    applied.push(shard);
+                }
+                Response::Err(e) => failed = Some(e),
+                other => {
+                    return Err(CoreError::Transport(format!(
+                        "unexpected insert part {other:?}"
+                    )))
+                }
+            }
+        }
+        if let Some(e) = failed {
+            let mut undo: Vec<Vec<Request>> = vec![Vec::new(); shards];
+            for shard in applied {
+                undo[shard].push(Request::Delete {
+                    pres: pres_by_shard[shard].clone(),
+                });
+            }
+            self.dispatch(undo)?;
+            return Ok(Response::Err(e));
+        }
+        Ok(Response::Count(total))
+    }
+
+    /// Splits `pres` by owning shard and dispatches one `Delete` per shard
+    /// with work, one wave; per-shard removal counts sum. Deletes are
+    /// idempotent end to end, so a partial failure is simply retried.
+    fn route_delete(&mut self, pres: &[u32]) -> Result<Response, CoreError> {
+        self.invalidate_for_write();
+        let shards = self.transports.len();
+        let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for &pre in pres {
+            grouped[self.shard_of(pre)].push(pre);
+        }
+        let mut sent = Vec::new();
+        let mut per_shard: Vec<Vec<Request>> = Vec::with_capacity(shards);
+        for (shard, group) in grouped.into_iter().enumerate() {
+            if group.is_empty() {
+                per_shard.push(Vec::new());
+            } else {
+                sent.push(shard);
+                per_shard.push(vec![Request::Delete { pres: group }]);
+            }
+        }
+        let mut responses = self.dispatch(per_shard)?;
+        let mut total = 0u64;
+        for &shard in &sent {
+            match take_response(&mut responses, shard, 0) {
+                Response::Count(n) => total += n,
+                Response::Err(e) => return Ok(Response::Err(e)),
+                other => {
+                    return Err(CoreError::Transport(format!(
+                        "unexpected delete part {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Response::Count(total))
     }
 
     // ---- merged cursors ---------------------------------------------------
@@ -941,6 +1057,21 @@ fn merge_fan(
                 }
             }
             Ok(Response::Count(total))
+        }
+        FanKind::Max => {
+            let mut max = 0u64;
+            for part in parts {
+                match part {
+                    Response::Count(n) => max = max.max(n),
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected MaxPre part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Count(max))
         }
         FanKind::Ok => {
             for part in parts {
@@ -1324,6 +1455,195 @@ mod tests {
         assert!(grown <= MAX_SUGGESTED_SHARDS);
         // A huge budget suggests shrinking to a single shard.
         assert_eq!(r.suggest_shards_for_target(u64::MAX), 1);
+    }
+
+    /// The boundary cases of the auto-tuner: a zero budget clamps to one
+    /// byte instead of dividing by zero, an absurd budget pressure saturates
+    /// at [`MAX_SUGGESTED_SHARDS`] instead of overflowing, the suggestion
+    /// never drops below one shard, and load *skew* (all traffic on one
+    /// shard) is costed as if every shard could attract the busiest
+    /// shard's load — strictly more shards than the balanced mean implies.
+    #[test]
+    fn suggest_shards_boundaries() {
+        let mut r = router(2);
+        // Zero budget behaves exactly like a 1-byte budget (the documented
+        // clamp), and with traffic observed both saturate at the cap.
+        assert_eq!(r.suggest_shards_for_target(0), 2, "no traffic: keep");
+        for _ in 0..4 {
+            r.call(&Request::EvalMany {
+                pres: vec![1, 2, 3, 4, 5, 6],
+                point: 17,
+            })
+            .unwrap();
+        }
+        assert_eq!(
+            r.suggest_shards_for_target(0),
+            r.suggest_shards_for_target(1)
+        );
+        assert_eq!(r.suggest_shards_for_target(0), MAX_SUGGESTED_SHARDS);
+        // Floor: even when the busiest shard fits many times over, the
+        // suggestion is a fleet of one, never zero.
+        assert_eq!(r.suggest_shards_for_target(u64::MAX), 1);
+
+        // Skew: route traffic at a *single* pre so one shard takes it all.
+        let mut skewed = router(2);
+        for _ in 0..8 {
+            skewed
+                .call(&Request::EvalMany {
+                    pres: vec![1, 1, 1, 1],
+                    point: 17,
+                })
+                .unwrap();
+        }
+        let loads: Vec<u64> = skewed
+            .transports()
+            .iter()
+            .map(|t| {
+                let s = t.stats();
+                s.bytes_sent + s.bytes_received
+            })
+            .collect();
+        let busiest = *loads.iter().max().unwrap();
+        let total: u64 = loads.iter().sum();
+        assert!(busiest > total - busiest, "traffic must actually skew");
+        // Pick a budget between the balanced mean and the busiest shard:
+        // the conservative costing must suggest growth where a
+        // total-divided-evenly estimate would keep the fleet as-is.
+        let budget = total.div_ceil(2);
+        assert!(budget < busiest);
+        let suggested = skewed.suggest_shards_for_target(budget);
+        let balanced = total.div_ceil(budget).max(1) as u32;
+        assert!(
+            suggested > balanced.min(2),
+            "skew must push past the balanced estimate: got {suggested}, balanced {balanced}"
+        );
+    }
+
+    /// Valid packed share bytes in the router's ring.
+    fn share_bytes(r: &ShardRouter<LocalTransport>, fill: u64) -> Vec<u8> {
+        let ring = r.servers().next().unwrap().ring().clone();
+        let q = ring.field().order();
+        let mut x = fill | 1;
+        let coeffs = (0..ring.len())
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect();
+        ssx_poly::Packer::new(&ring).pack_radix(&ring.poly_from_coeffs(coeffs).unwrap())
+    }
+
+    fn root_loc(pre: u32) -> Loc {
+        Loc {
+            pre,
+            post: pre,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn writes_route_to_owning_shards_and_merge() {
+        for shards in [1u32, 2, 4] {
+            let mut r = router(shards);
+            let rows: Vec<(Loc, Vec<u8>)> = (10u32..13)
+                .map(|pre| (root_loc(pre), share_bytes(&r, pre as u64)))
+                .collect();
+            match r.call(&Request::Insert { rows }).unwrap() {
+                Response::Count(3) => {}
+                other => panic!("{other:?} (S={shards})"),
+            }
+            match r.call(&Request::Count).unwrap() {
+                Response::Count(12) => {}
+                other => panic!("{other:?} (S={shards})"),
+            }
+            match r.call(&Request::MaxPre).unwrap() {
+                Response::Count(12) => {}
+                other => panic!("{other:?} (S={shards})"),
+            }
+            // Reads still merge correctly after the write.
+            assert_eq!(
+                locs(r.call(&Request::Children { pre: 1 }).unwrap()),
+                vec![2, 5, 7],
+                "S={shards}"
+            );
+            // Delete splits by shard too; the missing pre costs nothing.
+            match r
+                .call(&Request::Delete {
+                    pres: vec![10, 11, 12, 99],
+                })
+                .unwrap()
+            {
+                Response::Count(3) => {}
+                other => panic!("{other:?} (S={shards})"),
+            }
+            match r.call(&Request::Count).unwrap() {
+                Response::Count(9) => {}
+                other => panic!("{other:?} (S={shards})"),
+            }
+        }
+    }
+
+    /// A multi-shard insert where one shard refuses must not survive as a
+    /// half document: the rows other shards applied are deleted again.
+    #[test]
+    fn partial_insert_failure_compensates_applied_shards() {
+        let mut r = router(2);
+        let rows = vec![
+            // Fresh row on shard (10-1)%2 = 1: applies.
+            (root_loc(10), share_bytes(&r, 1)),
+            // Duplicate of an existing pre on shard 0: refused.
+            (root_loc(1), share_bytes(&r, 2)),
+        ];
+        match r.call(&Request::Insert { rows }).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("insert pre=1"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        match r.call(&Request::Count).unwrap() {
+            Response::Count(9) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            r.call(&Request::GetLoc { pre: 10 }).unwrap(),
+            Response::MaybeLoc(None),
+            "compensated row must be gone"
+        );
+    }
+
+    #[test]
+    fn writes_invalidate_router_cursors_and_prefetches() {
+        let mut r = router(2);
+        r.set_speculation(true);
+        let cursor = match r
+            .call(&Request::OpenChildrenCursor { pres: vec![1] })
+            .unwrap()
+        {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        // Prefetch children of 1 into the cache.
+        r.call(&Request::EvalMany {
+            pres: vec![1],
+            point: 17,
+        })
+        .unwrap();
+        let row = (root_loc(20), share_bytes(&r, 3));
+        assert_eq!(
+            r.call(&Request::Insert { rows: vec![row] }).unwrap(),
+            Response::Count(1)
+        );
+        // The merged cursor died with the write — explicit error, no stale
+        // stream.
+        assert!(matches!(
+            r.call(&Request::Next { cursor }).unwrap(),
+            Response::Err(_)
+        ));
+        // And the prefetched children list was dropped: answering costs a
+        // real wave, not a cache hit.
+        let hits_before = r.stats().speculative_hits;
+        r.call(&Request::Children { pre: 1 }).unwrap();
+        assert_eq!(r.stats().speculative_hits, hits_before);
     }
 
     #[test]

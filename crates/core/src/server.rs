@@ -9,9 +9,16 @@
 
 use crate::protocol::{Request, Response};
 use ssx_poly::{EvalPoly, Packer, RingCtx, RingPoly};
-use ssx_store::{Loc, Table};
+use ssx_store::{Loc, Row, Table};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+
+/// Error message a [`Request::Next`] gets when the store mutated after the
+/// cursor was opened: the buffered queue may no longer reflect the table, so
+/// the merge would be silently wrong — the client must re-plan instead. The
+/// prefix is stable for client-side detection (the write-plane analogue of
+/// the reshard fence).
+pub const EPOCH_FENCE: &str = "store epoch changed (write since cursor opened); reopen cursor";
 
 /// Upper bound on decoded evaluation-domain rows kept in memory. Each entry
 /// costs `q − 1` words; at the paper's `q = 83` a full cache of this size is
@@ -40,6 +47,16 @@ pub struct ServerStats {
     pub cursors_opened: u64,
     /// Locations streamed through cursors.
     pub cursor_items: u64,
+    /// Rows added through the write plane.
+    pub rows_inserted: u64,
+    /// Rows removed through the write plane.
+    pub rows_removed: u64,
+}
+
+/// A server-buffered result queue plus the store epoch it was built under.
+struct Cursor {
+    birth: u64,
+    queue: VecDeque<Loc>,
 }
 
 /// The `ServerFilter`: table + ring + request handler.
@@ -48,8 +65,12 @@ pub struct ServerFilter {
     ring: RingCtx,
     packer: Packer,
     stats: ServerStats,
-    cursors: HashMap<u32, VecDeque<Loc>>,
+    cursors: HashMap<u32, Cursor>,
     next_cursor: u32,
+    /// Bumped by every applied mutation. Cursors record the epoch they were
+    /// opened under; a `Next` across a bump is refused with [`EPOCH_FENCE`]
+    /// instead of merging a stale buffer.
+    epoch: u64,
     /// Rows decoded into the evaluation domain on first touch: every later
     /// evaluation of that share is an O(1) lookup ("the big server will do
     /// the buffering", §5.2). The stored table keeps the packed coefficient
@@ -78,9 +99,15 @@ impl ServerFilter {
             stats: ServerStats::default(),
             cursors: HashMap::new(),
             next_cursor: 1,
+            epoch: 0,
             eval_cache: HashMap::new(),
             scratch_row,
         }
+    }
+
+    /// The current store epoch (bumped by every applied mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying table (read access for size reports).
@@ -152,6 +179,7 @@ impl ServerFilter {
         self.stats.requests += 1;
         match req {
             Request::Root => Response::MaybeLoc(self.table.root().map(|r| r.loc)),
+            Request::Roots => Response::Locs(self.table.roots()),
             Request::GetLoc { pre } => Response::MaybeLoc(self.table.by_pre(*pre).map(|r| r.loc)),
             Request::Children { pre } => Response::Locs(self.table.children_of(*pre)),
             Request::Descendants { loc } => Response::Locs(self.table.descendants_of(*loc)),
@@ -197,8 +225,15 @@ impl ServerFilter {
                 self.open_cursor(queue)
             }
             Request::Next { cursor } => match self.cursors.get_mut(cursor) {
-                Some(q) => {
-                    let item = q.pop_front();
+                Some(c) => {
+                    if c.birth != self.epoch {
+                        // The buffer was built against a table that has since
+                        // mutated; drop it and refuse explicitly rather than
+                        // stream possibly-dangling locations.
+                        self.cursors.remove(cursor);
+                        return Response::Err(EPOCH_FENCE.into());
+                    }
+                    let item = c.queue.pop_front();
                     if item.is_some() {
                         self.stats.cursor_items += 1;
                     } else {
@@ -229,12 +264,21 @@ impl ServerFilter {
             Request::Hello { .. } => {
                 Response::Err("mux handshake requires a mux host endpoint".into())
             }
+            Request::Insert { rows } => self.apply_insert(rows),
+            Request::Delete { pres } => self.apply_delete(pres),
+            Request::MaxPre => Response::Count(self.table.max_pre() as u64),
             Request::Batch(subs) => {
                 let mut out = Vec::with_capacity(subs.len());
                 for sub in subs {
                     out.push(match sub {
                         Request::Batch(_) | Request::ToShard { .. } => {
                             Response::Err("nested batch refused".into())
+                        }
+                        // The codec refuses these too; in-process callers get
+                        // the same answer (writes don't reorder against the
+                        // reads sharing the round trip).
+                        Request::Insert { .. } | Request::Delete { .. } => {
+                            Response::Err("write frame refused in batch".into())
                         }
                         _ => self.handle(sub),
                     });
@@ -245,6 +289,56 @@ impl ServerFilter {
                 Response::Err("shard-tagged request reached an unsharded endpoint".into())
             }
         }
+    }
+
+    /// Applies one [`Request::Insert`] frame atomically: either every row
+    /// lands or none do (a failed row rolls the earlier ones back before the
+    /// error returns). Applied writes bump the epoch and drop any cached
+    /// evaluation rows for the touched `pre`s — a re-used `pre` must never
+    /// answer from the share it carried in a previous life.
+    fn apply_insert(&mut self, rows: &[(Loc, Vec<u8>)]) -> Response {
+        let mut done = Vec::with_capacity(rows.len());
+        for (loc, poly) in rows {
+            match self.table.insert(Row {
+                loc: *loc,
+                poly: poly.clone().into_boxed_slice(),
+            }) {
+                Ok(()) => done.push(loc.pre),
+                Err(e) => {
+                    for &pre in done.iter().rev() {
+                        self.table.remove(pre).expect("rollback of fresh insert");
+                    }
+                    return Response::Err(format!("insert pre={}: {e}", loc.pre));
+                }
+            }
+        }
+        if !done.is_empty() {
+            for pre in &done {
+                self.eval_cache.remove(pre);
+            }
+            self.epoch += 1;
+            self.stats.rows_inserted += done.len() as u64;
+        }
+        Response::Count(done.len() as u64)
+    }
+
+    /// Applies one [`Request::Delete`] frame. Missing `pre`s are skipped
+    /// (delete is idempotent — a retried frame answers a smaller count, not
+    /// an error); any removed row bumps the epoch and evicts its cached
+    /// evaluation form.
+    fn apply_delete(&mut self, pres: &[u32]) -> Response {
+        let mut removed = 0u64;
+        for &pre in pres {
+            if self.table.remove(pre).is_ok() {
+                self.eval_cache.remove(&pre);
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.epoch += 1;
+            self.stats.rows_removed += removed;
+        }
+        Response::Count(removed)
     }
 
     /// Number of cursors currently held open (leak diagnostics).
@@ -266,7 +360,13 @@ impl ServerFilter {
         queue.dedup_by_key(|l| l.pre);
         let id = self.next_cursor;
         self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
-        self.cursors.insert(id, VecDeque::from(queue));
+        self.cursors.insert(
+            id,
+            Cursor {
+                birth: self.epoch,
+                queue: VecDeque::from(queue),
+            },
+        );
         self.stats.cursors_opened += 1;
         Response::Cursor(id)
     }
@@ -459,6 +559,205 @@ mod tests {
             };
             assert_eq!(a, b, "point={point}");
         }
+    }
+
+    /// Valid packed share bytes for one row, parameterised so different
+    /// fills give different polynomials.
+    fn row_bytes(s: &ServerFilter, fill: u64) -> Vec<u8> {
+        let ring = s.ring();
+        let q = ring.field().order();
+        let mut x = fill | 1;
+        let coeffs = (0..ring.len())
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % q
+            })
+            .collect();
+        Packer::new(ring).pack_radix(&ring.poly_from_coeffs(coeffs).unwrap())
+    }
+
+    #[test]
+    fn insert_delete_round_trip_and_stats() {
+        let mut s = server();
+        let poly = row_bytes(&s, 7);
+        let new = Loc {
+            pre: 6,
+            post: 6,
+            parent: 0,
+        };
+        match s.handle(&Request::Insert {
+            rows: vec![(new, poly.clone())],
+        }) {
+            Response::Count(1) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.handle(&Request::Count), Response::Count(6));
+        assert_eq!(s.handle(&Request::MaxPre), Response::Count(6));
+        match s.handle(&Request::GetPolys { pres: vec![6] }) {
+            Response::Polys(ps) => assert_eq!(ps[0], poly),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.stats().rows_inserted, 1);
+        // Delete it; a second delete of the same pre is a clean zero.
+        assert_eq!(
+            s.handle(&Request::Delete { pres: vec![6] }),
+            Response::Count(1)
+        );
+        assert_eq!(
+            s.handle(&Request::Delete { pres: vec![6] }),
+            Response::Count(0)
+        );
+        assert_eq!(s.handle(&Request::Count), Response::Count(5));
+        assert_eq!(s.stats().rows_removed, 1);
+    }
+
+    #[test]
+    fn failed_insert_rolls_back_whole_frame() {
+        let mut s = server();
+        let ok = row_bytes(&s, 1);
+        let epoch_before = s.epoch();
+        // Second row duplicates an existing pre: the whole frame must unwind.
+        let rows = vec![
+            (
+                Loc {
+                    pre: 6,
+                    post: 6,
+                    parent: 0,
+                },
+                ok.clone(),
+            ),
+            (
+                Loc {
+                    pre: 1,
+                    post: 99,
+                    parent: 0,
+                },
+                ok,
+            ),
+        ];
+        match s.handle(&Request::Insert { rows }) {
+            Response::Err(msg) => assert!(msg.contains("insert pre=1"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.handle(&Request::Count), Response::Count(5), "rolled back");
+        assert_eq!(s.epoch(), epoch_before, "failed frame must not bump epoch");
+        assert_eq!(s.stats().rows_inserted, 0);
+    }
+
+    #[test]
+    fn writes_fence_open_cursors() {
+        let mut s = server();
+        let cursor = match s.handle(&Request::OpenChildrenCursor { pres: vec![1] }) {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        // One pull works before the write.
+        assert!(matches!(
+            s.handle(&Request::Next { cursor }),
+            Response::MaybeLoc(Some(_))
+        ));
+        let new = Loc {
+            pre: 6,
+            post: 6,
+            parent: 0,
+        };
+        let poly = row_bytes(&s, 3);
+        assert_eq!(
+            s.handle(&Request::Insert {
+                rows: vec![(new, poly)]
+            }),
+            Response::Count(1)
+        );
+        // The cursor crossed an epoch bump: explicit fence, cursor dropped.
+        match s.handle(&Request::Next { cursor }) {
+            Response::Err(msg) => assert_eq!(msg, EPOCH_FENCE),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.open_cursors(), 0, "fenced cursor must be dropped");
+        // A cursor opened after the write streams normally, and an
+        // ineffective delete (nothing removed) does not fence it.
+        let cursor = match s.handle(&Request::OpenChildrenCursor { pres: vec![1] }) {
+            Response::Cursor(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            s.handle(&Request::Delete { pres: vec![99] }),
+            Response::Count(0)
+        );
+        assert!(matches!(
+            s.handle(&Request::Next { cursor }),
+            Response::MaybeLoc(Some(_))
+        ));
+    }
+
+    /// A pre that dies and is reborn with a different share must never
+    /// answer evaluations from its previous life's cached decode.
+    #[test]
+    fn eval_cache_does_not_survive_rebirth_of_a_pre() {
+        let mut s = server();
+        let loc = Loc {
+            pre: 6,
+            post: 6,
+            parent: 0,
+        };
+        let first = row_bytes(&s, 2);
+        assert_eq!(
+            s.handle(&Request::Insert {
+                rows: vec![(loc, first)]
+            }),
+            Response::Count(1)
+        );
+        let before = match s.handle(&Request::Eval { pre: 6, point: 3 }) {
+            Response::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        // Kill and re-insert the same pre with different share bytes.
+        assert_eq!(
+            s.handle(&Request::Delete { pres: vec![6] }),
+            Response::Count(1)
+        );
+        let second = row_bytes(&s, 9);
+        assert_eq!(
+            s.handle(&Request::Insert {
+                rows: vec![(loc, second.clone())]
+            }),
+            Response::Count(1)
+        );
+        let after = match s.handle(&Request::Eval { pre: 6, point: 3 }) {
+            Response::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(before, after, "stale eval cache served a dead share");
+        // And the fresh answer matches a cold server over the same table.
+        let mut cold = ServerFilter::new(s.table().clone(), s.ring().clone());
+        let want = match cold.handle(&Request::Eval { pre: 6, point: 3 }) {
+            Response::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(after, want);
+    }
+
+    #[test]
+    fn write_frames_refused_inside_batch() {
+        let mut s = server();
+        let resp = s.handle(&Request::Batch(vec![
+            Request::Count,
+            Request::Delete { pres: vec![1] },
+        ]));
+        match resp {
+            Response::Batch(subs) => {
+                assert_eq!(subs[0], Response::Count(5));
+                assert!(matches!(&subs[1], Response::Err(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.handle(&Request::Count),
+            Response::Count(5),
+            "no write applied"
+        );
     }
 
     #[test]

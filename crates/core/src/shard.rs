@@ -307,6 +307,63 @@ mod tests {
         }
     }
 
+    /// The reshard-path staleness proof: a warmed eval cache must die with
+    /// the old filters. After a reshard moves `pre` to a different shard
+    /// and the row is reborn there with different share bytes, evaluation
+    /// must answer from the new bytes — bit-identical to a cold server
+    /// over the same final tables, never from a pre-reshard cached decode.
+    #[test]
+    fn eval_cache_does_not_survive_a_reshard() {
+        let (table, ring) = encoded();
+        let donor = table.rows()[1].poly.to_vec();
+        let victim = table.rows()[3].clone();
+        let pre = victim.loc.pre;
+        let mut server = ShardedServer::from_table(table, ring.clone(), 2).unwrap();
+        let home = server.spec().shard_of(pre);
+        // Warm the cache: second eval of the same row is a hit.
+        for _ in 0..2 {
+            match server.handle(home, &Request::Eval { pre, point: 3 }) {
+                Response::Value(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(server.filters()[home as usize].stats().eval_cache_hits, 1);
+        // Move every row: 2 → 3 shards re-homes this pre.
+        server = server.reshard(3).map_err(|(_, e)| e).unwrap();
+        let rehomed = server.spec().shard_of(pre);
+        // Rebirth the pre on the new fleet with a different (valid) share.
+        assert_eq!(
+            server.handle(rehomed, &Request::Delete { pres: vec![pre] }),
+            Response::Count(1)
+        );
+        assert_eq!(
+            server.handle(
+                rehomed,
+                &Request::Insert {
+                    rows: vec![(victim.loc, donor.clone())]
+                }
+            ),
+            Response::Count(1)
+        );
+        let got = match server.handle(rehomed, &Request::Eval { pre, point: 3 }) {
+            Response::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        // No hit carried across the reshard, and the answer matches a cold
+        // server rebuilt from the final per-shard tables.
+        assert_eq!(
+            server.filters()[rehomed as usize].stats().eval_cache_hits,
+            0
+        );
+        let final_table = server.filters()[rehomed as usize].table().clone();
+        let mut cold = ServerFilter::new(final_table, ring);
+        let want = match cold.handle(&Request::Eval { pre, point: 3 }) {
+            Response::Value(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(got, want, "stale eval cache survived the reshard");
+    }
+
     #[test]
     fn reshard_zero_clamps_to_one() {
         let (table, ring) = encoded();

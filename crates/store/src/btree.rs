@@ -42,6 +42,9 @@ pub struct BTree {
     nodes: Vec<Node>,
     root: u32,
     len: usize,
+    /// Arena slots vacated by merges during [`BTree::remove`]; reused by the
+    /// next split so the arena never leaks under churn.
+    free: Vec<u32>,
 }
 
 impl Default for BTree {
@@ -57,6 +60,7 @@ impl BTree {
             nodes: vec![Node::leaf()],
             root: 0,
             len: 0,
+            free: Vec::new(),
         }
     }
 
@@ -82,8 +86,7 @@ impl BTree {
             let old_root = self.root;
             let mut new_root = Node::leaf();
             new_root.children.push(old_root);
-            self.nodes.push(new_root);
-            self.root = (self.nodes.len() - 1) as u32;
+            self.root = self.alloc(new_root);
             self.split_child(self.root, 0);
         }
         self.insert_nonfull(self.root, key, val);
@@ -103,8 +106,7 @@ impl BTree {
             let old_root = self.root;
             let mut new_root = Node::leaf();
             new_root.children.push(old_root);
-            self.nodes.push(new_root);
-            self.root = (self.nodes.len() - 1) as u32;
+            self.root = self.alloc(new_root);
             self.split_child(self.root, 0);
         }
         let mut node = self.root;
@@ -182,14 +184,15 @@ impl BTree {
         self.range(lo, u64::MAX).next()
     }
 
-    /// Number of arena nodes (tests + size accounting).
+    /// Number of live arena nodes (tests + size accounting).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
     }
 
     /// Approximate heap footprint in bytes: keys + values (8 each) and child
     /// links (4), plus a fixed per-node header — the measure reported as
-    /// "index size" in the Fig 4 reproduction.
+    /// "index size" in the Fig 4 reproduction. Freed slots are cleared on
+    /// merge, so they cost a header each until reused.
     pub fn byte_size(&self) -> usize {
         const NODE_HEADER: usize = 3 * 24; // three Vec headers
         self.nodes
@@ -289,6 +292,30 @@ impl BTree {
         }
     }
 
+    /// Claims an arena slot for `node`, preferring slots freed by merges.
+    fn alloc(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Returns `node`'s arena slot to the free list. The slot's vectors are
+    /// cleared so it costs only a header until reused.
+    fn free_node(&mut self, node: u32) {
+        let n = &mut self.nodes[node as usize];
+        n.keys = Vec::new();
+        n.vals = Vec::new();
+        n.children = Vec::new();
+        self.free.push(node);
+    }
+
     /// Splits the full `i`-th child of `parent` (CLRS B-TREE-SPLIT-CHILD).
     fn split_child(&mut self, parent: u32, i: usize) {
         let child_idx = self.nodes[parent as usize].children[i];
@@ -305,12 +332,211 @@ impl BTree {
             let mid_val = child.vals.pop().expect("median val");
             (mid_key, mid_val, right)
         };
-        self.nodes.push(right);
-        let right_idx = (self.nodes.len() - 1) as u32;
+        let right_idx = self.alloc(right);
         let parent_node = &mut self.nodes[parent as usize];
         parent_node.keys.insert(i, mid_key);
         parent_node.vals.insert(i, mid_val);
         parent_node.children.insert(i + 1, right_idx);
+    }
+
+    /// Removes `key`, returning its value when present. CLRS B-TREE-DELETE:
+    /// one root-to-leaf descent that preemptively refills any minimum-width
+    /// node on the path (borrow from a sibling, else merge), so every
+    /// structural invariant — minimum fill, uniform leaf depth, key-range
+    /// separation — holds on exit. Arena slots vacated by merges go to the
+    /// free list and are reused by later splits.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        // Read-only presence probe: the fixup descent below assumes the key
+        // exists, and a miss must not reshape the tree.
+        if !self.contains(key) {
+            return None;
+        }
+        let val = self.delete_from(self.root, key);
+        // Shrink: an empty internal root hands the tree to its only child.
+        let r = &self.nodes[self.root as usize];
+        if r.keys.is_empty() && !r.is_leaf() {
+            let old = self.root;
+            self.root = r.children[0];
+            self.free_node(old);
+        }
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Deletes `key` (guaranteed present) from the subtree at `node`,
+    /// returning its value. `node` always has ≥ T keys on entry unless it is
+    /// the root.
+    fn delete_from(&mut self, node: u32, key: u64) -> u64 {
+        let n = &self.nodes[node as usize];
+        match n.keys.binary_search(&key) {
+            Ok(i) if n.is_leaf() => {
+                // Case 1: delete directly from the leaf.
+                let n = &mut self.nodes[node as usize];
+                n.keys.remove(i);
+                n.vals.remove(i)
+            }
+            Ok(i) => {
+                let left = n.children[i];
+                let right = n.children[i + 1];
+                let val = n.vals[i];
+                if self.nodes[left as usize].keys.len() >= T {
+                    // Case 2a: overwrite with the predecessor, then delete
+                    // the predecessor from the (wide enough) left subtree.
+                    let (pk, pv) = self.max_entry(left);
+                    let n = &mut self.nodes[node as usize];
+                    n.keys[i] = pk;
+                    n.vals[i] = pv;
+                    self.delete_from(left, pk);
+                    val
+                } else if self.nodes[right as usize].keys.len() >= T {
+                    // Case 2b: symmetric, with the successor.
+                    let (sk, sv) = self.min_entry(right);
+                    let n = &mut self.nodes[node as usize];
+                    n.keys[i] = sk;
+                    n.vals[i] = sv;
+                    self.delete_from(right, sk);
+                    val
+                } else {
+                    // Case 2c: both children minimal — merge them around the
+                    // key and delete from the merged node.
+                    self.merge_children(node, i);
+                    self.delete_from(left, key)
+                }
+            }
+            Err(i) => {
+                // Case 3: the key lives in child i; widen it first if it is
+                // at minimum so the recursive delete cannot underflow.
+                let child = self.ensure_child_min(node, i);
+                self.delete_from(child, key)
+            }
+        }
+    }
+
+    /// Rightmost entry of the subtree at `node`.
+    fn max_entry(&self, mut node: u32) -> (u64, u64) {
+        loop {
+            let n = &self.nodes[node as usize];
+            if n.is_leaf() {
+                let last = n.keys.len() - 1;
+                return (n.keys[last], n.vals[last]);
+            }
+            node = *n.children.last().expect("internal node has children");
+        }
+    }
+
+    /// Leftmost entry of the subtree at `node`.
+    fn min_entry(&self, mut node: u32) -> (u64, u64) {
+        loop {
+            let n = &self.nodes[node as usize];
+            if n.is_leaf() {
+                return (n.keys[0], n.vals[0]);
+            }
+            node = n.children[0];
+        }
+    }
+
+    /// Guarantees the `i`-th child of `node` has ≥ T keys before a delete
+    /// descends into it, borrowing from an adjacent sibling when one is wide
+    /// enough and merging otherwise. Returns the arena index of the child to
+    /// descend into (the merged node when a merge happened).
+    fn ensure_child_min(&mut self, node: u32, i: usize) -> u32 {
+        let child = self.nodes[node as usize].children[i];
+        if self.nodes[child as usize].keys.len() >= T {
+            return child;
+        }
+        let key_count = self.nodes[node as usize].keys.len();
+        if i > 0 {
+            let left = self.nodes[node as usize].children[i - 1];
+            if self.nodes[left as usize].keys.len() >= T {
+                self.rotate_from_left(node, i);
+                return child;
+            }
+        }
+        if i < key_count {
+            let right = self.nodes[node as usize].children[i + 1];
+            if self.nodes[right as usize].keys.len() >= T {
+                self.rotate_from_right(node, i);
+                return child;
+            }
+        }
+        // Both neighbours minimal: merge with one of them.
+        if i < key_count {
+            self.merge_children(node, i);
+            child
+        } else {
+            self.merge_children(node, i - 1);
+            self.nodes[node as usize].children[i - 1]
+        }
+    }
+
+    /// Moves the last entry of child `i − 1` up to separator `i − 1` and the
+    /// old separator down to the front of child `i` (a right rotation).
+    fn rotate_from_left(&mut self, node: u32, i: usize) {
+        let left = self.nodes[node as usize].children[i - 1];
+        let child = self.nodes[node as usize].children[i];
+        let (lk, lv, lc) = {
+            let l = &mut self.nodes[left as usize];
+            (
+                l.keys.pop().expect("left sibling non-empty"),
+                l.vals.pop().expect("left sibling non-empty"),
+                l.children.pop(),
+            )
+        };
+        let n = &mut self.nodes[node as usize];
+        let sk = std::mem::replace(&mut n.keys[i - 1], lk);
+        let sv = std::mem::replace(&mut n.vals[i - 1], lv);
+        let c = &mut self.nodes[child as usize];
+        c.keys.insert(0, sk);
+        c.vals.insert(0, sv);
+        if let Some(lc) = lc {
+            c.children.insert(0, lc);
+        }
+    }
+
+    /// Moves the first entry of child `i + 1` up to separator `i` and the
+    /// old separator down to the back of child `i` (a left rotation).
+    fn rotate_from_right(&mut self, node: u32, i: usize) {
+        let right = self.nodes[node as usize].children[i + 1];
+        let child = self.nodes[node as usize].children[i];
+        let (rk, rv, rc) = {
+            let r = &mut self.nodes[right as usize];
+            let rc = if r.is_leaf() {
+                None
+            } else {
+                Some(r.children.remove(0))
+            };
+            (r.keys.remove(0), r.vals.remove(0), rc)
+        };
+        let n = &mut self.nodes[node as usize];
+        let sk = std::mem::replace(&mut n.keys[i], rk);
+        let sv = std::mem::replace(&mut n.vals[i], rv);
+        let c = &mut self.nodes[child as usize];
+        c.keys.push(sk);
+        c.vals.push(sv);
+        if let Some(rc) = rc {
+            c.children.push(rc);
+        }
+    }
+
+    /// Merges child `i + 1` and separator `i` into child `i` (both children
+    /// at minimum width), freeing the right child's arena slot.
+    fn merge_children(&mut self, node: u32, i: usize) {
+        let (sk, sv, right_idx) = {
+            let n = &mut self.nodes[node as usize];
+            let sk = n.keys.remove(i);
+            let sv = n.vals.remove(i);
+            let right_idx = n.children.remove(i + 1);
+            (sk, sv, right_idx)
+        };
+        let left_idx = self.nodes[node as usize].children[i];
+        let mut right = std::mem::replace(&mut self.nodes[right_idx as usize], Node::leaf());
+        let left = &mut self.nodes[left_idx as usize];
+        left.keys.push(sk);
+        left.vals.push(sv);
+        left.keys.append(&mut right.keys);
+        left.vals.append(&mut right.vals);
+        left.children.append(&mut right.children);
+        self.free.push(right_idx);
     }
 
     fn insert_nonfull(&mut self, mut node: u32, key: u64, val: u64) {
@@ -575,5 +801,117 @@ mod tests {
         assert_eq!(t.range(5, 10).count(), 0);
         assert_eq!(t.lower_bound(0), None);
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_small() {
+        let mut t = BTree::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.remove(3), Some(30));
+        assert_eq!(t.remove(3), None, "second remove misses");
+        assert_eq!(t.remove(99), None, "absent key misses");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(5), Some(50));
+        t.check_invariants().unwrap();
+        for k in [5u64, 1, 9, 7] {
+            assert_eq!(t.remove(k), Some(k * 10));
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_miss_does_not_reshape() {
+        // A miss must not split/merge anything: same arena, same contents.
+        let mut t = BTree::new();
+        for k in 0..500u64 {
+            t.insert(k * 2, k);
+        }
+        let nodes_before = t.node_count();
+        for k in 0..500u64 {
+            assert_eq!(t.remove(k * 2 + 1), None);
+        }
+        assert_eq!(t.node_count(), nodes_before);
+        assert_eq!(t.len(), 500);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_all_sequential_forces_merges() {
+        // Enough keys for a 3-level tree; ascending removal walks every
+        // rebalancing case (leaf delete, borrow left/right, merge, root
+        // shrink) and the invariant check runs after every step.
+        let n = 10_000u64;
+        let mut t = BTree::new();
+        for k in 0..n {
+            t.insert(k, k ^ 0x5a5a);
+        }
+        let peak_nodes = t.node_count();
+        for k in 0..n {
+            assert_eq!(t.remove(k), Some(k ^ 0x5a5a), "key {k}");
+            if k % 512 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        assert_eq!(t.node_count(), 1, "empty tree is a single leaf root");
+        // Freed slots must be reusable: refill and stay near the old arena.
+        for k in 0..n {
+            t.insert(k, k);
+        }
+        t.check_invariants().unwrap();
+        assert!(
+            t.node_count() <= peak_nodes + 1,
+            "refill must reuse freed arena slots ({} vs peak {peak_nodes})",
+            t.node_count()
+        );
+    }
+
+    #[test]
+    fn remove_interior_keys_from_internal_nodes() {
+        // Deleting in an order that repeatedly hits internal-node keys
+        // (case 2 of CLRS delete): remove every 64th key first — with
+        // T = 32 those are frequently separators — then everything else.
+        let n = 8_192u64;
+        let mut t = BTree::new();
+        let mut model = BTreeMap::new();
+        for k in 0..n {
+            t.insert(k, n - k);
+            model.insert(k, n - k);
+        }
+        for k in (0..n).step_by(64) {
+            assert_eq!(t.remove(k), model.remove(&k), "key {k}");
+        }
+        t.check_invariants().unwrap();
+        let got: Vec<(u64, u64)> = t.iter().collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_churn() {
+        let mut t = BTree::new();
+        let mut model = BTreeMap::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 4000;
+            if x & 1 == 0 {
+                assert_eq!(t.insert(key, i), model.insert(key, i), "insert {key}");
+            } else {
+                assert_eq!(t.remove(key), model.remove(&key), "remove {key}");
+            }
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), model.len());
+        let got: Vec<(u64, u64)> = t.iter().collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
     }
 }

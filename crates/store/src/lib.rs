@@ -24,5 +24,8 @@ pub mod persist;
 pub mod table;
 
 pub use btree::BTree;
-pub use persist::{load_party, load_table, save_party, save_table, PartyHeader};
+pub use persist::{
+    checkpoint, load_party, load_table, load_table_with_wal, replay_wal, save_party, save_table,
+    PartyHeader, Wal, WalReplay,
+};
 pub use table::{Loc, Row, SizeReport, StoreError, Table};

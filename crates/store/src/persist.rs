@@ -30,13 +30,36 @@
 //! reported as [`StoreError::Persist`] instead of corrupting queries. A
 //! party file holds only Shamir shares: no single file (nor any `t − 1`
 //! of them) reconstructs the encoded document.
+//!
+//! The write plane adds a **write-ahead log** next to the snapshot:
+//!
+//! ```text
+//! wal header: magic 8 b"SSXWL\x01\0\0" | poly_len u32
+//! record:     len u32 | kind u8 | payload[len − 1] | checksum u64
+//! kind 1 insert: rows u32, then per row pre/post/parent u32 + poly
+//! kind 2 remove: pres u32 count, then pre u32 each
+//! ```
+//!
+//! `len` counts kind + payload; the FNV-1a checksum covers the length,
+//! kind and payload, so a torn tail and a bit-flipped record are both
+//! detected. One record = one whole-document mutation, so replaying up to
+//! the last complete record always lands on a structurally consistent
+//! forest. Replay is idempotent (duplicate inserts and already-gone
+//! removes are skipped), and a torn tail is truncated away so later
+//! appends start on a clean record boundary.
 
 use crate::table::{Loc, Row, StoreError, Table};
-use std::io::{Read, Write};
-use std::path::Path;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"SSXDB\x01\0\0";
 const FLEET_MAGIC: &[u8; 8] = b"SSXFL\x01\0\0";
+const WAL_MAGIC: &[u8; 8] = b"SSXWL\x01\0\0";
+/// WAL header length: magic + poly_len.
+const WAL_HDR: usize = 12;
+/// WAL record kinds.
+const WAL_INSERT: u8 = 1;
+const WAL_REMOVE: u8 = 2;
 
 /// FNV-1a, 64-bit.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -134,6 +157,281 @@ pub fn load_table(path: &Path) -> Result<Table, StoreError> {
         )));
     }
     read_rows(body, 20, rows, poly_len)
+}
+
+/// An append-only write-ahead log of whole-document mutations. Every
+/// mutation is appended (and by default fsynced) *before* it is applied to
+/// the in-memory table, so a crash at any point recovers by replaying the
+/// log over the last snapshot.
+#[derive(Debug)]
+pub struct Wal {
+    file: std::fs::File,
+    path: PathBuf,
+    poly_len: usize,
+    sync: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path` for `poly_len`-byte rows. An
+    /// existing log must carry the same `poly_len` in its header.
+    pub fn open(path: &Path, poly_len: usize) -> Result<Wal, StoreError> {
+        let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
+        if len == 0 {
+            let mut hdr = Vec::with_capacity(WAL_HDR);
+            hdr.extend_from_slice(WAL_MAGIC);
+            hdr.extend_from_slice(&(poly_len as u32).to_le_bytes());
+            file.write_all(&hdr).map_err(io)?;
+            file.sync_data().map_err(io)?;
+        } else {
+            if len < WAL_HDR as u64 {
+                return Err(StoreError::Persist("wal shorter than its header".into()));
+            }
+            let mut hdr = [0u8; WAL_HDR];
+            file.seek(std::io::SeekFrom::Start(0)).map_err(io)?;
+            file.read_exact(&mut hdr).map_err(io)?;
+            if &hdr[..8] != WAL_MAGIC {
+                return Err(StoreError::Persist("bad wal magic".into()));
+            }
+            let stored = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+            if stored != poly_len {
+                return Err(StoreError::Persist(format!(
+                    "wal stores {stored}-byte rows, table stores {poly_len}"
+                )));
+            }
+            file.seek(std::io::SeekFrom::End(0)).map_err(io)?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            poly_len,
+            sync: true,
+        })
+    }
+
+    /// Where the log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether each append fsyncs before returning (default true). Turning
+    /// it off trades the durability of the most recent mutations for
+    /// throughput; the record framing stays crash-safe either way.
+    pub fn set_sync(&mut self, sync: bool) {
+        self.sync = sync;
+    }
+
+    fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+        let mut rec = Vec::with_capacity(4 + 1 + payload.len() + 8);
+        rec.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+        rec.push(kind);
+        rec.extend_from_slice(payload);
+        let sum = fnv1a(&rec);
+        rec.extend_from_slice(&sum.to_le_bytes());
+        self.file.write_all(&rec).map_err(io)?;
+        if self.sync {
+            self.file.sync_data().map_err(io)?;
+        }
+        Ok(())
+    }
+
+    /// Logs the insertion of one whole document block (`rows` must be the
+    /// complete set of rows of one document, so replay of the record is an
+    /// all-or-nothing document insert).
+    pub fn append_insert(&mut self, rows: &[Row]) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(4 + rows.len() * (12 + self.poly_len));
+        payload.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+        for row in rows {
+            if row.poly.len() != self.poly_len {
+                return Err(StoreError::Persist(format!(
+                    "wal row poly {} bytes, log stores {}",
+                    row.poly.len(),
+                    self.poly_len
+                )));
+            }
+            payload.extend_from_slice(&row.loc.pre.to_le_bytes());
+            payload.extend_from_slice(&row.loc.post.to_le_bytes());
+            payload.extend_from_slice(&row.loc.parent.to_le_bytes());
+            payload.extend_from_slice(&row.poly);
+        }
+        self.append_record(WAL_INSERT, &payload)
+    }
+
+    /// Logs the removal of one whole document block by its `pre` numbers.
+    pub fn append_remove(&mut self, pres: &[u32]) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(4 + pres.len() * 4);
+        payload.extend_from_slice(&(pres.len() as u32).to_le_bytes());
+        for &pre in pres {
+            payload.extend_from_slice(&pre.to_le_bytes());
+        }
+        self.append_record(WAL_REMOVE, &payload)
+    }
+
+    /// Drops every record (keeping the header) — called right after the
+    /// table is snapshotted, so the snapshot + empty log equal the old
+    /// snapshot + full log.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+        self.file.set_len(WAL_HDR as u64).map_err(io)?;
+        self.file.seek(std::io::SeekFrom::End(0)).map_err(io)?;
+        self.file.sync_data().map_err(io)?;
+        Ok(())
+    }
+}
+
+/// What [`replay_wal`] found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Complete, checksum-valid records applied.
+    pub records: usize,
+    /// Rows inserted into the table.
+    pub rows_inserted: usize,
+    /// Rows removed from the table.
+    pub rows_removed: usize,
+    /// Rows skipped because the table already reflected them (idempotent
+    /// re-replay after a crash between apply and truncate).
+    pub duplicates_skipped: usize,
+    /// Bytes of torn tail / corrupt trailing record discarded.
+    pub torn_bytes: usize,
+}
+
+/// Replays the log at `path` onto `table`, stopping at (and truncating
+/// away) the first incomplete or checksum-invalid record. Missing file =
+/// nothing to replay. The table is integrity-checked after replay.
+pub fn replay_wal(path: &Path, table: &mut Table) -> Result<WalReplay, StoreError> {
+    let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+    let mut replay = WalReplay::default();
+    let buf = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(io(e)),
+    };
+    if buf.len() < WAL_HDR {
+        return Err(StoreError::Persist("wal shorter than its header".into()));
+    }
+    if &buf[..8] != WAL_MAGIC {
+        return Err(StoreError::Persist("bad wal magic".into()));
+    }
+    let poly_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    if poly_len != table.poly_len() {
+        return Err(StoreError::Persist(format!(
+            "wal stores {poly_len}-byte rows, table stores {}",
+            table.poly_len()
+        )));
+    }
+    let mut at = WAL_HDR;
+    let valid_end = loop {
+        if at == buf.len() {
+            break at; // clean end
+        }
+        if buf.len() - at < 4 {
+            break at; // torn length prefix
+        }
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        if len == 0 || buf.len() - at < 4 + len + 8 {
+            break at; // torn record
+        }
+        let framed = &buf[at..at + 4 + len];
+        let stored_sum =
+            u64::from_le_bytes(buf[at + 4 + len..at + 4 + len + 8].try_into().unwrap());
+        if fnv1a(framed) != stored_sum {
+            break at; // bit flip anywhere in the record
+        }
+        let kind = framed[4];
+        let payload = &framed[5..];
+        match kind {
+            WAL_INSERT => {
+                if payload.len() < 4 {
+                    break at;
+                }
+                let rows = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+                let row_size = 12 + poly_len;
+                if payload.len() != 4 + rows * row_size {
+                    break at;
+                }
+                for i in 0..rows {
+                    let p = 4 + i * row_size;
+                    let pre = u32::from_le_bytes(payload[p..p + 4].try_into().unwrap());
+                    let post = u32::from_le_bytes(payload[p + 4..p + 8].try_into().unwrap());
+                    let parent = u32::from_le_bytes(payload[p + 8..p + 12].try_into().unwrap());
+                    if table.by_pre(pre).is_some() {
+                        replay.duplicates_skipped += 1;
+                        continue;
+                    }
+                    table
+                        .insert(Row {
+                            loc: Loc { pre, post, parent },
+                            poly: payload[p + 12..p + row_size].to_vec().into_boxed_slice(),
+                        })
+                        .map_err(|e| StoreError::Persist(format!("wal replay: {e}")))?;
+                    replay.rows_inserted += 1;
+                }
+            }
+            WAL_REMOVE => {
+                if payload.len() < 4 {
+                    break at;
+                }
+                let pres = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+                if payload.len() != 4 + pres * 4 {
+                    break at;
+                }
+                for i in 0..pres {
+                    let p = 4 + i * 4;
+                    let pre = u32::from_le_bytes(payload[p..p + 4].try_into().unwrap());
+                    if table.remove(pre).is_ok() {
+                        replay.rows_removed += 1;
+                    } else {
+                        replay.duplicates_skipped += 1;
+                    }
+                }
+            }
+            _ => break at, // unknown kind: treat as corruption boundary
+        }
+        replay.records += 1;
+        at += 4 + len + 8;
+    };
+    if valid_end < buf.len() {
+        replay.torn_bytes = buf.len() - valid_end;
+        // Drop the torn tail so the next append starts on a record boundary.
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(io)?;
+        f.set_len(valid_end as u64).map_err(io)?;
+        f.sync_data().map_err(io)?;
+    }
+    table.check_integrity()?;
+    Ok(replay)
+}
+
+/// Loads the snapshot at `snapshot` and replays the log at `wal` over it —
+/// the crash-recovery read path of the write plane.
+pub fn load_table_with_wal(snapshot: &Path, wal: &Path) -> Result<(Table, WalReplay), StoreError> {
+    let mut table = load_table(snapshot)?;
+    let replay = replay_wal(wal, &mut table)?;
+    Ok((table, replay))
+}
+
+/// Snapshots `table` to `snapshot` atomically and truncates `wal` — the
+/// incremental-checkpoint step. Ordering matters: the snapshot hits disk
+/// (temp + fsync + rename) before any record is dropped, so a crash
+/// between the two steps merely replays records the snapshot already
+/// contains, which replay skips idempotently.
+pub fn checkpoint(table: &Table, snapshot: &Path, wal: &mut Wal) -> Result<(), StoreError> {
+    save_table(table, snapshot)?;
+    wal.truncate()
 }
 
 /// Identity of one fleet party file: which party, out of what deployment.
@@ -412,6 +710,212 @@ mod tests {
             StoreError::Persist(_)
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Rows of a small second document block at `offset` (3 nodes).
+    fn doc_rows(offset: u32) -> Vec<Row> {
+        [(1u32, 3u32, 0u32), (2, 1, 1), (3, 2, 1)]
+            .iter()
+            .map(|&(pre, post, parent)| Row {
+                loc: Loc {
+                    pre: pre + offset,
+                    post: post + offset,
+                    parent: if parent == 0 { 0 } else { parent + offset },
+                },
+                poly: vec![(pre + offset) as u8, 0xcc, 0xdd].into_boxed_slice(),
+            })
+            .collect()
+    }
+
+    /// Reference rebuild: the snapshot table with `docs` inserted and
+    /// `removed` document blocks removed, built directly (no WAL).
+    fn reference(docs: &[Vec<Row>], removed: &[u32]) -> Table {
+        let mut t = sample();
+        for rows in docs {
+            for row in rows {
+                t.insert(row.clone()).unwrap();
+            }
+        }
+        for &offset in removed {
+            for pre in offset + 1..=offset + 3 {
+                t.remove(pre).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn wal_replay_recovers_mutations() {
+        let snap = tmp("wal_basic.ssxdb");
+        let wal_path = tmp("wal_basic.wal");
+        std::fs::remove_file(&wal_path).ok();
+        save_table(&sample(), &snap).unwrap();
+        let mut wal = Wal::open(&wal_path, 3).unwrap();
+        let doc_a = doc_rows(3);
+        let doc_b = doc_rows(6);
+        wal.append_insert(&doc_a).unwrap();
+        wal.append_insert(&doc_b).unwrap();
+        wal.append_remove(&[4, 5, 6]).unwrap(); // drop doc_a again
+        drop(wal); // crash before any snapshot/truncate
+        let (table, replay) = load_table_with_wal(&snap, &wal_path).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.rows_inserted, 6);
+        assert_eq!(replay.rows_removed, 3);
+        assert_eq!(replay.torn_bytes, 0);
+        let want = reference(&[doc_rows(3), doc_rows(6)], &[3]);
+        assert_eq!(table.rows().len(), want.rows().len());
+        for row in want.rows() {
+            assert_eq!(table.by_pre(row.loc.pre), Some(row), "pre {}", row.loc.pre);
+        }
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn wal_truncated_tail_recovers_to_last_complete_record() {
+        let snap = tmp("wal_torn.ssxdb");
+        let wal_path = tmp("wal_torn.wal");
+        std::fs::remove_file(&wal_path).ok();
+        save_table(&sample(), &snap).unwrap();
+        let mut wal = Wal::open(&wal_path, 3).unwrap();
+        wal.append_insert(&doc_rows(3)).unwrap();
+        let complete_len = wal.len_bytes();
+        wal.append_insert(&doc_rows(6)).unwrap();
+        drop(wal);
+        // Tear the tail mid-record (kill -9 between write and sync).
+        let bytes = std::fs::read(&wal_path).unwrap();
+        for torn_at in [complete_len + 2, bytes.len() as u64 - 3] {
+            std::fs::write(&wal_path, &bytes[..torn_at as usize]).unwrap();
+            let (table, replay) = load_table_with_wal(&snap, &wal_path).unwrap();
+            assert_eq!(replay.records, 1, "torn_at {torn_at}");
+            assert!(replay.torn_bytes > 0);
+            // Bit-identical to the reference rebuild of the surviving set.
+            let want = reference(&[doc_rows(3)], &[]);
+            assert_eq!(table.rows().len(), want.rows().len());
+            for row in want.rows() {
+                assert_eq!(table.by_pre(row.loc.pre), Some(row));
+            }
+            // Recovery truncated the torn tail: the file now ends exactly at
+            // the last complete record and replays cleanly.
+            assert_eq!(
+                std::fs::metadata(&wal_path).unwrap().len(),
+                complete_len,
+                "torn_at {torn_at}"
+            );
+            let (_, again) = load_table_with_wal(&snap, &wal_path).unwrap();
+            assert_eq!(again.torn_bytes, 0);
+        }
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn wal_bit_flip_drops_only_the_corrupt_suffix() {
+        let snap = tmp("wal_flip.ssxdb");
+        let wal_path = tmp("wal_flip.wal");
+        std::fs::remove_file(&wal_path).ok();
+        save_table(&sample(), &snap).unwrap();
+        let mut wal = Wal::open(&wal_path, 3).unwrap();
+        wal.append_insert(&doc_rows(3)).unwrap();
+        let first_len = wal.len_bytes() as usize;
+        wal.append_insert(&doc_rows(6)).unwrap();
+        drop(wal);
+        // Flip one bit inside the *second* record's payload.
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes[first_len + 9] ^= 0x10;
+        std::fs::write(&wal_path, &bytes).unwrap();
+        let (table, replay) = load_table_with_wal(&snap, &wal_path).unwrap();
+        assert_eq!(replay.records, 1, "only the intact record replays");
+        assert!(replay.torn_bytes > 0);
+        let want = reference(&[doc_rows(3)], &[]);
+        assert_eq!(table.rows().len(), want.rows().len());
+        for row in want.rows() {
+            assert_eq!(table.by_pre(row.loc.pre), Some(row));
+        }
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn wal_duplicate_replay_is_idempotent() {
+        let snap = tmp("wal_dup.ssxdb");
+        let wal_path = tmp("wal_dup.wal");
+        std::fs::remove_file(&wal_path).ok();
+        save_table(&sample(), &snap).unwrap();
+        let mut wal = Wal::open(&wal_path, 3).unwrap();
+        wal.append_insert(&doc_rows(3)).unwrap();
+        wal.append_remove(&[1, 2, 3]).unwrap();
+        drop(wal);
+        // Crash between apply and truncate: the same log replays twice over
+        // a table that already reflects it.
+        let (mut table, first) = load_table_with_wal(&snap, &wal_path).unwrap();
+        assert_eq!(first.duplicates_skipped, 0);
+        let again = replay_wal(&wal_path, &mut table).unwrap();
+        assert_eq!(again.records, 2);
+        assert_eq!(again.rows_inserted, 0);
+        assert_eq!(again.rows_removed, 0);
+        assert_eq!(again.duplicates_skipped, 6);
+        let want = reference(&[doc_rows(3)], &[0]);
+        assert_eq!(table.rows().len(), want.rows().len());
+        for row in want.rows() {
+            assert_eq!(table.by_pre(row.loc.pre), Some(row));
+        }
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn wal_checkpoint_truncates_and_round_trips() {
+        let snap = tmp("wal_ckpt.ssxdb");
+        let wal_path = tmp("wal_ckpt.wal");
+        std::fs::remove_file(&wal_path).ok();
+        let mut table = sample();
+        save_table(&table, &snap).unwrap();
+        let mut wal = Wal::open(&wal_path, 3).unwrap();
+        let doc = doc_rows(3);
+        wal.append_insert(&doc).unwrap();
+        for row in &doc {
+            table.insert(row.clone()).unwrap();
+        }
+        checkpoint(&table, &snap, &mut wal).unwrap();
+        assert_eq!(wal.len_bytes(), WAL_HDR as u64, "records dropped");
+        // Post-checkpoint mutations land in the (now empty) log.
+        wal.append_remove(&[4, 5, 6]).unwrap();
+        for pre in [4u32, 5, 6] {
+            table.remove(pre).unwrap();
+        }
+        drop(wal);
+        let (back, replay) = load_table_with_wal(&snap, &wal_path).unwrap();
+        assert_eq!(replay.records, 1);
+        assert_eq!(back.rows().len(), table.rows().len());
+        for row in table.rows() {
+            assert_eq!(back.by_pre(row.loc.pre), Some(row));
+        }
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn wal_header_mismatches_rejected() {
+        let wal_path = tmp("wal_hdr.wal");
+        std::fs::remove_file(&wal_path).ok();
+        let wal = Wal::open(&wal_path, 3).unwrap();
+        drop(wal);
+        // Reopening with a different poly_len refuses.
+        let err = Wal::open(&wal_path, 5).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Persist(ref m) if m.contains("3-byte rows")),
+            "{err}"
+        );
+        // Replaying into a mismatched table refuses.
+        let mut t = Table::new(5);
+        assert!(replay_wal(&wal_path, &mut t).is_err());
+        // A missing log is not an error: nothing to replay.
+        let missing = tmp("wal_never_existed.wal");
+        std::fs::remove_file(&missing).ok();
+        let mut t3 = Table::new(3);
+        assert_eq!(replay_wal(&missing, &mut t3).unwrap(), WalReplay::default());
+        std::fs::remove_file(&wal_path).ok();
     }
 
     #[test]

@@ -101,7 +101,11 @@ pub struct Table {
     /// Largest `post` inserted so far; a new `post` above it is fresh
     /// without probing the index. The usual producer (the encoder) emits
     /// `post = 1, 2, 3, …`, so its duplicate probe is one comparison.
+    /// Removal leaves it as a stale-high hint (still sound for the probe).
     max_post: u64,
+    /// Largest `pre` ever inserted; like `max_post`, a stale-high hint after
+    /// removals. The write plane allocates fresh document offsets above it.
+    max_pre: u64,
 }
 
 impl Table {
@@ -114,7 +118,19 @@ impl Table {
             post_idx: BTree::new(),
             parent_idx: BTree::new(),
             max_post: 0,
+            max_pre: 0,
         }
+    }
+
+    /// Largest `pre` ever inserted (a stale-high hint after removals —
+    /// never reused, which is exactly what offset allocation wants).
+    pub fn max_pre(&self) -> u32 {
+        self.max_pre as u32
+    }
+
+    /// Largest `post` ever inserted (stale-high after removals).
+    pub fn max_post(&self) -> u32 {
+        self.max_post as u32
     }
 
     /// Packed polynomial length for this table.
@@ -169,8 +185,35 @@ impl Table {
             .insert_new(((parent as u64) << 32) | pre as u64, pos);
         debug_assert!(fresh_parent, "parent key embeds the unique pre");
         self.max_post = self.max_post.max(post as u64);
+        self.max_pre = self.max_pre.max(pre as u64);
         self.rows.push(row);
         Ok(())
+    }
+
+    /// Removes the row with `pre`, returning it. The last row is swapped
+    /// into the vacated position and its three index entries re-pointed, so
+    /// removal is O(log n) regardless of position. Removing an interior node
+    /// while its descendants stay behind leaves those rows orphaned — the
+    /// write plane always removes whole document blocks, and
+    /// [`Table::check_integrity`] catches anything less.
+    pub fn remove(&mut self, pre: u32) -> Result<Row, StoreError> {
+        let pos = self
+            .pre_idx
+            .remove(pre as u64)
+            .ok_or(StoreError::NoSuchNode(pre))? as usize;
+        let loc = self.rows[pos].loc;
+        self.post_idx.remove(loc.post as u64);
+        self.parent_idx
+            .remove(((loc.parent as u64) << 32) | pre as u64);
+        let row = self.rows.swap_remove(pos);
+        if pos < self.rows.len() {
+            let moved = self.rows[pos].loc;
+            self.pre_idx.insert(moved.pre as u64, pos as u64);
+            self.post_idx.insert(moved.post as u64, pos as u64);
+            self.parent_idx
+                .insert(((moved.parent as u64) << 32) | moved.pre as u64, pos as u64);
+        }
+        Ok(row)
     }
 
     /// Row by `pre` (indexed point lookup).
@@ -180,14 +223,25 @@ impl Table {
             .map(|pos| &self.rows[pos as usize])
     }
 
-    /// The root row — "the only node without a parent (parent = 0)", found
-    /// through the parent index in logarithmic time (§5.3).
+    /// The first root row — "the node without a parent (parent = 0)", found
+    /// through the parent index in logarithmic time (§5.3). A multi-document
+    /// store is a forest; this returns the root with the smallest `pre`
+    /// (document order), and [`Table::roots`] enumerates them all.
     pub fn root(&self) -> Option<&Row> {
         let (key, pos) = self.parent_idx.lower_bound(0)?;
         if key >> 32 != 0 {
             return None; // no parent-0 entry at all (cannot happen for trees)
         }
         Some(&self.rows[pos as usize])
+    }
+
+    /// All document roots (`parent = 0`) in document order — one ordered
+    /// scan of the parent-0 prefix of the `(parent, pre)` index.
+    pub fn roots(&self) -> Vec<Loc> {
+        self.parent_idx
+            .range(0, u32::MAX as u64)
+            .map(|(_, pos)| self.rows[pos as usize].loc)
+            .collect()
     }
 
     /// Children of the node with `pre = parent`, in document order — one
@@ -262,35 +316,49 @@ impl Table {
         }
     }
 
-    /// Structural integrity check: exactly one root, every parent exists,
-    /// `post` consistent with subtree nesting. Used after loading from disk.
+    /// Structural integrity check: the rows in `pre` order must form a
+    /// forest of properly nested intervals (one tree per document) in which
+    /// every row's `parent` is exactly its innermost enclosing node — the
+    /// shape the single-range-scan [`Table::descendants_of`] relies on. A
+    /// single-document table is the one-root special case. Used after
+    /// loading from disk and after write-plane mutations.
     pub fn check_integrity(&self) -> Result<(), StoreError> {
         if self.rows.is_empty() {
             return Ok(());
         }
-        let mut roots = 0;
-        for row in &self.rows {
-            if row.loc.parent == 0 {
-                roots += 1;
-            } else {
-                let parent = self.by_pre(row.loc.parent).ok_or_else(|| {
-                    StoreError::BadRow(format!(
-                        "row pre={} references missing parent {}",
-                        row.loc.pre, row.loc.parent
-                    ))
-                })?;
-                // Child strictly inside the parent's interval.
-                if !(row.loc.pre > parent.loc.pre && row.loc.post < parent.loc.post) {
-                    return Err(StoreError::BadRow(format!(
-                        "row pre={} not nested in parent {}",
-                        row.loc.pre, row.loc.parent
-                    )));
+        let mut stack: Vec<Loc> = Vec::new();
+        let mut roots = 0usize;
+        for loc in self.all_locs() {
+            // Close every open node whose interval ended before this row.
+            while let Some(top) = stack.last() {
+                if top.post < loc.post {
+                    stack.pop();
+                } else {
+                    break;
                 }
             }
+            match stack.last() {
+                None => {
+                    if loc.parent != 0 {
+                        return Err(StoreError::BadRow(format!(
+                            "row pre={} claims parent {} but no node encloses it",
+                            loc.pre, loc.parent
+                        )));
+                    }
+                    roots += 1;
+                }
+                Some(top) => {
+                    if loc.parent != top.pre {
+                        return Err(StoreError::BadRow(format!(
+                            "row pre={} has parent {} but its innermost enclosing node is {}",
+                            loc.pre, loc.parent, top.pre
+                        )));
+                    }
+                }
+            }
+            stack.push(loc);
         }
-        if roots != 1 {
-            return Err(StoreError::BadRow(format!("{roots} roots")));
-        }
+        debug_assert!(roots >= 1, "non-empty table always surfaces a root");
         Ok(())
     }
 }
@@ -443,21 +511,23 @@ mod tests {
     fn integrity_checks() {
         let t = sample_table();
         t.check_integrity().unwrap();
-        // A second root breaks it.
+        // A second root with its own disjoint block is a valid forest.
+        let mut forest = sample_table();
+        forest
+            .insert(Row {
+                loc: Loc {
+                    pre: 9,
+                    post: 9,
+                    parent: 0,
+                },
+                poly: vec![0; 4].into_boxed_slice(),
+            })
+            .unwrap();
+        forest.check_integrity().unwrap();
+        assert_eq!(forest.roots().len(), 2);
+        // A dangling parent breaks it.
         let mut bad = sample_table();
         bad.insert(Row {
-            loc: Loc {
-                pre: 9,
-                post: 9,
-                parent: 0,
-            },
-            poly: vec![0; 4].into_boxed_slice(),
-        })
-        .unwrap();
-        assert!(bad.check_integrity().is_err());
-        // A dangling parent breaks it.
-        let mut bad2 = sample_table();
-        bad2.insert(Row {
             loc: Loc {
                 pre: 9,
                 post: 9,
@@ -466,7 +536,103 @@ mod tests {
             poly: vec![0; 4].into_boxed_slice(),
         })
         .unwrap();
+        assert!(bad.check_integrity().is_err());
+        // A "root" nested inside another root's interval breaks it: the
+        // descendants range scan for pre=1 would sweep it up.
+        let mut bad2 = Table::new(1);
+        for (pre, post, parent) in [(1u32, 3u32, 0u32), (2, 1, 1), (3, 2, 0)] {
+            bad2.insert(Row {
+                loc: Loc { pre, post, parent },
+                poly: vec![0].into_boxed_slice(),
+            })
+            .unwrap();
+        }
         assert!(bad2.check_integrity().is_err());
+        // A parent pointer that skips the innermost enclosing node breaks
+        // it (children_of and the interval scan would disagree).
+        let mut bad3 = Table::new(1);
+        for (pre, post, parent) in [(1u32, 3u32, 0u32), (2, 2, 1), (3, 1, 1)] {
+            bad3.insert(Row {
+                loc: Loc { pre, post, parent },
+                poly: vec![0].into_boxed_slice(),
+            })
+            .unwrap();
+        }
+        assert!(bad3.check_integrity().is_err());
+    }
+
+    #[test]
+    fn remove_swaps_and_repoints_indices() {
+        let mut t = sample_table();
+        // Remove an interior-position row: the last row (pre=4) swaps into
+        // its slot and every index must still resolve it.
+        let gone = t.remove(2).unwrap();
+        assert_eq!(gone.loc.pre, 2);
+        assert_eq!(t.len(), 3);
+        assert!(t.by_pre(2).is_none());
+        assert_eq!(t.by_pre(4).unwrap().loc.post, 3);
+        assert_eq!(
+            t.children_of(1).iter().map(|l| l.pre).collect::<Vec<_>>(),
+            vec![4]
+        );
+        assert!(matches!(t.remove(2), Err(StoreError::NoSuchNode(2))));
+        // max_pre/max_post stay stale-high hints.
+        assert_eq!(t.max_pre(), 4);
+        assert_eq!(t.max_post(), 4);
+        // Re-inserting the removed location is accepted again.
+        t.insert(gone).unwrap();
+        t.check_integrity().unwrap();
+        assert_eq!(
+            t.all_locs().iter().map(|l| l.pre).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn forest_blocks_scan_independently() {
+        // Two documents at offsets 0 and 4 (the sample tree twice): every
+        // per-document query must answer as if the other were absent.
+        let mut t = Table::new(4);
+        for offset in [0u32, 4] {
+            for (pre, post, parent) in [(1u32, 4u32, 0u32), (2, 2, 1), (3, 1, 2), (4, 3, 1)] {
+                t.insert(Row {
+                    loc: Loc {
+                        pre: pre + offset,
+                        post: post + offset,
+                        parent: if parent == 0 { 0 } else { parent + offset },
+                    },
+                    poly: vec![pre as u8; 4].into_boxed_slice(),
+                })
+                .unwrap();
+            }
+        }
+        t.check_integrity().unwrap();
+        assert_eq!(
+            t.roots().iter().map(|l| l.pre).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+        assert_eq!(t.root().unwrap().loc.pre, 1, "first root in pre order");
+        for offset in [0u32, 4] {
+            let root = t.by_pre(1 + offset).unwrap().loc;
+            let desc: Vec<u32> = t.descendants_of(root).iter().map(|l| l.pre).collect();
+            assert_eq!(desc, vec![2 + offset, 3 + offset, 4 + offset]);
+            assert_eq!(t.descendants_of(root), t.descendants_of_scan(root));
+        }
+        // Delete the first document block; the second must be untouched.
+        for pre in 1..=4u32 {
+            t.remove(pre).unwrap();
+        }
+        t.check_integrity().unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.root().unwrap().loc.pre, 5);
+        let root = t.by_pre(5).unwrap().loc;
+        assert_eq!(
+            t.descendants_of(root)
+                .iter()
+                .map(|l| l.pre)
+                .collect::<Vec<_>>(),
+            vec![6, 7, 8]
+        );
     }
 
     #[test]

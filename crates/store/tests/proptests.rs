@@ -22,6 +22,65 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// Mixed insert/remove workloads behave exactly like std::BTreeMap:
+    /// every remove returns the model's answer, the structural invariants
+    /// (minimum fill, uniform leaf depth, ordering) hold afterwards, and the
+    /// surviving entries iterate identically. Keys are drawn from a small
+    /// domain so removes hit often and force borrows/merges.
+    #[test]
+    fn btree_remove_model_equivalence(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u64>()), 1..800),
+    ) {
+        let mut tree = BTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (is_remove, k, v) in ops {
+            let k = k as u64;
+            if is_remove {
+                prop_assert_eq!(tree.remove(k), model.remove(&k));
+            } else {
+                prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+            }
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), model.len());
+        let got: Vec<(u64, u64)> = tree.iter().collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Building up then tearing fully down in a random order leaves a clean
+    /// single-leaf tree whose freed arena slots are reused on refill.
+    #[test]
+    fn btree_teardown_and_refill(
+        keys in proptest::collection::btree_set(0u64..3000, 64..600),
+        tear_seed in any::<u64>(),
+    ) {
+        let mut tree = BTree::new();
+        for &k in &keys {
+            tree.insert(k, !k);
+        }
+        let peak = tree.node_count();
+        // Deterministic pseudo-random teardown order.
+        let mut order: Vec<u64> = keys.iter().copied().collect();
+        let mut x = tear_seed | 1;
+        for i in (1..order.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        for k in order {
+            prop_assert_eq!(tree.remove(k), Some(!k));
+        }
+        prop_assert!(tree.is_empty());
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        for &k in &keys {
+            tree.insert(k, k);
+        }
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert!(tree.node_count() <= peak + 1, "arena slots must be reused");
+    }
+
     /// Range scans match the model for random bounds.
     #[test]
     fn btree_range_equivalence(

@@ -9,6 +9,16 @@
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
+//! ssxdb insert  --map <map> --seed <seed> [--shards S] [--no-checkpoint]
+//!               <db.ssxdb> <doc.xml>
+//! ssxdb insert  --map <map> --seed <seed>
+//!               (--addr <host:port> [--shards S] | --fleet a1,a2,… --threshold t)
+//!               [--mux] [--deadline-ms MS] [--retries N] <doc.xml>
+//! ssxdb delete  --map <map> --seed <seed> [--shards S] [--no-checkpoint]
+//!               <db.ssxdb> <root-pre>
+//! ssxdb delete  --map <map> --seed <seed>
+//!               (--addr <host:port> [--shards S] | --fleet a1,a2,… --threshold t)
+//!               [--mux] [--deadline-ms MS] [--retries N] <root-pre>
 //! ssxdb serve   --p <p> --e <e> --addr <host:port> [--shards S]
 //!               [--mux [--workers W] [--write-stall-ms MS]]
 //!               [--party i] [--auto-reshard-target BYTES] <db.ssxdb | party-store>
@@ -54,19 +64,34 @@
 //! On the host side, `serve --mux --write-stall-ms MS` bounds how long a
 //! non-reading client may stall a writer before its connection is shed.
 //!
+//! `insert` and `delete` are the write plane. Against a local store they
+//! open the snapshot **durably**: mutations append to a checksummed
+//! write-ahead log beside the database (`<db>.wal`) after the store acks
+//! them, and the snapshot is rewritten (and the log truncated) on exit —
+//! `--no-checkpoint` skips that last step, leaving the mutation in the
+//! log alone so the next open replays it (the crash-recovery path,
+//! exercisable by hand). Against `--addr`/`--fleet` they mutate the live
+//! host in place: the client encodes the document at the store's
+//! high-water `pre` offset and ships ready-made share rows (re-split per
+//! party over a fleet), so the server never sees the map or seed.
+//! Deletes take the document's root `pre` (printed by `insert`) and
+//! remove the whole subtree.
+//!
 //! The map and seed files are the client secrets; `info`, `serve` and
 //! `reshard` work without them (they only touch what the untrusted server
 //! would hold).
 
 use ssxdb::core::{
     encode_document, encode_dom, party_server, serve_tcp, serve_tcp_mux_opts, serve_tcp_sharded,
-    serve_tcp_sharded_auto, split_fleet, ClientFilter, Engine, EngineKind, FleetSpec, MapFile,
-    MatchRule, MuxHostOptions, MuxPool, RemoteFleetDb, RemoteMuxFleetDb, ResilienceConfig,
-    ServerFilter, ShardRouter, ShardedServer, Transport,
+    serve_tcp_sharded_auto, split_fleet, ClientFilter, EncryptedDb, Engine, EngineKind, FleetSpec,
+    MapFile, MatchRule, MuxHostOptions, MuxPool, RemoteDb, RemoteFleetDb, RemoteMuxDb,
+    RemoteMuxFleetDb, ResilienceConfig, ServerFilter, ShardRouter, ShardedServer, Transport,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
-use ssxdb::store::{load_party, load_table, save_party, save_table, PartyHeader};
+use ssxdb::store::{
+    load_party, load_table_with_wal, save_party, save_table, PartyHeader, Table, WalReplay,
+};
 use ssxdb::trie::{transform_document, trie_alphabet, TrieMode};
 use ssxdb::xmark::{generate, XmarkConfig, DTD_ELEMENTS};
 use ssxdb::xml::Document;
@@ -96,6 +121,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "encode" => encode(parser),
         "info" => info(parser),
         "query" => query(parser),
+        "insert" => insert(parser),
+        "delete" => delete(parser),
         "serve" => serve(parser),
         "remote" => remote(parser),
         "reshard" => reshard(parser),
@@ -120,6 +147,12 @@ commands:
   info    <db.ssxdb>                          sizes & structure (no secrets)
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
+  insert  --map M --seed S [--shards S] [--no-checkpoint] <db.ssxdb> <doc.xml>
+  insert  --map M --seed S (--addr H:P [--shards S] | --fleet A1,.. --threshold t)
+          [--mux] [--deadline-ms MS] [--retries N] <doc.xml>
+  delete  --map M --seed S [--shards S] [--no-checkpoint] <db.ssxdb> <root-pre>
+  delete  --map M --seed S (--addr H:P [--shards S] | --fleet A1,.. --threshold t)
+          [--mux] [--deadline-ms MS] [--retries N] <root-pre>
   serve   --p P --e E --addr HOST:PORT [--shards S]
           [--mux [--workers W] [--write-stall-ms MS]] [--party i]
           [--auto-reshard-target BYTES] <db.ssxdb | party store>
@@ -153,6 +186,7 @@ impl Args {
                     || name == "speculate"
                     || name == "mux"
                     || name == "hedge"
+                    || name == "no-checkpoint"
                 {
                     // boolean flags
                     flags.push((name.to_string(), "true".to_string()));
@@ -439,7 +473,7 @@ fn party_path(base: &Path, party: u32) -> PathBuf {
 
 fn info(mut args: Args) -> Result<(), String> {
     let path = PathBuf::from(args.positional("db.ssxdb")?);
-    let table = load_table(&path).map_err(|e| e.to_string())?;
+    let (table, replay) = load_with_log(&path)?;
     let report = table.size_report();
     println!("{}", path.display());
     println!("  rows (elements):    {}", report.rows);
@@ -460,6 +494,12 @@ fn info(mut args: Args) -> Result<(), String> {
             root.loc.pre, root.loc.post, report.rows
         );
     }
+    if replay.records > 0 {
+        println!(
+            "  pending log:        {} record(s) not yet checkpointed",
+            replay.records
+        );
+    }
     println!("  note: without the map and seed this is all anyone can learn.");
     Ok(())
 }
@@ -469,7 +509,7 @@ fn open_db(
     db_path: &Path,
 ) -> Result<ClientFilter<ssxdb::core::LocalTransport>, String> {
     let (map, seed) = load_secrets(args)?;
-    let table = load_table(db_path).map_err(|e| e.to_string())?;
+    let (table, _) = load_with_log(db_path)?;
     let ring = RingCtx::new(map.p(), map.e()).map_err(|e| e.to_string())?;
     let server = ServerFilter::new(table, ring);
     ClientFilter::new(ssxdb::core::LocalTransport::new(server), map, seed)
@@ -488,6 +528,178 @@ fn query(mut args: Args) -> Result<(), String> {
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())
+}
+
+// ---- the write plane --------------------------------------------------------
+
+enum WriteOp {
+    Insert(String),
+    Delete(u32),
+}
+
+/// Applies one mutation to any store the facade can reach (local durable,
+/// remote host, or fleet) and describes what happened.
+fn apply_write<T: Transport + Send>(
+    db: &mut EncryptedDb<T>,
+    op: &WriteOp,
+) -> Result<String, String> {
+    match op {
+        WriteOp::Insert(xml) => {
+            let out = db.insert_document(xml).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "inserted {} row(s); document root pre={} (numbered past high-water {})",
+                out.rows, out.root_pre, out.offset
+            ))
+        }
+        WriteOp::Delete(pre) => {
+            let n = db.delete_document(*pre).map_err(|e| e.to_string())?;
+            Ok(format!("deleted {n} row(s) rooted at pre={pre}"))
+        }
+    }
+}
+
+/// The log that shadows a local snapshot: `db.ssxdb` → `db.ssxdb.wal`.
+fn wal_path(db: &Path) -> PathBuf {
+    let name = db
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("store.ssxdb");
+    db.with_file_name(format!("{name}.wal"))
+}
+
+/// Loads a snapshot plus whatever its sidecar log holds — acked mutations
+/// a writer appended but never checkpointed must not vanish from reads.
+fn load_with_log(db_path: &Path) -> Result<(Table, WalReplay), String> {
+    let (table, replay) =
+        load_table_with_wal(db_path, &wal_path(db_path)).map_err(|e| e.to_string())?;
+    if replay.records > 0 {
+        eprintln!(
+            "note: replayed {} uncheckpointed log record(s) from {} (+{} row(s), -{})",
+            replay.records,
+            wal_path(db_path).display(),
+            replay.rows_inserted,
+            replay.rows_removed
+        );
+    }
+    Ok((table, replay))
+}
+
+/// Mutates a local snapshot durably: open (replaying any log left by a
+/// crash), apply, append to the log, then checkpoint — unless
+/// `--no-checkpoint`, which leaves the mutation in the log alone so the
+/// next open replays it.
+fn local_write(args: &Args, db_path: &Path, op: &WriteOp) -> Result<(), String> {
+    let (map, seed) = load_secrets(args)?;
+    let shards: u32 = args
+        .flag("shards")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    let wal = wal_path(db_path);
+    let (mut db, replay) =
+        EncryptedDb::open_durable(db_path, &wal, map, seed, shards).map_err(|e| e.to_string())?;
+    if replay.records > 0 {
+        println!(
+            "replayed {} log record(s) from {} (+{} row(s), -{})",
+            replay.records,
+            wal.display(),
+            replay.rows_inserted,
+            replay.rows_removed
+        );
+    }
+    println!("{}", apply_write(&mut db, op)?);
+    if args.bool("no-checkpoint") {
+        println!(
+            "not checkpointed: the mutation lives in {} until the next open replays it",
+            wal.display()
+        );
+    } else {
+        db.checkpoint(db_path).map_err(|e| e.to_string())?;
+        println!(
+            "checkpointed {} ({} node(s)); log truncated",
+            db_path.display(),
+            db.node_count()
+        );
+    }
+    Ok(())
+}
+
+/// Mutates a live host (`--addr`) or fleet (`--fleet`) in place. The
+/// client encodes at the store's high-water `pre` and ships ready-made
+/// share rows; the server never sees the secrets.
+fn remote_write(args: &Args, op: &WriteOp) -> Result<(), String> {
+    let (map, seed) = load_secrets(args)?;
+    let resilience = resilience_options(args)?;
+    let msg = if let Some(list) = args.flag("fleet") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let threshold: usize = args
+            .required("threshold")?
+            .parse()
+            .map_err(|_| "bad --threshold")?;
+        if args.bool("mux") {
+            let mut db = RemoteMuxFleetDb::connect_fleet_mux(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_resilience(resilience);
+            apply_write(&mut db, op)?
+        } else {
+            let mut db = RemoteFleetDb::connect_fleet(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_resilience(resilience);
+            apply_write(&mut db, op)?
+        }
+    } else {
+        let addr = args.required("addr")?.to_string();
+        let shards: u32 = args
+            .flag("shards")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| "bad --shards")?;
+        if args.bool("mux") {
+            let pool = MuxPool::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+            let mut db = RemoteMuxDb::connect_mux(&pool, map, seed).map_err(|e| e.to_string())?;
+            db.set_deadline(resilience.deadline);
+            apply_write(&mut db, op)?
+        } else {
+            let mut db =
+                RemoteDb::connect(addr.as_str(), shards, map, seed).map_err(|e| e.to_string())?;
+            db.set_deadline(resilience.deadline);
+            apply_write(&mut db, op)?
+        }
+    };
+    println!("{msg}");
+    Ok(())
+}
+
+fn insert(mut args: Args) -> Result<(), String> {
+    if args.flag("addr").is_some() || args.flag("fleet").is_some() {
+        let xml_path = PathBuf::from(args.positional("doc.xml")?);
+        let xml = std::fs::read_to_string(&xml_path).map_err(|e| e.to_string())?;
+        return remote_write(&args, &WriteOp::Insert(xml));
+    }
+    let db_path = PathBuf::from(args.positional("db.ssxdb")?);
+    let xml_path = PathBuf::from(args.positional("doc.xml")?);
+    let xml = std::fs::read_to_string(&xml_path).map_err(|e| e.to_string())?;
+    local_write(&args, &db_path, &WriteOp::Insert(xml))
+}
+
+fn delete(mut args: Args) -> Result<(), String> {
+    if args.flag("addr").is_some() || args.flag("fleet").is_some() {
+        let pre: u32 = args
+            .positional("root-pre")?
+            .parse()
+            .map_err(|_| "bad <root-pre>")?;
+        return remote_write(&args, &WriteOp::Delete(pre));
+    }
+    let db_path = PathBuf::from(args.positional("db.ssxdb")?);
+    let pre: u32 = args
+        .positional("root-pre")?
+        .parse()
+        .map_err(|_| "bad <root-pre>")?;
+    local_write(&args, &db_path, &WriteOp::Delete(pre))
 }
 
 fn serve(mut args: Args) -> Result<(), String> {
@@ -552,7 +764,7 @@ fn serve(mut args: Args) -> Result<(), String> {
         }
         return Ok(());
     }
-    let table = load_table(&db_path).map_err(|err| err.to_string())?;
+    let (table, _) = load_with_log(&db_path)?;
     let listener = std::net::TcpListener::bind(&addr).map_err(|err| err.to_string())?;
     if args.bool("mux") {
         let opts = mux_host_options(&args, auto_target)?;

@@ -1,0 +1,162 @@
+//! The write plane end to end, over real sockets: an insert racing an
+//! open cursor must surface the epoch fence through the mux TCP transport
+//! (never a silently wrong merge), and a 3-server (t = 2) TCP fleet must
+//! accept interleaved inserts and deletes while queries run, with every
+//! answer bit-identical to a freshly encoded store of the same final
+//! document set at the same offsets — the PR-9 acceptance criteria.
+
+use ssxdb::core::protocol::Request;
+use ssxdb::core::transport::Transport;
+use ssxdb::core::{
+    encode_document, encode_document_at, encode_document_fleet, party_server, serve_tcp_mux,
+    serve_tcp_sharded, ClientFilter, EncryptedDb, EngineKind, FleetSpec, MapFile, MatchRule,
+    MuxPool, PartyStore, RemoteFleetDb, RemoteMuxDb, ShardRouter, ShardedServer, TcpTransport,
+};
+use ssxdb::poly::RingCtx;
+use ssxdb::prg::Seed;
+use std::net::{SocketAddr, TcpListener};
+
+const DOC_A: &str = "<site><a><b/></a><c/></site>"; // pres 1..=4
+const DOC_B: &str = "<site><a><b/><b/></a></site>"; // pres 5..=8 when inserted
+const DOC_C: &str = "<site><b><c/></b></site>"; // pres 9..=11 after doc_b
+
+fn secrets() -> (MapFile, Seed) {
+    (
+        MapFile::sequential(83, 1, &["site", "a", "b", "c"]).unwrap(),
+        Seed::from_test_key(0x9_2005),
+    )
+}
+
+fn stop_host(addr: SocketAddr) {
+    let mut closer = TcpTransport::connect(addr).unwrap();
+    closer.call(&Request::Shutdown).unwrap();
+}
+
+/// An insert landing between a cursor's open and its next pull must fence
+/// the cursor with an explicit epoch error — through the mux TCP
+/// transport, where the reader and the writer share one socket per shard.
+/// A reopened cursor then walks the store, and the grown forest is
+/// visible to the same reader connection.
+#[test]
+fn insert_fences_an_open_cursor_over_mux_tcp() {
+    let (map, seed) = secrets();
+    let out = encode_document(DOC_A, &map, &seed).unwrap();
+    let server = ShardedServer::from_table(out.table, out.ring, 2).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let host = std::thread::spawn(move || serve_tcp_mux(listener, server, 0).unwrap());
+
+    let pool = MuxPool::connect(addr, 2).unwrap();
+    let mut reader = ClientFilter::new(ShardRouter::mux(&pool), map.clone(), seed.clone()).unwrap();
+    let cursor = reader.open_children_cursor(vec![1]).unwrap();
+    assert_eq!(reader.next_node(cursor).unwrap().map(|l| l.pre), Some(2));
+
+    // A second facade client on the *same* pool inserts a document.
+    let mut writer = RemoteMuxDb::connect_mux(&pool, map.clone(), seed.clone()).unwrap();
+    let ins = writer.insert_document(DOC_B).unwrap();
+    assert_eq!(ins.root_pre, 5);
+
+    // The pre-write cursor is fenced, not silently wrong.
+    let err = reader.next_node(cursor).unwrap_err();
+    assert!(err.to_string().contains("epoch"), "{err}");
+
+    // A fresh cursor walks the current store; the forest has both roots.
+    assert_eq!(
+        reader
+            .roots()
+            .unwrap()
+            .iter()
+            .map(|l| l.pre)
+            .collect::<Vec<_>>(),
+        vec![1, 5]
+    );
+    let cursor = reader.open_children_cursor(vec![1, 5]).unwrap();
+    let mut walked = Vec::new();
+    while let Some(l) = reader.next_node(cursor).unwrap() {
+        walked.push(l.pre);
+    }
+    assert_eq!(walked, vec![2, 4, 6], "children of both roots, pre order");
+
+    stop_host(addr);
+    host.join().unwrap();
+}
+
+fn spawn_party(
+    party: PartyStore,
+    ring: &RingCtx,
+) -> (SocketAddr, std::thread::JoinHandle<ShardedServer>) {
+    let server = party_server(party.data, party.mac, ring, 1).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || serve_tcp_sharded(listener, server).unwrap());
+    (addr, handle)
+}
+
+/// The headline acceptance: a 3-server (t = 2) TCP fleet accepts
+/// interleaved inserts and deletes while queries run between every
+/// mutation, and the final store answers bit-identically — results *and*
+/// wave counts — to a freshly encoded store of the same final document
+/// set at the same offsets (`doc_a` at 0, `doc_c` at 8: `doc_b` lived and
+/// died in pres 5..=8, and the high-water mark never reuses them).
+#[test]
+fn tcp_fleet_ingests_interleaved_writes_while_queries_run() {
+    let (map, seed) = secrets();
+    let spec = FleetSpec::new(3, 2).unwrap();
+    let fleet_out = encode_document_fleet(DOC_A, &map, &seed, spec).unwrap();
+    let ring = fleet_out.ring.clone();
+    let hosts: Vec<_> = fleet_out
+        .parties
+        .into_iter()
+        .map(|p| spawn_party(p, &ring))
+        .collect();
+    let addrs: Vec<String> = hosts.iter().map(|(a, _)| a.to_string()).collect();
+    let mut fleet = RemoteFleetDb::connect_fleet(&addrs, 2, map.clone(), seed.clone()).unwrap();
+
+    let b_pres = |db: &mut RemoteFleetDb| {
+        db.query("//b", EngineKind::Simple, MatchRule::Equality)
+            .unwrap()
+            .pres()
+    };
+    assert_eq!(b_pres(&mut fleet), vec![3]);
+    let ins_b = fleet.insert_document(DOC_B).unwrap();
+    assert_eq!((ins_b.root_pre, ins_b.rows), (5, 4));
+    assert_eq!(b_pres(&mut fleet), vec![3, 7, 8]);
+    let ins_c = fleet.insert_document(DOC_C).unwrap();
+    assert_eq!((ins_c.root_pre, ins_c.rows), (9, 3));
+    assert_eq!(b_pres(&mut fleet), vec![3, 7, 8, 10]);
+    assert_eq!(fleet.delete_document(ins_b.root_pre).unwrap(), 4);
+    assert_eq!(b_pres(&mut fleet), vec![3, 10]);
+
+    // Fresh encode of the final document set at the final offsets: the
+    // mutated fleet must be indistinguishable from never having mutated.
+    let mut out_a = encode_document(DOC_A, &map, &seed).unwrap();
+    let out_c = encode_document_at(DOC_C, &map, &seed, 8).unwrap();
+    for row in out_c.table.into_rows() {
+        out_a.table.insert(row).unwrap();
+    }
+    let mut fresh = EncryptedDb::from_encode_output(out_a, map.clone(), seed.clone(), 1).unwrap();
+
+    for q in ["/site", "//b", "//c", "/site/a/b", "/site/b/c"] {
+        for kind in [EngineKind::Simple, EngineKind::Advanced] {
+            for rule in [MatchRule::Containment, MatchRule::Equality] {
+                let want = fresh.query(q, kind, rule).unwrap();
+                let got = fleet.query(q, kind, rule).unwrap();
+                assert_eq!(want.pres(), got.pres(), "{q} {kind:?} {rule:?}: results");
+                assert_eq!(
+                    want.stats.round_trips, got.stats.round_trips,
+                    "{q} {kind:?} {rule:?}: wave count"
+                );
+            }
+        }
+    }
+
+    // The hosts join per-connection threads on shutdown: close the fleet's
+    // leg sockets first.
+    drop(fleet);
+    for (a, _) in &hosts {
+        stop_host(*a);
+    }
+    for (_, h) in hosts {
+        h.join().unwrap();
+    }
+}
