@@ -35,7 +35,7 @@ fn main() {
         "bench-json" => {
             let path = std::env::args()
                 .nth(2)
-                .unwrap_or_else(|| "BENCH_9.json".to_string());
+                .unwrap_or_else(|| "BENCH_10.json".to_string());
             bench_json(&path);
         }
         "all" => {
@@ -75,8 +75,8 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 }
 
 /// `bench-json` — machine-readable perf-trajectory datapoint (written to
-/// `path`, default `BENCH_9.json`; the committed file is the PR-9 baseline
-/// and CI re-runs this on every push).
+/// `path`, default `BENCH_10.json`; the committed file is the PR-10
+/// baseline and CI re-runs this on every push).
 ///
 /// Everything is measured at the paper's `q = 83`: the two ring-product
 /// representations, the boundary transforms, the pack/unpack boundary, the
@@ -93,7 +93,13 @@ fn time_ns<F: FnMut()>(mut op: F) -> f64 {
 /// TCP host while a query mix runs concurrently — rows/s acked, with the
 /// baseline document's matches asserted present in every concurrent
 /// answer and the baseline answer asserted restored bit-exactly once the
-/// writer removes everything it inserted.
+/// writer removes everything it inserted. New in schema 9: the
+/// **aggregation matrix** — COUNT/SUM/AVG over the numeric plane, with
+/// and without a range predicate, on the sharded plane and on a 3-party
+/// t = 2 fleet, every cell asserted bit-identical to the plaintext
+/// oracle, the closing share-sum asserted to cost exactly one wave
+/// beyond the frontier walk (two with a range), and the fleet's total
+/// wave count asserted equal to the single-party plane's.
 fn bench_json(path: &str) {
     use ssx_poly::{random_poly, Packer, RingCtx};
     use ssx_prg::Prg;
@@ -465,6 +471,107 @@ fn bench_json(path: &str) {
     }
     let mux_speedup_8 = threaded_8_ms / mux_8_ms.max(0.001);
 
+    // The aggregation matrix (the PR-10 datapoint): COUNT/SUM/AVG over
+    // the auction document's numeric plane, with and without a range
+    // predicate, on the sharded single-party plane (S = 2) and on a
+    // 3-party t = 2 fleet. Every cell is asserted bit-identical to the
+    // plaintext oracle; the closing blind share-sum is asserted to cost
+    // exactly ONE wave beyond the frontier walk (two with a range: one
+    // value-fetch wave, one share-sum wave) regardless of match count or
+    // shard count; and the fleet's total wave count must equal the
+    // single-party plane's — the fleet fans *under* the router, so
+    // aggregation inherits the wave invariant by construction.
+    let mut agg_cells = Vec::new();
+    let mut agg_sum_qps = 0.0f64;
+    {
+        use ssx_core::{reference_aggregate, AggOp, AggregateSpec};
+        let agg_doc = Document::parse(&mux_doc).expect("bench doc parses");
+        let fleet_spec = ssx_core::FleetSpec::new(3, 2).expect("fleet spec");
+        let agg_runs = 3;
+        for (qtext, range) in [
+            ("//item/quantity", None),
+            ("//item/quantity", Some((1u64, u64::MAX))),
+        ] {
+            let query = ssx_xpath::parse_query(qtext)
+                .expect("agg query parses")
+                .expand_text_predicates();
+            let oracle = reference_aggregate(&agg_doc, &query, MatchRule::Containment, 82, range)
+                .expect("oracle");
+            let mut db = EncryptedDb::encode_sharded(&mux_doc, paper_map(), paper_seed(), 2)
+                .expect("sharded db");
+            let mut fdb =
+                ssx_core::FleetDb::encode_fleet(&mux_doc, paper_map(), paper_seed(), fleet_spec)
+                    .expect("fleet db");
+            for op in [AggOp::Count, AggOp::Sum, AggOp::Avg] {
+                let spec = AggregateSpec {
+                    query: query.clone(),
+                    op,
+                    range,
+                };
+                let run = |db: &mut dyn FnMut() -> ssx_core::AggregateOutcome| {
+                    let started = Instant::now();
+                    let mut out = db();
+                    for _ in 1..agg_runs {
+                        out = db();
+                    }
+                    (out, started.elapsed().as_secs_f64() * 1e3 / agg_runs as f64)
+                };
+                let (out, ms) = run(&mut || {
+                    db.run_aggregate(&spec, EngineKind::Simple, MatchRule::Containment)
+                        .expect("aggregate")
+                });
+                let (fout, fleet_ms) = run(&mut || {
+                    fdb.run_aggregate(&spec, EngineKind::Simple, MatchRule::Containment)
+                        .expect("fleet aggregate")
+                });
+                // COUNT closes with pure fence probes — it never touches
+                // the numeric plane, so only its count is comparable
+                // against the oracle; SUM/AVG carry the full triple.
+                match op {
+                    AggOp::Count => assert_eq!(
+                        out.count, oracle.count,
+                        "COUNT({qtext}) range={range:?} diverged from the oracle"
+                    ),
+                    AggOp::Sum | AggOp::Avg => assert_eq!(
+                        (out.count, out.contributing, out.sum),
+                        (oracle.count, oracle.contributing, oracle.sum),
+                        "{op:?}({qtext}) range={range:?} diverged from the oracle"
+                    ),
+                }
+                let expect_close = if range.is_some() { 2 } else { 1 };
+                assert_eq!(
+                    out.closing_waves, expect_close,
+                    "{op:?}({qtext}): the close must cost exactly \
+                     {expect_close} wave(s) beyond the frontier walk"
+                );
+                assert_eq!(
+                    (fout.count, fout.contributing, fout.sum),
+                    (out.count, out.contributing, out.sum),
+                    "{op:?}({qtext}): 3-party fleet answer diverged from single-party"
+                );
+                assert_eq!(
+                    fout.walk.round_trips + fout.closing_waves,
+                    out.walk.round_trips + out.closing_waves,
+                    "{op:?}({qtext}): fleet aggregate waves must equal the n=1 wave count"
+                );
+                if op == AggOp::Sum && range.is_none() {
+                    agg_sum_qps = 1e3 / ms.max(0.001);
+                }
+                agg_cells.push(format!(
+                    "    {{ \"op\": \"{op:?}\", \"query\": \"{qtext}\", \
+                     \"ranged\": {}, \"matches\": {}, \"contributing\": {}, \
+                     \"walk_waves\": {}, \"closing_waves\": {}, \
+                     \"query_ms\": {ms:.3}, \"fleet_query_ms\": {fleet_ms:.3} }}",
+                    range.is_some(),
+                    out.count,
+                    out.contributing,
+                    out.walk.round_trips,
+                    out.closing_waves
+                ));
+            }
+        }
+    }
+
     // The degraded-mode row (the PR-7 datapoint): a 3-party t=2 fleet in
     // which party 3 answers every call exactly DEGRADED_DELAY_MS late
     // (seeded chaos, deterministic). With hedged reconstruction on, each
@@ -659,7 +766,7 @@ fn bench_json(path: &str) {
 
     let spec_hit_rate = spec_hits_s1 as f64 / (spec_hits_s1 + spec_wasted_s1).max(1) as f64;
     let json = format!(
-        "{{\n  \"schema\": \"ssxdb-bench/8\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
+        "{{\n  \"schema\": \"ssxdb-bench/9\",\n  \"q\": 83,\n  \"elements\": {elements},\n  \
          \"ring_mul_coeff_ns\": {ring_mul_coeff_ns:.1},\n  \
          \"ring_mul_eval_ns\": {ring_mul_eval_ns:.1},\n  \
          \"ring_mul_speedup\": {:.1},\n  \
@@ -687,14 +794,17 @@ fn bench_json(path: &str) {
          \"speculative_hit_rate\": {spec_hit_rate:.3},\n  \
          \"mux_speedup_8_clients\": {mux_speedup_8:.2},\n  \
          \"ingest_rows_per_s\": {ingest_rows_per_s:.0},\n  \
+         \"agg_sum_qps\": {agg_sum_qps:.1},\n  \
          \"shard_batch_matrix\": [\n{}\n  ],\n  \
          \"fleet_matrix\": [\n{}\n  ],\n  \
          \"fleet_degraded\": [\n{degraded_cell}\n  ],\n  \
          \"ingest\": [\n{ingest_cell}\n  ],\n  \
+         \"agg_matrix\": [\n{}\n  ],\n  \
          \"mux_matrix\": [\n{}\n  ]\n}}\n",
         ring_mul_coeff_ns / ring_mul_eval_ns.max(0.001),
         shard_cells.join(",\n"),
         fleet_cells.join(",\n"),
+        agg_cells.join(",\n"),
         mux_cells.join(",\n"),
     );
     print!("{json}");

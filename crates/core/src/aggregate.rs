@@ -1,0 +1,389 @@
+//! The secret-shared aggregation plane: COUNT / SUM / AVG over query
+//! results, with an optional numeric range predicate.
+//!
+//! The predicate is an ordinary structural query (either engine, either
+//! matching rule). What is new is how the *values* come back: matched
+//! elements with clean integer text own a second row in the numeric plane
+//! (`pre + 2³⁰`, see [`crate::encode::numeric_digits`]) whose polynomial
+//! encodes the value base-2, one bit per coefficient. Because secret
+//! sharing is linear, a server can add the *shares* of any subset of those
+//! rows pointwise and return one partial per group — it learns which rows
+//! were named in the frame (the same access pattern a fetch would leak)
+//! but performs the addition blindly, and the client recovers the exact
+//! group total by adding its regenerated client shares and reading the
+//! digit sums back out with carries. A group never exceeds `q − 1` rows,
+//! so no digit sum wraps the field and the arithmetic is exact, never
+//! probabilistic.
+//!
+//! Wave shape (the cost model the bench asserts): one snapshot wave
+//! (roots + per-shard epochs, batched), the predicate walk, then exactly
+//! **one** closing wave — per-shard [`Request::Agg`] frames in a single
+//! batch — plus one optional `AGG_FETCH` wave when a range predicate
+//! needs values before the close. Every closing frame replays the
+//! snapshot's epoch for its shard; a write that lands in between turns
+//! the whole aggregate into a typed [`CoreError::EpochConflict`] and the
+//! runner retries from a fresh snapshot instead of mixing two store
+//! states.
+
+use crate::client::ClientFilter;
+use crate::encode::{numeric_capacity_bits, numeric_pre};
+use crate::engine::{Engine, EngineKind, MatchRule, QueryStats};
+use crate::error::CoreError;
+use crate::protocol::{Request, AGG_CHECK, AGG_FETCH, AGG_SUM};
+use crate::shard::ShardSpec;
+use crate::transport::Transport;
+use ssx_store::NUM_PLANE_BASE;
+use ssx_xpath::Query;
+
+/// Which aggregate to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// How many nodes match the predicate.
+    Count,
+    /// Total of the matched nodes' numeric values.
+    Sum,
+    /// Mean of the matched nodes' numeric values (composed client-side
+    /// from SUM and the contributing count — never a third protocol op).
+    Avg,
+}
+
+/// An aggregation query: structural predicate, aggregate op, and an
+/// optional inclusive `[lo, hi]` range over the numeric value.
+#[derive(Clone, Debug)]
+pub struct AggregateSpec {
+    /// The structural predicate (text predicates must be expanded, as for
+    /// the engines).
+    pub query: Query,
+    /// The aggregate to compute.
+    pub op: AggOp,
+    /// Keep only matches whose numeric value `v` satisfies
+    /// `lo ≤ v ≤ hi`. Matches without a numeric value fail the range.
+    pub range: Option<(u64, u64)>,
+}
+
+/// How many times [`run_aggregate`] restarts from a fresh snapshot when a
+/// racing writer trips the epoch fence, before giving up and surfacing
+/// the conflict.
+pub const DEFAULT_AGG_RETRIES: u32 = 4;
+
+/// An aggregate answer plus its cost breakdown.
+#[derive(Clone, Debug)]
+pub struct AggregateOutcome {
+    /// The aggregate computed.
+    pub op: AggOp,
+    /// Matching nodes (after the range filter, when one was given).
+    pub count: u64,
+    /// Matches that carried a numeric value into the sum (`≤ count`;
+    /// equals `count` when a range predicate filtered the match set).
+    pub contributing: u64,
+    /// Exact total of the contributing values (0 for [`AggOp::Count`] —
+    /// a pure count never touches the numeric plane).
+    pub sum: u128,
+    /// Stats of the predicate walk (the embedded engine run).
+    pub walk: QueryStats,
+    /// Round trips spent after the walk: the optional range-fetch wave
+    /// plus the single closing wave — `1`, or `2` with a range predicate,
+    /// regardless of match count or shard count.
+    pub closing_waves: u64,
+    /// Snapshots discarded because a writer raced the aggregate.
+    pub retries: u32,
+}
+
+impl AggregateOutcome {
+    /// The answer as a scalar: count, sum, or average (numerator,
+    /// denominator kept exact; `None` when nothing contributed to an AVG).
+    pub fn value(&self) -> Option<(u128, u64)> {
+        match self.op {
+            AggOp::Count => Some((self.count as u128, 1)),
+            AggOp::Sum => Some((self.sum, 1)),
+            AggOp::Avg => (self.contributing > 0).then_some((self.sum, self.contributing)),
+        }
+    }
+
+    /// The average as a float convenience (`None` for an empty AVG).
+    pub fn avg_f64(&self) -> Option<f64> {
+        match self.op {
+            AggOp::Avg => {
+                (self.contributing > 0).then(|| self.sum as f64 / self.contributing as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Runs an aggregate end to end, retrying up to [`DEFAULT_AGG_RETRIES`]
+/// times when a racing writer invalidates the snapshot. The surviving
+/// error after the budget is exhausted is the typed
+/// [`CoreError::EpochConflict`] itself.
+pub fn run_aggregate<T: Transport>(
+    filter: &mut ClientFilter<T>,
+    kind: EngineKind,
+    rule: MatchRule,
+    spec: &AggregateSpec,
+) -> Result<AggregateOutcome, CoreError> {
+    let mut retries = 0;
+    loop {
+        match try_aggregate(filter, kind, rule, spec, retries) {
+            Err(CoreError::EpochConflict(_)) if retries < DEFAULT_AGG_RETRIES => {
+                retries += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One snapshot attempt: snapshot wave → predicate walk → optional range
+/// fetch → closing wave. Any epoch movement surfaces as
+/// [`CoreError::EpochConflict`].
+fn try_aggregate<T: Transport>(
+    filter: &mut ClientFilter<T>,
+    kind: EngineKind,
+    rule: MatchRule,
+    spec: &AggregateSpec,
+    retries: u32,
+) -> Result<AggregateOutcome, CoreError> {
+    let shards = filter.shard_count()?;
+    let part = ShardSpec::new(shards);
+
+    // Snapshot wave: roots and every shard's epoch in one batch. The
+    // epochs fence everything the aggregate reads from here on.
+    let (roots, epochs) = filter.roots_with_epochs()?;
+    if epochs.len() != shards as usize {
+        return Err(CoreError::Transport(format!(
+            "epoch snapshot has {} entries for {} shards",
+            epochs.len(),
+            shards
+        )));
+    }
+
+    // Predicate walk from the snapshot's roots (not a re-fetch — the
+    // frontier must be the one the epochs fence).
+    let walk = Engine::run_from(kind, rule, &spec.query, filter, roots)?;
+    let mut matched: Vec<u32> = walk.pres();
+
+    let before_close = filter.transport_stats().round_trips;
+
+    // Optional range wave: fetch the candidates' numeric rows (fenced),
+    // reconstruct each value locally, and narrow the match set. Servers
+    // see which numeric rows were consulted — never which passed.
+    if let Some((lo, hi)) = spec.range {
+        let mut in_range = Vec::with_capacity(matched.len());
+        for (found, partials) in filter.agg_wave(agg_frames(AGG_FETCH, &matched, &part, &epochs))? {
+            if found.len() != partials.len() {
+                return Err(CoreError::Transport("AGG_FETCH length mismatch".into()));
+            }
+            for (npre, packed) in found.iter().zip(&partials) {
+                let v = filter.numeric_value(*npre, packed)?;
+                if lo <= v && v <= hi {
+                    in_range.push(npre - NUM_PLANE_BASE);
+                }
+            }
+        }
+        in_range.sort_unstable();
+        matched = in_range;
+    }
+
+    // Closing wave: one batch of per-shard frames. COUNT closes with
+    // AGG_CHECK frames (pure fence validation — the count is the walk's
+    // own answer and never touches the numeric plane); SUM/AVG close with
+    // AGG_SUM frames whose partials the servers accumulated blindly.
+    // Shards with no matched rows still get an AGG_CHECK frame: a write
+    // there could have changed what the walk should have seen.
+    let op = match spec.op {
+        AggOp::Count => AGG_CHECK,
+        AggOp::Sum | AggOp::Avg => AGG_SUM,
+    };
+    let mut contributing = 0u64;
+    let mut sum = 0u128;
+    let group = filter.ring().len();
+    debug_assert!(numeric_capacity_bits(group) > 0);
+    for (found, partials) in filter.agg_wave(agg_frames(op, &matched, &part, &epochs))? {
+        if found.len().div_ceil(group) != partials.len() {
+            return Err(CoreError::Transport("AGG_SUM group count mismatch".into()));
+        }
+        contributing += found.len() as u64;
+        for (chunk, partial) in found.chunks(group).zip(&partials) {
+            sum = sum
+                .checked_add(filter.group_total(chunk, partial)?)
+                .ok_or_else(|| CoreError::Corrupt("aggregate sum overflows u128".into()))?;
+        }
+    }
+    let closing_waves = filter.transport_stats().round_trips - before_close;
+
+    Ok(AggregateOutcome {
+        op: spec.op,
+        count: matched.len() as u64,
+        contributing,
+        sum,
+        walk: walk.stats,
+        closing_waves,
+        retries,
+    })
+}
+
+/// Builds the per-shard [`Request::Agg`] frames for one wave: matched
+/// element `pre`s are lifted into the numeric plane and split by the
+/// public shard partition (each shard fences on its own epoch). Every
+/// shard gets a frame — shards with no rows get an `AGG_CHECK` carrying a
+/// representative `pre` so the router can steer it — and the frames of
+/// one wave always travel in a single batch.
+fn agg_frames(op: u8, matched: &[u32], part: &ShardSpec, epochs: &[u64]) -> Vec<Request> {
+    let shards = part.shards() as usize;
+    let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for &pre in matched {
+        let npre = numeric_pre(pre);
+        per_shard[part.shard_of(npre) as usize].push(npre);
+    }
+    per_shard
+        .into_iter()
+        .enumerate()
+        .map(|(k, pres)| {
+            if pres.is_empty() || op == AGG_CHECK {
+                Request::Agg {
+                    op: AGG_CHECK,
+                    // `shard_of(k + 1) == k`: a representative pre that
+                    // routes the fence probe to shard k.
+                    pres: vec![k as u32 + 1],
+                    expect_epoch: epochs[k],
+                }
+            } else {
+                Request::Agg {
+                    op,
+                    pres,
+                    expect_epoch: epochs[k],
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_document;
+    use crate::map::MapFile;
+    use crate::server::ServerFilter;
+    use crate::transport::LocalTransport;
+    use ssx_prg::Seed;
+    use ssx_xpath::parse_query;
+
+    fn client(xml: &str) -> ClientFilter<LocalTransport> {
+        let map = MapFile::sequential(83, 1, &["site", "item", "price", "name"]).unwrap();
+        let seed = Seed::from_test_key(31);
+        let out = encode_document(xml, &map, &seed).unwrap();
+        let server = ServerFilter::new(out.table, out.ring);
+        ClientFilter::new(LocalTransport::new(server), map, seed).unwrap()
+    }
+
+    const DOC: &str = "<site>\
+        <item><name>ab</name><price>10</price></item>\
+        <item><price>25</price></item>\
+        <item><price>7</price></item>\
+        <item><name>cd</name></item>\
+        </site>";
+
+    fn agg(q: &str, op: AggOp, range: Option<(u64, u64)>) -> AggregateOutcome {
+        let mut c = client(DOC);
+        let spec = AggregateSpec {
+            query: parse_query(q).unwrap(),
+            op,
+            range,
+        };
+        run_aggregate(&mut c, EngineKind::Simple, MatchRule::Equality, &spec).unwrap()
+    }
+
+    #[test]
+    fn count_sum_avg_over_prices() {
+        let count = agg("/site/item/price", AggOp::Count, None);
+        assert_eq!(count.count, 3);
+        assert_eq!(count.sum, 0, "COUNT never touches the numeric plane");
+        assert_eq!(count.value(), Some((3, 1)));
+
+        let sum = agg("/site/item/price", AggOp::Sum, None);
+        assert_eq!(sum.sum, 42);
+        assert_eq!(sum.contributing, 3);
+
+        let avg = agg("/site/item/price", AggOp::Avg, None);
+        assert_eq!(avg.value(), Some((42, 3)));
+        assert_eq!(avg.avg_f64(), Some(14.0));
+    }
+
+    #[test]
+    fn non_numeric_matches_count_but_do_not_contribute() {
+        // /site/item matches 4 items; none has a numeric value itself.
+        let count = agg("/site/item", AggOp::Count, None);
+        assert_eq!(count.count, 4);
+        let sum = agg("/site/item", AggOp::Sum, None);
+        assert_eq!(sum.count, 4);
+        assert_eq!(sum.contributing, 0);
+        assert_eq!(sum.sum, 0);
+        // An empty AVG is None, not a division by zero.
+        assert_eq!(agg("/site/item", AggOp::Avg, None).value(), None);
+    }
+
+    #[test]
+    fn range_predicate_filters_by_value() {
+        let sum = agg("/site/item/price", AggOp::Sum, Some((8, 30)));
+        assert_eq!(sum.count, 2, "10 and 25 are in range; 7 is not");
+        assert_eq!(sum.sum, 35);
+        let count = agg("//price", AggOp::Count, Some((0, 9)));
+        assert_eq!(count.count, 1, "only 7");
+        // A range over non-numeric matches is empty, not an error.
+        let named = agg("/site/item/name", AggOp::Count, Some((0, u64::MAX)));
+        assert_eq!(named.count, 0);
+    }
+
+    #[test]
+    fn closing_wave_counts() {
+        let plain = agg("//price", AggOp::Sum, None);
+        assert_eq!(plain.closing_waves, 1, "one wave beyond the walk");
+        let ranged = agg("//price", AggOp::Sum, Some((0, 100)));
+        assert_eq!(ranged.closing_waves, 2, "fetch wave + closing wave");
+        assert_eq!(plain.retries, 0);
+    }
+
+    #[test]
+    fn empty_match_set_still_validates_the_fence() {
+        let out = agg("/site/name", AggOp::Sum, None);
+        assert_eq!(out.count, 0);
+        assert_eq!(out.sum, 0);
+        assert_eq!(out.closing_waves, 1, "the fence probe still travels");
+    }
+
+    #[test]
+    fn write_between_snapshot_and_close_is_a_typed_conflict() {
+        use ssx_poly::Packer;
+        use ssx_store::Loc;
+        let mut c = client(DOC);
+        let spec = AggregateSpec {
+            query: parse_query("//price").unwrap(),
+            op: AggOp::Sum,
+            range: None,
+        };
+        // Take the snapshot, then let a writer in before the close.
+        let (_roots, epochs) = c.roots_with_epochs().unwrap();
+        let poly = {
+            let ring = c.ring().clone();
+            let coeffs = (0..ring.len()).map(|i| (i as u64) % 3).collect();
+            Packer::new(&ring).pack_radix(&ring.poly_from_coeffs(coeffs).unwrap())
+        };
+        let loc = Loc {
+            pre: 50,
+            post: 50,
+            parent: 0,
+        };
+        c.insert_rows(vec![(loc, poly)]).unwrap();
+        let frames = agg_frames(AGG_SUM, &[3], &ShardSpec::new(1), &epochs);
+        let err = c.agg_wave(frames).unwrap_err();
+        assert!(
+            matches!(err, CoreError::EpochConflict(_)),
+            "stale fence must be typed: {err}"
+        );
+        // The runner retries from a fresh snapshot and converges (the
+        // garbage row is gone again; its two epoch bumps remain).
+        c.delete_pres(vec![50]).unwrap();
+        let out = run_aggregate(&mut c, EngineKind::Simple, MatchRule::Equality, &spec).unwrap();
+        assert_eq!(out.sum, 42);
+        assert_eq!(out.retries, 0, "fresh snapshots do not conflict");
+    }
+}

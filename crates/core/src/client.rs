@@ -8,9 +8,10 @@
 //! and its children's full polynomials and extracts the root of
 //! `f / Π children` (§3).
 
+use crate::encode::digits_value;
 use crate::error::CoreError;
 use crate::map::MapFile;
-use crate::protocol::{Request, Response, ResponseView};
+use crate::protocol::{Request, Response, ResponseView, AGG_FENCE};
 use crate::transport::{Transport, TransportStats};
 use ssx_poly::{extract_root_evals, random_poly, EvalPoly, Packer, RingCtx, RingPoly, RootOutcome};
 use ssx_prg::{node_prg, Seed};
@@ -569,6 +570,100 @@ impl<T: Transport> ClientFilter<T> {
         if let Some(cache) = &mut self.share_cache {
             *cache = ShareCache::new(cache.cap);
         }
+    }
+
+    // ---- the aggregation plane --------------------------------------------
+    //
+    // COUNT/SUM/AVG primitives. The orchestration (predicate walk, range
+    // filtering, retry-on-conflict) lives in [`crate::aggregate`]; this
+    // layer owns the protocol shape and the share arithmetic.
+
+    /// How many data shards the endpoint spreads rows across (1 for a bare
+    /// server). Aggregate closing frames must be split by the public
+    /// `(pre − 1) mod S` partition because every shard fences on its own
+    /// epoch; a router answers this locally, so discovery is free.
+    pub fn shard_count(&mut self) -> Result<u32, CoreError> {
+        match self.transport.call(&Request::ShardCount)? {
+            Response::Count(n) => Ok(n as u32),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot wave: the document roots and every shard's store epoch in
+    /// one batch. The epochs are the aggregate's fence — the closing wave
+    /// replays them, and any interleaved write becomes a typed
+    /// [`CoreError::EpochConflict`] instead of a silently mixed answer.
+    pub fn roots_with_epochs(&mut self) -> Result<(Vec<Loc>, Vec<u64>), CoreError> {
+        let mut resps = self
+            .transport
+            .call_batch(&[Request::Roots, Request::Epoch])?;
+        if resps.len() != 2 {
+            return Err(CoreError::Transport(
+                "snapshot batch length mismatch".into(),
+            ));
+        }
+        let epochs = match resps.pop().expect("length checked") {
+            // A bare server answers its single epoch; a router keeps the
+            // per-shard epochs separate, in shard order.
+            Response::Count(e) => vec![e],
+            Response::Values(es) => es,
+            Response::Err(e) => return Err(CoreError::Transport(e)),
+            other => return Err(unexpected(other)),
+        };
+        let roots = match resps.pop().expect("length checked") {
+            Response::Locs(ls) => ls,
+            Response::Err(e) => return Err(CoreError::Transport(e)),
+            other => return Err(unexpected(other)),
+        };
+        Ok((roots, epochs))
+    }
+
+    /// One aggregate wave: per-shard [`Request::Agg`] frames in a single
+    /// batch, answers in frame order. A fence refusal — a write landed
+    /// since the epoch snapshot — surfaces as the typed
+    /// [`CoreError::EpochConflict`] so callers can retry from a fresh
+    /// snapshot instead of mixing two store states.
+    #[allow(clippy::type_complexity)]
+    pub fn agg_wave(
+        &mut self,
+        frames: Vec<Request>,
+    ) -> Result<Vec<(Vec<u32>, Vec<Vec<u8>>)>, CoreError> {
+        if frames.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.transport
+            .call_batch(&frames)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Agg { found, partials } => Ok((found, partials)),
+                Response::Err(e) if e.starts_with(AGG_FENCE) => Err(CoreError::EpochConflict(e)),
+                Response::Err(e) => Err(CoreError::Transport(e)),
+                other => Err(unexpected(other)),
+            })
+            .collect()
+    }
+
+    /// Reconstructs one grouped partial: unpacks the server-side pointwise
+    /// share-sum, adds the regenerated client share of every group member,
+    /// and reads the digit encoding back out as an integer (carries
+    /// applied). Exact by construction — a group never exceeds `q − 1`
+    /// rows, so no digit sum wraps the field.
+    pub fn group_total(&mut self, group: &[u32], partial: &[u8]) -> Result<u128, CoreError> {
+        let mut sum = self.packer.unpack_radix(&self.ring, partial)?;
+        for &pre in group {
+            let share = self.client_share(pre);
+            self.ring.add_assign(&mut sum, &share);
+        }
+        self.stats.reconstructions += 1;
+        digits_value(sum.coeffs())
+    }
+
+    /// The reconstructed value of a single numeric row (an `AGG_FETCH`
+    /// answer): a group of one, narrowed back to the `u64` value domain.
+    pub fn numeric_value(&mut self, pre: u32, packed: &[u8]) -> Result<u64, CoreError> {
+        let v = self.group_total(&[pre], packed)?;
+        u64::try_from(v)
+            .map_err(|_| CoreError::Corrupt(format!("numeric row pre={pre} decodes beyond u64")))
     }
 
     // ---- pipelined access (the nextNode() protocol) -----------------------

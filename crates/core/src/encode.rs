@@ -18,9 +18,72 @@ use crate::error::CoreError;
 use crate::map::MapFile;
 use ssx_poly::{random_poly_into, EvalPoly, Packer, RingCtx, RingPoly};
 use ssx_prg::{node_prg, node_prg_from_digest, seed_digest, Seed};
-use ssx_store::{Loc, Row, Table};
-use ssx_xml::{Document, NodeKind, PullParser, XmlEvent};
+use ssx_store::{Loc, Row, Table, NUM_PLANE_BASE};
+use ssx_xml::{Document, NodeKind, PullParser, XmlEvent, XmlToken};
 use std::time::{Duration, Instant};
+
+/// Numeric-plane row id of element `pre` — where the element's integer
+/// value share lives, when it has one.
+pub const fn numeric_pre(pre: u32) -> u32 {
+    NUM_PLANE_BASE + pre
+}
+
+/// How many value bits the numeric-plane encoding can carry: one base-2
+/// digit per ring coefficient, capped at the `u64` value domain.
+pub fn numeric_capacity_bits(ring_len: usize) -> u32 {
+    ring_len.min(64) as u32
+}
+
+/// The shared "is this element text a numeric value?" rule, used identically
+/// by the encoder and the plaintext oracle so the two planes can never
+/// disagree: trimmed, non-empty, ASCII digits only, parses as `u64`, and
+/// fits the ring's digit capacity. Anything else — signs, decimals, digit
+/// runs split by entities or child nodes — is plain text to the base scheme.
+pub fn parse_numeric_text(text: &str, ring_len: usize) -> Option<u64> {
+    let t = text.trim();
+    if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let v: u64 = t.parse().ok()?;
+    let bits = numeric_capacity_bits(ring_len);
+    if bits < 64 && v >= 1u64 << bits {
+        return None;
+    }
+    Some(v)
+}
+
+/// The plaintext numeric-plane polynomial of `value`: coefficient `i` is bit
+/// `i` of the value. Bits are the whole trick — a pointwise sum of up to
+/// `q − 1` such rows keeps every digit sum below `q`, so grouped share-sums
+/// reconstruct *exactly* and the client rebuilds the true total with carries
+/// in ordinary integers.
+pub fn numeric_digits(ring: &RingCtx, value: u64) -> RingPoly {
+    let coeffs = (0..ring.len())
+        .map(|i| if i < 64 { (value >> i) & 1 } else { 0 })
+        .collect();
+    ring.poly_from_coeffs(coeffs).expect("bits are < q")
+}
+
+/// Inverse of [`numeric_digits`] generalised to digit *sums*: evaluates
+/// `Σ cᵢ·2ⁱ` with carries. Fails (typed, never wrapping) if a hostile
+/// coefficient pattern would overflow — honest digit sums of `≤ q − 1` rows
+/// of `≤ 64`-bit values fit `u128` with room to spare.
+pub fn digits_value(coeffs: &[u64]) -> Result<u128, CoreError> {
+    let mut total: u128 = 0;
+    for (i, &c) in coeffs.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let term = 1u128
+            .checked_shl(i as u32)
+            .and_then(|p| p.checked_mul(c as u128))
+            .ok_or_else(|| CoreError::Corrupt("numeric digit sum overflows u128".into()))?;
+        total = total
+            .checked_add(term)
+            .ok_or_else(|| CoreError::Corrupt("numeric digit sum overflows u128".into()))?;
+    }
+    Ok(total)
+}
 
 /// Encoding cost metrics (the Fig 4 time series).
 #[derive(Clone, Copy, Debug, Default)]
@@ -67,10 +130,25 @@ enum BoundaryJob {
     },
 }
 
+/// Per-open-element numeric-text state: one clean digit run makes a value,
+/// anything else (mixed content, split runs, non-digits) poisons the frame.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NumAcc {
+    /// No non-whitespace text seen yet.
+    Empty,
+    /// Exactly one clean digit run seen so far.
+    Value(u64),
+    /// Text that can never be a numeric value; stop looking.
+    Poison,
+}
+
 struct Frame {
     pre: u32,
     parent_pre: u32,
     tag_value: u64,
+    /// Numeric-text accumulator; only leaves (no element children) with a
+    /// final `Value` state emit a numeric-plane row.
+    num: NumAcc,
     /// Product of the finished children, kept in the evaluation domain so
     /// each fold is `O(q)` pointwise. `None` until the first child closes —
     /// a frame that ends with `None` is a leaf and skips the eval-domain
@@ -157,6 +235,10 @@ struct Encoder<'a> {
     /// storage boundary (inverse transform, share split, pack) into this
     /// queue instead of running it inline. Used by the parallel encoder.
     jobs: Option<Vec<BoundaryJob>>,
+    /// Leaves whose text parsed as a numeric value, in close order; their
+    /// numeric-plane rows are emitted at `finish` (after every document row,
+    /// sorted by pre, so serial and parallel encodes stay bit-identical).
+    numeric: Vec<(Loc, u64)>,
 }
 
 impl<'a> Encoder<'a> {
@@ -183,6 +265,7 @@ impl<'a> Encoder<'a> {
             scratch_pack_work: Vec::new(),
             scratch_pack_out: Vec::new(),
             jobs: None,
+            numeric: Vec::new(),
         })
     }
 
@@ -197,17 +280,45 @@ impl<'a> Encoder<'a> {
             Some(v) => v,
             None => return Err(CoreError::UnknownTag(name.to_string())),
         };
+        if self.pre + 1 >= NUM_PLANE_BASE {
+            return Err(CoreError::Unsupported(format!(
+                "document plane full: pre-order {} would collide with the numeric plane",
+                self.pre + 1
+            )));
+        }
         self.pre += 1;
         let parent_pre = self.stack.last().map_or(0, |f| f.pre);
         self.stack.push(Frame {
             pre: self.pre,
             parent_pre,
             tag_value,
+            num: NumAcc::Empty,
             acc: None,
             subtree_elems: 0,
         });
         self.max_depth = self.max_depth.max(self.stack.len());
         Ok(())
+    }
+
+    /// Feeds one character-data run to the innermost open element.
+    /// Whitespace-only runs are ignored; the first clean digit run becomes a
+    /// candidate value; any other text — or a second run — poisons the
+    /// frame. Text outside every element (stray in event streams) is a
+    /// no-op, matching the base scheme's text-blindness.
+    fn text(&mut self, s: &str) {
+        let Some(frame) = self.stack.last_mut() else {
+            return;
+        };
+        if s.trim().is_empty() {
+            return;
+        }
+        frame.num = match frame.num {
+            NumAcc::Empty => match parse_numeric_text(s, self.ring.len()) {
+                Some(v) => NumAcc::Value(v),
+                None => NumAcc::Poison,
+            },
+            NumAcc::Value(_) | NumAcc::Poison => NumAcc::Poison,
+        };
     }
 
     fn end(&mut self) -> Result<(), CoreError> {
@@ -219,6 +330,13 @@ impl<'a> Encoder<'a> {
             post: self.post,
             parent: frame.parent_pre,
         };
+        // Only leaves (no element children) carry a numeric value; mixed
+        // content keeps the element purely structural.
+        if frame.acc.is_none() {
+            if let NumAcc::Value(v) = frame.num {
+                self.numeric.push((loc, v));
+            }
+        }
         match frame.acc {
             // Leaf: f = x − tag. The coefficient form is known outright, so
             // the boundary skips the eval-domain round trip, and the fold
@@ -317,9 +435,27 @@ impl<'a> Encoder<'a> {
         Ok(())
     }
 
-    fn finish(self, input_bytes: usize, started: Instant) -> EncodeOutput {
+    /// Emits the numeric-plane rows collected during the walk, then seals
+    /// the output. A value's plaintext polynomial is its base-2 digit vector
+    /// ([`numeric_digits`]); the split is the usual one — subtract the PRG
+    /// client share keyed by the row's (numeric-plane) pre — so persistence,
+    /// WAL replay, resharding and fleet splitting treat these rows exactly
+    /// like document rows. Rows go in sorted by pre, after every document
+    /// row, keeping serial and parallel encodes bit-identical.
+    fn finish(mut self, input_bytes: usize, started: Instant) -> Result<EncodeOutput, CoreError> {
         debug_assert!(self.stack.is_empty(), "unbalanced events");
-        EncodeOutput {
+        self.numeric.sort_unstable_by_key(|(loc, _)| loc.pre);
+        let numeric = std::mem::take(&mut self.numeric);
+        for (loc, value) in numeric {
+            let plain = numeric_digits(&self.ring, value);
+            self.scratch_node.clone_from(&plain);
+            self.split_pack_insert(Loc {
+                pre: numeric_pre(loc.pre),
+                post: NUM_PLANE_BASE + loc.post,
+                parent: 0,
+            })?;
+        }
+        Ok(EncodeOutput {
             stats: EncodeStats {
                 elements: self.table.len(),
                 input_bytes,
@@ -329,7 +465,7 @@ impl<'a> Encoder<'a> {
             table: self.table,
             ring: self.ring,
             packer: self.packer,
-        }
+        })
     }
 
     /// Drains the collected boundary jobs across `threads` scoped workers
@@ -368,7 +504,7 @@ impl<'a> Encoder<'a> {
         for row in rows.into_iter().flatten() {
             self.table.insert(row)?;
         }
-        Ok(self.finish(input_bytes, started))
+        self.finish(input_bytes, started)
     }
 }
 
@@ -408,21 +544,33 @@ fn boundary_chunk(ring: &RingCtx, packer: &Packer, seed: &Seed, jobs: &[Boundary
         .collect()
 }
 
-/// Encodes an XML document string. Text nodes are ignored: the base scheme
-/// stores tag structure only (run the document through
-/// `ssx_trie::transform_document` first to make text searchable).
+/// Encodes an XML document string. Text is invisible to the base scheme's
+/// structural rows (run the document through `ssx_trie::transform_document`
+/// first to make text *searchable*), with one exception: a leaf whose entire
+/// text is a clean integer also gets a numeric-plane row at
+/// [`numeric_pre`]`(pre)` carrying its base-2 digits, which powers the
+/// secret-shared aggregates (COUNT/SUM/AVG and range predicates).
 pub fn encode_document(xml: &str, map: &MapFile, seed: &Seed) -> Result<EncodeOutput, CoreError> {
     let started = Instant::now();
     let mut enc = Encoder::new(map, seed)?;
+    drive_parser(&mut enc, xml)?;
+    enc.finish(xml.len(), started)
+}
+
+/// Streams `xml` through the borrowed-token parser into `enc` — Start/End
+/// drive the structural fold, Text feeds the numeric accumulator. Uses
+/// [`PullParser::next_token`] so character data crosses without per-event
+/// `String` allocations.
+fn drive_parser(enc: &mut Encoder<'_>, xml: &str) -> Result<(), CoreError> {
     let mut parser = PullParser::new(xml);
-    while let Some((name, is_start)) = parser.next_element()? {
-        if is_start {
-            enc.start(name)?;
-        } else {
-            enc.end()?;
+    while let Some(tok) = parser.next_token()? {
+        match tok {
+            XmlToken::Start(name) => enc.start(name)?,
+            XmlToken::End(_) => enc.end()?,
+            XmlToken::Text(t) => enc.text(&t),
         }
     }
-    Ok(enc.finish(xml.len(), started))
+    Ok(())
 }
 
 /// Encodes an XML document as a block starting at `offset`: pre and post
@@ -443,15 +591,8 @@ pub fn encode_document_at(
     let mut enc = Encoder::new(map, seed)?;
     enc.pre = offset;
     enc.post = offset;
-    let mut parser = PullParser::new(xml);
-    while let Some((name, is_start)) = parser.next_element()? {
-        if is_start {
-            enc.start(name)?;
-        } else {
-            enc.end()?;
-        }
-    }
-    Ok(enc.finish(xml.len(), started))
+    drive_parser(&mut enc, xml)?;
+    enc.finish(xml.len(), started)
 }
 
 /// Encodes an XML document with the storage boundary (inverse transform,
@@ -467,14 +608,7 @@ pub fn encode_document_parallel_with(
 ) -> Result<EncodeOutput, CoreError> {
     let started = Instant::now();
     let mut enc = Encoder::new_collecting(map, seed)?;
-    let mut parser = PullParser::new(xml);
-    while let Some((name, is_start)) = parser.next_element()? {
-        if is_start {
-            enc.start(name)?;
-        } else {
-            enc.end()?;
-        }
-    }
+    drive_parser(&mut enc, xml)?;
     enc.finish_parallel(threads, xml.len(), started)
 }
 
@@ -503,7 +637,7 @@ pub fn encode_events_parallel_with(
         match ev {
             XmlEvent::StartElement { name, .. } => enc.start(name)?,
             XmlEvent::EndElement { .. } => enc.end()?,
-            XmlEvent::Text(_) => {}
+            XmlEvent::Text(t) => enc.text(t),
         }
     }
     enc.finish_parallel(threads, input_bytes, started)
@@ -528,10 +662,10 @@ pub fn encode_events(
         match ev {
             XmlEvent::StartElement { name, .. } => enc.start(name)?,
             XmlEvent::EndElement { .. } => enc.end()?,
-            XmlEvent::Text(_) => {}
+            XmlEvent::Text(t) => enc.text(t),
         }
     }
-    Ok(enc.finish(input_bytes, started))
+    enc.finish(input_bytes, started)
 }
 
 /// Encodes a DOM directly (used for trie-transformed documents, which exist
@@ -554,10 +688,10 @@ pub fn encode_dom(doc: &Document, map: &MapFile, seed: &Seed) -> Result<EncodeOu
                     stack.push((c, false));
                 }
             }
-            NodeKind::Text(_) => {}
+            NodeKind::Text(t) => enc.text(t),
         }
     }
-    Ok(enc.finish(doc.to_xml().len(), started))
+    enc.finish(doc.to_xml().len(), started)
 }
 
 // ---------------------------------------------------------------------------

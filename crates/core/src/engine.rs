@@ -134,6 +134,25 @@ impl Engine {
             EngineKind::Advanced => AdvancedEngine::run(query, rule, filter),
         }
     }
+
+    /// Runs `query` from an externally supplied root frontier. The
+    /// aggregation plane fetches the roots together with the store epochs
+    /// in its snapshot wave, then hands them here — re-fetching them would
+    /// both waste a wave and race the epoch fence.
+    pub fn run_from<T: Transport>(
+        kind: EngineKind,
+        rule: MatchRule,
+        query: &Query,
+        filter: &mut ClientFilter<T>,
+        frontier: Vec<Loc>,
+    ) -> Result<QueryOutcome, CoreError> {
+        match kind {
+            EngineKind::Simple => {
+                SimpleEngine::run_with_mode_from(query, rule, filter, FetchMode::Bulk, frontier)
+            }
+            EngineKind::Advanced => AdvancedEngine::run_from(query, rule, filter, frontier),
+        }
+    }
 }
 
 /// Computes the per-run stats delta.
@@ -341,7 +360,32 @@ impl SimpleEngine {
         let window = StatWindow::open(filter);
         // Every document root: the write plane grows a forest, and an
         // absolute query addresses all of it.
-        let mut frontier = filter.roots()?;
+        let frontier = filter.roots()?;
+        Self::run_inner(query, rule, filter, mode, window, frontier)
+    }
+
+    /// Like [`SimpleEngine::run_with_mode`] but starting from an
+    /// externally supplied root frontier (see [`Engine::run_from`]).
+    pub fn run_with_mode_from<T: Transport>(
+        query: &Query,
+        rule: MatchRule,
+        filter: &mut ClientFilter<T>,
+        mode: FetchMode,
+        frontier: Vec<Loc>,
+    ) -> Result<QueryOutcome, CoreError> {
+        check_expanded(query)?;
+        let window = StatWindow::open(filter);
+        Self::run_inner(query, rule, filter, mode, window, frontier)
+    }
+
+    fn run_inner<T: Transport>(
+        query: &Query,
+        rule: MatchRule,
+        filter: &mut ClientFilter<T>,
+        mode: FetchMode,
+        window: StatWindow,
+        mut frontier: Vec<Loc>,
+    ) -> Result<QueryOutcome, CoreError> {
         if frontier.is_empty() {
             return Ok(window.close(filter, Vec::new()));
         }
@@ -460,7 +504,30 @@ impl AdvancedEngine {
         let window = StatWindow::open(filter);
         // Every document root: the write plane grows a forest, and an
         // absolute query addresses all of it.
-        let mut frontier = filter.roots()?;
+        let frontier = filter.roots()?;
+        Self::run_inner(query, rule, filter, window, frontier)
+    }
+
+    /// Like [`AdvancedEngine::run`] but starting from an externally
+    /// supplied root frontier (see [`Engine::run_from`]).
+    pub fn run_from<T: Transport>(
+        query: &Query,
+        rule: MatchRule,
+        filter: &mut ClientFilter<T>,
+        frontier: Vec<Loc>,
+    ) -> Result<QueryOutcome, CoreError> {
+        check_expanded(query)?;
+        let window = StatWindow::open(filter);
+        Self::run_inner(query, rule, filter, window, frontier)
+    }
+
+    fn run_inner<T: Transport>(
+        query: &Query,
+        rule: MatchRule,
+        filter: &mut ClientFilter<T>,
+        window: StatWindow,
+        mut frontier: Vec<Loc>,
+    ) -> Result<QueryOutcome, CoreError> {
         if frontier.is_empty() {
             return Ok(window.close(filter, Vec::new()));
         }

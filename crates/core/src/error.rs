@@ -39,6 +39,11 @@ pub enum CoreError {
     },
     /// Share reconstruction produced an inconsistent polynomial (corruption).
     Corrupt(String),
+    /// A writer raced a multi-wave read: the store epoch moved between the
+    /// snapshot wave and the closing wave, so the answer would mix two
+    /// states. Retry from a fresh snapshot — the typed twin of the cursor
+    /// epoch fence.
+    EpochConflict(String),
 }
 
 impl fmt::Display for CoreError {
@@ -58,6 +63,7 @@ impl fmt::Display for CoreError {
                 write!(f, "equality test indeterminate at node pre={pre}")
             }
             CoreError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            CoreError::EpochConflict(m) => write!(f, "epoch conflict: {m}"),
         }
     }
 }

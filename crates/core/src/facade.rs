@@ -16,10 +16,11 @@
 //! `connect_mux` databases built on one [`MuxPool`] overlap their query
 //! waves on a single socket per shard.
 
+use crate::aggregate::{run_aggregate, AggOp, AggregateOutcome, AggregateSpec};
 use crate::client::ClientFilter;
 use crate::encode::{
-    encode_document, encode_document_at, encode_document_fleet, encode_dom, EncodeOutput,
-    EncodeStats, FleetEncodeOutput, FleetSpec,
+    encode_document, encode_document_at, encode_document_fleet, encode_dom, numeric_pre,
+    EncodeOutput, EncodeStats, FleetEncodeOutput, FleetSpec,
 };
 use crate::engine::{Engine, EngineKind, MatchRule, QueryOutcome};
 use crate::error::CoreError;
@@ -309,6 +310,34 @@ impl<T: Transport + Send> EncryptedDb<T> {
         Engine::run(kind, rule, query, &mut self.client)
     }
 
+    /// Parses and runs an aggregation query: COUNT/SUM/AVG over the
+    /// matches of `query_text`, optionally keeping only matches whose
+    /// numeric value lies in the inclusive `range`. Servers accumulate
+    /// share partials blindly; the exact answer exists only client-side.
+    /// Retries automatically when a racing writer trips the epoch fence.
+    pub fn aggregate(
+        &mut self,
+        query_text: &str,
+        kind: EngineKind,
+        rule: MatchRule,
+        op: AggOp,
+        range: Option<(u64, u64)>,
+    ) -> Result<AggregateOutcome, CoreError> {
+        let query = parse_query(query_text)?.expand_text_predicates();
+        let spec = AggregateSpec { query, op, range };
+        run_aggregate(&mut self.client, kind, rule, &spec)
+    }
+
+    /// Runs an already-built [`AggregateSpec`].
+    pub fn run_aggregate(
+        &mut self,
+        spec: &AggregateSpec,
+        kind: EngineKind,
+        rule: MatchRule,
+    ) -> Result<AggregateOutcome, CoreError> {
+        run_aggregate(&mut self.client, kind, rule, spec)
+    }
+
     /// The client filter (tests and custom protocols).
     pub fn client_mut(&mut self) -> &mut ClientFilter<T> {
         &mut self.client
@@ -427,6 +456,11 @@ impl<T: Transport + Send> EncryptedDb<T> {
         }
         let mut pres = vec![root_pre];
         pres.extend(self.client.descendants(loc)?.into_iter().map(|l| l.pre));
+        // Every deleted element drops its numeric-plane value row too —
+        // idempotent, elements without one are simply skipped — so no
+        // orphaned value share outlives its element.
+        let numeric: Vec<u32> = pres.iter().map(|&p| numeric_pre(p)).collect();
+        pres.extend(numeric);
         let n = self.client.delete_pres(pres.clone())?;
         if let Some(wal) = &mut self.wal {
             wal.append_remove(&pres)?;
@@ -1028,6 +1062,103 @@ mod tests {
             assert_eq!(a.pres(), b.pres(), "{q}");
             assert_eq!(a.stats.round_trips, b.stats.round_trips, "{q}");
         }
+    }
+
+    #[test]
+    fn aggregates_match_the_oracle_across_shard_counts_and_the_fleet() {
+        use crate::reference::reference_aggregate;
+        use ssx_xml::Document;
+        let map = || MapFile::sequential(83, 1, &["site", "item", "price", "name"]).unwrap();
+        let seed = || Seed::from_test_key(41);
+        let xml = "<site><item><name>ab</name><price>19</price></item>\
+                   <item><price>7</price></item><item><price>30</price></item>\
+                   <item><name>cd</name></item></site>";
+        let doc = Document::parse(xml).unwrap();
+        let cases: &[(&str, Option<(u64, u64)>)] = &[
+            ("//price", None),
+            ("//price", Some((8, 100))),
+            ("/site/item", None),
+            ("/site/item/name", Some((0, u64::MAX))),
+        ];
+        let mut dbs: Vec<(String, EncryptedDb)> = vec![
+            (
+                "S=1".into(),
+                EncryptedDb::encode(xml, map(), seed()).unwrap(),
+            ),
+            (
+                "S=2".into(),
+                EncryptedDb::encode_sharded(xml, map(), seed(), 2).unwrap(),
+            ),
+            (
+                "S=4".into(),
+                EncryptedDb::encode_sharded(xml, map(), seed(), 4).unwrap(),
+            ),
+        ];
+        let spec = FleetSpec::new(3, 2).unwrap();
+        let mut fleet = FleetDb::encode_fleet(xml, map(), seed(), spec).unwrap();
+        for &(q, range) in cases {
+            for rule in [MatchRule::Containment, MatchRule::Equality] {
+                let want =
+                    reference_aggregate(&doc, &ssx_xpath::parse_query(q).unwrap(), rule, 82, range)
+                        .unwrap();
+                for kind in [EngineKind::Simple, EngineKind::Advanced] {
+                    for (label, db) in dbs.iter_mut() {
+                        let count = db.aggregate(q, kind, rule, AggOp::Count, range).unwrap();
+                        assert_eq!(count.count, want.count, "{q} {rule:?} {kind:?} {label}");
+                        let sum = db.aggregate(q, kind, rule, AggOp::Sum, range).unwrap();
+                        assert_eq!(sum.sum, want.sum, "{q} {rule:?} {kind:?} {label}");
+                        assert_eq!(sum.contributing, want.contributing, "{q} {label}");
+                        let avg = db.aggregate(q, kind, rule, AggOp::Avg, range).unwrap();
+                        assert_eq!(avg.value(), want.avg(), "{q} {rule:?} {kind:?} {label}");
+                        let expect_waves = if range.is_some() { 2 } else { 1 };
+                        assert_eq!(
+                            sum.closing_waves, expect_waves,
+                            "{q} {label}: waves beyond the walk"
+                        );
+                    }
+                    // The t-of-n fleet answers identically, MAC-verified.
+                    let sum = fleet.aggregate(q, kind, rule, AggOp::Sum, range).unwrap();
+                    assert_eq!((sum.count, sum.sum), (want.count, want.sum), "{q} fleet");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_document_drops_numeric_rows_bit_identically() {
+        let map = || MapFile::sequential(83, 1, &["site", "item", "price", "name"]).unwrap();
+        let seed = || Seed::from_test_key(41);
+        let doc_a = "<site><item><price>11</price></item></site>";
+        let doc_b = "<site><item><price>23</price></item><item><name>x</name></item></site>";
+        let mut db = EncryptedDb::encode(doc_a, map(), seed()).unwrap();
+        db.insert_document(doc_b).unwrap();
+        // Deleting doc A must also drop price 11's numeric-plane row.
+        db.delete_document(1).unwrap();
+        let out = crate::encode::encode_document_at(doc_b, &map(), &seed(), 3).unwrap();
+        let fresh = EncryptedDb::from_encode_output(out, map(), seed(), 1).unwrap();
+        let dir = std::env::temp_dir().join("ssx_core_facade_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a_path = dir.join("agg_mutated.ssxdb");
+        let b_path = dir.join("agg_fresh.ssxdb");
+        db.save(&a_path).unwrap();
+        fresh.save(&b_path).unwrap();
+        assert_eq!(
+            std::fs::read(&a_path).unwrap(),
+            std::fs::read(&b_path).unwrap(),
+            "numeric rows must come and go with their documents"
+        );
+        let sum = db
+            .aggregate(
+                "//price",
+                EngineKind::Simple,
+                MatchRule::Equality,
+                AggOp::Sum,
+                None,
+            )
+            .unwrap();
+        assert_eq!((sum.count, sum.sum), (1, 23));
+        std::fs::remove_file(&a_path).ok();
+        std::fs::remove_file(&b_path).ok();
     }
 
     #[test]

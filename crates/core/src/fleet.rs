@@ -464,7 +464,15 @@ enum MirrorPlan {
 fn is_data_plane(req: &Request) -> bool {
     matches!(
         req,
-        Request::Eval { .. } | Request::EvalMany { .. } | Request::GetPolys { .. }
+        Request::Eval { .. }
+            | Request::EvalMany { .. }
+            | Request::GetPolys { .. }
+            // Aggregate frames carry share content (grouped partial sums /
+            // fetched rows); the MAC mirror reuses the same `expect_epoch`,
+            // valid because every write bumps both planes' epochs in
+            // lockstep. `AGG_CHECK` rides along harmlessly: both planes
+            // answer the same empty frame and agree structurally.
+            | Request::Agg { .. }
     )
 }
 
@@ -923,6 +931,67 @@ impl<T: Transport> FleetTransport<T> {
                 }
                 return Ok(Response::Polys(out));
             }
+        }
+        // Aggregate responses: the `found` lists are structural (every
+        // honest party computed them from the same table layout and they
+        // must agree byte-for-byte, across both planes), while the grouped
+        // partial sums are share data — combined coefficient-wise under the
+        // MAC exactly like packed polynomials. Summation is linear, so the
+        // MAC plane's grouped sums are `α ⊙` the data plane's and the
+        // `α · s = m` check carries over unchanged.
+        fn agg_of(r: &Response) -> Option<(&Vec<u32>, &Vec<Vec<u8>>)> {
+            match r {
+                Response::Agg { found, partials } => Some((found, partials)),
+                _ => None,
+            }
+        }
+        if let (Some(data), Some(mac)) = (
+            parts
+                .iter()
+                .map(|(_, r)| agg_of(r))
+                .collect::<Option<Vec<_>>>(),
+            macs.iter()
+                .map(|(_, r)| agg_of(r))
+                .collect::<Option<Vec<_>>>(),
+        ) {
+            let (found0, partials0) = data[0];
+            let shape_ok =
+                |(f, p): &(&Vec<u32>, &Vec<Vec<u8>>)| *f == found0 && p.len() == partials0.len();
+            if data.iter().all(shape_ok) && mac.iter().all(shape_ok) {
+                let count = partials0.len();
+                let mut out = Vec::with_capacity(count);
+                for j in 0..count {
+                    let unpack = |bytes: &[u8], party: usize| {
+                        self.packer.unpack_radix(&self.ring, bytes).map_err(|e| {
+                            FleetError::Blamed {
+                                parties: vec![party],
+                                detail: format!(
+                                    "party {party} returned an undecodable aggregate partial: {e}"
+                                ),
+                            }
+                        })
+                    };
+                    let mut dcoeffs = Vec::with_capacity(parties.len());
+                    let mut mcoeffs = Vec::with_capacity(parties.len());
+                    for (k, &p) in parties.iter().enumerate() {
+                        dcoeffs.push(unpack(&data[k].1[j], p)?.coeffs().to_vec());
+                        mcoeffs.push(unpack(&mac[k].1[j], p)?.coeffs().to_vec());
+                    }
+                    let combined = self.verified_vector(&parties, &dcoeffs, &mcoeffs)?;
+                    let poly = self
+                        .ring
+                        .poly_from_coeffs(combined)
+                        .map_err(|e| FleetError::Fatal(format!("recombined partial: {e}")))?;
+                    out.push(self.packer.pack_radix(&poly));
+                }
+                return Ok(Response::Agg {
+                    found: found0.clone(),
+                    partials: out,
+                });
+            }
+            // A deviant `found` list or partial count is a structural lie;
+            // fall through so the quorum rule names the culprit.
+            return self.structural_majority(parts);
         }
         // Mixed or unexpected shapes (e.g. an agreed per-slot error):
         // structural agreement is the only safe rule left.

@@ -25,6 +25,7 @@
 //! polynomial reconstruction + division).
 
 pub mod accuracy;
+pub mod aggregate;
 pub mod chaos;
 pub mod client;
 pub mod encode;
@@ -41,6 +42,7 @@ pub mod shard;
 pub mod transport;
 
 pub use accuracy::accuracy_percent;
+pub use aggregate::{run_aggregate, AggOp, AggregateOutcome, AggregateSpec};
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosTransport};
 pub use client::{ClientFilter, ClientStats};
 pub use encode::{
@@ -63,7 +65,7 @@ pub use fleet::{
     ResilienceConfig,
 };
 pub use map::MapFile;
-pub use reference::reference_eval;
+pub use reference::{reference_aggregate, reference_eval, RefAggregate};
 pub use router::ShardRouter;
 pub use server::{ServerFilter, ServerStats};
 pub use shard::{partition_table, ShardSpec, ShardedServer};

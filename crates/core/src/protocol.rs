@@ -9,6 +9,20 @@
 use crate::error::CoreError;
 use ssx_store::Loc;
 
+/// [`Request::Agg`] op: epoch validation only — no rows touched. Closes a
+/// COUNT (whose tally is client-side) while proving no write raced it.
+pub const AGG_CHECK: u8 = 0;
+/// [`Request::Agg`] op: grouped pointwise share-sum of the listed rows.
+pub const AGG_SUM: u8 = 1;
+/// [`Request::Agg`] op: fetch the listed rows, skipping absentees.
+pub const AGG_FETCH: u8 = 2;
+
+/// Marker prefix of the [`Response::Err`] a server returns when an
+/// [`Request::Agg`]'s `expect_epoch` no longer matches the store — a write
+/// raced the aggregate. Clients map it to a typed conflict so callers can
+/// retry from a fresh snapshot instead of parsing strings.
+pub const AGG_FENCE: &str = "store epoch changed";
+
 /// The multiplexed-transport protocol version this build speaks. A
 /// [`Request::Hello`] carrying at least this version upgrades a connection
 /// to correlation-tagged framing (see [`encode_corr_payload`]); every frame
@@ -146,6 +160,36 @@ pub enum Request {
     /// queries must start from every root. Fanned to every shard and
     /// merge-sorted by the router. Answered with [`Response::Locs`].
     Roots,
+    /// Current store epoch of this endpoint — the aggregation plane's
+    /// snapshot handshake. An aggregate captures every shard's epoch in its
+    /// first wave (batched with [`Request::Roots`], so the capture is free)
+    /// and replays it in the closing [`Request::Agg`] frame; a write landing
+    /// in between changes the epoch and surfaces as a typed conflict instead
+    /// of a silently torn answer. Answered with [`Response::Count`].
+    Epoch,
+    /// Per-shard partial aggregate over numeric-plane rows (PR 10). `pres`
+    /// are *numeric-plane* row ids (element `pre` + `NUM_PLANE_BASE`); the
+    /// server never learns which elements matched the predicate — it only
+    /// sees that this shard was touched, like every other read wave. The
+    /// frame is refused with a fence error unless the store epoch still
+    /// equals `expect_epoch`.
+    ///
+    /// Ops ([`AGG_CHECK`], [`AGG_SUM`], [`AGG_FETCH`]):
+    /// - check: epoch validation only (`pres` empty) — closes a COUNT.
+    /// - sum: pointwise share-sum of the listed rows in groups of at most
+    ///   `ring_len` rows per partial (so base-2 digit sums cannot wrap mod
+    ///   q); rows without a numeric value are skipped and reported absent
+    ///   via [`Response::Agg::found`].
+    /// - fetch: the packed rows themselves (range-predicate evaluation),
+    ///   missing rows skipped rather than erroring like [`Request::GetPolys`].
+    Agg {
+        /// One of [`AGG_CHECK`], [`AGG_SUM`], [`AGG_FETCH`].
+        op: u8,
+        /// Numeric-plane row ids to aggregate, in client order.
+        pres: Vec<u32>,
+        /// The store epoch the aggregate captured in its first wave.
+        expect_epoch: u64,
+    },
     /// Many sub-requests in one round trip; answered by a parallel
     /// [`Response::Batch`]. Sub-requests may not themselves be `Batch` or
     /// `ToShard` frames (enforced by the codec).
@@ -186,6 +230,18 @@ pub enum Response {
     /// failed sub-request yields an inline [`Response::Err`] in its slot —
     /// one bad slot does not poison the rest of the batch.
     Batch(Vec<Response>),
+    /// Answers a [`Request::Agg`]: which of the requested numeric-plane rows
+    /// exist, and the per-group share partials. For `AGG_SUM` the partials
+    /// are one packed share-sum per consecutive group of at most `ring_len`
+    /// found rows (in `found` order); for `AGG_FETCH` they are the packed
+    /// rows themselves, parallel to `found`; for `AGG_CHECK` both lists are
+    /// empty.
+    Agg {
+        /// The requested `pres` that exist in this shard, in request order.
+        found: Vec<u32>,
+        /// Packed share partials (grouping depends on the request op).
+        partials: Vec<Vec<u8>>,
+    },
     /// Accepts a [`Request::Hello`]: the envelope version the server will
     /// speak (the minimum of both sides' maxima) and its shard count. The
     /// connection is correlation-framed from the next frame on.
@@ -242,6 +298,9 @@ struct Writer {
 impl Writer {
     fn new(tag: u8) -> Self {
         Writer { buf: vec![tag] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
     }
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -432,6 +491,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::MaxPre => Writer::new(20).buf,
         Request::Roots => Writer::new(21).buf,
+        Request::Epoch => Writer::new(22).buf,
+        Request::Agg {
+            op,
+            pres,
+            expect_epoch,
+        } => {
+            let mut w = Writer::new(23);
+            w.u8(*op);
+            w.u64(*expect_epoch);
+            w.u32s(pres);
+            w.buf
+        }
         Request::Batch(subs) => {
             let mut w = Writer::new(13);
             w.u32(subs.len() as u32);
@@ -525,6 +596,18 @@ fn decode_request_nested(buf: &[u8], nesting: Nesting) -> Result<Request, CoreEr
         }
         20 => Request::MaxPre,
         21 => Request::Roots,
+        22 => Request::Epoch,
+        23 => {
+            let op = r.u8()?;
+            if op > AGG_FETCH {
+                return Err(CoreError::Transport(format!("unknown agg op {op}")));
+            }
+            Request::Agg {
+                op,
+                expect_epoch: r.u64()?,
+                pres: r.u32s()?,
+            }
+        }
         13 => {
             if nesting != Nesting::Top && nesting != Nesting::InShard {
                 return Err(CoreError::Transport("nested batch refused".into()));
@@ -632,6 +715,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u32(*shards);
             w.buf
         }
+        Response::Agg { found, partials } => {
+            let mut w = Writer::new(11);
+            w.u32s(found);
+            w.u32(partials.len() as u32);
+            for p in partials {
+                w.bytes(p);
+            }
+            w.buf
+        }
     }
 }
 
@@ -691,6 +783,16 @@ fn decode_response_nested(buf: &[u8], allow_batch: bool) -> Result<Response, Cor
             version: r.u32()?,
             shards: r.u32()?,
         },
+        11 => {
+            let found = r.u32s()?;
+            let n = r.u32()? as usize;
+            // Each packed partial costs at least its length prefix.
+            let n = r.items(n, 4)?;
+            Response::Agg {
+                found,
+                partials: (0..n).map(|_| r.bytes()).collect::<Result<Vec<_>, _>>()?,
+            }
+        }
         t => return Err(CoreError::Transport(format!("unknown response tag {t}"))),
     };
     r.finish()?;
@@ -906,6 +1008,31 @@ mod tests {
             Request::Delete { pres: vec![4, 5] },
             Request::MaxPre,
             Request::Roots,
+            Request::Epoch,
+            Request::Agg {
+                op: AGG_CHECK,
+                pres: vec![],
+                expect_epoch: 0,
+            },
+            Request::Agg {
+                op: AGG_SUM,
+                pres: vec![1 << 30, (1 << 30) + 7],
+                expect_epoch: 12,
+            },
+            Request::Agg {
+                op: AGG_FETCH,
+                pres: vec![9],
+                expect_epoch: u64::MAX,
+            },
+            Request::Batch(vec![
+                Request::Roots,
+                Request::Epoch,
+                Request::Agg {
+                    op: AGG_SUM,
+                    pres: vec![5],
+                    expect_epoch: 3,
+                },
+            ]),
             Request::ToShard {
                 shard: 1,
                 req: Box::new(Request::Insert {
@@ -964,6 +1091,14 @@ mod tests {
                 version: 1,
                 shards: 4,
             },
+            Response::Agg {
+                found: vec![],
+                partials: vec![],
+            },
+            Response::Agg {
+                found: vec![1 << 30, (1 << 30) + 4],
+                partials: vec![vec![7, 8, 9], vec![]],
+            },
         ];
         for resp in cases {
             let bytes = encode_response(&resp);
@@ -1014,6 +1149,33 @@ mod tests {
         let mut w = vec![18u8];
         w.extend_from_slice(&100u32.to_le_bytes());
         w.extend_from_slice(&[0u8; 32]); // room for 2, not 100
+        assert!(decode_request(&w).is_err());
+        // Agg claiming more pres than the frame holds.
+        let mut w = vec![23u8, AGG_SUM];
+        w.extend_from_slice(&0u64.to_le_bytes());
+        w.extend_from_slice(&1000u32.to_le_bytes());
+        w.extend_from_slice(&[0u8; 8]); // room for 2, not 1000
+        assert!(decode_request(&w).is_err());
+        // Agg response with a hostile partial count.
+        let mut w = encode_response(&Response::Agg {
+            found: vec![],
+            partials: vec![],
+        });
+        w.truncate(w.len() - 4);
+        w.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(decode_response(&w).is_err());
+    }
+
+    /// An unknown aggregation op must be refused at decode time — a server
+    /// must never guess what a newer client meant.
+    #[test]
+    fn unknown_agg_op_rejected() {
+        let mut w = encode_request(&Request::Agg {
+            op: AGG_FETCH,
+            pres: vec![],
+            expect_epoch: 0,
+        });
+        w[1] = AGG_FETCH + 1;
         assert!(decode_request(&w).is_err());
     }
 
@@ -1116,6 +1278,20 @@ mod tests {
         );
         assert_eq!(encode_request(&Request::MaxPre), vec![20]);
         assert_eq!(encode_request(&Request::Roots), vec![21]);
+        assert_eq!(
+            encode_request(&Request::Epoch),
+            vec![22],
+            "the PR-10 epoch probe claims a fresh tag"
+        );
+        assert_eq!(
+            encode_request(&Request::Agg {
+                op: AGG_SUM,
+                pres: vec![2],
+                expect_epoch: 3,
+            }),
+            vec![23, 1, 3, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0],
+            "the PR-10 aggregate frame claims a fresh tag"
+        );
         assert_eq!(encode_response(&Response::Value(81)), {
             let mut v = vec![2u8];
             v.extend_from_slice(&81u64.to_le_bytes());

@@ -8,9 +8,10 @@
 //! property of the reproduction, and the denominator/numerator source for
 //! the Fig 7 accuracy metric.
 
+use crate::encode::parse_numeric_text;
 use crate::engine::MatchRule;
 use crate::error::CoreError;
-use ssx_xml::{Document, NodeId};
+use ssx_xml::{Document, NodeId, NodeKind};
 use ssx_xpath::{Axis, NodeTest, Query};
 use std::collections::{BTreeSet, HashMap};
 
@@ -64,6 +65,98 @@ pub fn reference_eval(
     let mut pres: Vec<u32> = frontier.iter().map(|n| ctx.pre_of[n]).collect();
     pres.sort_unstable();
     Ok(pres)
+}
+
+/// A plaintext aggregate answer: the ground truth the encrypted
+/// aggregation plane must reproduce bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefAggregate {
+    /// Matching nodes (after the range filter, when one was given).
+    pub count: u64,
+    /// Matches that carried a numeric value into the sum.
+    pub contributing: u64,
+    /// Exact total of the contributing values.
+    pub sum: u128,
+}
+
+impl RefAggregate {
+    /// The exact average as `(numerator, denominator)`; `None` when no
+    /// match contributed a value.
+    pub fn avg(&self) -> Option<(u128, u64)> {
+        (self.contributing > 0).then_some((self.sum, self.contributing))
+    }
+}
+
+/// The numeric value of an element under the shared encoder rule
+/// ([`parse_numeric_text`]): no element children, exactly one
+/// non-whitespace text child, clean digits that fit the ring's capacity.
+/// Mirrors the streaming encoder's `NumAcc` accumulator exactly — the two
+/// planes must never disagree about which elements are numeric.
+pub fn reference_numeric_value(doc: &Document, id: NodeId, ring_len: usize) -> Option<u64> {
+    if doc.child_elements(id).next().is_some() {
+        return None;
+    }
+    let mut value_text: Option<&str> = None;
+    for &c in doc.children(id) {
+        if let NodeKind::Text(t) = doc.kind(c) {
+            if t.trim().is_empty() {
+                continue;
+            }
+            if value_text.is_some() {
+                return None; // a second non-whitespace run poisons
+            }
+            value_text = Some(t);
+        }
+    }
+    parse_numeric_text(value_text?, ring_len)
+}
+
+/// Evaluates an aggregate on the plaintext document: runs the predicate
+/// through [`reference_eval`], applies the optional inclusive value range,
+/// and folds the numeric values in ordinary integers. COUNT is `count`,
+/// SUM is `sum`, AVG is [`RefAggregate::avg`] — op-independent on purpose
+/// so one oracle answer checks all three.
+pub fn reference_aggregate(
+    doc: &Document,
+    query: &Query,
+    rule: MatchRule,
+    ring_len: usize,
+    range: Option<(u64, u64)>,
+) -> Result<RefAggregate, CoreError> {
+    let pres = reference_eval(doc, query, rule)?;
+    let id_of: HashMap<u32, NodeId> = doc
+        .pre_post_numbering()
+        .into_iter()
+        .map(|(id, pre, ..)| (pre, id))
+        .collect();
+    let mut out = RefAggregate {
+        count: 0,
+        contributing: 0,
+        sum: 0,
+    };
+    for pre in pres {
+        let id = id_of[&pre];
+        let v = reference_numeric_value(doc, id, ring_len);
+        match range {
+            Some((lo, hi)) => {
+                if let Some(v) = v {
+                    if lo <= v && v <= hi {
+                        out.count += 1;
+                        out.contributing += 1;
+                        out.sum += v as u128;
+                    }
+                }
+            }
+            None => {
+                out.count += 1;
+                if let Some(v) = v {
+                    out.contributing += 1;
+                    out.sum += v as u128;
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 struct RefCtx {
@@ -155,6 +248,68 @@ mod tests {
             let c = eval(q, MatchRule::Containment);
             assert!(e.iter().all(|p| c.contains(p)), "{q}");
         }
+    }
+
+    #[test]
+    fn numeric_rule_mirrors_the_encoder() {
+        let doc = Document::parse(
+            "<s><a>42</a><b> 7 </b><c>4 2</c><d>-1</d><e>x1</e><f><g/>3</f><h></h></s>",
+        )
+        .unwrap();
+        let vals: Vec<Option<u64>> = doc
+            .child_elements(doc.root())
+            .map(|id| reference_numeric_value(&doc, id, 82))
+            .collect();
+        assert_eq!(
+            vals,
+            vec![
+                Some(42), // clean digits
+                Some(7),  // surrounding whitespace trims
+                None,     // inner space is not a number
+                None,     // signs are plain text
+                None,     // mixed alphanumerics
+                None,     // element children poison
+                None,     // empty
+            ]
+        );
+        // Capacity: a value needing more bits than the ring has digits is
+        // plain text, exactly like the encoder.
+        let big = Document::parse("<s><a>16</a></s>").unwrap();
+        let a = big.child_elements(big.root()).next().unwrap();
+        assert_eq!(reference_numeric_value(&big, a, 4), None, "16 needs 5 bits");
+        assert_eq!(reference_numeric_value(&big, a, 5), Some(16));
+    }
+
+    #[test]
+    fn aggregate_counts_sums_and_ranges() {
+        let doc = Document::parse(
+            "<site><item><price>10</price></item><item><price>25</price></item>\
+             <item><price>7</price></item><item><name>x</name></item></site>",
+        )
+        .unwrap();
+        let q = parse_query("//price").unwrap();
+        let all = reference_aggregate(&doc, &q, MatchRule::Equality, 82, None).unwrap();
+        assert_eq!(
+            all,
+            RefAggregate {
+                count: 3,
+                contributing: 3,
+                sum: 42
+            }
+        );
+        assert_eq!(all.avg(), Some((42, 3)));
+        let ranged = reference_aggregate(&doc, &q, MatchRule::Equality, 82, Some((8, 30))).unwrap();
+        assert_eq!(ranged.count, 2);
+        assert_eq!(ranged.sum, 35);
+        // Matches without values count but do not contribute…
+        let items = parse_query("/site/item").unwrap();
+        let i = reference_aggregate(&doc, &items, MatchRule::Equality, 82, None).unwrap();
+        assert_eq!((i.count, i.contributing, i.sum), (4, 0, 0));
+        assert_eq!(i.avg(), None);
+        // …and fail a range outright.
+        let r = reference_aggregate(&doc, &items, MatchRule::Equality, 82, Some((0, u64::MAX)))
+            .unwrap();
+        assert_eq!(r.count, 0);
     }
 
     #[test]

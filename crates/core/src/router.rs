@@ -93,6 +93,10 @@ enum FanKind {
     Max,
     /// `Shutdown` and friends: every shard must ack.
     Ok,
+    /// `Epoch`: per-shard epochs, kept separate (`Values`, shard order) —
+    /// aggregate fences are validated shard by shard, so collapsing them
+    /// into one number would lose exactly the information they exist for.
+    Epochs,
 }
 
 /// Upper bound on cached speculative answers (entries, each one node's
@@ -628,6 +632,31 @@ impl<T: Transport + Send> ShardRouter<T> {
             Request::Roots => self.fan(req, FanKind::Locs, per_shard),
             Request::Count => self.fan(req, FanKind::Count, per_shard),
             Request::MaxPre => self.fan(req, FanKind::Max, per_shard),
+            Request::Epoch => self.fan(req, FanKind::Epochs, per_shard),
+            // An aggregate closing frame is inherently single-shard: its
+            // `expect_epoch` is one shard's fence, so the client splits the
+            // matched pres by the public partition itself and routes each
+            // sub-frame by its first pre (for `AGG_CHECK`, a representative
+            // pre owned by the target shard — `shard + 1` under the
+            // round-robin partition).
+            Request::Agg { pres, .. } => {
+                let Some(&first) = pres.first() else {
+                    return Slot::Ready(Response::Err(
+                        "Agg via a router needs at least one pre to route by; \
+                         send a representative pre for AGG_CHECK"
+                            .into(),
+                    ));
+                };
+                let shard = self.shard_of(first);
+                if pres.iter().any(|&p| self.shard_of(p) != shard) {
+                    return Slot::Ready(Response::Err(
+                        "Agg pres span shards; split them by ShardSpec::shard_of first".into(),
+                    ));
+                }
+                let pos = per_shard[shard].len();
+                per_shard[shard].push(req.clone());
+                Slot::Single { shard, pos }
+            }
             Request::Shutdown => self.fan(req, FanKind::Ok, per_shard),
             // The router *is* the sharded endpoint from its client's view.
             Request::ShardCount => Slot::Ready(Response::Count(self.spec.shards() as u64)),
@@ -1010,10 +1039,16 @@ fn merge_fan(
         .collect();
     match kind {
         FanKind::Root => {
-            let mut found = None;
+            // Each shard answers with its own first document root (or
+            // nothing); the document's root is the smallest pre among them.
+            let mut found: Option<Loc> = None;
             for part in parts {
                 match part {
-                    Response::MaybeLoc(Some(l)) => found = Some(l),
+                    Response::MaybeLoc(Some(l)) => {
+                        if found.is_none_or(|f| l.pre < f.pre) {
+                            found = Some(l);
+                        }
+                    }
                     Response::MaybeLoc(None) => {}
                     Response::Err(e) => return Ok(Response::Err(e)),
                     other => {
@@ -1087,6 +1122,21 @@ fn merge_fan(
             }
             Ok(Response::Ok)
         }
+        FanKind::Epochs => {
+            let mut epochs = Vec::with_capacity(parts.len());
+            for part in parts {
+                match part {
+                    Response::Count(e) => epochs.push(e),
+                    Response::Err(e) => return Ok(Response::Err(e)),
+                    other => {
+                        return Err(CoreError::Transport(format!(
+                            "unexpected Epoch part {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Response::Values(epochs))
+        }
     }
 }
 
@@ -1105,7 +1155,13 @@ impl<T: Transport + Send> Transport for ShardRouter<T> {
             batches: self.batches,
             batched_requests: self.batched_requests,
             speculative_hits: self.spec_hits,
-            speculative_wasted: self.spec_issued - self.spec_consumed,
+            // `consumed ≤ issued` is the intended invariant (an entry can
+            // only be consumed after its prefetch was issued, and cache
+            // clears drop entries without touching either counter), but
+            // `stats()` must never panic in release builds if a future
+            // lifecycle change breaks it — saturate instead of wrapping to
+            // an absurd ~u64::MAX figure.
+            speculative_wasted: self.spec_issued.saturating_sub(self.spec_consumed),
             // Traffic of transports retired by a reshard.
             ..self.carry
         };
@@ -1358,6 +1414,44 @@ mod tests {
         r.call(&Request::Children { pre: 1 }).unwrap();
         assert_eq!(r.stats().round_trips, before + 1, "no cache, real wave");
         assert_eq!(r.stats().speculative_hits, 0);
+    }
+
+    /// Resharding mid-speculation drops the prefetch cache; the accounting
+    /// must stay `consumed ≤ issued` (never an underflowing `wasted`) across
+    /// the clear and keep making sense once speculation resumes on the new
+    /// fleet.
+    #[test]
+    fn reshard_mid_speculation_keeps_wasted_accounting_sane() {
+        let mut r = router(2);
+        r.set_speculation(true);
+        // Issue two prefetches, consume one.
+        r.call(&Request::EvalMany {
+            pres: vec![1, 2],
+            point: 17,
+        })
+        .unwrap();
+        r.call(&Request::Children { pre: 1 }).unwrap();
+        let s = r.stats();
+        assert_eq!((s.speculative_hits, s.speculative_wasted), (1, 1));
+        // Reshard with one prefetch still unconsumed: it stays wasted, and
+        // nothing wraps around.
+        r.reshard(3).unwrap();
+        let s = r.stats();
+        assert_eq!((s.speculative_hits, s.speculative_wasted), (1, 1));
+        assert!(s.speculative_wasted < 1 << 32, "no underflow wrap");
+        // Speculation keeps working on the new fleet; the re-issued
+        // prefetches are consumable and only the reshard-dropped one stays
+        // wasted for good.
+        r.call(&Request::EvalMany {
+            pres: vec![1, 2],
+            point: 17,
+        })
+        .unwrap();
+        for pre in [1u32, 2] {
+            r.call(&Request::Children { pre }).unwrap();
+        }
+        let s = r.stats();
+        assert_eq!((s.speculative_hits, s.speculative_wasted), (3, 1));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! intermediate results" — §5.2). It learns evaluation points and access
 //! patterns, never tag names or plaintext polynomials.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, AGG_CHECK, AGG_FENCE, AGG_FETCH, AGG_SUM};
 use ssx_poly::{EvalPoly, Packer, RingCtx, RingPoly};
-use ssx_store::{Loc, Row, Table};
+use ssx_store::{Loc, Row, Table, NUM_PLANE_BASE};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -178,11 +178,39 @@ impl ServerFilter {
     pub fn handle(&mut self, req: &Request) -> Response {
         self.stats.requests += 1;
         match req {
-            Request::Root => Response::MaybeLoc(self.table.root().map(|r| r.loc)),
-            Request::Roots => Response::Locs(self.table.roots()),
+            // Numeric-plane rows carry `parent = 0` so the nesting invariant
+            // holds; they are value storage, not document roots — mask them
+            // out of every structural answer. Document roots sort before the
+            // numeric plane in the `(parent, pre)` index, so a shard whose
+            // lowest parent-0 row is numeric holds no document root at all.
+            Request::Root => Response::MaybeLoc(
+                self.table
+                    .root()
+                    .map(|r| r.loc)
+                    .filter(|l| l.pre < NUM_PLANE_BASE),
+            ),
+            Request::Roots => Response::Locs(
+                self.table
+                    .roots()
+                    .into_iter()
+                    .filter(|l| l.pre < NUM_PLANE_BASE)
+                    .collect(),
+            ),
             Request::GetLoc { pre } => Response::MaybeLoc(self.table.by_pre(*pre).map(|r| r.loc)),
-            Request::Children { pre } => Response::Locs(self.table.children_of(*pre)),
-            Request::Descendants { loc } => Response::Locs(self.table.descendants_of(*loc)),
+            Request::Children { pre } => Response::Locs(
+                self.table
+                    .children_of(*pre)
+                    .into_iter()
+                    .filter(|l| l.pre < NUM_PLANE_BASE)
+                    .collect(),
+            ),
+            Request::Descendants { loc } => Response::Locs(
+                self.table
+                    .descendants_of(*loc)
+                    .into_iter()
+                    .filter(|l| l.pre < NUM_PLANE_BASE)
+                    .collect(),
+            ),
             Request::Eval { pre, point } => match self.eval_one(*pre, *point) {
                 Ok(v) => Response::Value(v),
                 Err(e) => Response::Err(e),
@@ -267,6 +295,12 @@ impl ServerFilter {
             Request::Insert { rows } => self.apply_insert(rows),
             Request::Delete { pres } => self.apply_delete(pres),
             Request::MaxPre => Response::Count(self.table.max_pre() as u64),
+            Request::Epoch => Response::Count(self.epoch),
+            Request::Agg {
+                op,
+                pres,
+                expect_epoch,
+            } => self.handle_agg(*op, pres, *expect_epoch),
             Request::Batch(subs) => {
                 let mut out = Vec::with_capacity(subs.len());
                 for sub in subs {
@@ -288,6 +322,77 @@ impl ServerFilter {
             Request::ToShard { .. } => {
                 Response::Err("shard-tagged request reached an unsharded endpoint".into())
             }
+        }
+    }
+
+    /// Answers one [`Request::Agg`] frame. The epoch fence comes first: a
+    /// write that landed after the aggregate's snapshot wave invalidates the
+    /// client's matched set, so the whole frame is refused with a stable
+    /// [`AGG_FENCE`]-prefixed error rather than summing torn state. The
+    /// server touches exactly the listed rows — it learns which *shard* an
+    /// aggregate visited (it visits all of them) and how many rows rode the
+    /// frame, never which rows matched which predicate, because the listed
+    /// `pres` are indistinguishable from any other batched read's.
+    fn handle_agg(&mut self, op: u8, pres: &[u32], expect_epoch: u64) -> Response {
+        if self.epoch != expect_epoch {
+            return Response::Err(format!(
+                "{AGG_FENCE} (write since aggregate started); retry from a fresh snapshot"
+            ));
+        }
+        match op {
+            AGG_CHECK => Response::Agg {
+                found: vec![],
+                partials: vec![],
+            },
+            AGG_SUM => {
+                // Pointwise share-sum in groups of at most `ring_len` rows:
+                // numeric rows carry base-2 digits (0/1 coefficients), so a
+                // group's digit sums stay below q and reconstruct exactly.
+                let group = self.ring.len();
+                let mut found = Vec::new();
+                let mut partials = Vec::new();
+                let mut acc = self.ring.zero();
+                let mut in_group = 0usize;
+                for &pre in pres {
+                    let Some(row) = self.table.by_pre(pre) else {
+                        continue;
+                    };
+                    if let Err(e) = self
+                        .packer
+                        .unpack_radix_into(&row.poly, &mut self.scratch_row)
+                    {
+                        return Response::Err(format!("row pre={pre}: {e}"));
+                    }
+                    self.ring.add_assign(&mut acc, &self.scratch_row);
+                    found.push(pre);
+                    in_group += 1;
+                    if in_group == group {
+                        partials.push(self.packer.pack_radix(&acc));
+                        acc = self.ring.zero();
+                        in_group = 0;
+                    }
+                }
+                if in_group > 0 {
+                    partials.push(self.packer.pack_radix(&acc));
+                }
+                Response::Agg { found, partials }
+            }
+            AGG_FETCH => {
+                // The rows themselves (range-predicate evaluation); unlike
+                // `GetPolys`, absent rows are skipped, not errors — an
+                // element without a numeric value simply fails the range.
+                let mut found = Vec::new();
+                let mut partials = Vec::new();
+                for &pre in pres {
+                    if let Some(row) = self.table.by_pre(pre) {
+                        self.stats.polys_served += 1;
+                        found.push(pre);
+                        partials.push(row.poly.to_vec());
+                    }
+                }
+                Response::Agg { found, partials }
+            }
+            other => Response::Err(format!("unknown agg op {other}")),
         }
     }
 
@@ -356,6 +461,8 @@ impl ServerFilter {
                 "cursor limit reached ({MAX_OPEN_CURSORS} open); close or drain cursors first"
             ));
         }
+        // Structural streams never surface numeric-plane value rows.
+        queue.retain(|l| l.pre < NUM_PLANE_BASE);
         queue.sort_by_key(|l| l.pre);
         queue.dedup_by_key(|l| l.pre);
         let id = self.next_cursor;

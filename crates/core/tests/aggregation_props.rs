@@ -1,0 +1,165 @@
+//! Aggregation correctness on random documents: COUNT/SUM/AVG through the
+//! encrypted plane must agree bit-for-bit with the plaintext oracle — for
+//! both engines, both matching rules, every shard count in {1, 2, 4}, and
+//! with or without a numeric range predicate. The closing share-sum must
+//! also cost exactly one wave beyond the frontier walk (two with a range:
+//! one value-fetch wave, one share-sum wave).
+
+use proptest::prelude::*;
+use ssx_core::{
+    reference_aggregate, AggOp, AggregateSpec, EncryptedDb, EngineKind, MapFile, MatchRule,
+};
+use ssx_prg::Seed;
+use ssx_xml::Document;
+use ssx_xpath::{Axis, NodeTest, Query, Step};
+
+const TAGS: [&str; 5] = ["site", "alpha", "beta", "gamma", "delta"];
+
+/// What a random element holds under its tags: nothing, a clean numeric
+/// value (joins the numeric plane), or text the encoder must NOT treat as
+/// a number.
+#[derive(Clone, Debug)]
+enum Leaf {
+    Empty,
+    Number(u64),
+    Text(&'static str),
+}
+
+fn arb_leaf() -> impl Strategy<Value = Leaf> {
+    prop_oneof![
+        3 => Just(Leaf::Empty),
+        4 => (0u64..5000).prop_map(Leaf::Number),
+        1 => prop_oneof![
+            Just(Leaf::Text("x1")),
+            Just(Leaf::Text("4 2")),
+            Just(Leaf::Text("-7")),
+            Just(Leaf::Text("price unknown")),
+        ],
+    ]
+}
+
+/// Random tree rendered as XML: parent-pointer vector + random tags, each
+/// childless position optionally carrying a leaf payload.
+fn arb_doc() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(any::<proptest::sample::Index>(), 0..20),
+        proptest::collection::vec((0usize..TAGS.len(), arb_leaf()), 1..21),
+    )
+        .prop_map(|(parent_choice, node_choice)| {
+            let n = node_choice.len().min(parent_choice.len() + 1);
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for i in 1..n {
+                let p = parent_choice[i - 1].index(i);
+                children[p].push(i);
+            }
+            let mut doc = Document::new(TAGS[node_choice[0].0]);
+            let mut ids = vec![doc.root()];
+            for i in 1..n {
+                let parent_id = ids[children
+                    .iter()
+                    .position(|c| c.contains(&i))
+                    .expect("parents precede children")];
+                ids.push(doc.add_element(parent_id, TAGS[node_choice[i].0]));
+            }
+            // Payloads go on childless elements only, so the numeric rule
+            // (no element children) is actually exercised both ways.
+            for (i, id) in ids.iter().enumerate() {
+                if children[i].is_empty() {
+                    match &node_choice[i].1 {
+                        Leaf::Empty => {}
+                        Leaf::Number(v) => {
+                            doc.add_text(*id, &v.to_string());
+                        }
+                        Leaf::Text(t) => {
+                            doc.add_text(*id, t);
+                        }
+                    }
+                }
+            }
+            doc.to_xml()
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let step = (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            5 => (0usize..TAGS.len()).prop_map(|i| NodeTest::Name(TAGS[i].into())),
+            1 => Just(NodeTest::Star),
+        ],
+    )
+        .prop_map(|(axis, test)| Step::new(axis, test));
+    proptest::collection::vec(step, 1..4).prop_map(Query::new)
+}
+
+fn arb_range() -> impl Strategy<Value = Option<(u64, u64)>> {
+    prop_oneof![
+        2 => Just(None),
+        3 => (0u64..5000, 0u64..5000).prop_map(|(a, b)| Some((a.min(b), a.max(b)))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full matrix: op × engine × rule × shard count, one random
+    /// document + query + optional range per case.
+    #[test]
+    fn aggregates_match_the_oracle(
+        (xml, query, range) in (arb_doc(), arb_query(), arb_range())
+    ) {
+        let doc = Document::parse(&xml).unwrap();
+        let map = MapFile::sequential(83, 1, &TAGS).unwrap();
+        let seed = Seed::from_test_key(0xa99);
+        let want = reference_aggregate(&doc, &query, MatchRule::Equality, 82, range).unwrap();
+        let want_c = reference_aggregate(&doc, &query, MatchRule::Containment, 82, range).unwrap();
+        for shards in [1u32, 2, 4] {
+            let mut db = EncryptedDb::encode_sharded(&xml, map.clone(), seed.clone(), shards)
+                .unwrap();
+            for kind in [EngineKind::Simple, EngineKind::Advanced] {
+                for rule in [MatchRule::Containment, MatchRule::Equality] {
+                    let oracle = match rule {
+                        MatchRule::Equality => &want,
+                        MatchRule::Containment => &want_c,
+                    };
+                    for op in [AggOp::Count, AggOp::Sum, AggOp::Avg] {
+                        let spec = AggregateSpec { query: query.clone(), op, range };
+                        let got = db.run_aggregate(&spec, kind, rule).unwrap();
+                        // COUNT closes with pure fence probes — it never
+                        // touches the numeric plane, so only its count is
+                        // comparable; SUM/AVG carry the full triple.
+                        let comparable = match op {
+                            AggOp::Count => (got.count, 0, 0),
+                            AggOp::Sum | AggOp::Avg => (got.count, got.contributing, got.sum),
+                        };
+                        let expected = match op {
+                            AggOp::Count => (oracle.count, 0, 0),
+                            AggOp::Sum | AggOp::Avg => {
+                                (oracle.count, oracle.contributing, oracle.sum)
+                            }
+                        };
+                        prop_assert_eq!(
+                            comparable, expected,
+                            "{:?} {} {:?} {:?} S={} range={:?} on {}",
+                            op, &query, kind, rule, shards, range, &xml
+                        );
+                        prop_assert_eq!(got.value(), match op {
+                            AggOp::Count => Some((oracle.count as u128, 1)),
+                            AggOp::Sum => Some((oracle.sum, 1)),
+                            AggOp::Avg => oracle.avg(),
+                        });
+                        // Zero extra waves: one closing share-sum wave, plus
+                        // one value-fetch wave when a range must be tested —
+                        // independent of match count and shard count.
+                        let expect_waves = if range.is_some() { 2 } else { 1 };
+                        prop_assert_eq!(
+                            got.closing_waves, expect_waves,
+                            "closing waves for {} S={} range={:?}", &query, shards, range
+                        );
+                        prop_assert_eq!(got.retries, 0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -28,4 +28,4 @@ pub use persist::{
     checkpoint, load_party, load_table, load_table_with_wal, replay_wal, save_party, save_table,
     PartyHeader, Wal, WalReplay,
 };
-pub use table::{Loc, Row, SizeReport, StoreError, Table};
+pub use table::{Loc, Row, SizeReport, StoreError, Table, NUM_PLANE_BASE};

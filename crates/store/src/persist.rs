@@ -234,8 +234,9 @@ impl Wal {
 
     fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
         let io = |e: std::io::Error| StoreError::Persist(e.to_string());
+        let len = wire_u32(1 + payload.len() as u64)?;
         let mut rec = Vec::with_capacity(4 + 1 + payload.len() + 8);
-        rec.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&len.to_le_bytes());
         rec.push(kind);
         rec.extend_from_slice(payload);
         let sum = fnv1a(&rec);
@@ -251,8 +252,9 @@ impl Wal {
     /// complete set of rows of one document, so replay of the record is an
     /// all-or-nothing document insert).
     pub fn append_insert(&mut self, rows: &[Row]) -> Result<(), StoreError> {
+        let count = wire_u32(rows.len() as u64)?;
         let mut payload = Vec::with_capacity(4 + rows.len() * (12 + self.poly_len));
-        payload.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&count.to_le_bytes());
         for row in rows {
             if row.poly.len() != self.poly_len {
                 return Err(StoreError::Persist(format!(
@@ -271,8 +273,9 @@ impl Wal {
 
     /// Logs the removal of one whole document block by its `pre` numbers.
     pub fn append_remove(&mut self, pres: &[u32]) -> Result<(), StoreError> {
+        let count = wire_u32(pres.len() as u64)?;
         let mut payload = Vec::with_capacity(4 + pres.len() * 4);
-        payload.extend_from_slice(&(pres.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&count.to_le_bytes());
         for &pre in pres {
             payload.extend_from_slice(&pre.to_le_bytes());
         }
@@ -289,6 +292,14 @@ impl Wal {
         self.file.sync_data().map_err(io)?;
         Ok(())
     }
+}
+
+/// Validates a record length or row count against the 4-byte wire prefix
+/// *before* any bytes hit the file: a value past `u32::MAX` used to wrap
+/// under `as u32` and write a record whose declared length disagreed with
+/// its body — silent log corruption surfacing only at the next replay.
+fn wire_u32(len: u64) -> Result<u32, StoreError> {
+    u32::try_from(len).map_err(|_| StoreError::RecordTooLarge { len })
 }
 
 /// What [`replay_wal`] found and did.
@@ -554,6 +565,28 @@ mod tests {
         let dir = std::env::temp_dir().join("ssx_store_tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// The length/count prefixes of WAL records are 4 bytes on the wire: a
+    /// value past `u32::MAX` must surface as a typed error *before* any
+    /// bytes are written, never wrap. Exercised at the boundary with mocked
+    /// lengths — allocating a real 4 GiB payload would prove nothing more.
+    #[test]
+    fn oversized_record_lengths_are_typed_errors_not_wraps() {
+        assert_eq!(wire_u32(0).unwrap(), 0);
+        assert_eq!(wire_u32(u32::MAX as u64).unwrap(), u32::MAX);
+        for over in [u32::MAX as u64 + 1, u64::MAX] {
+            match wire_u32(over).unwrap_err() {
+                StoreError::RecordTooLarge { len } => assert_eq!(len, over),
+                other => panic!("expected RecordTooLarge, got {other:?}"),
+            }
+        }
+        // `append_record` adds the 1-byte kind before the cast: a payload of
+        // exactly `u32::MAX` bytes is itself one byte too long.
+        assert!(matches!(
+            wire_u32(1 + u32::MAX as u64),
+            Err(StoreError::RecordTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -4,6 +4,17 @@
 use crate::btree::BTree;
 use std::fmt;
 
+/// First `pre` of the auxiliary numeric plane. Rows at or above this
+/// boundary carry per-element *numeric values* (base-2 digit shares for the
+/// aggregation plane) rather than tag polynomials: an element `p` whose text
+/// is an integer stores its value share at `pre = NUM_PLANE_BASE + p`.
+/// Numeric rows are leaf-only and carry `parent = 0` with a pre/post
+/// interval mirroring the element's, so [`Table::check_integrity`]'s nesting
+/// scan sees them as disjoint single-node trees. Structural answers
+/// (roots/children, [`Table::max_pre`]) mask the plane out; the ordinary
+/// document plane must stay below the boundary.
+pub const NUM_PLANE_BASE: u32 = 1 << 30;
+
 /// A node location as the engines see it: the pre/post/parent triple. This
 /// is all the *structural* information the server reveals per node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -41,6 +52,13 @@ pub enum StoreError {
     },
     /// Persistence-layer failure (I/O or corruption).
     Persist(String),
+    /// A WAL record's payload or row count exceeds what its 4-byte wire
+    /// length prefix can carry — writing it would silently truncate the
+    /// length and corrupt the log for every later replay.
+    RecordTooLarge {
+        /// The length that did not fit.
+        len: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +70,9 @@ impl fmt::Display for StoreError {
                 write!(f, "polynomial payload {got} bytes, table stores {expected}")
             }
             StoreError::Persist(m) => write!(f, "persistence error: {m}"),
+            StoreError::RecordTooLarge { len } => {
+                write!(f, "record of {len} bytes exceeds the 4-byte length prefix")
+            }
         }
     }
 }
@@ -122,8 +143,11 @@ impl Table {
         }
     }
 
-    /// Largest `pre` ever inserted (a stale-high hint after removals —
-    /// never reused, which is exactly what offset allocation wants).
+    /// Largest *document-plane* `pre` ever inserted (a stale-high hint after
+    /// removals — never reused, which is exactly what offset allocation
+    /// wants). Numeric-plane rows (`pre >= NUM_PLANE_BASE`) are excluded:
+    /// their ids are derived from element `pre`s, so counting them here
+    /// would wreck offset allocation the moment one lands.
     pub fn max_pre(&self) -> u32 {
         self.max_pre as u32
     }
@@ -185,7 +209,9 @@ impl Table {
             .insert_new(((parent as u64) << 32) | pre as u64, pos);
         debug_assert!(fresh_parent, "parent key embeds the unique pre");
         self.max_post = self.max_post.max(post as u64);
-        self.max_pre = self.max_pre.max(pre as u64);
+        if pre < NUM_PLANE_BASE {
+            self.max_pre = self.max_pre.max(pre as u64);
+        }
         self.rows.push(row);
         Ok(())
     }

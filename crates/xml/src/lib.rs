@@ -23,5 +23,5 @@ pub mod writer;
 
 pub use dom::{Document, NodeId, NodeKind};
 pub use escape::{escape_attr, escape_text, unescape};
-pub use parser::{Attribute, PullParser, XmlError, XmlEvent};
+pub use parser::{Attribute, PullParser, XmlError, XmlEvent, XmlToken};
 pub use writer::XmlWriter;

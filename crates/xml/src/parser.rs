@@ -37,6 +37,19 @@ pub enum XmlEvent {
     Text(String),
 }
 
+/// A borrowed parse token from [`PullParser::next_token`]: element
+/// boundaries plus character data, with names always borrowed from the
+/// input and text borrowed unless entity resolution forced a copy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlToken<'a> {
+    /// `<name …>` or the opening half of `<name/>`.
+    Start(&'a str),
+    /// `</name>` or the closing half of `<name/>`.
+    End(&'a str),
+    /// One character-data (or CDATA) run.
+    Text(std::borrow::Cow<'a, str>),
+}
+
 /// Parse errors with byte offsets into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
@@ -211,6 +224,57 @@ impl<'a> PullParser<'a> {
                         msg: "character data outside root element".into(),
                     });
                 }
+            }
+        }
+    }
+
+    /// Pulls the next token without copying names: like
+    /// [`PullParser::next_element`] but character data (and CDATA) runs are
+    /// reported instead of discarded, borrowed from the input whenever they
+    /// contain no entity references. This is the aggregation-aware encoder's
+    /// hot path — it needs leaf text to spot numeric values but must not pay
+    /// an allocation per element for it.
+    pub fn next_token(&mut self) -> Result<Option<XmlToken<'a>>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Some(XmlToken::End(name)));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return Err(XmlError::UnexpectedEof);
+                }
+                return Ok(None);
+            }
+            if self.input[self.pos] == b'<' {
+                match self.peek_markup() {
+                    Markup::Comment => self.skip_until(b"-->")?,
+                    Markup::Pi => self.skip_until(b"?>")?,
+                    Markup::Doctype => self.skip_doctype()?,
+                    Markup::Cdata => {
+                        let raw = self.parse_cdata()?;
+                        return Ok(Some(XmlToken::Text(std::borrow::Cow::Borrowed(raw))));
+                    }
+                    Markup::Close => {
+                        return self.parse_close().map(|name| Some(XmlToken::End(name)))
+                    }
+                    Markup::Open => {
+                        let (name, _, _) = self.parse_open(false)?;
+                        return Ok(Some(XmlToken::Start(name)));
+                    }
+                }
+            } else {
+                let raw = self.parse_text()?;
+                if self.stack.is_empty() {
+                    if raw.trim().is_empty() {
+                        continue;
+                    }
+                    return Err(XmlError::Syntax {
+                        pos: self.pos,
+                        msg: "character data outside root element".into(),
+                    });
+                }
+                return Ok(Some(XmlToken::Text(unescape(raw))));
             }
         }
     }

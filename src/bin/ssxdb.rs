@@ -9,6 +9,10 @@
 //! ssxdb info    <db.ssxdb>
 //! ssxdb query   --map <map> --seed <seed> [--engine simple|advanced]
 //!               [--rule containment|equality] [--stats] <db.ssxdb> <query>
+//! ssxdb agg     --map <map> --seed <seed> --op count|sum|avg [--range LO..HI]
+//!               [--engine …] [--rule …] [--stats]
+//!               (<db.ssxdb> | --addr <host:port> [--shards S] [--mux]
+//!                | --fleet a1,a2,… --threshold t [--mux]) <query>
 //! ssxdb insert  --map <map> --seed <seed> [--shards S] [--no-checkpoint]
 //!               <db.ssxdb> <doc.xml>
 //! ssxdb insert  --map <map> --seed <seed>
@@ -82,10 +86,11 @@
 //! would hold).
 
 use ssxdb::core::{
-    encode_document, encode_dom, party_server, serve_tcp, serve_tcp_mux_opts, serve_tcp_sharded,
-    serve_tcp_sharded_auto, split_fleet, ClientFilter, EncryptedDb, Engine, EngineKind, FleetSpec,
-    MapFile, MatchRule, MuxHostOptions, MuxPool, RemoteDb, RemoteFleetDb, RemoteMuxDb,
-    RemoteMuxFleetDb, ResilienceConfig, ServerFilter, ShardRouter, ShardedServer, Transport,
+    encode_document, encode_dom, party_server, run_aggregate, serve_tcp, serve_tcp_mux_opts,
+    serve_tcp_sharded, serve_tcp_sharded_auto, split_fleet, AggOp, AggregateSpec, ClientFilter,
+    EncryptedDb, Engine, EngineKind, FleetSpec, MapFile, MatchRule, MuxHostOptions, MuxPool,
+    RemoteDb, RemoteFleetDb, RemoteMuxDb, RemoteMuxFleetDb, ResilienceConfig, ServerFilter,
+    ShardRouter, ShardedServer, Transport,
 };
 use ssxdb::poly::RingCtx;
 use ssxdb::prg::Seed;
@@ -121,6 +126,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "encode" => encode(parser),
         "info" => info(parser),
         "query" => query(parser),
+        "agg" => agg(parser),
         "insert" => insert(parser),
         "delete" => delete(parser),
         "serve" => serve(parser),
@@ -147,6 +153,10 @@ commands:
   info    <db.ssxdb>                          sizes & structure (no secrets)
   query   --map M --seed S [--engine simple|advanced]
           [--rule containment|equality] [--stats] <db.ssxdb> <query>
+  agg     --map M --seed S --op count|sum|avg [--range LO..HI]
+          [--engine ..] [--rule ..] [--stats]
+          (<db.ssxdb> | --addr H:P [--shards S] [--mux]
+           | --fleet A1,.. --threshold t [--mux]) <query>
   insert  --map M --seed S [--shards S] [--no-checkpoint] <db.ssxdb> <doc.xml>
   insert  --map M --seed S (--addr H:P [--shards S] | --fleet A1,.. --threshold t)
           [--mux] [--deadline-ms MS] [--retries N] <doc.xml>
@@ -528,6 +538,145 @@ fn query(mut args: Args) -> Result<(), String> {
     let out = Engine::run(engine, rule, &q, &mut client).map_err(|e| e.to_string())?;
     print_outcome(&query_text, &out, args.bool("stats"));
     Ok(())
+}
+
+// ---- the aggregation plane --------------------------------------------------
+
+fn parse_op(args: &Args) -> Result<AggOp, String> {
+    match args.required("op")? {
+        "count" => Ok(AggOp::Count),
+        "sum" => Ok(AggOp::Sum),
+        "avg" => Ok(AggOp::Avg),
+        other => Err(format!("unknown op '{other}' (count|sum|avg)")),
+    }
+}
+
+/// `--range LO..HI` — inclusive on both ends, matching the wire predicate.
+fn parse_range(args: &Args) -> Result<Option<(u64, u64)>, String> {
+    let Some(spec) = args.flag("range") else {
+        return Ok(None);
+    };
+    let (lo, hi) = spec
+        .split_once("..")
+        .ok_or("bad --range: expected LO..HI (inclusive)")?;
+    let lo: u64 = lo.parse().map_err(|_| "bad --range low bound")?;
+    let hi: u64 = hi.parse().map_err(|_| "bad --range high bound")?;
+    if lo > hi {
+        return Err(format!("empty --range {lo}..{hi}"));
+    }
+    Ok(Some((lo, hi)))
+}
+
+fn agg(mut args: Args) -> Result<(), String> {
+    let op = parse_op(&args)?;
+    let range = parse_range(&args)?;
+    let engine = parse_engine(&args)?;
+    let rule = parse_rule(&args)?;
+    let (map, seed) = load_secrets(&args)?;
+    if let Some(list) = args.flag("fleet") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let threshold: usize = args
+            .required("threshold")?
+            .parse()
+            .map_err(|_| "bad --threshold")?;
+        let query_text = args.positional("query")?;
+        let resilience = resilience_options(&args)?;
+        let out = if args.bool("mux") {
+            let mut db = RemoteMuxFleetDb::connect_fleet_mux(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_resilience(resilience);
+            db.aggregate(&query_text, engine, rule, op, range)
+                .map_err(|e| e.to_string())?
+        } else {
+            let mut db = RemoteFleetDb::connect_fleet(&addrs, threshold, map, seed)
+                .map_err(|e| e.to_string())?;
+            db.set_resilience(resilience);
+            db.aggregate(&query_text, engine, rule, op, range)
+                .map_err(|e| e.to_string())?
+        };
+        print_aggregate(&query_text, &out, args.bool("stats"));
+        return Ok(());
+    } else if let Some(addr) = args.flag("addr") {
+        let addr = addr.to_string();
+        let shards: u32 = args
+            .flag("shards")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| "bad --shards")?;
+        let query_text = args.positional("query")?;
+        let q = parse_query(&query_text)
+            .map_err(|e| e.to_string())?
+            .expand_text_predicates();
+        let spec = AggregateSpec {
+            query: q,
+            op,
+            range,
+        };
+        let deadline = resilience_options(&args)?.deadline;
+        let out = if args.bool("mux") {
+            let pool = MuxPool::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+            let mut router = ShardRouter::mux(&pool);
+            router.set_call_budget(deadline);
+            let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
+            run_aggregate(&mut client, engine, rule, &spec).map_err(|e| e.to_string())?
+        } else {
+            let mut router =
+                ShardRouter::connect(addr.as_str(), shards).map_err(|e| e.to_string())?;
+            router.set_call_budget(deadline);
+            let mut client = ClientFilter::new(router, map, seed).map_err(|e| e.to_string())?;
+            run_aggregate(&mut client, engine, rule, &spec).map_err(|e| e.to_string())?
+        };
+        print_aggregate(&query_text, &out, args.bool("stats"));
+        return Ok(());
+    }
+    let db_path = PathBuf::from(args.positional("db.ssxdb")?);
+    let query_text = args.positional("query")?;
+    let q = parse_query(&query_text)
+        .map_err(|e| e.to_string())?
+        .expand_text_predicates();
+    let spec = AggregateSpec {
+        query: q,
+        op,
+        range,
+    };
+    let mut client = open_db(&args, &db_path)?;
+    let out = run_aggregate(&mut client, engine, rule, &spec).map_err(|e| e.to_string())?;
+    print_aggregate(&query_text, &out, args.bool("stats"));
+    Ok(())
+}
+
+fn print_aggregate(query_text: &str, out: &ssxdb::core::AggregateOutcome, stats: bool) {
+    match out.op {
+        AggOp::Count => println!("COUNT({query_text}) = {}", out.count),
+        AggOp::Sum => println!(
+            "SUM({query_text}) = {} over {} value(s)",
+            out.sum, out.contributing
+        ),
+        AggOp::Avg => match out.avg_f64() {
+            Some(avg) => println!(
+                "AVG({query_text}) = {avg} (exactly {}/{})",
+                out.sum, out.contributing
+            ),
+            None => println!("AVG({query_text}) = undefined (no value contributed)"),
+        },
+    }
+    if stats {
+        let s = &out.walk;
+        println!("stats:");
+        println!("  matches:           {}", out.count);
+        println!("  contributing:      {}", out.contributing);
+        println!(
+            "  walk round trips:  {} (+{} closing wave(s))",
+            s.round_trips, out.closing_waves
+        );
+        println!("  evaluations:       {}", s.evaluations());
+        println!("  epoch retries:     {}", out.retries);
+        println!("  elapsed:           {:?}", s.elapsed);
+    }
 }
 
 // ---- the write plane --------------------------------------------------------
